@@ -1,0 +1,50 @@
+//! AGG bench (§4.3): regenerate the aggregate-precision experiment —
+//! `SELECT AVG(a) FROM t`, with and without a range predicate.
+
+use std::hint::black_box;
+
+use amnesia_core::experiments::{aggregate_precision, Scale};
+use amnesia_distrib::DistributionKind;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_scale() -> Scale {
+    Scale {
+        dbsize: 300,
+        queries_per_batch: 60,
+        batches: 5, // runner multiplies ×3 internally (§4.3 "longer run")
+        domain: 50_000,
+        seed: 0xC1D8_2017,
+    }
+}
+
+fn agg(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("agg43");
+    for (label, with_pred) in [("whole_table", false), ("with_predicate", true)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &with_pred,
+            |b, &with_pred| {
+                b.iter(|| {
+                    black_box(
+                        aggregate_precision(
+                            black_box(&scale),
+                            DistributionKind::Uniform,
+                            with_pred,
+                        )
+                        .expect("agg"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = agg
+}
+criterion_main!(benches);

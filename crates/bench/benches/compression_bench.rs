@@ -1,0 +1,56 @@
+//! ABL-COMP bench (§4.4): codec encode/decode throughput per data
+//! distribution — the engineering side of "compression postpones the
+//! decision to forget".
+
+use std::hint::black_box;
+
+use amnesia_columnar::compress::{EncodedBlock, Encoding};
+use amnesia_distrib::DistributionKind;
+use amnesia_util::SimRng;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn values_for(dist: &DistributionKind, n: usize) -> Vec<i64> {
+    let mut rng = SimRng::new(7);
+    let mut d = dist.build(100_000, 7);
+    (0..n).map(|_| d.sample(&mut rng)).collect()
+}
+
+fn compression(c: &mut Criterion) {
+    const N: usize = 65_536;
+    for dist in DistributionKind::paper_set() {
+        let values = values_for(&dist, N);
+
+        let mut enc = c.benchmark_group(format!("encode/{}", dist.name()));
+        enc.throughput(Throughput::Bytes((N * 8) as u64));
+        for codec in Encoding::ALL {
+            enc.bench_with_input(
+                BenchmarkId::from_parameter(codec.name()),
+                &codec,
+                |b, &codec| {
+                    b.iter(|| black_box(EncodedBlock::encode(black_box(&values), codec)))
+                },
+            );
+        }
+        enc.finish();
+
+        let mut dec = c.benchmark_group(format!("decode/{}", dist.name()));
+        dec.throughput(Throughput::Bytes((N * 8) as u64));
+        for codec in Encoding::ALL {
+            let block = EncodedBlock::encode(&values, codec);
+            dec.bench_with_input(
+                BenchmarkId::from_parameter(codec.name()),
+                &block,
+                |b, block| b.iter(|| black_box(block.decode())),
+            );
+        }
+        dec.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = compression
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! FIG1 bench: regenerate the Figure 1 amnesia map (fifo / uniform / ante
+//! / area retention after 10 batches of 20 % updates) and measure the cost
+//! of each policy's full simulation.
+
+use std::hint::black_box;
+
+use amnesia_core::config::SimConfig;
+use amnesia_core::experiments::{fig1_amnesia_map, Scale};
+use amnesia_core::policy::PolicyKind;
+use amnesia_core::sim::Simulator;
+use amnesia_distrib::DistributionKind;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_scale() -> Scale {
+    Scale {
+        dbsize: 500,
+        queries_per_batch: 100,
+        batches: 10,
+        domain: 50_000,
+        seed: 0xC1D8_2017,
+    }
+}
+
+fn fig1(c: &mut Criterion) {
+    let scale = bench_scale();
+
+    // Whole-figure regeneration (all four strategies).
+    c.bench_function("fig1/full_map", |b| {
+        b.iter(|| black_box(fig1_amnesia_map(black_box(&scale)).expect("fig1")))
+    });
+
+    // Per-policy simulation cost.
+    let mut group = c.benchmark_group("fig1/policy_sim");
+    for kind in PolicyKind::fig1_set() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, kind| {
+                b.iter(|| {
+                    let cfg = SimConfig {
+                        dbsize: scale.dbsize,
+                        domain: scale.domain,
+                        queries_per_batch: scale.queries_per_batch,
+                        batches: scale.batches,
+                        seed: scale.seed,
+                        update_fraction: 0.20,
+                        distribution: DistributionKind::Serial,
+                        policy: kind.clone(),
+                        ..SimConfig::default()
+                    };
+                    black_box(Simulator::new(cfg).unwrap().run().unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = fig1
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! FIG2 bench: regenerate the Figure 2 rot map (query-driven rot under the
+//! four data distributions) and measure per-distribution simulation cost.
+
+use std::hint::black_box;
+
+use amnesia_core::config::SimConfig;
+use amnesia_core::experiments::{fig2_rot_map, Scale};
+use amnesia_core::policy::PolicyKind;
+use amnesia_core::sim::Simulator;
+use amnesia_distrib::DistributionKind;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_scale() -> Scale {
+    Scale {
+        dbsize: 500,
+        queries_per_batch: 100,
+        batches: 10,
+        domain: 50_000,
+        seed: 0xC1D8_2017,
+    }
+}
+
+fn fig2(c: &mut Criterion) {
+    let scale = bench_scale();
+
+    c.bench_function("fig2/full_map", |b| {
+        b.iter(|| black_box(fig2_rot_map(black_box(&scale)).expect("fig2")))
+    });
+
+    let mut group = c.benchmark_group("fig2/rot_by_distribution");
+    for dist in DistributionKind::paper_set() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dist.name()),
+            &dist,
+            |b, dist| {
+                b.iter(|| {
+                    let cfg = SimConfig {
+                        dbsize: scale.dbsize,
+                        domain: scale.domain,
+                        queries_per_batch: scale.queries_per_batch,
+                        batches: scale.batches,
+                        seed: scale.seed,
+                        update_fraction: 0.20,
+                        distribution: dist.clone(),
+                        policy: PolicyKind::Rot { high_water_age: 2 },
+                        ..SimConfig::default()
+                    };
+                    black_box(Simulator::new(cfg).unwrap().run().unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = fig2
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! FIG3 bench: regenerate the Figure 3 range-precision curves (80 %
+//! volatility, both data panels) and measure per-policy simulation cost.
+
+use std::hint::black_box;
+
+use amnesia_core::config::SimConfig;
+use amnesia_core::experiments::{fig3_range_precision, Scale};
+use amnesia_core::policy::PolicyKind;
+use amnesia_core::sim::Simulator;
+use amnesia_distrib::DistributionKind;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_scale() -> Scale {
+    Scale {
+        dbsize: 300,
+        queries_per_batch: 100,
+        batches: 10,
+        domain: 50_000,
+        seed: 0xC1D8_2017,
+    }
+}
+
+fn fig3(c: &mut Criterion) {
+    let scale = bench_scale();
+
+    let mut panels = c.benchmark_group("fig3/panel");
+    for dist in [DistributionKind::Uniform, DistributionKind::zipfian_default()] {
+        panels.bench_with_input(
+            BenchmarkId::from_parameter(dist.name()),
+            &dist,
+            |b, dist| {
+                b.iter(|| {
+                    black_box(
+                        fig3_range_precision(black_box(&scale), dist.clone()).expect("fig3"),
+                    )
+                })
+            },
+        );
+    }
+    panels.finish();
+
+    let mut group = c.benchmark_group("fig3/policy_sim");
+    for kind in PolicyKind::paper_set() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, kind| {
+                b.iter(|| {
+                    let cfg = SimConfig {
+                        dbsize: scale.dbsize,
+                        domain: scale.domain,
+                        queries_per_batch: scale.queries_per_batch,
+                        batches: scale.batches,
+                        seed: scale.seed,
+                        update_fraction: 0.80,
+                        distribution: DistributionKind::Uniform,
+                        policy: kind.clone(),
+                        ..SimConfig::default()
+                    };
+                    black_box(Simulator::new(cfg).unwrap().run().unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = fig3
+}
+criterion_main!(benches);

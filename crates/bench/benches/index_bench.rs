@@ -1,0 +1,74 @@
+//! Engineering bench: droppable-index lifecycle (§4.4).
+//!
+//! "Indices … can be easily dropped, and recreated upon need": measures
+//! how expensive "upon need" actually is — initial build, rebuild after
+//! staleness, probes at varying staleness — plus zone-map sync cost.
+
+use std::hint::black_box;
+
+use amnesia_bench::{forget_fraction, table_from_distribution};
+use amnesia_columnar::{Imprints, SortedIndex, ZoneMap};
+use amnesia_distrib::DistributionKind;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn index_lifecycle(c: &mut Criterion) {
+    const N: usize = 100_000;
+    let clean = table_from_distribution(&DistributionKind::Uniform, N, 1_000_000, 1);
+
+    c.bench_function("index/build_100k", |b| {
+        b.iter(|| black_box(SortedIndex::build(&clean, 0)))
+    });
+
+    let mut group = c.benchmark_group("index/probe_by_staleness");
+    for stale_frac in [0.0f64, 0.2, 0.5] {
+        let mut table = table_from_distribution(&DistributionKind::Uniform, N, 1_000_000, 1);
+        let mut index = SortedIndex::build(&table, 0);
+        forget_fraction(&mut table, stale_frac, 2);
+        for _ in 0..(N as f64 * stale_frac) as usize {
+            index.note_forget();
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(stale_frac),
+            &(table, index),
+            |b, (table, index)| {
+                b.iter(|| black_box(index.probe_range_active(table, 500_000, 520_000)))
+            },
+        );
+    }
+    group.finish();
+
+    c.bench_function("zonemap/build_100k", |b| {
+        b.iter(|| black_box(ZoneMap::build(&clean, 0)))
+    });
+
+    c.bench_function("imprints/build_100k", |b| {
+        b.iter(|| black_box(Imprints::build(&clean, 0, 64)))
+    });
+
+    c.bench_function("imprints/candidate_blocks", |b| {
+        let imp = Imprints::build(&clean, 0, 64);
+        b.iter(|| black_box(imp.candidate_blocks(500_000, 520_000)))
+    });
+
+    c.bench_function("zonemap/sync_after_1k_forgets", |b| {
+        let mut table = table_from_distribution(&DistributionKind::Uniform, N, 1_000_000, 1);
+        let mut zm = ZoneMap::build(&table, 0);
+        forget_fraction(&mut table, 0.01, 3);
+        for r in 0..1000usize {
+            zm.note_forget(amnesia_columnar::RowId::from(r * 97 % N));
+        }
+        b.iter(|| {
+            let mut zm2 = zm.clone();
+            zm2.sync(&table);
+            black_box(zm2)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = index_lifecycle
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! JOIN-PREC bench: regenerate the join-precision experiment and measure
+//! the raw hash-join kernel at several build/probe cardinalities and
+//! forgotten fractions.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use amnesia_columnar::{RowId, Schema, Table};
+use amnesia_core::experiments::{join_precision_experiment, referential_actions_table, Scale};
+use amnesia_engine::join::{hash_join, hash_join_count};
+use amnesia_engine::ForgetVisibility;
+use amnesia_util::SimRng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_scale() -> Scale {
+    Scale {
+        dbsize: 300,
+        queries_per_batch: 100,
+        batches: 8,
+        domain: 50_000,
+        seed: 0xC1D8_2017,
+    }
+}
+
+/// Parent of `n` serial keys; child of `4n` rows with skewed fks; then
+/// `forget_frac` of each side marked forgotten.
+fn join_tables(n: usize, forget_frac: f64) -> (Table, Table) {
+    let mut rng = SimRng::new(11);
+    let mut parent = Table::new(Schema::single("key"));
+    parent
+        .insert_batch(&(0..n as i64).collect::<Vec<_>>(), 0)
+        .unwrap();
+    let mut child = Table::new(Schema::new(vec!["fk", "payload"]));
+    for _ in 0..4 * n {
+        let fk = (rng.f64() * rng.f64() * n as f64) as i64;
+        child.insert(&[fk, rng.range_i64(0, 1_000_000)], 0).unwrap();
+    }
+    for t in [&mut parent, &mut child] {
+        let total = t.num_rows();
+        let forget = (total as f64 * forget_frac) as usize;
+        for _ in 0..forget {
+            if let Some(r) = t.random_active(&mut rng) {
+                t.forget(r, 1).unwrap();
+            }
+        }
+    }
+    (parent, child)
+}
+
+fn join(c: &mut Criterion) {
+    let scale = bench_scale();
+
+    c.bench_function("join/experiment", |b| {
+        b.iter(|| black_box(join_precision_experiment(black_box(&scale)).expect("join")))
+    });
+    c.bench_function("join/referential_actions", |b| {
+        b.iter(|| black_box(referential_actions_table(black_box(&scale)).expect("actions")))
+    });
+
+    let mut kernel = c.benchmark_group("join/hash_kernel");
+    for n in [1_000usize, 10_000] {
+        let (parent, child) = join_tables(n, 0.3);
+        kernel.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(hash_join(
+                    black_box(&parent),
+                    0,
+                    black_box(&child),
+                    0,
+                    ForgetVisibility::ActiveOnly,
+                ))
+            })
+        });
+    }
+    kernel.finish();
+
+    // Count-only joins skip pair materialization; the gap is the cost of
+    // building the output.
+    let (parent, child) = join_tables(10_000, 0.3);
+    c.bench_function("join/count_only_10k", |b| {
+        b.iter(|| {
+            black_box(hash_join_count(
+                black_box(&parent),
+                0,
+                black_box(&child),
+                0,
+                ForgetVisibility::ActiveOnly,
+            ))
+        })
+    });
+
+    // Sanity: visibility changes the answer, never the validity.
+    let active = hash_join_count(&parent, 0, &child, 0, ForgetVisibility::ActiveOnly);
+    let truth = hash_join_count(&parent, 0, &child, 0, ForgetVisibility::ScanSeesForgotten);
+    assert!(active <= truth);
+    let _ = RowId(0);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = join
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Parallel kernel bench: scan and aggregate speedup vs thread count on
+//! a large amnesiac table (30 % forgotten).
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use amnesia_columnar::{Schema, Table};
+use amnesia_engine::kernels;
+use amnesia_engine::parallel::{par_aggregate_active, par_range_scan_active};
+use amnesia_util::SimRng;
+use amnesia_workload::query::{AggKind, RangePredicate};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn big_table(n: usize) -> Table {
+    let mut rng = SimRng::new(13);
+    let values: Vec<i64> = (0..n).map(|_| rng.range_i64(0, 1_000_000)).collect();
+    let mut t = Table::new(Schema::single("a"));
+    t.insert_batch(&values, 0).unwrap();
+    for _ in 0..(n as f64 * 0.3) as usize {
+        if let Some(r) = t.random_active(&mut rng) {
+            t.forget(r, 1).unwrap();
+        }
+    }
+    t
+}
+
+fn parallel(c: &mut Criterion) {
+    let n = 2_000_000usize;
+    let t = big_table(n);
+    let pred = RangePredicate::new(250_000, 750_000);
+
+    let mut scan = c.benchmark_group("parallel/range_scan");
+    scan.throughput(Throughput::Elements(n as u64));
+    scan.bench_function("serial", |b| {
+        b.iter(|| black_box(kernels::range_scan_active(&t, 0, black_box(pred))))
+    });
+    for threads in [2usize, 4, 8] {
+        scan.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(par_range_scan_active(&t, 0, black_box(pred), threads))
+                })
+            },
+        );
+    }
+    scan.finish();
+
+    let mut agg = c.benchmark_group("parallel/aggregate_avg");
+    agg.throughput(Throughput::Elements(n as u64));
+    agg.bench_function("serial", |b| {
+        b.iter(|| {
+            black_box(kernels::aggregate_active(
+                &t,
+                0,
+                Some(black_box(pred)),
+                AggKind::Avg,
+            ))
+        })
+    });
+    for threads in [2usize, 4, 8] {
+        agg.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(par_aggregate_active(
+                        &t,
+                        0,
+                        Some(black_box(pred)),
+                        AggKind::Avg,
+                        threads,
+                    ))
+                })
+            },
+        );
+    }
+    agg.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = parallel
+}
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Durability microbenchmarks: snapshot encode/decode throughput across
+//! data distributions (compression choice dominates) and WAL append /
+//! replay rates.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use amnesia_columnar::persist::{replay, snapshot, Wal, WalRecord};
+use amnesia_columnar::{RowId, Schema, Table};
+use amnesia_distrib::DistributionKind;
+use amnesia_util::SimRng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn table_with(dist: &DistributionKind, n: usize) -> Table {
+    let mut rng = SimRng::new(17);
+    let mut d = dist.build(100_000, 17);
+    let values: Vec<i64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+    let mut t = Table::new(Schema::single("a"));
+    t.insert_batch(&values, 0).unwrap();
+    for _ in 0..n / 5 {
+        if let Some(r) = t.random_active(&mut rng) {
+            t.forget(r, 1).unwrap();
+        }
+    }
+    t
+}
+
+fn persist(c: &mut Criterion) {
+    let n = 50_000usize;
+
+    let mut enc = c.benchmark_group("persist/snapshot_encode");
+    enc.throughput(Throughput::Elements(n as u64));
+    for dist in DistributionKind::paper_set() {
+        let t = table_with(&dist, n);
+        enc.bench_with_input(BenchmarkId::from_parameter(dist.name()), &t, |b, t| {
+            b.iter(|| black_box(snapshot::encode(black_box(t))))
+        });
+    }
+    enc.finish();
+
+    let mut dec = c.benchmark_group("persist/snapshot_decode");
+    dec.throughput(Throughput::Elements(n as u64));
+    for dist in DistributionKind::paper_set() {
+        let bytes = snapshot::encode(&table_with(&dist, n));
+        dec.bench_with_input(
+            BenchmarkId::from_parameter(dist.name()),
+            &bytes,
+            |b, bytes| b.iter(|| black_box(snapshot::decode(black_box(bytes)).unwrap())),
+        );
+    }
+    dec.finish();
+
+    // WAL: appends per second (no fsync — measuring the encode+write
+    // path, not the disk).
+    let dir = std::env::temp_dir().join(format!("amn-bench-wal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut group = c.benchmark_group("persist/wal");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("append_insert", |b| {
+        let path = dir.join("append.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path).unwrap();
+        let rec = WalRecord::Insert {
+            epoch: 3,
+            rows: vec![vec![42, -7]],
+        };
+        b.iter(|| wal.append(black_box(&rec)).unwrap())
+    });
+    group.bench_function("append_forget", |b| {
+        let path = dir.join("forget.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path).unwrap();
+        let rec = WalRecord::Forget {
+            epoch: 5,
+            row: RowId(123),
+        };
+        b.iter(|| wal.append(black_box(&rec)).unwrap())
+    });
+    group.finish();
+
+    // Replay rate over a 10k-record log.
+    let path = dir.join("replay.wal");
+    let _ = std::fs::remove_file(&path);
+    let mut wal = Wal::open(&path).unwrap();
+    for i in 0..10_000u64 {
+        let rec = if i % 4 == 3 {
+            WalRecord::Forget { epoch: i, row: RowId(i) }
+        } else {
+            WalRecord::Insert {
+                epoch: i,
+                rows: vec![vec![i as i64]],
+            }
+        };
+        wal.append(&rec).unwrap();
+    }
+    wal.sync().unwrap();
+    let mut group = c.benchmark_group("persist/replay");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("10k_records", |b| {
+        b.iter(|| {
+            let outcome = replay(black_box(&path)).unwrap();
+            assert!(outcome.clean);
+            black_box(outcome.records.len())
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = persist
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! RECALL bench: regenerate the learning-policy comparison (§4.4/§5
+//! research-vista policies vs the paper baselines) and measure the
+//! victim-selection cost of the learning policies, whose weighting is
+//! more expensive than the paper's randomized ones.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use amnesia_core::experiments::{recall_comparison, Scale};
+use amnesia_core::policy::{PolicyContext, PolicyKind};
+use amnesia_core::SimConfig;
+use amnesia_core::Simulator;
+use amnesia_distrib::DistributionKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_scale() -> Scale {
+    Scale {
+        dbsize: 300,
+        queries_per_batch: 100,
+        batches: 8,
+        domain: 50_000,
+        seed: 0xC1D8_2017,
+    }
+}
+
+fn recall(c: &mut Criterion) {
+    let scale = bench_scale();
+
+    c.bench_function("recall/experiment", |b| {
+        b.iter(|| black_box(recall_comparison(black_box(&scale)).expect("recall")))
+    });
+
+    // Per-policy simulation cost on the recall workload.
+    let mut group = c.benchmark_group("recall/policy_sim");
+    for kind in PolicyKind::learning_set() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, kind| {
+                b.iter(|| {
+                    let cfg = SimConfig {
+                        dbsize: scale.dbsize,
+                        domain: scale.domain,
+                        queries_per_batch: scale.queries_per_batch,
+                        batches: scale.batches,
+                        seed: scale.seed,
+                        update_fraction: 0.20,
+                        distribution: DistributionKind::Zipfian { theta: 0.99 },
+                        policy: kind.clone(),
+                        ..SimConfig::default()
+                    };
+                    black_box(Simulator::new(cfg).unwrap().run().unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Raw victim-selection overhead at a fixed table size, isolating the
+    // policy from the simulation loop.
+    let mut select = c.benchmark_group("recall/select_victims");
+    for kind in PolicyKind::learning_set() {
+        select.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, kind| {
+                use amnesia_columnar::{RowId, Schema, Table};
+                use amnesia_util::SimRng;
+                let mut table = Table::new(Schema::single("a"));
+                let mut rng = SimRng::new(7);
+                let values: Vec<i64> = (0..10_000).map(|_| rng.range_i64(0, 50_000)).collect();
+                table.insert_batch(&values, 0).unwrap();
+                // Give the frequency-driven policies a signal.
+                for r in (0..10_000u64).step_by(10) {
+                    table.access_mut().touch(RowId(r), 1);
+                }
+                let mut policy = kind.build();
+                b.iter(|| {
+                    let ctx = PolicyContext {
+                        table: &table,
+                        epoch: 5,
+                    };
+                    black_box(policy.select_victims(&ctx, 1000, &mut rng))
+                })
+            },
+        );
+    }
+    select.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = recall
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Engineering bench: scan and aggregate kernels.
+//!
+//! Quantifies what the execution regimes cost: full active scan vs
+//! zone-map pruned scan vs sorted-index probe, and the streaming
+//! aggregate kernel, at 20 % forgotten tuples.
+
+use std::hint::black_box;
+
+use amnesia_bench::{forget_fraction, table_from_distribution};
+use amnesia_columnar::{SortedIndex, ZoneMap};
+use amnesia_distrib::DistributionKind;
+use amnesia_engine::kernels;
+use amnesia_workload::query::{AggKind, RangePredicate};
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn scan_kernels(c: &mut Criterion) {
+    const N: usize = 200_000;
+    let mut table = table_from_distribution(&DistributionKind::Uniform, N, 1_000_000, 1);
+    forget_fraction(&mut table, 0.2, 2);
+    let zonemap = ZoneMap::build(&table, 0);
+    let index = SortedIndex::build(&table, 0);
+    // ~1 % selectivity predicate.
+    let pred = RangePredicate::new(500_000, 510_000);
+
+    let mut group = c.benchmark_group("scan_200k_rows");
+    group.bench_function("full_active_scan", |b| {
+        b.iter(|| black_box(kernels::range_scan_active(&table, 0, black_box(pred))))
+    });
+    group.bench_function("full_scan_with_forgotten", |b| {
+        b.iter(|| black_box(kernels::range_scan_all(&table, 0, black_box(pred))))
+    });
+    group.bench_function("count_only", |b| {
+        b.iter(|| black_box(kernels::count_active_matches(&table, 0, black_box(pred))))
+    });
+    group.bench_function("zonemap_pruned_scan", |b| {
+        b.iter(|| {
+            let blocks = zonemap.candidate_blocks(pred.lo, pred.hi_inclusive());
+            black_box(kernels::range_scan_blocks(
+                &table,
+                0,
+                black_box(pred),
+                &blocks,
+                zonemap.block_rows(),
+            ))
+        })
+    });
+    group.bench_function("index_probe_active", |b| {
+        b.iter(|| black_box(index.probe_range_active(&table, pred.lo, pred.hi_inclusive())))
+    });
+    group.finish();
+
+    let mut agg = c.benchmark_group("aggregate_200k_rows");
+    agg.bench_function("avg_whole_table", |b| {
+        b.iter(|| black_box(kernels::aggregate_active(&table, 0, None, AggKind::Avg)))
+    });
+    agg.bench_function("avg_with_predicate", |b| {
+        b.iter(|| {
+            black_box(kernels::aggregate_active(
+                &table,
+                0,
+                Some(black_box(pred)),
+                AggKind::Avg,
+            ))
+        })
+    });
+    agg.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = scan_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! T-SEL bench (§4.2): the selectivity sweep behind the paper's remark
+//! that "increasing the selectivity factor does not improve the
+//! precision".
+
+use std::hint::black_box;
+
+use amnesia_core::config::SimConfig;
+use amnesia_core::experiments::{selectivity_table, Scale};
+use amnesia_core::policy::PolicyKind;
+use amnesia_core::sim::Simulator;
+use amnesia_distrib::DistributionKind;
+use amnesia_workload::QueryGenKind;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_scale() -> Scale {
+    Scale {
+        dbsize: 300,
+        queries_per_batch: 60,
+        batches: 8,
+        domain: 50_000,
+        seed: 0xC1D8_2017,
+    }
+}
+
+fn selectivity(c: &mut Criterion) {
+    let scale = bench_scale();
+
+    c.bench_function("selectivity/full_table", |b| {
+        b.iter(|| {
+            black_box(
+                selectivity_table(black_box(&scale), DistributionKind::Uniform)
+                    .expect("selectivity"),
+            )
+        })
+    });
+
+    let mut group = c.benchmark_group("selectivity/sim");
+    for s in [0.001f64, 0.01, 0.05, 0.20] {
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            b.iter(|| {
+                let cfg = SimConfig {
+                    dbsize: scale.dbsize,
+                    domain: scale.domain,
+                    queries_per_batch: scale.queries_per_batch,
+                    batches: scale.batches,
+                    seed: scale.seed,
+                    update_fraction: 0.80,
+                    distribution: DistributionKind::Uniform,
+                    policy: PolicyKind::Uniform,
+                    query_gen: QueryGenKind::UniformRange { selectivity: s },
+                    ..SimConfig::default()
+                };
+                black_box(Simulator::new(cfg).unwrap().run().unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = selectivity
+}
+criterion_main!(benches);

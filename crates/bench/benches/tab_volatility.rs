@@ -1,0 +1,67 @@
+//! T-VOL bench (§4.2): low (10 %) vs high (80 %) update volatility — the
+//! textual comparison in the paper, regenerated as a table.
+
+use std::hint::black_box;
+
+use amnesia_core::config::SimConfig;
+use amnesia_core::experiments::{volatility_table, Scale};
+use amnesia_core::policy::PolicyKind;
+use amnesia_core::sim::Simulator;
+use amnesia_distrib::DistributionKind;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_scale() -> Scale {
+    Scale {
+        dbsize: 300,
+        queries_per_batch: 60,
+        batches: 8,
+        domain: 50_000,
+        seed: 0xC1D8_2017,
+    }
+}
+
+fn volatility(c: &mut Criterion) {
+    let scale = bench_scale();
+
+    c.bench_function("volatility/full_table", |b| {
+        b.iter(|| {
+            black_box(
+                volatility_table(black_box(&scale), DistributionKind::Uniform)
+                    .expect("volatility"),
+            )
+        })
+    });
+
+    let mut group = c.benchmark_group("volatility/sim");
+    for upd in [0.10f64, 0.80] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("upd{}", (upd * 100.0) as u32)),
+            &upd,
+            |b, &upd| {
+                b.iter(|| {
+                    let cfg = SimConfig {
+                        dbsize: scale.dbsize,
+                        domain: scale.domain,
+                        queries_per_batch: scale.queries_per_batch,
+                        batches: scale.batches,
+                        seed: scale.seed,
+                        update_fraction: upd,
+                        distribution: DistributionKind::Uniform,
+                        policy: PolicyKind::Uniform,
+                        ..SimConfig::default()
+                    };
+                    black_box(Simulator::new(cfg).unwrap().run().unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = volatility
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Shared helpers for the benchmark harness and the `repro` binary.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use amnesia_columnar::{Schema, Table};
+use amnesia_distrib::DistributionKind;
+use amnesia_util::SimRng;
+
+/// Build a single-attribute table with `n` rows drawn from `dist`.
+pub fn table_from_distribution(dist: &DistributionKind, n: usize, domain: i64, seed: u64) -> Table {
+    let mut rng = SimRng::new(seed);
+    let mut d = dist.build(domain, seed);
+    let values: Vec<i64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+    let mut t = Table::new(Schema::single("a"));
+    t.insert_batch(&values, 0).expect("single column batch");
+    t
+}
+
+/// Forget a uniformly random `fraction` of rows (used to set up realistic
+/// staleness in kernel/index benches).
+pub fn forget_fraction(table: &mut Table, fraction: f64, seed: u64) {
+    let mut rng = SimRng::new(seed);
+    let n = table.num_rows();
+    let k = ((n as f64) * fraction.clamp(0.0, 1.0)) as usize;
+    for i in rng.sample_indices(n, k) {
+        table
+            .forget(amnesia_columnar::RowId::from(i), 1)
+            .expect("row in range");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_work() {
+        let mut t = table_from_distribution(&DistributionKind::Uniform, 1000, 10_000, 1);
+        assert_eq!(t.num_rows(), 1000);
+        forget_fraction(&mut t, 0.3, 2);
+        assert_eq!(t.active_rows(), 700);
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-tuple access statistics.
+//!
+//! Query-based amnesia (paper §3.2) extends tables "with the frequency of
+//! access for each tuple"; after each batch of inserts, tuples are
+//! forgotten with probability related to that frequency. We also track the
+//! last-access epoch so policies can combine frequency with recency, and
+//! provide exponential decay so ancient popularity fades ("no data should
+//! continue to appear in a result set, if that data has not been curated").
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Epoch, RowId};
+
+/// Access frequency and recency for every row of a table.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AccessStats {
+    freq: Vec<f64>,
+    last_access: Vec<Epoch>,
+}
+
+impl AccessStats {
+    /// Empty stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `n` new rows with zero frequency.
+    pub fn push_rows(&mut self, n: usize) {
+        self.freq.resize(self.freq.len() + n, 0.0);
+        self.last_access.resize(self.last_access.len() + n, 0);
+    }
+
+    /// Number of tracked rows.
+    pub fn len(&self) -> usize {
+        self.freq.len()
+    }
+
+    /// True if no rows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.freq.is_empty()
+    }
+
+    /// Record one access of `row` at `epoch`.
+    #[inline]
+    pub fn touch(&mut self, row: RowId, epoch: Epoch) {
+        let i = row.as_usize();
+        self.freq[i] += 1.0;
+        self.last_access[i] = epoch;
+    }
+
+    /// Record accesses for many rows at once (a query result).
+    pub fn touch_all(&mut self, rows: &[RowId], epoch: Epoch) {
+        for &r in rows {
+            self.touch(r, epoch);
+        }
+    }
+
+    /// Access frequency of a row (decayed count).
+    #[inline]
+    pub fn frequency(&self, row: RowId) -> f64 {
+        self.freq[row.as_usize()]
+    }
+
+    /// Epoch of the last access (0 if never accessed).
+    pub fn last_access(&self, row: RowId) -> Epoch {
+        self.last_access[row.as_usize()]
+    }
+
+    /// Multiply all frequencies by `factor` (exponential decay between
+    /// batches). `factor` must be in `(0, 1]`.
+    pub fn decay(&mut self, factor: f64) {
+        assert!(factor > 0.0 && factor <= 1.0, "decay factor {factor}");
+        if factor == 1.0 {
+            return;
+        }
+        for f in &mut self.freq {
+            *f *= factor;
+        }
+    }
+
+    /// Raw frequency vector (for vectorized policy scoring).
+    pub fn frequencies(&self) -> &[f64] {
+        &self.freq
+    }
+
+    /// Overwrite a row's statistics (used by vacuum when migrating state
+    /// to the compacted table).
+    pub fn restore(&mut self, row: RowId, frequency: f64, last_access: Epoch) {
+        let i = row.as_usize();
+        self.freq[i] = frequency;
+        self.last_access[i] = last_access;
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.freq.capacity() * std::mem::size_of::<f64>()
+            + self.last_access.capacity() * std::mem::size_of::<Epoch>()
+            + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touch_accumulates() {
+        let mut s = AccessStats::new();
+        s.push_rows(5);
+        s.touch(RowId(2), 1);
+        s.touch(RowId(2), 3);
+        s.touch_all(&[RowId(0), RowId(2)], 4);
+        assert_eq!(s.frequency(RowId(2)), 3.0);
+        assert_eq!(s.frequency(RowId(0)), 1.0);
+        assert_eq!(s.frequency(RowId(1)), 0.0);
+        assert_eq!(s.last_access(RowId(2)), 4);
+        assert_eq!(s.last_access(RowId(1)), 0);
+    }
+
+    #[test]
+    fn decay_scales() {
+        let mut s = AccessStats::new();
+        s.push_rows(2);
+        s.touch(RowId(0), 1);
+        s.touch(RowId(0), 1);
+        s.decay(0.5);
+        assert_eq!(s.frequency(RowId(0)), 1.0);
+        s.decay(1.0); // no-op
+        assert_eq!(s.frequency(RowId(0)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay factor")]
+    fn invalid_decay_rejected() {
+        let mut s = AccessStats::new();
+        s.decay(0.0);
+    }
+
+    #[test]
+    fn grows_with_rows() {
+        let mut s = AccessStats::new();
+        assert!(s.is_empty());
+        s.push_rows(3);
+        s.push_rows(2);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.frequencies().len(), 5);
+    }
+}

@@ -1,0 +1,238 @@
+//! Cold storage for forgotten tuples.
+//!
+//! The paper's cost-effective option for forgotten data: "move forgotten
+//! data to cheap slow cold-storage" (§1). Unlike classical hot/cold tiering
+//! (anti-caching et al., §5), amnesia's cold data *never* appears in query
+//! results — it is only reachable through an explicit recovery action,
+//! which [`ColdStore::fetch`] models.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use amnesia_util::Result;
+
+use crate::types::{RowId, Value};
+
+/// Destination for forgotten tuples.
+pub trait ColdStore: Send {
+    /// Archive a tuple's values under its row id.
+    fn archive(&mut self, row: RowId, values: &[Value]) -> Result<()>;
+
+    /// Explicitly recover a tuple (the paper's "user takes the action and
+    /// recovers … from cold storage explicitly"). `None` if never archived.
+    fn fetch(&mut self, row: RowId) -> Result<Option<Vec<Value>>>;
+
+    /// Whether a tuple has been archived.
+    fn contains(&self, row: RowId) -> bool;
+
+    /// Number of archived tuples.
+    fn len(&self) -> usize;
+
+    /// True when nothing is archived.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes consumed by the archive.
+    fn bytes_used(&self) -> u64;
+
+    /// Implementation name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// In-memory cold store (tests / small simulations).
+#[derive(Debug, Default)]
+pub struct MemoryColdStore {
+    rows: HashMap<RowId, Vec<Value>>,
+    bytes: u64,
+}
+
+impl MemoryColdStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ColdStore for MemoryColdStore {
+    fn archive(&mut self, row: RowId, values: &[Value]) -> Result<()> {
+        self.bytes += std::mem::size_of_val(values) as u64;
+        self.rows.insert(row, values.to_vec());
+        Ok(())
+    }
+
+    fn fetch(&mut self, row: RowId) -> Result<Option<Vec<Value>>> {
+        Ok(self.rows.get(&row).cloned())
+    }
+
+    fn contains(&self, row: RowId) -> bool {
+        self.rows.contains_key(&row)
+    }
+
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn bytes_used(&self) -> u64 {
+        self.bytes
+    }
+
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+}
+
+/// File-backed cold store: append-only record log + in-memory offset map.
+///
+/// Record layout: `row_id u64 LE | arity u32 LE | values i64 LE ×arity`.
+pub struct FileColdStore {
+    writer: BufWriter<File>,
+    reader: File,
+    offsets: HashMap<RowId, (u64, u32)>,
+    next_offset: u64,
+}
+
+impl std::fmt::Debug for FileColdStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileColdStore")
+            .field("rows", &self.offsets.len())
+            .field("bytes", &self.next_offset)
+            .finish()
+    }
+}
+
+impl FileColdStore {
+    /// Create (truncating) a cold store at `path`.
+    pub fn create(path: &Path) -> Result<Self> {
+        let write_file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        let reader = OpenOptions::new().read(true).open(path)?;
+        Ok(Self {
+            writer: BufWriter::new(write_file),
+            reader,
+            offsets: HashMap::new(),
+            next_offset: 0,
+        })
+    }
+}
+
+impl ColdStore for FileColdStore {
+    fn archive(&mut self, row: RowId, values: &[Value]) -> Result<()> {
+        use bytes::BufMut;
+        let mut record = bytes::BytesMut::with_capacity(12 + values.len() * 8);
+        record.put_u64_le(row.0);
+        record.put_u32_le(values.len() as u32);
+        for &v in values {
+            record.put_i64_le(v);
+        }
+        self.writer.write_all(&record)?;
+        self.offsets
+            .insert(row, (self.next_offset, values.len() as u32));
+        self.next_offset += record.len() as u64;
+        Ok(())
+    }
+
+    fn fetch(&mut self, row: RowId) -> Result<Option<Vec<Value>>> {
+        let Some(&(offset, arity)) = self.offsets.get(&row) else {
+            return Ok(None);
+        };
+        self.writer.flush()?;
+        self.reader.seek(SeekFrom::Start(offset))?;
+        let mut header = [0u8; 12];
+        self.reader.read_exact(&mut header)?;
+        let stored_row = u64::from_le_bytes(header[..8].try_into().expect("8 bytes"));
+        debug_assert_eq!(stored_row, row.0, "offset map corruption");
+        let mut payload = vec![0u8; arity as usize * 8];
+        self.reader.read_exact(&mut payload)?;
+        Ok(Some(
+            payload
+                .chunks_exact(8)
+                .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect(),
+        ))
+    }
+
+    fn contains(&self, row: RowId) -> bool {
+        self.offsets.contains_key(&row)
+    }
+
+    fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    fn bytes_used(&self) -> u64 {
+        self.next_offset
+    }
+
+    fn name(&self) -> &'static str {
+        "file"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &mut dyn ColdStore) {
+        assert!(store.is_empty());
+        store.archive(RowId(10), &[1, 2, 3]).unwrap();
+        store.archive(RowId(20), &[-7]).unwrap();
+        assert_eq!(store.len(), 2);
+        assert!(store.contains(RowId(10)));
+        assert!(!store.contains(RowId(11)));
+        assert_eq!(store.fetch(RowId(10)).unwrap(), Some(vec![1, 2, 3]));
+        assert_eq!(store.fetch(RowId(20)).unwrap(), Some(vec![-7]));
+        assert_eq!(store.fetch(RowId(99)).unwrap(), None);
+        assert!(store.bytes_used() > 0);
+    }
+
+    #[test]
+    fn memory_store_roundtrip() {
+        let mut store = MemoryColdStore::new();
+        exercise(&mut store);
+        assert_eq!(store.name(), "memory");
+    }
+
+    #[test]
+    fn file_store_roundtrip() {
+        let dir = std::env::temp_dir().join("amnesia-coldstore-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cold.log");
+        let mut store = FileColdStore::create(&path).unwrap();
+        exercise(&mut store);
+        assert_eq!(store.name(), "file");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_store_interleaved_write_read() {
+        let dir = std::env::temp_dir().join("amnesia-coldstore-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cold2.log");
+        let mut store = FileColdStore::create(&path).unwrap();
+        for i in 0..100u64 {
+            store.archive(RowId(i), &[i as i64 * 3]).unwrap();
+            if i % 7 == 0 {
+                // Read something archived earlier while writes continue.
+                let got = store.fetch(RowId(i / 2)).unwrap();
+                assert_eq!(got, Some(vec![(i / 2) as i64 * 3]));
+            }
+        }
+        assert_eq!(store.len(), 100);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rearchive_overwrites_mapping() {
+        let mut store = MemoryColdStore::new();
+        store.archive(RowId(1), &[1]).unwrap();
+        store.archive(RowId(1), &[2]).unwrap();
+        assert_eq!(store.fetch(RowId(1)).unwrap(), Some(vec![2]));
+        assert_eq!(store.len(), 1);
+    }
+}

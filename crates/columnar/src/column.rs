@@ -1,0 +1,133 @@
+//! Append-only integer column.
+
+use amnesia_util::MinMax;
+use serde::{Deserialize, Serialize};
+
+use crate::types::Value;
+
+/// An append-only column of `i64` values with running min/max statistics.
+///
+/// Deletion never happens here: the amnesia design keeps tuples physically
+/// present and marks them inactive (paper §2.1); physical removal is the
+/// job of [`crate::vacuum`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    values: Vec<Value>,
+    stats: MinMax,
+}
+
+impl Column {
+    /// Empty column.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty column with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            values: Vec::with_capacity(cap),
+            stats: MinMax::new(),
+        }
+    }
+
+    /// Append one value.
+    #[inline]
+    pub fn push(&mut self, v: Value) {
+        self.values.push(v);
+        self.stats.push(v);
+    }
+
+    /// Append many values.
+    pub fn extend_from_slice(&mut self, vs: &[Value]) {
+        self.values.extend_from_slice(vs);
+        for &v in vs {
+            self.stats.push(v);
+        }
+    }
+
+    /// Value at a physical position. Panics if out of range.
+    #[inline]
+    pub fn get(&self, row: usize) -> Value {
+        self.values[row]
+    }
+
+    /// All values (including those belonging to forgotten tuples).
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of physical rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Minimum value ever appended (forgotten or not).
+    pub fn min_seen(&self) -> Option<Value> {
+        self.stats.min()
+    }
+
+    /// Maximum value ever appended (forgotten or not).
+    ///
+    /// This is the `RANGE` bound the paper's query generator uses: "RANGE
+    /// is in the range 0 to the maximum value seen up to the latest update
+    /// batch" (§4.2).
+    pub fn max_seen(&self) -> Option<Value> {
+        self.stats.max()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.values.capacity() * std::mem::size_of::<Value>() + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut c = Column::new();
+        c.push(5);
+        c.push(-3);
+        c.extend_from_slice(&[10, 0]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.get(0), 5);
+        assert_eq!(c.get(1), -3);
+        assert_eq!(c.values(), &[5, -3, 10, 0]);
+    }
+
+    #[test]
+    fn min_max_track_history() {
+        let mut c = Column::with_capacity(8);
+        assert_eq!(c.min_seen(), None);
+        c.extend_from_slice(&[7, 2, 9]);
+        assert_eq!(c.min_seen(), Some(2));
+        assert_eq!(c.max_seen(), Some(9));
+        // min/max never shrink, even conceptually after forgetting.
+        c.push(100);
+        assert_eq!(c.max_seen(), Some(100));
+    }
+
+    #[test]
+    fn empty_checks() {
+        let c = Column::new();
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert!(c.memory_bytes() >= std::mem::size_of::<Column>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_get_panics() {
+        let c = Column::new();
+        let _ = c.get(0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Delta encoding: first value, then zigzag-varint differences.
+
+use bytes::{Bytes, BytesMut};
+
+use super::varint::{read_signed, write_signed};
+use crate::types::Value;
+
+/// Encode as `v0, v1−v0, v2−v1, …` with zigzag varints.
+pub fn encode(values: &[Value]) -> Bytes {
+    let mut buf = BytesMut::new();
+    let mut prev = 0i64;
+    for (i, &v) in values.iter().enumerate() {
+        if i == 0 {
+            write_signed(&mut buf, v);
+        } else {
+            write_signed(&mut buf, v.wrapping_sub(prev));
+        }
+        prev = v;
+    }
+    buf.freeze()
+}
+
+/// Decode a buffer produced by [`encode`].
+pub fn decode(data: &[u8]) -> Vec<Value> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    let mut prev = 0i64;
+    let mut first = true;
+    while pos < data.len() {
+        let d = read_signed(data, &mut pos);
+        let v = if first {
+            first = false;
+            d
+        } else {
+            prev.wrapping_add(d)
+        };
+        out.push(v);
+        prev = v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_sequences_compress_well() {
+        let values: Vec<i64> = (1_000_000..1_010_000).collect();
+        let data = encode(&values);
+        // one varint for the base + 1 byte per unit delta
+        assert!(data.len() < values.len() * 2, "got {} bytes", data.len());
+        assert_eq!(decode(&data), values);
+    }
+
+    #[test]
+    fn unsorted_roundtrip() {
+        let values = vec![5i64, -100, 42, 0, 7];
+        assert_eq!(decode(&encode(&values)), values);
+    }
+
+    #[test]
+    fn wrapping_deltas_roundtrip() {
+        let values = vec![i64::MIN, i64::MAX, i64::MIN + 1, -1, 1];
+        assert_eq!(decode(&encode(&values)), values);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(decode(&encode(&[])).is_empty());
+        assert_eq!(decode(&encode(&[99])), vec![99]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Frame-of-reference + bit-packing.
+//!
+//! Stores the block minimum once, then every value as `(v − min)` packed
+//! at the minimal common bit width. The codec of choice for values
+//! confined to a narrow band (normal data, recent epochs).
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use super::varint::{read_signed, read_varint, write_signed, write_varint};
+use crate::types::Value;
+
+/// Bits needed to represent `x`.
+fn bits_for(x: u64) -> u32 {
+    64 - x.leading_zeros()
+}
+
+/// Encode with frame-of-reference bit-packing.
+///
+/// Layout: `count varint | min zigzag-varint | width u8 | packed words`.
+pub fn encode(values: &[Value]) -> Bytes {
+    let mut buf = BytesMut::new();
+    write_varint(&mut buf, values.len() as u64);
+    if values.is_empty() {
+        return buf.freeze();
+    }
+    let min = *values.iter().min().expect("non-empty");
+    let max = *values.iter().max().expect("non-empty");
+    // The offset fits u64 even for full i64 span.
+    let span = (max as i128 - min as i128) as u64;
+    let width = bits_for(span).max(1);
+    write_signed(&mut buf, min);
+    buf.put_u8(width as u8);
+
+    let mut word = 0u64;
+    let mut filled = 0u32;
+    for &v in values {
+        let off = (v as i128 - min as i128) as u64;
+        // Write `width` bits of `off`, LSB first across words.
+        let mut remaining = width;
+        let mut chunk = off;
+        while remaining > 0 {
+            let take = remaining.min(64 - filled);
+            word |= (chunk & ones(take)) << filled;
+            filled += take;
+            chunk >>= take - 1;
+            chunk >>= 1; // two-step shift: `take` may be 64
+            remaining -= take;
+            if filled == 64 {
+                buf.put_u64_le(word);
+                word = 0;
+                filled = 0;
+            }
+        }
+    }
+    if filled > 0 {
+        buf.put_u64_le(word);
+    }
+    buf.freeze()
+}
+
+#[inline]
+fn ones(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Decode a buffer produced by [`encode`].
+pub fn decode(data: &[u8]) -> Vec<Value> {
+    let mut pos = 0;
+    let count = read_varint(data, &mut pos) as usize;
+    if count == 0 {
+        return Vec::new();
+    }
+    let min = read_signed(data, &mut pos);
+    let width = data[pos] as u32;
+    pos += 1;
+
+    let words: Vec<u64> = data[pos..]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+
+    let mut out = Vec::with_capacity(count);
+    let mut bit_pos = 0usize;
+    for _ in 0..count {
+        let mut off = 0u64;
+        let mut got = 0u32;
+        while got < width {
+            let word_idx = bit_pos / 64;
+            let in_word = (bit_pos % 64) as u32;
+            let take = (width - got).min(64 - in_word);
+            let bits = (words[word_idx] >> in_word) & ones(take);
+            off |= bits << got;
+            got += take;
+            bit_pos += take as usize;
+        }
+        out.push((min as i128 + off as i128) as i64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_band_compresses() {
+        let values: Vec<i64> = (0..8192).map(|i| 1_000_000 + (i % 16)).collect();
+        let data = encode(&values);
+        // 4-bit width: 8192 * 4 bits = 4 KiB + header, vs 64 KiB plain.
+        assert!(data.len() < 5000, "got {} bytes", data.len());
+        assert_eq!(decode(&data), values);
+    }
+
+    #[test]
+    fn full_span_roundtrip() {
+        let values = vec![i64::MIN, i64::MAX, 0, -1, 1, 42];
+        assert_eq!(decode(&encode(&values)), values);
+    }
+
+    #[test]
+    fn constant_block_uses_width_one() {
+        let values = vec![123i64; 100];
+        let data = encode(&values);
+        assert!(data.len() < 32, "got {} bytes", data.len());
+        assert_eq!(decode(&data), values);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(decode(&encode(&[])).is_empty());
+        assert_eq!(decode(&encode(&[-7])), vec![-7]);
+    }
+
+    #[test]
+    fn negative_band() {
+        let values: Vec<i64> = (-500..-400).collect();
+        assert_eq!(decode(&encode(&values)), values);
+    }
+}

@@ -1,0 +1,300 @@
+//! Lightweight column compression.
+//!
+//! Paper §4.4: "Data compression can be called upon to postpone the
+//! decisions to forget data." Every byte saved stretches the storage
+//! budget `DBSIZE` before any tuple must rot. This module implements the
+//! classic column-store codecs — run-length, delta, frame-of-reference
+//! bit-packing and dictionary — behind one [`EncodedBlock`] type with an
+//! automatic chooser, so the ablation experiment can quantify exactly how
+//! many batches of amnesia each codec buys per distribution.
+
+pub mod delta;
+pub mod dict;
+pub mod forpack;
+pub mod rle;
+pub mod varint;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::types::Value;
+
+/// Available encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Encoding {
+    /// Raw 8-byte little-endian values.
+    Plain,
+    /// Run-length: (value, run) pairs. Wins on serial keys' epochs and
+    /// low-cardinality data.
+    Rle,
+    /// Zigzag-varint deltas. Wins on sorted / slowly-changing sequences.
+    Delta,
+    /// Frame-of-reference + bit-packing. Wins on values in a narrow band.
+    ForPack,
+    /// Dictionary + bit-packed codes. Wins on skewed (zipfian) data.
+    Dict,
+}
+
+impl Encoding {
+    /// All encodings, for sweeps.
+    pub const ALL: [Encoding; 5] = [
+        Encoding::Plain,
+        Encoding::Rle,
+        Encoding::Delta,
+        Encoding::ForPack,
+        Encoding::Dict,
+    ];
+
+    /// Stable short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Encoding::Plain => "plain",
+            Encoding::Rle => "rle",
+            Encoding::Delta => "delta",
+            Encoding::ForPack => "forpack",
+            Encoding::Dict => "dict",
+        }
+    }
+
+    /// Stable on-disk tag (snapshot format).
+    pub fn tag(self) -> u8 {
+        match self {
+            Encoding::Plain => 0,
+            Encoding::Rle => 1,
+            Encoding::Delta => 2,
+            Encoding::ForPack => 3,
+            Encoding::Dict => 4,
+        }
+    }
+
+    /// Inverse of [`Encoding::tag`].
+    pub fn from_tag(tag: u8) -> Option<Encoding> {
+        Some(match tag {
+            0 => Encoding::Plain,
+            1 => Encoding::Rle,
+            2 => Encoding::Delta,
+            3 => Encoding::ForPack,
+            4 => Encoding::Dict,
+            _ => return None,
+        })
+    }
+}
+
+/// An immutable compressed block of values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncodedBlock {
+    encoding: Encoding,
+    #[serde(with = "serde_bytes_compat")]
+    data: Bytes,
+    len: usize,
+}
+
+/// Minimal serde adapter for `bytes::Bytes` (Vec<u8> passthrough).
+mod serde_bytes_compat {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        b.as_ref().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        Ok(Bytes::from(Vec::<u8>::deserialize(d)?))
+    }
+}
+
+impl EncodedBlock {
+    /// Encode `values` with a specific encoding.
+    pub fn encode(values: &[Value], encoding: Encoding) -> Self {
+        let data = match encoding {
+            Encoding::Plain => plain_encode(values),
+            Encoding::Rle => rle::encode(values),
+            Encoding::Delta => delta::encode(values),
+            Encoding::ForPack => forpack::encode(values),
+            Encoding::Dict => dict::encode(values),
+        };
+        Self {
+            encoding,
+            data,
+            len: values.len(),
+        }
+    }
+
+    /// Encode with whichever encoding yields the fewest bytes.
+    pub fn encode_auto(values: &[Value]) -> Self {
+        Encoding::ALL
+            .iter()
+            .map(|&e| Self::encode(values, e))
+            .min_by_key(|b| b.compressed_bytes())
+            .expect("at least one encoding")
+    }
+
+    /// Decode back to the original values.
+    pub fn decode(&self) -> Vec<Value> {
+        match self.encoding {
+            Encoding::Plain => plain_decode(&self.data),
+            Encoding::Rle => rle::decode(&self.data),
+            Encoding::Delta => delta::decode(&self.data),
+            Encoding::ForPack => forpack::decode(&self.data),
+            Encoding::Dict => dict::decode(&self.data),
+        }
+    }
+
+    /// Number of encoded values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if zero values are encoded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The encoding in use.
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// Size of the compressed payload in bytes.
+    pub fn compressed_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Plain size / compressed size (≥ 1 means the codec helped).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.data.is_empty() {
+            return 1.0;
+        }
+        (self.len * std::mem::size_of::<Value>()) as f64 / self.data.len() as f64
+    }
+
+    /// The raw compressed payload (snapshot writer).
+    pub fn data(&self) -> &Bytes {
+        &self.data
+    }
+
+    /// Reassemble a block from its on-disk parts (snapshot reader). The
+    /// caller vouches that `data` was produced by `encoding` over `len`
+    /// values; `decode` on a corrupted payload may produce garbage, which
+    /// is why snapshots carry a checksum.
+    pub fn from_parts(encoding: Encoding, len: usize, data: Bytes) -> Self {
+        Self {
+            encoding,
+            data,
+            len,
+        }
+    }
+}
+
+fn plain_encode(values: &[Value]) -> Bytes {
+    use bytes::{BufMut, BytesMut};
+    let mut buf = BytesMut::with_capacity(values.len() * 8);
+    for &v in values {
+        buf.put_i64_le(v);
+    }
+    buf.freeze()
+}
+
+fn plain_decode(data: &[u8]) -> Vec<Value> {
+    data.chunks_exact(8)
+        .map(|c| i64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[Value]) {
+        for enc in Encoding::ALL {
+            let block = EncodedBlock::encode(values, enc);
+            assert_eq!(block.len(), values.len());
+            assert_eq!(
+                block.decode(),
+                values,
+                "round-trip failed for {:?}",
+                enc
+            );
+        }
+        let auto = EncodedBlock::encode_auto(values);
+        assert_eq!(auto.decode(), values);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn roundtrip_basic_patterns() {
+        roundtrip(&[0]);
+        roundtrip(&[1, 1, 1, 1, 1]);
+        roundtrip(&[1, 2, 3, 4, 5, 6, 7]);
+        roundtrip(&[-5, 5, -5, 5]);
+        roundtrip(&[i64::MIN, i64::MAX, 0, -1, 1]);
+        roundtrip(&[1000, 1001, 1003, 1002, 1000]);
+    }
+
+    #[test]
+    fn rle_wins_on_constant_runs() {
+        let values = vec![42i64; 10_000];
+        let auto = EncodedBlock::encode_auto(&values);
+        assert_eq!(auto.encoding(), Encoding::Rle);
+        assert!(auto.compression_ratio() > 100.0);
+    }
+
+    #[test]
+    fn delta_or_forpack_wins_on_serial() {
+        let values: Vec<i64> = (0..10_000).collect();
+        let auto = EncodedBlock::encode_auto(&values);
+        assert!(
+            matches!(auto.encoding(), Encoding::Delta | Encoding::ForPack),
+            "got {:?}",
+            auto.encoding()
+        );
+        assert!(auto.compression_ratio() > 3.0);
+    }
+
+    #[test]
+    fn dict_wins_on_low_cardinality_shuffled() {
+        // 4 distinct large, far-apart values in random-ish order: deltas
+        // are large, runs are short, FOR band is wide => dictionary wins.
+        let vals = [1i64 << 40, -(1i64 << 50), 7, 1 << 61];
+        let values: Vec<i64> = (0..8192).map(|i| vals[(i * 7 + i / 13) % 4]).collect();
+        let auto = EncodedBlock::encode_auto(&values);
+        assert_eq!(auto.encoding(), Encoding::Dict);
+        assert!(auto.compression_ratio() > 10.0);
+    }
+
+    #[test]
+    fn ratio_of_plain_is_one() {
+        let values: Vec<i64> = (0..100).map(|i| i * 12345).collect();
+        let plain = EncodedBlock::encode(&values, Encoding::Plain);
+        assert!((plain.compression_ratio() - 1.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn all_codecs_roundtrip(values in proptest::collection::vec(any::<i64>(), 0..500)) {
+            for enc in Encoding::ALL {
+                let block = EncodedBlock::encode(&values, enc);
+                prop_assert_eq!(block.decode(), values.clone());
+            }
+        }
+
+        #[test]
+        fn auto_never_loses(values in proptest::collection::vec(-1000i64..1000, 0..500)) {
+            let auto = EncodedBlock::encode_auto(&values);
+            prop_assert_eq!(auto.decode(), values.clone());
+            // Auto must never be bigger than plain.
+            let plain = EncodedBlock::encode(&values, Encoding::Plain);
+            prop_assert!(auto.compressed_bytes() <= plain.compressed_bytes());
+        }
+    }
+}

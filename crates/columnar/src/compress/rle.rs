@@ -1,0 +1,66 @@
+//! Run-length encoding: (value, run-length) pairs, both varint-coded.
+
+use bytes::{Bytes, BytesMut};
+
+use super::varint::{read_signed, read_varint, write_signed, write_varint};
+use crate::types::Value;
+
+/// Encode as a sequence of `(zigzag value, run length)` varint pairs.
+pub fn encode(values: &[Value]) -> Bytes {
+    let mut buf = BytesMut::new();
+    let mut i = 0;
+    while i < values.len() {
+        let v = values[i];
+        let mut run = 1u64;
+        while i + (run as usize) < values.len() && values[i + run as usize] == v {
+            run += 1;
+        }
+        write_signed(&mut buf, v);
+        write_varint(&mut buf, run);
+        i += run as usize;
+    }
+    buf.freeze()
+}
+
+/// Decode a buffer produced by [`encode`].
+pub fn decode(data: &[u8]) -> Vec<Value> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < data.len() {
+        let v = read_signed(data, &mut pos);
+        let run = read_varint(data, &mut pos);
+        out.extend(std::iter::repeat_n(v, run as usize));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_compress() {
+        let values = vec![7i64; 1000];
+        let data = encode(&values);
+        assert!(data.len() < 8, "1000 identical values fit in a few bytes");
+        assert_eq!(decode(&data), values);
+    }
+
+    #[test]
+    fn alternating_values_roundtrip() {
+        let values: Vec<i64> = (0..100).map(|i| i % 2).collect();
+        assert_eq!(decode(&encode(&values)), values);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(encode(&[]).is_empty());
+        assert!(decode(&[]).is_empty());
+    }
+
+    #[test]
+    fn extreme_values() {
+        let values = vec![i64::MIN, i64::MIN, i64::MAX];
+        assert_eq!(decode(&encode(&values)), values);
+    }
+}

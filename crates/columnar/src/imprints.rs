@@ -1,0 +1,291 @@
+//! Column imprints: cacheline-grained bit-vector filters.
+//!
+//! The paper's §4.4 points at lightweight secondary structures (zone maps
+//! / Block-Range-Indices) as the natural index family for an amnesiac
+//! store; *column imprints* (Sidirourgos & Kersten, SIGMOD 2013 — the
+//! same authors) are MonetDB's refinement: for every block of values keep
+//! a small bitmask recording which value-histogram bins occur in the
+//! block. A range query probes blocks whose mask intersects the query's
+//! bin mask — strictly finer than min/max zone maps on multi-modal data
+//! (a block holding values {1, 999} prunes a query for 500, which a zone
+//! map cannot).
+//!
+//! Like every auxiliary structure here, imprints are droppable and
+//! staleness-tolerant: forgetting only ever leaves masks *over*-inclusive
+//! (safe), and [`Imprints::rebuild`] tightens them again.
+
+use serde::{Deserialize, Serialize};
+
+use crate::table::Table;
+use crate::types::{RowId, Value};
+
+/// Number of histogram bins = bits per imprint word.
+const BINS: usize = 64;
+
+/// Imprint index over one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Imprints {
+    col: usize,
+    block_rows: usize,
+    /// Bin boundaries: `bounds[i]` is the inclusive upper bound of bin
+    /// `i`; derived from min/max at build time.
+    lo: Value,
+    hi: Value,
+    /// One 64-bit mask per block: bit `b` set ⇔ some *active* value of
+    /// the block falls in bin `b`.
+    masks: Vec<u64>,
+    covered_rows: usize,
+    stale_forgets: usize,
+}
+
+impl Imprints {
+    /// Build over `col` with the given block size (rows per imprint).
+    pub fn build(table: &Table, col: usize, block_rows: usize) -> Self {
+        assert!(block_rows > 0, "block size must be positive");
+        let lo = table.min_seen(col).unwrap_or(0);
+        let hi = table.max_seen(col).unwrap_or(0).max(lo);
+        let mut imp = Self {
+            col,
+            block_rows,
+            lo,
+            hi,
+            masks: Vec::new(),
+            covered_rows: 0,
+            stale_forgets: 0,
+        };
+        imp.rebuild(table);
+        imp
+    }
+
+    /// Bin of a value (clamped to the build-time range).
+    #[inline]
+    fn bin_of(&self, v: Value) -> usize {
+        let v = v.clamp(self.lo, self.hi);
+        let span = (self.hi - self.lo + 1) as u128;
+        ((v - self.lo) as u128 * BINS as u128 / span) as usize
+    }
+
+    /// Mask with bits for every bin intersecting `[lo, hi]`.
+    fn range_mask(&self, lo: Value, hi: Value) -> u64 {
+        if hi < lo {
+            return 0;
+        }
+        // Values outside the built range land in edge bins by clamping,
+        // so a query past the edge still probes those bins.
+        let b_lo = self.bin_of(lo) as u32;
+        let b_hi = self.bin_of(hi) as u32;
+        let width = b_hi - b_lo + 1;
+        if width >= 64 {
+            u64::MAX
+        } else {
+            ((1u64 << width) - 1) << b_lo
+        }
+    }
+
+    /// Recompute all masks from the table's active rows.
+    pub fn rebuild(&mut self, table: &Table) {
+        let n = table.num_rows();
+        // Keep the original bin geometry unless the value range grew.
+        let new_lo = table.min_seen(self.col).unwrap_or(self.lo);
+        let new_hi = table.max_seen(self.col).unwrap_or(self.hi);
+        if new_lo < self.lo || new_hi > self.hi {
+            self.lo = new_lo.min(self.lo);
+            self.hi = new_hi.max(self.hi);
+        }
+        let blocks = n.div_ceil(self.block_rows);
+        self.masks = vec![0u64; blocks];
+        let activity = table.activity();
+        for r in 0..n {
+            let id = RowId::from(r);
+            if activity.is_active(id) {
+                let bin = self.bin_of(table.value(self.col, id));
+                self.masks[r / self.block_rows] |= 1u64 << bin;
+            }
+        }
+        self.covered_rows = n;
+        self.stale_forgets = 0;
+    }
+
+    /// Record a forget; the mask stays over-inclusive (safe) until the
+    /// next rebuild.
+    pub fn note_forget(&mut self, _row: RowId) {
+        self.stale_forgets += 1;
+    }
+
+    /// Forgets since the last rebuild.
+    pub fn stale_forgets(&self) -> usize {
+        self.stale_forgets
+    }
+
+    /// Rows per block.
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// Number of blocks covered.
+    pub fn num_blocks(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Blocks whose imprint intersects `[lo, hi]` — candidates for a
+    /// range scan; blocks not returned cannot contain an active match
+    /// (as of the last rebuild).
+    pub fn candidate_blocks(&self, lo: Value, hi: Value) -> Vec<usize> {
+        let qmask = self.range_mask(lo, hi);
+        self.masks
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m & qmask != 0)
+            .map(|(b, _)| b)
+            .collect()
+    }
+
+    /// Fraction of blocks pruned for a predicate.
+    pub fn prune_fraction(&self, lo: Value, hi: Value) -> f64 {
+        if self.masks.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.candidate_blocks(lo, hi).len() as f64 / self.masks.len() as f64
+    }
+
+    /// Heap footprint: one u64 per block — an order of magnitude below a
+    /// sorted index.
+    pub fn memory_bytes(&self) -> usize {
+        self.masks.capacity() * std::mem::size_of::<u64>() + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn table_with(values: &[Value]) -> Table {
+        let mut t = Table::new(Schema::single("a"));
+        t.insert_batch(values, 0).unwrap();
+        t
+    }
+
+    /// Reference: blocks that actually contain an active match.
+    fn true_blocks(t: &Table, lo: Value, hi: Value, block_rows: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for b in 0..t.num_rows().div_ceil(block_rows) {
+            let start = b * block_rows;
+            let end = (start + block_rows).min(t.num_rows());
+            let has = (start..end).any(|r| {
+                let id = RowId::from(r);
+                t.activity().is_active(id) && (lo..=hi).contains(&t.value(0, id))
+            });
+            if has {
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn never_misses_a_matching_block() {
+        let values: Vec<i64> = (0..1000).map(|i| (i * 37) % 997).collect();
+        let t = table_with(&values);
+        let imp = Imprints::build(&t, 0, 32);
+        for (lo, hi) in [(0i64, 50i64), (500, 600), (990, 996), (0, 996)] {
+            let candidates = imp.candidate_blocks(lo, hi);
+            for b in true_blocks(&t, lo, hi, 32) {
+                assert!(candidates.contains(&b), "missed block {b} for [{lo},{hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn prunes_multimodal_blocks_that_zonemaps_cannot() {
+        // Every block holds values near 0 AND near 10_000: min/max zone
+        // maps prune nothing for a mid-range query, imprints prune all.
+        let mut values = Vec::new();
+        for _ in 0..64 {
+            for i in 0..16 {
+                values.push(i); // low mode
+                values.push(10_000 - i); // high mode
+            }
+        }
+        let t = table_with(&values);
+        let imp = Imprints::build(&t, 0, 32);
+        let zm = crate::zonemap::ZoneMap::build_with_block_rows(&t, 0, 32);
+        let (lo, hi) = (4000i64, 6000i64);
+        assert_eq!(zm.candidate_blocks(lo, hi).len(), zm.num_blocks(), "zone map can't prune");
+        assert!(imp.candidate_blocks(lo, hi).is_empty(), "imprints prune everything");
+        assert!((imp.prune_fraction(lo, hi) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebuild_tightens_after_forgets() {
+        let values: Vec<i64> = (0..640).collect();
+        let mut t = table_with(&values);
+        let mut imp = Imprints::build(&t, 0, 64);
+        // Forget all values < 320 (the first five blocks).
+        for r in 0..320u64 {
+            t.forget(RowId(r), 1).unwrap();
+            imp.note_forget(RowId(r));
+        }
+        // Stale: still over-inclusive (safe).
+        assert!(!imp.candidate_blocks(0, 100).is_empty());
+        assert_eq!(imp.stale_forgets(), 320);
+        imp.rebuild(&t);
+        assert!(imp.candidate_blocks(0, 300).is_empty(), "tightened");
+        assert_eq!(imp.stale_forgets(), 0);
+    }
+
+    #[test]
+    fn empty_and_inverted_ranges() {
+        let t = table_with(&[1, 2, 3]);
+        let imp = Imprints::build(&t, 0, 2);
+        assert!(imp.candidate_blocks(10, 5).is_empty());
+        assert_eq!(imp.num_blocks(), 2);
+    }
+
+    #[test]
+    fn memory_is_one_word_per_block() {
+        let values: Vec<i64> = (0..64_000).collect();
+        let t = table_with(&values);
+        let imp = Imprints::build(&t, 0, 64);
+        assert_eq!(imp.num_blocks(), 1000);
+        assert!(imp.memory_bytes() < 1000 * 8 + 256);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::schema::Schema;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn imprints_are_always_safe(
+            values in proptest::collection::vec(0i64..10_000, 1..500),
+            forget in proptest::collection::vec(0usize..500, 0..100),
+            lo in 0i64..10_000,
+            width in 0i64..5_000,
+        ) {
+            let mut t = Table::new(Schema::single("a"));
+            t.insert_batch(&values, 0).unwrap();
+            let mut imp = Imprints::build(&t, 0, 16);
+            for &f in &forget {
+                let r = RowId((f % values.len()) as u64);
+                if t.activity().is_active(r) {
+                    t.forget(r, 1).unwrap();
+                    imp.note_forget(r);
+                }
+            }
+            let hi = lo + width;
+            let candidates = imp.candidate_blocks(lo, hi);
+            // Safety: every active match lives in a candidate block.
+            for r in t.iter_active() {
+                let v = t.value(0, r);
+                if (lo..=hi).contains(&v) {
+                    let b = r.as_usize() / 16;
+                    prop_assert!(candidates.contains(&b), "missed block {b}");
+                }
+            }
+        }
+    }
+}

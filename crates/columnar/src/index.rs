@@ -1,0 +1,251 @@
+//! Droppable, re-creatable secondary index.
+//!
+//! Paper §4.4: "indices improve the query processing, but also consume
+//! quite some space. They can be easily dropped, and recreated upon need,
+//! to reduce the storage footprint. This technique is already heavily used
+//! in MonetDB without the user turning performance knobs."
+//!
+//! [`SortedIndex`] is a value-sorted array of `(value, row)` pairs over the
+//! *active* tuples of one column. Forgetting after a build leaves stale
+//! entries; probes filter them against the activity map, and a staleness
+//! ratio tells the planner when rebuilding pays off. Dropping the index
+//! frees its memory instantly — one of the paper's "what to forget first"
+//! options that sacrifices no information at all.
+
+use serde::{Deserialize, Serialize};
+
+use crate::table::Table;
+use crate::types::{RowId, Value};
+
+/// Lifecycle state of the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IndexState {
+    /// Usable; entries are sorted by value.
+    Built,
+    /// Dropped to reclaim memory; probes are not possible.
+    Dropped,
+}
+
+/// A sorted secondary index over one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SortedIndex {
+    col: usize,
+    entries: Vec<(Value, RowId)>,
+    state: IndexState,
+    /// Forgets observed since the last build (stale entries).
+    stale: usize,
+    /// Number of times the index has been (re)built.
+    builds: usize,
+}
+
+impl SortedIndex {
+    /// Build over the active rows of `col`.
+    pub fn build(table: &Table, col: usize) -> Self {
+        let mut idx = Self {
+            col,
+            entries: Vec::new(),
+            state: IndexState::Dropped,
+            stale: 0,
+            builds: 0,
+        };
+        idx.rebuild(table);
+        idx
+    }
+
+    /// Create in the dropped state (build later, on demand).
+    pub fn dropped(col: usize) -> Self {
+        Self {
+            col,
+            entries: Vec::new(),
+            state: IndexState::Dropped,
+            stale: 0,
+            builds: 0,
+        }
+    }
+
+    /// The indexed column.
+    pub fn column(&self) -> usize {
+        self.col
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> IndexState {
+        self.state
+    }
+
+    /// True if probes are possible.
+    pub fn is_usable(&self) -> bool {
+        self.state == IndexState::Built
+    }
+
+    /// Number of entries (0 when dropped).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Times the index has been (re)built.
+    pub fn build_count(&self) -> usize {
+        self.builds
+    }
+
+    /// (Re)build from the active rows; clears staleness.
+    pub fn rebuild(&mut self, table: &Table) {
+        self.entries.clear();
+        self.entries.reserve(table.active_rows());
+        for row in table.iter_active() {
+            self.entries.push((table.value(self.col, row), row));
+        }
+        self.entries.sort_unstable();
+        self.state = IndexState::Built;
+        self.stale = 0;
+        self.builds += 1;
+    }
+
+    /// Drop the index, reclaiming its memory.
+    pub fn drop_index(&mut self) {
+        self.entries = Vec::new();
+        self.state = IndexState::Dropped;
+        self.stale = 0;
+    }
+
+    /// Record that a row was forgotten after the last build.
+    pub fn note_forget(&mut self) {
+        if self.state == IndexState::Built {
+            self.stale += 1;
+        }
+    }
+
+    /// Fraction of entries that are stale (0.0 right after a build).
+    pub fn staleness(&self) -> f64 {
+        if self.entries.is_empty() {
+            0.0
+        } else {
+            self.stale as f64 / self.entries.len() as f64
+        }
+    }
+
+    /// True when staleness exceeds `threshold` and a rebuild is advisable.
+    pub fn needs_rebuild(&self, threshold: f64) -> bool {
+        !self.is_usable() || self.staleness() > threshold
+    }
+
+    /// Row ids with value in `[lo, hi]`, *including* entries whose rows
+    /// were forgotten after the build. Callers that need exact active
+    /// results should use [`Self::probe_range_active`].
+    ///
+    /// Panics if the index is dropped.
+    pub fn probe_range(&self, lo: Value, hi: Value) -> Vec<RowId> {
+        assert!(self.is_usable(), "probe on a dropped index");
+        let start = self.entries.partition_point(|&(v, _)| v < lo);
+        let end = self.entries.partition_point(|&(v, _)| v <= hi);
+        self.entries[start..end].iter().map(|&(_, r)| r).collect()
+    }
+
+    /// Row ids with value in `[lo, hi]`, filtered to active rows.
+    ///
+    /// This is the "index-based query evaluation will skip the forgotten
+    /// data" path from paper §1.
+    pub fn probe_range_active(&self, table: &Table, lo: Value, hi: Value) -> Vec<RowId> {
+        assert!(self.is_usable(), "probe on a dropped index");
+        let activity = table.activity();
+        let start = self.entries.partition_point(|&(v, _)| v < lo);
+        let end = self.entries.partition_point(|&(v, _)| v <= hi);
+        self.entries[start..end]
+            .iter()
+            .filter(|&&(_, r)| activity.is_active(r))
+            .map(|&(_, r)| r)
+            .collect()
+    }
+
+    /// Approximate heap footprint in bytes (why dropping helps).
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(Value, RowId)>()
+            + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn table_with(values: &[Value]) -> Table {
+        let mut t = Table::new(Schema::single("a"));
+        t.insert_batch(values, 0).unwrap();
+        t
+    }
+
+    #[test]
+    fn probe_returns_sorted_matches() {
+        let t = table_with(&[50, 10, 30, 20, 40]);
+        let idx = SortedIndex::build(&t, 0);
+        assert_eq!(idx.len(), 5);
+        let rows = idx.probe_range(15, 35);
+        // values 20 (row 3) and 30 (row 2) in value order
+        assert_eq!(rows, vec![RowId(3), RowId(2)]);
+    }
+
+    #[test]
+    fn probe_active_filters_forgotten() {
+        let mut t = table_with(&[10, 20, 30, 40]);
+        let mut idx = SortedIndex::build(&t, 0);
+        t.forget(RowId(1), 1).unwrap();
+        idx.note_forget();
+        // Raw probe still returns the stale entry…
+        assert_eq!(idx.probe_range(0, 100).len(), 4);
+        // …but the active probe skips it.
+        assert_eq!(
+            idx.probe_range_active(&t, 0, 100),
+            vec![RowId(0), RowId(2), RowId(3)]
+        );
+        assert!(idx.staleness() > 0.0);
+    }
+
+    #[test]
+    fn rebuild_clears_staleness_and_shrinks() {
+        let mut t = table_with(&[10, 20, 30, 40]);
+        let mut idx = SortedIndex::build(&t, 0);
+        t.forget(RowId(0), 1).unwrap();
+        t.forget(RowId(2), 1).unwrap();
+        idx.note_forget();
+        idx.note_forget();
+        assert!(idx.needs_rebuild(0.3));
+        idx.rebuild(&t);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.staleness(), 0.0);
+        assert_eq!(idx.build_count(), 2);
+    }
+
+    #[test]
+    fn drop_frees_and_blocks_probes() {
+        let t = table_with(&[1, 2, 3]);
+        let mut idx = SortedIndex::build(&t, 0);
+        let before = idx.memory_bytes();
+        idx.drop_index();
+        assert!(!idx.is_usable());
+        assert!(idx.memory_bytes() < before);
+        assert!(idx.needs_rebuild(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dropped index")]
+    fn probe_on_dropped_panics() {
+        let t = table_with(&[1]);
+        let mut idx = SortedIndex::build(&t, 0);
+        idx.drop_index();
+        let _ = idx.probe_range(0, 10);
+    }
+
+    #[test]
+    fn duplicate_values_all_returned() {
+        let t = table_with(&[5, 5, 5, 1]);
+        let idx = SortedIndex::build(&t, 0);
+        assert_eq!(idx.probe_range(5, 5).len(), 3);
+        assert_eq!(idx.probe_range(6, 10).len(), 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Columnar storage substrate for the amnesia system.
+//!
+//! The paper's simulator is "a skeleton of a columnar DBMS" (§2.1): tables
+//! of integer columns where every tuple carries an *active/forgotten* mark
+//! at single-record granularity, an insertion epoch (which update batch it
+//! arrived in) and an access-frequency counter (for query-based rot, §3.2).
+//! This crate provides that skeleton plus the storage machinery a real
+//! deployment of amnesia would lean on, all referenced in the paper:
+//!
+//! * [`table::Table`] — the central amnesiac table,
+//! * [`activity::ActivityMap`] — per-tuple active/forgotten marking,
+//! * [`access::AccessStats`] — per-tuple access frequency / recency,
+//! * [`zonemap::ZoneMap`] — block-range (BRIN-style) min/max pruning
+//!   (§4.4 "partial indices, such as Block-Range-Indices"),
+//! * [`index::SortedIndex`] — a droppable, re-creatable secondary index
+//!   (§4.4 "indices … can be easily dropped, and recreated upon need"),
+//! * [`compress`] — RLE / delta / frame-of-reference / dictionary codecs
+//!   (§4.4 "data compression can be called upon to postpone the decisions
+//!   to forget data"),
+//! * [`coldstore`] — where forgotten tuples can be moved instead of
+//!   deleted (§1, §5),
+//! * [`summary`] — aggregate summaries of forgotten data (§1 "keep a
+//!   summary, i.e., a few aggregated values (min, max, avg)"),
+//! * [`vacuum`] — physical removal of forgotten tuples.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod access;
+pub mod activity;
+pub mod coldstore;
+pub mod column;
+pub mod compress;
+pub mod database;
+pub mod imprints;
+pub mod index;
+pub mod micromodel;
+pub mod persist;
+pub mod schema;
+pub mod segment;
+pub mod summary;
+pub mod table;
+pub mod types;
+pub mod vacuum;
+pub mod zonemap;
+
+pub use access::AccessStats;
+pub use activity::ActivityMap;
+pub use coldstore::{ColdStore, FileColdStore, MemoryColdStore};
+pub use column::Column;
+pub use database::{Database, ForeignKey, ReferentialAction};
+pub use imprints::Imprints;
+pub use index::SortedIndex;
+pub use micromodel::{Estimate, MicroModel, ModelStore, ValueRange};
+pub use persist::{PersistentTable, Wal, WalRecord};
+pub use schema::{ColumnDef, Schema};
+pub use summary::{SummaryCell, SummaryStore};
+pub use table::Table;
+pub use types::{Epoch, RowId, Value};
+pub use zonemap::ZoneMap;

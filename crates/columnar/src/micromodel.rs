@@ -1,0 +1,453 @@
+//! Micro-models of forgotten data (paper §5).
+//!
+//! "A special, but highly relevant approach is to counter the forgetting
+//! information process by turning portions of the database into
+//! summaries. They can take the form of traditional compression schemes,
+//! or for the more adventurous, replacing portions of the database by
+//! micro-models [15]."
+//!
+//! A [`MicroModel`] is a constant-size statistical stand-in for the
+//! tuples forgotten in one epoch: exact count/sum/min/max plus an
+//! equi-width histogram carrying per-bin counts *and sums*. Unlike the
+//! plain [`SummaryStore`](crate::summary::SummaryStore) — which can only
+//! answer whole-table aggregates — a micro-model *interpolates*: a range
+//! predicate is answered by pro-rating the overlapped bins, so ranged
+//! `COUNT`/`SUM`/`AVG` queries get an estimate instead of silently
+//! missing the forgotten mass.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Epoch, Value};
+
+/// Inclusive-lo/exclusive-hi value interval used for estimates (matches
+/// the engine's range predicates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueRange {
+    /// Inclusive lower bound.
+    pub lo: Value,
+    /// Exclusive upper bound.
+    pub hi: Value,
+}
+
+/// What a model (or store) estimates for a range.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Estimate {
+    /// Estimated number of forgotten tuples in range.
+    pub count: f64,
+    /// Estimated sum of forgotten values in range.
+    pub sum: f64,
+    /// Lower bound on forgotten values in range (exact for whole-range).
+    pub min: Option<Value>,
+    /// Upper bound on forgotten values in range.
+    pub max: Option<Value>,
+}
+
+impl Estimate {
+    /// Fold another estimate in.
+    pub fn merge(&mut self, other: &Estimate) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// Estimated average (`None` when nothing is estimated in range).
+    pub fn avg(&self) -> Option<f64> {
+        (self.count > 1e-12).then(|| self.sum / self.count)
+    }
+}
+
+/// A fitted model of one epoch's forgotten values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicroModel {
+    epoch: Epoch,
+    count: u64,
+    sum: i128,
+    min: Value,
+    max: Value,
+    /// Histogram domain `[lo, hi]`, inclusive both ends.
+    lo: Value,
+    hi: Value,
+    /// Per-bin tuple counts.
+    bin_counts: Vec<u32>,
+    /// Per-bin value sums (makes ranged SUM/AVG far tighter than
+    /// midpoint interpolation).
+    bin_sums: Vec<i64>,
+}
+
+impl MicroModel {
+    /// Fit a model over `values` (must be non-empty) with `bins` buckets.
+    pub fn fit(epoch: Epoch, values: &[Value], bins: usize) -> MicroModel {
+        assert!(!values.is_empty(), "cannot fit a model of nothing");
+        let bins = bins.max(1);
+        let (mut lo, mut hi) = (Value::MAX, Value::MIN);
+        let mut sum = 0i128;
+        for &v in values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+            sum += v as i128;
+        }
+        let mut m = MicroModel {
+            epoch,
+            count: values.len() as u64,
+            sum,
+            min: lo,
+            max: hi,
+            lo,
+            hi,
+            bin_counts: vec![0; bins],
+            bin_sums: vec![0; bins],
+        };
+        for &v in values {
+            let b = m.bin_of(v);
+            m.bin_counts[b] += 1;
+            m.bin_sums[b] += v;
+        }
+        m
+    }
+
+    fn bin_of(&self, v: Value) -> usize {
+        let span = (self.hi - self.lo) as f64 + 1.0;
+        let rel = (v - self.lo) as f64 / span;
+        ((rel * self.bin_counts.len() as f64) as usize).min(self.bin_counts.len() - 1)
+    }
+
+    /// The epoch this model stands in for.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Modeled tuple count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact aggregates over everything the model absorbed.
+    pub fn totals(&self) -> Estimate {
+        Estimate {
+            count: self.count as f64,
+            sum: self.sum as f64,
+            min: Some(self.min),
+            max: Some(self.max),
+        }
+    }
+
+    /// Estimate the forgotten mass inside `range` by pro-rating bins.
+    ///
+    /// Bins fully inside the range contribute exactly; the two boundary
+    /// bins contribute proportionally to their overlap, assuming values
+    /// are uniform within a bin (the standard equi-width histogram
+    /// assumption).
+    pub fn estimate(&self, range: ValueRange) -> Estimate {
+        if range.hi <= range.lo || range.hi <= self.lo || range.lo > self.hi {
+            return Estimate::default();
+        }
+        let bins = self.bin_counts.len();
+        let span = (self.hi - self.lo) as f64 + 1.0;
+        let bin_width = span / bins as f64;
+        let mut est = Estimate::default();
+        for b in 0..bins {
+            if self.bin_counts[b] == 0 {
+                continue;
+            }
+            let b_lo = self.lo as f64 + b as f64 * bin_width;
+            let b_hi = b_lo + bin_width;
+            let olap_lo = b_lo.max(range.lo as f64);
+            let olap_hi = b_hi.min(range.hi as f64);
+            if olap_hi <= olap_lo {
+                continue;
+            }
+            let frac = ((olap_hi - olap_lo) / bin_width).clamp(0.0, 1.0);
+            est.count += frac * self.bin_counts[b] as f64;
+            est.sum += frac * self.bin_sums[b] as f64;
+        }
+        if est.count > 1e-12 {
+            // Bounds clamped to the queried range ∩ model domain.
+            est.min = Some(self.min.max(range.lo));
+            est.max = Some(self.max.min(range.hi - 1));
+        }
+        est
+    }
+
+    /// Approximate heap footprint.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.bin_counts.capacity() * std::mem::size_of::<u32>()
+            + self.bin_sums.capacity() * std::mem::size_of::<i64>()
+    }
+}
+
+/// Per-epoch micro-models plus the not-yet-sealed raw values of the
+/// current batch.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ModelStore {
+    bins: usize,
+    pending: BTreeMap<Epoch, Vec<Value>>,
+    sealed: BTreeMap<Epoch, MicroModel>,
+}
+
+impl ModelStore {
+    /// Store with `bins` histogram buckets per epoch model.
+    pub fn new(bins: usize) -> Self {
+        Self {
+            bins: bins.max(1),
+            pending: BTreeMap::new(),
+            sealed: BTreeMap::new(),
+        }
+    }
+
+    /// Absorb one forgotten value (buffered raw until [`seal`]).
+    ///
+    /// [`seal`]: ModelStore::seal
+    pub fn absorb(&mut self, epoch: Epoch, value: Value) {
+        self.pending.entry(epoch).or_default().push(value);
+    }
+
+    /// Fit pending values into models (batch boundary). Sealing the same
+    /// epoch twice merges: the histogram is refit over the new values
+    /// plus the old model re-sampled at its per-bin means (approximate),
+    /// while the top-level count/sum/min/max are combined *exactly* — so
+    /// whole-table aggregates never drift, only in-range interpolation
+    /// blurs.
+    pub fn seal(&mut self) {
+        let pending = std::mem::take(&mut self.pending);
+        for (epoch, mut values) in pending {
+            let old = self.sealed.remove(&epoch);
+            let exact = old.as_ref().map(|o| {
+                let new_sum: i128 = values.iter().map(|&v| v as i128).sum();
+                let new_min = values.iter().copied().min().unwrap_or(Value::MAX);
+                let new_max = values.iter().copied().max().unwrap_or(Value::MIN);
+                (
+                    o.count + values.len() as u64,
+                    o.sum + new_sum,
+                    o.min.min(new_min),
+                    o.max.max(new_max),
+                )
+            });
+            if let Some(old) = old {
+                values.reserve(old.count as usize);
+                // Re-sample the old model at its per-bin means to keep
+                // the histogram shape roughly right.
+                for b in 0..old.bin_counts.len() {
+                    let c = old.bin_counts[b];
+                    if c == 0 {
+                        continue;
+                    }
+                    let mid = (old.bin_sums[b] as f64 / c as f64).round() as Value;
+                    values.extend(std::iter::repeat_n(mid, c as usize));
+                }
+            }
+            let mut model = MicroModel::fit(epoch, &values, self.bins);
+            if let Some((count, sum, min, max)) = exact {
+                model.count = count;
+                model.sum = sum;
+                model.min = min;
+                model.max = max;
+            }
+            self.sealed.insert(epoch, model);
+        }
+    }
+
+    /// Number of sealed models.
+    pub fn num_models(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Total tuples absorbed (sealed + pending).
+    pub fn absorbed(&self) -> u64 {
+        self.sealed.values().map(MicroModel::count).sum::<u64>()
+            + self.pending.values().map(|v| v.len() as u64).sum::<u64>()
+    }
+
+    /// Estimate forgotten mass in `range` (`None` = everything).
+    pub fn estimate(&self, range: Option<ValueRange>) -> Estimate {
+        let mut est = Estimate::default();
+        for model in self.sealed.values() {
+            let part = match range {
+                Some(r) => model.estimate(r),
+                None => model.totals(),
+            };
+            est.merge(&part);
+        }
+        // Pending values are still raw: answer exactly.
+        for values in self.pending.values() {
+            for &v in values {
+                let inside = match range {
+                    Some(r) => v >= r.lo && v < r.hi,
+                    None => true,
+                };
+                if inside {
+                    est.merge(&Estimate {
+                        count: 1.0,
+                        sum: v as f64,
+                        min: Some(v),
+                        max: Some(v),
+                    });
+                }
+            }
+        }
+        est
+    }
+
+    /// Approximate heap footprint.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .sealed
+                .values()
+                .map(MicroModel::memory_bytes)
+                .sum::<usize>()
+            + self
+                .pending
+                .values()
+                .map(|v| v.capacity() * std::mem::size_of::<Value>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_are_exact() {
+        let values: Vec<i64> = (0..1000).map(|i| (i * 7) % 500).collect();
+        let m = MicroModel::fit(1, &values, 32);
+        let t = m.totals();
+        assert_eq!(t.count, 1000.0);
+        assert_eq!(t.sum, values.iter().sum::<i64>() as f64);
+        assert_eq!(t.min, Some(*values.iter().min().unwrap()));
+        assert_eq!(t.max, Some(*values.iter().max().unwrap()));
+    }
+
+    #[test]
+    fn full_range_estimate_equals_totals() {
+        let values: Vec<i64> = (0..500).collect();
+        let m = MicroModel::fit(0, &values, 16);
+        let est = m.estimate(ValueRange { lo: 0, hi: 500 });
+        assert!((est.count - 500.0).abs() < 1e-6, "count {}", est.count);
+        assert!(
+            (est.sum - values.iter().sum::<i64>() as f64).abs() < 1e-6,
+            "sum {}",
+            est.sum
+        );
+    }
+
+    #[test]
+    fn uniform_data_half_range_is_half_mass() {
+        let values: Vec<i64> = (0..10_000).collect();
+        let m = MicroModel::fit(0, &values, 64);
+        let est = m.estimate(ValueRange { lo: 0, hi: 5000 });
+        let rel = (est.count - 5000.0).abs() / 5000.0;
+        assert!(rel < 0.02, "count {} (rel err {rel})", est.count);
+    }
+
+    #[test]
+    fn narrow_range_estimate_tracks_true_density() {
+        let values: Vec<i64> = (0..10_000).map(|i| i % 1000).collect(); // 10 of each
+        let m = MicroModel::fit(0, &values, 100);
+        let est = m.estimate(ValueRange { lo: 200, hi: 300 });
+        // True count = 1000.
+        let rel = (est.count - 1000.0).abs() / 1000.0;
+        assert!(rel < 0.15, "count {} (rel err {rel})", est.count);
+    }
+
+    #[test]
+    fn disjoint_range_estimates_zero() {
+        let m = MicroModel::fit(0, &[10, 20, 30], 4);
+        assert_eq!(m.estimate(ValueRange { lo: 100, hi: 200 }), Estimate::default());
+        assert_eq!(m.estimate(ValueRange { lo: 5, hi: 5 }), Estimate::default());
+    }
+
+    #[test]
+    fn skewed_data_beats_single_cell_summary() {
+        // 900 values at 10, 100 values at 990: a single summary cell
+        // would smear the average; bins keep the clumps apart.
+        let mut values = vec![10i64; 900];
+        values.extend(vec![990i64; 100]);
+        let m = MicroModel::fit(0, &values, 32);
+        let low = m.estimate(ValueRange { lo: 0, hi: 100 });
+        assert!((low.count - 900.0).abs() < 1.0, "low clump {}", low.count);
+        let high = m.estimate(ValueRange { lo: 900, hi: 1000 });
+        assert!((high.count - 100.0).abs() < 1.0, "high clump {}", high.count);
+        // Average inside the low clump is the clump value, not the blend.
+        assert!((low.avg().unwrap() - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn store_seals_and_estimates() {
+        let mut store = ModelStore::new(16);
+        for v in 0..100i64 {
+            store.absorb(1, v);
+        }
+        // Pending values answer exactly even before sealing.
+        let est = store.estimate(Some(ValueRange { lo: 0, hi: 50 }));
+        assert_eq!(est.count, 50.0);
+        store.seal();
+        assert_eq!(store.num_models(), 1);
+        assert_eq!(store.absorbed(), 100);
+        let est = store.estimate(Some(ValueRange { lo: 0, hi: 50 }));
+        assert!((est.count - 50.0).abs() < 4.0, "sealed count {}", est.count);
+        // Whole-range stays exact after sealing.
+        let all = store.estimate(None);
+        assert_eq!(all.count, 100.0);
+        assert_eq!(all.sum, (0..100i64).sum::<i64>() as f64);
+    }
+
+    #[test]
+    fn resealing_an_epoch_keeps_totals() {
+        let mut store = ModelStore::new(8);
+        for v in 0..50i64 {
+            store.absorb(2, v);
+        }
+        store.seal();
+        for v in 50..100i64 {
+            store.absorb(2, v);
+        }
+        store.seal();
+        assert_eq!(store.num_models(), 1);
+        let all = store.estimate(None);
+        // Whole-range aggregates stay exact across reseals: only the
+        // histogram (in-range interpolation) is approximate.
+        assert_eq!(all.count, 100.0);
+        assert_eq!(all.sum, (0..100i64).sum::<i64>() as f64);
+        assert_eq!(all.min, Some(0));
+        assert_eq!(all.max, Some(99));
+    }
+
+    #[test]
+    fn memory_is_constant_in_tuple_count() {
+        let small = MicroModel::fit(0, &(0..100i64).collect::<Vec<_>>(), 32);
+        let large = MicroModel::fit(0, &(0..100_000i64).collect::<Vec<_>>(), 32);
+        assert_eq!(small.memory_bytes(), large.memory_bytes());
+    }
+
+    #[test]
+    fn estimates_merge_componentwise() {
+        let mut a = Estimate {
+            count: 2.0,
+            sum: 10.0,
+            min: Some(3),
+            max: Some(7),
+        };
+        a.merge(&Estimate {
+            count: 1.0,
+            sum: 5.0,
+            min: Some(1),
+            max: Some(5),
+        });
+        assert_eq!(a.count, 3.0);
+        assert_eq!(a.sum, 15.0);
+        assert_eq!(a.min, Some(1));
+        assert_eq!(a.max, Some(7));
+        assert_eq!(a.avg(), Some(5.0));
+    }
+}

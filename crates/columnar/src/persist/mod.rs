@@ -1,0 +1,283 @@
+//! Durability for amnesiac tables: snapshots, write-ahead logging, and
+//! crash recovery.
+//!
+//! The paper keeps forgetting reversible only through operator action:
+//! "data is forgotten and will never show up in query results, unless the
+//! user takes the action and recover a backup version of the database
+//! from cold storage explicitly" (§5). This module is that backup path —
+//! a [`snapshot`] is the recoverable "backup version", the [`wal`] keeps
+//! the tail of history since the last snapshot, and [`PersistentTable`]
+//! glues them into an open/insert/forget/checkpoint/recover lifecycle.
+//!
+//! Recovery is prefix-consistent: a torn or bit-flipped WAL tail loses
+//! only the unacknowledged suffix, never the checkpointed state.
+
+pub mod reader;
+pub mod snapshot;
+pub mod wal;
+
+use std::path::{Path, PathBuf};
+
+use amnesia_util::Result;
+
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::types::{Epoch, RowId, Value};
+
+pub use wal::{replay, ReplayOutcome, Wal, WalRecord};
+
+/// Snapshot file name inside a table directory.
+pub const SNAPSHOT_FILE: &str = "table.snap";
+/// WAL file name inside a table directory.
+pub const WAL_FILE: &str = "table.wal";
+
+/// A [`Table`] with a durable home directory.
+///
+/// Writes go to the in-memory table and the WAL; [`checkpoint`]
+/// (snapshot + WAL truncation) bounds replay time. [`PersistentTable::open`]
+/// recovers snapshot + WAL tail after a crash.
+///
+/// [`checkpoint`]: PersistentTable::checkpoint
+#[derive(Debug)]
+pub struct PersistentTable {
+    table: Table,
+    wal: Wal,
+    dir: PathBuf,
+    recovered_clean: bool,
+    records_since_checkpoint: u64,
+}
+
+impl PersistentTable {
+    /// Create a fresh durable table in `dir` (created if missing). An
+    /// initial empty snapshot is written immediately so that `open` on a
+    /// crashed-before-first-checkpoint directory still finds the schema.
+    pub fn create(dir: impl Into<PathBuf>, schema: Schema) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let table = Table::new(schema);
+        snapshot::save(&table, &dir.join(SNAPSHOT_FILE))?;
+        // A fresh table starts with an empty log.
+        let wal_path = dir.join(WAL_FILE);
+        let _ = std::fs::remove_file(&wal_path);
+        let wal = Wal::open(&wal_path)?;
+        Ok(Self {
+            table,
+            wal,
+            dir,
+            recovered_clean: true,
+            records_since_checkpoint: 0,
+        })
+    }
+
+    /// Open an existing durable table: load the snapshot, replay the WAL
+    /// tail. A damaged tail is trimmed (prefix recovery), after which the
+    /// log is reopened at the trimmed length.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        let mut table = snapshot::load(&dir.join(SNAPSHOT_FILE))?;
+        let wal_path = dir.join(WAL_FILE);
+        let outcome = replay(&wal_path)?;
+        for rec in &outcome.records {
+            match rec {
+                WalRecord::Insert { epoch, rows } => {
+                    for row in rows {
+                        table.insert(row, *epoch)?;
+                    }
+                }
+                WalRecord::Forget { epoch, row } => {
+                    table.forget(*row, *epoch)?;
+                }
+            }
+        }
+        if !outcome.clean {
+            // Drop the damaged suffix so future appends extend the valid
+            // prefix instead of interleaving with garbage.
+            let bytes = std::fs::read(&wal_path).unwrap_or_default();
+            std::fs::write(&wal_path, &bytes[..outcome.valid_bytes as usize])?;
+        }
+        let records = outcome.records.len() as u64;
+        let wal = Wal::open(&wal_path)?;
+        Ok(Self {
+            table,
+            wal,
+            dir,
+            recovered_clean: outcome.clean,
+            records_since_checkpoint: records,
+        })
+    }
+
+    /// The in-memory table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The durable directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Did the last `open` find an undamaged log?
+    pub fn recovered_clean(&self) -> bool {
+        self.recovered_clean
+    }
+
+    /// WAL records applied since the last checkpoint.
+    pub fn records_since_checkpoint(&self) -> u64 {
+        self.records_since_checkpoint
+    }
+
+    /// Insert one row durably (logged, then applied).
+    pub fn insert(&mut self, values: &[Value], epoch: Epoch) -> Result<RowId> {
+        self.wal.append(&WalRecord::Insert {
+            epoch,
+            rows: vec![values.to_vec()],
+        })?;
+        self.records_since_checkpoint += 1;
+        self.table.insert(values, epoch)
+    }
+
+    /// Insert a batch of single-column values durably.
+    pub fn insert_batch(&mut self, values: &[Value], epoch: Epoch) -> Result<RowId> {
+        self.wal.append(&WalRecord::Insert {
+            epoch,
+            rows: values.iter().map(|&v| vec![v]).collect(),
+        })?;
+        self.records_since_checkpoint += 1;
+        self.table.insert_batch(values, epoch)
+    }
+
+    /// Forget one row durably.
+    pub fn forget(&mut self, row: RowId, epoch: Epoch) -> Result<bool> {
+        self.wal.append(&WalRecord::Forget { epoch, row })?;
+        self.records_since_checkpoint += 1;
+        self.table.forget(row, epoch)
+    }
+
+    /// Make everything appended so far durable.
+    pub fn sync(&self) -> Result<()> {
+        self.wal.sync()
+    }
+
+    /// Write a snapshot and truncate the WAL. Replay after a crash now
+    /// starts from this state.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        snapshot::save(&self.table, &self.dir.join(SNAPSHOT_FILE))?;
+        self.wal.truncate()?;
+        self.records_since_checkpoint = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "amn-persist-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn drive(pt: &mut PersistentTable) {
+        pt.insert_batch(&(0..100).collect::<Vec<i64>>(), 0).unwrap();
+        for r in (0..50u64).step_by(3) {
+            pt.forget(RowId(r), 1).unwrap();
+        }
+        pt.insert_batch(&(100..150).collect::<Vec<i64>>(), 2).unwrap();
+        pt.sync().unwrap();
+    }
+
+    #[test]
+    fn create_write_reopen_equals_live_state() {
+        let dir = tmp_dir("reopen");
+        let mut pt = PersistentTable::create(&dir, Schema::single("a")).unwrap();
+        drive(&mut pt);
+        let live_active = pt.table().active_rows();
+        let live_rows = pt.table().num_rows();
+        drop(pt);
+
+        let reopened = PersistentTable::open(&dir).unwrap();
+        assert!(reopened.recovered_clean());
+        assert_eq!(reopened.table().num_rows(), live_rows);
+        assert_eq!(reopened.table().active_rows(), live_active);
+        assert_eq!(reopened.table().value(0, RowId(120)), 120);
+        assert_eq!(reopened.table().insert_epoch(RowId(120)), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_bounds_the_log() {
+        let dir = tmp_dir("checkpoint");
+        let mut pt = PersistentTable::create(&dir, Schema::single("a")).unwrap();
+        drive(&mut pt);
+        assert!(pt.records_since_checkpoint() > 0);
+        pt.checkpoint().unwrap();
+        assert_eq!(pt.records_since_checkpoint(), 0);
+        assert_eq!(pt.wal.len_bytes().unwrap(), 0);
+        // Post-checkpoint writes land in the fresh log and recover.
+        pt.insert(&[999], 3).unwrap();
+        pt.sync().unwrap();
+        drop(pt);
+        let reopened = PersistentTable::open(&dir).unwrap();
+        assert_eq!(reopened.records_since_checkpoint(), 1);
+        let last = RowId::from(reopened.table().num_rows() - 1);
+        assert_eq!(reopened.table().value(0, last), 999);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_with_torn_tail_recovers_prefix() {
+        let dir = tmp_dir("torn");
+        let mut pt = PersistentTable::create(&dir, Schema::single("a")).unwrap();
+        pt.insert_batch(&(0..10).collect::<Vec<i64>>(), 0).unwrap();
+        pt.forget(RowId(3), 1).unwrap();
+        pt.sync().unwrap();
+        drop(pt);
+        // Simulate a crash mid-append: chop bytes off the log tail.
+        let wal_path = dir.join(WAL_FILE);
+        let bytes = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &bytes[..bytes.len() - 3]).unwrap();
+
+        let reopened = PersistentTable::open(&dir).unwrap();
+        assert!(!reopened.recovered_clean());
+        // The forget record was the torn one: inserts survive, the
+        // unacknowledged forget is gone.
+        assert_eq!(reopened.table().num_rows(), 10);
+        assert_eq!(reopened.table().active_rows(), 10);
+        // The trimmed log accepts new appends and recovers them.
+        let mut reopened = reopened;
+        reopened.forget(RowId(5), 2).unwrap();
+        reopened.sync().unwrap();
+        drop(reopened);
+        let again = PersistentTable::open(&dir).unwrap();
+        assert!(again.recovered_clean());
+        assert_eq!(again.table().active_rows(), 9);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn multi_column_rows_survive_recovery() {
+        let dir = tmp_dir("multicol");
+        let mut pt =
+            PersistentTable::create(&dir, Schema::new(vec!["k", "v"])).unwrap();
+        pt.insert(&[1, 100], 0).unwrap();
+        pt.insert(&[2, 200], 0).unwrap();
+        pt.forget(RowId(0), 1).unwrap();
+        pt.checkpoint().unwrap();
+        pt.insert(&[3, 300], 2).unwrap();
+        pt.sync().unwrap();
+        drop(pt);
+        let pt = PersistentTable::open(&dir).unwrap();
+        assert_eq!(pt.table().row_values(RowId(2)), vec![3, 300]);
+        assert!(!pt.table().activity().is_active(RowId(0)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_without_directory_errors() {
+        assert!(PersistentTable::open(tmp_dir("missing")).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Table schema: named integer columns.
+//!
+//! The paper fixes the schema to "a collection of columns … filled with
+//! integers" (§2.1); we keep names so examples and the engine can address
+//! columns symbolically.
+
+use serde::{Deserialize, Serialize};
+
+/// Definition of one column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name, unique within the schema.
+    pub name: String,
+}
+
+impl ColumnDef {
+    /// New column definition.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+/// An ordered list of column definitions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Build a schema from column names. Panics on duplicates or emptiness.
+    pub fn new<S: Into<String>>(names: Vec<S>) -> Self {
+        let columns: Vec<ColumnDef> = names.into_iter().map(|n| ColumnDef::new(n)).collect();
+        assert!(!columns.is_empty(), "schema needs at least one column");
+        let mut seen = std::collections::HashSet::new();
+        for c in &columns {
+            assert!(seen.insert(c.name.as_str()), "duplicate column {}", c.name);
+        }
+        Self { columns }
+    }
+
+    /// The single-attribute schema used by the paper's experiments.
+    pub fn single(name: impl Into<String>) -> Self {
+        Self::new(vec![name.into()])
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column definitions in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        let s = Schema::new(vec!["a", "b", "c"]);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("zz"), None);
+        assert_eq!(s.columns()[2].name, "c");
+    }
+
+    #[test]
+    fn single_helper() {
+        let s = Schema::single("attr");
+        assert_eq!(s.arity(), 1);
+        assert_eq!(s.index_of("attr"), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicates_rejected() {
+        Schema::new(vec!["x", "x"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_rejected() {
+        Schema::new(Vec::<String>::new());
+    }
+}

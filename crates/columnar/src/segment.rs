@@ -1,0 +1,182 @@
+//! Segmented column: frozen compressed blocks + a mutable tail.
+//!
+//! A production amnesia store would not keep every column as a flat
+//! `Vec<i64>`: cold history compresses extremely well, which directly
+//! postpones forgetting (paper §4.4). `SegmentedColumn` freezes full
+//! blocks with the best codec ([`EncodedBlock::encode_auto`]) while the
+//! newest rows stay mutable and uncompressed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::compress::EncodedBlock;
+use crate::types::{Value, DEFAULT_BLOCK_ROWS};
+
+/// A column of frozen compressed segments plus an uncompressed tail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentedColumn {
+    block_rows: usize,
+    frozen: Vec<EncodedBlock>,
+    tail: Vec<Value>,
+}
+
+impl SegmentedColumn {
+    /// New column with the default block size.
+    pub fn new() -> Self {
+        Self::with_block_rows(DEFAULT_BLOCK_ROWS)
+    }
+
+    /// New column with a custom block size (rows per frozen segment).
+    pub fn with_block_rows(block_rows: usize) -> Self {
+        assert!(block_rows > 0, "block size must be positive");
+        Self {
+            block_rows,
+            frozen: Vec::new(),
+            tail: Vec::new(),
+        }
+    }
+
+    /// Append one value, freezing a block when the tail fills up.
+    pub fn push(&mut self, v: Value) {
+        self.tail.push(v);
+        if self.tail.len() == self.block_rows {
+            let block = EncodedBlock::encode_auto(&self.tail);
+            self.frozen.push(block);
+            self.tail.clear();
+        }
+    }
+
+    /// Append many values.
+    pub fn extend_from_slice(&mut self, vs: &[Value]) {
+        for &v in vs {
+            self.push(v);
+        }
+    }
+
+    /// Total number of rows.
+    pub fn len(&self) -> usize {
+        self.frozen.len() * self.block_rows + self.tail.len()
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of frozen (compressed) segments.
+    pub fn frozen_segments(&self) -> usize {
+        self.frozen.len()
+    }
+
+    /// Value at a row (decodes the owning block; prefer
+    /// [`Self::block_values`] for scans).
+    pub fn get(&self, row: usize) -> Value {
+        let block = row / self.block_rows;
+        if block < self.frozen.len() {
+            self.frozen[block].decode()[row % self.block_rows]
+        } else {
+            self.tail[row - self.frozen.len() * self.block_rows]
+        }
+    }
+
+    /// Decode all values of one block (the tail counts as the last block).
+    pub fn block_values(&self, block: usize) -> Vec<Value> {
+        if block < self.frozen.len() {
+            self.frozen[block].decode()
+        } else {
+            assert_eq!(block, self.frozen.len(), "block {block} out of range");
+            self.tail.clone()
+        }
+    }
+
+    /// Number of blocks including the (possibly empty) tail block.
+    pub fn num_blocks(&self) -> usize {
+        self.frozen.len() + usize::from(!self.tail.is_empty())
+    }
+
+    /// Iterate over all values in order (block-at-a-time decoding).
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.num_blocks()).flat_map(move |b| self.block_values(b).into_iter())
+    }
+
+    /// Compressed bytes currently used (frozen payloads + tail).
+    pub fn compressed_bytes(&self) -> usize {
+        self.frozen
+            .iter()
+            .map(EncodedBlock::compressed_bytes)
+            .sum::<usize>()
+            + self.tail.len() * std::mem::size_of::<Value>()
+    }
+
+    /// Bytes a plain `Vec<i64>` of the same length would use.
+    pub fn plain_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<Value>()
+    }
+
+    /// Overall compression ratio (plain / compressed; ≥ 1 is a win).
+    pub fn compression_ratio(&self) -> f64 {
+        let c = self.compressed_bytes();
+        if c == 0 {
+            1.0
+        } else {
+            self.plain_bytes() as f64 / c as f64
+        }
+    }
+}
+
+impl Default for SegmentedColumn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_freezes_full_blocks() {
+        let mut c = SegmentedColumn::with_block_rows(4);
+        c.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(c.frozen_segments(), 0);
+        c.push(4);
+        assert_eq!(c.frozen_segments(), 1);
+        c.push(5);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.get(0), 1);
+        assert_eq!(c.get(3), 4);
+        assert_eq!(c.get(4), 5);
+    }
+
+    #[test]
+    fn iter_reconstructs_sequence() {
+        let mut c = SegmentedColumn::with_block_rows(16);
+        let values: Vec<i64> = (0..100).map(|i| i * 3 - 50).collect();
+        c.extend_from_slice(&values);
+        let got: Vec<i64> = c.iter().collect();
+        assert_eq!(got, values);
+    }
+
+    #[test]
+    fn serial_data_compresses() {
+        let mut c = SegmentedColumn::with_block_rows(1024);
+        c.extend_from_slice(&(0..10_240).collect::<Vec<i64>>());
+        assert!(c.compression_ratio() > 3.0, "ratio {}", c.compression_ratio());
+    }
+
+    #[test]
+    fn block_values_cover_tail() {
+        let mut c = SegmentedColumn::with_block_rows(4);
+        c.extend_from_slice(&[1, 2, 3, 4, 5, 6]);
+        assert_eq!(c.num_blocks(), 2);
+        assert_eq!(c.block_values(0), vec![1, 2, 3, 4]);
+        assert_eq!(c.block_values(1), vec![5, 6]);
+    }
+
+    #[test]
+    fn empty_column() {
+        let c = SegmentedColumn::new();
+        assert!(c.is_empty());
+        assert_eq!(c.num_blocks(), 0);
+        assert_eq!(c.compression_ratio(), 1.0);
+    }
+}

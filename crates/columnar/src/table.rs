@@ -1,0 +1,327 @@
+//! The amnesiac table: columns + activity + epochs + access stats.
+
+use amnesia_util::{storage_err, Error, Result, SimRng};
+use serde::{Deserialize, Serialize};
+
+use crate::access::AccessStats;
+use crate::activity::ActivityMap;
+use crate::column::Column;
+use crate::schema::Schema;
+use crate::types::{Epoch, RowId, Value};
+
+/// A columnar table whose tuples can be *forgotten*.
+///
+/// Forgetting here means marking inactive (the simulator's measurable
+/// notion, paper §2.1); what *physically* happens to forgotten tuples
+/// (deletion, cold storage, summaries, index eviction) is decided by the
+/// layers above, which this crate also provides.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    activity: ActivityMap,
+    insert_epoch: Vec<Epoch>,
+    access: AccessStats,
+    current_epoch: Epoch,
+}
+
+impl Table {
+    /// Empty table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let arity = schema.arity();
+        Self {
+            schema,
+            columns: (0..arity).map(|_| Column::new()).collect(),
+            activity: ActivityMap::new(),
+            insert_epoch: Vec::new(),
+            access: AccessStats::new(),
+            current_epoch: 0,
+        }
+    }
+
+    /// Empty single-attribute table (the paper's setting).
+    pub fn single(name: impl Into<String>) -> Self {
+        Self::new(Schema::single(name))
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Insert one row (`values` must match the schema arity). Returns the
+    /// new row id.
+    pub fn insert(&mut self, values: &[Value], epoch: Epoch) -> Result<RowId> {
+        if values.len() != self.schema.arity() {
+            return Err(storage_err!(
+                "row arity {} does not match schema arity {}",
+                values.len(),
+                self.schema.arity()
+            ));
+        }
+        let id = RowId::from(self.num_rows());
+        for (col, &v) in self.columns.iter_mut().zip(values) {
+            col.push(v);
+        }
+        self.activity.push_active(1);
+        self.insert_epoch.push(epoch);
+        self.access.push_rows(1);
+        self.current_epoch = self.current_epoch.max(epoch);
+        Ok(id)
+    }
+
+    /// Insert a batch of single-column values (convenience for the
+    /// simulator's one-attribute tables). Returns the id of the first row.
+    pub fn insert_batch(&mut self, values: &[Value], epoch: Epoch) -> Result<RowId> {
+        if self.schema.arity() != 1 {
+            return Err(storage_err!(
+                "insert_batch requires a single-column table (arity {})",
+                self.schema.arity()
+            ));
+        }
+        let first = RowId::from(self.num_rows());
+        self.columns[0].extend_from_slice(values);
+        self.activity.push_active(values.len());
+        self.insert_epoch
+            .resize(self.insert_epoch.len() + values.len(), epoch);
+        self.access.push_rows(values.len());
+        self.current_epoch = self.current_epoch.max(epoch);
+        Ok(first)
+    }
+
+    /// Mark a row forgotten at `epoch`. Errors if the id is out of range;
+    /// forgetting an already-forgotten row is a no-op returning `false`.
+    pub fn forget(&mut self, row: RowId, epoch: Epoch) -> Result<bool> {
+        if row.as_usize() >= self.num_rows() {
+            return Err(storage_err!("row {row} out of range"));
+        }
+        Ok(self.activity.forget(row, epoch))
+    }
+
+    /// Value of `col` at `row` (whether or not the row is active).
+    #[inline]
+    pub fn value(&self, col: usize, row: RowId) -> Value {
+        self.columns[col].get(row.as_usize())
+    }
+
+    /// Full row as a vector of values.
+    pub fn row_values(&self, row: RowId) -> Vec<Value> {
+        self.columns
+            .iter()
+            .map(|c| c.get(row.as_usize()))
+            .collect()
+    }
+
+    /// The column at index `col`.
+    pub fn column(&self, col: usize) -> &Column {
+        &self.columns[col]
+    }
+
+    /// Total physical rows (active + forgotten).
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of active rows — the storage budget the paper holds at
+    /// `DBSIZE`.
+    pub fn active_rows(&self) -> usize {
+        self.activity.active_count()
+    }
+
+    /// Number of forgotten rows.
+    pub fn forgotten_rows(&self) -> usize {
+        self.activity.forgotten_count()
+    }
+
+    /// The activity map.
+    pub fn activity(&self) -> &ActivityMap {
+        &self.activity
+    }
+
+    /// Access statistics (frequency / recency per tuple).
+    pub fn access(&self) -> &AccessStats {
+        &self.access
+    }
+
+    /// Mutable access statistics (the executor touches result rows).
+    pub fn access_mut(&mut self) -> &mut AccessStats {
+        &mut self.access
+    }
+
+    /// Insertion epoch of a row.
+    #[inline]
+    pub fn insert_epoch(&self, row: RowId) -> Epoch {
+        self.insert_epoch[row.as_usize()]
+    }
+
+    /// All insertion epochs (physical order).
+    pub fn insert_epochs(&self) -> &[Epoch] {
+        &self.insert_epoch
+    }
+
+    /// Highest epoch observed on insert.
+    pub fn current_epoch(&self) -> Epoch {
+        self.current_epoch
+    }
+
+    /// Iterate over active row ids in insertion order.
+    pub fn iter_active(&self) -> impl Iterator<Item = RowId> + '_ {
+        self.activity.iter_active()
+    }
+
+    /// Collect the active row ids.
+    pub fn active_row_ids(&self) -> Vec<RowId> {
+        self.iter_active().collect()
+    }
+
+    /// Uniformly random active row.
+    pub fn random_active(&self, rng: &mut SimRng) -> Option<RowId> {
+        self.activity.random_active(rng)
+    }
+
+    /// Mark a row forgotten without epoch bookkeeping (tests/tools).
+    pub fn activity_mut(&mut self) -> &mut ActivityMap {
+        &mut self.activity
+    }
+
+    /// Largest value seen in `col` since table creation (the paper's
+    /// `RANGE` bound for query generation).
+    pub fn max_seen(&self, col: usize) -> Option<Value> {
+        self.columns[col].max_seen()
+    }
+
+    /// Smallest value seen in `col`.
+    pub fn min_seen(&self, col: usize) -> Option<Value> {
+        self.columns[col].min_seen()
+    }
+
+    /// Approximate heap footprint in bytes (columns + marking + stats).
+    pub fn memory_bytes(&self) -> usize {
+        self.columns.iter().map(Column::memory_bytes).sum::<usize>()
+            + self.activity.memory_bytes()
+            + self.access.memory_bytes()
+            + self.insert_epoch.capacity() * std::mem::size_of::<Epoch>()
+    }
+
+    /// Validate internal consistency (lengths agree); used by tests and
+    /// debug assertions in the simulator.
+    pub fn check_invariants(&self) -> Result<()> {
+        let n = self.num_rows();
+        for (i, c) in self.columns.iter().enumerate() {
+            if c.len() != n {
+                return Err(Error::Storage(format!(
+                    "column {i} has {} rows, expected {n}",
+                    c.len()
+                )));
+            }
+        }
+        if self.activity.len() != n {
+            return Err(storage_err!(
+                "activity map covers {} rows, expected {n}",
+                self.activity.len()
+            ));
+        }
+        if self.insert_epoch.len() != n {
+            return Err(storage_err!(
+                "epoch vector covers {} rows, expected {n}",
+                self.insert_epoch.len()
+            ));
+        }
+        if self.access.len() != n {
+            return Err(storage_err!(
+                "access stats cover {} rows, expected {n}",
+                self.access.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with(values: &[Value]) -> Table {
+        let mut t = Table::single("a");
+        t.insert_batch(values, 0).unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut t = Table::new(Schema::new(vec!["a", "b"]));
+        let r0 = t.insert(&[1, 10], 0).unwrap();
+        let r1 = t.insert(&[2, 20], 1).unwrap();
+        assert_eq!(r0, RowId(0));
+        assert_eq!(r1, RowId(1));
+        assert_eq!(t.value(0, r1), 2);
+        assert_eq!(t.value(1, r1), 20);
+        assert_eq!(t.row_values(r0), vec![1, 10]);
+        assert_eq!(t.insert_epoch(r1), 1);
+        assert_eq!(t.current_epoch(), 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = Table::new(Schema::new(vec!["a", "b"]));
+        assert!(t.insert(&[1], 0).is_err());
+        let mut t1 = Table::single("a");
+        t1.insert_batch(&[1, 2], 0).unwrap();
+        let mut t2 = Table::new(Schema::new(vec!["a", "b"]));
+        assert!(t2.insert_batch(&[1, 2], 0).is_err());
+    }
+
+    #[test]
+    fn forget_changes_counts_not_storage() {
+        let mut t = table_with(&[10, 20, 30]);
+        assert_eq!(t.active_rows(), 3);
+        assert!(t.forget(RowId(1), 1).unwrap());
+        assert_eq!(t.active_rows(), 2);
+        assert_eq!(t.forgotten_rows(), 1);
+        assert_eq!(t.num_rows(), 3, "physical rows unchanged");
+        // The value is still there: only marked.
+        assert_eq!(t.value(0, RowId(1)), 20);
+        // Double forget is a no-op.
+        assert!(!t.forget(RowId(1), 2).unwrap());
+        // Out of range errors.
+        assert!(t.forget(RowId(99), 1).is_err());
+    }
+
+    #[test]
+    fn batch_insert_sets_epochs() {
+        let mut t = Table::single("a");
+        t.insert_batch(&[1, 2], 0).unwrap();
+        let first = t.insert_batch(&[3, 4, 5], 7).unwrap();
+        assert_eq!(first, RowId(2));
+        assert_eq!(t.insert_epoch(RowId(0)), 0);
+        assert_eq!(t.insert_epoch(RowId(4)), 7);
+        assert_eq!(t.current_epoch(), 7);
+        assert_eq!(t.num_rows(), 5);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn max_seen_includes_forgotten() {
+        let mut t = table_with(&[5, 100, 7]);
+        t.forget(RowId(1), 1).unwrap();
+        assert_eq!(t.max_seen(0), Some(100), "RANGE covers forgotten values");
+    }
+
+    #[test]
+    fn iter_active_skips_forgotten() {
+        let mut t = table_with(&[1, 2, 3, 4]);
+        t.forget(RowId(0), 1).unwrap();
+        t.forget(RowId(2), 1).unwrap();
+        assert_eq!(t.active_row_ids(), vec![RowId(1), RowId(3)]);
+    }
+
+    #[test]
+    fn access_stats_flow_through() {
+        let mut t = table_with(&[1, 2, 3]);
+        t.access_mut().touch_all(&[RowId(0), RowId(2)], 3);
+        assert_eq!(t.access().frequency(RowId(0)), 1.0);
+        assert_eq!(t.access().frequency(RowId(1)), 0.0);
+        assert_eq!(t.access().last_access(RowId(2)), 3);
+    }
+}

@@ -1,0 +1,67 @@
+//! Fundamental identifiers and value types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Attribute values are 64-bit integers; the paper's simulator "only
+/// considers tables filled with integers in the range 0..DOMAIN" (§2.1).
+pub type Value = i64;
+
+/// Update-batch counter. Epoch 0 is the initial load; epoch *b* is the
+/// b-th update batch. Tuple age in batches = `current_epoch - insert_epoch`.
+pub type Epoch = u64;
+
+/// Stable identifier of a tuple: its insertion position in the table.
+///
+/// Row ids are never reused; physical vacuuming produces a remapping table
+/// instead of renumbering in place, so policy state referring to old ids
+/// can be migrated explicitly.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RowId(pub u64);
+
+impl RowId {
+    /// The row id as a usize offset into column storage.
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<usize> for RowId {
+    fn from(v: usize) -> Self {
+        RowId(v as u64)
+    }
+}
+
+/// Default number of rows per storage block used by zone maps and the
+/// segmented column. Chosen so a block of `i64`s spans a few cache pages.
+pub const DEFAULT_BLOCK_ROWS: usize = 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rowid_roundtrip_and_display() {
+        let r = RowId::from(42usize);
+        assert_eq!(r.as_usize(), 42);
+        assert_eq!(r.to_string(), "#42");
+        assert_eq!(r, RowId(42));
+    }
+
+    #[test]
+    fn rowid_orders_by_insertion() {
+        assert!(RowId(1) < RowId(2));
+        let mut v = vec![RowId(3), RowId(1), RowId(2)];
+        v.sort();
+        assert_eq!(v, vec![RowId(1), RowId(2), RowId(3)]);
+    }
+}

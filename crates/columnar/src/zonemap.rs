@@ -1,0 +1,270 @@
+//! Block-range index (zone map / BRIN).
+//!
+//! Paper §4.4 points at "partial indices, such as Block-Range-Indices" as
+//! the natural index form for an amnesiac store: per-block min/max over the
+//! *active* tuples lets range scans skip blocks that are entirely forgotten
+//! or entirely outside the predicate. Forgetting makes entries stale in a
+//! benign direction (bounds may be wider than necessary — never narrower),
+//! so maintenance can be deferred and batched.
+
+use serde::{Deserialize, Serialize};
+
+use amnesia_util::Bitmap;
+
+use crate::table::Table;
+use crate::types::{RowId, Value, DEFAULT_BLOCK_ROWS};
+
+/// Min/max/count summary of one block of rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Zone {
+    /// Minimum active value (undefined when `active == 0`).
+    pub min: Value,
+    /// Maximum active value (undefined when `active == 0`).
+    pub max: Value,
+    /// Number of active rows in the block.
+    pub active: usize,
+}
+
+/// A zone map over one column of a table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZoneMap {
+    col: usize,
+    block_rows: usize,
+    zones: Vec<Zone>,
+    dirty: Bitmap,
+    covered_rows: usize,
+    stale_forgets: usize,
+}
+
+impl ZoneMap {
+    /// Build a fresh zone map over `col` with the default block size.
+    pub fn build(table: &Table, col: usize) -> Self {
+        Self::build_with_block_rows(table, col, DEFAULT_BLOCK_ROWS)
+    }
+
+    /// Build with an explicit block size.
+    pub fn build_with_block_rows(table: &Table, col: usize, block_rows: usize) -> Self {
+        assert!(block_rows > 0, "block size must be positive");
+        let mut zm = Self {
+            col,
+            block_rows,
+            zones: Vec::new(),
+            dirty: Bitmap::new(),
+            covered_rows: 0,
+            stale_forgets: 0,
+        };
+        zm.sync(table);
+        zm
+    }
+
+    /// The column this map covers.
+    pub fn column(&self) -> usize {
+        self.col
+    }
+
+    /// Rows per block.
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Zone for a given block.
+    pub fn zone(&self, block: usize) -> &Zone {
+        &self.zones[block]
+    }
+
+    /// Physical row range `[lo, hi)` of a block.
+    pub fn block_range(&self, block: usize) -> (usize, usize) {
+        let lo = block * self.block_rows;
+        let hi = (lo + self.block_rows).min(self.covered_rows);
+        (lo, hi)
+    }
+
+    /// Recompute one block from the table.
+    fn recompute_block(&mut self, table: &Table, block: usize) {
+        let (lo, hi) = self.block_range(block);
+        let mut min = Value::MAX;
+        let mut max = Value::MIN;
+        let mut active = 0usize;
+        let activity = table.activity();
+        for row in lo..hi {
+            let id = RowId::from(row);
+            if activity.is_active(id) {
+                let v = table.value(self.col, id);
+                min = min.min(v);
+                max = max.max(v);
+                active += 1;
+            }
+        }
+        self.zones[block] = Zone { min, max, active };
+    }
+
+    /// Extend coverage to newly appended rows and rebuild dirty blocks.
+    ///
+    /// Cheap when nothing changed; O(dirty blocks + new rows) otherwise.
+    pub fn sync(&mut self, table: &Table) {
+        let n = table.num_rows();
+        // Grow the zone vector to cover all rows.
+        let needed_blocks = n.div_ceil(self.block_rows);
+        if needed_blocks > self.zones.len() {
+            // The previously-last block may have been partial: mark dirty.
+            if !self.zones.is_empty() {
+                self.dirty.set(self.zones.len() - 1, true);
+            }
+            while self.zones.len() < needed_blocks {
+                self.zones.push(Zone {
+                    min: Value::MAX,
+                    max: Value::MIN,
+                    active: 0,
+                });
+                self.dirty.push(true);
+            }
+        }
+        self.covered_rows = n;
+        // Rebuild dirty blocks.
+        let dirty_blocks: Vec<usize> = self.dirty.iter_ones().collect();
+        for b in dirty_blocks {
+            self.recompute_block(table, b);
+            self.dirty.set(b, false);
+        }
+        self.stale_forgets = 0;
+    }
+
+    /// Record that `row` was forgotten; its block becomes stale.
+    ///
+    /// Stale zones remain *safe* for pruning (bounds only ever shrink on
+    /// rebuild), so queries stay correct between [`Self::sync`] calls.
+    pub fn note_forget(&mut self, row: RowId) {
+        let b = row.as_usize() / self.block_rows;
+        if b < self.zones.len() {
+            if self.zones[b].active > 0 {
+                self.zones[b].active -= 1;
+            }
+            self.dirty.set(b, true);
+            self.stale_forgets += 1;
+        }
+    }
+
+    /// Number of forgets since the last sync (staleness measure).
+    pub fn stale_forgets(&self) -> usize {
+        self.stale_forgets
+    }
+
+    /// Blocks whose zone intersects `[lo, hi]` and contains active rows.
+    ///
+    /// This is the pruning step: blocks not returned cannot contain any
+    /// active match.
+    pub fn candidate_blocks(&self, lo: Value, hi: Value) -> Vec<usize> {
+        self.zones
+            .iter()
+            .enumerate()
+            .filter(|(_, z)| z.active > 0 && z.min <= hi && z.max >= lo)
+            .map(|(b, _)| b)
+            .collect()
+    }
+
+    /// Fraction of blocks pruned for a predicate (1.0 = everything pruned).
+    pub fn prune_fraction(&self, lo: Value, hi: Value) -> f64 {
+        if self.zones.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.candidate_blocks(lo, hi).len() as f64 / self.zones.len() as f64
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.zones.capacity() * std::mem::size_of::<Zone>()
+            + self.dirty.memory_bytes()
+            + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn table_with(values: &[Value]) -> Table {
+        let mut t = Table::new(Schema::single("a"));
+        t.insert_batch(values, 0).unwrap();
+        t
+    }
+
+    #[test]
+    fn build_computes_bounds() {
+        let t = table_with(&[5, 1, 9, 3, 100, 42, 7, 8]);
+        let zm = ZoneMap::build_with_block_rows(&t, 0, 4);
+        assert_eq!(zm.num_blocks(), 2);
+        assert_eq!(zm.zone(0).min, 1);
+        assert_eq!(zm.zone(0).max, 9);
+        assert_eq!(zm.zone(0).active, 4);
+        assert_eq!(zm.zone(1).min, 7);
+        assert_eq!(zm.zone(1).max, 100);
+    }
+
+    #[test]
+    fn candidate_blocks_prune() {
+        let t = table_with(&[1, 2, 3, 4, 100, 101, 102, 103]);
+        let zm = ZoneMap::build_with_block_rows(&t, 0, 4);
+        assert_eq!(zm.candidate_blocks(0, 10), vec![0]);
+        assert_eq!(zm.candidate_blocks(100, 200), vec![1]);
+        assert_eq!(zm.candidate_blocks(0, 200), vec![0, 1]);
+        assert!(zm.candidate_blocks(50, 60).is_empty());
+        assert!((zm.prune_fraction(50, 60) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forgetting_whole_block_prunes_it_after_sync() {
+        let mut t = table_with(&[1, 2, 3, 4, 100, 101, 102, 103]);
+        let mut zm = ZoneMap::build_with_block_rows(&t, 0, 4);
+        for r in 0..4u64 {
+            t.forget(RowId(r), 1).unwrap();
+            zm.note_forget(RowId(r));
+        }
+        // Active count already reflects the forgets (prunes by activity).
+        assert!(zm.candidate_blocks(0, 10).is_empty());
+        assert_eq!(zm.stale_forgets(), 4);
+        zm.sync(&t);
+        assert_eq!(zm.stale_forgets(), 0);
+        assert!(zm.candidate_blocks(0, 10).is_empty());
+    }
+
+    #[test]
+    fn bounds_tighten_after_sync() {
+        let mut t = table_with(&[1, 2, 3, 1000]);
+        let mut zm = ZoneMap::build_with_block_rows(&t, 0, 4);
+        assert_eq!(zm.zone(0).max, 1000);
+        t.forget(RowId(3), 1).unwrap();
+        zm.note_forget(RowId(3));
+        // Stale but safe: still matches [900, 1100] until synced.
+        assert_eq!(zm.candidate_blocks(900, 1100), vec![0]);
+        zm.sync(&t);
+        assert_eq!(zm.zone(0).max, 3);
+        assert!(zm.candidate_blocks(900, 1100).is_empty());
+    }
+
+    #[test]
+    fn sync_covers_appends() {
+        let mut t = table_with(&[1, 2]);
+        let mut zm = ZoneMap::build_with_block_rows(&t, 0, 4);
+        assert_eq!(zm.num_blocks(), 1);
+        t.insert_batch(&[3, 4, 5, 6, 7], 1).unwrap();
+        zm.sync(&t);
+        assert_eq!(zm.num_blocks(), 2);
+        assert_eq!(zm.zone(0).max, 4);
+        assert_eq!(zm.zone(1).min, 5);
+        assert_eq!(zm.zone(1).active, 3);
+    }
+
+    #[test]
+    fn block_range_clips_last_block() {
+        let t = table_with(&[1, 2, 3, 4, 5, 6]);
+        let zm = ZoneMap::build_with_block_rows(&t, 0, 4);
+        assert_eq!(zm.block_range(0), (0, 4));
+        assert_eq!(zm.block_range(1), (4, 6));
+    }
+}

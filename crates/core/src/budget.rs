@@ -1,0 +1,129 @@
+//! Storage budgets: when (and how much) to forget.
+//!
+//! Paper §2.1: "the database storage requirements in number of tuples …
+//! remains constant and equal to DBSIZE. In this way we simulate a tight
+//! storage budget constraint. In a more realistic scenario, one might want
+//! to constrain the growth instead of the size … if a database starts by
+//! using half of the available RAM, do not let it grow beyond the 90 %
+//! mark."
+//!
+//! [`BudgetMode::FixedSize`] is the paper's experimental regime;
+//! [`BudgetMode::Watermark`] is the realistic one; [`BudgetMode::Unbounded`]
+//! turns amnesia off (the no-forgetting baseline).
+
+use serde::{Deserialize, Serialize};
+
+/// Storage budget policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum BudgetMode {
+    /// Keep exactly `dbsize` tuples active: forget as many as were
+    /// inserted each batch.
+    #[default]
+    FixedSize,
+    /// Let the active set grow to `high × dbsize`, then trim back down to
+    /// `low × dbsize` in one amnesia burst.
+    Watermark {
+        /// Growth ceiling as a multiple of `dbsize` (e.g. 1.8 = "90 % of
+        /// RAM when the initial load was half of it").
+        high: f64,
+        /// Post-trim level as a multiple of `dbsize`.
+        low: f64,
+    },
+    /// Never forget (baseline; precision stays 1 while memory grows).
+    Unbounded,
+}
+
+impl BudgetMode {
+    /// Number of tuples to forget when `active` tuples are live against a
+    /// nominal budget of `dbsize`.
+    pub fn victims_needed(&self, active: usize, dbsize: usize) -> usize {
+        match *self {
+            BudgetMode::FixedSize => active.saturating_sub(dbsize),
+            BudgetMode::Watermark { high, low } => {
+                let high_mark = (high * dbsize as f64).round() as usize;
+                let low_mark = (low * dbsize as f64).round() as usize;
+                if active > high_mark {
+                    active.saturating_sub(low_mark)
+                } else {
+                    0
+                }
+            }
+            BudgetMode::Unbounded => 0,
+        }
+    }
+
+    /// Validate parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if let BudgetMode::Watermark { high, low } = *self {
+            // NaN fails both comparisons and is rejected here too.
+            if !(high.is_finite() && low.is_finite() && high > 0.0 && low > 0.0) {
+                return Err(format!("watermarks must be positive (high={high}, low={low})"));
+            }
+            if low > high {
+                return Err(format!("low watermark {low} exceeds high watermark {high}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BudgetMode::FixedSize => "fixed-size",
+            BudgetMode::Watermark { .. } => "watermark",
+            BudgetMode::Unbounded => "unbounded",
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_size_trims_back_to_dbsize() {
+        let b = BudgetMode::FixedSize;
+        assert_eq!(b.victims_needed(1200, 1000), 200);
+        assert_eq!(b.victims_needed(1000, 1000), 0);
+        assert_eq!(b.victims_needed(900, 1000), 0);
+    }
+
+    #[test]
+    fn watermark_bursts() {
+        let b = BudgetMode::Watermark {
+            high: 1.8,
+            low: 1.0,
+        };
+        // Below the ceiling: no forgetting.
+        assert_eq!(b.victims_needed(1500, 1000), 0);
+        assert_eq!(b.victims_needed(1800, 1000), 0);
+        // Above: trim down to low watermark in one go.
+        assert_eq!(b.victims_needed(1801, 1000), 801);
+        assert_eq!(b.victims_needed(2000, 1000), 1000);
+    }
+
+    #[test]
+    fn unbounded_never_forgets() {
+        assert_eq!(BudgetMode::Unbounded.victims_needed(1_000_000, 10), 0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(BudgetMode::FixedSize.validate().is_ok());
+        assert!(BudgetMode::Watermark { high: 2.0, low: 1.0 }.validate().is_ok());
+        assert!(BudgetMode::Watermark { high: 1.0, low: 2.0 }.validate().is_err());
+        assert!(BudgetMode::Watermark { high: -1.0, low: 0.5 }.validate().is_err());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(BudgetMode::FixedSize.name(), "fixed-size");
+        assert_eq!(
+            BudgetMode::Watermark { high: 2.0, low: 1.0 }.name(),
+            "watermark"
+        );
+        assert_eq!(BudgetMode::Unbounded.name(), "unbounded");
+    }
+}

@@ -1,0 +1,222 @@
+//! Simulator configuration.
+
+use amnesia_distrib::DistributionKind;
+use amnesia_util::{config_err, Result};
+use amnesia_workload::QueryGenKind;
+use serde::{Deserialize, Serialize};
+
+use crate::budget::BudgetMode;
+use crate::policy::PolicyKind;
+
+/// Full configuration of one simulation run.
+///
+/// Defaults follow the paper's experimental setup: `dbsize = 1000`,
+/// 1000 queries per batch, fixed-size budget, the Figure-3 range
+/// generator, 10 update batches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Storage budget in tuples (`DBSIZE`, paper §2.1).
+    pub dbsize: usize,
+    /// Attribute domain: values live in `0..=domain`.
+    pub domain: i64,
+    /// Insert batch size as a fraction of `dbsize` (`upd-perc`).
+    pub update_fraction: f64,
+    /// Number of update batches to run.
+    pub batches: u64,
+    /// Queries fired before each update batch (the paper uses 1000).
+    pub queries_per_batch: usize,
+    /// Data distribution of inserted values.
+    pub distribution: DistributionKind,
+    /// Query generator.
+    pub query_gen: QueryGenKind,
+    /// Amnesia policy.
+    pub policy: PolicyKind,
+    /// Storage budget mode.
+    pub budget: BudgetMode,
+    /// Exponential decay applied to access frequencies after each batch
+    /// (1.0 = no decay).
+    pub access_decay: f64,
+    /// Master RNG seed; identical seeds give identical reports.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            dbsize: 1000,
+            domain: 100_000,
+            update_fraction: 0.20,
+            batches: 10,
+            queries_per_batch: 1000,
+            distribution: DistributionKind::Uniform,
+            query_gen: QueryGenKind::paper_range(),
+            policy: PolicyKind::Uniform,
+            budget: BudgetMode::FixedSize,
+            access_decay: 1.0,
+            seed: 0xC1D8_2017,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Start building a configuration.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
+    /// Insert batch size in tuples.
+    pub fn batch_rows(&self) -> usize {
+        amnesia_workload::update::batch_size(self.dbsize, self.update_fraction)
+    }
+
+    /// Validate all parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.dbsize == 0 {
+            return Err(config_err!("dbsize must be positive"));
+        }
+        if self.domain < 0 {
+            return Err(config_err!("domain must be non-negative"));
+        }
+        if !(0.0..=100.0).contains(&self.update_fraction) {
+            return Err(config_err!(
+                "update fraction {} out of range",
+                self.update_fraction
+            ));
+        }
+        if !(self.access_decay > 0.0 && self.access_decay <= 1.0) {
+            return Err(config_err!(
+                "access decay {} must be in (0, 1]",
+                self.access_decay
+            ));
+        }
+        self.budget
+            .validate()
+            .map_err(amnesia_util::Error::InvalidConfig)?;
+        Ok(())
+    }
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Storage budget in tuples.
+    pub fn dbsize(mut self, v: usize) -> Self {
+        self.cfg.dbsize = v;
+        self
+    }
+
+    /// Attribute domain upper bound.
+    pub fn domain(mut self, v: i64) -> Self {
+        self.cfg.domain = v;
+        self
+    }
+
+    /// Insert batch size as a fraction of dbsize.
+    pub fn update_fraction(mut self, v: f64) -> Self {
+        self.cfg.update_fraction = v;
+        self
+    }
+
+    /// Number of update batches.
+    pub fn batches(mut self, v: u64) -> Self {
+        self.cfg.batches = v;
+        self
+    }
+
+    /// Queries per batch.
+    pub fn queries_per_batch(mut self, v: usize) -> Self {
+        self.cfg.queries_per_batch = v;
+        self
+    }
+
+    /// Data distribution.
+    pub fn distribution(mut self, v: DistributionKind) -> Self {
+        self.cfg.distribution = v;
+        self
+    }
+
+    /// Query generator.
+    pub fn query_gen(mut self, v: QueryGenKind) -> Self {
+        self.cfg.query_gen = v;
+        self
+    }
+
+    /// Amnesia policy.
+    pub fn policy(mut self, v: PolicyKind) -> Self {
+        self.cfg.policy = v;
+        self
+    }
+
+    /// Budget mode.
+    pub fn budget(mut self, v: BudgetMode) -> Self {
+        self.cfg.budget = v;
+        self
+    }
+
+    /// Access-frequency decay per batch.
+    pub fn access_decay(mut self, v: f64) -> Self {
+        self.cfg.access_decay = v;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, v: u64) -> Self {
+        self.cfg.seed = v;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<SimConfig> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.dbsize, 1000);
+        assert_eq!(cfg.queries_per_batch, 1000);
+        assert_eq!(cfg.batches, 10);
+        assert!((cfg.update_fraction - 0.20).abs() < 1e-12);
+        assert_eq!(cfg.batch_rows(), 200);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let cfg = SimConfig::builder()
+            .dbsize(500)
+            .domain(10)
+            .update_fraction(0.8)
+            .batches(3)
+            .queries_per_batch(7)
+            .policy(PolicyKind::Fifo)
+            .seed(1)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.dbsize, 500);
+        assert_eq!(cfg.batch_rows(), 400);
+        assert_eq!(cfg.policy, PolicyKind::Fifo);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(SimConfig::builder().dbsize(0).build().is_err());
+        assert!(SimConfig::builder().domain(-1).build().is_err());
+        assert!(SimConfig::builder().update_fraction(-0.1).build().is_err());
+        assert!(SimConfig::builder().access_decay(0.0).build().is_err());
+        assert!(SimConfig::builder()
+            .budget(BudgetMode::Watermark { high: 1.0, low: 2.0 })
+            .build()
+            .is_err());
+    }
+}

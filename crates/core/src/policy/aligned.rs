@@ -1,0 +1,147 @@
+//! Distribution-aligned amnesia (§4.4).
+//!
+//! "Alternatively, amnesia may be aligned with the data distribution of
+//! present and past. That is, we attempt to forget tuples that do not
+//! change the data distribution for all active records. Keeping the two
+//! distributions aligned as much as possible is what database sampling
+//! techniques often aim for."
+//!
+//! Target distribution = histogram of *everything ever inserted* (which
+//! the mark-only table still physically holds); victims are drained from
+//! whichever value bin is most over-represented among active tuples, so
+//! the active set remains a faithful sample of history.
+
+use amnesia_columnar::RowId;
+use amnesia_distrib::Histogram;
+use amnesia_util::SimRng;
+
+use super::{clamp_victims, AmnesiaPolicy, PolicyContext};
+
+/// Histogram-balancing forgetting.
+#[derive(Debug, Clone, Copy)]
+pub struct AlignedPolicy {
+    bins: usize,
+}
+
+impl AlignedPolicy {
+    /// Policy with `bins` histogram buckets (≥ 1).
+    pub fn new(bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        Self { bins }
+    }
+}
+
+impl AmnesiaPolicy for AlignedPolicy {
+    fn name(&self) -> &'static str {
+        "aligned"
+    }
+
+    fn select_victims(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        n: usize,
+        rng: &mut SimRng,
+    ) -> Vec<RowId> {
+        let n = clamp_victims(ctx, n);
+        let table = ctx.table;
+        let lo = table.min_seen(0).unwrap_or(0);
+        let hi = table.max_seen(0).unwrap_or(0).max(lo);
+
+        // Target: the distribution of all data ever ingested.
+        let mut target = Histogram::new(lo, hi, self.bins);
+        for r in 0..table.num_rows() {
+            target.add(table.value(0, RowId::from(r)));
+        }
+        let target_p = target.probabilities();
+
+        // Active rows grouped by bin.
+        let mut bin_rows: Vec<Vec<RowId>> = vec![Vec::new(); self.bins];
+        for r in table.iter_active() {
+            bin_rows[target.bin_of(table.value(0, r))].push(r);
+        }
+        let mut active_total: usize = bin_rows.iter().map(Vec::len).sum();
+
+        let mut victims = Vec::with_capacity(n);
+        for _ in 0..n {
+            if active_total == 0 {
+                break;
+            }
+            // Most over-represented non-empty bin.
+            let best = (0..self.bins)
+                .filter(|&b| !bin_rows[b].is_empty())
+                .max_by(|&a, &b| {
+                    let sa = bin_rows[a].len() as f64 / active_total as f64 - target_p[a];
+                    let sb = bin_rows[b].len() as f64 / active_total as f64 - target_p[b];
+                    sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("some bin is non-empty");
+            let rows = &mut bin_rows[best];
+            let pick = rng.index(rows.len());
+            victims.push(rows.swap_remove(pick));
+            active_total -= 1;
+        }
+        victims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testkit::*;
+    use amnesia_columnar::{Schema, Table};
+
+    #[test]
+    fn drains_overrepresented_bins() {
+        // History: half the rows in [0,99], half in [100,199]. Forget the
+        // low half first (simulating earlier skewed amnesia), then check
+        // aligned picks victims from the now-over-represented high bin.
+        let mut t = Table::new(Schema::single("a"));
+        let mut values: Vec<i64> = (0..100).collect();
+        values.extend(100..200);
+        t.insert_batch(&values, 0).unwrap();
+        for r in 0..50u64 {
+            t.forget(RowId(r), 1).unwrap();
+        }
+        // Active: 50 low, 100 high — high is over-represented vs 50/50.
+        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let mut p = AlignedPolicy::new(2);
+        let mut rng = SimRng::new(27);
+        let victims = p.select_victims(&ctx, 50, &mut rng);
+        assert_victims_valid(&t, &victims, 50);
+        let high = victims.iter().filter(|v| t.value(0, **v) >= 100).count();
+        assert_eq!(high, 50, "all victims must come from the surplus bin");
+    }
+
+    #[test]
+    fn keeps_active_distribution_close_to_history() {
+        let mut p = AlignedPolicy::new(16);
+        let mut rng = SimRng::new(28);
+        let t = run_loop(&mut p, 400, 100, 8, &mut rng);
+        // Compare final active histogram against all-history histogram.
+        let lo = t.min_seen(0).unwrap();
+        let hi = t.max_seen(0).unwrap();
+        let mut hist_all = Histogram::new(lo, hi, 16);
+        let mut hist_active = Histogram::new(lo, hi, 16);
+        for r in 0..t.num_rows() {
+            hist_all.add(t.value(0, RowId::from(r)));
+        }
+        for r in t.iter_active() {
+            hist_active.add(t.value(0, r));
+        }
+        let tv = hist_active.total_variation(&hist_all);
+        assert!(tv < 0.06, "active set drifted from history: TV {tv}");
+    }
+
+    #[test]
+    fn budget_loop_holds() {
+        let mut p = AlignedPolicy::new(8);
+        let mut rng = SimRng::new(29);
+        let _ = run_loop(&mut p, 120, 30, 6, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        AlignedPolicy::new(0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Spatial (area-based) amnesia (§3.3): mold grows on the database.
+//!
+//! "Mimic nature more closely using a forgetting algorithm fit with a bias
+//! towards areas already infected with mold … keeping a list of areas of
+//! forgotten tuples, say K, and set n to a value between 1..K+1. If
+//! n = K+1, then we start new mold for a tuple by randomly selecting a new
+//! active starting point. Otherwise, we look into the database tiling and
+//! extend the n-th area of forgotten tuples in either direction."
+//!
+//! Areas live in *row space* (physical insertion order), matching the
+//! observation that disk errors are spatially correlated. The resulting
+//! retention map "resembles a uniform-fifo combination" (Figure 1).
+
+use std::collections::HashSet;
+
+use amnesia_columnar::{RowId, Table};
+use amnesia_util::SimRng;
+
+use super::{clamp_victims, AmnesiaPolicy, PolicyContext};
+
+/// Hole-growing forgetting.
+#[derive(Debug, Clone, Default)]
+pub struct AreaPolicy {
+    /// Inclusive `[lo, hi]` row intervals this policy has eaten.
+    areas: Vec<(usize, usize)>,
+}
+
+impl AreaPolicy {
+    /// Fresh policy with no mold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current number of mold areas (after merging).
+    pub fn num_areas(&self) -> usize {
+        self.areas.len()
+    }
+
+    /// Next active row at/after `from` that is not already chosen.
+    fn next_free(table: &Table, from: usize, chosen: &HashSet<RowId>) -> Option<RowId> {
+        let mut cur = from;
+        while cur < table.num_rows() {
+            let r = table.activity().next_active(RowId::from(cur))?;
+            if !chosen.contains(&r) {
+                return Some(r);
+            }
+            cur = r.as_usize() + 1;
+        }
+        None
+    }
+
+    /// Previous active row at/before `from` that is not already chosen.
+    fn prev_free(table: &Table, from: usize, chosen: &HashSet<RowId>) -> Option<RowId> {
+        let mut cur = from as i64;
+        while cur >= 0 {
+            let r = table.activity().prev_active(RowId::from(cur as usize))?;
+            if !chosen.contains(&r) {
+                return Some(r);
+            }
+            if r.as_usize() == 0 {
+                return None;
+            }
+            cur = r.as_usize() as i64 - 1;
+        }
+        None
+    }
+
+    /// A random active row not already chosen.
+    fn random_free(table: &Table, chosen: &HashSet<RowId>, rng: &mut SimRng) -> Option<RowId> {
+        for _ in 0..32 {
+            if let Some(r) = table.random_active(rng) {
+                if !chosen.contains(&r) {
+                    return Some(r);
+                }
+            } else {
+                return None;
+            }
+        }
+        // Dense fallback: scan from a random start.
+        let start = rng.index(table.num_rows().max(1));
+        Self::next_free(table, start, chosen).or_else(|| Self::next_free(table, 0, chosen))
+    }
+
+    /// Merge overlapping / adjacent areas.
+    fn coalesce(&mut self) {
+        if self.areas.len() < 2 {
+            return;
+        }
+        self.areas.sort_unstable();
+        let mut merged: Vec<(usize, usize)> = Vec::with_capacity(self.areas.len());
+        for &(lo, hi) in &self.areas {
+            match merged.last_mut() {
+                Some(last) if lo <= last.1 + 1 => last.1 = last.1.max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        self.areas = merged;
+    }
+}
+
+impl AmnesiaPolicy for AreaPolicy {
+    fn name(&self) -> &'static str {
+        "area"
+    }
+
+    fn select_victims(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        n: usize,
+        rng: &mut SimRng,
+    ) -> Vec<RowId> {
+        let n = clamp_victims(ctx, n);
+        let table = ctx.table;
+        let mut chosen: HashSet<RowId> = HashSet::with_capacity(n * 2);
+        let mut victims = Vec::with_capacity(n);
+
+        while victims.len() < n {
+            let k = self.areas.len();
+            let pick = rng.index(k + 1);
+            let victim = if pick == k {
+                // Start new mold at a random active point.
+                match Self::random_free(table, &chosen, rng) {
+                    Some(r) => {
+                        self.areas.push((r.as_usize(), r.as_usize()));
+                        Some(r)
+                    }
+                    None => None,
+                }
+            } else {
+                // Extend area `pick` in a random direction.
+                let (lo, hi) = self.areas[pick];
+                let go_up = rng.chance(0.5);
+                let extend = |up: bool, chosen: &HashSet<RowId>| {
+                    if up {
+                        Self::next_free(table, hi + 1, chosen)
+                    } else if lo == 0 {
+                        None
+                    } else {
+                        Self::prev_free(table, lo - 1, chosen)
+                    }
+                };
+                let found = extend(go_up, &chosen).or_else(|| extend(!go_up, &chosen));
+                match found {
+                    Some(r) => {
+                        let area = &mut self.areas[pick];
+                        area.0 = area.0.min(r.as_usize());
+                        area.1 = area.1.max(r.as_usize());
+                        Some(r)
+                    }
+                    // Area is walled in: seed a new one instead.
+                    None => match Self::random_free(table, &chosen, rng) {
+                        Some(r) => {
+                            self.areas.push((r.as_usize(), r.as_usize()));
+                            Some(r)
+                        }
+                        None => None,
+                    },
+                }
+            };
+            match victim {
+                Some(r) => {
+                    chosen.insert(r);
+                    victims.push(r);
+                }
+                None => break, // nothing active remains
+            }
+        }
+        self.coalesce();
+        victims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testkit::*;
+
+    #[test]
+    fn victims_form_contiguous_holes() {
+        let t = staged_table(1000, 0, 0);
+        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let mut p = AreaPolicy::new();
+        let mut rng = SimRng::new(16);
+        let victims = p.select_victims(&ctx, 200, &mut rng);
+        assert_victims_valid(&t, &victims, 200);
+        // Few areas cover many victims: mold is spatially clustered.
+        assert!(
+            p.num_areas() < 60,
+            "200 victims in {} areas — not clustered",
+            p.num_areas()
+        );
+        // Every victim is inside a recorded area.
+        for v in &victims {
+            let r = v.as_usize();
+            assert!(
+                p.areas.iter().any(|&(lo, hi)| lo <= r && r <= hi),
+                "victim {r} outside all areas"
+            );
+        }
+    }
+
+    #[test]
+    fn areas_merge_when_they_touch() {
+        let mut p = AreaPolicy::new();
+        p.areas = vec![(0, 5), (6, 10), (20, 30), (25, 40)];
+        p.coalesce();
+        assert_eq!(p.areas, vec![(0, 10), (20, 40)]);
+    }
+
+    #[test]
+    fn budget_loop_holds_and_mixes_uniform_and_fifo_character() {
+        let mut p = AreaPolicy::new();
+        let mut rng = SimRng::new(17);
+        let t = run_loop(&mut p, 500, 100, 10, &mut rng);
+        let retention = retention_by_epoch(&t, 10);
+        // "Naturally, the oldest the data the more holes they will contain,
+        // resulting to a fifo effect, but the newer the data the more
+        // uniform it will be."
+        assert!(
+            retention[10] > retention[1],
+            "recent {} vs old {}",
+            retention[10],
+            retention[1]
+        );
+    }
+
+    #[test]
+    fn exhausts_the_table_gracefully() {
+        let t = staged_table(20, 0, 0);
+        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let mut p = AreaPolicy::new();
+        let mut rng = SimRng::new(18);
+        let victims = p.select_victims(&ctx, 50, &mut rng);
+        assert_victims_valid(&t, &victims, 20);
+    }
+}

@@ -1,0 +1,139 @@
+//! Weighted blends of amnesia policies.
+//!
+//! §4.4 closes with "better application specific amnesia algorithms is
+//! another area for innovative research" — composites are the simplest
+//! constructor: e.g. 70 % rot + 30 % fifo keeps hot data while still
+//! guaranteeing a sliding horizon.
+
+use std::collections::HashSet;
+
+use amnesia_columnar::RowId;
+use amnesia_util::SimRng;
+
+use super::{active_rows, clamp_victims, AmnesiaPolicy, PolicyContext};
+
+/// Weighted mixture of sub-policies.
+pub struct CompositePolicy {
+    parts: Vec<(f64, Box<dyn AmnesiaPolicy>)>,
+    total_weight: f64,
+}
+
+impl CompositePolicy {
+    /// New blend; panics on empty parts or non-positive total weight.
+    pub fn new(parts: Vec<(f64, Box<dyn AmnesiaPolicy>)>) -> Self {
+        assert!(!parts.is_empty(), "composite needs sub-policies");
+        let total_weight: f64 = parts.iter().map(|(w, _)| w.max(0.0)).sum();
+        assert!(total_weight > 0.0, "composite needs positive weight");
+        Self {
+            parts,
+            total_weight,
+        }
+    }
+}
+
+impl AmnesiaPolicy for CompositePolicy {
+    fn name(&self) -> &'static str {
+        "composite"
+    }
+
+    fn select_victims(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        n: usize,
+        rng: &mut SimRng,
+    ) -> Vec<RowId> {
+        let n = clamp_victims(ctx, n);
+        // Multinomial quota assignment.
+        let mut quotas = vec![0usize; self.parts.len()];
+        for _ in 0..n {
+            let mut pick = rng.f64() * self.total_weight;
+            let mut chosen = self.parts.len() - 1;
+            for (i, (w, _)) in self.parts.iter().enumerate() {
+                pick -= w.max(0.0);
+                if pick <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            quotas[chosen] += 1;
+        }
+        // Sub-policies select independently; duplicates are possible and
+        // removed, then backfilled uniformly.
+        let mut seen: HashSet<RowId> = HashSet::with_capacity(n * 2);
+        let mut victims = Vec::with_capacity(n);
+        for (i, quota) in quotas.iter().enumerate() {
+            if *quota == 0 {
+                continue;
+            }
+            for v in self.parts[i].1.select_victims(ctx, *quota, rng) {
+                if seen.insert(v) {
+                    victims.push(v);
+                }
+            }
+        }
+        if victims.len() < n {
+            let pool: Vec<RowId> = active_rows(ctx)
+                .into_iter()
+                .filter(|r| !seen.contains(r))
+                .collect();
+            let extra = (n - victims.len()).min(pool.len());
+            for i in rng.sample_indices(pool.len(), extra) {
+                victims.push(pool[i]);
+            }
+        }
+        victims.truncate(n);
+        victims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testkit::*;
+    use crate::policy::{FifoPolicy, UniformPolicy};
+
+    fn blend(w_fifo: f64, w_uniform: f64) -> CompositePolicy {
+        CompositePolicy::new(vec![
+            (w_fifo, Box::new(FifoPolicy) as Box<dyn AmnesiaPolicy>),
+            (w_uniform, Box::new(UniformPolicy)),
+        ])
+    }
+
+    #[test]
+    fn exact_victim_count_despite_overlap() {
+        // FIFO and uniform will frequently collide on the oldest rows;
+        // the composite must still deliver exactly n victims.
+        let t = staged_table(100, 0, 0);
+        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let mut p = blend(0.5, 0.5);
+        let mut rng = SimRng::new(30);
+        for n in [1usize, 10, 50, 99] {
+            let victims = p.select_victims(&ctx, n, &mut rng);
+            assert_victims_valid(&t, &victims, n);
+        }
+    }
+
+    #[test]
+    fn pure_fifo_weight_behaves_like_fifo() {
+        let t = staged_table(50, 0, 0);
+        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let mut p = blend(1.0, 0.0);
+        let mut rng = SimRng::new(31);
+        let victims = p.select_victims(&ctx, 10, &mut rng);
+        let expected: Vec<RowId> = (0..10).map(RowId).collect();
+        assert_eq!(victims, expected);
+    }
+
+    #[test]
+    fn budget_loop_holds() {
+        let mut p = blend(0.3, 0.7);
+        let mut rng = SimRng::new(32);
+        let _ = run_loop(&mut p, 80, 20, 6, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn zero_weights_rejected() {
+        let _ = CompositePolicy::new(vec![(0.0, Box::new(FifoPolicy) as Box<dyn AmnesiaPolicy>)]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Overuse amnesia (§3.2): forget what has been consumed.
+//!
+//! "A totally opposite approach would be to forget data that has been used
+//! too frequently … no data should continue to appear in a result set, if
+//! that data has not been curated, analyzed, or consumed in any other
+//! way." Victim weight is the access frequency itself.
+
+use amnesia_columnar::RowId;
+use amnesia_util::SimRng;
+
+use super::{active_rows, clamp_victims, AmnesiaPolicy, PolicyContext};
+
+/// Frequency-proportional forgetting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OverusePolicy;
+
+impl AmnesiaPolicy for OverusePolicy {
+    fn name(&self) -> &'static str {
+        "overuse"
+    }
+
+    fn select_victims(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        n: usize,
+        rng: &mut SimRng,
+    ) -> Vec<RowId> {
+        let n = clamp_victims(ctx, n);
+        let ids = active_rows(ctx);
+        // +epsilon keeps never-accessed rows selectable so the budget can
+        // always be met.
+        let weights: Vec<f64> = ids
+            .iter()
+            .map(|&r| ctx.table.access().frequency(r) + 1e-3)
+            .collect();
+        rng.weighted_sample(&weights, n)
+            .into_iter()
+            .map(|i| ids[i])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testkit::*;
+
+    #[test]
+    fn consumed_rows_go_first() {
+        let mut t = staged_table(200, 0, 0);
+        for r in 0..50u64 {
+            for _ in 0..100 {
+                t.access_mut().touch(RowId(r), 1);
+            }
+        }
+        let ctx = PolicyContext { table: &t, epoch: 2 };
+        let mut p = OverusePolicy;
+        let mut rng = SimRng::new(13);
+        let victims = p.select_victims(&ctx, 50, &mut rng);
+        assert_victims_valid(&t, &victims, 50);
+        let consumed = victims.iter().filter(|v| v.as_usize() < 50).count();
+        assert!(consumed > 40, "consumed victims {consumed}");
+    }
+
+    #[test]
+    fn works_with_no_accesses_at_all() {
+        let t = staged_table(100, 0, 0);
+        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let mut p = OverusePolicy;
+        let mut rng = SimRng::new(14);
+        let victims = p.select_victims(&ctx, 30, &mut rng);
+        assert_victims_valid(&t, &victims, 30);
+    }
+
+    #[test]
+    fn budget_loop_holds() {
+        let mut p = OverusePolicy;
+        let mut rng = SimRng::new(15);
+        let _ = run_loop(&mut p, 100, 25, 6, &mut rng);
+    }
+}

@@ -1,0 +1,147 @@
+//! Average-preserving pair forgetting (§4.4).
+//!
+//! "The average query could be used to identify pairs of tuples to be
+//! forgotten instead of a single one. It would retain the precision as
+//! long as possible." — and §1: "you can safely drop two tuples that
+//! together do not affect the average measured."
+//!
+//! Victims are chosen as antipodal pairs around the current active mean:
+//! the smallest remaining value paired with the largest. Each pair's sum
+//! is close to `2·mean` for roughly symmetric data, so `AVG` barely moves;
+//! an odd final victim is the value closest to the mean.
+
+use amnesia_columnar::RowId;
+use amnesia_util::SimRng;
+
+use super::{clamp_victims, AmnesiaPolicy, PolicyContext};
+
+/// Antipodal-pair forgetting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PairPolicy;
+
+impl AmnesiaPolicy for PairPolicy {
+    fn name(&self) -> &'static str {
+        "pair"
+    }
+
+    fn select_victims(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        n: usize,
+        _rng: &mut SimRng,
+    ) -> Vec<RowId> {
+        let n = clamp_victims(ctx, n);
+        let table = ctx.table;
+        let mut by_value: Vec<(i64, RowId)> = table
+            .iter_active()
+            .map(|r| (table.value(0, r), r))
+            .collect();
+        by_value.sort_unstable();
+        if n >= by_value.len() {
+            return by_value.into_iter().map(|(_, r)| r).collect();
+        }
+        let mean = by_value.iter().map(|&(v, _)| v as f64).sum::<f64>() / by_value.len() as f64;
+
+        let mut victims = Vec::with_capacity(n);
+        let mut lo = 0usize;
+        let mut hi = by_value.len() - 1;
+        while victims.len() + 2 <= n && lo < hi {
+            victims.push(by_value[lo].1);
+            victims.push(by_value[hi].1);
+            lo += 1;
+            hi -= 1;
+        }
+        if victims.len() < n && lo <= hi {
+            // Odd remainder: take the remaining value closest to the mean.
+            let closest = (lo..=hi)
+                .min_by(|&a, &b| {
+                    let da = (by_value[a].0 as f64 - mean).abs();
+                    let db = (by_value[b].0 as f64 - mean).abs();
+                    da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("non-empty remainder");
+            victims.push(by_value[closest].1);
+        }
+        victims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testkit::*;
+    use amnesia_columnar::{Schema, Table};
+
+    fn symmetric_table(n: i64) -> Table {
+        let mut t = Table::new(Schema::single("a"));
+        let values: Vec<i64> = (0..n).collect(); // mean (n-1)/2
+        t.insert_batch(&values, 0).unwrap();
+        t
+    }
+
+    fn active_mean(t: &Table) -> f64 {
+        let (sum, count) = t
+            .iter_active()
+            .fold((0f64, 0usize), |(s, c), r| (s + t.value(0, r) as f64, c + 1));
+        sum / count as f64
+    }
+
+    #[test]
+    fn mean_is_preserved_exactly_on_symmetric_data() {
+        let mut t = symmetric_table(1000);
+        let before = active_mean(&t);
+        let mut p = PairPolicy;
+        let mut rng = SimRng::new(23);
+        let victims = {
+            let ctx = PolicyContext { table: &t, epoch: 1 };
+            p.select_victims(&ctx, 200, &mut rng)
+        };
+        assert_victims_valid(&t, &victims, 200);
+        for v in victims {
+            t.forget(v, 1).unwrap();
+        }
+        let after = active_mean(&t);
+        assert!(
+            (after - before).abs() < 1e-9,
+            "mean moved {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn odd_victim_count_still_tracks_mean() {
+        let mut t = symmetric_table(1001);
+        let before = active_mean(&t);
+        let mut p = PairPolicy;
+        let mut rng = SimRng::new(24);
+        let victims = {
+            let ctx = PolicyContext { table: &t, epoch: 1 };
+            p.select_victims(&ctx, 201, &mut rng)
+        };
+        assert_victims_valid(&t, &victims, 201);
+        for v in victims {
+            t.forget(v, 1).unwrap();
+        }
+        let after = active_mean(&t);
+        assert!(
+            (after - before).abs() < 1.0,
+            "mean moved {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn takes_everything_when_overasked() {
+        let t = symmetric_table(10);
+        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let mut p = PairPolicy;
+        let mut rng = SimRng::new(25);
+        let victims = p.select_victims(&ctx, 100, &mut rng);
+        assert_victims_valid(&t, &victims, 10);
+    }
+
+    #[test]
+    fn budget_loop_holds() {
+        let mut p = PairPolicy;
+        let mut rng = SimRng::new(26);
+        let _ = run_loop(&mut p, 100, 20, 5, &mut rng);
+    }
+}

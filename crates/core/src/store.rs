@@ -1,0 +1,441 @@
+//! What *physically* happens to forgotten tuples.
+//!
+//! Paper §1 lists the design space: "A DBMS might be as radical as to
+//! delete all data being forgotten. A lighter and more feasible option is
+//! to stop indexing the forgotten data … A more cost-effective option is
+//! to move forgotten data to cheap slow cold-storage. Finally, a possibly
+//! poor information retention approach would be to keep a summary."
+//!
+//! [`AmnesiacStore`] realizes all of them behind one insert/forget/query
+//! API so the `ABL-FORGET` ablation can compare bytes resident, query cost
+//! and recoverability under identical workloads.
+
+use amnesia_columnar::vacuum::vacuum;
+use amnesia_columnar::{
+    ColdStore, Epoch, ModelStore, RowId, Schema, SortedIndex, SummaryStore, Table, Value,
+    ZoneMap,
+};
+use amnesia_engine::{Aux, CostModel, ExecResult, Executor, ForgetVisibility};
+use amnesia_util::{Result, SimRng};
+use amnesia_workload::Query;
+use serde::{Deserialize, Serialize};
+
+/// Physical fate of forgotten tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ForgetMode {
+    /// Mark inactive only (the simulator's measurable baseline).
+    MarkOnly,
+    /// Mark, then physically vacuum every `vacuum_every` batches.
+    Delete {
+        /// Batches between vacuum passes.
+        vacuum_every: u64,
+    },
+    /// Keep tuples scannable but evict them from index structures; index
+    /// paths skip them, full scans still see them.
+    Deindex,
+    /// Move tuple payloads to cold storage, then mark.
+    Tier,
+    /// Absorb tuples into per-epoch aggregate summaries, then mark and
+    /// periodically vacuum (summaries replace the bytes).
+    Summarize,
+    /// Absorb tuples into per-epoch micro-models (paper §5 [15]): like
+    /// `Summarize` but the histogram also interpolates *range-restricted*
+    /// aggregates. `bins` sets the per-epoch histogram resolution.
+    Model {
+        /// Histogram buckets per epoch model.
+        bins: usize,
+    },
+}
+
+impl ForgetMode {
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ForgetMode::MarkOnly => "mark-only",
+            ForgetMode::Delete { .. } => "delete",
+            ForgetMode::Deindex => "deindex",
+            ForgetMode::Tier => "tier",
+            ForgetMode::Summarize => "summarize",
+            ForgetMode::Model { .. } => "model",
+        }
+    }
+}
+
+/// Storage accounting snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StoreFootprint {
+    /// Physical rows in the hot table (active + still-marked).
+    pub hot_rows: usize,
+    /// Active rows.
+    pub active_rows: usize,
+    /// Approximate hot bytes (table + index + zone map).
+    pub hot_bytes: usize,
+    /// Tuples parked in cold storage.
+    pub cold_rows: usize,
+    /// Cold storage bytes.
+    pub cold_bytes: u64,
+    /// Summary bytes.
+    pub summary_bytes: usize,
+    /// Micro-model bytes.
+    pub model_bytes: usize,
+}
+
+/// A table plus the machinery that executes its forget mode.
+pub struct AmnesiacStore {
+    table: Table,
+    mode: ForgetMode,
+    executor: Executor,
+    index: Option<SortedIndex>,
+    zonemap: Option<ZoneMap>,
+    cold: Option<Box<dyn ColdStore>>,
+    summaries: SummaryStore,
+    models: Option<ModelStore>,
+    batches_since_vacuum: u64,
+    total_forgotten: u64,
+}
+
+impl AmnesiacStore {
+    /// New single-attribute store under `mode`.
+    ///
+    /// `Tier` mode requires a cold store: pass one with
+    /// [`AmnesiacStore::with_cold_store`] before the first forget.
+    pub fn new(mode: ForgetMode) -> Self {
+        let visibility = match mode {
+            ForgetMode::Deindex => ForgetVisibility::ScanSeesForgotten,
+            _ => ForgetVisibility::ActiveOnly,
+        };
+        Self {
+            table: Table::new(Schema::single("a")),
+            mode,
+            executor: Executor::new(visibility, CostModel::default()),
+            index: None,
+            zonemap: None,
+            cold: None,
+            summaries: SummaryStore::new(),
+            models: match mode {
+                ForgetMode::Model { bins } => Some(ModelStore::new(bins)),
+                _ => None,
+            },
+            batches_since_vacuum: 0,
+            total_forgotten: 0,
+        }
+    }
+
+    /// Attach a cold store (required for `Tier`).
+    pub fn with_cold_store(mut self, cold: Box<dyn ColdStore>) -> Self {
+        self.cold = Some(cold);
+        self
+    }
+
+    /// Enable a sorted index (rebuilt on vacuum, staleness-tracked).
+    pub fn with_index(mut self) -> Self {
+        self.index = Some(SortedIndex::build(&self.table, 0));
+        self
+    }
+
+    /// Enable a zone map.
+    pub fn with_zonemap(mut self) -> Self {
+        self.zonemap = Some(ZoneMap::build(&self.table, 0));
+        self
+    }
+
+    /// The forget mode.
+    pub fn mode(&self) -> ForgetMode {
+        self.mode
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Total tuples forgotten through this store.
+    pub fn total_forgotten(&self) -> u64 {
+        self.total_forgotten
+    }
+
+    /// Insert a batch of values at `epoch`.
+    pub fn insert_batch(&mut self, values: &[Value], epoch: Epoch) -> Result<()> {
+        self.table.insert_batch(values, epoch)?;
+        if let Some(zm) = &mut self.zonemap {
+            zm.sync(&self.table);
+        }
+        if let Some(idx) = &mut self.index {
+            idx.rebuild(&self.table);
+        }
+        Ok(())
+    }
+
+    /// Forget one tuple at `epoch`, applying the mode's physical action.
+    pub fn forget(&mut self, row: RowId, epoch: Epoch) -> Result<()> {
+        match self.mode {
+            ForgetMode::MarkOnly | ForgetMode::Delete { .. } | ForgetMode::Deindex => {}
+            ForgetMode::Tier => {
+                let values = self.table.row_values(row);
+                if let Some(cold) = &mut self.cold {
+                    cold.archive(row, &values)?;
+                }
+            }
+            ForgetMode::Summarize => {
+                let v = self.table.value(0, row);
+                self.summaries.absorb(self.table.insert_epoch(row), v);
+            }
+            ForgetMode::Model { .. } => {
+                let v = self.table.value(0, row);
+                if let Some(models) = &mut self.models {
+                    models.absorb(self.table.insert_epoch(row), v);
+                }
+            }
+        }
+        if self.table.forget(row, epoch)? {
+            self.total_forgotten += 1;
+            if let Some(zm) = &mut self.zonemap {
+                zm.note_forget(row);
+            }
+            if let Some(idx) = &mut self.index {
+                idx.note_forget();
+            }
+        }
+        Ok(())
+    }
+
+    /// Forget many tuples.
+    pub fn forget_batch(&mut self, rows: &[RowId], epoch: Epoch) -> Result<()> {
+        for &r in rows {
+            self.forget(r, epoch)?;
+        }
+        Ok(())
+    }
+
+    /// Batch boundary: vacuum if the mode schedules it, refresh auxiliary
+    /// structures.
+    pub fn end_batch(&mut self) -> Result<()> {
+        self.batches_since_vacuum += 1;
+        if let Some(models) = &mut self.models {
+            models.seal();
+        }
+        let vacuum_due = match self.mode {
+            ForgetMode::Delete { vacuum_every } => self.batches_since_vacuum >= vacuum_every,
+            // Summaries and models replace the bytes: reclaim aggressively.
+            ForgetMode::Summarize | ForgetMode::Model { .. } => true,
+            _ => false,
+        };
+        if vacuum_due && self.table.forgotten_rows() > 0 {
+            let result = vacuum(&self.table);
+            self.table = result.table;
+            self.batches_since_vacuum = 0;
+            if let Some(idx) = &mut self.index {
+                idx.rebuild(&self.table);
+            }
+            if let Some(zm) = &mut self.zonemap {
+                *zm = ZoneMap::build_with_block_rows(&self.table, 0, zm.block_rows());
+            }
+        } else {
+            if let Some(zm) = &mut self.zonemap {
+                zm.sync(&self.table);
+            }
+            if let Some(idx) = &mut self.index {
+                if idx.needs_rebuild(0.25) {
+                    idx.rebuild(&self.table);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute a query with the mode's visibility and auxiliary
+    /// structures.
+    pub fn query(&self, q: &Query) -> ExecResult {
+        let aux = Aux {
+            zonemap: self.zonemap.as_ref(),
+            index: self.index.as_ref(),
+            summaries: matches!(self.mode, ForgetMode::Summarize)
+                .then_some(&self.summaries),
+            models: self.models.as_ref(),
+        };
+        self.executor.execute(&self.table, 0, q, &aux)
+    }
+
+    /// Explicitly recover a tuple from cold storage (paper §5: cold data
+    /// only returns through deliberate user action).
+    pub fn recover_from_cold(&mut self, row: RowId) -> Result<Option<Vec<Value>>> {
+        match &mut self.cold {
+            Some(cold) => cold.fetch(row),
+            None => Ok(None),
+        }
+    }
+
+    /// Pick a uniformly random active row (for driving test workloads).
+    pub fn random_active(&self, rng: &mut SimRng) -> Option<RowId> {
+        self.table.random_active(rng)
+    }
+
+    /// Storage accounting.
+    pub fn footprint(&self) -> StoreFootprint {
+        StoreFootprint {
+            hot_rows: self.table.num_rows(),
+            active_rows: self.table.active_rows(),
+            hot_bytes: self.table.memory_bytes()
+                + self.index.as_ref().map_or(0, SortedIndex::memory_bytes)
+                + self.zonemap.as_ref().map_or(0, ZoneMap::memory_bytes),
+            cold_rows: self.cold.as_ref().map_or(0, |c| c.len()),
+            cold_bytes: self.cold.as_ref().map_or(0, |c| c.bytes_used()),
+            summary_bytes: self.summaries.memory_bytes(),
+            model_bytes: self.models.as_ref().map_or(0, ModelStore::memory_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesia_columnar::{MemoryColdStore, SummaryStore};
+    use amnesia_workload::query::{AggKind, RangePredicate};
+
+    fn run_forgetting(mode: ForgetMode) -> AmnesiacStore {
+        let mut store = AmnesiacStore::new(mode);
+        if matches!(mode, ForgetMode::Tier) {
+            store = store.with_cold_store(Box::new(MemoryColdStore::new()));
+        }
+        store.insert_batch(&(0..100).collect::<Vec<i64>>(), 0).unwrap();
+        // Forget the first half over two batches.
+        store
+            .forget_batch(&(0..25).map(RowId).collect::<Vec<_>>(), 1)
+            .unwrap();
+        store.end_batch().unwrap();
+        store
+            .forget_batch(&(25..50).map(RowId).collect::<Vec<_>>(), 2)
+            .unwrap();
+        store.end_batch().unwrap();
+        store
+    }
+
+    #[test]
+    fn mark_only_keeps_bytes() {
+        let store = run_forgetting(ForgetMode::MarkOnly);
+        let fp = store.footprint();
+        assert_eq!(fp.hot_rows, 100);
+        assert_eq!(fp.active_rows, 50);
+        assert_eq!(store.total_forgotten(), 50);
+    }
+
+    #[test]
+    fn delete_reclaims_rows() {
+        let store = run_forgetting(ForgetMode::Delete { vacuum_every: 1 });
+        let fp = store.footprint();
+        assert_eq!(fp.hot_rows, 50, "vacuum removed the forgotten rows");
+        assert_eq!(fp.active_rows, 50);
+    }
+
+    #[test]
+    fn tier_archives_payloads_and_recovers_them() {
+        let mut store = run_forgetting(ForgetMode::Tier);
+        let fp = store.footprint();
+        assert_eq!(fp.cold_rows, 50);
+        assert!(fp.cold_bytes > 0);
+        // Forgotten values never appear in queries…
+        let r = store.query(&Query::Range(RangePredicate::new(0, 50)));
+        assert_eq!(r.output.cardinality(), 0);
+        // …but can be explicitly recovered.
+        let values = store.recover_from_cold(RowId(7)).unwrap();
+        assert_eq!(values, Some(vec![7]));
+        assert_eq!(store.recover_from_cold(RowId(99)).unwrap(), None);
+    }
+
+    #[test]
+    fn summarize_answers_whole_table_aggregates_exactly() {
+        let store = run_forgetting(ForgetMode::Summarize);
+        // Hot bytes shrink (vacuumed) but the whole-table average is exact.
+        let fp = store.footprint();
+        assert_eq!(fp.hot_rows, 50);
+        assert!(fp.summary_bytes > 0);
+        let avg = store
+            .query(&Query::Aggregate {
+                kind: AggKind::Avg,
+                predicate: None,
+            })
+            .output
+            .agg()
+            .unwrap();
+        assert_eq!(avg, Some(49.5), "exact average over all 100 values");
+        let count = store
+            .query(&Query::Aggregate {
+                kind: AggKind::Count,
+                predicate: None,
+            })
+            .output
+            .agg()
+            .unwrap();
+        assert_eq!(count, Some(100.0));
+    }
+
+    #[test]
+    fn model_mode_recovers_ranged_aggregates_approximately() {
+        let store = run_forgetting(ForgetMode::Model { bins: 16 });
+        let fp = store.footprint();
+        assert_eq!(fp.hot_rows, 50, "models vacuum like summarize");
+        assert!(fp.model_bytes > 0);
+        assert_eq!(
+            fp.summary_bytes,
+            SummaryStore::new().memory_bytes(),
+            "summary store stays empty in model mode"
+        );
+        // Whole-table aggregates are exact (model totals are exact).
+        let avg = store
+            .query(&Query::Aggregate {
+                kind: AggKind::Avg,
+                predicate: None,
+            })
+            .output
+            .agg()
+            .unwrap();
+        assert_eq!(avg, Some(49.5));
+        // Ranged COUNT over [0, 50) — all 50 forgotten values: the
+        // histogram estimate lands near the truth where summarize would
+        // answer 0.
+        let count = store
+            .query(&Query::Aggregate {
+                kind: AggKind::Count,
+                predicate: Some(RangePredicate::new(0, 50)),
+            })
+            .output
+            .agg()
+            .unwrap()
+            .unwrap();
+        assert!((count - 50.0).abs() < 5.0, "ranged count {count}");
+    }
+
+    #[test]
+    fn deindex_full_scans_still_see_forgotten_data() {
+        let store = run_forgetting(ForgetMode::Deindex);
+        let r = store.query(&Query::Range(RangePredicate::new(0, 50)));
+        // Scan path: complete answer including forgotten tuples.
+        assert_eq!(r.output.cardinality(), 50);
+    }
+
+    #[test]
+    fn index_is_maintained_through_vacuum() {
+        let mut store = AmnesiacStore::new(ForgetMode::Delete { vacuum_every: 1 }).with_index();
+        store
+            .insert_batch(&(0..1000).collect::<Vec<i64>>(), 0)
+            .unwrap();
+        store
+            .forget_batch(&(0..500).map(RowId).collect::<Vec<_>>(), 1)
+            .unwrap();
+        store.end_batch().unwrap();
+        // After vacuum row ids changed; the index was rebuilt, so a probe
+        // must return exactly the surviving values.
+        let r = store.query(&Query::Range(RangePredicate::new(400, 600)));
+        assert_eq!(r.output.cardinality(), 100, "values 500..600 survive");
+    }
+
+    #[test]
+    fn footprint_shrinks_most_under_summarize() {
+        let mark = run_forgetting(ForgetMode::MarkOnly).footprint();
+        let del = run_forgetting(ForgetMode::Delete { vacuum_every: 1 }).footprint();
+        let summ = run_forgetting(ForgetMode::Summarize).footprint();
+        assert!(del.hot_rows < mark.hot_rows);
+        assert!(summ.hot_rows <= del.hot_rows);
+        assert!(summ.summary_bytes < 1024);
+    }
+}

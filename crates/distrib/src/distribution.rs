@@ -1,0 +1,201 @@
+//! The [`DataDistribution`] trait and the serializable [`DistributionKind`]
+//! configuration enum that builds concrete generators.
+
+use amnesia_util::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    DriftingDistribution, MixtureDistribution, NormalDistribution, SerialDistribution,
+    UniformDistribution, ZipfDistribution,
+};
+
+/// A stream of integer attribute values in `0..=domain`.
+///
+/// Generators are stateful (`serial` is a counter; `drift` moves between
+/// epochs), so `sample` takes `&mut self`. Randomness always comes from the
+/// caller-supplied [`SimRng`] to keep experiments deterministic.
+pub trait DataDistribution: Send {
+    /// Draw the next value.
+    fn sample(&mut self, rng: &mut SimRng) -> i64;
+
+    /// Inclusive upper bound of the value domain this generator was built
+    /// for. `serial` may exceed it (an auto-increment key never stops).
+    fn domain(&self) -> i64;
+
+    /// Short stable name used in reports ("serial", "uniform", …).
+    fn name(&self) -> &'static str;
+
+    /// Hook invoked by the simulator when a new update batch begins.
+    ///
+    /// Stationary distributions ignore it; drifting ones move their mean.
+    fn on_epoch(&mut self, _epoch: u64) {}
+}
+
+/// Serializable recipe for a [`DataDistribution`].
+///
+/// This is what experiment configs store; [`DistributionKind::build`]
+/// produces the live generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DistributionKind {
+    /// Auto-increment key: 0, 1, 2, … (models temporal order, paper §2.1).
+    Serial,
+    /// Uniform over `0..=domain`.
+    Uniform,
+    /// Normal around `domain/2`; `sd_frac` is σ as a fraction of the domain
+    /// (the paper uses 0.2). Samples are clamped to `0..=domain`.
+    Normal {
+        /// Standard deviation as a fraction of the domain width.
+        sd_frac: f64,
+    },
+    /// Zipfian over the domain values with exponent `theta`; ranks are
+    /// scrambled so the dominant values sit at random points of the domain
+    /// (paper: "some (random) values are dominant").
+    Zipfian {
+        /// Skew exponent; 0 degenerates to uniform, typical value 0.99.
+        theta: f64,
+    },
+    /// Two-component mixture: `weight` of the first component.
+    Mixture {
+        /// First component.
+        first: Box<DistributionKind>,
+        /// Second component.
+        second: Box<DistributionKind>,
+        /// Probability of sampling from `first`.
+        weight: f64,
+    },
+    /// A base distribution whose values shift by `shift_per_epoch` every
+    /// update batch (concept drift, §4.4).
+    Drift {
+        /// The underlying stationary recipe.
+        base: Box<DistributionKind>,
+        /// Added to every sample, multiplied by the epoch number.
+        shift_per_epoch: i64,
+    },
+}
+
+impl DistributionKind {
+    /// The paper's default normal: σ = 20 % of the domain.
+    pub fn normal_default() -> Self {
+        DistributionKind::Normal { sd_frac: 0.2 }
+    }
+
+    /// The paper's default skewed distribution.
+    pub fn zipfian_default() -> Self {
+        DistributionKind::Zipfian { theta: 0.99 }
+    }
+
+    /// All four paper distributions, in the order Figure 2 lists them.
+    pub fn paper_set() -> Vec<DistributionKind> {
+        vec![
+            DistributionKind::Serial,
+            DistributionKind::Uniform,
+            DistributionKind::normal_default(),
+            DistributionKind::zipfian_default(),
+        ]
+    }
+
+    /// Instantiate a generator over `0..=domain`.
+    ///
+    /// `seed` only matters for kinds that need internal precomputation with
+    /// randomness (zipf rank scrambling).
+    pub fn build(&self, domain: i64, seed: u64) -> Box<dyn DataDistribution> {
+        match self {
+            DistributionKind::Serial => Box::new(SerialDistribution::new(domain)),
+            DistributionKind::Uniform => Box::new(UniformDistribution::new(domain)),
+            DistributionKind::Normal { sd_frac } => {
+                Box::new(NormalDistribution::new(domain, *sd_frac))
+            }
+            DistributionKind::Zipfian { theta } => {
+                Box::new(ZipfDistribution::new(domain, *theta, seed))
+            }
+            DistributionKind::Mixture {
+                first,
+                second,
+                weight,
+            } => Box::new(MixtureDistribution::new(
+                first.build(domain, seed),
+                second.build(domain, seed ^ 0xA5A5_A5A5),
+                *weight,
+            )),
+            DistributionKind::Drift {
+                base,
+                shift_per_epoch,
+            } => Box::new(DriftingDistribution::new(
+                base.build(domain, seed),
+                *shift_per_epoch,
+            )),
+        }
+    }
+
+    /// Short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DistributionKind::Serial => "serial",
+            DistributionKind::Uniform => "uniform",
+            DistributionKind::Normal { .. } => "normal",
+            DistributionKind::Zipfian { .. } => "zipfian",
+            DistributionKind::Mixture { .. } => "mixture",
+            DistributionKind::Drift { .. } => "drift",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_matching_names() {
+        let domain = 1000;
+        for kind in DistributionKind::paper_set() {
+            let dist = kind.build(domain, 1);
+            assert_eq!(dist.name(), kind.name());
+            assert_eq!(dist.domain(), domain);
+        }
+    }
+
+    #[test]
+    fn all_samples_within_domain() {
+        let domain = 500;
+        let mut rng = SimRng::new(11);
+        for kind in DistributionKind::paper_set() {
+            // serial exceeds the domain by design; skip the bound check.
+            if kind == DistributionKind::Serial {
+                continue;
+            }
+            let mut dist = kind.build(domain, 2);
+            for _ in 0..5000 {
+                let v = dist.sample(&mut rng);
+                assert!(
+                    (0..=domain).contains(&v),
+                    "{} produced out-of-domain value {v}",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixture_blends_components() {
+        let kind = DistributionKind::Mixture {
+            first: Box::new(DistributionKind::Uniform),
+            second: Box::new(DistributionKind::Serial),
+            weight: 0.5,
+        };
+        let mut dist = kind.build(100, 3);
+        let mut rng = SimRng::new(4);
+        // Just exercise: all values valid i64, no panic.
+        for _ in 0..1000 {
+            let _ = dist.sample(&mut rng);
+        }
+        assert_eq!(dist.name(), "mixture");
+    }
+
+    #[test]
+    fn kind_serializes_roundtrip_via_debug() {
+        // serde round-trip is covered in the workload crate's config tests;
+        // here we only pin the names.
+        assert_eq!(DistributionKind::Serial.name(), "serial");
+        assert_eq!(DistributionKind::zipfian_default().name(), "zipfian");
+    }
+}

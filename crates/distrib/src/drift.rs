@@ -1,0 +1,98 @@
+//! Concept drift: a base distribution whose output shifts every epoch.
+//!
+//! Paper §4.4: "the data distribution evolves as more and more tuples are
+//! ingested (and forgotten). This means that the data distribution might
+//! change." The drifting generator lets the ablation experiments exercise
+//! exactly that.
+
+use amnesia_util::SimRng;
+
+use crate::DataDistribution;
+
+/// Adds `shift_per_epoch × epoch` to every sample of a base distribution,
+/// clamping to a non-negative value. The effective domain grows with time,
+/// like a sliding sensor calibration.
+pub struct DriftingDistribution {
+    base: Box<dyn DataDistribution>,
+    shift_per_epoch: i64,
+    current_shift: i64,
+}
+
+impl DriftingDistribution {
+    /// Wrap `base`, shifting by `shift_per_epoch` per update batch.
+    pub fn new(base: Box<dyn DataDistribution>, shift_per_epoch: i64) -> Self {
+        Self {
+            base,
+            shift_per_epoch,
+            current_shift: 0,
+        }
+    }
+
+    /// Current additive shift.
+    pub fn current_shift(&self) -> i64 {
+        self.current_shift
+    }
+}
+
+impl DataDistribution for DriftingDistribution {
+    fn sample(&mut self, rng: &mut SimRng) -> i64 {
+        (self.base.sample(rng) + self.current_shift).max(0)
+    }
+
+    fn domain(&self) -> i64 {
+        self.base.domain() + self.current_shift
+    }
+
+    fn name(&self) -> &'static str {
+        "drift"
+    }
+
+    fn on_epoch(&mut self, epoch: u64) {
+        self.current_shift = self.shift_per_epoch.saturating_mul(epoch as i64);
+        self.base.on_epoch(epoch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UniformDistribution;
+
+    #[test]
+    fn shifts_with_epochs() {
+        let base = Box::new(UniformDistribution::new(10));
+        let mut d = DriftingDistribution::new(base, 100);
+        let mut rng = SimRng::new(14);
+
+        for _ in 0..100 {
+            assert!((0..=10).contains(&d.sample(&mut rng)));
+        }
+        d.on_epoch(3);
+        assert_eq!(d.current_shift(), 300);
+        for _ in 0..100 {
+            let v = d.sample(&mut rng);
+            assert!((300..=310).contains(&v), "shifted value {v}");
+        }
+        assert_eq!(d.domain(), 310);
+    }
+
+    #[test]
+    fn epoch_is_absolute_not_cumulative() {
+        let base = Box::new(UniformDistribution::new(0));
+        let mut d = DriftingDistribution::new(base, 5);
+        d.on_epoch(2);
+        d.on_epoch(2);
+        assert_eq!(d.current_shift(), 10, "same epoch twice must not double");
+    }
+
+    #[test]
+    fn negative_shift_clamps_at_zero() {
+        let base = Box::new(UniformDistribution::new(1));
+        let mut d = DriftingDistribution::new(base, -100);
+        let mut rng = SimRng::new(15);
+        d.on_epoch(5);
+        for _ in 0..50 {
+            assert!(d.sample(&mut rng) >= 0);
+        }
+    }
+}

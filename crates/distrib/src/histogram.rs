@@ -1,0 +1,275 @@
+//! Equi-width histograms and distribution distances.
+//!
+//! The distribution-aligned amnesia policy (paper §4.4: "we attempt to
+//! forget tuples that do not change the data distribution for all active
+//! records") needs to compare the value distribution of the *active* set
+//! against the distribution of *everything ever ingested*. Histograms with
+//! total-variation / χ² / Kolmogorov–Smirnov distances provide that.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed-range equi-width histogram over `[lo, hi]` with `bins` buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: i64,
+    hi: i64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// New histogram over the inclusive value range `[lo, hi]`.
+    ///
+    /// Panics if `lo > hi` or `bins == 0`.
+    pub fn new(lo: i64, hi: i64, bins: usize) -> Self {
+        assert!(lo <= hi, "invalid range {lo}..={hi}");
+        assert!(bins > 0, "need at least one bin");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Bin index for a value (values outside the range clamp to the edges).
+    pub fn bin_of(&self, v: i64) -> usize {
+        let v = v.clamp(self.lo, self.hi);
+        let width = (self.hi - self.lo + 1) as f64 / self.counts.len() as f64;
+        (((v - self.lo) as f64 / width) as usize).min(self.counts.len() - 1)
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, v: i64) {
+        let b = self.bin_of(v);
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Remove one observation previously added (saturating at zero).
+    pub fn remove(&mut self, v: i64) {
+        let b = self.bin_of(v);
+        if self.counts[b] > 0 {
+            self.counts[b] -= 1;
+            self.total -= 1;
+        }
+    }
+
+    /// Number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count in a specific bin.
+    pub fn count_in_bin(&self, b: usize) -> u64 {
+        self.counts[b]
+    }
+
+    /// Normalized bucket probabilities (all zero if empty).
+    pub fn probabilities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Merge another histogram with identical geometry.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo, other.lo, "histogram range mismatch");
+        assert_eq!(self.hi, other.hi, "histogram range mismatch");
+        assert_eq!(self.counts.len(), other.counts.len(), "bin count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Total-variation distance `½ Σ |p_i − q_i|` in `[0, 1]`.
+    pub fn total_variation(&self, other: &Histogram) -> f64 {
+        let p = self.probabilities();
+        let q = other.probabilities();
+        assert_eq!(p.len(), q.len(), "bin count mismatch");
+        0.5 * p
+            .iter()
+            .zip(&q)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+    }
+
+    /// Pearson χ² statistic of `self` against expected frequencies from
+    /// `other` (bins where `other` is empty are skipped).
+    pub fn chi_squared(&self, other: &Histogram) -> f64 {
+        assert_eq!(self.counts.len(), other.counts.len(), "bin count mismatch");
+        if self.total == 0 || other.total == 0 {
+            return 0.0;
+        }
+        let mut stat = 0.0;
+        for (&o, &e_count) in self.counts.iter().zip(&other.counts) {
+            if e_count == 0 {
+                continue;
+            }
+            let expected = e_count as f64 / other.total as f64 * self.total as f64;
+            let diff = o as f64 - expected;
+            stat += diff * diff / expected;
+        }
+        stat
+    }
+
+    /// Kolmogorov–Smirnov statistic: max CDF gap, in `[0, 1]`.
+    pub fn ks_statistic(&self, other: &Histogram) -> f64 {
+        let p = self.probabilities();
+        let q = other.probabilities();
+        assert_eq!(p.len(), q.len(), "bin count mismatch");
+        let mut cp = 0.0;
+        let mut cq = 0.0;
+        let mut max_gap: f64 = 0.0;
+        for (a, b) in p.iter().zip(&q) {
+            cp += a;
+            cq += b;
+            max_gap = max_gap.max((cp - cq).abs());
+        }
+        max_gap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(values: &[i64]) -> Histogram {
+        let mut h = Histogram::new(0, 99, 10);
+        for &v in values {
+            h.add(v);
+        }
+        h
+    }
+
+    #[test]
+    fn bin_assignment_covers_range() {
+        let h = Histogram::new(0, 99, 10);
+        assert_eq!(h.bin_of(0), 0);
+        assert_eq!(h.bin_of(9), 0);
+        assert_eq!(h.bin_of(10), 1);
+        assert_eq!(h.bin_of(99), 9);
+        // Clamped:
+        assert_eq!(h.bin_of(-5), 0);
+        assert_eq!(h.bin_of(1000), 9);
+    }
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut h = Histogram::new(0, 99, 10);
+        h.add(42);
+        h.add(42);
+        assert_eq!(h.total(), 2);
+        h.remove(42);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.count_in_bin(4), 1);
+        // Removing from an empty bin saturates.
+        h.remove(99);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        let a = filled(&[1, 11, 21, 31, 41, 51, 61, 71, 81, 91]);
+        let b = filled(&[2, 12, 22, 32, 42, 52, 62, 72, 82, 92]);
+        assert!(a.total_variation(&b) < 1e-12);
+        assert!(a.ks_statistic(&b) < 1e-12);
+        assert!(a.chi_squared(&b) < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_distributions_have_max_tv() {
+        let a = filled(&[1, 2, 3, 4]); // all in bin 0
+        let b = filled(&[95, 96, 97, 98]); // all in bin 9
+        assert!((a.total_variation(&b) - 1.0).abs() < 1e-12);
+        assert!((a.ks_statistic(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_is_symmetric_and_bounded() {
+        let a = filled(&[1, 15, 30, 77]);
+        let b = filled(&[5, 5, 5, 88, 99]);
+        let d1 = a.total_variation(&b);
+        let d2 = b.total_variation(&a);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&d1));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = filled(&[1, 2, 3]);
+        let b = filled(&[95, 96]);
+        a.merge(&b);
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.count_in_bin(0), 3);
+        assert_eq!(a.count_in_bin(9), 2);
+    }
+
+    #[test]
+    fn empty_histograms_are_benign() {
+        let a = Histogram::new(0, 9, 5);
+        let b = Histogram::new(0, 9, 5);
+        assert_eq!(a.total_variation(&b), 0.0);
+        assert_eq!(a.chi_squared(&b), 0.0);
+        assert_eq!(a.probabilities(), vec![0.0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin count mismatch")]
+    fn mismatched_bins_panic() {
+        let a = Histogram::new(0, 9, 5);
+        let b = Histogram::new(0, 9, 6);
+        let _ = a.total_variation(&b);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn total_matches_adds(values in proptest::collection::vec(-200i64..400, 0..300)) {
+            let mut h = Histogram::new(0, 199, 16);
+            for &v in &values {
+                h.add(v);
+            }
+            prop_assert_eq!(h.total(), values.len() as u64);
+            prop_assert_eq!(h.counts().iter().sum::<u64>(), values.len() as u64);
+        }
+
+        #[test]
+        fn tv_triangle_inequality(
+            xs in proptest::collection::vec(0i64..100, 1..100),
+            ys in proptest::collection::vec(0i64..100, 1..100),
+            zs in proptest::collection::vec(0i64..100, 1..100),
+        ) {
+            let mk = |vals: &[i64]| {
+                let mut h = Histogram::new(0, 99, 10);
+                for &v in vals { h.add(v); }
+                h
+            };
+            let (a, b, c) = (mk(&xs), mk(&ys), mk(&zs));
+            let ab = a.total_variation(&b);
+            let bc = b.total_variation(&c);
+            let ac = a.total_variation(&c);
+            prop_assert!(ac <= ab + bc + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Synthetic data distributions for the amnesia simulator.
+//!
+//! Paper §2.1 fixes four prototypical distributions of integer values in
+//! `0..=DOMAIN`:
+//!
+//! * **serial** — an auto-increment key; models temporal insertion order,
+//! * **uniform** — benchmark-style (TPC-H) uniform data,
+//! * **normal** — centred on the domain mean with a σ of 20 % of the range,
+//! * **skewed** — Zipfian, modelling the Pareto 80–20 rule where a few
+//!   (random) values dominate.
+//!
+//! This crate implements all four behind the [`DataDistribution`] trait,
+//! plus the extensions §4.4 gestures at: mixtures and drifting
+//! distributions (the active data distribution "evolves as more and more
+//! tuples are ingested"), and the [`histogram`] machinery used by the
+//! distribution-aligned amnesia policy to compare the active set against
+//! the full history.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod distribution;
+pub mod drift;
+pub mod histogram;
+pub mod mixture;
+pub mod normal;
+pub mod serial;
+pub mod uniform;
+pub mod zipf;
+
+pub use distribution::{DataDistribution, DistributionKind};
+pub use drift::DriftingDistribution;
+pub use histogram::Histogram;
+pub use mixture::MixtureDistribution;
+pub use normal::NormalDistribution;
+pub use serial::SerialDistribution;
+pub use uniform::UniformDistribution;
+pub use zipf::ZipfDistribution;

@@ -1,0 +1,83 @@
+//! Weighted mixture of two distributions (extension, paper §4.4).
+
+use amnesia_util::SimRng;
+
+use crate::DataDistribution;
+
+/// Draws from `first` with probability `weight`, otherwise from `second`.
+///
+/// Useful to model bimodal sensor data or a hot-key workload layered on a
+/// uniform background.
+pub struct MixtureDistribution {
+    first: Box<dyn DataDistribution>,
+    second: Box<dyn DataDistribution>,
+    weight: f64,
+}
+
+impl MixtureDistribution {
+    /// Mixture with `P(first) = weight` (clamped to `[0,1]`).
+    pub fn new(
+        first: Box<dyn DataDistribution>,
+        second: Box<dyn DataDistribution>,
+        weight: f64,
+    ) -> Self {
+        Self {
+            first,
+            second,
+            weight: weight.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl DataDistribution for MixtureDistribution {
+    fn sample(&mut self, rng: &mut SimRng) -> i64 {
+        if rng.chance(self.weight) {
+            self.first.sample(rng)
+        } else {
+            self.second.sample(rng)
+        }
+    }
+
+    fn domain(&self) -> i64 {
+        self.first.domain().max(self.second.domain())
+    }
+
+    fn name(&self) -> &'static str {
+        "mixture"
+    }
+
+    fn on_epoch(&mut self, epoch: u64) {
+        self.first.on_epoch(epoch);
+        self.second.on_epoch(epoch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NormalDistribution, UniformDistribution};
+
+    #[test]
+    fn respects_weight() {
+        // First component can only produce values <= 10, second >= 0..=1000
+        // normal centred at 500; use the value range to tell them apart.
+        let first = Box::new(UniformDistribution::new(10));
+        let second = Box::new(NormalDistribution::new(1000, 0.05));
+        let mut mix = MixtureDistribution::new(first, second, 0.3);
+        let mut rng = SimRng::new(13);
+        let n = 50_000;
+        let small = (0..n)
+            .filter(|_| mix.sample(&mut rng) <= 10)
+            .count();
+        let frac = small as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.02, "first-component fraction {frac}");
+    }
+
+    #[test]
+    fn weight_is_clamped() {
+        let first = Box::new(UniformDistribution::new(1));
+        let second = Box::new(UniformDistribution::new(1));
+        let mix = MixtureDistribution::new(first, second, 7.0);
+        assert_eq!(mix.weight, 1.0);
+    }
+}

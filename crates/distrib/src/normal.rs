@@ -1,0 +1,87 @@
+//! Clamped normal value stream.
+
+use amnesia_util::SimRng;
+
+use crate::DataDistribution;
+
+/// Normal distribution "around the DOMAIN range mean with a standard
+/// deviation of 20 %" (paper §2.1). Samples outside `0..=domain` are
+/// clamped to the boundary, which keeps the generator total while moving a
+/// negligible 1.25 % of mass onto each edge at σ = 0.2·domain.
+#[derive(Debug, Clone)]
+pub struct NormalDistribution {
+    domain: i64,
+    mean: f64,
+    sd: f64,
+}
+
+impl NormalDistribution {
+    /// Normal centred at `domain/2` with σ = `sd_frac × domain`.
+    pub fn new(domain: i64, sd_frac: f64) -> Self {
+        assert!(domain >= 0, "domain must be non-negative");
+        assert!(sd_frac > 0.0, "sd fraction must be positive");
+        Self {
+            domain,
+            mean: domain as f64 / 2.0,
+            sd: sd_frac * domain as f64,
+        }
+    }
+}
+
+impl DataDistribution for NormalDistribution {
+    fn sample(&mut self, rng: &mut SimRng) -> i64 {
+        let v = rng.normal(self.mean, self.sd).round() as i64;
+        v.clamp(0, self.domain)
+    }
+
+    fn domain(&self) -> i64 {
+        self.domain
+    }
+
+    fn name(&self) -> &'static str {
+        "normal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamped_to_domain() {
+        let mut d = NormalDistribution::new(100, 0.5); // wide: lots of clamping
+        let mut rng = SimRng::new(8);
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            assert!((0..=100).contains(&v));
+        }
+    }
+
+    #[test]
+    fn centre_heavy() {
+        let mut d = NormalDistribution::new(1000, 0.2);
+        let mut rng = SimRng::new(9);
+        let n = 50_000;
+        let mut centre = 0usize;
+        let mut sum = 0i64;
+        for _ in 0..n {
+            let v = d.sample(&mut rng);
+            sum += v;
+            // within one sigma of the mean
+            if (300..=700).contains(&v) {
+                centre += 1;
+            }
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 500.0).abs() < 5.0, "mean {mean}");
+        let frac = centre as f64 / n as f64;
+        // ~68 % within 1 sigma for a true normal.
+        assert!((0.64..=0.72).contains(&frac), "centre fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sd fraction")]
+    fn zero_sd_rejected() {
+        NormalDistribution::new(100, 0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Uniform value stream.
+
+use amnesia_util::SimRng;
+
+use crate::DataDistribution;
+
+/// Uniform over `0..=domain` — "data distributions mostly found in
+/// benchmark tables such as TPC-H" (paper §2.1).
+#[derive(Debug, Clone)]
+pub struct UniformDistribution {
+    domain: i64,
+}
+
+impl UniformDistribution {
+    /// Uniform over `0..=domain`. Panics if `domain < 0`.
+    pub fn new(domain: i64) -> Self {
+        assert!(domain >= 0, "domain must be non-negative");
+        Self { domain }
+    }
+}
+
+impl DataDistribution for UniformDistribution {
+    fn sample(&mut self, rng: &mut SimRng) -> i64 {
+        rng.range_i64(0, self.domain + 1)
+    }
+
+    fn domain(&self) -> i64 {
+        self.domain
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_in_domain_and_covers_it() {
+        let mut d = UniformDistribution::new(9);
+        let mut rng = SimRng::new(5);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            assert!((0..=9).contains(&v));
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 10 values should appear");
+    }
+
+    #[test]
+    fn mean_is_centered() {
+        let mut d = UniformDistribution::new(1000);
+        let mut rng = SimRng::new(6);
+        let n = 100_000;
+        let sum: i64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 500.0).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    fn degenerate_domain_zero() {
+        let mut d = UniformDistribution::new(0);
+        let mut rng = SimRng::new(7);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 0);
+        }
+    }
+}

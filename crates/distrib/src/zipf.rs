@@ -1,0 +1,169 @@
+//! Zipfian (skewed) value stream.
+
+use amnesia_util::rng::hash64;
+use amnesia_util::SimRng;
+
+use crate::DataDistribution;
+
+/// Zipfian distribution over the domain values, "to model a more realistic
+/// scenario, such as the Pareto principle (i.e., 80-20 rule) where some
+/// (random) values are dominant" (paper §2.1).
+///
+/// Rank `k` (1-based) has probability `∝ 1 / k^theta`. Ranks are sampled
+/// with the Gray et al. quick-zipf method popularized by YCSB, then mapped
+/// to domain values through a pseudo-random permutation (a seeded Feistel-
+/// style hash) so the popular values land at *random* positions of the
+/// domain rather than clustering at 0.
+#[derive(Debug, Clone)]
+pub struct ZipfDistribution {
+    domain: i64,
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    scramble_seed: u64,
+}
+
+/// Generalized harmonic number `H_{n,theta}`.
+fn zeta(n: u64, theta: f64) -> f64 {
+    let mut sum = 0.0;
+    for i in 1..=n {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    sum
+}
+
+impl ZipfDistribution {
+    /// Zipf over `0..=domain` with exponent `theta` (0 < theta < 1 for the
+    /// YCSB construction; theta → 0 approaches uniform). `seed` drives the
+    /// rank-to-value scrambling.
+    pub fn new(domain: i64, theta: f64, seed: u64) -> Self {
+        assert!(domain >= 0, "domain must be non-negative");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0,1), got {theta}"
+        );
+        let n = domain as u64 + 1;
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            domain,
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            scramble_seed: seed,
+        }
+    }
+
+    /// Sample a 0-based *rank* (0 = most popular).
+    pub fn sample_rank(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Map a rank to a domain value via a seeded pseudo-random permutation.
+    fn rank_to_value(&self, rank: u64) -> i64 {
+        // Cycle-walking over a hash keeps the mapping bijective enough for
+        // our purposes: we only need "popular ranks land on well-spread
+        // values", not a true permutation, so a single mix-and-mod is fine.
+        (hash64(rank ^ self.scramble_seed) % self.n) as i64
+    }
+}
+
+impl DataDistribution for ZipfDistribution {
+    fn sample(&mut self, rng: &mut SimRng) -> i64 {
+        let rank = self.sample_rank(rng);
+        self.rank_to_value(rank)
+    }
+
+    fn domain(&self) -> i64 {
+        self.domain
+    }
+
+    fn name(&self) -> &'static str {
+        "zipfian"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_follow_power_law() {
+        let d = ZipfDistribution::new(9999, 0.99, 7);
+        let mut rng = SimRng::new(10);
+        let n = 200_000;
+        let mut rank0 = 0usize;
+        let mut rank1 = 0usize;
+        for _ in 0..n {
+            match d.sample_rank(&mut rng) {
+                0 => rank0 += 1,
+                1 => rank1 += 1,
+                _ => {}
+            }
+        }
+        // p(rank0)/p(rank1) = 2^theta ≈ 1.99 for theta = 0.99.
+        let ratio = rank0 as f64 / rank1 as f64;
+        assert!((1.7..=2.3).contains(&ratio), "ratio {ratio}");
+        // Head heaviness: rank 0 alone should hold a noticeable share.
+        let share = rank0 as f64 / n as f64;
+        assert!(share > 0.05, "head share {share}");
+    }
+
+    #[test]
+    fn values_within_domain_and_spread() {
+        let mut d = ZipfDistribution::new(999, 0.99, 3);
+        let mut rng = SimRng::new(11);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            let v = d.sample(&mut rng);
+            assert!((0..=999).contains(&v));
+            *counts.entry(v).or_insert(0usize) += 1;
+        }
+        // The most frequent value should NOT be 0: ranks are scrambled.
+        let (&top, _) = counts.iter().max_by_key(|(_, &c)| c).unwrap();
+        assert_ne!(top, 0, "scrambling should move the head");
+    }
+
+    #[test]
+    fn different_seeds_move_the_head() {
+        let mut rng = SimRng::new(12);
+        let mut d1 = ZipfDistribution::new(9999, 0.9, 1);
+        let mut d2 = ZipfDistribution::new(9999, 0.9, 2);
+        let head1 = {
+            let mut counts = std::collections::HashMap::new();
+            for _ in 0..20_000 {
+                *counts.entry(d1.sample(&mut rng)).or_insert(0usize) += 1;
+            }
+            *counts.iter().max_by_key(|(_, &c)| c).unwrap().0
+        };
+        let head2 = {
+            let mut counts = std::collections::HashMap::new();
+            for _ in 0..20_000 {
+                *counts.entry(d2.sample(&mut rng)).or_insert(0usize) += 1;
+            }
+            *counts.iter().max_by_key(|(_, &c)| c).unwrap().0
+        };
+        assert_ne!(head1, head2);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn theta_out_of_range_rejected() {
+        ZipfDistribution::new(100, 1.5, 0);
+    }
+}

@@ -1,0 +1,580 @@
+//! The executor: runs queries under a forget-visibility mode, with
+//! optional zone map, index and summary support, reporting per-query
+//! execution statistics.
+
+use amnesia_columnar::{Estimate, ModelStore, SortedIndex, SummaryStore, Table, ValueRange, ZoneMap};
+use amnesia_workload::query::{AggKind, Query, RangePredicate};
+use amnesia_workload::Query as Q;
+use serde::{Deserialize, Serialize};
+
+use crate::cost::CostModel;
+use crate::kernels;
+use crate::mode::ForgetVisibility;
+use crate::plan::{Plan, Planner};
+
+use amnesia_columnar::RowId;
+
+/// Auxiliary structures available to the executor.
+#[derive(Default)]
+pub struct Aux<'a> {
+    /// Zone map over the queried column, if maintained.
+    pub zonemap: Option<&'a ZoneMap>,
+    /// Sorted index over the queried column, if built.
+    pub index: Option<&'a SortedIndex>,
+    /// Summaries of forgotten data (enables whole-table aggregates that
+    /// account for what rotted away).
+    pub summaries: Option<&'a SummaryStore>,
+    /// Micro-models of forgotten data (paper §5 [15]): unlike summaries
+    /// they also *interpolate* range-restricted aggregates.
+    pub models: Option<&'a ModelStore>,
+}
+
+/// Result rows or an aggregate value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// Matching row ids (insertion order for scans, value order for index
+    /// probes).
+    Rows(Vec<RowId>),
+    /// Aggregate value; `None` encodes SQL NULL (empty selection).
+    Agg(Option<f64>),
+}
+
+impl QueryOutput {
+    /// Row count for row outputs, 0 for aggregates.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            QueryOutput::Rows(rows) => rows.len(),
+            QueryOutput::Agg(_) => 0,
+        }
+    }
+
+    /// The rows, if this is a row output.
+    pub fn rows(&self) -> Option<&[RowId]> {
+        match self {
+            QueryOutput::Rows(r) => Some(r),
+            QueryOutput::Agg(_) => None,
+        }
+    }
+
+    /// The aggregate value, if this is an aggregate output.
+    pub fn agg(&self) -> Option<Option<f64>> {
+        match self {
+            QueryOutput::Agg(v) => Some(*v),
+            QueryOutput::Rows(_) => None,
+        }
+    }
+}
+
+/// Per-query execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Rows examined.
+    pub rows_scanned: usize,
+    /// Blocks skipped thanks to the zone map.
+    pub blocks_pruned: usize,
+    /// Result cardinality (rows) or 0 for aggregates.
+    pub result_rows: usize,
+    /// Abstract cost charged by the cost model.
+    pub cost: f64,
+    /// Which plan ran ("full-scan", "pruned-scan", "index-probe").
+    pub plan: PlanTag,
+}
+
+/// Compact plan identifier for stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PlanTag {
+    /// Full table scan.
+    #[default]
+    FullScan,
+    /// Zone-map pruned scan.
+    PrunedScan,
+    /// Sorted-index probe.
+    IndexProbe,
+}
+
+/// A query result with its statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecResult {
+    /// Rows or aggregate.
+    pub output: QueryOutput,
+    /// Statistics.
+    pub stats: ExecStats,
+}
+
+/// Query executor.
+#[derive(Debug, Clone, Default)]
+pub struct Executor {
+    mode: ForgetVisibility,
+    planner: Planner,
+}
+
+impl Executor {
+    /// Executor with explicit mode and cost model.
+    pub fn new(mode: ForgetVisibility, cost: CostModel) -> Self {
+        Self {
+            mode,
+            planner: Planner::new(cost),
+        }
+    }
+
+    /// The forget-visibility mode.
+    pub fn mode(&self) -> ForgetVisibility {
+        self.mode
+    }
+
+    /// Execute a query against column `col` of `table`.
+    pub fn execute(&self, table: &Table, col: usize, query: &Query, aux: &Aux<'_>) -> ExecResult {
+        match query {
+            Q::Range(pred) => self.execute_range(table, col, *pred, aux),
+            Q::Point(v) => {
+                self.execute_range(table, col, RangePredicate::new(*v, v.saturating_add(1)), aux)
+            }
+            Q::Aggregate { kind, predicate } => {
+                self.execute_aggregate(table, col, *kind, *predicate, aux)
+            }
+        }
+    }
+
+    fn execute_range(
+        &self,
+        table: &Table,
+        col: usize,
+        pred: RangePredicate,
+        aux: &Aux<'_>,
+    ) -> ExecResult {
+        if pred.is_empty() {
+            return ExecResult {
+                output: QueryOutput::Rows(Vec::new()),
+                stats: ExecStats::default(),
+            };
+        }
+        // In ScanSeesForgotten mode the *complete scan* is the only plan
+        // that still covers forgotten tuples: zone maps and indexes track
+        // active data only (paper §1: "a complete scan will fetch all
+        // data, but a fast index-based query evaluation will skip the
+        // forgotten data"). Completeness costs a full physical scan.
+        let (plan, cost) = match self.mode {
+            ForgetVisibility::ScanSeesForgotten => (
+                Plan::FullScan,
+                self.planner.cost_model().full_scan(table.num_rows()),
+            ),
+            ForgetVisibility::ActiveOnly => self
+                .planner
+                .plan_range(table, pred, aux.zonemap, aux.index),
+        };
+        let (rows, rows_scanned, blocks_pruned, tag) = match &plan {
+            Plan::FullScan => {
+                let rows = match self.mode {
+                    ForgetVisibility::ActiveOnly => kernels::range_scan_active(table, col, pred),
+                    ForgetVisibility::ScanSeesForgotten => {
+                        kernels::range_scan_all(table, col, pred)
+                    }
+                };
+                let scanned = match self.mode {
+                    ForgetVisibility::ActiveOnly => table.active_rows(),
+                    ForgetVisibility::ScanSeesForgotten => table.num_rows(),
+                };
+                (rows, scanned, 0, PlanTag::FullScan)
+            }
+            Plan::PrunedScan { blocks, block_rows } => {
+                let total_blocks = aux
+                    .zonemap
+                    .map(ZoneMap::num_blocks)
+                    .unwrap_or(blocks.len());
+                let rows = kernels::range_scan_blocks(table, col, pred, blocks, *block_rows);
+                (
+                    rows,
+                    blocks.len() * block_rows,
+                    total_blocks - blocks.len(),
+                    PlanTag::PrunedScan,
+                )
+            }
+            Plan::IndexProbe => {
+                let idx = aux.index.expect("planner only picks built indexes");
+                let rows = idx.probe_range_active(table, pred.lo, pred.hi_inclusive());
+                let scanned = rows.len();
+                (rows, scanned, 0, PlanTag::IndexProbe)
+            }
+        };
+        let result_rows = rows.len();
+        ExecResult {
+            output: QueryOutput::Rows(rows),
+            stats: ExecStats {
+                rows_scanned,
+                blocks_pruned,
+                result_rows,
+                cost,
+                plan: tag,
+            },
+        }
+    }
+
+    fn execute_aggregate(
+        &self,
+        table: &Table,
+        col: usize,
+        kind: AggKind,
+        predicate: Option<RangePredicate>,
+        aux: &Aux<'_>,
+    ) -> ExecResult {
+        let (mut value, scanned) = kernels::aggregate_active(table, col, predicate, kind);
+
+        // Whole-table aggregates can fold in summaries of forgotten data
+        // (paper §1: summaries answer "specific aggregation queries" only —
+        // a predicate disables them because cell membership is unknown).
+        if predicate.is_none() {
+            if let Some(summaries) = aux.summaries {
+                let cell = summaries.combined();
+                if cell.count > 0 {
+                    value = Some(combine_with_summary(table, col, value, kind, &cell));
+                }
+            }
+        }
+
+        // Micro-models go further: their histograms pro-rate the
+        // forgotten mass inside a predicate, so ranged aggregates get an
+        // estimate instead of an active-only answer.
+        if let Some(models) = aux.models {
+            let range = predicate.map(|p| ValueRange { lo: p.lo, hi: p.hi });
+            let est = models.estimate(range);
+            if est.count > 1e-12 {
+                value = Some(combine_with_estimate(
+                    table, col, predicate, value, kind, &est,
+                ));
+            }
+        }
+
+        let cost = self.planner.cost_model().full_scan(scanned);
+        ExecResult {
+            output: QueryOutput::Agg(value),
+            stats: ExecStats {
+                rows_scanned: scanned,
+                blocks_pruned: 0,
+                result_rows: 0,
+                cost,
+                plan: PlanTag::FullScan,
+            },
+        }
+    }
+}
+
+/// Merge the active-side aggregate with a summary cell of forgotten data.
+fn combine_with_summary(
+    table: &Table,
+    col: usize,
+    active: Option<f64>,
+    kind: AggKind,
+    cell: &amnesia_columnar::SummaryCell,
+) -> f64 {
+    // Recompute exact active-state pieces needed for the combination.
+    let (active_count, _) = kernels::aggregate_active(table, col, None, AggKind::Count);
+    let n_active = active_count.unwrap_or(0.0);
+    match kind {
+        AggKind::Count => n_active + cell.count as f64,
+        AggKind::Sum => active.unwrap_or(0.0) + cell.sum as f64,
+        AggKind::Avg => {
+            let (active_sum, _) = kernels::aggregate_active(table, col, None, AggKind::Sum);
+            let total_sum = active_sum.unwrap_or(0.0) + cell.sum as f64;
+            let total_count = n_active + cell.count as f64;
+            total_sum / total_count
+        }
+        AggKind::Min => {
+            let m = cell.min_value().map(|v| v as f64);
+            match (active, m) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => f64::NAN,
+            }
+        }
+        AggKind::Max => {
+            let m = cell.max_value().map(|v| v as f64);
+            match (active, m) {
+                (Some(a), Some(b)) => a.max(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => f64::NAN,
+            }
+        }
+    }
+}
+
+/// Merge the active-side aggregate with a micro-model estimate of the
+/// forgotten mass (optionally restricted to the query's predicate).
+fn combine_with_estimate(
+    table: &Table,
+    col: usize,
+    predicate: Option<RangePredicate>,
+    active: Option<f64>,
+    kind: AggKind,
+    est: &Estimate,
+) -> f64 {
+    let (active_count, _) = kernels::aggregate_active(table, col, predicate, AggKind::Count);
+    let n_active = active_count.unwrap_or(0.0);
+    match kind {
+        AggKind::Count => n_active + est.count,
+        AggKind::Sum => active.unwrap_or(0.0) + est.sum,
+        AggKind::Avg => {
+            let (active_sum, _) =
+                kernels::aggregate_active(table, col, predicate, AggKind::Sum);
+            (active_sum.unwrap_or(0.0) + est.sum) / (n_active + est.count)
+        }
+        AggKind::Min => {
+            let m = est.min.map(|v| v as f64);
+            match (active, m) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => f64::NAN,
+            }
+        }
+        AggKind::Max => {
+            let m = est.max.map(|v| v as f64);
+            match (active, m) {
+                (Some(a), Some(b)) => a.max(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => f64::NAN,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesia_columnar::Schema;
+
+    fn table() -> Table {
+        let mut t = Table::new(Schema::single("a"));
+        t.insert_batch(&[10, 20, 30, 40, 50], 0).unwrap();
+        t.forget(RowId(1), 1).unwrap(); // 20 forgotten
+        t
+    }
+
+    #[test]
+    fn range_active_only() {
+        let t = table();
+        let ex = Executor::default();
+        let r = ex.execute(&t, 0, &Q::Range(RangePredicate::new(15, 45)), &Aux::default());
+        assert_eq!(r.output.rows().unwrap(), &[RowId(2), RowId(3)]);
+        assert_eq!(r.stats.result_rows, 2);
+        assert_eq!(r.stats.plan, PlanTag::FullScan);
+    }
+
+    #[test]
+    fn scan_sees_forgotten_mode() {
+        let t = table();
+        let ex = Executor::new(ForgetVisibility::ScanSeesForgotten, CostModel::default());
+        let r = ex.execute(&t, 0, &Q::Range(RangePredicate::new(15, 45)), &Aux::default());
+        // The complete scan fetches the forgotten 20 as well.
+        assert_eq!(r.output.rows().unwrap(), &[RowId(1), RowId(2), RowId(3)]);
+    }
+
+    #[test]
+    fn index_path_always_skips_forgotten() {
+        let t = table();
+        let mut idx = SortedIndex::build(&t, 0);
+        idx.rebuild(&t);
+        // Force index choice by making the table "large" conceptually:
+        // probe directly through the executor with aux present on a narrow
+        // predicate. With only 5 rows the planner may still choose scans,
+        // so call the probe path explicitly.
+        let rows = idx.probe_range_active(&t, 15, 44);
+        assert_eq!(rows, vec![RowId(2), RowId(3)]);
+    }
+
+    #[test]
+    fn point_query() {
+        let t = table();
+        let ex = Executor::default();
+        let r = ex.execute(&t, 0, &Q::Point(30), &Aux::default());
+        assert_eq!(r.output.rows().unwrap(), &[RowId(2)]);
+        let miss = ex.execute(&t, 0, &Q::Point(20), &Aux::default());
+        assert!(miss.output.rows().unwrap().is_empty(), "forgotten point");
+    }
+
+    #[test]
+    fn aggregate_without_summaries_drifts() {
+        let t = table();
+        let ex = Executor::default();
+        let r = ex.execute(
+            &t,
+            0,
+            &Q::Aggregate {
+                kind: AggKind::Avg,
+                predicate: None,
+            },
+            &Aux::default(),
+        );
+        // Active: 10,30,40,50 → 32.5 (true avg over history is 30).
+        assert_eq!(r.output.agg().unwrap(), Some(32.5));
+    }
+
+    #[test]
+    fn aggregate_with_summaries_recovers_exact_answer() {
+        let t = table();
+        let mut summaries = SummaryStore::new();
+        summaries.absorb(0, 20); // the forgotten value
+        let ex = Executor::default();
+        let aux = Aux {
+            summaries: Some(&summaries),
+            ..Default::default()
+        };
+        let avg = ex
+            .execute(
+                &t,
+                0,
+                &Q::Aggregate {
+                    kind: AggKind::Avg,
+                    predicate: None,
+                },
+                &aux,
+            )
+            .output
+            .agg()
+            .unwrap();
+        assert_eq!(avg, Some(30.0), "summary restores the exact average");
+
+        let count = ex
+            .execute(
+                &t,
+                0,
+                &Q::Aggregate {
+                    kind: AggKind::Count,
+                    predicate: None,
+                },
+                &aux,
+            )
+            .output
+            .agg()
+            .unwrap();
+        assert_eq!(count, Some(5.0));
+
+        let min = ex
+            .execute(
+                &t,
+                0,
+                &Q::Aggregate {
+                    kind: AggKind::Min,
+                    predicate: None,
+                },
+                &aux,
+            )
+            .output
+            .agg()
+            .unwrap();
+        assert_eq!(min, Some(10.0));
+    }
+
+    #[test]
+    fn predicated_aggregate_ignores_summaries() {
+        let t = table();
+        let mut summaries = SummaryStore::new();
+        summaries.absorb(0, 20);
+        let ex = Executor::default();
+        let aux = Aux {
+            summaries: Some(&summaries),
+            ..Default::default()
+        };
+        let avg = ex
+            .execute(
+                &t,
+                0,
+                &Q::Aggregate {
+                    kind: AggKind::Avg,
+                    predicate: Some(RangePredicate::new(0, 100)),
+                },
+                &aux,
+            )
+            .output
+            .agg()
+            .unwrap();
+        // Summaries cannot be sliced by value: active-only answer.
+        assert_eq!(avg, Some(32.5));
+    }
+
+    #[test]
+    fn predicated_aggregate_uses_models() {
+        let t = table();
+        let mut models = ModelStore::new(8);
+        models.absorb(1, 20); // the forgotten value
+        models.seal();
+        let ex = Executor::default();
+        let aux = Aux {
+            models: Some(&models),
+            ..Default::default()
+        };
+        // Range [0, 100) contains the forgotten 20: COUNT recovers it.
+        let count = ex
+            .execute(
+                &t,
+                0,
+                &Q::Aggregate {
+                    kind: AggKind::Count,
+                    predicate: Some(RangePredicate::new(0, 100)),
+                },
+                &aux,
+            )
+            .output
+            .agg()
+            .unwrap();
+        assert_eq!(count, Some(5.0), "model restores the ranged count");
+        // Range [35, 100) excludes it: no model contribution.
+        let count = ex
+            .execute(
+                &t,
+                0,
+                &Q::Aggregate {
+                    kind: AggKind::Count,
+                    predicate: Some(RangePredicate::new(35, 100)),
+                },
+                &aux,
+            )
+            .output
+            .agg()
+            .unwrap();
+        assert_eq!(count, Some(2.0), "40 and 50 only");
+        // Whole-table AVG is exact from model totals.
+        let avg = ex
+            .execute(
+                &t,
+                0,
+                &Q::Aggregate {
+                    kind: AggKind::Avg,
+                    predicate: None,
+                },
+                &aux,
+            )
+            .output
+            .agg()
+            .unwrap();
+        assert_eq!(avg, Some(30.0));
+    }
+
+    #[test]
+    fn empty_predicate_short_circuits() {
+        let t = table();
+        let ex = Executor::default();
+        let r = ex.execute(&t, 0, &Q::Range(RangePredicate::new(50, 10)), &Aux::default());
+        assert!(r.output.rows().unwrap().is_empty());
+        assert_eq!(r.stats.rows_scanned, 0);
+    }
+
+    #[test]
+    fn pruned_scan_engages_with_zonemap() {
+        let mut t = Table::new(Schema::single("a"));
+        let values: Vec<i64> = (0..50_000).collect();
+        t.insert_batch(&values, 0).unwrap();
+        let zm = ZoneMap::build(&t, 0);
+        let ex = Executor::default();
+        let aux = Aux {
+            zonemap: Some(&zm),
+            ..Default::default()
+        };
+        let r = ex.execute(&t, 0, &Q::Range(RangePredicate::new(100, 200)), &aux);
+        assert_eq!(r.stats.plan, PlanTag::PrunedScan);
+        assert!(r.stats.blocks_pruned > 40);
+        assert_eq!(r.output.cardinality(), 100);
+    }
+}

@@ -1,0 +1,288 @@
+//! Equi-join execution over amnesiac tables.
+//!
+//! The paper carves its workload out of "the unbounded space of
+//! SELECT-PROJECT-JOIN queries" (§2.2) and flags joins as the place where
+//! amnesia bites hardest: a forgotten tuple on *either* side removes all
+//! its join partners from the result (§5's referential-integrity
+//! discussion). The hash join here exposes both visibility regimes so the
+//! JOIN-PREC experiment can compare the amnesiac answer with the
+//! all-rows-ever ground truth kept by mark-only storage.
+
+use std::collections::HashMap;
+
+use amnesia_columnar::{RowId, Table, Value};
+
+use crate::mode::ForgetVisibility;
+
+/// Cardinalities observed while executing a join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JoinStats {
+    /// Rows hashed on the build side.
+    pub build_rows: usize,
+    /// Distinct keys in the build table.
+    pub build_distinct_keys: usize,
+    /// Rows streamed on the probe side.
+    pub probe_rows: usize,
+    /// Output pairs produced.
+    pub output_pairs: usize,
+}
+
+/// A join answer: matching `(left row, right row)` pairs plus stats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinResult {
+    /// Matching row pairs in probe order (right-major).
+    pub pairs: Vec<(RowId, RowId)>,
+    /// Execution cardinalities.
+    pub stats: JoinStats,
+}
+
+/// Hash equi-join `left.left_col = right.right_col`.
+///
+/// Builds on the left input and probes with the right, so pairs come out
+/// grouped by right row. `visibility` decides whether forgotten tuples
+/// participate: [`ForgetVisibility::ActiveOnly`] is the amnesiac answer,
+/// [`ForgetVisibility::ScanSeesForgotten`] the mark-only ground truth.
+pub fn hash_join(
+    left: &Table,
+    left_col: usize,
+    right: &Table,
+    right_col: usize,
+    visibility: ForgetVisibility,
+) -> JoinResult {
+    let mut build: HashMap<Value, Vec<RowId>> = HashMap::new();
+    let mut build_rows = 0usize;
+    let mut add = |table: &Table, r: RowId| {
+        build
+            .entry(table.value(left_col, r))
+            .or_default()
+            .push(r);
+    };
+    match visibility {
+        ForgetVisibility::ActiveOnly => {
+            for r in left.iter_active() {
+                add(left, r);
+                build_rows += 1;
+            }
+        }
+        ForgetVisibility::ScanSeesForgotten => {
+            for r in 0..left.num_rows() {
+                add(left, RowId::from(r));
+            }
+            build_rows = left.num_rows();
+        }
+    }
+    let build_distinct_keys = build.len();
+
+    let mut pairs = Vec::new();
+    let mut probe_rows = 0usize;
+    let mut probe = |r: RowId| {
+        if let Some(ls) = build.get(&right.value(right_col, r)) {
+            pairs.extend(ls.iter().map(|&l| (l, r)));
+        }
+    };
+    match visibility {
+        ForgetVisibility::ActiveOnly => {
+            for r in right.iter_active() {
+                probe(r);
+                probe_rows += 1;
+            }
+        }
+        ForgetVisibility::ScanSeesForgotten => {
+            for r in 0..right.num_rows() {
+                probe(RowId::from(r));
+            }
+            probe_rows = right.num_rows();
+        }
+    }
+
+    let output_pairs = pairs.len();
+    JoinResult {
+        pairs,
+        stats: JoinStats {
+            build_rows,
+            build_distinct_keys,
+            probe_rows,
+            output_pairs,
+        },
+    }
+}
+
+/// Number of matching pairs without materializing them.
+pub fn hash_join_count(
+    left: &Table,
+    left_col: usize,
+    right: &Table,
+    right_col: usize,
+    visibility: ForgetVisibility,
+) -> usize {
+    // Count-only probe: hash build side key → multiplicity.
+    let mut build: HashMap<Value, usize> = HashMap::new();
+    match visibility {
+        ForgetVisibility::ActiveOnly => {
+            for r in left.iter_active() {
+                *build.entry(left.value(left_col, r)).or_default() += 1;
+            }
+        }
+        ForgetVisibility::ScanSeesForgotten => {
+            for r in 0..left.num_rows() {
+                *build.entry(left.value(left_col, RowId::from(r))).or_default() += 1;
+            }
+        }
+    }
+    let mut count = 0usize;
+    let probe_one = |r: RowId, count: &mut usize| {
+        if let Some(&m) = build.get(&right.value(right_col, r)) {
+            *count += m;
+        }
+    };
+    match visibility {
+        ForgetVisibility::ActiveOnly => {
+            for r in right.iter_active() {
+                probe_one(r, &mut count);
+            }
+        }
+        ForgetVisibility::ScanSeesForgotten => {
+            for r in 0..right.num_rows() {
+                probe_one(RowId::from(r), &mut count);
+            }
+        }
+    }
+    count
+}
+
+/// Join precision under amnesia: pairs surviving in the active join over
+/// pairs in the all-rows ground truth (`RF/(RF+MF)` lifted to joins).
+/// `None` when the ground-truth join is empty.
+pub fn join_precision(
+    left: &Table,
+    left_col: usize,
+    right: &Table,
+    right_col: usize,
+) -> Option<f64> {
+    let truth = hash_join_count(
+        left,
+        left_col,
+        right,
+        right_col,
+        ForgetVisibility::ScanSeesForgotten,
+    );
+    if truth == 0 {
+        return None;
+    }
+    let active = hash_join_count(
+        left,
+        left_col,
+        right,
+        right_col,
+        ForgetVisibility::ActiveOnly,
+    );
+    Some(active as f64 / truth as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesia_columnar::Schema;
+
+    /// parent(key), child(fk, payload).
+    fn fixtures() -> (Table, Table) {
+        let mut parent = Table::new(Schema::single("key"));
+        for k in [1i64, 2, 3, 3] {
+            parent.insert(&[k], 0).unwrap();
+        }
+        let mut child = Table::new(Schema::new(vec!["fk", "payload"]));
+        for (fk, p) in [(1i64, 10i64), (1, 11), (3, 30), (4, 40)] {
+            child.insert(&[fk, p], 0).unwrap();
+        }
+        (parent, child)
+    }
+
+    #[test]
+    fn join_matches_expected_pairs() {
+        let (parent, child) = fixtures();
+        let r = hash_join(&parent, 0, &child, 0, ForgetVisibility::ActiveOnly);
+        // key 1 → child rows 0,1; key 3 appears twice in parent → child
+        // row 2 pairs with both parent rows 2 and 3; key 4 dangles.
+        assert_eq!(r.stats.output_pairs, 4);
+        let mut pairs = r.pairs.clone();
+        pairs.sort();
+        assert_eq!(
+            pairs,
+            vec![
+                (RowId(0), RowId(0)),
+                (RowId(0), RowId(1)),
+                (RowId(2), RowId(2)),
+                (RowId(3), RowId(2)),
+            ]
+        );
+        assert_eq!(r.stats.build_rows, 4);
+        assert_eq!(r.stats.build_distinct_keys, 3);
+        assert_eq!(r.stats.probe_rows, 4);
+    }
+
+    #[test]
+    fn count_agrees_with_materialized_join() {
+        let (parent, child) = fixtures();
+        for vis in [
+            ForgetVisibility::ActiveOnly,
+            ForgetVisibility::ScanSeesForgotten,
+        ] {
+            let full = hash_join(&parent, 0, &child, 0, vis);
+            let count = hash_join_count(&parent, 0, &child, 0, vis);
+            assert_eq!(count, full.stats.output_pairs, "{vis:?}");
+        }
+    }
+
+    #[test]
+    fn forgetting_a_build_row_removes_its_pairs() {
+        let (mut parent, child) = fixtures();
+        parent.forget(RowId(0), 1).unwrap(); // key 1 forgotten
+        let active = hash_join(&parent, 0, &child, 0, ForgetVisibility::ActiveOnly);
+        assert_eq!(active.stats.output_pairs, 2, "only key-3 pairs remain");
+        // Ground truth still sees everything.
+        let truth = hash_join(&parent, 0, &child, 0, ForgetVisibility::ScanSeesForgotten);
+        assert_eq!(truth.stats.output_pairs, 4);
+    }
+
+    #[test]
+    fn forgetting_a_probe_row_removes_its_pairs() {
+        let (parent, mut child) = fixtures();
+        child.forget(RowId(2), 1).unwrap(); // fk=3 child forgotten
+        let active = hash_join(&parent, 0, &child, 0, ForgetVisibility::ActiveOnly);
+        assert_eq!(active.stats.output_pairs, 2, "key-1 pairs remain");
+    }
+
+    #[test]
+    fn precision_tracks_forgotten_pairs() {
+        let (mut parent, child) = fixtures();
+        assert_eq!(join_precision(&parent, 0, &child, 0), Some(1.0));
+        parent.forget(RowId(0), 1).unwrap(); // kills 2 of 4 pairs
+        assert_eq!(join_precision(&parent, 0, &child, 0), Some(0.5));
+    }
+
+    #[test]
+    fn empty_truth_yields_none() {
+        let mut left = Table::new(Schema::single("a"));
+        left.insert(&[1], 0).unwrap();
+        let mut right = Table::new(Schema::single("a"));
+        right.insert(&[2], 0).unwrap();
+        assert_eq!(join_precision(&left, 0, &right, 0), None);
+    }
+
+    #[test]
+    fn empty_inputs_do_not_panic() {
+        let left = Table::new(Schema::single("a"));
+        let right = Table::new(Schema::single("a"));
+        let r = hash_join(&left, 0, &right, 0, ForgetVisibility::ActiveOnly);
+        assert!(r.pairs.is_empty());
+        assert_eq!(r.stats.build_distinct_keys, 0);
+    }
+
+    #[test]
+    fn self_join_counts_value_multiplicities() {
+        let mut t = Table::new(Schema::single("a"));
+        t.insert_batch(&[5, 5, 5, 9], 0).unwrap();
+        let n = hash_join_count(&t, 0, &t, 0, ForgetVisibility::ActiveOnly);
+        assert_eq!(n, 9 + 1, "3×3 fives plus 1×1 nine");
+    }
+}

@@ -1,0 +1,250 @@
+//! Vectorized-ish scan and aggregate kernels.
+//!
+//! These are the tight loops underneath every query: filter a column by a
+//! range predicate intersected with the activity bitmap, or fold an
+//! aggregate over the selection. They operate block-at-a-time over the
+//! bitmap words so the active check costs one shift per row.
+
+use amnesia_columnar::{RowId, Table, Value};
+use amnesia_workload::query::{AggKind, RangePredicate};
+
+/// Collect active rows of `col` matching `pred` (insertion order).
+pub fn range_scan_active(table: &Table, col: usize, pred: RangePredicate) -> Vec<RowId> {
+    let mut out = Vec::new();
+    let column = table.column(col);
+    for row in table.iter_active() {
+        if pred.matches(column.get(row.as_usize())) {
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// Collect *all* physical rows matching `pred`, forgotten or not — the
+/// "complete scan will fetch all data" path of paper §1.
+pub fn range_scan_all(table: &Table, col: usize, pred: RangePredicate) -> Vec<RowId> {
+    let column = table.column(col);
+    (0..table.num_rows())
+        .filter(|&r| pred.matches(column.get(r)))
+        .map(RowId::from)
+        .collect()
+}
+
+/// Count active matches without materializing row ids.
+pub fn count_active_matches(table: &Table, col: usize, pred: RangePredicate) -> usize {
+    let column = table.column(col);
+    table
+        .iter_active()
+        .filter(|r| pred.matches(column.get(r.as_usize())))
+        .count()
+}
+
+/// Collect active matches restricted to the given physical blocks
+/// (`block_rows` rows per block) — the zone-map pruned path.
+pub fn range_scan_blocks(
+    table: &Table,
+    col: usize,
+    pred: RangePredicate,
+    blocks: &[usize],
+    block_rows: usize,
+) -> Vec<RowId> {
+    let mut out = Vec::new();
+    let column = table.column(col);
+    let activity = table.activity();
+    let n = table.num_rows();
+    for &b in blocks {
+        let lo = b * block_rows;
+        let hi = (lo + block_rows).min(n);
+        for r in lo..hi {
+            let id = RowId::from(r);
+            if activity.is_active(id) && pred.matches(column.get(r)) {
+                out.push(id);
+            }
+        }
+    }
+    out
+}
+
+/// Streaming aggregate state.
+#[derive(Debug, Clone, Copy)]
+pub struct AggState {
+    count: u64,
+    sum: i128,
+    min: Value,
+    max: Value,
+}
+
+impl AggState {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: Value::MAX,
+            max: Value::MIN,
+        }
+    }
+
+    /// Fold one value.
+    #[inline]
+    pub fn push(&mut self, v: Value) {
+        self.count += 1;
+        self.sum += v as i128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of folded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Fold another state in (parallel partial aggregation).
+    pub fn merge(&mut self, other: &AggState) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Finalize for an aggregate kind; `None` when the selection was empty
+    /// (COUNT returns 0 instead).
+    pub fn finalize(&self, kind: AggKind) -> Option<f64> {
+        match kind {
+            AggKind::Count => Some(self.count as f64),
+            AggKind::Sum => (self.count > 0).then_some(self.sum as f64),
+            AggKind::Avg => (self.count > 0).then(|| self.sum as f64 / self.count as f64),
+            AggKind::Min => (self.count > 0).then_some(self.min as f64),
+            AggKind::Max => (self.count > 0).then_some(self.max as f64),
+        }
+    }
+}
+
+impl Default for AggState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Aggregate `col` over active rows matching the optional predicate.
+pub fn aggregate_active(
+    table: &Table,
+    col: usize,
+    pred: Option<RangePredicate>,
+    kind: AggKind,
+) -> (Option<f64>, usize) {
+    let column = table.column(col);
+    let mut state = AggState::new();
+    let mut scanned = 0usize;
+    for row in table.iter_active() {
+        scanned += 1;
+        let v = column.get(row.as_usize());
+        if pred.is_none_or(|p| p.matches(v)) {
+            state.push(v);
+        }
+    }
+    (state.finalize(kind), scanned)
+}
+
+/// Aggregate over an explicit row-id list.
+pub fn aggregate_rows(table: &Table, col: usize, rows: &[RowId], kind: AggKind) -> Option<f64> {
+    let column = table.column(col);
+    let mut state = AggState::new();
+    for &r in rows {
+        state.push(column.get(r.as_usize()));
+    }
+    state.finalize(kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesia_columnar::Schema;
+    use amnesia_workload::query::RangePredicate as P;
+
+    fn table() -> Table {
+        let mut t = Table::new(Schema::single("a"));
+        t.insert_batch(&[5, 15, 25, 35, 45, 55], 0).unwrap();
+        t.forget(RowId(2), 1).unwrap(); // 25 forgotten
+        t
+    }
+
+    #[test]
+    fn active_scan_skips_forgotten() {
+        let t = table();
+        let rows = range_scan_active(&t, 0, P::new(10, 40));
+        assert_eq!(rows, vec![RowId(1), RowId(3)]); // 15, 35
+        assert_eq!(count_active_matches(&t, 0, P::new(10, 40)), 2);
+    }
+
+    #[test]
+    fn full_scan_sees_forgotten() {
+        let t = table();
+        let rows = range_scan_all(&t, 0, P::new(10, 40));
+        assert_eq!(rows, vec![RowId(1), RowId(2), RowId(3)]);
+    }
+
+    #[test]
+    fn block_scan_matches_full_active_scan() {
+        let t = table();
+        let pred = P::new(0, 100);
+        let via_blocks = range_scan_blocks(&t, 0, pred, &[0, 1, 2], 2);
+        let direct = range_scan_active(&t, 0, pred);
+        assert_eq!(via_blocks, direct);
+        // Restricting blocks restricts results.
+        let partial = range_scan_blocks(&t, 0, pred, &[0], 2);
+        assert_eq!(partial, vec![RowId(0), RowId(1)]);
+    }
+
+    #[test]
+    fn aggregates_respect_activity() {
+        let t = table();
+        // Active values: 5, 15, 35, 45, 55 — sum 155, avg 31.
+        let (avg, scanned) = aggregate_active(&t, 0, None, AggKind::Avg);
+        assert_eq!(avg, Some(31.0));
+        assert_eq!(scanned, 5);
+        let (sum, _) = aggregate_active(&t, 0, None, AggKind::Sum);
+        assert_eq!(sum, Some(155.0));
+        let (min, _) = aggregate_active(&t, 0, None, AggKind::Min);
+        assert_eq!(min, Some(5.0));
+        let (max, _) = aggregate_active(&t, 0, None, AggKind::Max);
+        assert_eq!(max, Some(55.0));
+        let (count, _) = aggregate_active(&t, 0, None, AggKind::Count);
+        assert_eq!(count, Some(5.0));
+    }
+
+    #[test]
+    fn aggregate_with_predicate() {
+        let t = table();
+        let (avg, _) = aggregate_active(&t, 0, Some(P::new(10, 50)), AggKind::Avg);
+        // matching active values: 15, 35, 45 → avg 31.666…
+        assert!((avg.unwrap() - 95.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_selection_semantics() {
+        let t = table();
+        let (avg, _) = aggregate_active(&t, 0, Some(P::new(1000, 2000)), AggKind::Avg);
+        assert_eq!(avg, None, "AVG of empty is NULL");
+        let (count, _) = aggregate_active(&t, 0, Some(P::new(1000, 2000)), AggKind::Count);
+        assert_eq!(count, Some(0.0), "COUNT of empty is 0");
+    }
+
+    #[test]
+    fn aggregate_rows_over_explicit_ids() {
+        let t = table();
+        let v = aggregate_rows(&t, 0, &[RowId(0), RowId(5)], AggKind::Sum);
+        assert_eq!(v, Some(60.0));
+        assert_eq!(aggregate_rows(&t, 0, &[], AggKind::Sum), None);
+    }
+
+    #[test]
+    fn agg_state_extremes() {
+        let mut s = AggState::new();
+        s.push(i64::MAX);
+        s.push(i64::MAX);
+        // i128 accumulator: no overflow.
+        assert_eq!(s.finalize(AggKind::Sum), Some(2.0 * i64::MAX as f64));
+        assert_eq!(s.finalize(AggKind::Avg), Some(i64::MAX as f64));
+    }
+}

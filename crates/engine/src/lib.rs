@@ -1,0 +1,37 @@
+//! Query execution over amnesiac tables.
+//!
+//! The paper sketches three execution regimes for forgotten data (§1):
+//! delete it, stop indexing it ("a complete scan will fetch all data, but a
+//! fast index-based query evaluation will skip the forgotten data"), or
+//! tier/summarize it. This crate provides the executor that realizes those
+//! regimes over [`amnesia_columnar::Table`]:
+//!
+//! * [`kernels`] — tight scan / filter / aggregate loops over the active
+//!   bitmap,
+//! * [`plan`] — a small cost-based planner choosing full scan, zone-map
+//!   pruned scan, or sorted-index probe,
+//! * [`cost`] — the abstract cost model (hot rows vs. cold fetches),
+//! * [`exec`] — the [`exec::Executor`] tying it together and reporting
+//!   [`exec::ExecStats`] for every query,
+//! * [`join`] — hash equi-joins with per-visibility answers (the §2.2
+//!   SELECT-PROJECT-JOIN subspace, and §5's referential precision),
+//! * [`parallel`] — crossbeam-scoped parallel scan/aggregate kernels,
+//! * [`mode`] — forget-visibility modes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost;
+pub mod exec;
+pub mod join;
+pub mod kernels;
+pub mod mode;
+pub mod parallel;
+pub mod plan;
+
+pub use cost::CostModel;
+pub use exec::{Aux, ExecResult, ExecStats, Executor, QueryOutput};
+pub use join::{hash_join, hash_join_count, JoinResult, JoinStats};
+pub use mode::ForgetVisibility;
+pub use parallel::{par_aggregate_active, par_range_scan_active};
+pub use plan::{Plan, Planner};

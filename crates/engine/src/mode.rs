@@ -1,0 +1,43 @@
+//! Forget-visibility modes.
+
+use serde::{Deserialize, Serialize};
+
+/// What query evaluation does with forgotten tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ForgetVisibility {
+    /// Forgotten tuples never appear in results — the amnesia default
+    /// ("data is forgotten and will never show up in query results",
+    /// paper §5).
+    #[default]
+    ActiveOnly,
+    /// The lighter option from §1: forgotten tuples are only dropped from
+    /// *index* structures. A full scan still fetches them; only the fast
+    /// index path skips them. Queries answered by scan are complete but
+    /// slow; queries answered by index are fast but amnesiac.
+    ScanSeesForgotten,
+}
+
+impl ForgetVisibility {
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ForgetVisibility::ActiveOnly => "active-only",
+            ForgetVisibility::ScanSeesForgotten => "scan-sees-forgotten",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_active_only() {
+        assert_eq!(ForgetVisibility::default(), ForgetVisibility::ActiveOnly);
+        assert_eq!(ForgetVisibility::ActiveOnly.name(), "active-only");
+        assert_eq!(
+            ForgetVisibility::ScanSeesForgotten.name(),
+            "scan-sees-forgotten"
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Parallel scan and aggregate kernels.
+//!
+//! The paper motivates amnesia partly by the cost of "Cloud-based
+//! parallel processing" (§6); a credible host engine therefore needs
+//! intra-query parallelism. These kernels split the physical row space
+//! into contiguous chunks, scan each on a crossbeam-scoped thread, and
+//! stitch results back in row order — so they return *exactly* what
+//! their serial counterparts in [`kernels`](crate::kernels) return.
+
+use amnesia_columnar::{RowId, Table};
+use amnesia_workload::query::{AggKind, RangePredicate, Value};
+
+use crate::kernels::AggState;
+
+/// Pick a sane chunk count: enough to spread work, not so many that
+/// stitching dominates.
+fn chunks_for(rows: usize, threads: usize) -> usize {
+    threads.clamp(1, rows.max(1))
+}
+
+/// Parallel version of [`kernels::range_scan_active`]: matching active
+/// rows in insertion order.
+///
+/// [`kernels::range_scan_active`]: crate::kernels::range_scan_active
+pub fn par_range_scan_active(
+    table: &Table,
+    col: usize,
+    pred: RangePredicate,
+    threads: usize,
+) -> Vec<RowId> {
+    let n = table.num_rows();
+    if n == 0 || pred.is_empty() {
+        return Vec::new();
+    }
+    let chunks = chunks_for(n, threads);
+    if chunks == 1 {
+        return crate::kernels::range_scan_active(table, col, pred);
+    }
+    let chunk_rows = n.div_ceil(chunks);
+    let column = table.column(col);
+    let activity = table.activity();
+
+    let mut partials: Vec<Vec<RowId>> = Vec::with_capacity(chunks);
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..chunks)
+            .map(|c| {
+                let lo = c * chunk_rows;
+                let hi = ((c + 1) * chunk_rows).min(n);
+                s.spawn(move |_| {
+                    let mut out = Vec::new();
+                    for r in lo..hi {
+                        let id = RowId::from(r);
+                        if activity.is_active(id) && pred.matches(column.get(r)) {
+                            out.push(id);
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("scan worker"));
+        }
+    })
+    .expect("scan scope");
+
+    // Chunks are contiguous and ordered: concatenation preserves
+    // insertion order.
+    let total = partials.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in partials {
+        out.extend(p);
+    }
+    out
+}
+
+/// Parallel version of [`kernels::aggregate_active`]: aggregate `col`
+/// over active rows matching the optional predicate. Returns the value
+/// and the number of rows scanned.
+///
+/// [`kernels::aggregate_active`]: crate::kernels::aggregate_active
+pub fn par_aggregate_active(
+    table: &Table,
+    col: usize,
+    pred: Option<RangePredicate>,
+    kind: AggKind,
+    threads: usize,
+) -> (Option<f64>, usize) {
+    let n = table.num_rows();
+    if n == 0 {
+        return (AggState::new().finalize(kind), 0);
+    }
+    let chunks = chunks_for(n, threads);
+    if chunks == 1 {
+        return crate::kernels::aggregate_active(table, col, pred, kind);
+    }
+    let chunk_rows = n.div_ceil(chunks);
+    let column = table.column(col);
+    let activity = table.activity();
+
+    let mut state = AggState::new();
+    let mut scanned = 0usize;
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..chunks)
+            .map(|c| {
+                let lo = c * chunk_rows;
+                let hi = ((c + 1) * chunk_rows).min(n);
+                s.spawn(move |_| {
+                    let mut state = AggState::new();
+                    let mut scanned = 0usize;
+                    for r in lo..hi {
+                        let id = RowId::from(r);
+                        if !activity.is_active(id) {
+                            continue;
+                        }
+                        scanned += 1;
+                        let v: Value = column.get(r);
+                        if pred.is_none_or(|p| p.matches(v)) {
+                            state.push(v);
+                        }
+                    }
+                    (state, scanned)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (part, part_scanned) = h.join().expect("agg worker");
+            state.merge(&part);
+            scanned += part_scanned;
+        }
+    })
+    .expect("agg scope");
+    (state.finalize(kind), scanned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesia_columnar::Schema;
+    use amnesia_util::SimRng;
+
+    fn table(n: usize) -> Table {
+        let mut rng = SimRng::new(7);
+        let values: Vec<i64> = (0..n).map(|_| rng.range_i64(0, 10_000)).collect();
+        let mut t = Table::new(Schema::single("a"));
+        t.insert_batch(&values, 0).unwrap();
+        for _ in 0..n / 4 {
+            if let Some(r) = t.random_active(&mut rng) {
+                t.forget(r, 1).unwrap();
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn parallel_scan_equals_serial_scan() {
+        let t = table(10_000);
+        let pred = RangePredicate::new(2_000, 7_000);
+        let serial = crate::kernels::range_scan_active(&t, 0, pred);
+        for threads in [1, 2, 3, 8, 64] {
+            let par = par_range_scan_active(&t, 0, pred, threads);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_aggregate_equals_serial_aggregate() {
+        let t = table(10_000);
+        let pred = Some(RangePredicate::new(1_000, 9_000));
+        for kind in AggKind::ALL {
+            let (serial, serial_scanned) =
+                crate::kernels::aggregate_active(&t, 0, pred, kind);
+            for threads in [1, 4, 16] {
+                let (par, scanned) = par_aggregate_active(&t, 0, pred, kind, threads);
+                match (serial, par) {
+                    (Some(a), Some(b)) => {
+                        assert!((a - b).abs() < 1e-9, "{kind:?} threads={threads}")
+                    }
+                    (a, b) => assert_eq!(a, b, "{kind:?}"),
+                }
+                assert_eq!(scanned, serial_scanned, "{kind:?} scan count");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_tables() {
+        let t = Table::new(Schema::single("a"));
+        assert!(par_range_scan_active(&t, 0, RangePredicate::new(0, 10), 8).is_empty());
+        let (v, scanned) = par_aggregate_active(&t, 0, None, AggKind::Count, 8);
+        assert_eq!(v, Some(0.0));
+        assert_eq!(scanned, 0);
+
+        let mut tiny = Table::new(Schema::single("a"));
+        tiny.insert_batch(&[5], 0).unwrap();
+        let rows = par_range_scan_active(&tiny, 0, RangePredicate::new(0, 10), 16);
+        assert_eq!(rows, vec![RowId(0)]);
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_fine() {
+        let t = table(10);
+        let pred = RangePredicate::new(0, 10_000);
+        let par = par_range_scan_active(&t, 0, pred, 128);
+        let serial = crate::kernels::range_scan_active(&t, 0, pred);
+        assert_eq!(par, serial);
+    }
+}

@@ -1,0 +1,174 @@
+//! A small cost-based planner.
+//!
+//! For every range query the executor can (a) scan everything, (b) scan
+//! only zone-map candidate blocks, or (c) probe a sorted index when one is
+//! built. The planner picks the cheapest under the [`CostModel`]. Keeping
+//! the decision explicit lets the ablation benches show how dropping
+//! indexes (paper §4.4) degrades plans gracefully instead of breaking
+//! queries.
+
+use amnesia_columnar::{SortedIndex, Table, ZoneMap};
+use amnesia_workload::query::RangePredicate;
+use serde::{Deserialize, Serialize};
+
+use crate::cost::CostModel;
+
+/// Physical plan choice for a range selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Plan {
+    /// Scan every physical row.
+    FullScan,
+    /// Scan only these zone-map candidate blocks.
+    PrunedScan {
+        /// Candidate block ids.
+        blocks: Vec<usize>,
+        /// Rows per block.
+        block_rows: usize,
+    },
+    /// Probe the sorted index.
+    IndexProbe,
+}
+
+impl Plan {
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Plan::FullScan => "full-scan",
+            Plan::PrunedScan { .. } => "pruned-scan",
+            Plan::IndexProbe => "index-probe",
+        }
+    }
+}
+
+/// Chooses plans under a cost model.
+#[derive(Debug, Clone, Default)]
+pub struct Planner {
+    cost: CostModel,
+}
+
+impl Planner {
+    /// Planner with a custom cost model.
+    pub fn new(cost: CostModel) -> Self {
+        Self { cost }
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Choose a plan for a range predicate. Returns the plan and its
+    /// estimated cost.
+    pub fn plan_range(
+        &self,
+        table: &Table,
+        pred: RangePredicate,
+        zonemap: Option<&ZoneMap>,
+        index: Option<&SortedIndex>,
+    ) -> (Plan, f64) {
+        let n = table.num_rows();
+        let mut best = (Plan::FullScan, self.cost.full_scan(n));
+
+        if let Some(zm) = zonemap {
+            let blocks = zm.candidate_blocks(pred.lo, pred.hi_inclusive());
+            let cost = self.cost.pruned_scan(blocks.len(), zm.block_rows());
+            if cost < best.1 {
+                best = (
+                    Plan::PrunedScan {
+                        blocks,
+                        block_rows: zm.block_rows(),
+                    },
+                    cost,
+                );
+            }
+        }
+
+        if let Some(idx) = index {
+            if idx.is_usable() {
+                // Cardinality estimate: uniform fraction of the seen range.
+                let span = table
+                    .max_seen(idx.column())
+                    .zip(table.min_seen(idx.column()))
+                    .map(|(max, min)| (max - min + 1).max(1))
+                    .unwrap_or(1);
+                let est_rows =
+                    (pred.width() as f64 / span as f64).min(1.0) * idx.len() as f64;
+                let cost = self.cost.index_probe_cost(est_rows);
+                if cost < best.1 {
+                    best = (Plan::IndexProbe, cost);
+                }
+            }
+        }
+
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesia_columnar::Schema;
+
+    fn big_table(n: i64) -> Table {
+        let mut t = Table::new(Schema::single("a"));
+        let values: Vec<i64> = (0..n).collect();
+        t.insert_batch(&values, 0).unwrap();
+        t
+    }
+
+    #[test]
+    fn selective_query_prefers_index() {
+        let t = big_table(100_000);
+        let idx = SortedIndex::build(&t, 0);
+        let planner = Planner::default();
+        let (plan, _) = planner.plan_range(&t, RangePredicate::new(500, 600), None, Some(&idx));
+        assert_eq!(plan, Plan::IndexProbe);
+    }
+
+    #[test]
+    fn wide_query_prefers_scan_over_index() {
+        let t = big_table(1000);
+        let idx = SortedIndex::build(&t, 0);
+        let planner = Planner::default();
+        let (plan, _) =
+            planner.plan_range(&t, RangePredicate::new(0, 1000), None, Some(&idx));
+        // Index would return everything: probing is pure overhead.
+        assert_eq!(plan, Plan::FullScan);
+    }
+
+    #[test]
+    fn zonemap_pruning_wins_when_blocks_drop() {
+        let t = big_table(100_000);
+        let zm = ZoneMap::build_with_block_rows(&t, 0, 1024);
+        let planner = Planner::default();
+        let (plan, cost) =
+            planner.plan_range(&t, RangePredicate::new(500, 600), Some(&zm), None);
+        match plan {
+            Plan::PrunedScan { blocks, .. } => {
+                assert!(blocks.len() <= 2, "narrow range touches ≤ 2 blocks");
+            }
+            p => panic!("expected pruned scan, got {p:?}"),
+        }
+        assert!(cost < planner.cost_model().full_scan(100_000));
+    }
+
+    #[test]
+    fn dropped_index_is_ignored() {
+        let t = big_table(10_000);
+        let mut idx = SortedIndex::build(&t, 0);
+        idx.drop_index();
+        let planner = Planner::default();
+        let (plan, _) =
+            planner.plan_range(&t, RangePredicate::new(5, 10), None, Some(&idx));
+        assert_eq!(plan, Plan::FullScan);
+    }
+
+    #[test]
+    fn no_aux_structures_full_scan() {
+        let t = big_table(100);
+        let planner = Planner::default();
+        let (plan, cost) = planner.plan_range(&t, RangePredicate::new(0, 10), None, None);
+        assert_eq!(plan, Plan::FullScan);
+        assert!((cost - planner.cost_model().full_scan(100)).abs() < 1e-9);
+    }
+}

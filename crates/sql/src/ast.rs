@@ -1,0 +1,450 @@
+//! Abstract syntax for the amnesia SQL subset.
+//!
+//! The grammar covers the paper's §2.2 workload subspace — SELECT-PROJECT-
+//! JOIN with range predicates and aggregates — plus GROUP BY / ORDER BY /
+//! LIMIT, which the examples and benchmarks use. Every node renders back
+//! to canonical SQL via [`std::fmt::Display`]; the parser round-trips
+//! that rendering (property-tested).
+
+use std::fmt;
+
+use crate::error::Span;
+
+/// A column reference, optionally table-qualified.
+///
+/// Equality ignores the span: two references to the same column are the
+/// same reference wherever they were written.
+#[derive(Debug, Clone, Eq)]
+pub struct ColumnRef {
+    /// Table name or alias (`None` = unqualified).
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl PartialEq for ColumnRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.table == other.table && self.column == other.column
+    }
+}
+
+impl ColumnRef {
+    /// Unqualified reference (tests / builders).
+    pub fn bare(column: impl Into<String>) -> Self {
+        Self {
+            table: None,
+            column: column.into(),
+            span: Span::default(),
+        }
+    }
+
+    /// Qualified reference (tests / builders).
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        Self {
+            table: Some(table.into()),
+            column: column.into(),
+            span: Span::default(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// Aggregate functions in projections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// COUNT(*) or COUNT(col).
+    Count,
+    /// SUM(col).
+    Sum,
+    /// AVG(col).
+    Avg,
+    /// MIN(col).
+    Min,
+    /// MAX(col).
+    Max,
+}
+
+impl AggFunc {
+    /// Canonical keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// Plain column.
+    Column(ColumnRef),
+    /// Aggregate over a column (`None` = `COUNT(*)`).
+    Aggregate {
+        /// The function.
+        func: AggFunc,
+        /// Input column (`None` only for COUNT).
+        arg: Option<ColumnRef>,
+        /// Optional output alias.
+        alias: Option<String>,
+    },
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::Column(c) => write!(f, "{c}"),
+            SelectItem::Aggregate { func, arg, alias } => {
+                match arg {
+                    Some(c) => write!(f, "{}({c})", func.as_str())?,
+                    None => write!(f, "{}(*)", func.as_str())?,
+                }
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Canonical rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// Apply to integers.
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Neq => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// One conjunct of the WHERE clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// `col op literal`.
+    Compare {
+        /// Left-hand column.
+        col: ColumnRef,
+        /// Operator.
+        op: CmpOp,
+        /// Right-hand literal.
+        value: i64,
+    },
+    /// `col BETWEEN lo AND hi` (inclusive both ends, per SQL).
+    Between {
+        /// Tested column.
+        col: ColumnRef,
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+}
+
+impl Predicate {
+    /// The column the predicate constrains.
+    pub fn column(&self) -> &ColumnRef {
+        match self {
+            Predicate::Compare { col, .. } | Predicate::Between { col, .. } => col,
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Compare { col, op, value } => {
+                write!(f, "{col} {} {value}", op.as_str())
+            }
+            Predicate::Between { col, lo, hi } => {
+                write!(f, "{col} BETWEEN {lo} AND {hi}")
+            }
+        }
+    }
+}
+
+/// A table in FROM/JOIN, with an optional alias.
+///
+/// Equality ignores the span, like [`ColumnRef`].
+#[derive(Debug, Clone, Eq)]
+pub struct TableRef {
+    /// Table name in the catalog.
+    pub name: String,
+    /// Alias (`FROM sales AS s`).
+    pub alias: Option<String>,
+    /// Source location.
+    pub span: Span,
+}
+
+impl PartialEq for TableRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.alias == other.alias
+    }
+}
+
+impl TableRef {
+    /// The name queries refer to this table by.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.alias {
+            Some(a) => write!(f, "{} AS {a}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// `JOIN table ON left = right`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinClause {
+    /// Joined table.
+    pub table: TableRef,
+    /// Equi-join left side.
+    pub left: ColumnRef,
+    /// Equi-join right side.
+    pub right: ColumnRef,
+}
+
+impl fmt::Display for JoinClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JOIN {} ON {} = {}", self.table, self.left, self.right)
+    }
+}
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Ascending (SQL default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// `ORDER BY col [ASC|DESC]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderBy {
+    /// Sort key (resolved against projection outputs first, then inputs).
+    pub col: ColumnRef,
+    /// Direction.
+    pub order: SortOrder,
+}
+
+impl fmt::Display for OrderBy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.col)?;
+        if self.order == SortOrder::Desc {
+            write!(f, " DESC")?;
+        }
+        Ok(())
+    }
+}
+
+/// A full SELECT statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Select {
+    /// Projection list (never empty).
+    pub items: Vec<SelectItem>,
+    /// Base table.
+    pub from: TableRef,
+    /// Optional equi-join.
+    pub join: Option<JoinClause>,
+    /// WHERE conjuncts (ANDed).
+    pub predicates: Vec<Predicate>,
+    /// Optional GROUP BY column.
+    pub group_by: Option<ColumnRef>,
+    /// Optional ORDER BY.
+    pub order_by: Option<OrderBy>,
+    /// Optional LIMIT.
+    pub limit: Option<u64>,
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " FROM {}", self.from)?;
+        if let Some(j) = &self.join {
+            write!(f, " {j}")?;
+        }
+        if !self.predicates.is_empty() {
+            write!(f, " WHERE ")?;
+            for (i, p) in self.predicates.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{p}")?;
+            }
+        }
+        if let Some(g) = &self.group_by {
+            write!(f, " GROUP BY {g}")?;
+        }
+        if let Some(o) = &self.order_by {
+            write!(f, " ORDER BY {o}")?;
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A statement: a query or an EXPLAIN of one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// Run the query.
+    Select(Select),
+    /// Show the plan instead of running it.
+    Explain(Select),
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => write!(f, "{s}"),
+            Statement::Explain(s) => write!(f, "EXPLAIN {s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Select {
+        Select {
+            items: vec![
+                SelectItem::Column(ColumnRef::qualified("s", "region")),
+                SelectItem::Aggregate {
+                    func: AggFunc::Avg,
+                    arg: Some(ColumnRef::bare("amount")),
+                    alias: Some("mean".into()),
+                },
+            ],
+            from: TableRef {
+                name: "sales".into(),
+                alias: Some("s".into()),
+                span: Span::default(),
+            },
+            join: None,
+            predicates: vec![
+                Predicate::Between {
+                    col: ColumnRef::bare("amount"),
+                    lo: 10,
+                    hi: 100,
+                },
+                Predicate::Compare {
+                    col: ColumnRef::bare("region"),
+                    op: CmpOp::Neq,
+                    value: 3,
+                },
+            ],
+            group_by: Some(ColumnRef::qualified("s", "region")),
+            order_by: Some(OrderBy {
+                col: ColumnRef::bare("mean"),
+                order: SortOrder::Desc,
+            }),
+            limit: Some(5),
+        }
+    }
+
+    #[test]
+    fn display_renders_canonical_sql() {
+        assert_eq!(
+            sample().to_string(),
+            "SELECT s.region, AVG(amount) AS mean FROM sales AS s \
+             WHERE amount BETWEEN 10 AND 100 AND region <> 3 \
+             GROUP BY s.region ORDER BY mean DESC LIMIT 5"
+        );
+    }
+
+    #[test]
+    fn explain_prefixes() {
+        let stmt = Statement::Explain(sample());
+        assert!(stmt.to_string().starts_with("EXPLAIN SELECT"));
+    }
+
+    #[test]
+    fn cmp_op_eval_table() {
+        assert!(CmpOp::Eq.eval(3, 3));
+        assert!(CmpOp::Neq.eval(3, 4));
+        assert!(CmpOp::Lt.eval(3, 4));
+        assert!(CmpOp::Le.eval(4, 4));
+        assert!(CmpOp::Gt.eval(5, 4));
+        assert!(CmpOp::Ge.eval(4, 4));
+        assert!(!CmpOp::Lt.eval(4, 4));
+    }
+
+    #[test]
+    fn table_binding_prefers_alias() {
+        let t = TableRef {
+            name: "sales".into(),
+            alias: Some("s".into()),
+            span: Span::default(),
+        };
+        assert_eq!(t.binding(), "s");
+        let t2 = TableRef {
+            name: "sales".into(),
+            alias: None,
+            span: Span::default(),
+        };
+        assert_eq!(t2.binding(), "sales");
+    }
+}

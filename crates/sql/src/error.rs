@@ -1,0 +1,126 @@
+//! Position-tagged SQL errors.
+
+use std::fmt;
+
+/// Byte span `[start, end)` into the original statement text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// First byte of the offending fragment.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// New span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Self { start, end }
+    }
+
+    /// Single-position span.
+    pub fn at(pos: usize) -> Self {
+        Self {
+            start: pos,
+            end: pos + 1,
+        }
+    }
+
+    /// Smallest span covering both.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// What went wrong, and where in the statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// Human-readable description.
+    pub message: String,
+    /// Location in the statement text.
+    pub span: Span,
+}
+
+impl SqlError {
+    /// New error.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        Self {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Render the error with a caret line pointing into `source`:
+    ///
+    /// ```text
+    /// error: unknown column `prize`
+    ///   SELECT prize FROM sales
+    ///          ^^^^^
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let mut out = format!("error: {}\n  {}\n  ", self.message, source.trim_end());
+        let start = self.span.start.min(source.len());
+        let end = self.span.end.clamp(start + 1, source.len().max(start + 1));
+        for _ in 0..start {
+            out.push(' ');
+        }
+        for _ in start..end {
+            out.push('^');
+        }
+        out
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at byte {}..{}",
+            self.message, self.span.start, self.span.end
+        )
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Convenience alias.
+pub type SqlResult<T> = std::result::Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.merge(b), Span::new(2, 9));
+        assert_eq!(b.merge(a), Span::new(2, 9));
+    }
+
+    #[test]
+    fn render_points_at_the_fragment() {
+        let src = "SELECT prize FROM t";
+        let err = SqlError::new("unknown column `prize`", Span::new(7, 12));
+        let rendered = err.render(src);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[0], "error: unknown column `prize`");
+        assert_eq!(lines[1], "  SELECT prize FROM t");
+        assert_eq!(lines[2], "         ^^^^^");
+    }
+
+    #[test]
+    fn render_clamps_out_of_range_spans() {
+        let err = SqlError::new("eof", Span::new(99, 104));
+        let rendered = err.render("SELECT");
+        assert!(rendered.contains('^'));
+    }
+
+    #[test]
+    fn display_includes_positions() {
+        let err = SqlError::new("boom", Span::new(1, 4));
+        assert_eq!(err.to_string(), "boom at byte 1..4");
+    }
+}

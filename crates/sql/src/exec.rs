@@ -1,0 +1,515 @@
+//! Execution of bound queries over amnesiac tables.
+//!
+//! The pipeline mirrors the EXPLAIN tree: per-slot active-only scans with
+//! pushed-down filters, an optional hash join, then either row projection
+//! or (grouped) aggregation, and finally sort + limit. Forgotten tuples
+//! never appear — the defining property of the amnesiac store (§1: "data
+//! is forgotten and will never show up in query results").
+
+use std::collections::HashMap;
+use std::fmt;
+
+use amnesia_columnar::{RowId, Table, Value};
+
+use crate::ast::{AggFunc, SortOrder, Statement};
+use crate::error::{Span, SqlError, SqlResult};
+use crate::parser::parse;
+use crate::plan::{bind, BoundColumn, BoundFilter, BoundItem, BoundQuery, Catalog};
+
+/// One output value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Datum {
+    /// Integer (columns, COUNT/SUM/MIN/MAX).
+    Int(i64),
+    /// Floating point (AVG).
+    Float(f64),
+    /// Aggregate over an empty selection.
+    Null,
+}
+
+impl Datum {
+    /// Numeric view for sorting; NULL sorts first.
+    fn sort_key(&self) -> f64 {
+        match self {
+            Datum::Int(v) => *v as f64,
+            Datum::Float(v) => *v,
+            Datum::Null => f64::NEG_INFINITY,
+        }
+    }
+
+    /// The integer inside, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Datum::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value (ints widened), `None` for NULL.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Datum::Int(v) => Some(*v as f64),
+            Datum::Float(v) => Some(*v),
+            Datum::Null => None,
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Int(v) => write!(f, "{v}"),
+            Datum::Float(v) => write!(f, "{v:.4}"),
+            Datum::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+/// Cardinalities observed during execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Rows scanned per slot (post-activity, pre-filter).
+    pub rows_scanned: usize,
+    /// Rows surviving the filters, summed over slots.
+    pub rows_filtered: usize,
+    /// Join pairs produced (0 without a join).
+    pub join_pairs: usize,
+    /// Groups produced (0 without grouping).
+    pub groups: usize,
+}
+
+/// A query answer: column names, rows, stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Vec<Datum>>,
+    /// Execution cardinalities.
+    pub stats: QueryStats,
+}
+
+impl ResultSet {
+    /// Render as an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Datum::to_string).collect())
+            .collect();
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" | ");
+            }
+            out.push_str(&format!("{c:>w$}", w = widths[i]));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(out.len().saturating_sub(1)));
+        for row in &cells {
+            out.push('\n');
+            for (i, c) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                out.push_str(&format!("{c:>w$}", w = widths[i]));
+            }
+        }
+        out
+    }
+}
+
+/// What a statement produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// Rows from a SELECT.
+    Rows(ResultSet),
+    /// Plan text from an EXPLAIN.
+    Plan(String),
+}
+
+/// Aggregate accumulator with integer-preserving finalization.
+#[derive(Debug, Clone, Copy)]
+struct AggAcc {
+    count: u64,
+    sum: i128,
+    min: Value,
+    max: Value,
+}
+
+impl AggAcc {
+    fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: Value::MAX,
+            max: Value::MIN,
+        }
+    }
+
+    fn push(&mut self, v: Value) {
+        self.count += 1;
+        self.sum += v as i128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// COUNT counts rows even with no input column.
+    fn bump(&mut self) {
+        self.count += 1;
+    }
+
+    fn finalize(&self, func: AggFunc) -> Datum {
+        match func {
+            AggFunc::Count => Datum::Int(self.count as i64),
+            AggFunc::Sum if self.count > 0 => Datum::Int(self.sum as i64),
+            AggFunc::Avg if self.count > 0 => {
+                Datum::Float(self.sum as f64 / self.count as f64)
+            }
+            AggFunc::Min if self.count > 0 => Datum::Int(self.min),
+            AggFunc::Max if self.count > 0 => Datum::Int(self.max),
+            _ => Datum::Null,
+        }
+    }
+}
+
+/// Parse, bind and execute one statement against the catalog.
+pub fn run(catalog: &dyn Catalog, sql: &str) -> SqlResult<QueryOutcome> {
+    let stmt = parse(sql)?;
+    match stmt {
+        Statement::Select(s) => {
+            let bound = bind(catalog, &s)?;
+            Ok(QueryOutcome::Rows(execute(catalog, &bound)?))
+        }
+        Statement::Explain(s) => {
+            let bound = bind(catalog, &s)?;
+            Ok(QueryOutcome::Plan(bound.explain()))
+        }
+    }
+}
+
+/// A joined row: one row id per slot (single-table rows leave slot 1
+/// unused).
+type JoinedRow = [RowId; 2];
+
+/// Execute a bound query.
+pub fn execute(catalog: &dyn Catalog, q: &BoundQuery) -> SqlResult<ResultSet> {
+    let mut stats = QueryStats::default();
+
+    // Resolve slot tables (bind already proved they exist).
+    let tables: Vec<&Table> = q
+        .tables
+        .iter()
+        .map(|(name, _)| {
+            catalog.resolve(name).ok_or_else(|| {
+                SqlError::new(
+                    format!("table `{name}` disappeared between bind and execute"),
+                    Span::default(),
+                )
+            })
+        })
+        .collect::<SqlResult<_>>()?;
+
+    // Per-slot scan with pushed-down filters.
+    let scan = |slot: usize, stats: &mut QueryStats| -> Vec<RowId> {
+        let table = tables[slot];
+        let filters: Vec<&BoundFilter> = q
+            .filters
+            .iter()
+            .filter(|f| f.column().slot == slot)
+            .collect();
+        let mut out = Vec::new();
+        for r in table.iter_active() {
+            stats.rows_scanned += 1;
+            let pass = filters
+                .iter()
+                .all(|f| f.matches(table.value(f.column().col, r)));
+            if pass {
+                out.push(r);
+            }
+        }
+        stats.rows_filtered += out.len();
+        out
+    };
+
+    // Join or single-table row stream.
+    let rows: Vec<JoinedRow> = match &q.join {
+        Some((l, r)) => {
+            let left_rows = scan(0, &mut stats);
+            let right_rows = scan(1, &mut stats);
+            let mut build: HashMap<Value, Vec<RowId>> = HashMap::new();
+            for &lr in &left_rows {
+                build
+                    .entry(tables[0].value(l.col, lr))
+                    .or_default()
+                    .push(lr);
+            }
+            let mut rows = Vec::new();
+            for &rr in &right_rows {
+                if let Some(ls) = build.get(&tables[1].value(r.col, rr)) {
+                    rows.extend(ls.iter().map(|&lr| [lr, rr]));
+                }
+            }
+            stats.join_pairs = rows.len();
+            rows
+        }
+        None => scan(0, &mut stats)
+            .into_iter()
+            .map(|r| [r, RowId(0)])
+            .collect(),
+    };
+
+    let value_of = |c: &BoundColumn, row: &JoinedRow| tables[c.slot].value(c.col, row[c.slot]);
+
+    // Projection or aggregation.
+    let mut out_rows: Vec<Vec<Datum>> = if q.has_aggregates() || q.group_by.is_some() {
+        // Group rows (a single implicit group without GROUP BY).
+        let mut groups: Vec<(Option<Value>, Vec<AggAcc>)> = Vec::new();
+        let mut index: HashMap<Option<Value>, usize> = HashMap::new();
+        if q.group_by.is_none() {
+            index.insert(None, 0);
+            groups.push((None, vec![AggAcc::new(); q.items.len()]));
+        }
+        for row in &rows {
+            let key = q.group_by.as_ref().map(|g| value_of(g, row));
+            let slot = *index.entry(key).or_insert_with(|| {
+                groups.push((key, vec![AggAcc::new(); q.items.len()]));
+                groups.len() - 1
+            });
+            let accs = &mut groups[slot].1;
+            for (i, item) in q.items.iter().enumerate() {
+                match item {
+                    BoundItem::Aggregate { arg: Some(c), .. } => {
+                        accs[i].push(value_of(c, row));
+                    }
+                    BoundItem::Aggregate { arg: None, .. } => accs[i].bump(),
+                    BoundItem::Column(_) => {}
+                }
+            }
+        }
+        stats.groups = groups.len();
+        groups
+            .into_iter()
+            .map(|(key, accs)| {
+                q.items
+                    .iter()
+                    .zip(accs)
+                    .map(|(item, acc)| match item {
+                        BoundItem::Column(_) => {
+                            Datum::Int(key.expect("plain column implies a group key"))
+                        }
+                        BoundItem::Aggregate { func, .. } => acc.finalize(*func),
+                    })
+                    .collect()
+            })
+            .collect()
+    } else {
+        rows.iter()
+            .map(|row| {
+                q.items
+                    .iter()
+                    .map(|item| match item {
+                        BoundItem::Column(c) => Datum::Int(value_of(c, row)),
+                        BoundItem::Aggregate { .. } => unreachable!("checked above"),
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+
+    // Sort + limit.
+    if let Some((idx, order)) = q.order_by {
+        out_rows.sort_by(|a, b| {
+            let ka = a[idx].sort_key();
+            let kb = b[idx].sort_key();
+            let cmp = ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal);
+            match order {
+                SortOrder::Asc => cmp,
+                SortOrder::Desc => cmp.reverse(),
+            }
+        });
+    }
+    if let Some(limit) = q.limit {
+        out_rows.truncate(limit as usize);
+    }
+
+    Ok(ResultSet {
+        columns: q.output_columns(),
+        rows: out_rows,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesia_columnar::{Database, Schema};
+
+    /// customers(id, region) and orders(customer_id, amount), with one
+    /// customer and one order forgotten.
+    fn shop() -> Database {
+        let mut db = Database::new();
+        let customers = db.add_table("customers", Schema::new(vec!["id", "region"]));
+        let orders = db.add_table("orders", Schema::new(vec!["customer_id", "amount"]));
+        for (id, region) in [(1i64, 10i64), (2, 10), (3, 20), (4, 30)] {
+            db.table_mut(customers).insert(&[id, region], 0).unwrap();
+        }
+        for (cid, amount) in [(1i64, 100i64), (1, 50), (2, 75), (3, 10), (4, 5)] {
+            db.table_mut(orders).insert(&[cid, amount], 0).unwrap();
+        }
+        // Forget customer 4 and the (3, 10) order.
+        db.table_mut(customers).forget(RowId(3), 1).unwrap();
+        db.table_mut(orders).forget(RowId(3), 1).unwrap();
+        db
+    }
+
+    fn rows(db: &Database, sql: &str) -> ResultSet {
+        match run(db, sql).unwrap() {
+            QueryOutcome::Rows(r) => r,
+            QueryOutcome::Plan(p) => panic!("unexpected plan: {p}"),
+        }
+    }
+
+    #[test]
+    fn select_star_skips_forgotten() {
+        let r = rows(&shop(), "SELECT * FROM customers");
+        assert_eq!(r.columns, vec!["customers.id", "customers.region"]);
+        assert_eq!(r.rows.len(), 3, "customer 4 is forgotten");
+        assert_eq!(r.stats.rows_scanned, 3);
+    }
+
+    #[test]
+    fn where_filters_and_projects() {
+        let r = rows(&shop(), "SELECT amount FROM orders WHERE amount >= 50");
+        let mut vals: Vec<i64> = r.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        vals.sort();
+        assert_eq!(vals, vec![50, 75, 100]);
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let r = rows(&shop(), "SELECT amount FROM orders WHERE amount BETWEEN 50 AND 75");
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn aggregates_without_group() {
+        let r = rows(
+            &shop(),
+            "SELECT COUNT(*), SUM(amount), AVG(amount), MIN(amount), MAX(amount) FROM orders",
+        );
+        assert_eq!(r.rows.len(), 1);
+        let row = &r.rows[0];
+        // Active orders: 100, 50, 75, 5.
+        assert_eq!(row[0], Datum::Int(4));
+        assert_eq!(row[1], Datum::Int(230));
+        assert_eq!(row[2], Datum::Float(57.5));
+        assert_eq!(row[3], Datum::Int(5));
+        assert_eq!(row[4], Datum::Int(100));
+    }
+
+    #[test]
+    fn empty_selection_yields_nulls_but_count_zero() {
+        let r = rows(
+            &shop(),
+            "SELECT COUNT(*), AVG(amount) FROM orders WHERE amount > 10000",
+        );
+        assert_eq!(r.rows[0][0], Datum::Int(0));
+        assert_eq!(r.rows[0][1], Datum::Null);
+    }
+
+    #[test]
+    fn group_by_with_order_and_limit() {
+        let r = rows(
+            &shop(),
+            "SELECT region, COUNT(*) AS n FROM customers GROUP BY region ORDER BY n DESC LIMIT 1",
+        );
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Datum::Int(10), "region 10 has two actives");
+        assert_eq!(r.rows[0][1], Datum::Int(2));
+        assert_eq!(r.stats.groups, 2, "regions 10 and 20 (30 is forgotten)");
+    }
+
+    #[test]
+    fn join_respects_amnesia_on_both_sides() {
+        let r = rows(
+            &shop(),
+            "SELECT c.id, o.amount FROM customers c JOIN orders o ON c.id = o.customer_id",
+        );
+        // customer 4 forgotten → its order drops; order (3,10) forgotten.
+        assert_eq!(r.stats.join_pairs, 3);
+        let mut pairs: Vec<(i64, i64)> = r
+            .rows
+            .iter()
+            .map(|row| (row[0].as_int().unwrap(), row[1].as_int().unwrap()))
+            .collect();
+        pairs.sort();
+        assert_eq!(pairs, vec![(1, 50), (1, 100), (2, 75)]);
+    }
+
+    #[test]
+    fn join_with_group_by_aggregates_per_key() {
+        let r = rows(
+            &shop(),
+            "SELECT c.region, SUM(o.amount) AS total FROM customers c \
+             JOIN orders o ON c.id = o.customer_id GROUP BY c.region \
+             ORDER BY total DESC",
+        );
+        assert_eq!(r.rows.len(), 1, "only region 10 has active join pairs");
+        assert_eq!(r.rows[0][0], Datum::Int(10));
+        assert_eq!(r.rows[0][1], Datum::Int(225));
+    }
+
+    #[test]
+    fn order_by_column_ascending() {
+        let r = rows(&shop(), "SELECT amount FROM orders ORDER BY amount");
+        let vals: Vec<i64> = r.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(vals, vec![5, 50, 75, 100]);
+    }
+
+    #[test]
+    fn explain_returns_plan_text() {
+        match run(&shop(), "EXPLAIN SELECT COUNT(*) FROM orders WHERE amount > 10").unwrap() {
+            QueryOutcome::Plan(p) => {
+                assert!(p.contains("Aggregate"), "{p}");
+                assert!(p.contains("Scan orders"), "{p}");
+                assert!(p.contains("orders.amount > 10"), "{p}");
+            }
+            QueryOutcome::Rows(_) => panic!("expected plan"),
+        }
+    }
+
+    #[test]
+    fn render_produces_aligned_table() {
+        let r = rows(&shop(), "SELECT amount FROM orders ORDER BY amount LIMIT 2");
+        let text = r.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0].trim(), "orders.amount");
+        assert!(lines[2].trim().ends_with('5'));
+        assert!(lines[3].trim().ends_with("50"));
+    }
+
+    #[test]
+    fn forgetting_between_queries_changes_answers() {
+        let mut db = shop();
+        let before = rows(&db, "SELECT COUNT(*) FROM orders");
+        assert_eq!(before.rows[0][0], Datum::Int(4));
+        let orders = db.table_id("orders").unwrap();
+        db.table_mut(orders).forget(RowId(0), 2).unwrap();
+        let after = rows(&db, "SELECT COUNT(*) FROM orders");
+        assert_eq!(after.rows[0][0], Datum::Int(3), "the DBMS has amnesia");
+    }
+
+    #[test]
+    fn sql_errors_carry_spans_end_to_end() {
+        let err = run(&shop(), "SELECT nope FROM orders").unwrap_err();
+        assert!(err.message.contains("unknown column"));
+        assert!(err.span.start >= 7);
+    }
+}

@@ -1,0 +1,50 @@
+//! SQL front-end for the amnesia DBMS skeleton.
+//!
+//! The paper frames its workload as a carved-out subspace of
+//! SELECT-PROJECT-JOIN queries (§2.2). This crate gives that subspace a
+//! concrete surface: a hand-written lexer and recursive-descent parser, a
+//! binder with position-tagged errors, and an executor that evaluates
+//! statements against [`amnesia_columnar::Database`] tables — seeing only
+//! *active* tuples, because in an amnesiac store forgotten data "will
+//! never show up in query results" (§1).
+//!
+//! Supported grammar: `SELECT` projections (columns, `COUNT/SUM/AVG/MIN/
+//! MAX`, aliases, `*`), `FROM` with aliases, one `INNER JOIN … ON` equi-
+//! join, `WHERE` conjunctions of comparisons and `BETWEEN`, `GROUP BY`,
+//! `ORDER BY … [ASC|DESC]`, `LIMIT`, and `EXPLAIN`.
+//!
+//! ```
+//! use amnesia_columnar::{Database, Schema};
+//! use amnesia_sql::{run, QueryOutcome};
+//!
+//! let mut db = Database::new();
+//! let sales = db.add_table("sales", Schema::new(vec!["region", "amount"]));
+//! for (r, a) in [(1i64, 10i64), (1, 20), (2, 30)] {
+//!     db.table_mut(sales).insert(&[r, a], 0).unwrap();
+//! }
+//! let out = run(&db, "SELECT region, SUM(amount) AS total FROM sales \
+//!                     GROUP BY region ORDER BY total DESC").unwrap();
+//! match out {
+//!     QueryOutcome::Rows(rs) => {
+//!         assert_eq!(rs.rows.len(), 2);
+//!         assert_eq!(rs.rows[0][1].as_int(), Some(30));
+//!     }
+//!     QueryOutcome::Plan(_) => unreachable!(),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod parser;
+pub mod plan;
+pub mod token;
+
+pub use ast::{Select, Statement};
+pub use error::{Span, SqlError, SqlResult};
+pub use exec::{execute, run, Datum, QueryOutcome, QueryStats, ResultSet};
+pub use parser::parse;
+pub use plan::{bind, BoundQuery, Catalog};

@@ -1,0 +1,513 @@
+//! Recursive-descent parser for the amnesia SQL subset.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! statement  := [EXPLAIN] select [';']
+//! select     := SELECT items FROM table_ref [join] [where]
+//!               [GROUP BY colref] [ORDER BY colref [ASC|DESC]] [LIMIT n]
+//! items      := '*' | item (',' item)*
+//! item       := colref | agg '(' (colref | '*') ')' [AS ident]
+//! agg        := COUNT | SUM | AVG | MIN | MAX
+//! table_ref  := ident [AS ident | ident]
+//! join       := [INNER] JOIN table_ref ON colref '=' colref
+//! where      := WHERE pred (AND pred)*
+//! pred       := colref cmp number | colref BETWEEN number AND number
+//! colref     := ident ['.' ident]
+//! ```
+
+use crate::ast::{
+    AggFunc, CmpOp, ColumnRef, JoinClause, OrderBy, Predicate, Select, SelectItem, SortOrder,
+    Statement, TableRef,
+};
+use crate::error::{Span, SqlError, SqlResult};
+use crate::token::{tokenize, Keyword, SpannedTok, Tok};
+
+/// Parse one statement.
+pub fn parse(input: &str) -> SqlResult<Statement> {
+    let toks = tokenize(input)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        input_len: input.len(),
+    };
+    let stmt = p.statement()?;
+    p.expect_end()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn span(&self) -> Span {
+        self.toks
+            .get(self.pos)
+            .map(|t| t.span)
+            .unwrap_or_else(|| Span::at(self.input_len.saturating_sub(1)))
+    }
+
+    fn bump(&mut self) -> Option<SpannedTok> {
+        let t = self.toks.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> bool {
+        if self.peek() == Some(&Tok::Keyword(k)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, k: Keyword) -> SqlResult<()> {
+        if self.eat_keyword(k) {
+            Ok(())
+        } else {
+            Err(SqlError::new(
+                format!("expected {}", k.as_str()),
+                self.span(),
+            ))
+        }
+    }
+
+    fn expect_tok(&mut self, t: Tok, what: &str) -> SqlResult<()> {
+        if self.peek() == Some(&t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(SqlError::new(format!("expected {what}"), self.span()))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> SqlResult<(String, Span)> {
+        match self.bump() {
+            Some(SpannedTok {
+                tok: Tok::Ident(name),
+                span,
+            }) => Ok((name, span)),
+            Some(t) => Err(SqlError::new(
+                format!("expected {what}, found {:?}", t.tok),
+                t.span,
+            )),
+            None => Err(SqlError::new(
+                format!("expected {what}, found end of input"),
+                self.span(),
+            )),
+        }
+    }
+
+    fn number(&mut self, what: &str) -> SqlResult<i64> {
+        match self.bump() {
+            Some(SpannedTok {
+                tok: Tok::Number(v),
+                ..
+            }) => Ok(v),
+            Some(t) => Err(SqlError::new(format!("expected {what}"), t.span)),
+            None => Err(SqlError::new(
+                format!("expected {what}, found end of input"),
+                self.span(),
+            )),
+        }
+    }
+
+    fn statement(&mut self) -> SqlResult<Statement> {
+        let explain = self.eat_keyword(Keyword::Explain);
+        let select = self.select()?;
+        // Optional trailing semicolon.
+        if self.peek() == Some(&Tok::Semicolon) {
+            self.pos += 1;
+        }
+        Ok(if explain {
+            Statement::Explain(select)
+        } else {
+            Statement::Select(select)
+        })
+    }
+
+    fn expect_end(&mut self) -> SqlResult<()> {
+        if let Some(t) = self.toks.get(self.pos) {
+            return Err(SqlError::new("unexpected trailing input", t.span));
+        }
+        Ok(())
+    }
+
+    fn select(&mut self) -> SqlResult<Select> {
+        self.expect_keyword(Keyword::Select)?;
+        let items = self.select_items()?;
+        self.expect_keyword(Keyword::From)?;
+        let from = self.table_ref()?;
+
+        let join = if self.peek() == Some(&Tok::Keyword(Keyword::Join))
+            || self.peek() == Some(&Tok::Keyword(Keyword::Inner))
+        {
+            self.eat_keyword(Keyword::Inner);
+            self.expect_keyword(Keyword::Join)?;
+            let table = self.table_ref()?;
+            self.expect_keyword(Keyword::On)?;
+            let left = self.column_ref()?;
+            self.expect_tok(Tok::Eq, "`=` in join condition")?;
+            let right = self.column_ref()?;
+            Some(JoinClause { table, left, right })
+        } else {
+            None
+        };
+
+        let mut predicates = Vec::new();
+        if self.eat_keyword(Keyword::Where) {
+            loop {
+                predicates.push(self.predicate()?);
+                if !self.eat_keyword(Keyword::And) {
+                    break;
+                }
+            }
+        }
+
+        let group_by = if self.eat_keyword(Keyword::Group) {
+            self.expect_keyword(Keyword::By)?;
+            Some(self.column_ref()?)
+        } else {
+            None
+        };
+
+        let order_by = if self.eat_keyword(Keyword::Order) {
+            self.expect_keyword(Keyword::By)?;
+            let col = self.column_ref()?;
+            let order = if self.eat_keyword(Keyword::Desc) {
+                SortOrder::Desc
+            } else {
+                self.eat_keyword(Keyword::Asc);
+                SortOrder::Asc
+            };
+            Some(OrderBy { col, order })
+        } else {
+            None
+        };
+
+        let limit = if self.eat_keyword(Keyword::Limit) {
+            let span = self.span();
+            let v = self.number("row count after LIMIT")?;
+            if v < 0 {
+                return Err(SqlError::new("LIMIT must be non-negative", span));
+            }
+            Some(v as u64)
+        } else {
+            None
+        };
+
+        Ok(Select {
+            items,
+            from,
+            join,
+            predicates,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_items(&mut self) -> SqlResult<Vec<SelectItem>> {
+        if self.peek() == Some(&Tok::Star) {
+            self.pos += 1;
+            return Ok(vec![SelectItem::Wildcard]);
+        }
+        let mut items = vec![self.select_item()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.pos += 1;
+            items.push(self.select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn agg_keyword(&mut self) -> Option<AggFunc> {
+        let func = match self.peek()? {
+            Tok::Keyword(Keyword::Count) => AggFunc::Count,
+            Tok::Keyword(Keyword::Sum) => AggFunc::Sum,
+            Tok::Keyword(Keyword::Avg) => AggFunc::Avg,
+            Tok::Keyword(Keyword::Min) => AggFunc::Min,
+            Tok::Keyword(Keyword::Max) => AggFunc::Max,
+            _ => return None,
+        };
+        self.pos += 1;
+        Some(func)
+    }
+
+    fn select_item(&mut self) -> SqlResult<SelectItem> {
+        if let Some(func) = self.agg_keyword() {
+            self.expect_tok(Tok::LParen, "`(` after aggregate function")?;
+            let arg = if self.peek() == Some(&Tok::Star) {
+                let span = self.span();
+                self.pos += 1;
+                if func != AggFunc::Count {
+                    return Err(SqlError::new(
+                        format!("{}(*) is not valid; only COUNT(*)", func.as_str()),
+                        span,
+                    ));
+                }
+                None
+            } else {
+                Some(self.column_ref()?)
+            };
+            self.expect_tok(Tok::RParen, "`)` closing the aggregate")?;
+            let alias = if self.eat_keyword(Keyword::As) {
+                Some(self.ident("alias after AS")?.0)
+            } else {
+                None
+            };
+            return Ok(SelectItem::Aggregate { func, arg, alias });
+        }
+        Ok(SelectItem::Column(self.column_ref()?))
+    }
+
+    fn table_ref(&mut self) -> SqlResult<TableRef> {
+        let (name, span) = self.ident("table name")?;
+        let alias = if self.eat_keyword(Keyword::As) {
+            Some(self.ident("alias after AS")?.0)
+        } else if let Some(Tok::Ident(_)) = self.peek() {
+            // Bare alias: `FROM sales s`.
+            Some(self.ident("alias")?.0)
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias, span })
+    }
+
+    fn column_ref(&mut self) -> SqlResult<ColumnRef> {
+        let (first, span) = self.ident("column name")?;
+        if self.peek() == Some(&Tok::Dot) {
+            self.pos += 1;
+            let (col, span2) = self.ident("column name after `.`")?;
+            Ok(ColumnRef {
+                table: Some(first),
+                column: col,
+                span: span.merge(span2),
+            })
+        } else {
+            Ok(ColumnRef {
+                table: None,
+                column: first,
+                span,
+            })
+        }
+    }
+
+    fn predicate(&mut self) -> SqlResult<Predicate> {
+        let col = self.column_ref()?;
+        if self.eat_keyword(Keyword::Between) {
+            let lo = self.number("lower bound of BETWEEN")?;
+            self.expect_keyword(Keyword::And)?;
+            let hi = self.number("upper bound of BETWEEN")?;
+            return Ok(Predicate::Between { col, lo, hi });
+        }
+        let op = match self.bump() {
+            Some(SpannedTok { tok: Tok::Eq, .. }) => CmpOp::Eq,
+            Some(SpannedTok { tok: Tok::Neq, .. }) => CmpOp::Neq,
+            Some(SpannedTok { tok: Tok::Lt, .. }) => CmpOp::Lt,
+            Some(SpannedTok { tok: Tok::Le, .. }) => CmpOp::Le,
+            Some(SpannedTok { tok: Tok::Gt, .. }) => CmpOp::Gt,
+            Some(SpannedTok { tok: Tok::Ge, .. }) => CmpOp::Ge,
+            Some(t) => {
+                return Err(SqlError::new(
+                    "expected comparison operator or BETWEEN",
+                    t.span,
+                ))
+            }
+            None => {
+                return Err(SqlError::new(
+                    "expected comparison operator, found end of input",
+                    self.span(),
+                ))
+            }
+        };
+        let value = self.number("literal on the right of the comparison")?;
+        Ok(Predicate::Compare { col, op, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(input: &str) -> Select {
+        match parse(input).unwrap() {
+            Statement::Select(s) => s,
+            Statement::Explain(_) => panic!("unexpected EXPLAIN"),
+        }
+    }
+
+    #[test]
+    fn minimal_select_star() {
+        let s = sel("SELECT * FROM t");
+        assert_eq!(s.items, vec![SelectItem::Wildcard]);
+        assert_eq!(s.from.name, "t");
+        assert!(s.predicates.is_empty());
+    }
+
+    #[test]
+    fn projection_list_and_aliases() {
+        let s = sel("SELECT a, t.b, SUM(c) AS total FROM t");
+        assert_eq!(s.items.len(), 3);
+        assert_eq!(s.items[0], SelectItem::Column(ColumnRef::bare("a")));
+        assert_eq!(s.items[1], SelectItem::Column(ColumnRef::qualified("t", "b")));
+        match &s.items[2] {
+            SelectItem::Aggregate { func, arg, alias } => {
+                assert_eq!(*func, AggFunc::Sum);
+                assert_eq!(arg.as_ref().unwrap().column, "c");
+                assert_eq!(alias.as_deref(), Some("total"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_star_is_special() {
+        let s = sel("SELECT COUNT(*) FROM t");
+        match &s.items[0] {
+            SelectItem::Aggregate { func, arg, .. } => {
+                assert_eq!(*func, AggFunc::Count);
+                assert!(arg.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        // Other aggregates reject `*`.
+        assert!(parse("SELECT AVG(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn where_conjunction_and_between() {
+        let s = sel("SELECT * FROM t WHERE a >= 3 AND a < 10 AND b BETWEEN 1 AND 5");
+        assert_eq!(s.predicates.len(), 3);
+        assert_eq!(
+            s.predicates[0],
+            Predicate::Compare {
+                col: ColumnRef::bare("a"),
+                op: CmpOp::Ge,
+                value: 3
+            }
+        );
+        assert_eq!(
+            s.predicates[2],
+            Predicate::Between {
+                col: ColumnRef::bare("b"),
+                lo: 1,
+                hi: 5
+            }
+        );
+    }
+
+    #[test]
+    fn join_with_alias() {
+        let s = sel(
+            "SELECT o.amount FROM customers AS c JOIN orders o ON c.id = o.customer_id",
+        );
+        let j = s.join.unwrap();
+        assert_eq!(j.table.name, "orders");
+        assert_eq!(j.table.alias.as_deref(), Some("o"));
+        assert_eq!(j.left, ColumnRef::qualified("c", "id"));
+        assert_eq!(j.right, ColumnRef::qualified("o", "customer_id"));
+        // INNER JOIN spelling also accepted.
+        let s2 = sel("SELECT * FROM a INNER JOIN b ON a.x = b.y");
+        assert!(s2.join.is_some());
+    }
+
+    #[test]
+    fn group_order_limit() {
+        let s = sel("SELECT region, COUNT(*) FROM t GROUP BY region ORDER BY region DESC LIMIT 3");
+        assert_eq!(s.group_by, Some(ColumnRef::bare("region")));
+        let o = s.order_by.unwrap();
+        assert_eq!(o.order, SortOrder::Desc);
+        assert_eq!(s.limit, Some(3));
+    }
+
+    #[test]
+    fn order_by_asc_is_default_and_explicit() {
+        assert_eq!(
+            sel("SELECT * FROM t ORDER BY a").order_by.unwrap().order,
+            SortOrder::Asc
+        );
+        assert_eq!(
+            sel("SELECT * FROM t ORDER BY a ASC").order_by.unwrap().order,
+            SortOrder::Asc
+        );
+    }
+
+    #[test]
+    fn explain_wraps_select() {
+        match parse("EXPLAIN SELECT * FROM t").unwrap() {
+            Statement::Explain(s) => assert_eq!(s.from.name, "t"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_semicolon_is_fine_but_garbage_is_not() {
+        assert!(parse("SELECT * FROM t;").is_ok());
+        let err = parse("SELECT * FROM t garbage extra").unwrap_err();
+        // `garbage` binds as a table alias; `extra` is trailing input.
+        assert!(err.message.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn negative_limit_rejected() {
+        let err = parse("SELECT * FROM t LIMIT -1").unwrap_err();
+        assert!(err.message.contains("non-negative"));
+    }
+
+    #[test]
+    fn missing_from_has_good_span() {
+        let err = parse("SELECT a b c").unwrap_err();
+        assert!(err.message.contains("FROM"), "{err}");
+    }
+
+    #[test]
+    fn error_spans_render_against_source() {
+        let src = "SELECT * FROM t WHERE a !! 3";
+        let err = parse(src).unwrap_err();
+        let rendered = err.render(src);
+        assert!(rendered.contains('^'));
+    }
+
+    #[test]
+    fn parse_round_trips_canonical_display() {
+        let cases = [
+            "SELECT * FROM t",
+            "SELECT a, b FROM t WHERE a = 1 AND b <> 2",
+            "SELECT COUNT(*) FROM t WHERE a BETWEEN 0 AND 9",
+            "SELECT s.region, AVG(amount) AS mean FROM sales AS s \
+             WHERE amount BETWEEN 10 AND 100 GROUP BY s.region \
+             ORDER BY s.region DESC LIMIT 5",
+            "SELECT c.id, o.amount FROM customers AS c JOIN orders AS o \
+             ON c.id = o.customer_id WHERE o.amount > 50",
+        ];
+        for case in cases {
+            let stmt = parse(case).unwrap();
+            let rendered = stmt.to_string();
+            let reparsed = parse(&rendered).unwrap();
+            // Structural equality ignores spans, so the round trip must
+            // reproduce the statement exactly.
+            assert_eq!(stmt, reparsed, "{case}");
+        }
+    }
+
+    #[test]
+    fn round_trip_is_fixpoint_on_display() {
+        let cases = [
+            "select A , b from T where a >= 4 and b between 2 and 7 limit 2",
+            "EXPLAIN SELECT COUNT(*) FROM t",
+        ];
+        for case in cases {
+            let once = parse(case).unwrap().to_string();
+            let twice = parse(&once).unwrap().to_string();
+            assert_eq!(once, twice, "{case}");
+        }
+    }
+}

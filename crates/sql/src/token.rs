@@ -1,0 +1,410 @@
+//! SQL tokenizer.
+//!
+//! Hand-rolled single-pass lexer producing spanned tokens. Keywords are
+//! case-insensitive; identifiers preserve case. Only the integer subset
+//! of SQL the amnesia store speaks is accepted (the paper's tables hold
+//! integers in `0..DOMAIN`).
+
+use crate::error::{Span, SqlError, SqlResult};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Keyword (uppercased during lexing).
+    Keyword(Keyword),
+    /// Identifier (table/column/alias name).
+    Ident(String),
+    /// Integer literal.
+    Number(i64),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semicolon,
+}
+
+/// Recognized keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    And,
+    Between,
+    Join,
+    Inner,
+    On,
+    As,
+    Group,
+    Order,
+    By,
+    Asc,
+    Desc,
+    Limit,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    Explain,
+}
+
+impl Keyword {
+    fn parse(upper: &str) -> Option<Keyword> {
+        Some(match upper {
+            "SELECT" => Keyword::Select,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "AND" => Keyword::And,
+            "BETWEEN" => Keyword::Between,
+            "JOIN" => Keyword::Join,
+            "INNER" => Keyword::Inner,
+            "ON" => Keyword::On,
+            "AS" => Keyword::As,
+            "GROUP" => Keyword::Group,
+            "ORDER" => Keyword::Order,
+            "BY" => Keyword::By,
+            "ASC" => Keyword::Asc,
+            "DESC" => Keyword::Desc,
+            "LIMIT" => Keyword::Limit,
+            "COUNT" => Keyword::Count,
+            "SUM" => Keyword::Sum,
+            "AVG" => Keyword::Avg,
+            "MIN" => Keyword::Min,
+            "MAX" => Keyword::Max,
+            "EXPLAIN" => Keyword::Explain,
+            _ => return None,
+        })
+    }
+
+    /// Canonical rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Select => "SELECT",
+            Keyword::From => "FROM",
+            Keyword::Where => "WHERE",
+            Keyword::And => "AND",
+            Keyword::Between => "BETWEEN",
+            Keyword::Join => "JOIN",
+            Keyword::Inner => "INNER",
+            Keyword::On => "ON",
+            Keyword::As => "AS",
+            Keyword::Group => "GROUP",
+            Keyword::Order => "ORDER",
+            Keyword::By => "BY",
+            Keyword::Asc => "ASC",
+            Keyword::Desc => "DESC",
+            Keyword::Limit => "LIMIT",
+            Keyword::Count => "COUNT",
+            Keyword::Sum => "SUM",
+            Keyword::Avg => "AVG",
+            Keyword::Min => "MIN",
+            Keyword::Max => "MAX",
+            Keyword::Explain => "EXPLAIN",
+        }
+    }
+}
+
+/// A token plus its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Where it came from.
+    pub span: Span,
+}
+
+/// Tokenize a statement. Errors on unknown characters and malformed
+/// numbers; an empty input produces an empty vector.
+pub fn tokenize(input: &str) -> SqlResult<Vec<SpannedTok>> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment: skip to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b',' => {
+                toks.push(SpannedTok {
+                    tok: Tok::Comma,
+                    span: Span::at(i),
+                });
+                i += 1;
+            }
+            b'(' => {
+                toks.push(SpannedTok {
+                    tok: Tok::LParen,
+                    span: Span::at(i),
+                });
+                i += 1;
+            }
+            b')' => {
+                toks.push(SpannedTok {
+                    tok: Tok::RParen,
+                    span: Span::at(i),
+                });
+                i += 1;
+            }
+            b'*' => {
+                toks.push(SpannedTok {
+                    tok: Tok::Star,
+                    span: Span::at(i),
+                });
+                i += 1;
+            }
+            b'.' => {
+                toks.push(SpannedTok {
+                    tok: Tok::Dot,
+                    span: Span::at(i),
+                });
+                i += 1;
+            }
+            b';' => {
+                toks.push(SpannedTok {
+                    tok: Tok::Semicolon,
+                    span: Span::at(i),
+                });
+                i += 1;
+            }
+            b'=' => {
+                toks.push(SpannedTok {
+                    tok: Tok::Eq,
+                    span: Span::at(i),
+                });
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(SpannedTok {
+                        tok: Tok::Neq,
+                        span: Span::new(i, i + 2),
+                    });
+                    i += 2;
+                } else {
+                    return Err(SqlError::new("expected `!=`", Span::at(i)));
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(SpannedTok {
+                        tok: Tok::Le,
+                        span: Span::new(i, i + 2),
+                    });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push(SpannedTok {
+                        tok: Tok::Neq,
+                        span: Span::new(i, i + 2),
+                    });
+                    i += 2;
+                } else {
+                    toks.push(SpannedTok {
+                        tok: Tok::Lt,
+                        span: Span::at(i),
+                    });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(SpannedTok {
+                        tok: Tok::Ge,
+                        span: Span::new(i, i + 2),
+                    });
+                    i += 2;
+                } else {
+                    toks.push(SpannedTok {
+                        tok: Tok::Gt,
+                        span: Span::at(i),
+                    });
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' | b'-' => {
+                let start = i;
+                if b == b'-' {
+                    i += 1;
+                    if !bytes.get(i).is_some_and(u8::is_ascii_digit) {
+                        return Err(SqlError::new(
+                            "expected digits after `-`",
+                            Span::at(start),
+                        ));
+                    }
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value: i64 = text.parse().map_err(|_| {
+                    SqlError::new(
+                        format!("integer literal `{text}` out of range"),
+                        Span::new(start, i),
+                    )
+                })?;
+                toks.push(SpannedTok {
+                    tok: Tok::Number(value),
+                    span: Span::new(start, i),
+                });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let upper = text.to_ascii_uppercase();
+                let tok = match Keyword::parse(&upper) {
+                    Some(k) => Tok::Keyword(k),
+                    None => Tok::Ident(text.to_string()),
+                };
+                toks.push(SpannedTok {
+                    tok,
+                    span: Span::new(start, i),
+                });
+            }
+            other => {
+                return Err(SqlError::new(
+                    format!("unexpected character `{}`", other as char),
+                    Span::at(i),
+                ));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Tok> {
+        tokenize(input).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            toks("select FROM WhErE"),
+            vec![
+                Tok::Keyword(Keyword::Select),
+                Tok::Keyword(Keyword::From),
+                Tok::Keyword(Keyword::Where),
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_keep_case_and_are_distinct_from_keywords() {
+        assert_eq!(
+            toks("selects Sales t_1"),
+            vec![
+                Tok::Ident("selects".into()),
+                Tok::Ident("Sales".into()),
+                Tok::Ident("t_1".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_including_negative() {
+        assert_eq!(
+            toks("42 -17 0"),
+            vec![Tok::Number(42), Tok::Number(-17), Tok::Number(0)]
+        );
+    }
+
+    #[test]
+    fn operators_and_punctuation() {
+        assert_eq!(
+            toks("= != <> < <= > >= , ( ) * . ;"),
+            vec![
+                Tok::Eq,
+                Tok::Neq,
+                Tok::Neq,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Comma,
+                Tok::LParen,
+                Tok::RParen,
+                Tok::Star,
+                Tok::Dot,
+                Tok::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_point_into_the_source() {
+        let ts = tokenize("SELECT a").unwrap();
+        assert_eq!(ts[0].span, Span::new(0, 6));
+        assert_eq!(ts[1].span, Span::new(7, 8));
+    }
+
+    #[test]
+    fn line_comments_are_skipped() {
+        assert_eq!(
+            toks("SELECT -- the projection\n a"),
+            vec![Tok::Keyword(Keyword::Select), Tok::Ident("a".into())]
+        );
+    }
+
+    #[test]
+    fn unknown_character_errors_with_position() {
+        let err = tokenize("SELECT ?").unwrap_err();
+        assert!(err.message.contains('?'));
+        assert_eq!(err.span.start, 7);
+    }
+
+    #[test]
+    fn lone_bang_is_an_error() {
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn dangling_minus_is_an_error() {
+        assert!(tokenize("a - b").is_err());
+    }
+
+    #[test]
+    fn huge_literal_is_an_error() {
+        let err = tokenize("99999999999999999999").unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(tokenize("   \n\t ").unwrap().is_empty());
+    }
+}

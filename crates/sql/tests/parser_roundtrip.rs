@@ -1,0 +1,178 @@
+//! Property test: any AST the grammar can express renders to SQL that
+//! parses back to the identical AST (spans excluded from equality).
+
+use amnesia_sql::ast::{
+    AggFunc, CmpOp, ColumnRef, JoinClause, OrderBy, Predicate, Select, SelectItem, SortOrder,
+    Statement, TableRef,
+};
+use amnesia_sql::error::Span;
+use amnesia_sql::parse;
+use proptest::prelude::*;
+
+/// Identifiers that can never collide with keywords.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_map(|s| format!("c_{s}"))
+}
+
+fn column_ref() -> impl Strategy<Value = ColumnRef> {
+    (proptest::option::of(ident()), ident()).prop_map(|(table, column)| ColumnRef {
+        table,
+        column,
+        span: Span::default(),
+    })
+}
+
+fn agg_func() -> impl Strategy<Value = AggFunc> {
+    prop_oneof![
+        Just(AggFunc::Count),
+        Just(AggFunc::Sum),
+        Just(AggFunc::Avg),
+        Just(AggFunc::Min),
+        Just(AggFunc::Max),
+    ]
+}
+
+fn select_item() -> impl Strategy<Value = SelectItem> {
+    prop_oneof![
+        column_ref().prop_map(SelectItem::Column),
+        (agg_func(), column_ref(), proptest::option::of(ident())).prop_map(
+            |(func, arg, alias)| SelectItem::Aggregate {
+                func,
+                arg: Some(arg),
+                alias,
+            }
+        ),
+        proptest::option::of(ident()).prop_map(|alias| SelectItem::Aggregate {
+            func: AggFunc::Count,
+            arg: None,
+            alias,
+        }),
+    ]
+}
+
+fn items() -> impl Strategy<Value = Vec<SelectItem>> {
+    prop_oneof![
+        Just(vec![SelectItem::Wildcard]),
+        proptest::collection::vec(select_item(), 1..4),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Neq),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn predicate() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        (column_ref(), cmp_op(), any::<i32>()).prop_map(|(col, op, v)| Predicate::Compare {
+            col,
+            op,
+            value: v as i64,
+        }),
+        (column_ref(), any::<i32>(), any::<i32>()).prop_map(|(col, lo, hi)| {
+            Predicate::Between {
+                col,
+                lo: lo as i64,
+                hi: hi as i64,
+            }
+        }),
+    ]
+}
+
+fn table_ref() -> impl Strategy<Value = TableRef> {
+    (ident(), proptest::option::of(ident())).prop_map(|(name, alias)| TableRef {
+        name,
+        alias,
+        span: Span::default(),
+    })
+}
+
+fn join_clause() -> impl Strategy<Value = JoinClause> {
+    (table_ref(), column_ref(), column_ref())
+        .prop_map(|(table, left, right)| JoinClause { table, left, right })
+}
+
+fn order_by() -> impl Strategy<Value = OrderBy> {
+    (column_ref(), prop_oneof![Just(SortOrder::Asc), Just(SortOrder::Desc)])
+        .prop_map(|(col, order)| OrderBy { col, order })
+}
+
+fn select() -> impl Strategy<Value = Select> {
+    (
+        items(),
+        table_ref(),
+        proptest::option::of(join_clause()),
+        proptest::collection::vec(predicate(), 0..4),
+        proptest::option::of(column_ref()),
+        proptest::option::of(order_by()),
+        proptest::option::of(0u64..10_000),
+    )
+        .prop_map(
+            |(items, from, join, predicates, group_by, order_by, limit)| Select {
+                items,
+                from,
+                join,
+                predicates,
+                group_by,
+                order_by,
+                limit,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_then_parse_is_identity(s in select()) {
+        let rendered = Statement::Select(s.clone()).to_string();
+        let reparsed = parse(&rendered)
+            .unwrap_or_else(|e| panic!("`{rendered}` failed to reparse: {e}"));
+        prop_assert_eq!(Statement::Select(s), reparsed, "{}", rendered);
+    }
+
+    #[test]
+    fn explain_round_trips_too(s in select()) {
+        let rendered = Statement::Explain(s.clone()).to_string();
+        let reparsed = parse(&rendered).unwrap();
+        prop_assert_eq!(Statement::Explain(s), reparsed);
+    }
+
+    #[test]
+    fn renders_are_stable_fixpoints(s in select()) {
+        let once = Statement::Select(s).to_string();
+        let twice = parse(&once).unwrap().to_string();
+        prop_assert_eq!(once, twice);
+    }
+}
+
+#[test]
+fn fuzzish_inputs_never_panic() {
+    // The parser must reject garbage gracefully (no panics/overflows).
+    let inputs = [
+        "",
+        ";",
+        "SELECT",
+        "SELECT FROM",
+        "SELECT * FROM",
+        "SELECT * FROM t WHERE",
+        "SELECT * FROM t WHERE a BETWEEN",
+        "SELECT * FROM t GROUP",
+        "SELECT * FROM t ORDER LIMIT",
+        "SELECT ((( FROM t",
+        "SELECT COUNT( FROM t",
+        "JOIN JOIN JOIN",
+        "SELECT * FROM t LIMIT 99999999999999999999",
+        "SELECT * FROM t WHERE a = b",
+        "\u{1F980} SELECT * FROM t",
+    ];
+    for input in inputs {
+        let _ = parse(input); // must return, not panic
+    }
+}

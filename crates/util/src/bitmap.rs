@@ -1,0 +1,465 @@
+//! Packed bitset with rank/select.
+//!
+//! The amnesia simulator marks every tuple as *active* or *forgotten* at the
+//! granularity of a single record (paper §2.1). [`Bitmap`] is the backing
+//! structure: a `Vec<u64>` of blocks with the operations policy code needs —
+//! membership, population count, forward/backward scans for the next set
+//! bit (the `area` policy grows holes in either direction), rank (ones
+//! before a position) and select (position of the k-th one, used to pick a
+//! uniformly random active tuple in O(blocks)).
+
+use serde::{Deserialize, Serialize};
+
+const BLOCK_BITS: usize = 64;
+
+/// A growable packed bitset.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitmap {
+    blocks: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+impl Bitmap {
+    /// An empty bitmap of length 0.
+    pub fn new() -> Self {
+        Self {
+            blocks: Vec::new(),
+            len: 0,
+            ones: 0,
+        }
+    }
+
+    /// A bitmap of `len` bits, all set to `value`.
+    pub fn with_len(len: usize, value: bool) -> Self {
+        let nblocks = len.div_ceil(BLOCK_BITS);
+        let mut blocks = vec![if value { !0u64 } else { 0u64 }; nblocks];
+        if value && !len.is_multiple_of(BLOCK_BITS) {
+            // Clear the bits past `len` in the last block.
+            let last = nblocks - 1;
+            blocks[last] = (1u64 << (len % BLOCK_BITS)) - 1;
+        }
+        Self {
+            blocks,
+            len,
+            ones: if value { len } else { 0 },
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap has no bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Number of clear bits.
+    #[inline]
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.ones
+    }
+
+    /// Read bit `i`. Panics if out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        (self.blocks[i / BLOCK_BITS] >> (i % BLOCK_BITS)) & 1 == 1
+    }
+
+    /// Set bit `i` to `value`; returns the previous value.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) -> bool {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        let block = &mut self.blocks[i / BLOCK_BITS];
+        let mask = 1u64 << (i % BLOCK_BITS);
+        let old = *block & mask != 0;
+        if value {
+            *block |= mask;
+        } else {
+            *block &= !mask;
+        }
+        match (old, value) {
+            (false, true) => self.ones += 1,
+            (true, false) => self.ones -= 1,
+            _ => {}
+        }
+        old
+    }
+
+    /// Append a bit.
+    pub fn push(&mut self, value: bool) {
+        let i = self.len;
+        if i.is_multiple_of(BLOCK_BITS) {
+            self.blocks.push(0);
+        }
+        self.len += 1;
+        if value {
+            self.blocks[i / BLOCK_BITS] |= 1u64 << (i % BLOCK_BITS);
+            self.ones += 1;
+        }
+    }
+
+    /// Extend with `n` copies of `value`.
+    pub fn extend(&mut self, n: usize, value: bool) {
+        self.blocks.reserve(n / BLOCK_BITS + 1);
+        for _ in 0..n {
+            self.push(value);
+        }
+    }
+
+    /// Iterator over the positions of set bits, ascending.
+    pub fn iter_ones(&self) -> Ones<'_> {
+        Ones {
+            bitmap: self,
+            block_idx: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Position of the first set bit at or after `from`, if any.
+    pub fn next_one(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut bi = from / BLOCK_BITS;
+        let mut cur = self.blocks[bi] & (!0u64 << (from % BLOCK_BITS));
+        loop {
+            if cur != 0 {
+                let pos = bi * BLOCK_BITS + cur.trailing_zeros() as usize;
+                return (pos < self.len).then_some(pos);
+            }
+            bi += 1;
+            if bi >= self.blocks.len() {
+                return None;
+            }
+            cur = self.blocks[bi];
+        }
+    }
+
+    /// Position of the last set bit at or before `from`, if any.
+    pub fn prev_one(&self, from: usize) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let from = from.min(self.len - 1);
+        let mut bi = from / BLOCK_BITS;
+        let shift = BLOCK_BITS - 1 - (from % BLOCK_BITS);
+        let mut cur = self.blocks[bi] & (!0u64 >> shift);
+        loop {
+            if cur != 0 {
+                let pos = bi * BLOCK_BITS + (BLOCK_BITS - 1 - cur.leading_zeros() as usize);
+                return Some(pos);
+            }
+            if bi == 0 {
+                return None;
+            }
+            bi -= 1;
+            cur = self.blocks[bi];
+        }
+    }
+
+    /// Number of set bits strictly before position `i` (i may equal `len`).
+    pub fn rank(&self, i: usize) -> usize {
+        assert!(i <= self.len, "rank position {i} out of range");
+        let full_blocks = i / BLOCK_BITS;
+        let mut count: usize = self.blocks[..full_blocks]
+            .iter()
+            .map(|b| b.count_ones() as usize)
+            .sum();
+        if !i.is_multiple_of(BLOCK_BITS) {
+            let mask = (1u64 << (i % BLOCK_BITS)) - 1;
+            count += (self.blocks[full_blocks] & mask).count_ones() as usize;
+        }
+        count
+    }
+
+    /// Position of the `k`-th set bit (0-based), if it exists.
+    pub fn select(&self, k: usize) -> Option<usize> {
+        if k >= self.ones {
+            return None;
+        }
+        let mut remaining = k;
+        for (bi, &block) in self.blocks.iter().enumerate() {
+            let pop = block.count_ones() as usize;
+            if remaining < pop {
+                // Find the `remaining`-th set bit inside `block`.
+                let mut b = block;
+                for _ in 0..remaining {
+                    b &= b - 1; // clear lowest set bit
+                }
+                return Some(bi * BLOCK_BITS + b.trailing_zeros() as usize);
+            }
+            remaining -= pop;
+        }
+        unreachable!("ones counter disagrees with block contents")
+    }
+
+    /// In-place bitwise AND with `other`. Lengths must match.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+        self.recount();
+    }
+
+    /// In-place bitwise OR with `other`. Lengths must match.
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+        self.recount();
+    }
+
+    /// In-place AND-NOT (`self &= !other`). Lengths must match.
+    pub fn and_not_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !b;
+        }
+        self.recount();
+    }
+
+    /// Count set bits within `[lo, hi)`.
+    pub fn count_ones_in(&self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi && hi <= self.len, "range {lo}..{hi} out of bounds");
+        self.rank(hi) - self.rank(lo)
+    }
+
+    fn recount(&mut self) {
+        self.ones = self.blocks.iter().map(|b| b.count_ones() as usize).sum();
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.blocks.capacity() * std::mem::size_of::<u64>() + std::mem::size_of::<Self>()
+    }
+}
+
+impl Default for Bitmap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FromIterator<bool> for Bitmap {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut bm = Bitmap::new();
+        for b in iter {
+            bm.push(b);
+        }
+        bm
+    }
+}
+
+/// Iterator over set-bit positions. See [`Bitmap::iter_ones`].
+pub struct Ones<'a> {
+    bitmap: &'a Bitmap,
+    block_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                let pos = self.block_idx * BLOCK_BITS + bit;
+                return (pos < self.bitmap.len).then_some(pos);
+            }
+            self.block_idx += 1;
+            if self.block_idx >= self.bitmap.blocks.len() {
+                return None;
+            }
+            self.current = self.bitmap.blocks[self.block_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_len_all_true_has_exact_ones() {
+        for len in [0usize, 1, 63, 64, 65, 127, 128, 1000] {
+            let bm = Bitmap::with_len(len, true);
+            assert_eq!(bm.count_ones(), len);
+            assert_eq!(bm.len(), len);
+            for i in 0..len {
+                assert!(bm.get(i));
+            }
+        }
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut bm = Bitmap::with_len(200, false);
+        bm.set(0, true);
+        bm.set(63, true);
+        bm.set(64, true);
+        bm.set(199, true);
+        assert!(bm.get(0) && bm.get(63) && bm.get(64) && bm.get(199));
+        assert!(!bm.get(1) && !bm.get(100));
+        assert_eq!(bm.count_ones(), 4);
+        assert!(bm.set(0, false));
+        assert_eq!(bm.count_ones(), 3);
+        // Setting to the same value is idempotent.
+        bm.set(63, true);
+        assert_eq!(bm.count_ones(), 3);
+    }
+
+    #[test]
+    fn push_grows() {
+        let mut bm = Bitmap::new();
+        for i in 0..130 {
+            bm.push(i % 3 == 0);
+        }
+        assert_eq!(bm.len(), 130);
+        assert_eq!(bm.count_ones(), (0..130).filter(|i| i % 3 == 0).count());
+    }
+
+    #[test]
+    fn iter_ones_matches_gets() {
+        let mut bm = Bitmap::with_len(300, false);
+        let expected = vec![0usize, 5, 63, 64, 65, 128, 299];
+        for &i in &expected {
+            bm.set(i, true);
+        }
+        let got: Vec<usize> = bm.iter_ones().collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn next_prev_one() {
+        let mut bm = Bitmap::with_len(256, false);
+        for &i in &[10usize, 64, 200] {
+            bm.set(i, true);
+        }
+        assert_eq!(bm.next_one(0), Some(10));
+        assert_eq!(bm.next_one(10), Some(10));
+        assert_eq!(bm.next_one(11), Some(64));
+        assert_eq!(bm.next_one(201), None);
+        assert_eq!(bm.prev_one(255), Some(200));
+        assert_eq!(bm.prev_one(200), Some(200));
+        assert_eq!(bm.prev_one(199), Some(64));
+        assert_eq!(bm.prev_one(9), None);
+    }
+
+    #[test]
+    fn rank_select_duality() {
+        let mut bm = Bitmap::with_len(500, false);
+        for i in (0..500).step_by(7) {
+            bm.set(i, true);
+        }
+        for k in 0..bm.count_ones() {
+            let pos = bm.select(k).unwrap();
+            assert_eq!(bm.rank(pos), k);
+            assert!(bm.get(pos));
+        }
+        assert_eq!(bm.select(bm.count_ones()), None);
+        assert_eq!(bm.rank(500), bm.count_ones());
+        assert_eq!(bm.rank(0), 0);
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let a: Bitmap = (0..128).map(|i| i % 2 == 0).collect();
+        let b: Bitmap = (0..128).map(|i| i % 3 == 0).collect();
+
+        let mut and = a.clone();
+        and.and_assign(&b);
+        assert_eq!(and.count_ones(), (0..128).filter(|i| i % 6 == 0).count());
+
+        let mut or = a.clone();
+        or.or_assign(&b);
+        assert_eq!(
+            or.count_ones(),
+            (0..128).filter(|i| i % 2 == 0 || i % 3 == 0).count()
+        );
+
+        let mut andnot = a.clone();
+        andnot.and_not_assign(&b);
+        assert_eq!(
+            andnot.count_ones(),
+            (0..128).filter(|i| i % 2 == 0 && i % 3 != 0).count()
+        );
+    }
+
+    #[test]
+    fn count_ones_in_range() {
+        let bm: Bitmap = (0..100).map(|i| i % 5 == 0).collect();
+        assert_eq!(bm.count_ones_in(0, 100), 20);
+        assert_eq!(bm.count_ones_in(0, 1), 1);
+        assert_eq!(bm.count_ones_in(1, 5), 0);
+        assert_eq!(bm.count_ones_in(1, 6), 1);
+        assert_eq!(bm.count_ones_in(50, 50), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let bm = Bitmap::with_len(10, false);
+        bm.get(10);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn matches_vec_bool_model(bits in proptest::collection::vec(any::<bool>(), 0..600)) {
+            let bm: Bitmap = bits.iter().copied().collect();
+            prop_assert_eq!(bm.len(), bits.len());
+            prop_assert_eq!(bm.count_ones(), bits.iter().filter(|&&b| b).count());
+            for (i, &b) in bits.iter().enumerate() {
+                prop_assert_eq!(bm.get(i), b);
+            }
+            let ones: Vec<usize> = bm.iter_ones().collect();
+            let expect: Vec<usize> = bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+            prop_assert_eq!(ones, expect);
+        }
+
+        #[test]
+        fn rank_select_inverse(bits in proptest::collection::vec(any::<bool>(), 1..600), k_seed in any::<usize>()) {
+            let bm: Bitmap = bits.iter().copied().collect();
+            if bm.count_ones() > 0 {
+                let k = k_seed % bm.count_ones();
+                let pos = bm.select(k).unwrap();
+                prop_assert!(bm.get(pos));
+                prop_assert_eq!(bm.rank(pos), k);
+            }
+        }
+
+        #[test]
+        fn next_one_scan_equals_iter(bits in proptest::collection::vec(any::<bool>(), 0..400)) {
+            let bm: Bitmap = bits.iter().copied().collect();
+            let mut scanned = Vec::new();
+            let mut from = 0usize;
+            while let Some(p) = bm.next_one(from) {
+                scanned.push(p);
+                from = p + 1;
+            }
+            let expect: Vec<usize> = bm.iter_ones().collect();
+            prop_assert_eq!(scanned, expect);
+        }
+    }
+}

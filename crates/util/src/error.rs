@@ -1,0 +1,92 @@
+//! Shared error type for the amnesia workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced anywhere in the amnesia workspace.
+#[derive(Debug)]
+pub enum Error {
+    /// A configuration value is out of its legal range or inconsistent.
+    InvalidConfig(String),
+    /// A storage-layer invariant was violated (bad row id, frozen segment…).
+    Storage(String),
+    /// A query referenced something that does not exist.
+    Query(String),
+    /// Underlying I/O failure (file-backed cold store).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Storage(msg) => write!(f, "storage error: {msg}"),
+            Error::Query(msg) => write!(f, "query error: {msg}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Build an [`Error::InvalidConfig`] from format arguments.
+#[macro_export]
+macro_rules! config_err {
+    ($($arg:tt)*) => {
+        $crate::error::Error::InvalidConfig(format!($($arg)*))
+    };
+}
+
+/// Build an [`Error::Storage`] from format arguments.
+#[macro_export]
+macro_rules! storage_err {
+    ($($arg:tt)*) => {
+        $crate::error::Error::Storage(format!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = Error::InvalidConfig("dbsize must be > 0".into());
+        assert_eq!(e.to_string(), "invalid configuration: dbsize must be > 0");
+        let e = Error::Storage("row 7 out of range".into());
+        assert!(e.to_string().contains("row 7"));
+        let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn macros_produce_variants() {
+        let e = config_err!("bad {}", 42);
+        assert!(matches!(e, Error::InvalidConfig(_)));
+        let e = storage_err!("oops {}", "x");
+        assert!(matches!(e, Error::Storage(_)));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error as _;
+        let e = Error::Io(std::io::Error::other("disk"));
+        assert!(e.source().is_some());
+        assert!(Error::Query("q".into()).source().is_none());
+    }
+}

@@ -1,0 +1,34 @@
+//! Foundations for the `amnesia` workspace.
+//!
+//! This crate hosts the small, dependency-free building blocks every other
+//! crate in the workspace leans on:
+//!
+//! * [`rng`] — a deterministic, seedable random number generator
+//!   (Xoshiro256++ seeded through SplitMix64) with the sampling primitives
+//!   the amnesia simulator needs: uniform ranges, Bernoulli, Box–Muller
+//!   normals, shuffles, and weighted/unweighted sampling without
+//!   replacement. The simulator must be bit-reproducible across platforms,
+//!   which is why we ship our own generator instead of depending on `rand`.
+//! * [`bitmap`] — a packed bitset with rank/select used for the per-tuple
+//!   active/forgotten marking that the paper's simulator is built around.
+//! * [`stats`] — Welford running moments, Kahan summation and quantiles.
+//! * [`ascii`] — line charts, heatmaps and text tables for terminal-friendly
+//!   reproduction of the paper's figures.
+//! * [`crc`] — CRC-32/IEEE for snapshot and WAL integrity checking.
+//! * [`error`] — the shared error type.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ascii;
+pub mod bitmap;
+pub mod crc;
+pub mod error;
+pub mod rng;
+pub mod stats;
+
+pub use bitmap::Bitmap;
+pub use crc::{crc32, Crc32};
+pub use error::{Error, Result};
+pub use rng::SimRng;
+pub use stats::{KahanSum, MinMax, RunningStats};

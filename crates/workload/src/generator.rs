@@ -1,0 +1,506 @@
+//! Query generators.
+//!
+//! Generators see the table only through [`TableSnapshot`], which exposes
+//! exactly what the paper's generator needs: the maximum value ever seen
+//! (`RANGE`) and a way to draw a random *active* value (`v`). The core
+//! crate implements the trait for its simulator table.
+
+use amnesia_util::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::query::{AggKind, Query, RangePredicate, Value};
+
+/// The generator's view of the database.
+pub trait TableSnapshot {
+    /// Maximum value seen since the table was created — the `RANGE` bound
+    /// of paper §4.2 (it covers forgotten tuples too).
+    fn max_value_seen(&self) -> Option<Value>;
+
+    /// A uniformly random value among the *active* tuples.
+    fn random_active_value(&self, rng: &mut SimRng) -> Option<Value>;
+
+    /// Number of active tuples.
+    fn active_count(&self) -> usize;
+}
+
+/// Something that produces queries against a snapshot.
+pub trait QueryGenerator: Send {
+    /// Produce the next query.
+    fn next_query(&mut self, snapshot: &dyn TableSnapshot, rng: &mut SimRng) -> Query;
+
+    /// Stable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Serializable recipe for a [`QueryGenerator`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryGenKind {
+    /// The paper's Figure-3 generator: `v` drawn from active tuples,
+    /// predicate `[v − f·RANGE, v + f·RANGE)` with `f = half_width_frac`
+    /// (paper value: 0.01).
+    ActiveValueRange {
+        /// Half-width as a fraction of `RANGE`.
+        half_width_frac: f64,
+    },
+    /// Start-uniform range with a fixed selectivity factor `S` (§2.2):
+    /// width = `S·RANGE`, start uniform over the domain seen so far.
+    UniformRange {
+        /// Selectivity factor in `[0, 1]`.
+        selectivity: f64,
+    },
+    /// Range focused on the most recent part of the value space: start
+    /// uniform over the top `recency_frac` of `[0, RANGE]`. Models "the
+    /// user is mostly interested in the recently inserted data" for
+    /// serial-ish distributions.
+    RecentRange {
+        /// Selectivity factor for the width.
+        selectivity: f64,
+        /// Fraction of the top of the value space queries focus on.
+        recency_frac: f64,
+    },
+    /// Point query on a random active value.
+    Point,
+    /// Aggregate with an optional range restriction produced by an inner
+    /// range-generator recipe.
+    Aggregate {
+        /// Aggregate function.
+        kind: AggKind,
+        /// `None` = whole-table aggregate (`SELECT AVG(a) FROM t`).
+        over: Option<Box<QueryGenKind>>,
+    },
+    /// Weighted mixture of generators.
+    Mixed(
+        /// `(weight, recipe)` pairs; weights need not sum to 1.
+        Vec<(f64, QueryGenKind)>,
+    ),
+}
+
+impl QueryGenKind {
+    /// The paper's Figure-3 default (±1 % of RANGE around an active value).
+    pub fn paper_range() -> Self {
+        QueryGenKind::ActiveValueRange {
+            half_width_frac: 0.01,
+        }
+    }
+
+    /// The paper's §4.3 whole-table average.
+    pub fn paper_avg() -> Self {
+        QueryGenKind::Aggregate {
+            kind: AggKind::Avg,
+            over: None,
+        }
+    }
+
+    /// The paper's §4.3 average over a sub-range.
+    pub fn paper_avg_over_range() -> Self {
+        QueryGenKind::Aggregate {
+            kind: AggKind::Avg,
+            over: Some(Box::new(Self::paper_range())),
+        }
+    }
+
+    /// Build the live generator.
+    pub fn build(&self) -> Box<dyn QueryGenerator> {
+        match self {
+            QueryGenKind::ActiveValueRange { half_width_frac } => {
+                Box::new(ActiveValueRangeGen::new(*half_width_frac))
+            }
+            QueryGenKind::UniformRange { selectivity } => {
+                Box::new(UniformRangeGen::new(*selectivity))
+            }
+            QueryGenKind::RecentRange {
+                selectivity,
+                recency_frac,
+            } => Box::new(RecentRangeGen::new(*selectivity, *recency_frac)),
+            QueryGenKind::Point => Box::new(PointGen),
+            QueryGenKind::Aggregate { kind, over } => Box::new(AggregateGen::new(
+                *kind,
+                over.as_ref().map(|g| g.build()),
+            )),
+            QueryGenKind::Mixed(parts) => Box::new(MixedGen::new(
+                parts
+                    .iter()
+                    .map(|(w, k)| (*w, k.build()))
+                    .collect::<Vec<_>>(),
+            )),
+        }
+    }
+}
+
+/// Paper §4.2 generator: `v` from active tuples, `±half_width_frac·RANGE`.
+#[derive(Debug, Clone)]
+pub struct ActiveValueRangeGen {
+    half_width_frac: f64,
+}
+
+impl ActiveValueRangeGen {
+    /// New generator; `half_width_frac` must be positive.
+    pub fn new(half_width_frac: f64) -> Self {
+        assert!(half_width_frac > 0.0, "half width must be positive");
+        Self { half_width_frac }
+    }
+}
+
+impl QueryGenerator for ActiveValueRangeGen {
+    fn next_query(&mut self, snapshot: &dyn TableSnapshot, rng: &mut SimRng) -> Query {
+        let range = snapshot.max_value_seen().unwrap_or(0);
+        let half = ((self.half_width_frac * range as f64).round() as i64).max(1);
+        let v = snapshot
+            .random_active_value(rng)
+            .unwrap_or_else(|| rng.range_i64(0, range.max(1)));
+        Query::Range(RangePredicate::new(
+            v.saturating_sub(half),
+            v.saturating_add(half),
+        ))
+    }
+
+    fn name(&self) -> &'static str {
+        "active-value-range"
+    }
+}
+
+/// Start-uniform range with fixed selectivity.
+#[derive(Debug, Clone)]
+pub struct UniformRangeGen {
+    selectivity: f64,
+}
+
+impl UniformRangeGen {
+    /// New generator; selectivity is clamped to `[0, 1]`.
+    pub fn new(selectivity: f64) -> Self {
+        Self {
+            selectivity: selectivity.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl QueryGenerator for UniformRangeGen {
+    fn next_query(&mut self, snapshot: &dyn TableSnapshot, rng: &mut SimRng) -> Query {
+        let range = snapshot.max_value_seen().unwrap_or(0).max(1);
+        let width = ((self.selectivity * range as f64).round() as i64).max(1);
+        let max_start = (range - width).max(0);
+        let lo = if max_start == 0 {
+            0
+        } else {
+            rng.range_i64(0, max_start + 1)
+        };
+        Query::Range(RangePredicate::new(lo, lo.saturating_add(width)))
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform-range"
+    }
+}
+
+/// Range over the top of the value space (freshness-focused).
+#[derive(Debug, Clone)]
+pub struct RecentRangeGen {
+    selectivity: f64,
+    recency_frac: f64,
+}
+
+impl RecentRangeGen {
+    /// New generator; both fractions are clamped to `[0, 1]`.
+    pub fn new(selectivity: f64, recency_frac: f64) -> Self {
+        Self {
+            selectivity: selectivity.clamp(0.0, 1.0),
+            recency_frac: recency_frac.clamp(0.0, 1.0).max(1e-9),
+        }
+    }
+}
+
+impl QueryGenerator for RecentRangeGen {
+    fn next_query(&mut self, snapshot: &dyn TableSnapshot, rng: &mut SimRng) -> Query {
+        let range = snapshot.max_value_seen().unwrap_or(0).max(1);
+        let width = ((self.selectivity * range as f64).round() as i64).max(1);
+        let window = ((self.recency_frac * range as f64).round() as i64).max(1);
+        let floor = (range - window).max(0);
+        let max_start = (range - width).max(floor);
+        let lo = if max_start <= floor {
+            floor
+        } else {
+            rng.range_i64(floor, max_start + 1)
+        };
+        Query::Range(RangePredicate::new(lo, lo.saturating_add(width)))
+    }
+
+    fn name(&self) -> &'static str {
+        "recent-range"
+    }
+}
+
+/// Point lookup on a random active value.
+#[derive(Debug, Clone)]
+pub struct PointGen;
+
+impl QueryGenerator for PointGen {
+    fn next_query(&mut self, snapshot: &dyn TableSnapshot, rng: &mut SimRng) -> Query {
+        let v = snapshot.random_active_value(rng).unwrap_or(0);
+        Query::Point(v)
+    }
+
+    fn name(&self) -> &'static str {
+        "point"
+    }
+}
+
+/// Aggregate over all data or over ranges from an inner generator.
+pub struct AggregateGen {
+    kind: AggKind,
+    over: Option<Box<dyn QueryGenerator>>,
+}
+
+impl AggregateGen {
+    /// New aggregate generator.
+    pub fn new(kind: AggKind, over: Option<Box<dyn QueryGenerator>>) -> Self {
+        Self { kind, over }
+    }
+}
+
+impl QueryGenerator for AggregateGen {
+    fn next_query(&mut self, snapshot: &dyn TableSnapshot, rng: &mut SimRng) -> Query {
+        let predicate = self.over.as_mut().and_then(|g| {
+            g.next_query(snapshot, rng).predicate()
+        });
+        Query::Aggregate {
+            kind: self.kind,
+            predicate,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "aggregate"
+    }
+}
+
+/// Weighted mixture of generators.
+pub struct MixedGen {
+    parts: Vec<(f64, Box<dyn QueryGenerator>)>,
+    total_weight: f64,
+}
+
+impl MixedGen {
+    /// New mixture; panics if empty or all weights are non-positive.
+    pub fn new(parts: Vec<(f64, Box<dyn QueryGenerator>)>) -> Self {
+        assert!(!parts.is_empty(), "mixture needs components");
+        let total_weight: f64 = parts.iter().map(|(w, _)| w.max(0.0)).sum();
+        assert!(total_weight > 0.0, "mixture needs positive weight");
+        Self {
+            parts,
+            total_weight,
+        }
+    }
+}
+
+impl QueryGenerator for MixedGen {
+    fn next_query(&mut self, snapshot: &dyn TableSnapshot, rng: &mut SimRng) -> Query {
+        let mut pick = rng.f64() * self.total_weight;
+        for (w, g) in &mut self.parts {
+            pick -= w.max(0.0);
+            if pick <= 0.0 {
+                return g.next_query(snapshot, rng);
+            }
+        }
+        let last = self.parts.len() - 1;
+        self.parts[last].1.next_query(snapshot, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "mixed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fixed snapshot for generator tests.
+    struct FakeSnapshot {
+        max: Value,
+        actives: Vec<Value>,
+    }
+
+    impl TableSnapshot for FakeSnapshot {
+        fn max_value_seen(&self) -> Option<Value> {
+            (self.max >= 0).then_some(self.max)
+        }
+        fn random_active_value(&self, rng: &mut SimRng) -> Option<Value> {
+            if self.actives.is_empty() {
+                None
+            } else {
+                Some(self.actives[rng.index(self.actives.len())])
+            }
+        }
+        fn active_count(&self) -> usize {
+            self.actives.len()
+        }
+    }
+
+    #[test]
+    fn active_value_range_centers_on_active_value() {
+        let snap = FakeSnapshot {
+            max: 10_000,
+            actives: vec![5000],
+        };
+        let mut g = ActiveValueRangeGen::new(0.01);
+        let mut rng = SimRng::new(30);
+        match g.next_query(&snap, &mut rng) {
+            Query::Range(p) => {
+                assert_eq!(p.lo, 4900);
+                assert_eq!(p.hi, 5100);
+            }
+            q => panic!("expected range, got {q:?}"),
+        }
+    }
+
+    #[test]
+    fn active_value_range_width_tracks_range_growth() {
+        let mut g = ActiveValueRangeGen::new(0.01);
+        let mut rng = SimRng::new(31);
+        let small = FakeSnapshot {
+            max: 100,
+            actives: vec![50],
+        };
+        let big = FakeSnapshot {
+            max: 100_000,
+            actives: vec![50_000],
+        };
+        let w_small = match g.next_query(&small, &mut rng) {
+            Query::Range(p) => p.width(),
+            _ => unreachable!(),
+        };
+        let w_big = match g.next_query(&big, &mut rng) {
+            Query::Range(p) => p.width(),
+            _ => unreachable!(),
+        };
+        assert!(w_big > w_small * 100, "width scales with RANGE");
+    }
+
+    #[test]
+    fn uniform_range_has_requested_selectivity() {
+        let snap = FakeSnapshot {
+            max: 10_000,
+            actives: vec![1],
+        };
+        let mut g = UniformRangeGen::new(0.1);
+        let mut rng = SimRng::new(32);
+        for _ in 0..100 {
+            match g.next_query(&snap, &mut rng) {
+                Query::Range(p) => {
+                    assert_eq!(p.width(), 1000);
+                    assert!(p.lo >= 0 && p.hi <= 10_001);
+                }
+                q => panic!("expected range, got {q:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn full_selectivity_covers_everything() {
+        let snap = FakeSnapshot {
+            max: 500,
+            actives: vec![1],
+        };
+        let mut g = UniformRangeGen::new(1.0);
+        let mut rng = SimRng::new(33);
+        match g.next_query(&snap, &mut rng) {
+            Query::Range(p) => {
+                assert_eq!(p.lo, 0);
+                assert_eq!(p.width(), 500);
+            }
+            q => panic!("expected range, got {q:?}"),
+        }
+    }
+
+    #[test]
+    fn recent_range_stays_in_top_window() {
+        let snap = FakeSnapshot {
+            max: 10_000,
+            actives: vec![1],
+        };
+        let mut g = RecentRangeGen::new(0.01, 0.2);
+        let mut rng = SimRng::new(34);
+        for _ in 0..200 {
+            match g.next_query(&snap, &mut rng) {
+                Query::Range(p) => {
+                    assert!(p.lo >= 8000, "lo {} outside recent window", p.lo);
+                }
+                q => panic!("expected range, got {q:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn point_gen_uses_active_values() {
+        let snap = FakeSnapshot {
+            max: 100,
+            actives: vec![42, 43],
+        };
+        let mut g = PointGen;
+        let mut rng = SimRng::new(35);
+        for _ in 0..20 {
+            match g.next_query(&snap, &mut rng) {
+                Query::Point(v) => assert!(v == 42 || v == 43),
+                q => panic!("expected point, got {q:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_gen_with_and_without_predicate() {
+        let snap = FakeSnapshot {
+            max: 1000,
+            actives: vec![500],
+        };
+        let mut rng = SimRng::new(36);
+        let mut plain = QueryGenKind::paper_avg().build();
+        match plain.next_query(&snap, &mut rng) {
+            Query::Aggregate { kind, predicate } => {
+                assert_eq!(kind, AggKind::Avg);
+                assert!(predicate.is_none());
+            }
+            q => panic!("expected aggregate, got {q:?}"),
+        }
+        let mut ranged = QueryGenKind::paper_avg_over_range().build();
+        match ranged.next_query(&snap, &mut rng) {
+            Query::Aggregate { predicate, .. } => assert!(predicate.is_some()),
+            q => panic!("expected aggregate, got {q:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_gen_respects_weights() {
+        let snap = FakeSnapshot {
+            max: 1000,
+            actives: vec![500],
+        };
+        let mut rng = SimRng::new(37);
+        let kind = QueryGenKind::Mixed(vec![
+            (0.8, QueryGenKind::Point),
+            (0.2, QueryGenKind::paper_avg()),
+        ]);
+        let mut g = kind.build();
+        let mut points = 0;
+        let n = 5000;
+        for _ in 0..n {
+            if matches!(g.next_query(&snap, &mut rng), Query::Point(_)) {
+                points += 1;
+            }
+        }
+        let frac = points as f64 / n as f64;
+        assert!((frac - 0.8).abs() < 0.03, "point fraction {frac}");
+    }
+
+    #[test]
+    fn empty_table_still_produces_queries() {
+        let snap = FakeSnapshot {
+            max: -1,
+            actives: vec![],
+        };
+        let mut rng = SimRng::new(38);
+        let mut g = QueryGenKind::paper_range().build();
+        // Must not panic even with nothing active and nothing seen.
+        let q = g.next_query(&snap, &mut rng);
+        assert!(matches!(q, Query::Range(_)));
+    }
+}

@@ -1,0 +1,31 @@
+//! Query and update workloads for the amnesia simulator.
+//!
+//! Paper §2.2 carves out "a well understood subspace" of SELECT-PROJECT-
+//! JOIN: range queries over one table controlled by a selectivity factor
+//! `S`, and simple aggregations (AVG) over sub-ranges. §4.2 pins the range
+//! generator used for Figure 3: pick a candidate value `v` from all
+//! *active* tuples and query
+//! `attr >= v − 0.01·RANGE AND attr < v + 0.01·RANGE`,
+//! with `RANGE` the maximum value seen up to the latest update batch.
+//!
+//! The crate exposes:
+//! * [`query::Query`] — the query algebra (range / point / aggregate),
+//! * [`generator`] — the paper's generators plus recency-biased and mixed
+//!   workloads, all buildable from the serializable
+//!   [`generator::QueryGenKind`],
+//! * [`update::UpdateGenerator`] — insert batches drawn from a
+//!   [`amnesia_distrib::DataDistribution`],
+//! * [`spec`] — multi-phase workload descriptions.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod generator;
+pub mod query;
+pub mod spec;
+pub mod update;
+
+pub use generator::{QueryGenKind, QueryGenerator, TableSnapshot};
+pub use query::{AggKind, Query, RangePredicate};
+pub use spec::{WorkloadPhase, WorkloadSpec};
+pub use update::UpdateGenerator;

@@ -1,0 +1,97 @@
+//! Multi-phase workload specifications.
+//!
+//! Experiments beyond the paper's single-phase loops (e.g. "query the
+//! fresh data for 10 batches, then switch to whole-history analytics")
+//! are described as a sequence of phases. Each phase fixes a query
+//! generator and a number of batches; the simulator runs them in order.
+
+use serde::{Deserialize, Serialize};
+
+use crate::generator::QueryGenKind;
+
+/// One homogeneous stretch of the workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadPhase {
+    /// Number of update batches in this phase.
+    pub batches: u64,
+    /// Queries fired per batch (the paper uses 1000).
+    pub queries_per_batch: usize,
+    /// Query generator recipe for this phase.
+    pub query_gen: QueryGenKind,
+}
+
+impl WorkloadPhase {
+    /// Phase with the paper's defaults (1000 range queries per batch).
+    pub fn paper_default(batches: u64) -> Self {
+        Self {
+            batches,
+            queries_per_batch: 1000,
+            query_gen: QueryGenKind::paper_range(),
+        }
+    }
+}
+
+/// An ordered list of phases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Phases, run in order.
+    pub phases: Vec<WorkloadPhase>,
+}
+
+impl WorkloadSpec {
+    /// Single-phase spec.
+    pub fn single(phase: WorkloadPhase) -> Self {
+        Self {
+            phases: vec![phase],
+        }
+    }
+
+    /// Total number of batches across phases.
+    pub fn total_batches(&self) -> u64 {
+        self.phases.iter().map(|p| p.batches).sum()
+    }
+
+    /// Which phase batch `b` (0-based, global) falls into.
+    pub fn phase_of_batch(&self, b: u64) -> Option<&WorkloadPhase> {
+        let mut seen = 0;
+        for p in &self.phases {
+            seen += p.batches;
+            if b < seen {
+                return Some(p);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_lookup() {
+        let spec = WorkloadSpec {
+            phases: vec![
+                WorkloadPhase::paper_default(3),
+                WorkloadPhase {
+                    batches: 2,
+                    queries_per_batch: 10,
+                    query_gen: QueryGenKind::Point,
+                },
+            ],
+        };
+        assert_eq!(spec.total_batches(), 5);
+        assert_eq!(spec.phase_of_batch(0).unwrap().queries_per_batch, 1000);
+        assert_eq!(spec.phase_of_batch(2).unwrap().queries_per_batch, 1000);
+        assert_eq!(spec.phase_of_batch(3).unwrap().queries_per_batch, 10);
+        assert_eq!(spec.phase_of_batch(4).unwrap().queries_per_batch, 10);
+        assert!(spec.phase_of_batch(5).is_none());
+    }
+
+    #[test]
+    fn single_spec() {
+        let spec = WorkloadSpec::single(WorkloadPhase::paper_default(10));
+        assert_eq!(spec.total_batches(), 10);
+        assert_eq!(spec.phases.len(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Referential amnesia: forgetting with foreign keys (paper §5).
+//!
+//! ```sh
+//! cargo run --release --example referential_cascade
+//! ```
+//!
+//! "Should forgetting a key value be forbidden unless it is not
+//! referenced any more? Or should we cascade by forgetting all related
+//! tuples?" — we run a small shop schema
+//! (`customers ← orders ← line_items`) under both answers and verify that
+//! neither ever leaves a dangling reference.
+
+use amnesia::columnar::{Database, ForeignKey, ReferentialAction, RowId, Schema};
+use amnesia::prelude::*;
+
+fn build_shop(rng: &mut SimRng) -> (Database, usize, usize, usize) {
+    let mut db = Database::new();
+    let customers = db.add_table("customers", Schema::single("id"));
+    let orders = db.add_table("orders", Schema::new(vec!["order_id", "customer_id"]));
+    let items = db.add_table("line_items", Schema::new(vec!["order_id", "qty"]));
+    db.add_foreign_key(ForeignKey {
+        child_table: orders,
+        child_col: 1,
+        parent_table: customers,
+        parent_col: 0,
+    })
+    .unwrap();
+    db.add_foreign_key(ForeignKey {
+        child_table: items,
+        child_col: 0,
+        parent_table: orders,
+        parent_col: 0,
+    })
+    .unwrap();
+
+    // 50 customers, ~3 orders each, ~2 line items per order.
+    let mut order_id = 0i64;
+    for cid in 0..50i64 {
+        db.table_mut(customers).insert(&[cid], 0).unwrap();
+        for _ in 0..rng.index(6) {
+            db.table_mut(orders).insert(&[order_id, cid], 0).unwrap();
+            for _ in 0..rng.index(4) {
+                db.table_mut(items)
+                    .insert(&[order_id, rng.range_i64(1, 10)], 0)
+                    .unwrap();
+            }
+            order_id += 1;
+        }
+    }
+    (db, customers, orders, items)
+}
+
+fn main() -> Result<()> {
+    let mut rng = SimRng::new(0xFADE);
+    let (mut db, customers, orders, items) = build_shop(&mut rng);
+    println!(
+        "shop: {} customers, {} orders, {} line items\n",
+        db.table(customers).active_rows(),
+        db.table(orders).active_rows(),
+        db.table(items).active_rows()
+    );
+
+    // --- RESTRICT: privacy request denied while orders exist ------------
+    let victim = RowId(0);
+    match db.forget(customers, victim, 1, ReferentialAction::Restrict) {
+        Err(e) => println!("restrict: {e}"),
+        Ok(_) => println!("restrict: customer 0 had no orders — forgotten"),
+    }
+
+    // --- CASCADE: GDPR-style erasure takes the whole subtree ------------
+    let forgotten = db.forget(customers, victim, 2, ReferentialAction::Cascade)?;
+    let by_table = |t: usize| forgotten.iter().filter(|(ti, _)| *ti == t).count();
+    println!(
+        "cascade:  forgetting customer 0 took {} tuple(s): {} customer, {} order(s), {} item(s)",
+        forgotten.len(),
+        by_table(customers),
+        by_table(orders),
+        by_table(items),
+    );
+    assert!(db.dangling_references().is_empty());
+
+    // --- TTL sweep with cascade: age out the oldest half of customers ---
+    let mut erased = 0usize;
+    for cid in 1..25u64 {
+        erased += db
+            .forget(customers, RowId(cid), 3, ReferentialAction::Cascade)?
+            .len();
+    }
+    println!(
+        "ttl sweep: erased 24 more customers → {erased} tuples total; \
+         dangling references: {}",
+        db.dangling_references().len()
+    );
+    assert!(db.dangling_references().is_empty());
+
+    println!(
+        "\nremaining active: {} customers, {} orders, {} items — integrity holds.",
+        db.table(customers).active_rows(),
+        db.table(orders).active_rows(),
+        db.table(items).active_rows()
+    );
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Streaming sensors: when FIFO amnesia is exactly right — and when it
+//! isn't.
+//!
+//! ```sh
+//! cargo run --release --example sensor_stream
+//! ```
+//!
+//! Paper §3.1: "Streaming database applications are good examples for this
+//! kind of amnesia, where all you can see is what's in the stream buffer",
+//! and §4.2: "If the user is mostly interested in the recently inserted
+//! data then a FIFO style amnesia suffices."
+//!
+//! A sensor emits monotonically drifting readings (serial timestamps ×
+//! drifting values). Two dashboards query it: a *live* dashboard that only
+//! looks at fresh values, and an *audit* dashboard that ranges over the
+//! whole history. We compare FIFO against rot under both.
+
+use amnesia::prelude::*;
+use amnesia::util::ascii;
+
+fn run(policy: PolicyKind, query_gen: QueryGenKind) -> Result<Vec<f64>> {
+    let cfg = SimConfig::builder()
+        .dbsize(500)
+        .domain(10_000)
+        .update_fraction(0.40)
+        .batches(12)
+        .queries_per_batch(300)
+        // Sensor readings drift upward over time: a serial pattern in the
+        // value space, like timestamps or a monotone counter.
+        .distribution(DistributionKind::Serial)
+        .policy(policy)
+        .query_gen(query_gen)
+        .seed(7)
+        .build()?;
+    Ok(Simulator::new(cfg)?.run()?.precision_series())
+}
+
+fn main() -> Result<()> {
+    // Live dashboard: ranges over the freshest 10 % of the value space.
+    let live = QueryGenKind::RecentRange {
+        selectivity: 0.02,
+        recency_frac: 0.10,
+    };
+    // Audit dashboard: ranges anywhere over the value space seen so far
+    // (for serial data, value space ≈ full history).
+    let audit = QueryGenKind::UniformRange { selectivity: 0.02 };
+
+    let mut table = ascii::TextTable::new(vec![
+        "workload",
+        "policy",
+        "precision@12",
+    ]);
+    let mut series = Vec::new();
+    for (wl_name, wl) in [("live", live), ("audit", audit)] {
+        for policy in [PolicyKind::Fifo, PolicyKind::Rot { high_water_age: 2 }] {
+            let s = run(policy.clone(), wl.clone())?;
+            table.row(vec![
+                wl_name.to_string(),
+                policy.name().to_string(),
+                format!("{:.4}", s.last().copied().unwrap_or(1.0)),
+            ]);
+            series.push((format!("{wl_name}/{}", policy.name()), s));
+        }
+    }
+
+    println!("sensor stream: 500-tuple buffer, 40% volatility, 12 batches\n");
+    println!("{}", table.render());
+    println!("{}", ascii::line_chart(&series, 0.0, 1.0, 12));
+    println!(
+        "reading: for a live dashboard the stream buffer IS the fresh data — \
+         FIFO (and rot, which\nnever evicts what the dashboard touches) stay \
+         perfect. Audits over full history collapse\ntoward the floor \
+         dbsize/total for every policy: once the window dropped it, no \
+         strategy\ncan answer for it (paper §4.2)."
+    );
+    Ok(())
+}

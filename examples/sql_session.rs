@@ -1,0 +1,134 @@
+//! SQL over an amnesiac database: the same query, asked over time, sees
+//! fewer and fewer of the old facts.
+//!
+//! ```sh
+//! cargo run --release --example sql_session
+//! # or run your own statement against the demo schema:
+//! cargo run --release --example sql_session -- "SELECT COUNT(*) FROM orders"
+//! ```
+//!
+//! Builds a customers/orders database, then alternates SQL query rounds
+//! with update + amnesia rounds (TTL forgetting on orders, cascade-safe
+//! forgetting on customers). Watch `SUM(amount)` drift as the store
+//! forgets — the §1 property that forgotten data "will never show up in
+//! query results", now visible through a SQL surface.
+
+use amnesia::prelude::*;
+use amnesia::sql::{run, QueryOutcome};
+use amnesia::util::SimRng;
+
+fn show(db: &Database, sql: &str) {
+    println!("\namnesia> {sql}");
+    match run(db, sql) {
+        Ok(QueryOutcome::Rows(rs)) => {
+            println!("{}", rs.render());
+            println!(
+                "({} rows; scanned {} tuples, {} survived filters)",
+                rs.rows.len(),
+                rs.stats.rows_scanned,
+                rs.stats.rows_filtered
+            );
+        }
+        Ok(QueryOutcome::Plan(plan)) => println!("{plan}"),
+        Err(e) => println!("{}", e.render(sql)),
+    }
+}
+
+fn main() -> Result<()> {
+    let mut rng = SimRng::new(0xC1D8_2017);
+    let mut db = Database::new();
+    let customers = db.add_table("customers", Schema::new(vec!["id", "region"]));
+    let orders = db.add_table("orders", Schema::new(vec!["customer_id", "amount", "day"]));
+    db.add_foreign_key(ForeignKey {
+        child_table: orders,
+        child_col: 0,
+        parent_table: customers,
+        parent_col: 0,
+    })
+    .map_err(|e| Error::Storage(e.to_string()))?;
+
+    // Epoch 0: 40 customers across 4 regions, 200 orders.
+    for id in 0..40i64 {
+        db.table_mut(customers).insert(&[id, id % 4], 0)?;
+    }
+    for day in 0..200i64 {
+        let cid = rng.range_i64(0, 40);
+        let amount = rng.range_i64(5, 500);
+        db.table_mut(orders).insert(&[cid, amount, day], 0)?;
+    }
+
+    // A user session: ad-hoc statement from the command line, or the tour.
+    if let Some(stmt) = std::env::args().nth(1) {
+        show(&db, &stmt);
+        return Ok(());
+    }
+
+    println!("== day 0: full recall ==");
+    show(&db, "SELECT COUNT(*) AS orders, SUM(amount) AS revenue FROM orders");
+    show(
+        &db,
+        "SELECT c.region, COUNT(*) AS n, AVG(o.amount) AS mean FROM customers c \
+         JOIN orders o ON c.id = o.customer_id GROUP BY c.region ORDER BY mean DESC",
+    );
+    show(
+        &db,
+        "EXPLAIN SELECT c.region, AVG(o.amount) FROM customers c \
+         JOIN orders o ON c.id = o.customer_id WHERE o.amount > 100 GROUP BY c.region",
+    );
+
+    // Amnesia epochs: every epoch inserts fresh orders and lets orders
+    // older than 2 epochs expire (a privacy-style TTL), keeping the
+    // store at its budget. Customers without active orders fade too.
+    let budget = 200;
+    let mut ttl = PolicyKind::Ttl { max_age: 2 }.build();
+    for epoch in 1..=4u64 {
+        for day in 0..60i64 {
+            let cid = rng.range_i64(0, 40);
+            let amount = rng.range_i64(5, 500);
+            db.table_mut(orders)
+                .insert(&[cid, amount, epoch as i64 * 200 + day], epoch)?;
+        }
+        let excess = db.table(orders).active_rows().saturating_sub(budget);
+        let victims = {
+            let ctx = PolicyContext {
+                table: db.table(orders),
+                epoch,
+            };
+            ttl.select_victims(&ctx, excess, &mut rng)
+        };
+        for v in victims {
+            db.table_mut(orders).forget(v, epoch)?;
+        }
+        println!(
+            "\n== epoch {epoch}: +60 orders, {} forgotten, {} active ==",
+            excess,
+            db.table(orders).active_rows()
+        );
+        show(&db, "SELECT COUNT(*) AS orders, SUM(amount) AS revenue FROM orders");
+    }
+
+    println!("\n== the oldest days are gone from every answer ==");
+    show(&db, "SELECT MIN(day) AS oldest_day, MAX(day) AS newest_day FROM orders");
+    show(&db, "SELECT day FROM orders WHERE day < 50 ORDER BY day LIMIT 5");
+
+    // Referential amnesia: forgetting a customer cascades to its orders.
+    let victim = db
+        .table(customers)
+        .iter_active()
+        .next()
+        .expect("a customer");
+    let forgotten = db
+        .forget(customers, victim, 5, ReferentialAction::Cascade)
+        .map_err(|e| Error::Storage(e.to_string()))?;
+    println!(
+        "\n== cascade-forgot customer {victim} and {} dependent order(s) ==",
+        forgotten.len() - 1
+    );
+    show(
+        &db,
+        "SELECT COUNT(*) AS customers_left FROM customers",
+    );
+    assert!(db.dangling_references().is_empty(), "integrity holds");
+    println!("\nreferential integrity holds: no dangling foreign keys.");
+    Ok(())
+}

@@ -1,0 +1,227 @@
+//! Shape assertions for every reproduced figure/table — the claims
+//! recorded in EXPERIMENTS.md, executed at test scale.
+
+use amnesia::core::experiments::{self, Scale};
+use amnesia::prelude::*;
+
+fn scale() -> Scale {
+    Scale::test()
+}
+
+fn series_of<'a>(report: &'a experiments::SeriesReport, name: &str) -> &'a [f64] {
+    &report
+        .series
+        .iter()
+        .find(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("series {name} missing"))
+        .1
+}
+
+fn row_of<'a>(report: &'a experiments::MapReport, name: &str) -> &'a [f64] {
+    &report
+        .rows
+        .iter()
+        .find(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("row {name} missing"))
+        .1
+}
+
+// --------------------------------------------------------------------------
+// FIG1
+// --------------------------------------------------------------------------
+
+#[test]
+fn fig1_fifo_highlights_only_the_latest_tuples() {
+    let r = experiments::fig1_amnesia_map(&scale()).unwrap();
+    let fifo = row_of(&r, "fifo");
+    // "A fifo amnesia will only highlight the latest tuples."
+    assert!(fifo[0] < 1e-9);
+    assert!(fifo[1] < 1e-9);
+    assert!((fifo[fifo.len() - 1] - 1.0).abs() < 1e-9);
+    assert!((fifo[fifo.len() - 2] - 1.0).abs() < 1e-9);
+    // Monotone non-decreasing along the timeline.
+    for w in fifo.windows(2) {
+        assert!(w[1] >= w[0] - 1e-9);
+    }
+}
+
+#[test]
+fn fig1_uniform_brightens_toward_recent_epochs() {
+    let r = experiments::fig1_amnesia_map(&scale()).unwrap();
+    let uni = row_of(&r, "uniform");
+    // "uniform coloring which is brighter at the end because the newer the
+    // tuples, the less opportunities they had to been forgotten"
+    let early = (uni[0] + uni[1]) / 2.0;
+    let late = (uni[uni.len() - 1] + uni[uni.len() - 2]) / 2.0;
+    assert!(late > early, "late {late} should exceed early {early}");
+    // Unlike FIFO, nothing is fully black or fully bright in the middle.
+    assert!(uni[0] > 0.0);
+}
+
+#[test]
+fn fig1_ante_retains_the_initial_data() {
+    let r = experiments::fig1_amnesia_map(&scale()).unwrap();
+    let ante = row_of(&r, "ante");
+    // "retains most of the data at point 0 (initial data)"
+    assert!(ante[0] > 0.6, "epoch 0 retention {}", ante[0]);
+    // Every update epoch is darker than the initial load.
+    for (e, &v) in ante.iter().enumerate().skip(1) {
+        assert!(v < ante[0], "epoch {e} ({v}) vs initial ({})", ante[0]);
+    }
+}
+
+#[test]
+fn fig1_area_sits_between_fifo_and_uniform() {
+    let r = experiments::fig1_amnesia_map(&scale()).unwrap();
+    let area = row_of(&r, "area");
+    // "resembles a uniform-fifo combination … the older the data the more
+    // holes, the newer the more uniform"
+    let early = area[0];
+    let late = area[area.len() - 1];
+    assert!(late > early, "area retention grows toward recent epochs");
+}
+
+// --------------------------------------------------------------------------
+// FIG2
+// --------------------------------------------------------------------------
+
+#[test]
+fn fig2_rot_depends_on_the_data_distribution() {
+    let r = experiments::fig2_rot_map(&scale()).unwrap();
+    assert_eq!(r.rows.len(), 4);
+    // "the data distribution in combination with the amnesia has a strong
+    // impact on what you retain" — rows must differ pairwise (beyond tiny
+    // numeric jitter).
+    for i in 0..r.rows.len() {
+        for j in (i + 1)..r.rows.len() {
+            let (na, a) = &r.rows[i];
+            let (nb, b) = &r.rows[j];
+            let diff: f64 = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
+            assert!(diff > 0.05, "{na} and {nb} maps nearly identical");
+        }
+    }
+}
+
+#[test]
+fn fig2_serial_rot_behaves_fifo_like() {
+    let r = experiments::fig2_rot_map(&scale()).unwrap();
+    let serial = row_of(&r, "Serial");
+    // Old serial values leave every fresh query range, stop being touched,
+    // and rot first: retention rises toward recent epochs.
+    let early = (serial[0] + serial[1]) / 2.0;
+    let late = (serial[serial.len() - 1] + serial[serial.len() - 2]) / 2.0;
+    assert!(late > early, "serial rot: late {late} vs early {early}");
+}
+
+// --------------------------------------------------------------------------
+// FIG3
+// --------------------------------------------------------------------------
+
+#[test]
+fn fig3_precision_drops_quickly_then_flattens() {
+    for dist in [DistributionKind::Uniform, DistributionKind::zipfian_default()] {
+        let r = experiments::fig3_range_precision(&scale(), dist.clone()).unwrap();
+        for (name, series) in &r.series {
+            // "the precision drops quickly over time as more and more
+            // information is forgotten"
+            assert!(series[0] > 0.999, "{name} starts perfect");
+            let last = *series.last().unwrap();
+            assert!(
+                last < series[0],
+                "{name} must lose precision on {}",
+                dist.name()
+            );
+            // The drop concentrates early: batch1→batch3 fall exceeds
+            // batch (n-2)→n fall.
+            let early_fall = series[0] - series[2];
+            let late_fall = series[series.len() - 3] - series[series.len() - 1];
+            assert!(
+                early_fall >= late_fall - 0.05,
+                "{name}: early {early_fall} vs late {late_fall}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig3_area_retains_precision_better_than_fifo() {
+    // "Overall, the area and anti- policies seem to retain precision
+    // better." (Active-value-centred queries punish FIFO's total loss of
+    // old value regions less than partial losses — compare averages over
+    // the back half of the run.)
+    let r = experiments::fig3_range_precision(&scale(), DistributionKind::Uniform).unwrap();
+    let avg_tail = |name: &str| {
+        let s = series_of(&r, name);
+        let tail = &s[s.len() / 2..];
+        tail.iter().sum::<f64>() / tail.len() as f64
+    };
+    assert!(
+        avg_tail("area") > avg_tail("fifo"),
+        "area {} vs fifo {}",
+        avg_tail("area"),
+        avg_tail("fifo")
+    );
+}
+
+// --------------------------------------------------------------------------
+// AGG (§4.3)
+// --------------------------------------------------------------------------
+
+#[test]
+fn aggregate_differences_are_marginal_across_policies() {
+    // "To our surprise the differences were marginal."
+    let r = experiments::aggregate_precision(&scale(), DistributionKind::Uniform, false).unwrap();
+    let finals: Vec<f64> = r
+        .series
+        .iter()
+        .map(|(_, s)| *s.last().unwrap())
+        .collect();
+    let max = finals.iter().cloned().fold(0.0f64, f64::max);
+    let min = finals.iter().cloned().fold(1.0f64, f64::min);
+    assert!(max < 0.2, "aggregate error stays small: {max}");
+    assert!(max - min < 0.2, "spread across policies is marginal");
+}
+
+#[test]
+fn aggregate_with_predicate_also_runs() {
+    let r = experiments::aggregate_precision(&scale(), DistributionKind::Uniform, true).unwrap();
+    for (name, series) in &r.series {
+        assert!(!series.is_empty(), "{name} produced no aggregate errors");
+        for &e in series {
+            assert!((0.0..=1.0).contains(&e));
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// T-VOL / T-SEL (§4.2)
+// --------------------------------------------------------------------------
+
+#[test]
+fn volatility_high_update_rate_hurts_precision() {
+    let r = experiments::volatility_table(&scale(), DistributionKind::Uniform).unwrap();
+    for row in &r.rows {
+        let low: f64 = row[1].parse().unwrap();
+        let high: f64 = row[2].parse().unwrap();
+        assert!(
+            low >= high - 0.02,
+            "{}: low-volatility precision {low} must not trail high {high}",
+            row[0]
+        );
+    }
+}
+
+#[test]
+fn selectivity_does_not_rescue_precision() {
+    // "Increasing the selectivity factor does not improve the precision."
+    let r = experiments::selectivity_table(&scale(), DistributionKind::Uniform).unwrap();
+    for row in &r.rows {
+        let narrow: f64 = row[1].parse().unwrap();
+        let wide: f64 = row[4].parse().unwrap();
+        assert!(
+            wide <= narrow + 0.1,
+            "{}: wide-selectivity {wide} should not beat narrow {narrow}",
+            row[0]
+        );
+    }
+}

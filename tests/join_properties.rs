@@ -1,0 +1,108 @@
+//! Property tests of the hash-join kernel against a brute-force
+//! nested-loop model, across random tables and forget patterns.
+
+use amnesia::engine::join::{hash_join, hash_join_count, join_precision};
+use amnesia::engine::ForgetVisibility;
+use amnesia::prelude::*;
+use proptest::prelude::*;
+
+fn build(values: &[i64], forget: &[usize]) -> Table {
+    let mut t = Table::new(Schema::single("k"));
+    if !values.is_empty() {
+        t.insert_batch(values, 0).unwrap();
+    }
+    for &f in forget {
+        if !values.is_empty() {
+            let _ = t.forget(RowId((f % values.len()) as u64), 1);
+        }
+    }
+    t
+}
+
+/// Brute-force nested-loop join over the chosen visibility.
+fn model_join(
+    left: &Table,
+    right: &Table,
+    vis: ForgetVisibility,
+) -> Vec<(RowId, RowId)> {
+    let rows = |t: &Table| -> Vec<RowId> {
+        match vis {
+            ForgetVisibility::ActiveOnly => t.active_row_ids(),
+            ForgetVisibility::ScanSeesForgotten => {
+                (0..t.num_rows()).map(RowId::from).collect()
+            }
+        }
+    };
+    let mut out = Vec::new();
+    for l in rows(left) {
+        for r in rows(right) {
+            if left.value(0, l) == right.value(0, r) {
+                out.push((l, r));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hash_join_matches_nested_loop(
+        left_vals in proptest::collection::vec(0i64..30, 0..60),
+        right_vals in proptest::collection::vec(0i64..30, 0..60),
+        lf in proptest::collection::vec(0usize..100, 0..20),
+        rf in proptest::collection::vec(0usize..100, 0..20),
+    ) {
+        let left = build(&left_vals, &lf);
+        let right = build(&right_vals, &rf);
+        for vis in [ForgetVisibility::ActiveOnly, ForgetVisibility::ScanSeesForgotten] {
+            let mut expected = model_join(&left, &right, vis);
+            let mut got = hash_join(&left, 0, &right, 0, vis).pairs;
+            expected.sort();
+            got.sort();
+            prop_assert_eq!(&got, &expected, "{:?}", vis);
+            prop_assert_eq!(
+                hash_join_count(&left, 0, &right, 0, vis),
+                expected.len(),
+                "count-only must agree"
+            );
+        }
+    }
+
+    #[test]
+    fn precision_is_a_valid_ratio_and_monotone_in_forgetting(
+        vals in proptest::collection::vec(0i64..20, 1..50),
+    ) {
+        let left = build(&vals, &[]);
+        let mut right = build(&vals, &[]);
+        let p0 = join_precision(&left, 0, &right, 0);
+        prop_assert_eq!(p0, Some(1.0), "nothing forgotten yet");
+        // Forget right-side rows one at a time: precision never rises.
+        let mut last = 1.0;
+        for r in 0..right.num_rows() {
+            right.forget(RowId(r as u64), 1).unwrap();
+            if let Some(p) = join_precision(&left, 0, &right, 0) {
+                prop_assert!(p <= last + 1e-12, "precision rose: {p} > {last}");
+                prop_assert!((0.0..=1.0).contains(&p));
+                last = p;
+            }
+        }
+    }
+
+    #[test]
+    fn join_stats_are_consistent(
+        left_vals in proptest::collection::vec(0i64..15, 0..40),
+        right_vals in proptest::collection::vec(0i64..15, 0..40),
+    ) {
+        let left = build(&left_vals, &[]);
+        let right = build(&right_vals, &[]);
+        let r = hash_join(&left, 0, &right, 0, ForgetVisibility::ActiveOnly);
+        prop_assert_eq!(r.stats.build_rows, left_vals.len());
+        prop_assert_eq!(r.stats.probe_rows, right_vals.len());
+        prop_assert_eq!(r.stats.output_pairs, r.pairs.len());
+        let distinct: std::collections::HashSet<i64> =
+            left_vals.iter().copied().collect();
+        prop_assert_eq!(r.stats.build_distinct_keys, distinct.len());
+    }
+}

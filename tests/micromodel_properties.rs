@@ -1,0 +1,125 @@
+//! Property tests of micro-model estimates: whatever the data, the
+//! histogram interpolation must stay inside hard bounds and agree with
+//! exact totals at the extremes.
+
+use amnesia::columnar::micromodel::{MicroModel, ModelStore, ValueRange};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn estimates_are_bounded_and_exact_at_extremes(
+        values in proptest::collection::vec(-10_000i64..10_000, 1..400),
+        bins in 1usize..64,
+        lo in -11_000i64..11_000,
+        width in 0i64..15_000,
+    ) {
+        let m = MicroModel::fit(3, &values, bins);
+
+        // Totals are exact.
+        let t = m.totals();
+        prop_assert_eq!(t.count, values.len() as f64);
+        prop_assert_eq!(t.sum, values.iter().map(|&v| v as f64).sum::<f64>());
+        prop_assert_eq!(t.min, values.iter().min().copied());
+        prop_assert_eq!(t.max, values.iter().max().copied());
+
+        // Any range estimate is bounded by the totals.
+        let est = m.estimate(ValueRange { lo, hi: lo + width });
+        prop_assert!(est.count >= 0.0);
+        prop_assert!(est.count <= t.count + 1e-9, "{} > {}", est.count, t.count);
+
+        // The all-covering range reproduces the totals exactly.
+        let vmin = *values.iter().min().unwrap();
+        let vmax = *values.iter().max().unwrap();
+        let full = m.estimate(ValueRange { lo: vmin, hi: vmax + 1 });
+        prop_assert!((full.count - t.count).abs() < 1e-6);
+        prop_assert!((full.sum - t.sum).abs() < 1e-4 * (1.0 + t.sum.abs()));
+
+        // A disjoint range estimates nothing.
+        let disjoint = m.estimate(ValueRange { lo: vmax + 10, hi: vmax + 100 });
+        prop_assert_eq!(disjoint.count, 0.0);
+    }
+
+    #[test]
+    fn estimates_are_monotone_in_range_inclusion(
+        values in proptest::collection::vec(0i64..5000, 1..300),
+        bins in 1usize..64,
+        lo in 0i64..5000,
+        w1 in 0i64..2000,
+        w2 in 0i64..2000,
+    ) {
+        let m = MicroModel::fit(0, &values, bins);
+        let (small, large) = (w1.min(w2), w1.max(w2));
+        let e_small = m.estimate(ValueRange { lo, hi: lo + small });
+        let e_large = m.estimate(ValueRange { lo, hi: lo + large });
+        prop_assert!(
+            e_small.count <= e_large.count + 1e-9,
+            "wider range estimated less: {} vs {}",
+            e_small.count,
+            e_large.count
+        );
+    }
+
+    #[test]
+    fn count_error_is_bounded_by_boundary_bins(
+        values in proptest::collection::vec(0i64..1000, 10..400),
+        lo in 0i64..1000,
+        width in 1i64..1000,
+    ) {
+        // With uniform-within-bin interpolation, the absolute count error
+        // is at most the mass of the two partially-overlapped bins.
+        let bins = 32usize;
+        let m = MicroModel::fit(0, &values, bins);
+        let range = ValueRange { lo, hi: lo + width };
+        let est = m.estimate(range);
+        let truth = values.iter().filter(|&&v| v >= lo && v < lo + width).count() as f64;
+        // Loose but universal bound: 2 bins' worth of tuples.
+        let vmin = *values.iter().min().unwrap();
+        let vmax = *values.iter().max().unwrap();
+        let span = (vmax - vmin) as f64 + 1.0;
+        let bin_width = span / bins as f64;
+        let max_bin_mass = {
+            let mut counts = vec![0usize; bins];
+            for &v in &values {
+                let b = (((v - vmin) as f64 / span) * bins as f64) as usize;
+                counts[b.min(bins - 1)] += 1;
+            }
+            *counts.iter().max().unwrap() as f64
+        };
+        prop_assert!(
+            (est.count - truth).abs() <= 2.0 * max_bin_mass + 1e-6,
+            "err {} > 2×max bin {}; truth {truth}, est {}",
+            (est.count - truth).abs(),
+            max_bin_mass,
+            est.count
+        );
+    }
+
+    #[test]
+    fn store_full_estimate_is_exact_across_epochs_and_seals(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(-500i64..500, 1..50),
+            1..6
+        ),
+    ) {
+        let mut store = ModelStore::new(16);
+        let mut all: Vec<i64> = Vec::new();
+        for (epoch, chunk) in chunks.iter().enumerate() {
+            for &v in chunk {
+                store.absorb(epoch as u64, v);
+                all.push(v);
+            }
+            // Seal after every other epoch: mixes sealed + pending paths.
+            if epoch % 2 == 0 {
+                store.seal();
+            }
+        }
+        let est = store.estimate(None);
+        prop_assert_eq!(est.count, all.len() as f64);
+        prop_assert_eq!(est.sum, all.iter().map(|&v| v as f64).sum::<f64>());
+        prop_assert_eq!(est.min, all.iter().min().copied());
+        prop_assert_eq!(est.max, all.iter().max().copied());
+        prop_assert_eq!(store.absorbed(), all.len() as u64);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests of the policy victim contract, driven across
+//! random table shapes and victim counts.
+
+use amnesia::prelude::*;
+use proptest::prelude::*;
+
+/// Build a table with the given per-epoch batch sizes (serial values),
+/// then forget `pre_forgotten` arbitrary rows to create realistic holes.
+fn build_table(batch_sizes: &[usize], pre_forget: &[usize]) -> Table {
+    let mut t = Table::new(Schema::single("a"));
+    let mut next = 0i64;
+    for (epoch, &n) in batch_sizes.iter().enumerate() {
+        let values: Vec<i64> = (0..n as i64).map(|i| next + i).collect();
+        next += n as i64;
+        if !values.is_empty() {
+            t.insert_batch(&values, epoch as u64).unwrap();
+        }
+    }
+    let total = t.num_rows();
+    for &f in pre_forget {
+        if total > 0 {
+            let _ = t.forget(RowId((f % total) as u64), 1);
+        }
+    }
+    t
+}
+
+fn policy_strategies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Fifo,
+        PolicyKind::Uniform,
+        PolicyKind::Anterograde { bias: 3.0 },
+        PolicyKind::Rot { high_water_age: 1 },
+        PolicyKind::Overuse,
+        PolicyKind::Lru,
+        PolicyKind::Area,
+        PolicyKind::Ttl { max_age: 2 },
+        PolicyKind::Pair,
+        PolicyKind::Aligned { bins: 8 },
+        PolicyKind::CostBased { bins: 32, gamma: 1.0 },
+        PolicyKind::Ebbinghaus {
+            base_strength: 1.0,
+            rehearsal_boost: 1.0,
+        },
+        PolicyKind::Decay {
+            alpha: 0.4,
+            protect_age: 1,
+        },
+        PolicyKind::Composite(vec![
+            (0.4, PolicyKind::Fifo),
+            (0.6, PolicyKind::Uniform),
+        ]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn victims_are_distinct_active_and_counted(
+        batch_sizes in proptest::collection::vec(0usize..60, 1..5),
+        pre_forget in proptest::collection::vec(0usize..1000, 0..30),
+        n_frac in 0.0f64..1.2,
+        seed in any::<u64>(),
+    ) {
+        let table = build_table(&batch_sizes, &pre_forget);
+        let active = table.active_rows();
+        let n = (n_frac * active as f64) as usize;
+        for kind in policy_strategies() {
+            let mut policy = kind.build();
+            let mut rng = SimRng::new(seed);
+            let victims = {
+                let ctx = PolicyContext {
+                    table: &table,
+                    epoch: batch_sizes.len() as u64,
+                };
+                policy.select_victims(&ctx, n, &mut rng)
+            };
+            prop_assert_eq!(
+                victims.len(),
+                n.min(active),
+                "{} returned wrong count", kind.name()
+            );
+            let mut seen = std::collections::HashSet::new();
+            for v in &victims {
+                prop_assert!(
+                    table.activity().is_active(*v),
+                    "{} selected inactive victim {v}", kind.name()
+                );
+                prop_assert!(seen.insert(*v), "{} duplicated victim {v}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn selection_is_deterministic_per_seed(
+        batch_sizes in proptest::collection::vec(1usize..40, 1..4),
+        seed in any::<u64>(),
+    ) {
+        let table = build_table(&batch_sizes, &[]);
+        let n = table.active_rows() / 2;
+        for kind in policy_strategies() {
+            let pick = |s: u64| {
+                let mut policy = kind.build();
+                let mut rng = SimRng::new(s);
+                let ctx = PolicyContext { table: &table, epoch: 3 };
+                policy.select_victims(&ctx, n, &mut rng)
+            };
+            prop_assert_eq!(pick(seed), pick(seed), "{} not deterministic", kind.name());
+        }
+    }
+
+    #[test]
+    fn forgetting_victims_always_succeeds(
+        batch_sizes in proptest::collection::vec(1usize..40, 1..4),
+        seed in any::<u64>(),
+    ) {
+        let mut table = build_table(&batch_sizes, &[]);
+        let n = table.active_rows() / 3;
+        let mut policy = PolicyKind::Area.build();
+        let mut rng = SimRng::new(seed);
+        let victims = {
+            let ctx = PolicyContext { table: &table, epoch: 9 };
+            policy.select_victims(&ctx, n, &mut rng)
+        };
+        let before = table.active_rows();
+        for v in &victims {
+            prop_assert!(table.forget(*v, 9).unwrap(), "double forget of {v}");
+        }
+        prop_assert_eq!(table.active_rows(), before - victims.len());
+    }
+}
+
+#[test]
+fn fifo_is_total_order_stable() {
+    // FIFO victims must always be a prefix of the active insertion order,
+    // independent of RNG state.
+    let table = build_table(&[30, 30], &[3, 7, 11]);
+    let mut policy = PolicyKind::Fifo.build();
+    let mut rng1 = SimRng::new(1);
+    let mut rng2 = SimRng::new(999);
+    let ctx = PolicyContext {
+        table: &table,
+        epoch: 2,
+    };
+    let v1 = policy.select_victims(&ctx, 10, &mut rng1);
+    let v2 = policy.select_victims(&ctx, 10, &mut rng2);
+    assert_eq!(v1, v2, "fifo ignores randomness");
+    let expected: Vec<RowId> = table.iter_active().take(10).collect();
+    assert_eq!(v1, expected);
+}

@@ -1,0 +1,117 @@
+//! Referential amnesia across policies: forgetting under foreign keys
+//! must never leave dangling references, whichever policy picks the
+//! victims.
+
+use amnesia::columnar::{Database, ForeignKey, ReferentialAction, Schema};
+use amnesia::prelude::*;
+use proptest::prelude::*;
+
+/// Build parents (keys 0..n_parents) and children referencing random
+/// parents.
+fn build_db(n_parents: usize, n_children: usize, seed: u64) -> (Database, usize, usize) {
+    let mut rng = SimRng::new(seed);
+    let mut db = Database::new();
+    let parents = db.add_table("parents", Schema::single("key"));
+    let children = db.add_table("children", Schema::new(vec!["parent_key", "payload"]));
+    db.add_foreign_key(ForeignKey {
+        child_table: children,
+        child_col: 0,
+        parent_table: parents,
+        parent_col: 0,
+    })
+    .unwrap();
+    for k in 0..n_parents as i64 {
+        db.table_mut(parents).insert(&[k], 0).unwrap();
+    }
+    for _ in 0..n_children {
+        let k = rng.range_i64(0, n_parents as i64);
+        db.table_mut(children)
+            .insert(&[k, rng.range_i64(0, 1000)], 0)
+            .unwrap();
+    }
+    (db, parents, children)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cascade_never_dangles(
+        n_parents in 2usize..30,
+        n_children in 0usize..80,
+        kills in proptest::collection::vec(0usize..30, 1..10),
+        seed in any::<u64>(),
+    ) {
+        let (mut db, parents, _children) = build_db(n_parents, n_children, seed);
+        for (i, k) in kills.iter().enumerate() {
+            let row = RowId((k % n_parents) as u64);
+            let _ = db
+                .forget(parents, row, i as u64 + 1, ReferentialAction::Cascade)
+                .unwrap();
+            prop_assert!(db.dangling_references().is_empty());
+        }
+    }
+
+    #[test]
+    fn restrict_either_errors_or_stays_consistent(
+        n_parents in 2usize..30,
+        n_children in 0usize..80,
+        kills in proptest::collection::vec(0usize..30, 1..10),
+        seed in any::<u64>(),
+    ) {
+        let (mut db, parents, children) = build_db(n_parents, n_children, seed);
+        for (i, k) in kills.iter().enumerate() {
+            let row = RowId((k % n_parents) as u64);
+            let active_children_before = db.table(children).active_rows();
+            match db.forget(parents, row, i as u64 + 1, ReferentialAction::Restrict) {
+                Ok(forgotten) => {
+                    // Restrict never touches children.
+                    prop_assert!(forgotten.len() <= 1);
+                    prop_assert_eq!(
+                        db.table(children).active_rows(),
+                        active_children_before
+                    );
+                }
+                Err(_) => {
+                    // Refusal must be a complete no-op.
+                    prop_assert!(db.table(parents).activity().is_active(row));
+                }
+            }
+            prop_assert!(db.dangling_references().is_empty());
+        }
+    }
+}
+
+#[test]
+fn policies_drive_referential_forgetting() {
+    // A TTL policy picks parent victims; cascading keeps integrity while
+    // the parent table holds its budget.
+    let (mut db, parents, children) = build_db(100, 300, 99);
+    let mut policy = PolicyKind::Ttl { max_age: 0 }.build();
+    let mut rng = SimRng::new(100);
+
+    for epoch in 1..=5u64 {
+        // Insert 20 new parents per epoch.
+        for k in 0..20i64 {
+            db.table_mut(parents)
+                .insert(&[1000 + epoch as i64 * 100 + k], epoch)
+                .unwrap();
+        }
+        let victims = {
+            let ctx = PolicyContext {
+                table: db.table(parents),
+                epoch,
+            };
+            policy.select_victims(&ctx, 20, &mut rng)
+        };
+        for v in victims {
+            // Victims may already be gone through an earlier cascade —
+            // Database::forget treats that as a no-op.
+            db.forget(parents, v, epoch, ReferentialAction::Cascade)
+                .unwrap();
+        }
+        assert!(db.dangling_references().is_empty(), "epoch {epoch}");
+    }
+    // Children of forgotten parents are gone too.
+    assert!(db.table(children).active_rows() < 300);
+}

@@ -1,0 +1,156 @@
+//! Cross-crate checks: the SQL surface must agree exactly with the
+//! engine kernels on the amnesiac visibility semantics.
+
+use amnesia::engine::kernels;
+use amnesia::prelude::*;
+use amnesia::sql::{run, Datum, QueryOutcome};
+use proptest::prelude::*;
+
+/// One-table database plus a model vector of `(value, active)`.
+fn build(values: &[i64], forget: &[usize]) -> (Database, Vec<(i64, bool)>) {
+    let mut db = Database::new();
+    let t = db.add_table("t", Schema::single("a"));
+    db.table_mut(t).insert_batch(values, 0).unwrap();
+    let mut model: Vec<(i64, bool)> = values.iter().map(|&v| (v, true)).collect();
+    for &f in forget {
+        if !values.is_empty() {
+            let idx = f % values.len();
+            db.table_mut(t).forget(RowId(idx as u64), 1).unwrap();
+            model[idx].1 = false;
+        }
+    }
+    (db, model)
+}
+
+fn sql_rows(db: &Database, sql: &str) -> Vec<Vec<Datum>> {
+    match run(db, sql).unwrap() {
+        QueryOutcome::Rows(rs) => rs.rows,
+        QueryOutcome::Plan(p) => panic!("unexpected plan {p}"),
+    }
+}
+
+fn sql_scalar(db: &Database, sql: &str) -> Datum {
+    let rows = sql_rows(db, sql);
+    assert_eq!(rows.len(), 1, "{sql}");
+    rows[0][0]
+}
+
+#[test]
+fn sql_count_matches_engine_kernel() {
+    let values: Vec<i64> = (0..500).map(|i| (i * 37) % 1000).collect();
+    let (db, _) = build(&values, &[1, 5, 9, 13, 200, 201, 499]);
+    let table = db.table(db.table_id("t").unwrap());
+    for (lo, hi) in [(0i64, 100i64), (250, 750), (990, 1000), (500, 500)] {
+        let engine_count =
+            kernels::count_active_matches(table, 0, RangePredicate::new(lo, hi));
+        // SQL BETWEEN is inclusive: [lo, hi-1] == [lo, hi).
+        let sql = format!("SELECT COUNT(*) FROM t WHERE a BETWEEN {lo} AND {}", hi - 1);
+        assert_eq!(
+            sql_scalar(&db, &sql),
+            Datum::Int(engine_count as i64),
+            "range [{lo}, {hi})"
+        );
+    }
+}
+
+#[test]
+fn sql_avg_matches_engine_kernel() {
+    let values: Vec<i64> = (0..300).map(|i| (i * 13) % 777).collect();
+    let (db, _) = build(&values, &[2, 4, 8, 16, 32, 64, 128, 256]);
+    let table = db.table(db.table_id("t").unwrap());
+    let (engine_avg, _) =
+        kernels::aggregate_active(table, 0, Some(RangePredicate::new(100, 600)), AggKind::Avg);
+    match sql_scalar(&db, "SELECT AVG(a) FROM t WHERE a BETWEEN 100 AND 599") {
+        Datum::Float(v) => {
+            let expected = engine_avg.unwrap();
+            assert!((v - expected).abs() < 1e-9, "sql {v} engine {expected}");
+        }
+        other => panic!("expected float, got {other:?}"),
+    }
+}
+
+#[test]
+fn forgotten_tuples_never_appear_in_sql_results() {
+    let values: Vec<i64> = (0..100).collect();
+    let (db, model) = build(&values, &[10, 20, 30, 40]);
+    let rows = sql_rows(&db, "SELECT a FROM t ORDER BY a");
+    let got: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+    let expected: Vec<i64> = model
+        .iter()
+        .filter(|(_, active)| *active)
+        .map(|(v, _)| *v)
+        .collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn sql_sees_the_simulator_store() {
+    // The simulator's table is a plain columnar table: wire it into a
+    // database and query it through SQL mid-simulation.
+    let cfg = SimConfig::builder()
+        .dbsize(200)
+        .domain(10_000)
+        .update_fraction(0.2)
+        .batches(4)
+        .queries_per_batch(20)
+        .distribution(DistributionKind::Uniform)
+        .policy(PolicyKind::Uniform)
+        .seed(7)
+        .build()
+        .unwrap();
+    let mut sim = Simulator::new(cfg).unwrap();
+    for _ in 0..4 {
+        sim.step().unwrap();
+    }
+    assert_eq!(sim.table().active_rows(), 200);
+
+    let mut db = Database::new();
+    let t = db.add_table("t", Schema::single("a"));
+    // Rebuild from the simulator table's physical rows.
+    let table = sim.table();
+    for r in 0..table.num_rows() {
+        let id = RowId::from(r);
+        db.table_mut(t).insert(&[table.value(0, id)], 0).unwrap();
+        if !table.activity().is_active(id) {
+            db.table_mut(t).forget(id, 1).unwrap();
+        }
+    }
+    let n = sql_scalar(&db, "SELECT COUNT(*) FROM t");
+    assert_eq!(n, Datum::Int(200), "SQL sees exactly the active budget");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sql_range_count_agrees_with_model(
+        values in proptest::collection::vec(-1000i64..1000, 1..120),
+        forget in proptest::collection::vec(0usize..1000, 0..40),
+        lo in -1100i64..1100,
+        width in 0i64..800,
+    ) {
+        let (db, model) = build(&values, &forget);
+        let hi = lo + width;
+        let expected = model
+            .iter()
+            .filter(|(v, active)| *active && *v >= lo && *v <= hi)
+            .count() as i64;
+        let sql = format!("SELECT COUNT(*) FROM t WHERE a BETWEEN {lo} AND {hi}");
+        prop_assert_eq!(sql_scalar(&db, &sql), Datum::Int(expected));
+    }
+
+    #[test]
+    fn sql_sum_agrees_with_model(
+        values in proptest::collection::vec(-500i64..500, 1..100),
+        forget in proptest::collection::vec(0usize..500, 0..30),
+    ) {
+        let (db, model) = build(&values, &forget);
+        let expected: i64 = model.iter().filter(|(_, a)| *a).map(|(v, _)| v).sum();
+        let active = model.iter().filter(|(_, a)| *a).count();
+        match sql_scalar(&db, "SELECT SUM(a) FROM t") {
+            Datum::Int(v) => prop_assert_eq!(v, expected),
+            Datum::Null => prop_assert_eq!(active, 0),
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Forget-mode semantics of [`AmnesiacStore`] under a shared randomized
+//! workload: each mode's storage/answer trade-off must hold for any
+//! insert/forget interleaving.
+
+use amnesia::columnar::MemoryColdStore;
+use amnesia::prelude::*;
+use proptest::prelude::*;
+
+/// Drive a store through a fixed-budget amnesia loop; returns the ledger
+/// of everything inserted.
+fn drive(
+    store: &mut AmnesiacStore,
+    dbsize: usize,
+    per_batch: usize,
+    batches: u64,
+    seed: u64,
+) -> Vec<i64> {
+    let mut rng = SimRng::new(seed);
+    let mut policy = PolicyKind::Uniform.build();
+    let mut ledger = Vec::new();
+
+    let initial: Vec<i64> = (0..dbsize as i64).map(|i| i * 3).collect();
+    ledger.extend_from_slice(&initial);
+    store.insert_batch(&initial, 0).unwrap();
+
+    let mut next = dbsize as i64;
+    for b in 1..=batches {
+        let fresh: Vec<i64> = (0..per_batch as i64).map(|i| (next + i) * 3).collect();
+        next += per_batch as i64;
+        ledger.extend_from_slice(&fresh);
+        store.insert_batch(&fresh, b).unwrap();
+        let need = store.table().active_rows().saturating_sub(dbsize);
+        let victims = {
+            let ctx = PolicyContext {
+                table: store.table(),
+                epoch: b,
+            };
+            policy.select_victims(&ctx, need, &mut rng)
+        };
+        store.forget_batch(&victims, b).unwrap();
+        store.end_batch().unwrap();
+    }
+    ledger
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn delete_mode_leaves_no_forgotten_payloads(
+        dbsize in 20usize..80,
+        per_batch in 5usize..40,
+        batches in 1u64..6,
+        seed in any::<u64>(),
+    ) {
+        let mut store = AmnesiacStore::new(ForgetMode::Delete { vacuum_every: 1 });
+        drive(&mut store, dbsize, per_batch, batches, seed);
+        let fp = store.footprint();
+        prop_assert_eq!(fp.hot_rows, fp.active_rows, "vacuum must be complete");
+        prop_assert_eq!(fp.active_rows, dbsize);
+    }
+
+    #[test]
+    fn tier_mode_archives_every_forgotten_tuple(
+        dbsize in 20usize..80,
+        per_batch in 5usize..40,
+        batches in 1u64..6,
+        seed in any::<u64>(),
+    ) {
+        let mut store = AmnesiacStore::new(ForgetMode::Tier)
+            .with_cold_store(Box::new(MemoryColdStore::new()));
+        drive(&mut store, dbsize, per_batch, batches, seed);
+        let fp = store.footprint();
+        prop_assert_eq!(fp.cold_rows as u64, store.total_forgotten());
+        // Every archived tuple is recoverable with its exact payload.
+        let table = store.table();
+        let forgotten: Vec<RowId> = (0..table.num_rows())
+            .map(RowId::from)
+            .filter(|&r| !table.activity().is_active(r))
+            .collect();
+        let expected: Vec<i64> = forgotten.iter().map(|&r| table.value(0, r)).collect();
+        for (r, expect) in forgotten.into_iter().zip(expected) {
+            let got = store.recover_from_cold(r).unwrap();
+            prop_assert_eq!(got, Some(vec![expect]));
+        }
+    }
+
+    #[test]
+    fn summarize_mode_keeps_whole_table_aggregates_exact(
+        dbsize in 20usize..80,
+        per_batch in 5usize..40,
+        batches in 1u64..6,
+        seed in any::<u64>(),
+    ) {
+        let mut store = AmnesiacStore::new(ForgetMode::Summarize);
+        let ledger = drive(&mut store, dbsize, per_batch, batches, seed);
+        let exact_avg = ledger.iter().map(|&v| v as f64).sum::<f64>() / ledger.len() as f64;
+        let got = store
+            .query(&Query::Aggregate { kind: AggKind::Avg, predicate: None })
+            .output
+            .agg()
+            .unwrap()
+            .unwrap();
+        prop_assert!((got - exact_avg).abs() < 1e-6, "avg {got} vs {exact_avg}");
+        let count = store
+            .query(&Query::Aggregate { kind: AggKind::Count, predicate: None })
+            .output
+            .agg()
+            .unwrap()
+            .unwrap();
+        prop_assert_eq!(count as usize, ledger.len());
+    }
+
+    #[test]
+    fn deindex_mode_keeps_range_scans_complete(
+        dbsize in 20usize..80,
+        per_batch in 5usize..40,
+        batches in 1u64..6,
+        seed in any::<u64>(),
+        lo_frac in 0.0f64..0.9,
+    ) {
+        let mut store = AmnesiacStore::new(ForgetMode::Deindex);
+        let ledger = drive(&mut store, dbsize, per_batch, batches, seed);
+        let max = *ledger.iter().max().unwrap();
+        let lo = (lo_frac * max as f64) as i64;
+        let pred = RangePredicate::new(lo, lo + max / 5 + 1);
+        let truth = ledger.iter().filter(|&&v| pred.matches(v)).count();
+        let got = store.query(&Query::Range(pred)).output.cardinality();
+        prop_assert_eq!(got, truth, "complete scan must fetch all data");
+    }
+
+    #[test]
+    fn mark_only_mode_returns_active_subset(
+        dbsize in 20usize..80,
+        per_batch in 5usize..40,
+        batches in 1u64..6,
+        seed in any::<u64>(),
+    ) {
+        let mut store = AmnesiacStore::new(ForgetMode::MarkOnly);
+        let ledger = drive(&mut store, dbsize, per_batch, batches, seed);
+        let max = *ledger.iter().max().unwrap();
+        let pred = RangePredicate::new(0, max + 1);
+        let got = store.query(&Query::Range(pred)).output.cardinality();
+        prop_assert_eq!(got, dbsize, "active-only answer is exactly the budget");
+    }
+}
