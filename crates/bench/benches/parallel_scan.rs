@@ -31,6 +31,15 @@ fn parallel(c: &mut Criterion) {
 
     let mut scan = c.benchmark_group("parallel/range_scan");
     scan.throughput(Throughput::Elements(n as u64));
+    scan.bench_function("serial_scalar", |b| {
+        b.iter(|| {
+            black_box(amnesia_engine::batch::scalar::range_scan_active(
+                &t,
+                0,
+                black_box(pred),
+            ))
+        })
+    });
     scan.bench_function("serial", |b| {
         b.iter(|| black_box(kernels::range_scan_active(&t, 0, black_box(pred))))
     });
@@ -49,6 +58,16 @@ fn parallel(c: &mut Criterion) {
 
     let mut agg = c.benchmark_group("parallel/aggregate_avg");
     agg.throughput(Throughput::Elements(n as u64));
+    agg.bench_function("serial_scalar", |b| {
+        b.iter(|| {
+            black_box(amnesia_engine::batch::scalar::aggregate_active(
+                &t,
+                0,
+                Some(black_box(pred)),
+                AggKind::Avg,
+            ))
+        })
+    });
     agg.bench_function("serial", |b| {
         b.iter(|| {
             black_box(kernels::aggregate_active(

@@ -2,17 +2,75 @@
 //!
 //! Quantifies what the execution regimes cost: full active scan vs
 //! zone-map pruned scan vs sorted-index probe, and the streaming
-//! aggregate kernel, at 20 % forgotten tuples.
+//! aggregate kernel, at 20 % forgotten tuples. The `vectorized_vs_scalar`
+//! group measures the word-at-a-time batch kernels against the
+//! row-at-a-time references (`batch::scalar`) at 1M rows — the numbers
+//! backing the vectorization PR.
 
 use std::hint::black_box;
 
 use amnesia_bench::{forget_fraction, table_from_distribution};
 use amnesia_columnar::{SortedIndex, ZoneMap};
 use amnesia_distrib::DistributionKind;
+use amnesia_engine::batch::scalar;
 use amnesia_engine::kernels;
 use amnesia_workload::query::{AggKind, RangePredicate};
 use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Vectorized vs scalar at 1M rows: the selective scan, the count-only
+/// kernel, and the fused filter+aggregate, at two forgotten fractions.
+fn vectorized_vs_scalar(c: &mut Criterion) {
+    const N: usize = 1_000_000;
+    for forgotten in [0.2f64, 0.5] {
+        let mut table = table_from_distribution(&DistributionKind::Uniform, N, 1_000_000, 3);
+        forget_fraction(&mut table, forgotten, 4);
+        // ~1 % selectivity predicate.
+        let pred = RangePredicate::new(500_000, 510_000);
+        let tag = format!("vectorized_vs_scalar_1m/forgotten_{forgotten}");
+
+        let mut group = c.benchmark_group(&tag);
+        group.bench_function("scan_scalar", |b| {
+            b.iter(|| black_box(scalar::range_scan_active(&table, 0, black_box(pred))))
+        });
+        group.bench_function("scan_vectorized", |b| {
+            b.iter(|| black_box(kernels::range_scan_active(&table, 0, black_box(pred))))
+        });
+        group.bench_function("count_scalar", |b| {
+            b.iter(|| black_box(scalar::count_active_matches(&table, 0, black_box(pred))))
+        });
+        group.bench_function("count_vectorized", |b| {
+            b.iter(|| black_box(kernels::count_active_matches(&table, 0, black_box(pred))))
+        });
+        group.bench_function("filter_agg_scalar", |b| {
+            b.iter(|| {
+                black_box(scalar::aggregate_active(
+                    &table,
+                    0,
+                    Some(black_box(pred)),
+                    AggKind::Avg,
+                ))
+            })
+        });
+        group.bench_function("filter_agg_vectorized", |b| {
+            b.iter(|| {
+                black_box(kernels::aggregate_active(
+                    &table,
+                    0,
+                    Some(black_box(pred)),
+                    AggKind::Avg,
+                ))
+            })
+        });
+        group.bench_function("whole_table_agg_scalar", |b| {
+            b.iter(|| black_box(scalar::aggregate_active(&table, 0, None, AggKind::Avg)))
+        });
+        group.bench_function("whole_table_agg_vectorized", |b| {
+            b.iter(|| black_box(kernels::aggregate_active(&table, 0, None, AggKind::Avg)))
+        });
+        group.finish();
+    }
+}
 
 fn scan_kernels(c: &mut Criterion) {
     const N: usize = 200_000;
@@ -70,6 +128,6 @@ fn scan_kernels(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
-    targets = scan_kernels
+    targets = scan_kernels, vectorized_vs_scalar
 }
 criterion_main!(benches);

@@ -243,14 +243,14 @@ fn main() {
     };
 
     // Run experiments in parallel: each is an independent, deterministic
-    // simulation (crossbeam scoped threads keep the borrows simple).
-    let results: Vec<(usize, Vec<(String, Output)>)> = crossbeam::thread::scope(|s| {
+    // simulation (std scoped threads keep the borrows simple).
+    let results: Vec<(usize, Vec<(String, Output)>)> = std::thread::scope(|s| {
         let handles: Vec<_> = names
             .iter()
             .enumerate()
             .map(|(idx, name)| {
                 let scale = scale;
-                s.spawn(move |_| (idx, run_experiment(name, &scale)))
+                s.spawn(move || (idx, run_experiment(name, &scale)))
             })
             .collect();
         let mut results: Vec<(usize, Vec<(String, Output)>)> = handles
@@ -259,8 +259,7 @@ fn main() {
             .collect();
         results.sort_by_key(|(idx, _)| *idx);
         results
-    })
-    .expect("scope");
+    });
 
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();

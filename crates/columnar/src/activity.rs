@@ -93,6 +93,14 @@ impl ActivityMap {
         &self.active
     }
 
+    /// The packed activity words (low bit = low row id). Bits past the
+    /// last row are guaranteed zero, so word-at-a-time kernels can
+    /// popcount and scan whole words without tail masking.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        self.active.words()
+    }
+
     /// Uniformly random active row, if any (O(blocks) via rank/select).
     pub fn random_active(&self, rng: &mut SimRng) -> Option<RowId> {
         let n = self.active_count();

@@ -90,6 +90,9 @@ pub struct EncodedBlock {
 }
 
 /// Minimal serde adapter for `bytes::Bytes` (Vec<u8> passthrough).
+// The offline serde shim's no-op derive never references `with` helpers,
+// so these are only exercised when building against real serde.
+#[allow(dead_code)]
 mod serde_bytes_compat {
     use bytes::Bytes;
     use serde::{Deserialize, Deserializer, Serialize, Serializer};

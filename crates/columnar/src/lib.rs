@@ -56,5 +56,5 @@ pub use persist::{PersistentTable, Wal, WalRecord};
 pub use schema::{ColumnDef, Schema};
 pub use summary::{SummaryCell, SummaryStore};
 pub use table::Table;
-pub use types::{Epoch, RowId, Value};
+pub use types::{Epoch, RowId, Value, DEFAULT_BLOCK_ROWS};
 pub use zonemap::ZoneMap;

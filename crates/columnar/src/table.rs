@@ -117,6 +117,21 @@ impl Table {
         &self.columns[col]
     }
 
+    /// Contiguous values of `col` in physical row order, including rows
+    /// that have been forgotten. This is the batch-kernel entry point:
+    /// pair it with [`Table::activity_words`] to scan word-at-a-time.
+    #[inline]
+    pub fn col_values(&self, col: usize) -> &[Value] {
+        self.columns[col].values()
+    }
+
+    /// The packed active-row words (see
+    /// [`ActivityMap::words`](crate::activity::ActivityMap::words)).
+    #[inline]
+    pub fn activity_words(&self) -> &[u64] {
+        self.activity.words()
+    }
+
     /// Total physical rows (active + forgotten).
     pub fn num_rows(&self) -> usize {
         self.columns.first().map_or(0, Column::len)

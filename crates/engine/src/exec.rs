@@ -217,19 +217,26 @@ impl Executor {
         predicate: Option<RangePredicate>,
         aux: &Aux<'_>,
     ) -> ExecResult {
-        let (mut value, scanned) = kernels::aggregate_active(table, col, predicate, kind);
+        // One fused filter+aggregate pass yields every statistic the
+        // combiners below might need (COUNT, SUM, MIN, MAX), so folding in
+        // summaries or micro-models no longer rescans the table.
+        let (active_state, scanned) = kernels::aggregate_state_active(table, col, predicate);
 
         // Whole-table aggregates can fold in summaries of forgotten data
         // (paper §1: summaries answer "specific aggregation queries" only —
         // a predicate disables them because cell membership is unknown).
+        // The cell folds into the running state, so a micro-model combine
+        // below still sees the summary contribution.
+        let mut state = active_state;
         if predicate.is_none() {
             if let Some(summaries) = aux.summaries {
                 let cell = summaries.combined();
                 if cell.count > 0 {
-                    value = Some(combine_with_summary(table, col, value, kind, &cell));
+                    state.push_block(cell.count, cell.sum, cell.min, cell.max);
                 }
             }
         }
+        let mut value = state.finalize(kind);
 
         // Micro-models go further: their histograms pro-rate the
         // forgotten mass inside a predicate, so ranged aggregates get an
@@ -238,9 +245,7 @@ impl Executor {
             let range = predicate.map(|p| ValueRange { lo: p.lo, hi: p.hi });
             let est = models.estimate(range);
             if est.count > 1e-12 {
-                value = Some(combine_with_estimate(
-                    table, col, predicate, value, kind, &est,
-                ));
+                value = Some(combine_with_estimate(&state, kind, &est));
             }
         }
 
@@ -258,70 +263,19 @@ impl Executor {
     }
 }
 
-/// Merge the active-side aggregate with a summary cell of forgotten data.
-fn combine_with_summary(
-    table: &Table,
-    col: usize,
-    active: Option<f64>,
-    kind: AggKind,
-    cell: &amnesia_columnar::SummaryCell,
-) -> f64 {
-    // Recompute exact active-state pieces needed for the combination.
-    let (active_count, _) = kernels::aggregate_active(table, col, None, AggKind::Count);
-    let n_active = active_count.unwrap_or(0.0);
-    match kind {
-        AggKind::Count => n_active + cell.count as f64,
-        AggKind::Sum => active.unwrap_or(0.0) + cell.sum as f64,
-        AggKind::Avg => {
-            let (active_sum, _) = kernels::aggregate_active(table, col, None, AggKind::Sum);
-            let total_sum = active_sum.unwrap_or(0.0) + cell.sum as f64;
-            let total_count = n_active + cell.count as f64;
-            total_sum / total_count
-        }
-        AggKind::Min => {
-            let m = cell.min_value().map(|v| v as f64);
-            match (active, m) {
-                (Some(a), Some(b)) => a.min(b),
-                (Some(a), None) => a,
-                (None, Some(b)) => b,
-                (None, None) => f64::NAN,
-            }
-        }
-        AggKind::Max => {
-            let m = cell.max_value().map(|v| v as f64);
-            match (active, m) {
-                (Some(a), Some(b)) => a.max(b),
-                (Some(a), None) => a,
-                (None, Some(b)) => b,
-                (None, None) => f64::NAN,
-            }
-        }
-    }
-}
-
-/// Merge the active-side aggregate with a micro-model estimate of the
-/// forgotten mass (optionally restricted to the query's predicate).
-fn combine_with_estimate(
-    table: &Table,
-    col: usize,
-    predicate: Option<RangePredicate>,
-    active: Option<f64>,
-    kind: AggKind,
-    est: &Estimate,
-) -> f64 {
-    let (active_count, _) = kernels::aggregate_active(table, col, predicate, AggKind::Count);
-    let n_active = active_count.unwrap_or(0.0);
+/// Merge the aggregate state (active rows, plus any summary cell already
+/// folded in by the executor) with a micro-model estimate of the
+/// forgotten mass. The state is already restricted to the query's
+/// predicate, so its COUNT/SUM slot straight into the combination.
+fn combine_with_estimate(state: &kernels::AggState, kind: AggKind, est: &Estimate) -> f64 {
+    let n_active = state.count() as f64;
     match kind {
         AggKind::Count => n_active + est.count,
-        AggKind::Sum => active.unwrap_or(0.0) + est.sum,
-        AggKind::Avg => {
-            let (active_sum, _) =
-                kernels::aggregate_active(table, col, predicate, AggKind::Sum);
-            (active_sum.unwrap_or(0.0) + est.sum) / (n_active + est.count)
-        }
+        AggKind::Sum => state.sum() as f64 + est.sum,
+        AggKind::Avg => (state.sum() as f64 + est.sum) / (n_active + est.count),
         AggKind::Min => {
             let m = est.min.map(|v| v as f64);
-            match (active, m) {
+            match (state.finalize(AggKind::Min), m) {
                 (Some(a), Some(b)) => a.min(b),
                 (Some(a), None) => a,
                 (None, Some(b)) => b,
@@ -330,7 +284,7 @@ fn combine_with_estimate(
         }
         AggKind::Max => {
             let m = est.max.map(|v| v as f64);
-            match (active, m) {
+            match (state.finalize(AggKind::Max), m) {
                 (Some(a), Some(b)) => a.max(b),
                 (Some(a), None) => a,
                 (None, Some(b)) => b,
@@ -550,6 +504,56 @@ mod tests {
             .agg()
             .unwrap();
         assert_eq!(avg, Some(30.0));
+    }
+
+    #[test]
+    fn summaries_and_models_chain() {
+        // Forget 20 (absorbed by the summary) and 30 (absorbed by the
+        // model): both contributions must land in the final answer.
+        let mut t = Table::new(Schema::single("a"));
+        t.insert_batch(&[10, 20, 30, 40, 50], 0).unwrap();
+        t.forget(RowId(1), 1).unwrap();
+        t.forget(RowId(2), 1).unwrap();
+        let mut summaries = SummaryStore::new();
+        summaries.absorb(0, 20);
+        let mut models = ModelStore::new(8);
+        models.absorb(1, 30);
+        models.seal();
+        let ex = Executor::default();
+        let aux = Aux {
+            summaries: Some(&summaries),
+            models: Some(&models),
+            ..Default::default()
+        };
+        let sum = ex
+            .execute(
+                &t,
+                0,
+                &Q::Aggregate {
+                    kind: AggKind::Sum,
+                    predicate: None,
+                },
+                &aux,
+            )
+            .output
+            .agg()
+            .unwrap();
+        // Active 10+40+50 = 100, summary adds 20, model adds 30.
+        assert_eq!(sum, Some(150.0));
+        let count = ex
+            .execute(
+                &t,
+                0,
+                &Q::Aggregate {
+                    kind: AggKind::Count,
+                    predicate: None,
+                },
+                &aux,
+            )
+            .output
+            .agg()
+            .unwrap();
+        assert_eq!(count, Some(5.0));
     }
 
     #[test]

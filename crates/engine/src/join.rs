@@ -14,6 +14,31 @@ use amnesia_columnar::{RowId, Table, Value};
 
 use crate::mode::ForgetVisibility;
 
+/// Rows participating on one join side under a visibility mode: the
+/// active count for the amnesiac answer, all physical rows for the
+/// mark-only ground truth. Used to pre-size hash tables and outputs.
+fn side_rows(table: &Table, visibility: ForgetVisibility) -> usize {
+    match visibility {
+        ForgetVisibility::ActiveOnly => table.active_rows(),
+        ForgetVisibility::ScanSeesForgotten => table.num_rows(),
+    }
+}
+
+/// Run `f(row)` over one join side: word-at-a-time over the activity
+/// bitmap (via [`amnesia_util::Bitmap::iter_ones_in`]) for the amnesiac
+/// answer, a straight slice walk for the mark-only ground truth.
+#[inline]
+fn for_each_side_row(table: &Table, visibility: ForgetVisibility, f: impl FnMut(usize)) {
+    match visibility {
+        ForgetVisibility::ActiveOnly => table
+            .activity()
+            .bitmap()
+            .iter_ones_in(0, table.num_rows())
+            .for_each(f),
+        ForgetVisibility::ScanSeesForgotten => (0..table.num_rows()).for_each(f),
+    }
+}
+
 /// Cardinalities observed while executing a join.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct JoinStats {
@@ -49,51 +74,34 @@ pub fn hash_join(
     right_col: usize,
     visibility: ForgetVisibility,
 ) -> JoinResult {
-    let mut build: HashMap<Value, Vec<RowId>> = HashMap::new();
-    let mut build_rows = 0usize;
-    let mut add = |table: &Table, r: RowId| {
-        build
-            .entry(table.value(left_col, r))
-            .or_default()
-            .push(r);
-    };
-    match visibility {
-        ForgetVisibility::ActiveOnly => {
-            for r in left.iter_active() {
-                add(left, r);
-                build_rows += 1;
-            }
-        }
-        ForgetVisibility::ScanSeesForgotten => {
-            for r in 0..left.num_rows() {
-                add(left, RowId::from(r));
-            }
-            build_rows = left.num_rows();
-        }
-    }
+    let build_rows = side_rows(left, visibility);
+    let probe_rows = side_rows(right, visibility);
+    let left_vals = left.col_values(left_col);
+    let right_vals = right.col_values(right_col);
+
+    // Pre-size from the known build cardinality: one allocation instead
+    // of O(log n) rehashes.
+    let mut build: HashMap<Value, Vec<RowId>> = HashMap::with_capacity(build_rows);
+    for_each_side_row(left, visibility, |r| {
+        build.entry(left_vals[r]).or_default().push(RowId::from(r));
+    });
     let build_distinct_keys = build.len();
 
-    let mut pairs = Vec::new();
-    let mut probe_rows = 0usize;
-    let mut probe = |r: RowId| {
-        if let Some(ls) = build.get(&right.value(right_col, r)) {
-            pairs.extend(ls.iter().map(|&l| (l, r)));
+    // Expected output: each probe row matches the average build-key
+    // multiplicity (exact for foreign-key joins, an estimate otherwise).
+    // Capped at the input cardinality so a skewed build side (one hot
+    // key) cannot request a quadratic allocation up front — beyond the
+    // cap, normal Vec growth takes over.
+    let avg_multiplicity = build_rows.div_ceil(build_distinct_keys.max(1));
+    let estimate = probe_rows
+        .saturating_mul(avg_multiplicity)
+        .min(probe_rows.max(build_rows));
+    let mut pairs = Vec::with_capacity(estimate);
+    for_each_side_row(right, visibility, |r| {
+        if let Some(ls) = build.get(&right_vals[r]) {
+            pairs.extend(ls.iter().map(|&l| (l, RowId::from(r))));
         }
-    };
-    match visibility {
-        ForgetVisibility::ActiveOnly => {
-            for r in right.iter_active() {
-                probe(r);
-                probe_rows += 1;
-            }
-        }
-        ForgetVisibility::ScanSeesForgotten => {
-            for r in 0..right.num_rows() {
-                probe(RowId::from(r));
-            }
-            probe_rows = right.num_rows();
-        }
-    }
+    });
 
     let output_pairs = pairs.len();
     JoinResult {
@@ -116,37 +124,18 @@ pub fn hash_join_count(
     visibility: ForgetVisibility,
 ) -> usize {
     // Count-only probe: hash build side key → multiplicity.
-    let mut build: HashMap<Value, usize> = HashMap::new();
-    match visibility {
-        ForgetVisibility::ActiveOnly => {
-            for r in left.iter_active() {
-                *build.entry(left.value(left_col, r)).or_default() += 1;
-            }
-        }
-        ForgetVisibility::ScanSeesForgotten => {
-            for r in 0..left.num_rows() {
-                *build.entry(left.value(left_col, RowId::from(r))).or_default() += 1;
-            }
-        }
-    }
+    let left_vals = left.col_values(left_col);
+    let right_vals = right.col_values(right_col);
+    let mut build: HashMap<Value, usize> = HashMap::with_capacity(side_rows(left, visibility));
+    for_each_side_row(left, visibility, |r| {
+        *build.entry(left_vals[r]).or_default() += 1;
+    });
     let mut count = 0usize;
-    let probe_one = |r: RowId, count: &mut usize| {
-        if let Some(&m) = build.get(&right.value(right_col, r)) {
-            *count += m;
+    for_each_side_row(right, visibility, |r| {
+        if let Some(&m) = build.get(&right_vals[r]) {
+            count += m;
         }
-    };
-    match visibility {
-        ForgetVisibility::ActiveOnly => {
-            for r in right.iter_active() {
-                probe_one(r, &mut count);
-            }
-        }
-        ForgetVisibility::ScanSeesForgotten => {
-            for r in 0..right.num_rows() {
-                probe_one(RowId::from(r), &mut count);
-            }
-        }
-    }
+    });
     count
 }
 

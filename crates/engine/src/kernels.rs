@@ -1,46 +1,56 @@
-//! Vectorized-ish scan and aggregate kernels.
+//! Vectorized scan and aggregate kernels.
 //!
 //! These are the tight loops underneath every query: filter a column by a
 //! range predicate intersected with the activity bitmap, or fold an
-//! aggregate over the selection. They operate block-at-a-time over the
-//! bitmap words so the active check costs one shift per row.
+//! aggregate over the selection. Since the word-at-a-time rewrite they are
+//! thin entry points over [`crate::batch`]: raw column slices, packed
+//! activity words, branch-light selection masks, and whole-word skips for
+//! all-forgotten regions. The row-at-a-time originals survive as
+//! [`crate::batch::scalar`] for equivalence tests and benchmarks.
 
 use amnesia_columnar::{RowId, Table, Value};
 use amnesia_workload::query::{AggKind, RangePredicate};
 
+use crate::batch;
+
+pub use crate::batch::AggState;
+
 /// Collect active rows of `col` matching `pred` (insertion order).
 pub fn range_scan_active(table: &Table, col: usize, pred: RangePredicate) -> Vec<RowId> {
     let mut out = Vec::new();
-    let column = table.column(col);
-    for row in table.iter_active() {
-        if pred.matches(column.get(row.as_usize())) {
-            out.push(row);
-        }
-    }
+    batch::scan_active_into(
+        table.col_values(col),
+        table.activity_words(),
+        0,
+        table.num_rows(),
+        pred,
+        &mut out,
+    );
     out
 }
 
 /// Collect *all* physical rows matching `pred`, forgotten or not — the
 /// "complete scan will fetch all data" path of paper §1.
 pub fn range_scan_all(table: &Table, col: usize, pred: RangePredicate) -> Vec<RowId> {
-    let column = table.column(col);
-    (0..table.num_rows())
-        .filter(|&r| pred.matches(column.get(r)))
-        .map(RowId::from)
-        .collect()
+    let mut out = Vec::new();
+    batch::scan_all_into(table.col_values(col), 0, table.num_rows(), pred, &mut out);
+    out
 }
 
 /// Count active matches without materializing row ids.
 pub fn count_active_matches(table: &Table, col: usize, pred: RangePredicate) -> usize {
-    let column = table.column(col);
-    table
-        .iter_active()
-        .filter(|r| pred.matches(column.get(r.as_usize())))
-        .count()
+    batch::count_active(
+        table.col_values(col),
+        table.activity_words(),
+        0,
+        table.num_rows(),
+        pred,
+    )
 }
 
 /// Collect active matches restricted to the given physical blocks
-/// (`block_rows` rows per block) — the zone-map pruned path.
+/// (`block_rows` rows per block) — the zone-map pruned path. Each block is
+/// scanned with the same word-masked batch kernel as full scans.
 pub fn range_scan_blocks(
     table: &Table,
     col: usize,
@@ -49,81 +59,15 @@ pub fn range_scan_blocks(
     block_rows: usize,
 ) -> Vec<RowId> {
     let mut out = Vec::new();
-    let column = table.column(col);
-    let activity = table.activity();
+    let values = table.col_values(col);
+    let words = table.activity_words();
     let n = table.num_rows();
     for &b in blocks {
         let lo = b * block_rows;
         let hi = (lo + block_rows).min(n);
-        for r in lo..hi {
-            let id = RowId::from(r);
-            if activity.is_active(id) && pred.matches(column.get(r)) {
-                out.push(id);
-            }
-        }
+        batch::scan_active_into(values, words, lo, hi, pred, &mut out);
     }
     out
-}
-
-/// Streaming aggregate state.
-#[derive(Debug, Clone, Copy)]
-pub struct AggState {
-    count: u64,
-    sum: i128,
-    min: Value,
-    max: Value,
-}
-
-impl AggState {
-    /// Empty state.
-    pub fn new() -> Self {
-        Self {
-            count: 0,
-            sum: 0,
-            min: Value::MAX,
-            max: Value::MIN,
-        }
-    }
-
-    /// Fold one value.
-    #[inline]
-    pub fn push(&mut self, v: Value) {
-        self.count += 1;
-        self.sum += v as i128;
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
-    }
-
-    /// Number of folded values.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Fold another state in (parallel partial aggregation).
-    pub fn merge(&mut self, other: &AggState) {
-        self.count += other.count;
-        self.sum += other.sum;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-    }
-
-    /// Finalize for an aggregate kind; `None` when the selection was empty
-    /// (COUNT returns 0 instead).
-    pub fn finalize(&self, kind: AggKind) -> Option<f64> {
-        match kind {
-            AggKind::Count => Some(self.count as f64),
-            AggKind::Sum => (self.count > 0).then_some(self.sum as f64),
-            AggKind::Avg => (self.count > 0).then(|| self.sum as f64 / self.count as f64),
-            AggKind::Min => (self.count > 0).then_some(self.min as f64),
-            AggKind::Max => (self.count > 0).then_some(self.max as f64),
-        }
-    }
-}
-
-impl Default for AggState {
-    fn default() -> Self {
-        Self::new()
-    }
 }
 
 /// Aggregate `col` over active rows matching the optional predicate.
@@ -133,25 +77,33 @@ pub fn aggregate_active(
     pred: Option<RangePredicate>,
     kind: AggKind,
 ) -> (Option<f64>, usize) {
-    let column = table.column(col);
-    let mut state = AggState::new();
-    let mut scanned = 0usize;
-    for row in table.iter_active() {
-        scanned += 1;
-        let v = column.get(row.as_usize());
-        if pred.is_none_or(|p| p.matches(v)) {
-            state.push(v);
-        }
-    }
+    let (state, scanned) = aggregate_state_active(table, col, pred);
     (state.finalize(kind), scanned)
+}
+
+/// Fused filter + aggregate returning the full [`AggState`], so callers
+/// needing several aggregate kinds (COUNT and SUM and AVG…) pay for one
+/// scan instead of one per kind.
+pub fn aggregate_state_active(
+    table: &Table,
+    col: usize,
+    pred: Option<RangePredicate>,
+) -> (AggState, usize) {
+    batch::aggregate_active(
+        table.col_values(col),
+        table.activity_words(),
+        0,
+        table.num_rows(),
+        pred,
+    )
 }
 
 /// Aggregate over an explicit row-id list.
 pub fn aggregate_rows(table: &Table, col: usize, rows: &[RowId], kind: AggKind) -> Option<f64> {
-    let column = table.column(col);
+    let values: &[Value] = table.col_values(col);
     let mut state = AggState::new();
     for &r in rows {
-        state.push(column.get(r.as_usize()));
+        state.push(values[r.as_usize()]);
     }
     state.finalize(kind)
 }
@@ -236,6 +188,18 @@ mod tests {
         let v = aggregate_rows(&t, 0, &[RowId(0), RowId(5)], AggKind::Sum);
         assert_eq!(v, Some(60.0));
         assert_eq!(aggregate_rows(&t, 0, &[], AggKind::Sum), None);
+    }
+
+    #[test]
+    fn one_pass_state_serves_every_kind() {
+        let t = table();
+        let (state, scanned) = aggregate_state_active(&t, 0, None);
+        assert_eq!(scanned, 5);
+        assert_eq!(state.count(), 5);
+        assert_eq!(state.finalize(AggKind::Sum), Some(155.0));
+        assert_eq!(state.finalize(AggKind::Avg), Some(31.0));
+        assert_eq!(state.finalize(AggKind::Min), Some(5.0));
+        assert_eq!(state.finalize(AggKind::Max), Some(55.0));
     }
 
     #[test]

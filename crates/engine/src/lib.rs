@@ -6,8 +6,11 @@
 //! tier/summarize it. This crate provides the executor that realizes those
 //! regimes over [`amnesia_columnar::Table`]:
 //!
-//! * [`kernels`] — tight scan / filter / aggregate loops over the active
-//!   bitmap,
+//! * [`batch`] — the word-at-a-time vectorized batch layer: selection
+//!   masks over raw column slices and packed activity words, fused
+//!   filter+aggregate, whole-word skips of forgotten regions,
+//! * [`kernels`] — the scan / filter / aggregate entry points, built on
+//!   [`batch`] (row-at-a-time references live in [`batch::scalar`]),
 //! * [`plan`] — a small cost-based planner choosing full scan, zone-map
 //!   pruned scan, or sorted-index probe,
 //! * [`cost`] — the abstract cost model (hot rows vs. cold fetches),
@@ -15,12 +18,14 @@
 //!   [`exec::ExecStats`] for every query,
 //! * [`join`] — hash equi-joins with per-visibility answers (the §2.2
 //!   SELECT-PROJECT-JOIN subspace, and §5's referential precision),
-//! * [`parallel`] — crossbeam-scoped parallel scan/aggregate kernels,
+//! * [`parallel`] — std-scoped parallel scan/aggregate kernels over
+//!   word-aligned chunks,
 //! * [`mode`] — forget-visibility modes.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod cost;
 pub mod exec;
 pub mod join;
@@ -29,6 +34,7 @@ pub mod mode;
 pub mod parallel;
 pub mod plan;
 
+pub use batch::{AggState, BATCH_ROWS};
 pub use cost::CostModel;
 pub use exec::{Aux, ExecResult, ExecStats, Executor, QueryOutput};
 pub use join::{hash_join, hash_join_count, JoinResult, JoinStats};

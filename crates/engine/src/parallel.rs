@@ -3,19 +3,58 @@
 //! The paper motivates amnesia partly by the cost of "Cloud-based
 //! parallel processing" (§6); a credible host engine therefore needs
 //! intra-query parallelism. These kernels split the physical row space
-//! into contiguous chunks, scan each on a crossbeam-scoped thread, and
-//! stitch results back in row order — so they return *exactly* what
-//! their serial counterparts in [`kernels`](crate::kernels) return.
+//! into contiguous chunks aligned to 64-row activity words, run the
+//! [`crate::batch`] kernels on each chunk on a std scoped thread, and
+//! stitch results back in row order — so they return *exactly* what their
+//! serial counterparts in [`kernels`](crate::kernels) return.
+//!
+//! Chunking policy: no chunk smaller than [`MIN_CHUNK_ROWS`] rows, so tiny
+//! tables never pay thread-spawn overhead just because the caller asked
+//! for many threads, and every chunk boundary is a multiple of
+//! [`WORD_BITS`] so no activity word is shared between threads.
 
 use amnesia_columnar::{RowId, Table};
-use amnesia_workload::query::{AggKind, RangePredicate, Value};
+use amnesia_util::WORD_BITS;
+use amnesia_workload::query::{AggKind, RangePredicate};
 
+use crate::batch;
 use crate::kernels::AggState;
 
-/// Pick a sane chunk count: enough to spread work, not so many that
-/// stitching dominates.
-fn chunks_for(rows: usize, threads: usize) -> usize {
-    threads.clamp(1, rows.max(1))
+/// Smallest amount of work worth a thread: below this, spawn/join
+/// overhead dominates the scan itself.
+pub const MIN_CHUNK_ROWS: usize = 4096;
+
+/// Word-aligned chunk bounds for `rows` split across at most `threads`
+/// chunks, each at least [`MIN_CHUNK_ROWS`] rows (except the last
+/// remainder chunk). Returns an empty vector for an empty table.
+fn chunk_bounds(rows: usize, threads: usize) -> Vec<(usize, usize)> {
+    if rows == 0 {
+        return Vec::new();
+    }
+    // Floor division: a remainder below MIN_CHUNK_ROWS folds into the
+    // other chunks instead of earning its own thread.
+    let max_chunks = (rows / MIN_CHUNK_ROWS).max(1);
+    let chunks = threads.max(1).min(max_chunks);
+    // Round the chunk size up to a whole number of activity words so no
+    // word straddles two threads.
+    let chunk_rows = rows.div_ceil(chunks).div_ceil(WORD_BITS) * WORD_BITS;
+    let mut bounds = Vec::with_capacity(chunks);
+    let mut lo = 0usize;
+    while lo < rows {
+        let hi = (lo + chunk_rows).min(rows);
+        bounds.push((lo, hi));
+        lo = hi;
+    }
+    // Word rounding can leave a short remainder chunk; fold it into its
+    // neighbor so the MIN_CHUNK_ROWS floor is a hard guarantee.
+    if bounds.len() > 1 {
+        let &(last_lo, last_hi) = bounds.last().expect("non-empty bounds");
+        if last_hi - last_lo < MIN_CHUNK_ROWS {
+            bounds.pop();
+            bounds.last_mut().expect("previous chunk").1 = last_hi;
+        }
+    }
+    bounds
 }
 
 /// Parallel version of [`kernels::range_scan_active`]: matching active
@@ -32,28 +71,21 @@ pub fn par_range_scan_active(
     if n == 0 || pred.is_empty() {
         return Vec::new();
     }
-    let chunks = chunks_for(n, threads);
-    if chunks == 1 {
+    let bounds = chunk_bounds(n, threads);
+    if bounds.len() == 1 {
         return crate::kernels::range_scan_active(table, col, pred);
     }
-    let chunk_rows = n.div_ceil(chunks);
-    let column = table.column(col);
-    let activity = table.activity();
+    let values = table.col_values(col);
+    let words = table.activity_words();
 
-    let mut partials: Vec<Vec<RowId>> = Vec::with_capacity(chunks);
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = (0..chunks)
-            .map(|c| {
-                let lo = c * chunk_rows;
-                let hi = ((c + 1) * chunk_rows).min(n);
-                s.spawn(move |_| {
+    let mut partials: Vec<Vec<RowId>> = Vec::with_capacity(bounds.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(lo, hi)| {
+                s.spawn(move || {
                     let mut out = Vec::new();
-                    for r in lo..hi {
-                        let id = RowId::from(r);
-                        if activity.is_active(id) && pred.matches(column.get(r)) {
-                            out.push(id);
-                        }
-                    }
+                    batch::scan_active_into(values, words, lo, hi, pred, &mut out);
                     out
                 })
             })
@@ -61,8 +93,7 @@ pub fn par_range_scan_active(
         for h in handles {
             partials.push(h.join().expect("scan worker"));
         }
-    })
-    .expect("scan scope");
+    });
 
     // Chunks are contiguous and ordered: concatenation preserves
     // insertion order.
@@ -90,46 +121,26 @@ pub fn par_aggregate_active(
     if n == 0 {
         return (AggState::new().finalize(kind), 0);
     }
-    let chunks = chunks_for(n, threads);
-    if chunks == 1 {
+    let bounds = chunk_bounds(n, threads);
+    if bounds.len() == 1 {
         return crate::kernels::aggregate_active(table, col, pred, kind);
     }
-    let chunk_rows = n.div_ceil(chunks);
-    let column = table.column(col);
-    let activity = table.activity();
+    let values = table.col_values(col);
+    let words = table.activity_words();
 
     let mut state = AggState::new();
     let mut scanned = 0usize;
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = (0..chunks)
-            .map(|c| {
-                let lo = c * chunk_rows;
-                let hi = ((c + 1) * chunk_rows).min(n);
-                s.spawn(move |_| {
-                    let mut state = AggState::new();
-                    let mut scanned = 0usize;
-                    for r in lo..hi {
-                        let id = RowId::from(r);
-                        if !activity.is_active(id) {
-                            continue;
-                        }
-                        scanned += 1;
-                        let v: Value = column.get(r);
-                        if pred.is_none_or(|p| p.matches(v)) {
-                            state.push(v);
-                        }
-                    }
-                    (state, scanned)
-                })
-            })
+    std::thread::scope(|s| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(lo, hi)| s.spawn(move || batch::aggregate_active(values, words, lo, hi, pred)))
             .collect();
         for h in handles {
             let (part, part_scanned) = h.join().expect("agg worker");
             state.merge(&part);
             scanned += part_scanned;
         }
-    })
-    .expect("agg scope");
+    });
     (state.finalize(kind), scanned)
 }
 
@@ -153,8 +164,51 @@ mod tests {
     }
 
     #[test]
+    fn chunks_respect_floor_and_alignment() {
+        // Tiny table: one chunk regardless of thread count.
+        assert_eq!(chunk_bounds(100, 64).len(), 1);
+        assert_eq!(chunk_bounds(MIN_CHUNK_ROWS, 8).len(), 1);
+        // Just over the floor still folds the remainder in — no chunk
+        // may fall below MIN_CHUNK_ROWS.
+        assert_eq!(chunk_bounds(MIN_CHUNK_ROWS + 1, 8).len(), 1);
+        for rows in [
+            2 * MIN_CHUNK_ROWS + 1,
+            5 * MIN_CHUNK_ROWS + 17,
+            3 * MIN_CHUNK_ROWS - 1,
+        ] {
+            for threads in [2usize, 4, 8, 64] {
+                for &(lo, hi) in &chunk_bounds(rows, threads) {
+                    assert!(
+                        hi - lo >= MIN_CHUNK_ROWS,
+                        "rows={rows} threads={threads}: chunk [{lo},{hi}) under floor"
+                    );
+                }
+            }
+        }
+        // Large table: as many chunks as requested, all word-aligned.
+        let bounds = chunk_bounds(1_000_000, 8);
+        assert_eq!(bounds.len(), 8);
+        for &(lo, hi) in &bounds {
+            assert_eq!(lo % WORD_BITS, 0, "chunk start {lo} word-aligned");
+            assert!(hi == 1_000_000 || hi % WORD_BITS == 0);
+        }
+        // Chunks tile the row space exactly.
+        let mut expect = 0;
+        for &(lo, hi) in &bounds {
+            assert_eq!(lo, expect);
+            expect = hi;
+        }
+        assert_eq!(expect, 1_000_000);
+        // Mid-size table: chunk count limited by the floor.
+        let bounds = chunk_bounds(3 * MIN_CHUNK_ROWS, 64);
+        assert!(bounds.len() <= 3, "floor caps chunks, got {}", bounds.len());
+        // Empty table.
+        assert!(chunk_bounds(0, 8).is_empty());
+    }
+
+    #[test]
     fn parallel_scan_equals_serial_scan() {
-        let t = table(10_000);
+        let t = table(100_000);
         let pred = RangePredicate::new(2_000, 7_000);
         let serial = crate::kernels::range_scan_active(&t, 0, pred);
         for threads in [1, 2, 3, 8, 64] {
@@ -165,11 +219,10 @@ mod tests {
 
     #[test]
     fn parallel_aggregate_equals_serial_aggregate() {
-        let t = table(10_000);
+        let t = table(100_000);
         let pred = Some(RangePredicate::new(1_000, 9_000));
         for kind in AggKind::ALL {
-            let (serial, serial_scanned) =
-                crate::kernels::aggregate_active(&t, 0, pred, kind);
+            let (serial, serial_scanned) = crate::kernels::aggregate_active(&t, 0, pred, kind);
             for threads in [1, 4, 16] {
                 let (par, scanned) = par_aggregate_active(&t, 0, pred, kind, threads);
                 match (serial, par) {

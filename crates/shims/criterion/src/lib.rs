@@ -1,0 +1,317 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness exposing the subset of the
+//! criterion API the workspace's benches use: [`Criterion`] with
+//! configuration builders, [`BenchmarkGroup`]s, [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. No statistics beyond
+//! median-of-samples, no plots, no baselines — it measures, prints one
+//! line per benchmark, and exits. Results are for relative comparison
+//! within one run, which is what the repo's before/after kernels need.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// CLI-argument configuration (accepted and ignored by the shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(self, name, None, &mut f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Measurement budget for benches in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_bench(self.criterion, &name, self.throughput, &mut f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I: Display, P: ?Sized, F: FnMut(&mut Bencher, &P)>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_bench(self.criterion, &name, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finish the group (purely cosmetic in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier for parameterized benchmarks.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        Self {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Work processed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+    iters_per_sample: u64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, storing the median over the configured samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            samples.push(elapsed / self.iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn run_bench(
+    config: &Criterion,
+    name: &str,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Calibration pass: how long does one iteration take?
+    let mut calib = Bencher {
+        ns_per_iter: 0.0,
+        iters_per_sample: 1,
+        sample_size: 2,
+    };
+    f(&mut calib);
+    let one_iter_ns = calib.ns_per_iter.max(1.0);
+
+    // Warm-up.
+    let warm_iters = (config.warm_up_time.as_nanos() as f64 / one_iter_ns).ceil() as u64;
+    let mut warm = Bencher {
+        ns_per_iter: 0.0,
+        iters_per_sample: warm_iters.clamp(1, 1_000_000),
+        sample_size: 1,
+    };
+    f(&mut warm);
+
+    // Measurement: split the budget into `sample_size` samples.
+    let budget_ns = config.measurement_time.as_nanos() as f64;
+    let per_sample = budget_ns / config.sample_size as f64;
+    let iters = (per_sample / one_iter_ns).ceil() as u64;
+    let mut bencher = Bencher {
+        ns_per_iter: 0.0,
+        iters_per_sample: iters.clamp(1, 10_000_000),
+        sample_size: config.sample_size,
+    };
+    f(&mut bencher);
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(
+                "  thrpt: {:>11} elem/s",
+                human(n as f64 / (bencher.ns_per_iter / 1e9))
+            )
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  thrpt: {:>11} B/s",
+                human(n as f64 / (bencher.ns_per_iter / 1e9))
+            )
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<55} time: {:>12}/iter{rate}",
+        human_ns(bencher.ns_per_iter)
+    );
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn human(v: f64) -> String {
+    if v < 1e3 {
+        format!("{v:.1}")
+    } else if v < 1e6 {
+        format!("{:.2}K", v / 1e3)
+    } else if v < 1e9 {
+        format!("{:.2}M", v / 1e6)
+    } else {
+        format!("{:.2}G", v / 1e9)
+    }
+}
+
+/// Define a benchmark group: either `criterion_group!(name, targets...)`
+/// or the long form with `name = …; config = …; targets = …`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7usize, |b, &p| {
+            b.iter(|| black_box(p * 2))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,62 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace builds in environments with no crates.io access, so the
+//! real `serde` cannot be fetched. Nothing in the repository actually
+//! serializes through serde (persistence uses its own binary format in
+//! `amnesia-columnar::persist`); the derives exist so types *could* be
+//! wired to a wire format later. This shim keeps the trait surface and the
+//! `#[derive(Serialize, Deserialize)]` attribute compiling:
+//!
+//! * [`Serialize`] is blanket-implemented for every type.
+//! * [`Deserialize`] is blanket-implemented for every `Default` type.
+//! * The derive macros (re-exported from `serde_derive`) expand to nothing
+//!   and swallow `#[serde(...)]` helper attributes.
+//!
+//! No concrete [`Serializer`]/[`Deserializer`] exists, so the bodies here
+//! can never run; they only have to typecheck.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Output sink for serialization (shape-compatible with serde's trait).
+pub trait Serializer: Sized {
+    /// Success value returned by the serializer.
+    type Ok;
+    /// Error type of the serializer.
+    type Error;
+
+    /// Serialize an opaque value (the shim collapses every data shape to
+    /// this one entry point).
+    fn serialize_opaque(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Input source for deserialization (shape-compatible with serde's trait).
+pub trait Deserializer<'de>: Sized {
+    /// Error type of the deserializer.
+    type Error;
+}
+
+/// A type that can be serialized. Blanket-implemented for everything.
+pub trait Serialize {
+    /// Serialize `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+impl<T: ?Sized> Serialize for T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_opaque()
+    }
+}
+
+/// A type that can be deserialized. Blanket-implemented for every
+/// `Default` type (sufficient for the shim: no deserializer exists to
+/// provide real data).
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize a value from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl<'de, T: Default> Deserialize<'de> for T {
+    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        Ok(T::default())
+    }
+}

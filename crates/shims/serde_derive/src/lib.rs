@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde shim.
+//!
+//! The shim's traits are blanket-implemented in the `serde` facade crate,
+//! so the derives have nothing to emit; they exist so `#[derive(Serialize,
+//! Deserialize)]` and `#[serde(...)]` helper attributes parse.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing: `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing: `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

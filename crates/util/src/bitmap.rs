@@ -12,6 +12,49 @@ use serde::{Deserialize, Serialize};
 
 const BLOCK_BITS: usize = 64;
 
+/// Bits per storage word, for word-at-a-time consumers.
+///
+/// The vectorized kernels in `amnesia-engine::batch` walk [`Bitmap::words`]
+/// directly so that the active/forgotten check costs one load (and usually
+/// one `trailing_zeros` chain) per 64 rows instead of a shift per row.
+pub const WORD_BITS: usize = BLOCK_BITS;
+
+/// `word` — the 64-bit block at word index `i` — restricted to absolute
+/// bit positions `[lo, hi)`: bits below `lo` and at/above `hi` cleared;
+/// zero when the word lies wholly outside the range.
+///
+/// This is the single home of the boundary-masking algebra; both
+/// [`Bitmap::masked_word`] / [`masked_word`] and the word-at-a-time
+/// kernels in `amnesia-engine::batch` (which also clip predicate masks,
+/// not just stored words) call it, so range-clipping fixes land in one
+/// place.
+#[inline]
+pub fn clip_word(word: u64, i: usize, lo: usize, hi: usize) -> u64 {
+    let word_lo = i * BLOCK_BITS;
+    let mut w = word;
+    if lo > word_lo {
+        let shift = lo - word_lo;
+        if shift >= BLOCK_BITS {
+            return 0;
+        }
+        w &= !0u64 << shift;
+    }
+    if hi < word_lo + BLOCK_BITS {
+        if hi <= word_lo {
+            return 0;
+        }
+        w &= (1u64 << (hi - word_lo)) - 1;
+    }
+    w
+}
+
+/// Word `i` of `words` restricted to absolute bit positions `[lo, hi)`;
+/// indices past the slice come back zero. Slice form of [`clip_word`].
+#[inline]
+pub fn masked_word(words: &[u64], i: usize, lo: usize, hi: usize) -> u64 {
+    clip_word(words.get(i).copied().unwrap_or(0), i, lo, hi)
+}
+
 /// A growable packed bitset.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Bitmap {
@@ -124,6 +167,43 @@ impl Bitmap {
             bitmap: self,
             block_idx: 0,
             current: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The packed 64-bit words backing the bitmap, low bit = low position.
+    ///
+    /// Invariant: bits at positions `>= len()` are always zero, so word
+    /// consumers may popcount/scan whole words without masking the tail.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Word `i` restricted to positions `[lo, hi)`: the block at index
+    /// `i` with bits below `lo` and at/above `hi` cleared. Positions are
+    /// absolute (not word-relative); words wholly outside the range come
+    /// back zero. This is the boundary-masking primitive for kernels that
+    /// process sub-ranges (zone-map blocks, parallel chunks); see the
+    /// free function [`masked_word`] for the raw-slice form.
+    #[inline]
+    pub fn masked_word(&self, i: usize, lo: usize, hi: usize) -> u64 {
+        masked_word(&self.blocks, i, lo, hi)
+    }
+
+    /// Iterator over set-bit positions within `[lo, hi)`, ascending.
+    ///
+    /// Word-masked: whole zero words are skipped with one comparison and
+    /// set bits are found with `trailing_zeros`, so sparse regions cost
+    /// ~1 instruction per 64 positions.
+    pub fn iter_ones_in(&self, lo: usize, hi: usize) -> OnesInRange<'_> {
+        let hi = hi.min(self.len);
+        let lo = lo.min(hi);
+        let block_idx = lo / BLOCK_BITS;
+        OnesInRange {
+            bitmap: self,
+            hi,
+            block_idx,
+            current: self.masked_word(block_idx, lo, hi),
         }
     }
 
@@ -261,6 +341,35 @@ impl FromIterator<bool> for Bitmap {
             bm.push(b);
         }
         bm
+    }
+}
+
+/// Iterator over set-bit positions in a range. See [`Bitmap::iter_ones_in`].
+pub struct OnesInRange<'a> {
+    bitmap: &'a Bitmap,
+    hi: usize,
+    block_idx: usize,
+    current: u64,
+}
+
+impl Iterator for OnesInRange<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.block_idx * BLOCK_BITS + bit);
+            }
+            self.block_idx += 1;
+            let word_lo = self.block_idx * BLOCK_BITS;
+            if word_lo >= self.hi {
+                return None;
+            }
+            // Only the final word can need a high-side mask.
+            self.current = self.bitmap.masked_word(self.block_idx, word_lo, self.hi);
+        }
     }
 }
 
@@ -417,6 +526,61 @@ mod tests {
         let bm = Bitmap::with_len(10, false);
         bm.get(10);
     }
+
+    #[test]
+    fn words_tail_bits_are_zero() {
+        for len in [1usize, 63, 64, 65, 127, 130] {
+            let bm = Bitmap::with_len(len, true);
+            let words = bm.words();
+            assert_eq!(words.len(), len.div_ceil(64));
+            let total: u32 = words.iter().map(|w| w.count_ones()).sum();
+            assert_eq!(total as usize, len, "no stray bits past len {len}");
+        }
+        // Pushing keeps the invariant too.
+        let mut bm = Bitmap::new();
+        for i in 0..70 {
+            bm.push(i % 2 == 0);
+        }
+        let total: u32 = bm.words().iter().map(|w| w.count_ones()).sum();
+        assert_eq!(total as usize, bm.count_ones());
+    }
+
+    #[test]
+    fn masked_word_clips_both_sides() {
+        let bm = Bitmap::with_len(256, true);
+        assert_eq!(bm.masked_word(0, 0, 256), !0u64);
+        assert_eq!(bm.masked_word(0, 3, 256), !0u64 << 3);
+        assert_eq!(bm.masked_word(0, 0, 10), (1u64 << 10) - 1);
+        assert_eq!(bm.masked_word(0, 3, 10), ((1u64 << 10) - 1) & (!0u64 << 3));
+        assert_eq!(bm.masked_word(1, 0, 256), !0u64);
+        assert_eq!(bm.masked_word(1, 70, 130), !0u64 << 6);
+        // Word wholly outside the range.
+        assert_eq!(bm.masked_word(0, 64, 256), 0);
+        assert_eq!(bm.masked_word(2, 0, 128), 0);
+        // Out-of-bounds word index.
+        assert_eq!(bm.masked_word(9, 0, 1000), 0);
+    }
+
+    #[test]
+    fn iter_ones_in_respects_bounds() {
+        let mut bm = Bitmap::with_len(300, false);
+        let set = [0usize, 5, 63, 64, 65, 128, 200, 299];
+        for &i in &set {
+            bm.set(i, true);
+        }
+        for (lo, hi) in [(0, 300), (1, 300), (5, 66), (64, 65), (65, 65), (66, 128), (128, 299)] {
+            let got: Vec<usize> = bm.iter_ones_in(lo, hi).collect();
+            let expect: Vec<usize> = set
+                .iter()
+                .copied()
+                .filter(|&i| i >= lo && i < hi)
+                .collect();
+            assert_eq!(got, expect, "range [{lo}, {hi})");
+        }
+        // hi beyond len clips.
+        let all: Vec<usize> = bm.iter_ones_in(0, 10_000).collect();
+        assert_eq!(all, set.to_vec());
+    }
 }
 
 #[cfg(test)]
@@ -447,6 +611,18 @@ mod proptests {
                 prop_assert!(bm.get(pos));
                 prop_assert_eq!(bm.rank(pos), k);
             }
+        }
+
+        #[test]
+        fn iter_ones_in_equals_filtered_iter_ones(
+            bits in proptest::collection::vec(any::<bool>(), 0..400),
+            lo in 0usize..450,
+            hi in 0usize..450,
+        ) {
+            let bm: Bitmap = bits.iter().copied().collect();
+            let got: Vec<usize> = bm.iter_ones_in(lo, hi).collect();
+            let expect: Vec<usize> = bm.iter_ones().filter(|&i| i >= lo && i < hi).collect();
+            prop_assert_eq!(got, expect);
         }
 
         #[test]

@@ -27,7 +27,7 @@ pub mod error;
 pub mod rng;
 pub mod stats;
 
-pub use bitmap::Bitmap;
+pub use bitmap::{Bitmap, WORD_BITS};
 pub use crc::{crc32, Crc32};
 pub use error::{Error, Result};
 pub use rng::SimRng;

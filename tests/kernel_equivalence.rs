@@ -1,0 +1,208 @@
+//! Property tests: the word-at-a-time vectorized kernels, the
+//! row-at-a-time scalar references, and the parallel kernels all compute
+//! identical answers — across randomized tables, forget patterns (none /
+//! a quarter / everything), and the word-boundary sizes where masking
+//! bugs live (0, 1, 63, 64, 65, 1023, 1024, 1025).
+
+use amnesia::engine::kernels;
+use amnesia::engine::parallel::{par_aggregate_active, par_range_scan_active};
+use amnesia::engine::batch::{self, scalar};
+use amnesia::prelude::*;
+use amnesia::workload::query::RangePredicate;
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 8, 64];
+
+/// How much of the table a forget pattern erases.
+#[derive(Debug, Clone, Copy)]
+enum ForgetPattern {
+    None,
+    Quarter,
+    All,
+}
+
+fn forget_pattern() -> impl Strategy<Value = ForgetPattern> {
+    prop_oneof![
+        Just(ForgetPattern::None),
+        Just(ForgetPattern::Quarter),
+        Just(ForgetPattern::All),
+    ]
+}
+
+fn build_table(values: &[i64], pattern: ForgetPattern, seed: u64) -> Table {
+    let mut t = Table::new(Schema::single("a"));
+    if !values.is_empty() {
+        t.insert_batch(values, 0).unwrap();
+    }
+    match pattern {
+        ForgetPattern::None => {}
+        ForgetPattern::Quarter => {
+            let mut rng = SimRng::new(seed);
+            for _ in 0..values.len() / 4 {
+                if let Some(r) = t.random_active(&mut rng) {
+                    t.forget(r, 1).unwrap();
+                }
+            }
+        }
+        ForgetPattern::All => {
+            for r in 0..values.len() {
+                t.forget(RowId::from(r), 1).unwrap();
+            }
+        }
+    }
+    t
+}
+
+fn assert_all_kernels_agree(t: &Table, pred: RangePredicate, ctx: &str) {
+    // Scans: vectorized == scalar == parallel (all thread counts).
+    let vectorized = kernels::range_scan_active(t, 0, pred);
+    let reference = scalar::range_scan_active(t, 0, pred);
+    assert_eq!(vectorized, reference, "scan {ctx}");
+    for threads in THREAD_COUNTS {
+        let par = par_range_scan_active(t, 0, pred, threads);
+        assert_eq!(par, reference, "par scan threads={threads} {ctx}");
+    }
+
+    // Full (forgotten-inclusive) scan.
+    assert_eq!(
+        kernels::range_scan_all(t, 0, pred),
+        scalar::range_scan_all(t, 0, pred),
+        "scan-all {ctx}"
+    );
+
+    // Count-only kernel.
+    assert_eq!(
+        kernels::count_active_matches(t, 0, pred),
+        scalar::count_active_matches(t, 0, pred),
+        "count {ctx}"
+    );
+    assert_eq!(
+        kernels::count_active_matches(t, 0, pred),
+        reference.len(),
+        "count==scan-len {ctx}"
+    );
+
+    // Aggregates: every kind, with and without the predicate.
+    for predicate in [None, Some(pred)] {
+        for kind in AggKind::ALL {
+            let (want, want_scanned) = scalar::aggregate_active(t, 0, predicate, kind);
+            let (got, got_scanned) = kernels::aggregate_active(t, 0, predicate, kind);
+            assert_eq!(got, want, "agg {kind:?} pred={predicate:?} {ctx}");
+            assert_eq!(got_scanned, want_scanned, "agg scanned {kind:?} {ctx}");
+            for threads in THREAD_COUNTS {
+                let (par, par_scanned) = par_aggregate_active(t, 0, predicate, kind, threads);
+                match (want, par) {
+                    (Some(a), Some(b)) => assert!(
+                        (a - b).abs() < 1e-9,
+                        "par agg {kind:?} threads={threads} {ctx}: {a} vs {b}"
+                    ),
+                    (a, b) => assert_eq!(a, b, "par agg {kind:?} threads={threads} {ctx}"),
+                }
+                assert_eq!(par_scanned, want_scanned, "par agg scanned {kind:?} {ctx}");
+            }
+        }
+    }
+
+    // Blocked (zone-map shaped) scans cover every block partition of the
+    // batch size.
+    for block_rows in [batch::BATCH_ROWS, 64, 100] {
+        let nblocks = t.num_rows().div_ceil(block_rows);
+        let blocks: Vec<usize> = (0..nblocks).collect();
+        assert_eq!(
+            kernels::range_scan_blocks(t, 0, pred, &blocks, block_rows),
+            scalar::range_scan_blocks(t, 0, pred, &blocks, block_rows),
+            "blocks={block_rows} {ctx}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn vectorized_equals_scalar_equals_parallel(
+        values in proptest::collection::vec(-5_000i64..5_000, 0..700),
+        pattern in forget_pattern(),
+        lo in -6_000i64..6_000,
+        width in 0i64..8_000,
+        seed in any::<u64>(),
+    ) {
+        let t = build_table(&values, pattern, seed);
+        let pred = RangePredicate::new(lo, lo.saturating_add(width));
+        assert_all_kernels_agree(&t, pred, &format!("n={} {pattern:?}", values.len()));
+    }
+}
+
+#[test]
+fn boundary_sizes_and_forget_patterns() {
+    // Deterministic sweep of the sizes where word masking goes wrong.
+    for n in [0usize, 1, 63, 64, 65, 1023, 1024, 1025] {
+        let mut rng = SimRng::new(n as u64 + 1);
+        let values: Vec<i64> = (0..n).map(|_| rng.range_i64(0, 1_000)).collect();
+        for pattern in [ForgetPattern::None, ForgetPattern::Quarter, ForgetPattern::All] {
+            let t = build_table(&values, pattern, 99);
+            for pred in [
+                RangePredicate::new(0, 1_000), // everything
+                RangePredicate::new(250, 500), // selective
+                RangePredicate::new(900, 100), // empty (inverted)
+            ] {
+                assert_all_kernels_agree(&t, pred, &format!("n={n} {pattern:?}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn join_kernels_agree_with_row_at_a_time_reference() {
+    use amnesia::engine::join::{hash_join, hash_join_count};
+    use amnesia::engine::ForgetVisibility;
+
+    let mut rng = SimRng::new(77);
+    let mut left = Table::new(Schema::single("k"));
+    let left_vals: Vec<i64> = (0..500).map(|_| rng.range_i64(0, 50)).collect();
+    left.insert_batch(&left_vals, 0).unwrap();
+    let mut right = Table::new(Schema::single("k"));
+    let right_vals: Vec<i64> = (0..800).map(|_| rng.range_i64(0, 50)).collect();
+    right.insert_batch(&right_vals, 0).unwrap();
+    for _ in 0..150 {
+        if let Some(r) = left.random_active(&mut rng) {
+            left.forget(r, 1).unwrap();
+        }
+        if let Some(r) = right.random_active(&mut rng) {
+            right.forget(r, 1).unwrap();
+        }
+    }
+
+    for vis in [
+        ForgetVisibility::ActiveOnly,
+        ForgetVisibility::ScanSeesForgotten,
+    ] {
+        let result = hash_join(&left, 0, &right, 0, vis);
+        // Row-at-a-time reference join.
+        let mut expect = Vec::new();
+        let rows = |t: &Table| -> Vec<RowId> {
+            match vis {
+                ForgetVisibility::ActiveOnly => t.active_row_ids(),
+                ForgetVisibility::ScanSeesForgotten => {
+                    (0..t.num_rows()).map(RowId::from).collect()
+                }
+            }
+        };
+        for &r in &rows(&right) {
+            for &l in &rows(&left) {
+                if left_vals[l.as_usize()] == right_vals[r.as_usize()] {
+                    expect.push((l, r));
+                }
+            }
+        }
+        let mut got = result.pairs.clone();
+        got.sort();
+        expect.sort();
+        assert_eq!(got, expect, "{vis:?}");
+        assert_eq!(
+            hash_join_count(&left, 0, &right, 0, vis),
+            expect.len(),
+            "{vis:?} count"
+        );
+    }
+}

@@ -78,7 +78,6 @@ proptest! {
         let vmin = *values.iter().min().unwrap();
         let vmax = *values.iter().max().unwrap();
         let span = (vmax - vmin) as f64 + 1.0;
-        let bin_width = span / bins as f64;
         let max_bin_mass = {
             let mut counts = vec![0usize; bins];
             for &v in &values {
