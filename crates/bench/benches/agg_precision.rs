@@ -5,8 +5,8 @@ use std::hint::black_box;
 
 use amnesia_core::experiments::{aggregate_precision, Scale};
 use amnesia_distrib::DistributionKind;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
 fn bench_scale() -> Scale {
     Scale {

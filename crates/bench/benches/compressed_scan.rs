@@ -1,0 +1,182 @@
+//! Fused compressed-block scans vs decompress-then-scan, per codec, plus
+//! word-granularity zone-map pruning — the numbers backing the
+//! compressed-execution PR (and ROADMAP's "scan cold data at hot-path
+//! speed" target).
+//!
+//! Four datasets are shaped so [`EncodedBlock::encode_auto`] picks each
+//! codec in turn (asserted, so a codec regression shows up here, not in
+//! silently-moved goalposts). Both contenders produce identical row-id
+//! vectors; the fused path never materializes values.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use amnesia_columnar::compress::Encoding;
+use amnesia_columnar::{Schema, Table, WordZoneMap};
+use amnesia_engine::{batch, kernels};
+use amnesia_util::SimRng;
+use amnesia_workload::query::RangePredicate;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const N: usize = 1_000_000;
+
+/// Build a 1M-row table with 20 % forgotten rows.
+fn table_of(values: Vec<i64>) -> Table {
+    let mut t = Table::new(Schema::single("a"));
+    t.insert_batch(&values, 0).unwrap();
+    let mut rng = SimRng::new(11);
+    for _ in 0..N / 5 {
+        if let Some(r) = t.random_active(&mut rng) {
+            t.forget(r, 1).unwrap();
+        }
+    }
+    t
+}
+
+/// Dataset per codec: (name, expected winning encoding, values,
+/// ~1 % selectivity predicate).
+fn datasets() -> Vec<(&'static str, Encoding, Vec<i64>, RangePredicate)> {
+    let mut rng = SimRng::new(3);
+    vec![
+        (
+            // Long constant runs: epoch-style data.
+            "rle",
+            Encoding::Rle,
+            (0..N).map(|i| (i / 2_000) as i64).collect(),
+            RangePredicate::new(200, 205),
+        ),
+        (
+            // Few distinct, far-apart values in shuffled order.
+            "dict",
+            Encoding::Dict,
+            {
+                let vals = [1i64 << 40, -(1i64 << 50), 7, 1 << 61, -3];
+                (0..N).map(|i| vals[(i * 7 + i / 13) % 5]).collect()
+            },
+            RangePredicate::new(0, 100),
+        ),
+        (
+            // Narrow band around a large base.
+            "forpack",
+            Encoding::ForPack,
+            (0..N)
+                .map(|_| 1_000_000 + rng.range_i64(0, 4_096))
+                .collect(),
+            RangePredicate::new(1_000_000, 1_000_041),
+        ),
+        (
+            // Sorted with small jitter: classic delta territory.
+            "delta",
+            Encoding::Delta,
+            {
+                let mut acc = 0i64;
+                (0..N)
+                    .map(|_| {
+                        acc += rng.range_i64(0, 3);
+                        acc
+                    })
+                    .collect()
+            },
+            RangePredicate::new(500_000, 510_000),
+        ),
+    ]
+}
+
+fn compressed_scan(c: &mut Criterion) {
+    for (name, expect_enc, values, pred) in datasets() {
+        let t = table_of(values);
+        let seg = t.compress_column(0);
+        // The dataset must actually exercise the codec it is named for.
+        let hits = (0..seg.frozen_segments())
+            .filter(|&b| seg.frozen_block(b).unwrap().encoding() == expect_enc)
+            .count();
+        assert!(
+            hits * 2 > seg.frozen_segments(),
+            "{name}: only {hits}/{} blocks chose {expect_enc:?}",
+            seg.frozen_segments()
+        );
+        println!(
+            "compressed_scan_1m/{name}: {hits}/{} blocks {}, ratio {:.1}x",
+            seg.frozen_segments(),
+            expect_enc.name(),
+            seg.compression_ratio()
+        );
+
+        let mut group = c.benchmark_group(format!("compressed_scan_1m/{name}"));
+        group.throughput(Throughput::Elements(N as u64));
+        group.bench_function("fused_decode_filter", |b| {
+            b.iter(|| black_box(kernels::range_scan_compressed(&t, &seg, black_box(pred))))
+        });
+        group.bench_function("fused_count", |b| {
+            b.iter(|| black_box(kernels::count_compressed(&t, &seg, black_box(pred))))
+        });
+        group.bench_function("decompress_then_scan", |b| {
+            let mut buf: Vec<i64> = Vec::with_capacity(N);
+            b.iter(|| {
+                buf.clear();
+                for blk in 0..seg.num_blocks() {
+                    buf.extend(seg.block_values(blk));
+                }
+                let mut out = Vec::new();
+                batch::scan_active_into(
+                    &buf,
+                    t.activity_words(),
+                    0,
+                    buf.len(),
+                    black_box(pred),
+                    &mut out,
+                );
+                black_box(out)
+            })
+        });
+        group.finish();
+    }
+}
+
+fn zonemap_words(c: &mut Criterion) {
+    // Sorted column, ~1 % selectivity: the acceptance setting for
+    // word-granularity pruning.
+    let t = table_of((0..N as i64).collect());
+    let wz = WordZoneMap::build(&t, 0);
+    let pred = RangePredicate::new(500_000, 510_000);
+    let skipped = wz.prune_fraction(pred.lo, pred.hi_inclusive());
+    println!("zonemap_words_1m: prune fraction {skipped:.4}");
+    assert!(
+        skipped >= 0.9,
+        "word zones must skip >= 90% of words on sorted data, got {skipped:.4}"
+    );
+
+    let mut group = c.benchmark_group("zonemap_words_1m");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("scan_unzoned", |b| {
+        b.iter(|| black_box(kernels::range_scan_active(&t, 0, black_box(pred))))
+    });
+    group.bench_function("scan_word_zoned", |b| {
+        b.iter(|| {
+            black_box(kernels::range_scan_active_zoned(
+                &t,
+                0,
+                &wz,
+                black_box(pred),
+            ))
+        })
+    });
+    group.bench_function("agg_word_zoned", |b| {
+        b.iter(|| {
+            black_box(kernels::aggregate_state_active_zoned(
+                &t,
+                0,
+                &wz,
+                Some(black_box(pred)),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = compressed_scan, zonemap_words
+}
+criterion_main!(benches);

@@ -7,8 +7,8 @@ use std::hint::black_box;
 use amnesia_columnar::compress::{EncodedBlock, Encoding};
 use amnesia_distrib::DistributionKind;
 use amnesia_util::SimRng;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
 
 fn values_for(dist: &DistributionKind, n: usize) -> Vec<i64> {
     let mut rng = SimRng::new(7);
@@ -27,9 +27,7 @@ fn compression(c: &mut Criterion) {
             enc.bench_with_input(
                 BenchmarkId::from_parameter(codec.name()),
                 &codec,
-                |b, &codec| {
-                    b.iter(|| black_box(EncodedBlock::encode(black_box(&values), codec)))
-                },
+                |b, &codec| b.iter(|| black_box(EncodedBlock::encode(black_box(&values), codec))),
             );
         }
         enc.finish();

@@ -9,8 +9,8 @@ use amnesia_core::experiments::{fig1_amnesia_map, Scale};
 use amnesia_core::policy::PolicyKind;
 use amnesia_core::sim::Simulator;
 use amnesia_distrib::DistributionKind;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
 fn bench_scale() -> Scale {
     Scale {

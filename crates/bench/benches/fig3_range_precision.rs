@@ -8,8 +8,8 @@ use amnesia_core::experiments::{fig3_range_precision, Scale};
 use amnesia_core::policy::PolicyKind;
 use amnesia_core::sim::Simulator;
 use amnesia_distrib::DistributionKind;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
 fn bench_scale() -> Scale {
     Scale {
@@ -25,15 +25,16 @@ fn fig3(c: &mut Criterion) {
     let scale = bench_scale();
 
     let mut panels = c.benchmark_group("fig3/panel");
-    for dist in [DistributionKind::Uniform, DistributionKind::zipfian_default()] {
+    for dist in [
+        DistributionKind::Uniform,
+        DistributionKind::zipfian_default(),
+    ] {
         panels.bench_with_input(
             BenchmarkId::from_parameter(dist.name()),
             &dist,
             |b, dist| {
                 b.iter(|| {
-                    black_box(
-                        fig3_range_precision(black_box(&scale), dist.clone()).expect("fig3"),
-                    )
+                    black_box(fig3_range_precision(black_box(&scale), dist.clone()).expect("fig3"))
                 })
             },
         );

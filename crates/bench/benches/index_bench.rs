@@ -9,8 +9,8 @@ use std::hint::black_box;
 use amnesia_bench::{forget_fraction, table_from_distribution};
 use amnesia_columnar::{Imprints, SortedIndex, ZoneMap};
 use amnesia_distrib::DistributionKind;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
 fn index_lifecycle(c: &mut Criterion) {
     const N: usize = 100_000;

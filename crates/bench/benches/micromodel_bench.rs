@@ -38,7 +38,10 @@ fn micromodel(c: &mut Criterion) {
             let mut rng = SimRng::new(5);
             b.iter(|| {
                 let lo = rng.range_i64(0, 90_000);
-                black_box(store.estimate(Some(ValueRange { lo, hi: lo + 10_000 })))
+                black_box(store.estimate(Some(ValueRange {
+                    lo,
+                    hi: lo + 10_000,
+                })))
             })
         });
     }

@@ -48,9 +48,7 @@ fn parallel(c: &mut Criterion) {
             BenchmarkId::new("threads", threads),
             &threads,
             |b, &threads| {
-                b.iter(|| {
-                    black_box(par_range_scan_active(&t, 0, black_box(pred), threads))
-                })
+                b.iter(|| black_box(par_range_scan_active(&t, 0, black_box(pred), threads)))
             },
         );
     }

@@ -84,7 +84,10 @@ fn persist(c: &mut Criterion) {
     let mut wal = Wal::open(&path).unwrap();
     for i in 0..10_000u64 {
         let rec = if i % 4 == 3 {
-            WalRecord::Forget { epoch: i, row: RowId(i) }
+            WalRecord::Forget {
+                epoch: i,
+                row: RowId(i),
+            }
         } else {
             WalRecord::Insert {
                 epoch: i,

@@ -11,8 +11,8 @@ use amnesia_bench::{forget_fraction, table_from_distribution};
 use amnesia_core::policy::{PolicyContext, PolicyKind};
 use amnesia_distrib::DistributionKind;
 use amnesia_util::SimRng;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
 fn policy_overhead(c: &mut Criterion) {
     let mut table = table_from_distribution(&DistributionKind::Uniform, 50_000, 100_000, 1);

@@ -15,8 +15,8 @@ use amnesia_distrib::DistributionKind;
 use amnesia_engine::batch::scalar;
 use amnesia_engine::kernels;
 use amnesia_workload::query::{AggKind, RangePredicate};
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
 
 /// Vectorized vs scalar at 1M rows: the selective scan, the count-only
 /// kernel, and the fused filter+aggregate, at two forgotten fractions.

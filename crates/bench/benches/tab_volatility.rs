@@ -8,8 +8,8 @@ use amnesia_core::experiments::{volatility_table, Scale};
 use amnesia_core::policy::PolicyKind;
 use amnesia_core::sim::Simulator;
 use amnesia_distrib::DistributionKind;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
 fn bench_scale() -> Scale {
     Scale {
@@ -27,8 +27,7 @@ fn volatility(c: &mut Criterion) {
     c.bench_function("volatility/full_table", |b| {
         b.iter(|| {
             black_box(
-                volatility_table(black_box(&scale), DistributionKind::Uniform)
-                    .expect("volatility"),
+                volatility_table(black_box(&scale), DistributionKind::Uniform).expect("volatility"),
             )
         })
     });

@@ -226,8 +226,9 @@ fn main() {
             }
             "--out" => {
                 i += 1;
-                out_dir =
-                    Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage())));
+                out_dir = Some(PathBuf::from(
+                    args.get(i).cloned().unwrap_or_else(|| usage()),
+                ));
             }
             "--help" | "-h" => usage(),
             name if !name.starts_with('-') => experiment = name.to_string(),

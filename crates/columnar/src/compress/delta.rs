@@ -2,6 +2,7 @@
 
 use bytes::{Bytes, BytesMut};
 
+use super::filter::{in_range, range_width, MaskWriter};
 use super::varint::{read_signed, write_signed};
 use crate::types::Value;
 
@@ -40,6 +41,32 @@ pub fn decode(data: &[u8]) -> Vec<Value> {
     out
 }
 
+/// Fused decode+filter: append selection-mask words for `lo <= v < hi`.
+///
+/// Deltas force a sequential prefix-sum reconstruction, but the predicate
+/// is rebased to nothing — each reconstructed value feeds the same
+/// single unsigned compare as the batch kernels, and no `Vec<Value>` is
+/// ever materialized.
+pub fn filter_range_masks(data: &[u8], lo: Value, hi: Value, out: &mut Vec<u64>) {
+    let width = range_width(lo, hi);
+    let mut w = MaskWriter::new(out);
+    let mut pos = 0;
+    let mut prev = 0i64;
+    let mut first = true;
+    while pos < data.len() {
+        let d = read_signed(data, &mut pos);
+        let v = if first {
+            first = false;
+            d
+        } else {
+            prev.wrapping_add(d)
+        };
+        w.push_bit(in_range(v, lo, width));
+        prev = v;
+    }
+    w.finish();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +96,18 @@ mod tests {
     fn empty_and_singleton() {
         assert!(decode(&encode(&[])).is_empty());
         assert_eq!(decode(&encode(&[99])), vec![99]);
+    }
+
+    #[test]
+    fn fused_filter_matches_decode_then_test() {
+        let values: Vec<i64> = (0..200).map(|i| i * 3 - 100).collect();
+        let data = encode(&values);
+        let mut masks = Vec::new();
+        filter_range_masks(&data, -20, 70, &mut masks);
+        assert_eq!(masks.len(), values.len().div_ceil(64));
+        for (i, &v) in values.iter().enumerate() {
+            let bit = masks[i / 64] >> (i % 64) & 1;
+            assert_eq!(bit == 1, (-20..70).contains(&v), "row {i}");
+        }
     }
 }

@@ -4,6 +4,7 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 
+use super::filter::MaskWriter;
 use super::varint::{read_signed, read_varint, write_signed, write_varint};
 use crate::types::Value;
 
@@ -116,6 +117,65 @@ pub fn decode(data: &[u8]) -> Vec<Value> {
     out
 }
 
+/// Fused decode+filter: append selection-mask words for `lo <= v < hi`.
+///
+/// The dictionary is sorted, so the value predicate translates into a
+/// *contiguous code range* `[c_lo, c_hi)` found with two binary-search
+/// partition points over the (tiny) dictionary. The packed codes are then
+/// tested with one unsigned compare each — values are never
+/// reconstructed. An all-covered or disjoint dictionary short-circuits to
+/// constant-fill masks without touching the code stream at all.
+pub fn filter_range_masks(data: &[u8], lo: Value, hi: Value, out: &mut Vec<u64>) {
+    let mut pos = 0;
+    let count = read_varint(data, &mut pos) as usize;
+    if count == 0 {
+        return;
+    }
+    let dict_len = read_varint(data, &mut pos) as usize;
+    let mut dict = Vec::with_capacity(dict_len);
+    let mut prev = 0i64;
+    for i in 0..dict_len {
+        let d = read_signed(data, &mut pos);
+        let v = if i == 0 { d } else { prev.wrapping_add(d) };
+        dict.push(v);
+        prev = v;
+    }
+    // Code-space translation of the value range (dict is sorted+deduped).
+    let c_lo = dict.partition_point(|&v| v < lo) as u64;
+    let c_hi = dict.partition_point(|&v| v < hi) as u64;
+    let mut w = MaskWriter::new(out);
+    if c_lo >= c_hi || c_lo == 0 && c_hi == dict_len as u64 {
+        // No code matches, or every code does: the code stream is
+        // irrelevant.
+        w.push_run(c_lo < c_hi, count);
+        w.finish();
+        return;
+    }
+    let code_span = c_hi - c_lo;
+    let width = data[pos] as u32;
+    pos += 1;
+    let words: Vec<u64> = data[pos..]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    let mut bit_pos = 0usize;
+    for _ in 0..count {
+        let mut code = 0u64;
+        let mut got = 0u32;
+        while got < width {
+            let word_idx = bit_pos / 64;
+            let in_word = (bit_pos % 64) as u32;
+            let take = (width - got).min(64 - in_word);
+            let bits = (words[word_idx] >> in_word) & ones(take);
+            code |= bits << got;
+            got += take;
+            bit_pos += take as usize;
+        }
+        w.push_bit(code.wrapping_sub(c_lo) < code_span);
+    }
+    w.finish();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +214,27 @@ mod tests {
         let data = encode(&values);
         assert_eq!(decode(&data), values);
         assert!(data.len() < 100);
+    }
+
+    #[test]
+    fn fused_filter_matches_decode_then_test() {
+        let vals = [10i64, 20, 30, 40, 50];
+        let values: Vec<i64> = (0..400).map(|i| vals[(i * 3 + i / 7) % 5]).collect();
+        let data = encode(&values);
+        for (lo, hi) in [
+            (20, 45),       // interior code range
+            (0, 100),       // covers every code: constant-fill fast path
+            (60, 90),       // disjoint: constant-fill fast path
+            (30, 31),       // single value
+            (i64::MIN, 25), // open-ended below
+        ] {
+            let mut masks = Vec::new();
+            filter_range_masks(&data, lo, hi, &mut masks);
+            assert_eq!(masks.len(), values.len().div_ceil(64));
+            for (i, &v) in values.iter().enumerate() {
+                let bit = masks[i / 64] >> (i % 64) & 1;
+                assert_eq!(bit == 1, (lo..hi).contains(&v), "row {i} [{lo},{hi})");
+            }
+        }
     }
 }

@@ -1,0 +1,160 @@
+//! Shared machinery for the fused decode+filter paths.
+//!
+//! Every codec exposes a `filter_range_masks` that evaluates a `[lo, hi)`
+//! range predicate *inside* the decoder loop and emits packed 64-bit
+//! selection masks — bit `i` of word `i / 64` is set iff value `i`
+//! matches. The helpers here keep the mask contract in one place: the
+//! [`MaskWriter`] packs bits LSB-first and zero-fills the tail of the last
+//! partial word, and [`range_width`] / [`in_range`] implement the same
+//! single-unsigned-compare range test the batch kernels use, so a mask
+//! produced here is directly AND-able with activity words.
+
+use crate::types::Value;
+
+/// `hi − lo` in the unsigned domain; 0 when the range is empty, so the
+/// wrapping compare in [`in_range`] rejects everything.
+#[inline]
+pub(super) fn range_width(lo: Value, hi: Value) -> u64 {
+    (hi as i128 - lo as i128).max(0) as u64
+}
+
+/// Single-compare range test: `lo <= v < hi` given `width = hi − lo`.
+#[inline]
+pub(super) fn in_range(v: Value, lo: Value, width: u64) -> bool {
+    (v as u64).wrapping_sub(lo as u64) < width
+}
+
+/// Packs predicate bits into 64-bit selection words, LSB-first.
+///
+/// The writer appends one word per 64 values pushed; [`MaskWriter::finish`]
+/// flushes a partial word with its unused high bits clear, so consumers
+/// can AND the result with (clipped) activity words without masking again.
+pub(super) struct MaskWriter<'a> {
+    out: &'a mut Vec<u64>,
+    word: u64,
+    filled: u32,
+}
+
+impl<'a> MaskWriter<'a> {
+    /// Writer appending to `out`.
+    pub(super) fn new(out: &'a mut Vec<u64>) -> Self {
+        Self {
+            out,
+            word: 0,
+            filled: 0,
+        }
+    }
+
+    /// Append one predicate bit.
+    #[inline]
+    pub(super) fn push_bit(&mut self, matched: bool) {
+        self.word |= (matched as u64) << self.filled;
+        self.filled += 1;
+        if self.filled == 64 {
+            self.out.push(self.word);
+            self.word = 0;
+            self.filled = 0;
+        }
+    }
+
+    /// Append `len` copies of the same predicate bit (the RLE fan-out):
+    /// whole matching words are emitted as `!0` with no per-bit work.
+    pub(super) fn push_run(&mut self, matched: bool, mut len: usize) {
+        if self.filled != 0 {
+            // Fill the current partial word first.
+            let take = len.min(64 - self.filled as usize);
+            if matched {
+                let ones = if take == 64 { !0 } else { (1u64 << take) - 1 };
+                self.word |= ones << self.filled;
+            }
+            self.filled += take as u32;
+            len -= take;
+            if self.filled == 64 {
+                self.out.push(self.word);
+                self.word = 0;
+                self.filled = 0;
+            }
+        }
+        // Whole words at once.
+        let full = if matched { !0u64 } else { 0 };
+        while len >= 64 {
+            self.out.push(full);
+            len -= 64;
+        }
+        if len > 0 {
+            if matched {
+                self.word = (1u64 << len) - 1;
+            }
+            self.filled = len as u32;
+        }
+    }
+
+    /// Flush any trailing partial word (high bits zero).
+    pub(super) fn finish(self) {
+        if self.filled > 0 {
+            self.out.push(self.word);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_packs_bits_lsb_first() {
+        let mut out = Vec::new();
+        let mut w = MaskWriter::new(&mut out);
+        for i in 0..70 {
+            w.push_bit(i % 3 == 0);
+        }
+        w.finish();
+        assert_eq!(out.len(), 2);
+        for i in 0..70usize {
+            let bit = out[i / 64] >> (i % 64) & 1;
+            assert_eq!(bit == 1, i % 3 == 0, "bit {i}");
+        }
+        // Tail bits of the last word stay clear.
+        assert_eq!(out[1] >> 6, 0);
+    }
+
+    #[test]
+    fn runs_match_bitwise_reference() {
+        let runs = [
+            (true, 3usize),
+            (false, 61),
+            (true, 64),
+            (false, 1),
+            (true, 130),
+        ];
+        let mut fast = Vec::new();
+        let mut w = MaskWriter::new(&mut fast);
+        for &(m, len) in &runs {
+            w.push_run(m, len);
+        }
+        w.finish();
+        let mut slow = Vec::new();
+        let mut w = MaskWriter::new(&mut slow);
+        for &(m, len) in &runs {
+            for _ in 0..len {
+                w.push_bit(m);
+            }
+        }
+        w.finish();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn range_width_and_in_range() {
+        assert_eq!(range_width(10, 10), 0);
+        assert_eq!(range_width(10, 5), 0);
+        assert_eq!(range_width(i64::MIN, i64::MAX), u64::MAX);
+        let w = range_width(-5, 5);
+        assert!(in_range(-5, -5, w));
+        assert!(in_range(4, -5, w));
+        assert!(!in_range(5, -5, w));
+        assert!(!in_range(-6, -5, w));
+        assert!(!in_range(i64::MIN, -5, w));
+        assert!(!in_range(i64::MAX, -5, w));
+    }
+}

@@ -6,6 +6,7 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 
+use super::filter::MaskWriter;
 use super::varint::{read_signed, read_varint, write_signed, write_varint};
 use crate::types::Value;
 
@@ -102,6 +103,50 @@ pub fn decode(data: &[u8]) -> Vec<Value> {
     out
 }
 
+/// Fused decode+filter: append selection-mask words for `lo <= v < hi`.
+///
+/// The predicate is rebased once into offset space — `v` matches iff its
+/// packed offset falls in `[lo − min, hi − min)` — so the loop compares
+/// raw unpacked offsets and never adds `min` back. When the rebased
+/// interval covers the whole representable band the compare degenerates
+/// to constant true/false per word.
+pub fn filter_range_masks(data: &[u8], lo: Value, hi: Value, out: &mut Vec<u64>) {
+    let mut pos = 0;
+    let count = read_varint(data, &mut pos) as usize;
+    if count == 0 {
+        return;
+    }
+    let min = read_signed(data, &mut pos);
+    let width = data[pos] as u32;
+    pos += 1;
+    // Offset-space bounds, clamped to the non-negative u64 domain the
+    // packed offsets live in (u128 math: `hi − min` may exceed u64::MAX).
+    let off_lo = (lo as i128 - min as i128).clamp(0, 1 << 64) as u128;
+    let off_hi = (hi as i128 - min as i128).clamp(0, 1 << 64) as u128;
+    let span = off_hi.saturating_sub(off_lo);
+    let words: Vec<u64> = data[pos..]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    let mut w = MaskWriter::new(out);
+    let mut bit_pos = 0usize;
+    for _ in 0..count {
+        let mut off = 0u64;
+        let mut got = 0u32;
+        while got < width {
+            let word_idx = bit_pos / 64;
+            let in_word = (bit_pos % 64) as u32;
+            let take = (width - got).min(64 - in_word);
+            let bits = (words[word_idx] >> in_word) & ones(take);
+            off |= bits << got;
+            got += take;
+            bit_pos += take as usize;
+        }
+        w.push_bit((off as u128).wrapping_sub(off_lo) < span);
+    }
+    w.finish();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +184,34 @@ mod tests {
     fn negative_band() {
         let values: Vec<i64> = (-500..-400).collect();
         assert_eq!(decode(&encode(&values)), values);
+    }
+
+    #[test]
+    fn fused_filter_matches_decode_then_test() {
+        let values: Vec<i64> = (0..300).map(|i| 1_000_000 + (i * 13) % 97).collect();
+        let data = encode(&values);
+        for (lo, hi) in [
+            (1_000_010, 1_000_050),
+            (i64::MIN, i64::MAX),   // band wider than the block
+            (0, 10),                // entirely below
+            (2_000_000, 3_000_000), // entirely above
+        ] {
+            let mut masks = Vec::new();
+            filter_range_masks(&data, lo, hi, &mut masks);
+            assert_eq!(masks.len(), values.len().div_ceil(64));
+            for (i, &v) in values.iter().enumerate() {
+                let bit = masks[i / 64] >> (i % 64) & 1;
+                assert_eq!(bit == 1, (lo..hi).contains(&v), "row {i} [{lo},{hi})");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_filter_full_span_block() {
+        let values = vec![i64::MIN, -1, 0, 1, i64::MAX];
+        let data = encode(&values);
+        let mut masks = Vec::new();
+        filter_range_masks(&data, -1, 2, &mut masks);
+        assert_eq!(masks, vec![0b01110]);
     }
 }

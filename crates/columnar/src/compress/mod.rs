@@ -7,9 +7,41 @@
 //! bit-packing and dictionary — behind one [`EncodedBlock`] type with an
 //! automatic chooser, so the ablation experiment can quantify exactly how
 //! many batches of amnesia each codec buys per distribution.
+//!
+//! # The mask contract (fused decode+filter)
+//!
+//! Compressed data only postpones forgetting if predicates can run on it
+//! without a full decode. Every codec therefore exposes a fused
+//! `filter_range_masks(data, lo, hi, out)` that evaluates `lo <= v < hi`
+//! *inside* the decoder loop and appends packed 64-bit selection words to
+//! `out` — bit `i` of word `i / 64` is set iff row `i` of the block
+//! matches, LSB-first, with the unused tail bits of the last word clear.
+//! That is byte-for-byte the mask layout of the engine's batch kernels
+//! and of [`ActivityMap::words`](crate::activity::ActivityMap::words), so
+//! a block's masks AND directly with its slice of activity words and flow
+//! into the same `trailing_zeros` emit loops — no row is ever
+//! materialized to be rejected. Each codec exploits its own structure:
+//!
+//! * **rle** compares once per *run* and fans the verdict out into whole
+//!   mask words ([`rle::filter_range_masks`]),
+//! * **dict** translates the value range into a contiguous *code* range
+//!   via two binary searches over the sorted dictionary and compares
+//!   bit-packed codes, never reconstructing values
+//!   ([`dict::filter_range_masks`]),
+//! * **forpack** rebases the predicate constants into offset space once
+//!   and compares raw unpacked offsets ([`forpack::filter_range_masks`]),
+//! * **delta** fuses the compare into the sequential prefix-sum walk
+//!   ([`delta::filter_range_masks`]),
+//! * **plain** is the batch kernel's compare over the raw words.
+//!
+//! [`EncodedBlock::filter_range_masks`] dispatches on the block's
+//! encoding; equivalence with decode-then-test is pinned by each codec's
+//! unit tests, the property tests below, and
+//! `tests/kernel_equivalence.rs` at the engine level.
 
 pub mod delta;
 pub mod dict;
+mod filter;
 pub mod forpack;
 pub mod rle;
 pub mod varint;
@@ -89,7 +121,7 @@ pub struct EncodedBlock {
     len: usize,
 }
 
-/// Minimal serde adapter for `bytes::Bytes` (Vec<u8> passthrough).
+/// Minimal serde adapter for `bytes::Bytes` (`Vec<u8>` passthrough).
 // The offline serde shim's no-op derive never references `with` helpers,
 // so these are only exercised when building against real serde.
 #[allow(dead_code)]
@@ -141,6 +173,26 @@ impl EncodedBlock {
             Encoding::ForPack => forpack::decode(&self.data),
             Encoding::Dict => dict::decode(&self.data),
         }
+    }
+
+    /// Fused decode+filter: replace `out` with one selection-mask word
+    /// per 64 encoded rows, bit `i` of word `i / 64` set iff
+    /// `lo <= value[i] < hi` (see the module docs for the full mask
+    /// contract). Runs inside the codec's decoder loop — values are never
+    /// materialized — and costs O(compressed size), not O(rows), for
+    /// codecs with exploitable structure (whole RLE runs and disjoint or
+    /// fully-covered dictionaries collapse to constant fills).
+    pub fn filter_range_masks(&self, lo: Value, hi: Value, out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(self.len.div_ceil(64));
+        match self.encoding {
+            Encoding::Plain => plain_filter_range_masks(&self.data, lo, hi, out),
+            Encoding::Rle => rle::filter_range_masks(&self.data, lo, hi, out),
+            Encoding::Delta => delta::filter_range_masks(&self.data, lo, hi, out),
+            Encoding::ForPack => forpack::filter_range_masks(&self.data, lo, hi, out),
+            Encoding::Dict => dict::filter_range_masks(&self.data, lo, hi, out),
+        }
+        debug_assert_eq!(out.len(), self.len.div_ceil(64));
     }
 
     /// Number of encoded values.
@@ -204,6 +256,26 @@ fn plain_decode(data: &[u8]) -> Vec<Value> {
         .collect()
 }
 
+/// Fused filter over raw little-endian values (the trivial codec case).
+fn plain_filter_range_masks(data: &[u8], lo: Value, hi: Value, out: &mut Vec<u64>) {
+    let width = (hi as i128 - lo as i128).max(0) as u64;
+    let mut word = 0u64;
+    let mut filled = 0u32;
+    for c in data.chunks_exact(8) {
+        let v = i64::from_le_bytes(c.try_into().expect("chunk of 8"));
+        word |= (((v as u64).wrapping_sub(lo as u64) < width) as u64) << filled;
+        filled += 1;
+        if filled == 64 {
+            out.push(word);
+            word = 0;
+            filled = 0;
+        }
+    }
+    if filled > 0 {
+        out.push(word);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,12 +284,7 @@ mod tests {
         for enc in Encoding::ALL {
             let block = EncodedBlock::encode(values, enc);
             assert_eq!(block.len(), values.len());
-            assert_eq!(
-                block.decode(),
-                values,
-                "round-trip failed for {:?}",
-                enc
-            );
+            assert_eq!(block.decode(), values, "round-trip failed for {:?}", enc);
         }
         let auto = EncodedBlock::encode_auto(values);
         assert_eq!(auto.decode(), values);
@@ -298,6 +365,33 @@ mod proptests {
             // Auto must never be bigger than plain.
             let plain = EncodedBlock::encode(&values, Encoding::Plain);
             prop_assert!(auto.compressed_bytes() <= plain.compressed_bytes());
+        }
+
+        #[test]
+        fn fused_filter_equals_decode_then_test(
+            values in proptest::collection::vec(-1000i64..1000, 0..300),
+            lo in -1200i64..1200,
+            width in 0i64..2500,
+        ) {
+            let hi = lo.saturating_add(width);
+            let mut masks = Vec::new();
+            for enc in Encoding::ALL {
+                let block = EncodedBlock::encode(&values, enc);
+                block.filter_range_masks(lo, hi, &mut masks);
+                prop_assert_eq!(masks.len(), values.len().div_ceil(64));
+                for (i, &v) in values.iter().enumerate() {
+                    let bit = masks[i / 64] >> (i % 64) & 1;
+                    prop_assert_eq!(bit == 1, v >= lo && v < hi, "{:?} row {}", enc, i);
+                }
+                // Tail bits beyond len stay clear (AND-safety with
+                // activity words).
+                if let Some(&last) = masks.last() {
+                    let used = values.len() - (masks.len() - 1) * 64;
+                    if used < 64 {
+                        prop_assert_eq!(last >> used, 0, "{:?} tail", enc);
+                    }
+                }
+            }
         }
     }
 }

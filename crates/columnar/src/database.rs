@@ -153,8 +153,7 @@ impl Database {
 
         // Worklist of tuples to forget; grows under cascade.
         let mut pending: Vec<TupleRef> = vec![(table, row)];
-        let mut planned: std::collections::HashSet<TupleRef> =
-            pending.iter().copied().collect();
+        let mut planned: std::collections::HashSet<TupleRef> = pending.iter().copied().collect();
         let mut order: Vec<TupleRef> = Vec::new();
 
         while let Some((t, r)) = pending.pop() {

@@ -211,8 +211,15 @@ mod tests {
         let imp = Imprints::build(&t, 0, 32);
         let zm = crate::zonemap::ZoneMap::build_with_block_rows(&t, 0, 32);
         let (lo, hi) = (4000i64, 6000i64);
-        assert_eq!(zm.candidate_blocks(lo, hi).len(), zm.num_blocks(), "zone map can't prune");
-        assert!(imp.candidate_blocks(lo, hi).is_empty(), "imprints prune everything");
+        assert_eq!(
+            zm.candidate_blocks(lo, hi).len(),
+            zm.num_blocks(),
+            "zone map can't prune"
+        );
+        assert!(
+            imp.candidate_blocks(lo, hi).is_empty(),
+            "imprints prune everything"
+        );
         assert!((imp.prune_fraction(lo, hi) - 1.0).abs() < 1e-12);
     }
 

@@ -54,7 +54,8 @@ pub use index::SortedIndex;
 pub use micromodel::{Estimate, MicroModel, ModelStore, ValueRange};
 pub use persist::{PersistentTable, Wal, WalRecord};
 pub use schema::{ColumnDef, Schema};
+pub use segment::SegmentedColumn;
 pub use summary::{SummaryCell, SummaryStore};
 pub use table::Table;
 pub use types::{Epoch, RowId, Value, DEFAULT_BLOCK_ROWS};
-pub use zonemap::ZoneMap;
+pub use zonemap::{WordZoneMap, Zone, ZoneMap};

@@ -4,7 +4,7 @@
 //! information process by turning portions of the database into
 //! summaries. They can take the form of traditional compression schemes,
 //! or for the more adventurous, replacing portions of the database by
-//! micro-models [15]."
+//! micro-models \[15\]."
 //!
 //! A [`MicroModel`] is a constant-size statistical stand-in for the
 //! tuples forgotten in one epoch: exact count/sum/min/max plus an
@@ -363,7 +363,10 @@ mod tests {
     #[test]
     fn disjoint_range_estimates_zero() {
         let m = MicroModel::fit(0, &[10, 20, 30], 4);
-        assert_eq!(m.estimate(ValueRange { lo: 100, hi: 200 }), Estimate::default());
+        assert_eq!(
+            m.estimate(ValueRange { lo: 100, hi: 200 }),
+            Estimate::default()
+        );
         assert_eq!(m.estimate(ValueRange { lo: 5, hi: 5 }), Estimate::default());
     }
 
@@ -377,7 +380,11 @@ mod tests {
         let low = m.estimate(ValueRange { lo: 0, hi: 100 });
         assert!((low.count - 900.0).abs() < 1.0, "low clump {}", low.count);
         let high = m.estimate(ValueRange { lo: 900, hi: 1000 });
-        assert!((high.count - 100.0).abs() < 1.0, "high clump {}", high.count);
+        assert!(
+            (high.count - 100.0).abs() < 1.0,
+            "high clump {}",
+            high.count
+        );
         // Average inside the low clump is the clump value, not the blend.
         assert!((low.avg().unwrap() - 10.0).abs() < 1.0);
     }

@@ -173,10 +173,7 @@ mod tests {
     use super::*;
 
     fn tmp_dir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "amn-persist-{}-{name}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("amn-persist-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -186,7 +183,8 @@ mod tests {
         for r in (0..50u64).step_by(3) {
             pt.forget(RowId(r), 1).unwrap();
         }
-        pt.insert_batch(&(100..150).collect::<Vec<i64>>(), 2).unwrap();
+        pt.insert_batch(&(100..150).collect::<Vec<i64>>(), 2)
+            .unwrap();
         pt.sync().unwrap();
     }
 
@@ -261,8 +259,7 @@ mod tests {
     #[test]
     fn multi_column_rows_survive_recovery() {
         let dir = tmp_dir("multicol");
-        let mut pt =
-            PersistentTable::create(&dir, Schema::new(vec!["k", "v"])).unwrap();
+        let mut pt = PersistentTable::create(&dir, Schema::new(vec!["k", "v"])).unwrap();
         pt.insert(&[1, 100], 0).unwrap();
         pt.insert(&[2, 200], 0).unwrap();
         pt.forget(RowId(0), 1).unwrap();

@@ -155,13 +155,11 @@ pub fn decode(bytes: &[u8]) -> Result<Table> {
     let mut columns: Vec<Vec<Value>> = Vec::with_capacity(arity);
     for c in 0..arity {
         let tag = p.u8()?;
-        let encoding = Encoding::from_tag(tag)
-            .ok_or_else(|| storage_err!("unknown encoding tag {tag}"))?;
+        let encoding =
+            Encoding::from_tag(tag).ok_or_else(|| storage_err!("unknown encoding tag {tag}"))?;
         let count = p.u64()? as usize;
         if count != n {
-            return Err(storage_err!(
-                "column {c} has {count} values, expected {n}"
-            ));
+            return Err(storage_err!("column {c} has {count} values, expected {n}"));
         }
         let data_len = p.u64()? as usize;
         let data = Bytes::copy_from_slice(p.bytes(data_len)?);
@@ -323,7 +321,8 @@ mod tests {
     #[test]
     fn serial_data_compresses_well() {
         let mut t = Table::new(Schema::single("a"));
-        t.insert_batch(&(0..10_000).collect::<Vec<i64>>(), 0).unwrap();
+        t.insert_batch(&(0..10_000).collect::<Vec<i64>>(), 0)
+            .unwrap();
         let snap = encode(&t);
         // 10k serial i64s = 80 KB plain; delta coding brings the column
         // to ~1 byte/value (plus 1 byte/row of epoch deltas).

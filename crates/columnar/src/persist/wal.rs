@@ -136,10 +136,7 @@ impl Wal {
     /// Open (creating if missing) for appending.
     pub fn open(path: impl Into<PathBuf>) -> Result<Self> {
         let path = path.into();
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)?;
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok(Self { file, path })
     }
 
@@ -197,8 +194,7 @@ pub fn replay(path: &Path) -> Result<ReplayOutcome> {
         if bytes.len() - pos < 4 {
             break false; // torn length prefix
         }
-        let len =
-            u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
         let body_start = pos + 4;
         let Some(crc_start) = body_start.checked_add(len) else {
             break false;
@@ -293,10 +289,7 @@ mod tests {
         for cut in 0..full.len() {
             std::fs::write(&path, &full[..cut]).unwrap();
             let outcome = replay(&path).unwrap();
-            assert!(
-                outcome.records.len() <= sample_records().len(),
-                "cut {cut}"
-            );
+            assert!(outcome.records.len() <= sample_records().len(), "cut {cut}");
             let expected = &sample_records()[..outcome.records.len()];
             assert_eq!(outcome.records, expected, "cut {cut}: prefix property");
             assert!(outcome.valid_bytes <= cut as u64);

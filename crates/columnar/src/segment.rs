@@ -8,13 +8,16 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::compress::EncodedBlock;
+use crate::compress::{EncodedBlock, Encoding};
 use crate::types::{Value, DEFAULT_BLOCK_ROWS};
 
 /// A column of frozen compressed segments plus an uncompressed tail.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SegmentedColumn {
     block_rows: usize,
+    /// `None` = per-block automatic codec choice; `Some` pins one codec
+    /// (codec ablations and codec-targeted equivalence tests).
+    encoding: Option<Encoding>,
     frozen: Vec<EncodedBlock>,
     tail: Vec<Value>,
 }
@@ -30,16 +33,28 @@ impl SegmentedColumn {
         assert!(block_rows > 0, "block size must be positive");
         Self {
             block_rows,
+            encoding: None,
             frozen: Vec::new(),
             tail: Vec::new(),
         }
+    }
+
+    /// New column that freezes every block with one pinned codec instead
+    /// of the automatic chooser.
+    pub fn with_encoding(block_rows: usize, encoding: Encoding) -> Self {
+        let mut c = Self::with_block_rows(block_rows);
+        c.encoding = Some(encoding);
+        c
     }
 
     /// Append one value, freezing a block when the tail fills up.
     pub fn push(&mut self, v: Value) {
         self.tail.push(v);
         if self.tail.len() == self.block_rows {
-            let block = EncodedBlock::encode_auto(&self.tail);
+            let block = match self.encoding {
+                Some(e) => EncodedBlock::encode(&self.tail, e),
+                None => EncodedBlock::encode_auto(&self.tail),
+            };
             self.frozen.push(block);
             self.tail.clear();
         }
@@ -50,6 +65,36 @@ impl SegmentedColumn {
         for &v in vs {
             self.push(v);
         }
+    }
+
+    /// Build a column from a value slice with the default block size.
+    pub fn from_values(vs: &[Value]) -> Self {
+        let mut c = Self::new();
+        c.extend_from_slice(vs);
+        c
+    }
+
+    /// Rows per block.
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// First physical row of `block`.
+    pub fn block_start(&self, block: usize) -> usize {
+        block * self.block_rows
+    }
+
+    /// The frozen compressed block at `block`, or `None` for the tail
+    /// block. This is the entry point for fused compressed scans: pair
+    /// each frozen block with its activity-word slice and call
+    /// [`EncodedBlock::filter_range_masks`].
+    pub fn frozen_block(&self, block: usize) -> Option<&EncodedBlock> {
+        self.frozen.get(block)
+    }
+
+    /// The mutable uncompressed tail (rows past the last frozen block).
+    pub fn tail_values(&self) -> &[Value] {
+        &self.tail
     }
 
     /// Total number of rows.
@@ -160,7 +205,11 @@ mod tests {
     fn serial_data_compresses() {
         let mut c = SegmentedColumn::with_block_rows(1024);
         c.extend_from_slice(&(0..10_240).collect::<Vec<i64>>());
-        assert!(c.compression_ratio() > 3.0, "ratio {}", c.compression_ratio());
+        assert!(
+            c.compression_ratio() > 3.0,
+            "ratio {}",
+            c.compression_ratio()
+        );
     }
 
     #[test]
@@ -178,5 +227,19 @@ mod tests {
         assert!(c.is_empty());
         assert_eq!(c.num_blocks(), 0);
         assert_eq!(c.compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn block_granular_access() {
+        let values: Vec<i64> = (0..2500).collect();
+        let c = SegmentedColumn::from_values(&values);
+        assert_eq!(c.block_rows(), DEFAULT_BLOCK_ROWS);
+        assert_eq!(c.frozen_segments(), 2);
+        assert_eq!(c.block_start(1), DEFAULT_BLOCK_ROWS);
+        let b0 = c.frozen_block(0).unwrap();
+        assert_eq!(b0.len(), DEFAULT_BLOCK_ROWS);
+        assert_eq!(b0.decode(), values[..DEFAULT_BLOCK_ROWS].to_vec());
+        assert!(c.frozen_block(2).is_none(), "tail is not frozen");
+        assert_eq!(c.tail_values(), &values[2 * DEFAULT_BLOCK_ROWS..]);
     }
 }

@@ -106,10 +106,7 @@ impl Table {
 
     /// Full row as a vector of values.
     pub fn row_values(&self, row: RowId) -> Vec<Value> {
-        self.columns
-            .iter()
-            .map(|c| c.get(row.as_usize()))
-            .collect()
+        self.columns.iter().map(|c| c.get(row.as_usize())).collect()
     }
 
     /// The column at index `col`.
@@ -130,6 +127,27 @@ impl Table {
     #[inline]
     pub fn activity_words(&self) -> &[u64] {
         self.activity.words()
+    }
+
+    /// Values of `col` for one `block_rows`-sized block (the last block
+    /// may be short). Block-granular access pairs with
+    /// [`ZoneMap`](crate::zonemap::ZoneMap) pruning so scans touch only
+    /// surviving blocks.
+    #[inline]
+    pub fn col_block_values(&self, col: usize, block: usize, block_rows: usize) -> &[Value] {
+        let values = self.columns[col].values();
+        let lo = (block * block_rows).min(values.len());
+        let hi = (lo + block_rows).min(values.len());
+        &values[lo..hi]
+    }
+
+    /// Freeze a compressed snapshot of `col`: full blocks are encoded
+    /// with the best codec, the remainder stays as an uncompressed tail.
+    /// This is the cold representation the fused compressed-scan kernels
+    /// run on — compression postpones forgetting (paper §4.4) only
+    /// because those kernels keep it scannable at batch speed.
+    pub fn compress_column(&self, col: usize) -> crate::segment::SegmentedColumn {
+        crate::segment::SegmentedColumn::from_values(self.columns[col].values())
     }
 
     /// Total physical rows (active + forgotten).
@@ -329,6 +347,20 @@ mod tests {
         t.forget(RowId(0), 1).unwrap();
         t.forget(RowId(2), 1).unwrap();
         assert_eq!(t.active_row_ids(), vec![RowId(1), RowId(3)]);
+    }
+
+    #[test]
+    fn block_access_and_compressed_snapshot() {
+        let values: Vec<Value> = (0..1500).map(|i| i * 2).collect();
+        let t = table_with(&values);
+        assert_eq!(t.col_block_values(0, 0, 1024), &values[..1024]);
+        assert_eq!(t.col_block_values(0, 1, 1024), &values[1024..]);
+        assert!(t.col_block_values(0, 5, 1024).is_empty());
+        let seg = t.compress_column(0);
+        assert_eq!(seg.len(), values.len());
+        assert_eq!(seg.frozen_segments(), 1);
+        let got: Vec<Value> = seg.iter().collect();
+        assert_eq!(got, values);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! The most radical answer to "what happens to forgotten data" (paper §1):
 //! delete it. Marking keeps the simulator's metrics exact, but a real
 //! deployment must eventually reclaim the space — the temporal-database
-//! literature calls this *vacuuming* (paper §5, [9]). `vacuum` compacts a
+//! literature calls this *vacuuming* (paper §5, \[9\]). `vacuum` compacts a
 //! table down to its active tuples and returns a row-id remapping so
 //! auxiliary structures (indexes, policy state) can migrate.
 
@@ -44,7 +44,9 @@ pub fn vacuum(table: &Table) -> VacuumResult {
     }
 
     let removed = n - compacted.num_rows();
-    let reclaimed_bytes = table.memory_bytes().saturating_sub(compacted.memory_bytes());
+    let reclaimed_bytes = table
+        .memory_bytes()
+        .saturating_sub(compacted.memory_bytes());
     VacuumResult {
         table: compacted,
         remap,

@@ -152,7 +152,11 @@ impl AdaptiveStore {
 
     /// Mean observed reward per arm for a partition.
     pub fn arm_means(&self, p: usize) -> Vec<f64> {
-        self.partitions[p].stats.iter().map(ArmStats::mean).collect()
+        self.partitions[p]
+            .stats
+            .iter()
+            .map(ArmStats::mean)
+            .collect()
     }
 
     /// Route an insert to its value partition.
@@ -291,7 +295,11 @@ mod tests {
             for i in 0..60i64 {
                 s.insert(i * 16 % 1000, epoch).unwrap();
             }
-            let reward = if s.current_arm(0) == "uniform" { 0.9 } else { 0.1 };
+            let reward = if s.current_arm(0) == "uniform" {
+                0.9
+            } else {
+                0.1
+            };
             for _ in 0..10 {
                 s.observe(0, reward);
             }
@@ -348,7 +356,10 @@ mod tests {
         assert_eq!(t.num_rows(), 100, "mark-only semantics");
         assert_eq!(t.active_rows(), 50);
         assert!(!t.activity().is_active(
-            (0..100).map(RowId).find(|r| !t.activity().is_active(*r)).unwrap()
+            (0..100)
+                .map(RowId)
+                .find(|r| !t.activity().is_active(*r))
+                .unwrap()
         ));
     }
 }

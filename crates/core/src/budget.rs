@@ -14,8 +14,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Storage budget policy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum BudgetMode {
     /// Keep exactly `dbsize` tuples active: forget as many as were
     /// inserted each batch.
@@ -58,7 +57,9 @@ impl BudgetMode {
         if let BudgetMode::Watermark { high, low } = *self {
             // NaN fails both comparisons and is rejected here too.
             if !(high.is_finite() && low.is_finite() && high > 0.0 && low > 0.0) {
-                return Err(format!("watermarks must be positive (high={high}, low={low})"));
+                return Err(format!(
+                    "watermarks must be positive (high={high}, low={low})"
+                ));
             }
             if low > high {
                 return Err(format!("low watermark {low} exceeds high watermark {high}"));
@@ -76,7 +77,6 @@ impl BudgetMode {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -112,16 +112,35 @@ mod tests {
     #[test]
     fn validation() {
         assert!(BudgetMode::FixedSize.validate().is_ok());
-        assert!(BudgetMode::Watermark { high: 2.0, low: 1.0 }.validate().is_ok());
-        assert!(BudgetMode::Watermark { high: 1.0, low: 2.0 }.validate().is_err());
-        assert!(BudgetMode::Watermark { high: -1.0, low: 0.5 }.validate().is_err());
+        assert!(BudgetMode::Watermark {
+            high: 2.0,
+            low: 1.0
+        }
+        .validate()
+        .is_ok());
+        assert!(BudgetMode::Watermark {
+            high: 1.0,
+            low: 2.0
+        }
+        .validate()
+        .is_err());
+        assert!(BudgetMode::Watermark {
+            high: -1.0,
+            low: 0.5
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn names() {
         assert_eq!(BudgetMode::FixedSize.name(), "fixed-size");
         assert_eq!(
-            BudgetMode::Watermark { high: 2.0, low: 1.0 }.name(),
+            BudgetMode::Watermark {
+                high: 2.0,
+                low: 1.0
+            }
+            .name(),
             "watermark"
         );
         assert_eq!(BudgetMode::Unbounded.name(), "unbounded");

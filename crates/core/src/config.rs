@@ -215,7 +215,10 @@ mod tests {
         assert!(SimConfig::builder().update_fraction(-0.1).build().is_err());
         assert!(SimConfig::builder().access_decay(0.0).build().is_err());
         assert!(SimConfig::builder()
-            .budget(BudgetMode::Watermark { high: 1.0, low: 2.0 })
+            .budget(BudgetMode::Watermark {
+                high: 1.0,
+                low: 2.0
+            })
             .build()
             .is_err());
     }

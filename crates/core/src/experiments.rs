@@ -320,7 +320,11 @@ pub fn aggregate_precision(
         title: format!(
             "Section 4.3: AVG precision, {} data{} (dbsize={}, upd-perc=0.20)",
             dist.name(),
-            if with_predicate { ", range predicate" } else { "" },
+            if with_predicate {
+                ", range predicate"
+            } else {
+                ""
+            },
             scale.dbsize
         ),
         x_label: "batch".into(),
@@ -358,11 +362,7 @@ pub fn volatility_table(scale: &Scale, dist: DistributionKind) -> Result<TableRe
             scale.batches,
             dist.name()
         ),
-        header: vec![
-            "policy".into(),
-            "E (upd 10%)".into(),
-            "E (upd 80%)".into(),
-        ],
+        header: vec!["policy".into(), "E (upd 10%)".into(), "E (upd 80%)".into()],
         rows,
     })
 }
@@ -418,11 +418,7 @@ pub fn selectivity_table(scale: &Scale, dist: DistributionKind) -> Result<TableR
 /// where antipodal pairs exist around the mean).
 pub fn ablation_pair(scale: &Scale) -> Result<SeriesReport> {
     let mut series = Vec::new();
-    for kind in [
-        PolicyKind::Pair,
-        PolicyKind::Uniform,
-        PolicyKind::Fifo,
-    ] {
+    for kind in [PolicyKind::Pair, PolicyKind::Uniform, PolicyKind::Fifo] {
         let cfg = SimConfig {
             update_fraction: 0.20,
             distribution: DistributionKind::normal_default(),
@@ -932,8 +928,7 @@ pub fn join_precision_experiment(scale: &Scale) -> Result<SeriesReport> {
     use amnesia_columnar::ReferentialAction;
     let mut series = Vec::new();
     for kind in PolicyKind::paper_set() {
-        let (precisions, _, _) =
-            run_join_loop(scale, &kind, Some(ReferentialAction::Cascade))?;
+        let (precisions, _, _) = run_join_loop(scale, &kind, Some(ReferentialAction::Cascade))?;
         series.push((kind.name().to_string(), precisions));
     }
     Ok(SeriesReport {
@@ -959,8 +954,7 @@ pub fn referential_actions_table(scale: &Scale) -> Result<TableReport> {
     ];
     let mut rows = Vec::new();
     for (name, action) in cases {
-        let (precisions, dangling, overshoot) =
-            run_join_loop(scale, &PolicyKind::Uniform, action)?;
+        let (precisions, dangling, overshoot) = run_join_loop(scale, &PolicyKind::Uniform, action)?;
         rows.push(vec![
             name.to_string(),
             format!("{:.4}", precisions.last().copied().unwrap_or(1.0)),
@@ -1037,7 +1031,11 @@ pub fn ablation_micromodels(scale: &Scale) -> Result<TableReport> {
         for _ in 0..probes {
             let lo = rng.range_i64(0, range - width + 1);
             let pred = RangePredicate::new(lo, lo + width);
-            let truth: Vec<i64> = ledger.iter().copied().filter(|&v| pred.matches(v)).collect();
+            let truth: Vec<i64> = ledger
+                .iter()
+                .copied()
+                .filter(|&v| pred.matches(v))
+                .collect();
             let got_count = store
                 .query(&Query::Aggregate {
                     kind: AggKind::Count,
@@ -1047,11 +1045,9 @@ pub fn ablation_micromodels(scale: &Scale) -> Result<TableReport> {
                 .agg()
                 .flatten()
                 .unwrap_or(0.0);
-            count_err +=
-                amnesia_util::stats::relative_error(got_count, truth.len() as f64);
+            count_err += amnesia_util::stats::relative_error(got_count, truth.len() as f64);
             if !truth.is_empty() {
-                let true_avg =
-                    truth.iter().map(|&v| v as f64).sum::<f64>() / truth.len() as f64;
+                let true_avg = truth.iter().map(|&v| v as f64).sum::<f64>() / truth.len() as f64;
                 let got_avg = store
                     .query(&Query::Aggregate {
                         kind: AggKind::Avg,
@@ -1140,8 +1136,7 @@ fn run_partitioned_workload(
         for i in 0..n {
             let v = if i % 2 == 0 {
                 // Drifting stripe within the lower half.
-                (epoch.min(stripes - 1) as i64 * stripe + rng.range_i64(0, stripe))
-                    .min(half - 1)
+                (epoch.min(stripes - 1) as i64 * stripe + rng.range_i64(0, stripe)).min(half - 1)
             } else {
                 rng.range_i64(half, scale.domain)
             };
@@ -1187,10 +1182,8 @@ fn run_partitioned_workload(
                 let hot = (ledger.len() / 10).max(1);
                 ledger[rng.index(hot)].0
             };
-            let pred = RangePredicate::new(
-                anchor.saturating_sub(width),
-                anchor.saturating_add(width),
-            );
+            let pred =
+                RangePredicate::new(anchor.saturating_sub(width), anchor.saturating_add(width));
             let truth = ledger.iter().filter(|(v, _)| pred.matches(*v)).count();
             if truth == 0 {
                 continue;
@@ -1281,8 +1274,7 @@ mod tests {
         // Ante: epoch 0 retained the most.
         let ante = get("ante");
         assert!(ante[0] > 0.7, "ante epoch0 {}", ante[0]);
-        let mid = ante[1..ante.len() - 1].iter().sum::<f64>()
-            / (ante.len() - 2) as f64;
+        let mid = ante[1..ante.len() - 1].iter().sum::<f64>() / (ante.len() - 2) as f64;
         assert!(ante[0] > mid, "ante initial > updates");
     }
 
@@ -1304,8 +1296,7 @@ mod tests {
 
     #[test]
     fn fig3_precision_decays_and_first_batch_is_perfect() {
-        let report =
-            fig3_range_precision(&Scale::test(), DistributionKind::Uniform).unwrap();
+        let report = fig3_range_precision(&Scale::test(), DistributionKind::Uniform).unwrap();
         assert_eq!(report.series.len(), 5);
         for (name, series) in &report.series {
             assert!(
@@ -1323,8 +1314,7 @@ mod tests {
 
     #[test]
     fn aggregate_errors_are_marginal() {
-        let report =
-            aggregate_precision(&Scale::test(), DistributionKind::Uniform, false).unwrap();
+        let report = aggregate_precision(&Scale::test(), DistributionKind::Uniform, false).unwrap();
         for (name, series) in &report.series {
             let max = series.iter().fold(0.0f64, |a, &b| a.max(b));
             assert!(max < 0.25, "{name}: AVG error should stay small, got {max}");
@@ -1335,12 +1325,7 @@ mod tests {
     fn pair_beats_uniform_on_avg() {
         let report = ablation_pair(&Scale::test()).unwrap();
         let mean = |name: &str| {
-            let s = &report
-                .series
-                .iter()
-                .find(|(n, _)| n == name)
-                .unwrap()
-                .1;
+            let s = &report.series.iter().find(|(n, _)| n == name).unwrap().1;
             s.iter().sum::<f64>() / s.len() as f64
         };
         assert!(
@@ -1398,7 +1383,14 @@ mod tests {
         let modes: Vec<&str> = report.rows.iter().map(|r| r[0].as_str()).collect();
         assert_eq!(
             modes,
-            vec!["mark-only", "delete", "deindex", "tier", "summarize", "model"]
+            vec![
+                "mark-only",
+                "delete",
+                "deindex",
+                "tier",
+                "summarize",
+                "model"
+            ]
         );
         // Deindex keeps complete scans: completeness column == 1.
         let deindex = &report.rows[2];
@@ -1521,11 +1513,7 @@ mod tests {
         let report = ablation_micromodels(&Scale::test()).unwrap();
         assert_eq!(report.rows.len(), 4);
         let count_err = |name: &str| -> f64 {
-            report
-                .rows
-                .iter()
-                .find(|r| r[0] == name)
-                .unwrap()[1]
+            report.rows.iter().find(|r| r[0] == name).unwrap()[1]
                 .parse()
                 .unwrap()
         };

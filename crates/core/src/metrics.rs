@@ -236,10 +236,7 @@ impl SimReport {
 
     /// Render the retention map as an ASCII heatmap row.
     pub fn render_map(&self) -> String {
-        ascii::heatmap(
-            &[(self.policy.clone(), self.map.fractions())],
-            None,
-        )
+        ascii::heatmap(&[(self.policy.clone(), self.map.fractions())], None)
     }
 }
 
@@ -250,24 +247,64 @@ mod tests {
 
     #[test]
     fn pf_definition() {
-        assert_eq!(QueryPrecision { returned: 3, missed: 1 }.pf(), 0.75);
-        assert_eq!(QueryPrecision { returned: 0, missed: 5 }.pf(), 0.0);
-        assert_eq!(QueryPrecision { returned: 5, missed: 0 }.pf(), 1.0);
-        assert_eq!(QueryPrecision { returned: 0, missed: 0 }.pf(), 1.0);
+        assert_eq!(
+            QueryPrecision {
+                returned: 3,
+                missed: 1
+            }
+            .pf(),
+            0.75
+        );
+        assert_eq!(
+            QueryPrecision {
+                returned: 0,
+                missed: 5
+            }
+            .pf(),
+            0.0
+        );
+        assert_eq!(
+            QueryPrecision {
+                returned: 5,
+                missed: 0
+            }
+            .pf(),
+            1.0
+        );
+        assert_eq!(
+            QueryPrecision {
+                returned: 0,
+                missed: 0
+            }
+            .pf(),
+            1.0
+        );
     }
 
     #[test]
     fn e_margin_is_ratio_of_averages_not_average_of_ratios() {
         let mut acc = PrecisionAccumulator::new();
-        acc.record(QueryPrecision { returned: 9, missed: 1 }); // pf 0.9
-        acc.record(QueryPrecision { returned: 0, missed: 10 }); // pf 0.0
-        // mean PF = 0.45; E = 9/20 = 0.45 here they coincide…
+        acc.record(QueryPrecision {
+            returned: 9,
+            missed: 1,
+        }); // pf 0.9
+        acc.record(QueryPrecision {
+            returned: 0,
+            missed: 10,
+        }); // pf 0.0
+            // mean PF = 0.45; E = 9/20 = 0.45 here they coincide…
         assert!((acc.mean_pf() - 0.45).abs() < 1e-12);
         assert!((acc.e_margin() - 0.45).abs() < 1e-12);
         // …but not in general:
         let mut acc2 = PrecisionAccumulator::new();
-        acc2.record(QueryPrecision { returned: 1, missed: 0 }); // pf 1.0
-        acc2.record(QueryPrecision { returned: 10, missed: 90 }); // pf 0.1
+        acc2.record(QueryPrecision {
+            returned: 1,
+            missed: 0,
+        }); // pf 1.0
+        acc2.record(QueryPrecision {
+            returned: 10,
+            missed: 90,
+        }); // pf 0.1
         assert!((acc2.mean_pf() - 0.55).abs() < 1e-12);
         assert!((acc2.e_margin() - 11.0 / 101.0).abs() < 1e-12);
     }
@@ -286,8 +323,14 @@ mod tests {
     #[test]
     fn rf_mf_means() {
         let mut acc = PrecisionAccumulator::new();
-        acc.record(QueryPrecision { returned: 4, missed: 2 });
-        acc.record(QueryPrecision { returned: 6, missed: 0 });
+        acc.record(QueryPrecision {
+            returned: 4,
+            missed: 2,
+        });
+        acc.record(QueryPrecision {
+            returned: 6,
+            missed: 0,
+        });
         assert_eq!(acc.mean_rf(), 5.0);
         assert_eq!(acc.mean_mf(), 1.0);
         assert_eq!(acc.queries(), 2);

@@ -103,7 +103,10 @@ mod tests {
             t.forget(RowId(r), 1).unwrap();
         }
         // Active: 50 low, 100 high — high is over-represented vs 50/50.
-        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 1,
+        };
         let mut p = AlignedPolicy::new(2);
         let mut rng = SimRng::new(27);
         let victims = p.select_victims(&ctx, 50, &mut rng);

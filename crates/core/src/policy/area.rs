@@ -178,7 +178,10 @@ mod tests {
     #[test]
     fn victims_form_contiguous_holes() {
         let t = staged_table(1000, 0, 0);
-        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 1,
+        };
         let mut p = AreaPolicy::new();
         let mut rng = SimRng::new(16);
         let victims = p.select_victims(&ctx, 200, &mut rng);
@@ -227,7 +230,10 @@ mod tests {
     #[test]
     fn exhausts_the_table_gracefully() {
         let t = staged_table(20, 0, 0);
-        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 1,
+        };
         let mut p = AreaPolicy::new();
         let mut rng = SimRng::new(18);
         let victims = p.select_victims(&ctx, 50, &mut rng);

@@ -104,7 +104,10 @@ mod tests {
         // FIFO and uniform will frequently collide on the oldest rows;
         // the composite must still deliver exactly n victims.
         let t = staged_table(100, 0, 0);
-        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 1,
+        };
         let mut p = blend(0.5, 0.5);
         let mut rng = SimRng::new(30);
         for n in [1usize, 10, 50, 99] {
@@ -116,7 +119,10 @@ mod tests {
     #[test]
     fn pure_fifo_weight_behaves_like_fifo() {
         let t = staged_table(50, 0, 0);
-        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 1,
+        };
         let mut p = blend(1.0, 0.0);
         let mut rng = SimRng::new(31);
         let victims = p.select_victims(&ctx, 10, &mut rng);

@@ -49,7 +49,9 @@ impl CostBasedPolicy {
 fn relative_density(values: &[Value], bins: usize) -> Vec<f64> {
     let (lo, hi) = values
         .iter()
-        .fold((Value::MAX, Value::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        .fold((Value::MAX, Value::MIN), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
     if values.is_empty() || lo == hi {
         return vec![1.0; values.len()];
     }
@@ -120,7 +122,10 @@ mod tests {
     #[test]
     fn dense_clumps_are_shed_first() {
         let t = clumped_table(900, 100);
-        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 1,
+        };
         let mut p = CostBasedPolicy::new(64, 1.5);
         let mut rng = SimRng::new(61);
         let victims = p.select_victims(&ctx, 200, &mut rng);
@@ -133,7 +138,10 @@ mod tests {
     #[test]
     fn rare_values_survive() {
         let t = clumped_table(990, 10);
-        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 1,
+        };
         let mut p = CostBasedPolicy::default_params();
         let mut rng = SimRng::new(62);
         // Forget half the table; the 10 rare values should mostly remain.
@@ -152,7 +160,10 @@ mod tests {
                 t.access_mut().touch(RowId(r), 1);
             }
         }
-        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 1,
+        };
         let mut p = CostBasedPolicy::new(64, 0.0);
         let mut rng = SimRng::new(63);
         let victims = p.select_victims(&ctx, 200, &mut rng);
@@ -164,7 +175,10 @@ mod tests {
     fn constant_column_degenerates_to_uniform() {
         let mut t = Table::new(Schema::single("a"));
         t.insert_batch(&vec![7i64; 300], 0).unwrap();
-        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 1,
+        };
         let mut p = CostBasedPolicy::default_params();
         let mut rng = SimRng::new(64);
         let victims = p.select_victims(&ctx, 100, &mut rng);

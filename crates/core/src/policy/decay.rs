@@ -120,7 +120,10 @@ mod tests {
     fn recent_interest_protects() {
         let mut t = staged_table(200, 0, 0);
         touch_range(&mut t, 0, 100, 10, 4);
-        let ctx = PolicyContext { table: &t, epoch: 5 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 5,
+        };
         let mut p = DecayPolicy::new(0.5, 0);
         let mut rng = SimRng::new(51);
         let victims = p.select_victims(&ctx, 80, &mut rng);
@@ -136,22 +139,35 @@ mod tests {
         let mut rng = SimRng::new(52);
         // Round 1: rows 0..100 are hot. The learner sees the spike.
         touch_range(&mut t, 0, 100, 10, 1);
-        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 1,
+        };
         let _ = p.select_victims(&ctx, 1, &mut rng);
         assert!(p.score(RowId(0)) > 5.0, "spike learned");
         // Rounds 2..6: interest moves to rows 100..200.
         for e in 2..=6u64 {
             touch_range(&mut t, 100, 200, 10, e);
-            let ctx = PolicyContext { table: &t, epoch: e };
+            let ctx = PolicyContext {
+                table: &t,
+                epoch: e,
+            };
             let _ = p.select_victims(&ctx, 1, &mut rng);
         }
         // The stale cohort's score decayed away; the fresh cohort's holds.
         assert!(p.score(RowId(0)) < 0.1, "stale score {}", p.score(RowId(0)));
-        assert!(p.score(RowId(150)) > 5.0, "fresh score {}", p.score(RowId(150)));
+        assert!(
+            p.score(RowId(150)) > 5.0,
+            "fresh score {}",
+            p.score(RowId(150))
+        );
         // Victims now lean clearly toward the formerly-hot cohort —
         // cumulative frequency (what rot uses) is identical for both, so
         // rot could not tell them apart at all.
-        let ctx = PolicyContext { table: &t, epoch: 7 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 7,
+        };
         let victims = p.select_victims(&ctx, 80, &mut rng);
         let stale_victims = victims.iter().filter(|v| v.as_usize() < 100).count();
         let fresh_victims = victims.len() - stale_victims;
@@ -164,7 +180,10 @@ mod tests {
     #[test]
     fn protect_age_guards_the_young() {
         let t = staged_table(100, 100, 1);
-        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 1,
+        };
         let mut p = DecayPolicy::new(0.5, 1);
         let mut rng = SimRng::new(53);
         let victims = p.select_victims(&ctx, 50, &mut rng);
@@ -178,7 +197,10 @@ mod tests {
     #[test]
     fn guard_relaxes_when_budget_demands() {
         let t = staged_table(10, 100, 1);
-        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 1,
+        };
         let mut p = DecayPolicy::new(0.5, 5);
         let mut rng = SimRng::new(54);
         let victims = p.select_victims(&ctx, 60, &mut rng);

@@ -118,7 +118,10 @@ mod tests {
                 t.access_mut().touch(RowId(r), 4);
             }
         }
-        let ctx = PolicyContext { table: &t, epoch: 5 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 5,
+        };
         let mut p = EbbinghausPolicy::default_params();
         let mut rng = SimRng::new(41);
         let victims = p.select_victims(&ctx, 80, &mut rng);
@@ -133,7 +136,10 @@ mod tests {
     fn stale_memories_lapse_before_fresh_ones() {
         // Two cohorts, no accesses at all: age alone drives the curve.
         let t = staged_table(100, 100, 1); // epoch 0 and epoch 1
-        let ctx = PolicyContext { table: &t, epoch: 6 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 6,
+        };
         let mut p = EbbinghausPolicy::default_params();
         let mut rng = SimRng::new(42);
         let mut old_victims = 0;
@@ -166,7 +172,10 @@ mod tests {
     #[test]
     fn over_request_returns_all_active() {
         let t = staged_table(10, 0, 0);
-        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 1,
+        };
         let mut p = EbbinghausPolicy::default_params();
         let mut rng = SimRng::new(44);
         let victims = p.select_victims(&ctx, 50, &mut rng);

@@ -40,7 +40,10 @@ mod tests {
     fn takes_oldest_active() {
         let mut t = staged_table(5, 5, 1); // rows 0-4 epoch 0, rows 5-9 epoch 1
         t.forget(RowId(0), 1).unwrap(); // row 0 already gone
-        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 1,
+        };
         let mut p = FifoPolicy;
         let mut rng = SimRng::new(1);
         let victims = p.select_victims(&ctx, 3, &mut rng);

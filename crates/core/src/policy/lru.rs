@@ -56,7 +56,10 @@ mod tests {
         for r in 50..100u64 {
             t.access_mut().touch(RowId(r), 5);
         }
-        let ctx = PolicyContext { table: &t, epoch: 6 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 6,
+        };
         let mut p = LruPolicy;
         let mut rng = SimRng::new(60);
         let victims = p.select_victims(&ctx, 50, &mut rng);
@@ -77,7 +80,10 @@ mod tests {
         for r in 0..10u64 {
             t.access_mut().touch(RowId(r), 1); // old rows used at epoch 1
         }
-        let ctx = PolicyContext { table: &t, epoch: 3 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 3,
+        };
         let mut p = LruPolicy;
         let mut rng = SimRng::new(61);
         let victims = p.select_victims(&ctx, 10, &mut rng);
@@ -90,7 +96,10 @@ mod tests {
     #[test]
     fn degenerates_to_fifo_without_accesses() {
         let t = staged_table(30, 10, 2);
-        let ctx = PolicyContext { table: &t, epoch: 3 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 3,
+        };
         let mut p = LruPolicy;
         let mut rng = SimRng::new(62);
         let victims = p.select_victims(&ctx, 5, &mut rng);

@@ -79,12 +79,8 @@ pub trait AmnesiaPolicy: Send {
     /// Implementations must only return active rows and must not return
     /// duplicates; when fewer than `n` rows are active they return all of
     /// them.
-    fn select_victims(
-        &mut self,
-        ctx: &PolicyContext<'_>,
-        n: usize,
-        rng: &mut SimRng,
-    ) -> Vec<RowId>;
+    fn select_victims(&mut self, ctx: &PolicyContext<'_>, n: usize, rng: &mut SimRng)
+        -> Vec<RowId>;
 }
 
 /// Serializable recipe for an [`AmnesiaPolicy`].
@@ -226,9 +222,7 @@ impl PolicyKind {
             PolicyKind::Ttl { max_age } => Box::new(TtlPolicy::new(*max_age)),
             PolicyKind::Pair => Box::new(PairPolicy),
             PolicyKind::Aligned { bins } => Box::new(AlignedPolicy::new(*bins)),
-            PolicyKind::CostBased { bins, gamma } => {
-                Box::new(CostBasedPolicy::new(*bins, *gamma))
-            }
+            PolicyKind::CostBased { bins, gamma } => Box::new(CostBasedPolicy::new(*bins, *gamma)),
             PolicyKind::Ebbinghaus {
                 base_strength,
                 rehearsal_boost,
@@ -325,7 +319,10 @@ pub(crate) mod testkit {
             t.insert_batch(&vals, b).unwrap();
             let need = t.active_rows().saturating_sub(initial);
             let victims = {
-                let ctx = PolicyContext { table: &t, epoch: b };
+                let ctx = PolicyContext {
+                    table: &t,
+                    epoch: b,
+                };
                 policy.select_victims(&ctx, need, rng)
             };
             assert_victims_valid(&t, &victims, need.min(t.active_rows()));
@@ -399,7 +396,10 @@ mod tests {
             PolicyKind::Ttl { max_age: 2 },
             PolicyKind::Pair,
             PolicyKind::Aligned { bins: 8 },
-            PolicyKind::CostBased { bins: 32, gamma: 1.0 },
+            PolicyKind::CostBased {
+                bins: 32,
+                gamma: 1.0,
+            },
             PolicyKind::Ebbinghaus {
                 base_strength: 1.0,
                 rehearsal_boost: 1.0,
@@ -416,7 +416,10 @@ mod tests {
             let _ = run_loop(&mut *policy, 50, 10, 5, &mut rng);
             // Over-request: must return everything active, no more.
             let t = staged_table(10, 0, 0);
-            let ctx = PolicyContext { table: &t, epoch: 1 };
+            let ctx = PolicyContext {
+                table: &t,
+                epoch: 1,
+            };
             let victims = policy.select_victims(&ctx, 100, &mut rng);
             assert_victims_valid(&t, &victims, 10);
         }

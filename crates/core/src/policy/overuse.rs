@@ -53,7 +53,10 @@ mod tests {
                 t.access_mut().touch(RowId(r), 1);
             }
         }
-        let ctx = PolicyContext { table: &t, epoch: 2 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 2,
+        };
         let mut p = OverusePolicy;
         let mut rng = SimRng::new(13);
         let victims = p.select_victims(&ctx, 50, &mut rng);
@@ -65,7 +68,10 @@ mod tests {
     #[test]
     fn works_with_no_accesses_at_all() {
         let t = staged_table(100, 0, 0);
-        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 1,
+        };
         let mut p = OverusePolicy;
         let mut rng = SimRng::new(14);
         let victims = p.select_victims(&ctx, 30, &mut rng);

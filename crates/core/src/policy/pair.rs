@@ -80,9 +80,9 @@ mod tests {
     }
 
     fn active_mean(t: &Table) -> f64 {
-        let (sum, count) = t
-            .iter_active()
-            .fold((0f64, 0usize), |(s, c), r| (s + t.value(0, r) as f64, c + 1));
+        let (sum, count) = t.iter_active().fold((0f64, 0usize), |(s, c), r| {
+            (s + t.value(0, r) as f64, c + 1)
+        });
         sum / count as f64
     }
 
@@ -93,7 +93,10 @@ mod tests {
         let mut p = PairPolicy;
         let mut rng = SimRng::new(23);
         let victims = {
-            let ctx = PolicyContext { table: &t, epoch: 1 };
+            let ctx = PolicyContext {
+                table: &t,
+                epoch: 1,
+            };
             p.select_victims(&ctx, 200, &mut rng)
         };
         assert_victims_valid(&t, &victims, 200);
@@ -114,7 +117,10 @@ mod tests {
         let mut p = PairPolicy;
         let mut rng = SimRng::new(24);
         let victims = {
-            let ctx = PolicyContext { table: &t, epoch: 1 };
+            let ctx = PolicyContext {
+                table: &t,
+                epoch: 1,
+            };
             p.select_victims(&ctx, 201, &mut rng)
         };
         assert_victims_valid(&t, &victims, 201);
@@ -131,7 +137,10 @@ mod tests {
     #[test]
     fn takes_everything_when_overasked() {
         let t = symmetric_table(10);
-        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 1,
+        };
         let mut p = PairPolicy;
         let mut rng = SimRng::new(25);
         let victims = p.select_victims(&ctx, 100, &mut rng);

@@ -73,7 +73,10 @@ mod tests {
                 t.access_mut().touch(RowId(r), 1);
             }
         }
-        let ctx = PolicyContext { table: &t, epoch: 5 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 5,
+        };
         let mut p = RotPolicy::new(1);
         let mut rng = SimRng::new(9);
         let victims = p.select_victims(&ctx, 100, &mut rng);
@@ -86,9 +89,12 @@ mod tests {
     #[test]
     fn high_water_mark_protects_the_young() {
         let t = staged_table(100, 100, 1); // epoch 0 old, epoch 1 fresh
-        // At epoch 2, epoch-0 rows have age 2 (rot-eligible) while
-        // epoch-1 rows have age 1 < 2: protected.
-        let ctx = PolicyContext { table: &t, epoch: 2 };
+                                           // At epoch 2, epoch-0 rows have age 2 (rot-eligible) while
+                                           // epoch-1 rows have age 1 < 2: protected.
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 2,
+        };
         let mut p = RotPolicy::new(2);
         let mut rng = SimRng::new(10);
         let victims = p.select_victims(&ctx, 50, &mut rng);
@@ -102,7 +108,10 @@ mod tests {
     #[test]
     fn high_water_mark_relaxes_when_budget_demands() {
         let t = staged_table(10, 100, 1);
-        let ctx = PolicyContext { table: &t, epoch: 1 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 1,
+        };
         let mut p = RotPolicy::new(5); // nothing is old enough
         let mut rng = SimRng::new(11);
         let victims = p.select_victims(&ctx, 50, &mut rng);

@@ -75,7 +75,10 @@ mod tests {
         // epochs: 0 (100 rows), 1..=3 (10 rows each); at epoch 3 with
         // max_age 1, epochs 0 and 1 are expired.
         let t = staged_table(100, 10, 3);
-        let ctx = PolicyContext { table: &t, epoch: 3 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 3,
+        };
         let mut p = TtlPolicy::new(1);
         let mut rng = SimRng::new(19);
         let victims = p.select_victims(&ctx, 50, &mut rng);
@@ -90,7 +93,10 @@ mod tests {
     #[test]
     fn shortfall_filled_uniformly_from_young() {
         let t = staged_table(10, 100, 1);
-        let ctx = PolicyContext { table: &t, epoch: 2 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 2,
+        };
         let mut p = TtlPolicy::new(1); // only epoch 0 (age 2) expired
         let mut rng = SimRng::new(20);
         let victims = p.select_victims(&ctx, 40, &mut rng);
@@ -102,7 +108,10 @@ mod tests {
     #[test]
     fn nothing_expired_degenerates_to_uniform() {
         let t = staged_table(100, 0, 0);
-        let ctx = PolicyContext { table: &t, epoch: 0 };
+        let ctx = PolicyContext {
+            table: &t,
+            epoch: 0,
+        };
         let mut p = TtlPolicy::new(10);
         let mut rng = SimRng::new(21);
         let victims = p.select_victims(&ctx, 25, &mut rng);

@@ -65,7 +65,10 @@ mod tests {
         let mut front = 0usize;
         for _ in 0..200 {
             let t = staged_table(100, 0, 0);
-            let ctx = PolicyContext { table: &t, epoch: 1 };
+            let ctx = PolicyContext {
+                table: &t,
+                epoch: 1,
+            };
             let mut p = UniformPolicy;
             let victims = p.select_victims(&ctx, 50, &mut rng);
             front += victims.iter().filter(|v| v.as_usize() < 50).count();

@@ -193,7 +193,9 @@ impl Simulator {
 
         // ---- update phase -----------------------------------------------
         self.updates.on_epoch(batch);
-        let fresh = self.updates.batch(self.cfg.batch_rows(), &mut self.rng_data);
+        let fresh = self
+            .updates
+            .batch(self.cfg.batch_rows(), &mut self.rng_data);
         if !fresh.is_empty() {
             self.table.insert_batch(&fresh, batch)?;
         }
@@ -345,7 +347,11 @@ mod tests {
         cfg.query_gen = QueryGenKind::paper_avg();
         let report = Simulator::new(cfg).unwrap().run().unwrap();
         for b in &report.batches {
-            assert!(b.agg_error.is_some(), "agg error missing in batch {}", b.batch);
+            assert!(
+                b.agg_error.is_some(),
+                "agg error missing in batch {}",
+                b.batch
+            );
         }
         // Whole-table AVG under uniform amnesia stays accurate (paper
         // §4.3: "the differences were marginal").
@@ -395,6 +401,9 @@ mod tests {
             .unwrap();
         let report = Simulator::new(cfg).unwrap().run().unwrap();
         let last = *report.precision_series().last().unwrap();
-        assert!(last > 0.9, "fifo on serial data should stay precise: {last}");
+        assert!(
+            last > 0.9,
+            "fifo on serial data should stay precise: {last}"
+        );
     }
 }

@@ -13,7 +13,7 @@
 use amnesia_columnar::vacuum::vacuum;
 use amnesia_columnar::{
     ColdStore, Epoch, ModelStore, RowId, Schema, SortedIndex, SummaryStore, Table, Value,
-    ZoneMap,
+    WordZoneMap, ZoneMap,
 };
 use amnesia_engine::{Aux, CostModel, ExecResult, Executor, ForgetVisibility};
 use amnesia_util::{Result, SimRng};
@@ -38,7 +38,7 @@ pub enum ForgetMode {
     /// Absorb tuples into per-epoch aggregate summaries, then mark and
     /// periodically vacuum (summaries replace the bytes).
     Summarize,
-    /// Absorb tuples into per-epoch micro-models (paper §5 [15]): like
+    /// Absorb tuples into per-epoch micro-models (paper §5 \[15\]): like
     /// `Summarize` but the histogram also interpolates *range-restricted*
     /// aggregates. `bins` sets the per-epoch histogram resolution.
     Model {
@@ -87,6 +87,7 @@ pub struct AmnesiacStore {
     executor: Executor,
     index: Option<SortedIndex>,
     zonemap: Option<ZoneMap>,
+    word_zones: Option<WordZoneMap>,
     cold: Option<Box<dyn ColdStore>>,
     summaries: SummaryStore,
     models: Option<ModelStore>,
@@ -110,6 +111,7 @@ impl AmnesiacStore {
             executor: Executor::new(visibility, CostModel::default()),
             index: None,
             zonemap: None,
+            word_zones: None,
             cold: None,
             summaries: SummaryStore::new(),
             models: match mode {
@@ -139,6 +141,13 @@ impl AmnesiacStore {
         self
     }
 
+    /// Enable a word-granularity zone map: scans skip 64-row words whose
+    /// min/max can't intersect the predicate, on top of block pruning.
+    pub fn with_word_zones(mut self) -> Self {
+        self.word_zones = Some(WordZoneMap::build(&self.table, 0));
+        self
+    }
+
     /// The forget mode.
     pub fn mode(&self) -> ForgetMode {
         self.mode
@@ -159,6 +168,9 @@ impl AmnesiacStore {
         self.table.insert_batch(values, epoch)?;
         if let Some(zm) = &mut self.zonemap {
             zm.sync(&self.table);
+        }
+        if let Some(wz) = &mut self.word_zones {
+            wz.sync(&self.table);
         }
         if let Some(idx) = &mut self.index {
             idx.rebuild(&self.table);
@@ -191,6 +203,9 @@ impl AmnesiacStore {
             self.total_forgotten += 1;
             if let Some(zm) = &mut self.zonemap {
                 zm.note_forget(row);
+            }
+            if let Some(wz) = &mut self.word_zones {
+                wz.note_forget(row);
             }
             if let Some(idx) = &mut self.index {
                 idx.note_forget();
@@ -230,9 +245,15 @@ impl AmnesiacStore {
             if let Some(zm) = &mut self.zonemap {
                 *zm = ZoneMap::build_with_block_rows(&self.table, 0, zm.block_rows());
             }
+            if let Some(wz) = &mut self.word_zones {
+                wz.sync(&self.table);
+            }
         } else {
             if let Some(zm) = &mut self.zonemap {
                 zm.sync(&self.table);
+            }
+            if let Some(wz) = &mut self.word_zones {
+                wz.sync(&self.table);
             }
             if let Some(idx) = &mut self.index {
                 if idx.needs_rebuild(0.25) {
@@ -248,9 +269,9 @@ impl AmnesiacStore {
     pub fn query(&self, q: &Query) -> ExecResult {
         let aux = Aux {
             zonemap: self.zonemap.as_ref(),
+            word_zones: self.word_zones.as_ref(),
             index: self.index.as_ref(),
-            summaries: matches!(self.mode, ForgetMode::Summarize)
-                .then_some(&self.summaries),
+            summaries: matches!(self.mode, ForgetMode::Summarize).then_some(&self.summaries),
             models: self.models.as_ref(),
         };
         self.executor.execute(&self.table, 0, q, &aux)
@@ -277,7 +298,11 @@ impl AmnesiacStore {
             active_rows: self.table.active_rows(),
             hot_bytes: self.table.memory_bytes()
                 + self.index.as_ref().map_or(0, SortedIndex::memory_bytes)
-                + self.zonemap.as_ref().map_or(0, ZoneMap::memory_bytes),
+                + self.zonemap.as_ref().map_or(0, ZoneMap::memory_bytes)
+                + self
+                    .word_zones
+                    .as_ref()
+                    .map_or(0, WordZoneMap::memory_bytes),
             cold_rows: self.cold.as_ref().map_or(0, |c| c.len()),
             cold_bytes: self.cold.as_ref().map_or(0, |c| c.bytes_used()),
             summary_bytes: self.summaries.memory_bytes(),
@@ -297,7 +322,9 @@ mod tests {
         if matches!(mode, ForgetMode::Tier) {
             store = store.with_cold_store(Box::new(MemoryColdStore::new()));
         }
-        store.insert_batch(&(0..100).collect::<Vec<i64>>(), 0).unwrap();
+        store
+            .insert_batch(&(0..100).collect::<Vec<i64>>(), 0)
+            .unwrap();
         // Forget the first half over two batches.
         store
             .forget_batch(&(0..25).map(RowId).collect::<Vec<_>>(), 1)
@@ -308,6 +335,23 @@ mod tests {
             .unwrap();
         store.end_batch().unwrap();
         store
+    }
+
+    #[test]
+    fn word_zones_ride_along_and_prune() {
+        let mut store = AmnesiacStore::new(ForgetMode::MarkOnly).with_word_zones();
+        store
+            .insert_batch(&(0..10_000).collect::<Vec<i64>>(), 0)
+            .unwrap();
+        store
+            .forget_batch(&(0..500).map(RowId).collect::<Vec<_>>(), 1)
+            .unwrap();
+        store.end_batch().unwrap();
+        let q = Query::Range(RangePredicate::new(6_000, 6_100));
+        let r = store.query(&q);
+        let expect: Vec<RowId> = (6_000..6_100).map(RowId).collect();
+        assert_eq!(r.output.rows().unwrap(), expect);
+        assert!(r.stats.words_pruned > 140, "{}", r.stats.words_pruned);
     }
 
     #[test]

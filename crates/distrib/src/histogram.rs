@@ -102,11 +102,7 @@ impl Histogram {
         let p = self.probabilities();
         let q = other.probabilities();
         assert_eq!(p.len(), q.len(), "bin count mismatch");
-        0.5 * p
-            .iter()
-            .zip(&q)
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f64>()
+        0.5 * p.iter().zip(&q).map(|(a, b)| (a - b).abs()).sum::<f64>()
     }
 
     /// Pearson χ² statistic of `self` against expected frequencies from

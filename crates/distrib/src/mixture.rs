@@ -66,9 +66,7 @@ mod tests {
         let mut mix = MixtureDistribution::new(first, second, 0.3);
         let mut rng = SimRng::new(13);
         let n = 50_000;
-        let small = (0..n)
-            .filter(|_| mix.sample(&mut rng) <= 10)
-            .count();
+        let small = (0..n).filter(|_| mix.sample(&mut rng) <= 10).count();
         let frac = small as f64 / n as f64;
         assert!((frac - 0.3).abs() < 0.02, "first-component fraction {frac}");
     }

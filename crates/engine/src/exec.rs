@@ -2,7 +2,9 @@
 //! optional zone map, index and summary support, reporting per-query
 //! execution statistics.
 
-use amnesia_columnar::{Estimate, ModelStore, SortedIndex, SummaryStore, Table, ValueRange, ZoneMap};
+use amnesia_columnar::{
+    Estimate, ModelStore, SortedIndex, SummaryStore, Table, ValueRange, WordZoneMap, ZoneMap,
+};
 use amnesia_workload::query::{AggKind, Query, RangePredicate};
 use amnesia_workload::Query as Q;
 use serde::{Deserialize, Serialize};
@@ -19,12 +21,16 @@ use amnesia_columnar::RowId;
 pub struct Aux<'a> {
     /// Zone map over the queried column, if maintained.
     pub zonemap: Option<&'a ZoneMap>,
+    /// Word-granularity zone map over the queried column: min/max per
+    /// 64-row activity word, consulted inside the batch kernels so scans
+    /// skip words the predicate cannot hit.
+    pub word_zones: Option<&'a WordZoneMap>,
     /// Sorted index over the queried column, if built.
     pub index: Option<&'a SortedIndex>,
     /// Summaries of forgotten data (enables whole-table aggregates that
     /// account for what rotted away).
     pub summaries: Option<&'a SummaryStore>,
-    /// Micro-models of forgotten data (paper §5 [15]): unlike summaries
+    /// Micro-models of forgotten data (paper §5 \[15\]): unlike summaries
     /// they also *interpolate* range-restricted aggregates.
     pub models: Option<&'a ModelStore>,
 }
@@ -72,6 +78,8 @@ pub struct ExecStats {
     pub rows_scanned: usize,
     /// Blocks skipped thanks to the zone map.
     pub blocks_pruned: usize,
+    /// 64-row words skipped thanks to the word-granularity zone map.
+    pub words_pruned: usize,
     /// Result cardinality (rows) or 0 for aggregates.
     pub result_rows: usize,
     /// Abstract cost charged by the cost model.
@@ -126,9 +134,12 @@ impl Executor {
     pub fn execute(&self, table: &Table, col: usize, query: &Query, aux: &Aux<'_>) -> ExecResult {
         match query {
             Q::Range(pred) => self.execute_range(table, col, *pred, aux),
-            Q::Point(v) => {
-                self.execute_range(table, col, RangePredicate::new(*v, v.saturating_add(1)), aux)
-            }
+            Q::Point(v) => self.execute_range(
+                table,
+                col,
+                RangePredicate::new(*v, v.saturating_add(1)),
+                aux,
+            ),
             Q::Aggregate { kind, predicate } => {
                 self.execute_aggregate(table, col, *kind, *predicate, aux)
             }
@@ -158,34 +169,48 @@ impl Executor {
                 Plan::FullScan,
                 self.planner.cost_model().full_scan(table.num_rows()),
             ),
-            ForgetVisibility::ActiveOnly => self
-                .planner
-                .plan_range(table, pred, aux.zonemap, aux.index),
+            ForgetVisibility::ActiveOnly => {
+                self.planner.plan_range(table, pred, aux.zonemap, aux.index)
+            }
         };
-        let (rows, rows_scanned, blocks_pruned, tag) = match &plan {
+        let (rows, rows_scanned, blocks_pruned, words_pruned, tag) = match &plan {
             Plan::FullScan => {
-                let rows = match self.mode {
-                    ForgetVisibility::ActiveOnly => kernels::range_scan_active(table, col, pred),
-                    ForgetVisibility::ScanSeesForgotten => {
-                        kernels::range_scan_all(table, col, pred)
-                    }
+                // Word-granularity zones slot into the full-scan plan:
+                // same results, but the kernel skips words whose min/max
+                // can't intersect the predicate. The complete-scan mode
+                // must keep reading forgotten tuples, which zone entries
+                // do not cover.
+                let word_zones = match self.mode {
+                    ForgetVisibility::ActiveOnly => aux.word_zones.filter(|wz| wz.column() == col),
+                    ForgetVisibility::ScanSeesForgotten => None,
                 };
-                let scanned = match self.mode {
-                    ForgetVisibility::ActiveOnly => table.active_rows(),
-                    ForgetVisibility::ScanSeesForgotten => table.num_rows(),
-                };
-                (rows, scanned, 0, PlanTag::FullScan)
+                if let Some(wz) = word_zones {
+                    let (rows, zs) = kernels::range_scan_active_zoned(table, col, wz, pred);
+                    (rows, zs.rows_scanned, 0, zs.words_pruned, PlanTag::FullScan)
+                } else {
+                    let rows = match self.mode {
+                        ForgetVisibility::ActiveOnly => {
+                            kernels::range_scan_active(table, col, pred)
+                        }
+                        ForgetVisibility::ScanSeesForgotten => {
+                            kernels::range_scan_all(table, col, pred)
+                        }
+                    };
+                    let scanned = match self.mode {
+                        ForgetVisibility::ActiveOnly => table.active_rows(),
+                        ForgetVisibility::ScanSeesForgotten => table.num_rows(),
+                    };
+                    (rows, scanned, 0, 0, PlanTag::FullScan)
+                }
             }
             Plan::PrunedScan { blocks, block_rows } => {
-                let total_blocks = aux
-                    .zonemap
-                    .map(ZoneMap::num_blocks)
-                    .unwrap_or(blocks.len());
+                let total_blocks = aux.zonemap.map(ZoneMap::num_blocks).unwrap_or(blocks.len());
                 let rows = kernels::range_scan_blocks(table, col, pred, blocks, *block_rows);
                 (
                     rows,
                     blocks.len() * block_rows,
                     total_blocks - blocks.len(),
+                    0,
                     PlanTag::PrunedScan,
                 )
             }
@@ -193,7 +218,7 @@ impl Executor {
                 let idx = aux.index.expect("planner only picks built indexes");
                 let rows = idx.probe_range_active(table, pred.lo, pred.hi_inclusive());
                 let scanned = rows.len();
-                (rows, scanned, 0, PlanTag::IndexProbe)
+                (rows, scanned, 0, 0, PlanTag::IndexProbe)
             }
         };
         let result_rows = rows.len();
@@ -202,6 +227,7 @@ impl Executor {
             stats: ExecStats {
                 rows_scanned,
                 blocks_pruned,
+                words_pruned,
                 result_rows,
                 cost,
                 plan: tag,
@@ -219,8 +245,22 @@ impl Executor {
     ) -> ExecResult {
         // One fused filter+aggregate pass yields every statistic the
         // combiners below might need (COUNT, SUM, MIN, MAX), so folding in
-        // summaries or micro-models no longer rescans the table.
-        let (active_state, scanned) = kernels::aggregate_state_active(table, col, predicate);
+        // summaries or micro-models no longer rescans the table. A word-
+        // granularity zone map slots straight into that pass when the
+        // aggregate is predicated.
+        let (active_state, scanned, words_pruned) = match aux
+            .word_zones
+            .filter(|wz| wz.column() == col && predicate.is_some())
+        {
+            Some(wz) => {
+                let (state, zs) = kernels::aggregate_state_active_zoned(table, col, wz, predicate);
+                (state, zs.rows_scanned, zs.words_pruned)
+            }
+            None => {
+                let (state, scanned) = kernels::aggregate_state_active(table, col, predicate);
+                (state, scanned, 0)
+            }
+        };
 
         // Whole-table aggregates can fold in summaries of forgotten data
         // (paper §1: summaries answer "specific aggregation queries" only —
@@ -255,6 +295,7 @@ impl Executor {
             stats: ExecStats {
                 rows_scanned: scanned,
                 blocks_pruned: 0,
+                words_pruned,
                 result_rows: 0,
                 cost,
                 plan: PlanTag::FullScan,
@@ -310,7 +351,12 @@ mod tests {
     fn range_active_only() {
         let t = table();
         let ex = Executor::default();
-        let r = ex.execute(&t, 0, &Q::Range(RangePredicate::new(15, 45)), &Aux::default());
+        let r = ex.execute(
+            &t,
+            0,
+            &Q::Range(RangePredicate::new(15, 45)),
+            &Aux::default(),
+        );
         assert_eq!(r.output.rows().unwrap(), &[RowId(2), RowId(3)]);
         assert_eq!(r.stats.result_rows, 2);
         assert_eq!(r.stats.plan, PlanTag::FullScan);
@@ -320,7 +366,12 @@ mod tests {
     fn scan_sees_forgotten_mode() {
         let t = table();
         let ex = Executor::new(ForgetVisibility::ScanSeesForgotten, CostModel::default());
-        let r = ex.execute(&t, 0, &Q::Range(RangePredicate::new(15, 45)), &Aux::default());
+        let r = ex.execute(
+            &t,
+            0,
+            &Q::Range(RangePredicate::new(15, 45)),
+            &Aux::default(),
+        );
         // The complete scan fetches the forgotten 20 as well.
         assert_eq!(r.output.rows().unwrap(), &[RowId(1), RowId(2), RowId(3)]);
     }
@@ -560,9 +611,49 @@ mod tests {
     fn empty_predicate_short_circuits() {
         let t = table();
         let ex = Executor::default();
-        let r = ex.execute(&t, 0, &Q::Range(RangePredicate::new(50, 10)), &Aux::default());
+        let r = ex.execute(
+            &t,
+            0,
+            &Q::Range(RangePredicate::new(50, 10)),
+            &Aux::default(),
+        );
         assert!(r.output.rows().unwrap().is_empty());
         assert_eq!(r.stats.rows_scanned, 0);
+    }
+
+    #[test]
+    fn word_zones_prune_full_scans() {
+        let mut t = Table::new(Schema::single("a"));
+        let values: Vec<i64> = (0..50_000).collect();
+        t.insert_batch(&values, 0).unwrap();
+        let wz = WordZoneMap::build(&t, 0);
+        let ex = Executor::default();
+        let q = Q::Range(RangePredicate::new(100, 200));
+        let plain = ex.execute(&t, 0, &q, &Aux::default());
+        let aux = Aux {
+            word_zones: Some(&wz),
+            ..Default::default()
+        };
+        let zoned = ex.execute(&t, 0, &q, &aux);
+        assert_eq!(zoned.output, plain.output, "zones never change results");
+        assert_eq!(zoned.stats.plan, PlanTag::FullScan);
+        // 50k rows = 782 words; the sorted column leaves ~3 live.
+        assert!(
+            zoned.stats.words_pruned > 770,
+            "{}",
+            zoned.stats.words_pruned
+        );
+        assert!(zoned.stats.rows_scanned < plain.stats.rows_scanned);
+
+        // Predicated aggregates ride the same zones.
+        let agg = Q::Aggregate {
+            kind: AggKind::Sum,
+            predicate: Some(RangePredicate::new(100, 200)),
+        };
+        let plain_agg = ex.execute(&t, 0, &agg, &Aux::default());
+        let zoned_agg = ex.execute(&t, 0, &agg, &aux);
+        assert_eq!(zoned_agg.output, plain_agg.output);
+        assert!(zoned_agg.stats.words_pruned > 770);
     }
 
     #[test]

@@ -8,12 +8,12 @@
 //! all-forgotten regions. The row-at-a-time originals survive as
 //! [`crate::batch::scalar`] for equivalence tests and benchmarks.
 
-use amnesia_columnar::{RowId, Table, Value};
+use amnesia_columnar::{RowId, SegmentedColumn, Table, Value, WordZoneMap};
 use amnesia_workload::query::{AggKind, RangePredicate};
 
 use crate::batch;
 
-pub use crate::batch::AggState;
+pub use crate::batch::{AggState, ZoneStats};
 
 /// Collect active rows of `col` matching `pred` (insertion order).
 pub fn range_scan_active(table: &Table, col: usize, pred: RangePredicate) -> Vec<RowId> {
@@ -68,6 +68,86 @@ pub fn range_scan_blocks(
         batch::scan_active_into(values, words, lo, hi, pred, &mut out);
     }
     out
+}
+
+/// Zone-pruned [`range_scan_active`]: identical rows, but words (and so
+/// whole blocks) whose min/max can't intersect `pred` are skipped before
+/// their values are touched. Returns the rows plus the pruning
+/// accounting.
+pub fn range_scan_active_zoned(
+    table: &Table,
+    col: usize,
+    zones: &WordZoneMap,
+    pred: RangePredicate,
+) -> (Vec<RowId>, ZoneStats) {
+    debug_assert_eq!(zones.column(), col, "zone map covers a different column");
+    let mut out = Vec::new();
+    let stats = batch::scan_active_zoned_into(
+        table.col_values(col),
+        table.activity_words(),
+        zones.zones(),
+        0,
+        table.num_rows(),
+        pred,
+        &mut out,
+    );
+    (out, stats)
+}
+
+/// Zone-pruned [`count_active_matches`].
+pub fn count_active_matches_zoned(
+    table: &Table,
+    col: usize,
+    zones: &WordZoneMap,
+    pred: RangePredicate,
+) -> (usize, ZoneStats) {
+    debug_assert_eq!(zones.column(), col, "zone map covers a different column");
+    batch::count_active_zoned(
+        table.col_values(col),
+        table.activity_words(),
+        zones.zones(),
+        0,
+        table.num_rows(),
+        pred,
+    )
+}
+
+/// Zone-pruned fused filter+aggregate (see
+/// [`batch::aggregate_active_zoned`]).
+pub fn aggregate_state_active_zoned(
+    table: &Table,
+    col: usize,
+    zones: &WordZoneMap,
+    pred: Option<RangePredicate>,
+) -> (AggState, ZoneStats) {
+    debug_assert_eq!(zones.column(), col, "zone map covers a different column");
+    batch::aggregate_active_zoned(
+        table.col_values(col),
+        table.activity_words(),
+        zones.zones(),
+        0,
+        table.num_rows(),
+        pred,
+    )
+}
+
+/// Scan a compressed snapshot of a column (see
+/// [`Table::compress_column`]) without decompressing it: each frozen
+/// block's codec evaluates the predicate in its own domain and the
+/// resulting selection masks AND with the table's activity words.
+pub fn range_scan_compressed(
+    table: &Table,
+    col: &SegmentedColumn,
+    pred: RangePredicate,
+) -> Vec<RowId> {
+    let mut out = Vec::new();
+    batch::scan_compressed_active_into(col, table.activity_words(), pred, &mut out);
+    out
+}
+
+/// Count active matches in a compressed column without decompressing.
+pub fn count_compressed(table: &Table, col: &SegmentedColumn, pred: RangePredicate) -> usize {
+    batch::count_compressed_active(col, table.activity_words(), pred)
 }
 
 /// Aggregate `col` over active rows matching the optional predicate.
@@ -188,6 +268,25 @@ mod tests {
         let v = aggregate_rows(&t, 0, &[RowId(0), RowId(5)], AggKind::Sum);
         assert_eq!(v, Some(60.0));
         assert_eq!(aggregate_rows(&t, 0, &[], AggKind::Sum), None);
+    }
+
+    #[test]
+    fn zoned_and_compressed_wrappers_agree() {
+        let t = table();
+        let pred = P::new(10, 50);
+        let want = range_scan_active(&t, 0, pred);
+
+        let wz = WordZoneMap::build(&t, 0);
+        let (rows, _) = range_scan_active_zoned(&t, 0, &wz, pred);
+        assert_eq!(rows, want);
+        let (count, _) = count_active_matches_zoned(&t, 0, &wz, pred);
+        assert_eq!(count, want.len());
+        let (state, _) = aggregate_state_active_zoned(&t, 0, &wz, Some(pred));
+        assert_eq!(state.count() as usize, want.len());
+
+        let seg = t.compress_column(0);
+        assert_eq!(range_scan_compressed(&t, &seg, pred), want);
+        assert_eq!(count_compressed(&t, &seg, pred), want.len());
     }
 
     #[test]

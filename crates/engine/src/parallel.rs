@@ -13,7 +13,7 @@
 //! for many threads, and every chunk boundary is a multiple of
 //! [`WORD_BITS`] so no activity word is shared between threads.
 
-use amnesia_columnar::{RowId, Table};
+use amnesia_columnar::{RowId, SegmentedColumn, Table};
 use amnesia_util::WORD_BITS;
 use amnesia_workload::query::{AggKind, RangePredicate};
 
@@ -144,6 +144,60 @@ pub fn par_aggregate_active(
     (state.finalize(kind), scanned)
 }
 
+/// Parallel version of [`kernels::range_scan_compressed`]: contiguous
+/// runs of frozen blocks per thread. Compressed block boundaries are a
+/// whole number of activity words by construction, so chunking at block
+/// granularity preserves the no-shared-word invariant; the uncompressed
+/// tail (at most one block) is scanned serially after the joins.
+///
+/// [`kernels::range_scan_compressed`]: crate::kernels::range_scan_compressed
+pub fn par_range_scan_compressed(
+    table: &Table,
+    col: &SegmentedColumn,
+    pred: RangePredicate,
+    threads: usize,
+) -> Vec<RowId> {
+    if col.is_empty() || pred.is_empty() {
+        return Vec::new();
+    }
+    let words = table.activity_words();
+    let nf = col.frozen_segments();
+    // A chunk below MIN_CHUNK_ROWS isn't worth a thread; blocks are the
+    // chunking unit here.
+    let min_blocks = MIN_CHUNK_ROWS.div_ceil(col.block_rows()).max(1);
+    let chunks = threads.max(1).min((nf / min_blocks).max(1));
+    if chunks <= 1 {
+        return crate::kernels::range_scan_compressed(table, col, pred);
+    }
+    let per = nf.div_ceil(chunks);
+    let mut partials: Vec<Vec<RowId>> = Vec::with_capacity(chunks);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..chunks)
+            .map(|i| {
+                let b0 = i * per;
+                let b1 = ((i + 1) * per).min(nf);
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    batch::scan_compressed_blocks_into(col, words, b0, b1, pred, &mut out);
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("compressed scan worker"));
+        }
+    });
+    // Frozen chunks are contiguous and ordered; the tail holds the
+    // highest row ids, so appending it last keeps insertion order.
+    let total = partials.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in partials {
+        out.extend(p);
+    }
+    batch::scan_compressed_tail_into(col, words, pred, &mut out);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +302,19 @@ mod tests {
         tiny.insert_batch(&[5], 0).unwrap();
         let rows = par_range_scan_active(&tiny, 0, RangePredicate::new(0, 10), 16);
         assert_eq!(rows, vec![RowId(0)]);
+    }
+
+    #[test]
+    fn parallel_compressed_scan_equals_serial() {
+        let t = table(100_000);
+        let seg = t.compress_column(0);
+        assert!(seg.frozen_segments() > 8);
+        let pred = RangePredicate::new(2_000, 7_000);
+        let serial = crate::kernels::range_scan_active(&t, 0, pred);
+        for threads in [1, 2, 3, 8, 64] {
+            let par = par_range_scan_compressed(&t, &seg, pred, threads);
+            assert_eq!(par, serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -91,8 +91,7 @@ impl Planner {
                     .zip(table.min_seen(idx.column()))
                     .map(|(max, min)| (max - min + 1).max(1))
                     .unwrap_or(1);
-                let est_rows =
-                    (pred.width() as f64 / span as f64).min(1.0) * idx.len() as f64;
+                let est_rows = (pred.width() as f64 / span as f64).min(1.0) * idx.len() as f64;
                 let cost = self.cost.index_probe_cost(est_rows);
                 if cost < best.1 {
                     best = (Plan::IndexProbe, cost);
@@ -130,8 +129,7 @@ mod tests {
         let t = big_table(1000);
         let idx = SortedIndex::build(&t, 0);
         let planner = Planner::default();
-        let (plan, _) =
-            planner.plan_range(&t, RangePredicate::new(0, 1000), None, Some(&idx));
+        let (plan, _) = planner.plan_range(&t, RangePredicate::new(0, 1000), None, Some(&idx));
         // Index would return everything: probing is pure overhead.
         assert_eq!(plan, Plan::FullScan);
     }
@@ -141,8 +139,7 @@ mod tests {
         let t = big_table(100_000);
         let zm = ZoneMap::build_with_block_rows(&t, 0, 1024);
         let planner = Planner::default();
-        let (plan, cost) =
-            planner.plan_range(&t, RangePredicate::new(500, 600), Some(&zm), None);
+        let (plan, cost) = planner.plan_range(&t, RangePredicate::new(500, 600), Some(&zm), None);
         match plan {
             Plan::PrunedScan { blocks, .. } => {
                 assert!(blocks.len() <= 2, "narrow range touches ≤ 2 blocks");
@@ -158,8 +155,7 @@ mod tests {
         let mut idx = SortedIndex::build(&t, 0);
         idx.drop_index();
         let planner = Planner::default();
-        let (plan, _) =
-            planner.plan_range(&t, RangePredicate::new(5, 10), None, Some(&idx));
+        let (plan, _) = planner.plan_range(&t, RangePredicate::new(5, 10), None, Some(&idx));
         assert_eq!(plan, Plan::FullScan);
     }
 

@@ -116,9 +116,7 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let name = format!("{}/{}", self.name, id);
-        run_bench(self.criterion, &name, self.throughput, &mut |b| {
-            f(b, input)
-        });
+        run_bench(self.criterion, &name, self.throughput, &mut |b| f(b, input));
         self
     }
 
@@ -241,6 +239,42 @@ fn run_bench(
         "{name:<55} time: {:>12}/iter{rate}",
         human_ns(bencher.ns_per_iter)
     );
+    append_json_record(name, &bencher, throughput);
+}
+
+/// Environment variable naming a file to append one JSON record per
+/// benchmark to (JSON-lines). CI's bench-smoke job points this at a
+/// `BENCH_*.json` artifact so the perf trajectory accumulates across
+/// runs; unset means no file output.
+pub const BENCH_JSON_ENV: &str = "AMNESIA_BENCH_JSON";
+
+fn append_json_record(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    use std::io::Write;
+    let Ok(path) = std::env::var(BENCH_JSON_ENV) else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let elements = match throughput {
+        Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => n,
+        None => 0,
+    };
+    // Bench names are ASCII identifiers with '/'; escape the one JSON
+    // metacharacter that could plausibly appear.
+    let escaped = name.replace('\\', "\\\\").replace('"', "\\\"");
+    let record = format!(
+        "{{\"name\":\"{escaped}\",\"median_ns_per_iter\":{:.1},\"samples\":{},\"iters_per_sample\":{},\"throughput_per_iter\":{elements}}}\n",
+        bencher.ns_per_iter, bencher.sample_size, bencher.iters_per_sample
+    );
+    let write = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(record.as_bytes()));
+    if let Err(e) = write {
+        eprintln!("warning: could not append bench record to {path}: {e}");
+    }
 }
 
 fn human_ns(ns: f64) -> String {
@@ -299,6 +333,20 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_record_shape() {
+        // The record writer is exercised end-to-end by CI's bench-smoke;
+        // here, pin the escaping rule.
+        let b = Bencher {
+            ns_per_iter: 12.5,
+            iters_per_sample: 3,
+            sample_size: 2,
+        };
+        // No env var set: must be a no-op (nothing to assert beyond "no
+        // panic, no file").
+        append_json_record("grp/\"quoted\"", &b, Some(Throughput::Elements(10)));
+    }
 
     #[test]
     fn harness_measures_something() {

@@ -454,7 +454,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Anything usable as a size specification for [`vec`].
+    /// Anything usable as a size specification for [`vec()`].
     pub trait SizeRange {
         /// Pick a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
@@ -483,7 +483,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// Strategy type returned by [`vec`].
+    /// Strategy type returned by [`vec()`].
     pub struct VecStrategy<S, R> {
         element: S,
         size: R,
@@ -624,10 +624,7 @@ mod tests {
 
     #[test]
     fn oneof_and_map_compose() {
-        let strat = prop_oneof![
-            Just(1i32),
-            (10i32..20).prop_map(|v| v * 2),
-        ];
+        let strat = prop_oneof![Just(1i32), (10i32..20).prop_map(|v| v * 2),];
         let mut rng = TestRng::new(3);
         for _ in 0..200 {
             let v = strat.generate(&mut rng);

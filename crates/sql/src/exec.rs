@@ -169,9 +169,7 @@ impl AggAcc {
         match func {
             AggFunc::Count => Datum::Int(self.count as i64),
             AggFunc::Sum if self.count > 0 => Datum::Int(self.sum as i64),
-            AggFunc::Avg if self.count > 0 => {
-                Datum::Float(self.sum as f64 / self.count as f64)
-            }
+            AggFunc::Avg if self.count > 0 => Datum::Float(self.sum as f64 / self.count as f64),
             AggFunc::Min if self.count > 0 => Datum::Int(self.min),
             AggFunc::Max if self.count > 0 => Datum::Int(self.max),
             _ => Datum::Null,
@@ -394,7 +392,10 @@ mod tests {
 
     #[test]
     fn between_is_inclusive() {
-        let r = rows(&shop(), "SELECT amount FROM orders WHERE amount BETWEEN 50 AND 75");
+        let r = rows(
+            &shop(),
+            "SELECT amount FROM orders WHERE amount BETWEEN 50 AND 75",
+        );
         assert_eq!(r.rows.len(), 2);
     }
 
@@ -475,7 +476,12 @@ mod tests {
 
     #[test]
     fn explain_returns_plan_text() {
-        match run(&shop(), "EXPLAIN SELECT COUNT(*) FROM orders WHERE amount > 10").unwrap() {
+        match run(
+            &shop(),
+            "EXPLAIN SELECT COUNT(*) FROM orders WHERE amount > 10",
+        )
+        .unwrap()
+        {
             QueryOutcome::Plan(p) => {
                 assert!(p.contains("Aggregate"), "{p}");
                 assert!(p.contains("Scan orders"), "{p}");

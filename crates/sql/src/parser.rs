@@ -357,7 +357,10 @@ mod tests {
         let s = sel("SELECT a, t.b, SUM(c) AS total FROM t");
         assert_eq!(s.items.len(), 3);
         assert_eq!(s.items[0], SelectItem::Column(ColumnRef::bare("a")));
-        assert_eq!(s.items[1], SelectItem::Column(ColumnRef::qualified("t", "b")));
+        assert_eq!(
+            s.items[1],
+            SelectItem::Column(ColumnRef::qualified("t", "b"))
+        );
         match &s.items[2] {
             SelectItem::Aggregate { func, arg, alias } => {
                 assert_eq!(*func, AggFunc::Sum);
@@ -406,9 +409,7 @@ mod tests {
 
     #[test]
     fn join_with_alias() {
-        let s = sel(
-            "SELECT o.amount FROM customers AS c JOIN orders o ON c.id = o.customer_id",
-        );
+        let s = sel("SELECT o.amount FROM customers AS c JOIN orders o ON c.id = o.customer_id");
         let j = s.join.unwrap();
         assert_eq!(j.table.name, "orders");
         assert_eq!(j.table.alias.as_deref(), Some("o"));
@@ -435,7 +436,10 @@ mod tests {
             SortOrder::Asc
         );
         assert_eq!(
-            sel("SELECT * FROM t ORDER BY a ASC").order_by.unwrap().order,
+            sel("SELECT * FROM t ORDER BY a ASC")
+                .order_by
+                .unwrap()
+                .order,
             SortOrder::Asc
         );
     }

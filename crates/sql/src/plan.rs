@@ -5,9 +5,7 @@
 //! an output schema. Binding catches every name error with a span before
 //! execution starts, so the executor never sees an unresolved name.
 
-use crate::ast::{
-    AggFunc, CmpOp, ColumnRef, Select, SelectItem, SortOrder,
-};
+use crate::ast::{AggFunc, CmpOp, ColumnRef, Select, SelectItem, SortOrder};
 use crate::error::{SqlError, SqlResult};
 use amnesia_columnar::{Database, Table};
 
@@ -170,7 +168,11 @@ impl BoundQuery {
             lines.push(format!(
                 "Sort {}{}",
                 self.items[*idx].name(),
-                if *order == SortOrder::Desc { " DESC" } else { "" }
+                if *order == SortOrder::Desc {
+                    " DESC"
+                } else {
+                    ""
+                }
             ));
         }
         if let Some(g) = &self.group_by {
@@ -206,10 +208,7 @@ impl BoundQuery {
             if depth == 0 {
                 out.push_str(line);
             } else {
-                out.push_str(&format!(
-                    "\n{}└─ {line}",
-                    "   ".repeat(depth - 1)
-                ));
+                out.push_str(&format!("\n{}└─ {line}", "   ".repeat(depth - 1)));
             }
             depth += 1;
         }
@@ -220,22 +219,10 @@ impl BoundQuery {
                 l.display,
                 r.display
             ));
-            out.push_str(&format!(
-                "\n{}├─ {}",
-                "   ".repeat(depth),
-                scan_line(0)
-            ));
-            out.push_str(&format!(
-                "\n{}└─ {}",
-                "   ".repeat(depth),
-                scan_line(1)
-            ));
+            out.push_str(&format!("\n{}├─ {}", "   ".repeat(depth), scan_line(0)));
+            out.push_str(&format!("\n{}└─ {}", "   ".repeat(depth), scan_line(1)));
         } else {
-            out.push_str(&format!(
-                "\n{}└─ {}",
-                "   ".repeat(depth - 1),
-                scan_line(0)
-            ));
+            out.push_str(&format!("\n{}└─ {}", "   ".repeat(depth - 1), scan_line(0)));
         }
         out
     }
@@ -265,10 +252,7 @@ impl<'a> Scope<'a> {
             }
         }
         match hits.len() {
-            0 => Err(SqlError::new(
-                format!("unknown column `{c}`"),
-                c.span,
-            )),
+            0 => Err(SqlError::new(format!("unknown column `{c}`"), c.span)),
             1 => Ok(hits.pop().expect("one hit")),
             _ => Err(SqlError::new(
                 format!("ambiguous column `{c}`: qualify it with a table name"),
@@ -369,16 +353,9 @@ pub fn bind(catalog: &dyn Catalog, select: &Select) -> SqlResult<BoundQuery> {
                 items.push(BoundItem::Column(scope.resolve_column(c)?));
             }
             SelectItem::Aggregate { func, arg, alias } => {
-                let bound_arg = arg
-                    .as_ref()
-                    .map(|c| scope.resolve_column(c))
-                    .transpose()?;
+                let bound_arg = arg.as_ref().map(|c| scope.resolve_column(c)).transpose()?;
                 let name = alias.clone().unwrap_or_else(|| match &bound_arg {
-                    Some(c) => format!(
-                        "{}({})",
-                        func.as_str().to_ascii_lowercase(),
-                        c.display
-                    ),
+                    Some(c) => format!("{}({})", func.as_str().to_ascii_lowercase(), c.display),
                     None => "count(*)".to_string(),
                 });
                 items.push(BoundItem::Aggregate {
@@ -462,10 +439,9 @@ pub fn bind(catalog: &dyn Catalog, select: &Select) -> SqlResult<BoundQuery> {
     let order_by = match &select.order_by {
         Some(o) => {
             let rendered = o.col.to_string();
-            let by_name = items.iter().position(|i| {
-                i.name() == rendered
-                    || i.name().ends_with(&format!(".{rendered}"))
-            });
+            let by_name = items
+                .iter()
+                .position(|i| i.name() == rendered || i.name().ends_with(&format!(".{rendered}")));
             let idx = match by_name {
                 Some(i) => i,
                 None => {
@@ -475,10 +451,7 @@ pub fn bind(catalog: &dyn Catalog, select: &Select) -> SqlResult<BoundQuery> {
                         .position(|i| matches!(i, BoundItem::Column(c) if *c == bound))
                         .ok_or_else(|| {
                             SqlError::new(
-                                format!(
-                                    "ORDER BY column `{}` is not in the projection",
-                                    o.col
-                                ),
+                                format!("ORDER BY column `{}` is not in the projection", o.col),
                                 o.col.span,
                             )
                         })?
@@ -576,8 +549,7 @@ mod tests {
         let db = shop();
         let err = bind_sql(&db, "SELECT region, COUNT(*) FROM customers").unwrap_err();
         assert!(err.message.contains("GROUP BY"), "{err}");
-        let err =
-            bind_sql(&db, "SELECT id, COUNT(*) FROM customers GROUP BY region").unwrap_err();
+        let err = bind_sql(&db, "SELECT id, COUNT(*) FROM customers GROUP BY region").unwrap_err();
         assert!(err.message.contains("must appear in GROUP BY"), "{err}");
         assert!(bind_sql(
             &db,
@@ -641,6 +613,9 @@ mod tests {
         assert!(plan.contains("Sort mean DESC"), "{plan}");
         assert!(plan.contains("GroupBy c.region"), "{plan}");
         assert!(plan.contains("HashJoin c.id = o.customer_id"), "{plan}");
-        assert!(plan.contains("Scan orders AS o [active-only] filter: o.amount > 10"), "{plan}");
+        assert!(
+            plan.contains("Scan orders AS o [active-only] filter: o.amount > 10"),
+            "{plan}"
+        );
     }
 }

@@ -253,10 +253,7 @@ pub fn tokenize(input: &str) -> SqlResult<Vec<SpannedTok>> {
                 if b == b'-' {
                     i += 1;
                     if !bytes.get(i).is_some_and(u8::is_ascii_digit) {
-                        return Err(SqlError::new(
-                            "expected digits after `-`",
-                            Span::at(start),
-                        ));
+                        return Err(SqlError::new("expected digits after `-`", Span::at(start)));
                     }
                 }
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -276,9 +273,7 @@ pub fn tokenize(input: &str) -> SqlResult<Vec<SpannedTok>> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let text = &input[start..i];
@@ -308,7 +303,11 @@ mod tests {
     use super::*;
 
     fn toks(input: &str) -> Vec<Tok> {
-        tokenize(input).unwrap().into_iter().map(|t| t.tok).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.tok)
+            .collect()
     }
 
     #[test]

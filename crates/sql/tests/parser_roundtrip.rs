@@ -35,13 +35,13 @@ fn agg_func() -> impl Strategy<Value = AggFunc> {
 fn select_item() -> impl Strategy<Value = SelectItem> {
     prop_oneof![
         column_ref().prop_map(SelectItem::Column),
-        (agg_func(), column_ref(), proptest::option::of(ident())).prop_map(
-            |(func, arg, alias)| SelectItem::Aggregate {
+        (agg_func(), column_ref(), proptest::option::of(ident())).prop_map(|(func, arg, alias)| {
+            SelectItem::Aggregate {
                 func,
                 arg: Some(arg),
                 alias,
             }
-        ),
+        }),
         proptest::option::of(ident()).prop_map(|alias| SelectItem::Aggregate {
             func: AggFunc::Count,
             arg: None,
@@ -94,12 +94,18 @@ fn table_ref() -> impl Strategy<Value = TableRef> {
 }
 
 fn join_clause() -> impl Strategy<Value = JoinClause> {
-    (table_ref(), column_ref(), column_ref())
-        .prop_map(|(table, left, right)| JoinClause { table, left, right })
+    (table_ref(), column_ref(), column_ref()).prop_map(|(table, left, right)| JoinClause {
+        table,
+        left,
+        right,
+    })
 }
 
 fn order_by() -> impl Strategy<Value = OrderBy> {
-    (column_ref(), prop_oneof![Just(SortOrder::Asc), Just(SortOrder::Desc)])
+    (
+        column_ref(),
+        prop_oneof![Just(SortOrder::Asc), Just(SortOrder::Desc)],
+    )
         .prop_map(|(col, order)| OrderBy { col, order })
 }
 

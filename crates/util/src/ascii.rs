@@ -45,12 +45,7 @@ pub fn heatmap(rows: &[(String, Vec<f64>)], col_labels: Option<&[String]>) -> St
 ///
 /// The y-range is `[y_min, y_max]`; each series gets a distinct glyph.
 /// `height` is the number of chart rows (excluding axes).
-pub fn line_chart(
-    series: &[(String, Vec<f64>)],
-    y_min: f64,
-    y_max: f64,
-    height: usize,
-) -> String {
+pub fn line_chart(series: &[(String, Vec<f64>)], y_min: f64, y_max: f64, height: usize) -> String {
     const GLYPHS: &[u8] = b"ox+*#@$%&";
     let width = series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
     if width == 0 || height == 0 {

@@ -568,13 +568,17 @@ mod tests {
         for &i in &set {
             bm.set(i, true);
         }
-        for (lo, hi) in [(0, 300), (1, 300), (5, 66), (64, 65), (65, 65), (66, 128), (128, 299)] {
+        for (lo, hi) in [
+            (0, 300),
+            (1, 300),
+            (5, 66),
+            (64, 65),
+            (65, 65),
+            (66, 128),
+            (128, 299),
+        ] {
             let got: Vec<usize> = bm.iter_ones_in(lo, hi).collect();
-            let expect: Vec<usize> = set
-                .iter()
-                .copied()
-                .filter(|&i| i >= lo && i < hi)
-                .collect();
+            let expect: Vec<usize> = set.iter().copied().filter(|&i| i >= lo && i < hi).collect();
             assert_eq!(got, expect, "range [{lo}, {hi})");
         }
         // hi beyond len clips.

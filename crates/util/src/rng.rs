@@ -65,10 +65,7 @@ impl SimRng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -242,10 +239,7 @@ impl SimRng {
         impl Ord for Entry {
             fn cmp(&self, other: &Self) -> Ordering {
                 // Reverse for a min-heap on key.
-                other
-                    .key
-                    .partial_cmp(&self.key)
-                    .unwrap_or(Ordering::Equal)
+                other.key.partial_cmp(&self.key).unwrap_or(Ordering::Equal)
             }
         }
 

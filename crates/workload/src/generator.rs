@@ -113,10 +113,9 @@ impl QueryGenKind {
                 recency_frac,
             } => Box::new(RecentRangeGen::new(*selectivity, *recency_frac)),
             QueryGenKind::Point => Box::new(PointGen),
-            QueryGenKind::Aggregate { kind, over } => Box::new(AggregateGen::new(
-                *kind,
-                over.as_ref().map(|g| g.build()),
-            )),
+            QueryGenKind::Aggregate { kind, over } => {
+                Box::new(AggregateGen::new(*kind, over.as_ref().map(|g| g.build())))
+            }
             QueryGenKind::Mixed(parts) => Box::new(MixedGen::new(
                 parts
                     .iter()
@@ -259,9 +258,10 @@ impl AggregateGen {
 
 impl QueryGenerator for AggregateGen {
     fn next_query(&mut self, snapshot: &dyn TableSnapshot, rng: &mut SimRng) -> Query {
-        let predicate = self.over.as_mut().and_then(|g| {
-            g.next_query(snapshot, rng).predicate()
-        });
+        let predicate = self
+            .over
+            .as_mut()
+            .and_then(|g| g.next_query(snapshot, rng).predicate());
         Query::Aggregate {
             kind: self.kind,
             predicate,

@@ -24,8 +24,12 @@ fn main() -> Result<()> {
         .seed(0xC1D8_2017)
         .build()?;
 
-    println!("running: {} policy, {} data, dbsize={}",
-        cfg.policy.name(), cfg.distribution.name(), cfg.dbsize);
+    println!(
+        "running: {} policy, {} data, dbsize={}",
+        cfg.policy.name(),
+        cfg.distribution.name(),
+        cfg.dbsize
+    );
 
     let report = Simulator::new(cfg)?.run()?;
 

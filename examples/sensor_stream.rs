@@ -45,11 +45,7 @@ fn main() -> Result<()> {
     // (for serial data, value space ≈ full history).
     let audit = QueryGenKind::UniformRange { selectivity: 0.02 };
 
-    let mut table = ascii::TextTable::new(vec![
-        "workload",
-        "policy",
-        "precision@12",
-    ]);
+    let mut table = ascii::TextTable::new(vec!["workload", "policy", "precision@12"]);
     let mut series = Vec::new();
     for (wl_name, wl) in [("live", live), ("audit", audit)] {
         for policy in [PolicyKind::Fifo, PolicyKind::Rot { high_water_age: 2 }] {

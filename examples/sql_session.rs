@@ -64,7 +64,10 @@ fn main() -> Result<()> {
     }
 
     println!("== day 0: full recall ==");
-    show(&db, "SELECT COUNT(*) AS orders, SUM(amount) AS revenue FROM orders");
+    show(
+        &db,
+        "SELECT COUNT(*) AS orders, SUM(amount) AS revenue FROM orders",
+    );
     show(
         &db,
         "SELECT c.region, COUNT(*) AS n, AVG(o.amount) AS mean FROM customers c \
@@ -104,12 +107,21 @@ fn main() -> Result<()> {
             excess,
             db.table(orders).active_rows()
         );
-        show(&db, "SELECT COUNT(*) AS orders, SUM(amount) AS revenue FROM orders");
+        show(
+            &db,
+            "SELECT COUNT(*) AS orders, SUM(amount) AS revenue FROM orders",
+        );
     }
 
     println!("\n== the oldest days are gone from every answer ==");
-    show(&db, "SELECT MIN(day) AS oldest_day, MAX(day) AS newest_day FROM orders");
-    show(&db, "SELECT day FROM orders WHERE day < 50 ORDER BY day LIMIT 5");
+    show(
+        &db,
+        "SELECT MIN(day) AS oldest_day, MAX(day) AS newest_day FROM orders",
+    );
+    show(
+        &db,
+        "SELECT day FROM orders WHERE day < 50 ORDER BY day LIMIT 5",
+    );
 
     // Referential amnesia: forgetting a customer cascades to its orders.
     let victim = db
@@ -124,10 +136,7 @@ fn main() -> Result<()> {
         "\n== cascade-forgot customer {victim} and {} dependent order(s) ==",
         forgotten.len() - 1
     );
-    show(
-        &db,
-        "SELECT COUNT(*) AS customers_left FROM customers",
-    );
+    show(&db, "SELECT COUNT(*) AS customers_left FROM customers");
     assert!(db.dangling_references().is_empty(), "integrity holds");
     println!("\nreferential integrity holds: no dangling foreign keys.");
     Ok(())

@@ -67,8 +67,7 @@ fn main() -> Result<()> {
     }
 
     // --- climate report ----------------------------------------------------
-    let exact_avg =
-        all_readings.iter().map(|&v| v as f64).sum::<f64>() / all_readings.len() as f64;
+    let exact_avg = all_readings.iter().map(|&v| v as f64).sum::<f64>() / all_readings.len() as f64;
     let stored_avg = store
         .query(&Query::Aggregate {
             kind: AggKind::Avg,

@@ -51,11 +51,7 @@ impl Session {
             return self.meta(rest);
         }
         match run(&self.db, line) {
-            Ok(QueryOutcome::Rows(rs)) => Ok(format!(
-                "{}\n({} rows)",
-                rs.render(),
-                rs.rows.len()
-            )),
+            Ok(QueryOutcome::Rows(rs)) => Ok(format!("{}\n({} rows)", rs.render(), rs.rows.len())),
             Ok(QueryOutcome::Plan(plan)) => Ok(plan),
             Err(e) => Err(e.render(line)),
         }
@@ -92,9 +88,14 @@ impl Session {
                 if self.db.table_id(name).is_some() {
                     return Err(format!("table `{name}` already exists"));
                 }
-                self.db
-                    .add_table(*name, Schema::new(cols.iter().map(|c| c.to_string()).collect()));
-                Ok(format!("created table {name} with {} column(s)", cols.len()))
+                self.db.add_table(
+                    *name,
+                    Schema::new(cols.iter().map(|c| c.to_string()).collect()),
+                );
+                Ok(format!(
+                    "created table {name} with {} column(s)",
+                    cols.len()
+                ))
             }
             ["load", table, dist, n] => {
                 let id = self.table_id(table)?;
@@ -115,7 +116,10 @@ impl Session {
                     .table_mut(id)
                     .insert_batch(&values, self.epoch)
                     .map_err(|e| e.to_string())?;
-                Ok(format!("loaded {n} {dist} values into {table} at epoch {}", self.epoch))
+                Ok(format!(
+                    "loaded {n} {dist} values into {table} at epoch {}",
+                    self.epoch
+                ))
             }
             ["insert", table, rows @ ..] if !rows.is_empty() => {
                 let id = self.table_id(table)?;
@@ -202,7 +206,10 @@ fn parse_policy(name: &str) -> CliResult<PolicyKind> {
         "ttl" => PolicyKind::Ttl { max_age: 3 },
         "pair" => PolicyKind::Pair,
         "aligned" => PolicyKind::Aligned { bins: 32 },
-        "cost" => PolicyKind::CostBased { bins: 64, gamma: 1.0 },
+        "cost" => PolicyKind::CostBased {
+            bins: 64,
+            gamma: 1.0,
+        },
         "ebbinghaus" => PolicyKind::Ebbinghaus {
             base_strength: 1.0,
             rehearsal_boost: 1.0,
@@ -302,8 +309,19 @@ mod tests {
     #[test]
     fn every_advertised_policy_parses() {
         for name in [
-            "fifo", "uniform", "ante", "rot", "area", "lru", "overuse", "ttl", "pair",
-            "aligned", "cost", "ebbinghaus", "decay",
+            "fifo",
+            "uniform",
+            "ante",
+            "rot",
+            "area",
+            "lru",
+            "overuse",
+            "ttl",
+            "pair",
+            "aligned",
+            "cost",
+            "ebbinghaus",
+            "decay",
         ] {
             assert!(parse_policy(name).is_ok(), "{name}");
         }

@@ -51,7 +51,9 @@ pub use amnesia_workload as workload;
 
 /// Most-used types in one import.
 pub mod prelude {
-    pub use amnesia_columnar::{Database, ForeignKey, ReferentialAction, RowId, Schema, Table, Value};
+    pub use amnesia_columnar::{
+        Database, ForeignKey, ReferentialAction, RowId, Schema, Table, Value,
+    };
     pub use amnesia_core::budget::BudgetMode;
     pub use amnesia_core::config::SimConfig;
     pub use amnesia_core::metrics::{AmnesiaMap, SimReport};

@@ -119,7 +119,10 @@ fn fig2_serial_rot_behaves_fifo_like() {
 
 #[test]
 fn fig3_precision_drops_quickly_then_flattens() {
-    for dist in [DistributionKind::Uniform, DistributionKind::zipfian_default()] {
+    for dist in [
+        DistributionKind::Uniform,
+        DistributionKind::zipfian_default(),
+    ] {
         let r = experiments::fig3_range_precision(&scale(), dist.clone()).unwrap();
         for (name, series) in &r.series {
             // "the precision drops quickly over time as more and more
@@ -171,11 +174,7 @@ fn fig3_area_retains_precision_better_than_fifo() {
 fn aggregate_differences_are_marginal_across_policies() {
     // "To our surprise the differences were marginal."
     let r = experiments::aggregate_precision(&scale(), DistributionKind::Uniform, false).unwrap();
-    let finals: Vec<f64> = r
-        .series
-        .iter()
-        .map(|(_, s)| *s.last().unwrap())
-        .collect();
+    let finals: Vec<f64> = r.series.iter().map(|(_, s)| *s.last().unwrap()).collect();
     let max = finals.iter().cloned().fold(0.0f64, f64::max);
     let min = finals.iter().cloned().fold(1.0f64, f64::min);
     assert!(max < 0.2, "aggregate error stays small: {max}");

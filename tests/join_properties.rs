@@ -20,17 +20,11 @@ fn build(values: &[i64], forget: &[usize]) -> Table {
 }
 
 /// Brute-force nested-loop join over the chosen visibility.
-fn model_join(
-    left: &Table,
-    right: &Table,
-    vis: ForgetVisibility,
-) -> Vec<(RowId, RowId)> {
+fn model_join(left: &Table, right: &Table, vis: ForgetVisibility) -> Vec<(RowId, RowId)> {
     let rows = |t: &Table| -> Vec<RowId> {
         match vis {
             ForgetVisibility::ActiveOnly => t.active_row_ids(),
-            ForgetVisibility::ScanSeesForgotten => {
-                (0..t.num_rows()).map(RowId::from).collect()
-            }
+            ForgetVisibility::ScanSeesForgotten => (0..t.num_rows()).map(RowId::from).collect(),
         }
     };
     let mut out = Vec::new();

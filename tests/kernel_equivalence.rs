@@ -1,12 +1,18 @@
 //! Property tests: the word-at-a-time vectorized kernels, the
-//! row-at-a-time scalar references, and the parallel kernels all compute
-//! identical answers — across randomized tables, forget patterns (none /
-//! a quarter / everything), and the word-boundary sizes where masking
-//! bugs live (0, 1, 63, 64, 65, 1023, 1024, 1025).
+//! row-at-a-time scalar references, the parallel kernels, the fused
+//! compressed-block kernels (every codec), and the word-zone-pruned
+//! kernels all compute identical answers — across randomized tables,
+//! forget patterns (none / a quarter / everything), and the
+//! word-boundary sizes where masking bugs live (0, 1, 63, 64, 65, 1023,
+//! 1024, 1025).
 
-use amnesia::engine::kernels;
-use amnesia::engine::parallel::{par_aggregate_active, par_range_scan_active};
+use amnesia::columnar::compress::Encoding;
+use amnesia::columnar::{SegmentedColumn, WordZoneMap};
 use amnesia::engine::batch::{self, scalar};
+use amnesia::engine::kernels;
+use amnesia::engine::parallel::{
+    par_aggregate_active, par_range_scan_active, par_range_scan_compressed,
+};
 use amnesia::prelude::*;
 use amnesia::workload::query::RangePredicate;
 use proptest::prelude::*;
@@ -114,6 +120,74 @@ fn assert_all_kernels_agree(t: &Table, pred: RangePredicate, ctx: &str) {
             "blocks={block_rows} {ctx}"
         );
     }
+
+    assert_compressed_kernels_agree(t, pred, ctx);
+    assert_zoned_kernels_agree(t, pred, ctx);
+}
+
+/// Fused compressed scans == decompress-then-scalar-scan, for every codec
+/// (pinned per block), the automatic chooser, word-aligned block sizes
+/// that land frozen/tail boundaries on and off batch edges, and the
+/// parallel block-chunked variant.
+fn assert_compressed_kernels_agree(t: &Table, pred: RangePredicate, ctx: &str) {
+    let reference = scalar::range_scan_active(t, 0, pred);
+    let values = t.col_values(0);
+    let mut segs: Vec<(String, SegmentedColumn)> = Vec::new();
+    for block_rows in [64usize, 1024] {
+        for enc in Encoding::ALL {
+            let mut seg = SegmentedColumn::with_encoding(block_rows, enc);
+            seg.extend_from_slice(values);
+            segs.push((format!("{}@{block_rows}", enc.name()), seg));
+        }
+        let mut auto = SegmentedColumn::with_block_rows(block_rows);
+        auto.extend_from_slice(values);
+        segs.push((format!("auto@{block_rows}"), auto));
+    }
+    for (tag, seg) in &segs {
+        // The compressed column must reconstruct the original exactly —
+        // otherwise "equivalence" below would prove nothing.
+        assert_eq!(seg.len(), values.len(), "{tag} {ctx}");
+        let got = kernels::range_scan_compressed(t, seg, pred);
+        assert_eq!(got, reference, "compressed {tag} {ctx}");
+        assert_eq!(
+            kernels::count_compressed(t, seg, pred),
+            reference.len(),
+            "compressed count {tag} {ctx}"
+        );
+        for threads in THREAD_COUNTS {
+            assert_eq!(
+                par_range_scan_compressed(t, seg, pred, threads),
+                reference,
+                "par compressed {tag} threads={threads} {ctx}"
+            );
+        }
+    }
+}
+
+/// Word-zone-pruned kernels == their unpruned counterparts, with fresh
+/// and stale (forget-noted but unsynced) zone maps.
+fn assert_zoned_kernels_agree(t: &Table, pred: RangePredicate, ctx: &str) {
+    let reference = scalar::range_scan_active(t, 0, pred);
+    let wz = WordZoneMap::build(t, 0);
+    let (rows, _) = kernels::range_scan_active_zoned(t, 0, &wz, pred);
+    assert_eq!(rows, reference, "zoned scan {ctx}");
+    let (count, _) = kernels::count_active_matches_zoned(t, 0, &wz, pred);
+    assert_eq!(count, reference.len(), "zoned count {ctx}");
+    for predicate in [None, Some(pred)] {
+        let (state, zs) = kernels::aggregate_state_active_zoned(t, 0, &wz, predicate);
+        for kind in AggKind::ALL {
+            let (want, want_scanned) = scalar::aggregate_active(t, 0, predicate, kind);
+            assert_eq!(
+                state.finalize(kind),
+                want,
+                "zoned agg {kind:?} pred={predicate:?} {ctx}"
+            );
+            assert!(
+                zs.rows_scanned <= want_scanned,
+                "zones may only shrink work {ctx}"
+            );
+        }
+    }
 }
 
 proptest! {
@@ -139,7 +213,11 @@ fn boundary_sizes_and_forget_patterns() {
     for n in [0usize, 1, 63, 64, 65, 1023, 1024, 1025] {
         let mut rng = SimRng::new(n as u64 + 1);
         let values: Vec<i64> = (0..n).map(|_| rng.range_i64(0, 1_000)).collect();
-        for pattern in [ForgetPattern::None, ForgetPattern::Quarter, ForgetPattern::All] {
+        for pattern in [
+            ForgetPattern::None,
+            ForgetPattern::Quarter,
+            ForgetPattern::All,
+        ] {
             let t = build_table(&values, pattern, 99);
             for pred in [
                 RangePredicate::new(0, 1_000), // everything
@@ -150,6 +228,52 @@ fn boundary_sizes_and_forget_patterns() {
             }
         }
     }
+}
+
+#[test]
+fn stale_word_zones_stay_safe() {
+    // Build zones first, forget afterwards with note_forget only (no
+    // sync): bounds are stale-but-wide, results must stay exact.
+    let mut rng = SimRng::new(21);
+    let values: Vec<i64> = (0..2_000).map(|_| rng.range_i64(0, 1_000)).collect();
+    let mut t = Table::new(Schema::single("a"));
+    t.insert_batch(&values, 0).unwrap();
+    let mut wz = WordZoneMap::build(&t, 0);
+    for _ in 0..1_200 {
+        if let Some(r) = t.random_active(&mut rng) {
+            t.forget(r, 1).unwrap();
+            wz.note_forget(r);
+        }
+    }
+    for pred in [
+        RangePredicate::new(0, 1_000),
+        RangePredicate::new(400, 600),
+        RangePredicate::new(990, 2_000),
+    ] {
+        let (rows, _) = kernels::range_scan_active_zoned(&t, 0, &wz, pred);
+        assert_eq!(rows, scalar::range_scan_active(&t, 0, pred), "{pred:?}");
+    }
+}
+
+#[test]
+fn word_zones_hit_the_ninety_percent_bar() {
+    // Acceptance setting: sorted column, ~1 % selectivity — at least
+    // 90 % of words must be zone-pruned.
+    let n = 200_000usize;
+    let values: Vec<i64> = (0..n as i64).collect();
+    let mut t = Table::new(Schema::single("a"));
+    t.insert_batch(&values, 0).unwrap();
+    let wz = WordZoneMap::build(&t, 0);
+    let pred = RangePredicate::new(100_000, 102_000);
+    let (rows, stats) = kernels::range_scan_active_zoned(&t, 0, &wz, pred);
+    assert_eq!(rows.len(), 2_000);
+    let total_words = n.div_ceil(64);
+    assert!(
+        stats.words_pruned as f64 >= 0.9 * total_words as f64,
+        "pruned {} of {} words",
+        stats.words_pruned,
+        total_words
+    );
 }
 
 #[test]
@@ -183,9 +307,7 @@ fn join_kernels_agree_with_row_at_a_time_reference() {
         let rows = |t: &Table| -> Vec<RowId> {
             match vis {
                 ForgetVisibility::ActiveOnly => t.active_row_ids(),
-                ForgetVisibility::ScanSeesForgotten => {
-                    (0..t.num_rows()).map(RowId::from).collect()
-                }
+                ForgetVisibility::ScanSeesForgotten => (0..t.num_rows()).map(RowId::from).collect(),
             }
         };
         for &r in &rows(&right) {

@@ -175,7 +175,11 @@ fn persistent_amnesia_loop_survives_restarts() {
         for v in victims {
             pt.forget(v, b).unwrap();
         }
-        assert_eq!(pt.table().active_rows(), dbsize, "budget holds at batch {b}");
+        assert_eq!(
+            pt.table().active_rows(),
+            dbsize,
+            "budget holds at batch {b}"
+        );
         pt.sync().unwrap();
         if b % 2 == 0 {
             // "Crash" and recover.

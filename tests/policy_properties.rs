@@ -37,7 +37,10 @@ fn policy_strategies() -> Vec<PolicyKind> {
         PolicyKind::Ttl { max_age: 2 },
         PolicyKind::Pair,
         PolicyKind::Aligned { bins: 8 },
-        PolicyKind::CostBased { bins: 32, gamma: 1.0 },
+        PolicyKind::CostBased {
+            bins: 32,
+            gamma: 1.0,
+        },
         PolicyKind::Ebbinghaus {
             base_strength: 1.0,
             rehearsal_boost: 1.0,
@@ -46,10 +49,7 @@ fn policy_strategies() -> Vec<PolicyKind> {
             alpha: 0.4,
             protect_age: 1,
         },
-        PolicyKind::Composite(vec![
-            (0.4, PolicyKind::Fifo),
-            (0.6, PolicyKind::Uniform),
-        ]),
+        PolicyKind::Composite(vec![(0.4, PolicyKind::Fifo), (0.6, PolicyKind::Uniform)]),
     ]
 }
 

@@ -124,7 +124,12 @@ fn reports_are_deterministic_per_seed() {
             .expect("sim")
             .run()
             .expect("run");
-        assert_eq!(a.precision_series(), b.precision_series(), "{}", policy.name());
+        assert_eq!(
+            a.precision_series(),
+            b.precision_series(),
+            "{}",
+            policy.name()
+        );
         assert_eq!(a.map.active, b.map.active, "{}", policy.name());
         assert_eq!(a.storage.table_bytes, b.storage.table_bytes);
     }
@@ -140,13 +145,20 @@ fn stepping_matches_run() {
         sim.step().unwrap();
     }
     let step_report = sim.into_report();
-    assert_eq!(run_report.precision_series(), step_report.precision_series());
+    assert_eq!(
+        run_report.precision_series(),
+        step_report.precision_series()
+    );
     assert_eq!(run_report.map.active, step_report.map.active);
 }
 
 #[test]
 fn mixed_workload_runs() {
-    let mut c = cfg(PolicyKind::Rot { high_water_age: 1 }, DistributionKind::Uniform, 37);
+    let mut c = cfg(
+        PolicyKind::Rot { high_water_age: 1 },
+        DistributionKind::Uniform,
+        37,
+    );
     c.query_gen = QueryGenKind::Mixed(vec![
         (0.5, QueryGenKind::paper_range()),
         (0.2, QueryGenKind::Point),

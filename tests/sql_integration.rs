@@ -41,8 +41,7 @@ fn sql_count_matches_engine_kernel() {
     let (db, _) = build(&values, &[1, 5, 9, 13, 200, 201, 499]);
     let table = db.table(db.table_id("t").unwrap());
     for (lo, hi) in [(0i64, 100i64), (250, 750), (990, 1000), (500, 500)] {
-        let engine_count =
-            kernels::count_active_matches(table, 0, RangePredicate::new(lo, hi));
+        let engine_count = kernels::count_active_matches(table, 0, RangePredicate::new(lo, hi));
         // SQL BETWEEN is inclusive: [lo, hi-1] == [lo, hi).
         let sql = format!("SELECT COUNT(*) FROM t WHERE a BETWEEN {lo} AND {}", hi - 1);
         assert_eq!(
