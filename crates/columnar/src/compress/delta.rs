@@ -2,7 +2,7 @@
 
 use bytes::{Bytes, BytesMut};
 
-use super::filter::{in_range, range_width, MaskWriter};
+use super::filter::{bit_set, in_range, range_width, BlockAgg, MaskWriter};
 use super::varint::{read_signed, write_signed};
 use crate::types::Value;
 
@@ -67,6 +67,64 @@ pub fn filter_range_masks(data: &[u8], lo: Value, hi: Value, out: &mut Vec<u64>)
     w.finish();
 }
 
+/// Value at row `i`: prefix-sum walk up to `i` (deltas force sequential
+/// reconstruction, but nothing past row `i` is touched and no `Vec` is
+/// allocated).
+pub fn value_at(data: &[u8], i: usize) -> Value {
+    let mut pos = 0;
+    let mut prev = 0i64;
+    let mut first = true;
+    let mut row = 0usize;
+    while pos < data.len() {
+        let d = read_signed(data, &mut pos);
+        let v = if first {
+            first = false;
+            d
+        } else {
+            prev.wrapping_add(d)
+        };
+        if row == i {
+            return v;
+        }
+        prev = v;
+        row += 1;
+    }
+    panic!("row {i} out of range for delta block of {row} rows");
+}
+
+/// Fused masked aggregate: the prefix-sum walk feeds each reconstructed
+/// value straight into the accumulator when its `active` bit is set and
+/// the optional `[lo, hi)` filter passes — no materialization.
+pub fn fold_range_masked(
+    data: &[u8],
+    filter: Option<(Value, Value)>,
+    active: &[u64],
+    agg: &mut BlockAgg,
+) {
+    let (lo, width, filtered) = match filter {
+        Some((lo, hi)) => (lo, range_width(lo, hi), true),
+        None => (0, 0, false),
+    };
+    let mut pos = 0;
+    let mut prev = 0i64;
+    let mut first = true;
+    let mut row = 0usize;
+    while pos < data.len() {
+        let d = read_signed(data, &mut pos);
+        let v = if first {
+            first = false;
+            d
+        } else {
+            prev.wrapping_add(d)
+        };
+        if bit_set(active, row) && (!filtered || in_range(v, lo, width)) {
+            agg.push(v);
+        }
+        prev = v;
+        row += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +166,36 @@ mod tests {
         for (i, &v) in values.iter().enumerate() {
             let bit = masks[i / 64] >> (i % 64) & 1;
             assert_eq!(bit == 1, (-20..70).contains(&v), "row {i}");
+        }
+    }
+
+    #[test]
+    fn value_at_prefix_walk() {
+        let values = vec![i64::MIN, i64::MAX, -7, 0, 42, 41];
+        let data = encode(&values);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(value_at(&data, i), v, "row {i}");
+        }
+    }
+
+    #[test]
+    fn fold_range_masked_matches_reference() {
+        let values: Vec<i64> = (0..150).map(|i| i * 5 - 300).collect();
+        let data = encode(&values);
+        let mut active = vec![0u64; values.len().div_ceil(64)];
+        for i in (0..values.len()).filter(|i| i % 4 != 1) {
+            active[i / 64] |= 1 << (i % 64);
+        }
+        for filter in [None, Some((-100i64, 200i64)), Some((10_000, 20_000))] {
+            let mut got = BlockAgg::new();
+            fold_range_masked(&data, filter, &active, &mut got);
+            let mut want = BlockAgg::new();
+            for (i, &v) in values.iter().enumerate() {
+                if i % 4 != 1 && filter.is_none_or(|(lo, hi)| (lo..hi).contains(&v)) {
+                    want.push(v);
+                }
+            }
+            assert_eq!(got, want, "filter {filter:?}");
         }
     }
 }

@@ -4,7 +4,7 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 
-use super::filter::MaskWriter;
+use super::filter::{unpack_fixed, BlockAgg, MaskWriter};
 use super::varint::{read_signed, read_varint, write_signed, write_varint};
 use crate::types::Value;
 
@@ -176,6 +176,100 @@ pub fn filter_range_masks(data: &[u8], lo: Value, hi: Value, out: &mut Vec<u64>)
     w.finish();
 }
 
+/// Parse the header, returning `(count, dict, width, packed code
+/// region)`. The region is *borrowed* — point reads and folds unpack
+/// straight from it ([`unpack_fixed`]), no `Vec<u64>` is materialized.
+fn parse_header(data: &[u8]) -> (usize, Vec<Value>, u32, &[u8]) {
+    let mut pos = 0;
+    let count = read_varint(data, &mut pos) as usize;
+    if count == 0 {
+        return (0, Vec::new(), 0, &[]);
+    }
+    let dict_len = read_varint(data, &mut pos) as usize;
+    let mut dict = Vec::with_capacity(dict_len);
+    let mut prev = 0i64;
+    for i in 0..dict_len {
+        let d = read_signed(data, &mut pos);
+        let v = if i == 0 { d } else { prev.wrapping_add(d) };
+        dict.push(v);
+        prev = v;
+    }
+    let width = data[pos] as u32;
+    pos += 1;
+    (count, dict, width, &data[pos..])
+}
+
+/// Value at row `i`: one direct fixed-width code unpack plus a dictionary
+/// lookup — dictionary blocks are random-access, so point reads cost
+/// O(dict) parse + O(1) access, with no allocation beyond the (tiny)
+/// dictionary itself.
+pub fn value_at(data: &[u8], i: usize) -> Value {
+    let (count, dict, width, region) = parse_header(data);
+    assert!(
+        i < count,
+        "row {i} out of range for dict block of {count} rows"
+    );
+    dict[unpack_fixed(region, width, i) as usize]
+}
+
+/// Fused masked aggregate in *code space*: matching active rows are
+/// histogrammed per code (`counts[code] += 1` — the dictionary is tiny),
+/// then COUNT/SUM/MIN/MAX fall out of `counts[c] * dict[c]` with one pass
+/// over the dictionary. Values are never reconstructed per row, the
+/// sorted dictionary turns the filter into a contiguous code interval,
+/// and fixed-width codes are random-access, so the fold hoists each
+/// 64-row activity word and unpacks only the *active* rows — an
+/// all-forgotten word costs one load.
+pub fn fold_range_masked(
+    data: &[u8],
+    filter: Option<(Value, Value)>,
+    active: &[u64],
+    agg: &mut BlockAgg,
+) {
+    let (count, dict, width, region) = parse_header(data);
+    if count == 0 {
+        return;
+    }
+    let (c_lo, c_hi) = match filter {
+        Some((lo, hi)) => (
+            dict.partition_point(|&v| v < lo) as u64,
+            dict.partition_point(|&v| v < hi) as u64,
+        ),
+        None => (0, dict.len() as u64),
+    };
+    if c_lo >= c_hi {
+        return;
+    }
+    let code_span = c_hi - c_lo;
+    let mut counts = vec![0u64; code_span as usize];
+    for (g, &aw) in active.iter().enumerate().take(count.div_ceil(64)) {
+        let base_row = g * 64;
+        let rows = (count - base_row).min(64);
+        let w = if rows == 64 {
+            aw
+        } else {
+            aw & ((1u64 << rows) - 1)
+        };
+        // Only the active rows are unpacked (fixed-width codes make
+        // point unpacks one branchless two-word read), so an
+        // all-forgotten word costs one load.
+        let mut w = w;
+        while w != 0 {
+            let bit = w.trailing_zeros() as usize;
+            w &= w - 1;
+            let rebased = unpack_fixed(region, width, base_row + bit).wrapping_sub(c_lo);
+            if rebased < code_span {
+                counts[rebased as usize] += 1;
+            }
+        }
+    }
+    for (slot, &n) in counts.iter().enumerate() {
+        if n > 0 {
+            agg.push_repeated(dict[c_lo as usize + slot], n);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +329,38 @@ mod tests {
                 let bit = masks[i / 64] >> (i % 64) & 1;
                 assert_eq!(bit == 1, (lo..hi).contains(&v), "row {i} [{lo},{hi})");
             }
+        }
+    }
+
+    #[test]
+    fn value_at_direct_lookup() {
+        let vals = [i64::MIN, -3, 7, 1 << 50];
+        let values: Vec<i64> = (0..200).map(|i| vals[(i * 11 + i / 3) % 4]).collect();
+        let data = encode(&values);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(value_at(&data, i), v, "row {i}");
+        }
+    }
+
+    #[test]
+    fn fold_range_masked_matches_reference() {
+        let vals = [10i64, 20, 30, 40, 50];
+        let values: Vec<i64> = (0..300).map(|i| vals[(i * 3 + i / 7) % 5]).collect();
+        let data = encode(&values);
+        let mut active = vec![0u64; values.len().div_ceil(64)];
+        for i in (0..values.len()).filter(|i| i % 2 == 0) {
+            active[i / 64] |= 1 << (i % 64);
+        }
+        for filter in [None, Some((20i64, 45i64)), Some((60, 90)), Some((0, 100))] {
+            let mut got = BlockAgg::new();
+            fold_range_masked(&data, filter, &active, &mut got);
+            let mut want = BlockAgg::new();
+            for (i, &v) in values.iter().enumerate() {
+                if i % 2 == 0 && filter.is_none_or(|(lo, hi)| (lo..hi).contains(&v)) {
+                    want.push(v);
+                }
+            }
+            assert_eq!(got, want, "filter {filter:?}");
         }
     }
 }

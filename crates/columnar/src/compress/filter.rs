@@ -11,6 +11,130 @@
 
 use crate::types::Value;
 
+/// Streaming COUNT/SUM/MIN/MAX accumulator for the fused masked-aggregate
+/// paths (`fold_range_masked`). The engine folds it into its own
+/// `AggState` via one `push_block`; keeping a local type here lets the
+/// codecs aggregate in their own domain without a dependency on the
+/// engine crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockAgg {
+    /// Number of folded values.
+    pub count: u64,
+    /// Sum of folded values (`i128`: no `i64` input can overflow it).
+    pub sum: i128,
+    /// Minimum folded value (undefined when `count == 0`).
+    pub min: Value,
+    /// Maximum folded value (undefined when `count == 0`).
+    pub max: Value,
+}
+
+impl BlockAgg {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: Value::MAX,
+            max: Value::MIN,
+        }
+    }
+
+    /// Fold one value.
+    #[inline]
+    pub fn push(&mut self, v: Value) {
+        self.count += 1;
+        self.sum += v as i128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold `n` copies of the same value (the RLE fan-out).
+    #[inline]
+    pub fn push_repeated(&mut self, v: Value, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.count += n;
+        self.sum += v as i128 * n as i128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+impl Default for BlockAgg {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Is the row's bit set in the block-local selection words?
+#[inline]
+pub(crate) fn bit_set(words: &[u64], i: usize) -> bool {
+    words.get(i / 64).is_some_and(|w| w >> (i % 64) & 1 == 1)
+}
+
+/// All-ones mask of the low `n` bits (total for `n <= 64`).
+#[inline]
+fn low_ones(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// The `wi`-th little-endian u64 of a packed region, 0 past the end —
+/// one unaligned load, no intermediate `Vec<u64>`.
+#[inline]
+fn read_packed_word(region: &[u8], wi: usize) -> u64 {
+    let start = wi * 8;
+    match region.get(start..start + 8) {
+        Some(b) => u64::from_le_bytes(b.try_into().expect("8 bytes")),
+        None => 0,
+    }
+}
+
+/// Read the `width`-bit field at index `i` from a fixed-width packed
+/// region: one branchless two-word unpack (the adjacent words are
+/// widened to `u128`, shifted, masked) — no per-bit loop, no
+/// allocation, valid for any width up to 64. Shared by the dict code
+/// and frame-of-reference offset random-access paths.
+#[inline]
+pub(super) fn unpack_fixed(region: &[u8], width: u32, i: usize) -> u64 {
+    let bit = i * width as usize;
+    let wi = bit / 64;
+    let shift = (bit % 64) as u32;
+    let pair =
+        read_packed_word(region, wi) as u128 | (read_packed_word(region, wi + 1) as u128) << 64;
+    ((pair >> shift) as u64) & low_ones(width)
+}
+
+/// Count set bits of `words` in bit positions `[lo, hi)` — the RLE fold's
+/// per-run activity count, O(words spanned) not O(bits).
+pub(super) fn count_bits_in(words: &[u64], lo: usize, hi: usize) -> u64 {
+    if lo >= hi {
+        return 0;
+    }
+    let first = lo / 64;
+    let last = (hi - 1) / 64;
+    let mut count = 0u64;
+    for wi in first..=last {
+        let Some(&w) = words.get(wi) else { break };
+        let mut w = w;
+        if wi == first {
+            w &= !0u64 << (lo % 64);
+        }
+        if wi == last {
+            let used = hi - wi * 64;
+            if used < 64 {
+                w &= (1u64 << used) - 1;
+            }
+        }
+        count += u64::from(w.count_ones());
+    }
+    count
+}
+
 /// `hi − lo` in the unsigned domain; 0 when the range is empty, so the
 /// wrapping compare in [`in_range`] rejects everything.
 #[inline]
@@ -142,6 +266,56 @@ mod tests {
         }
         w.finish();
         assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn count_bits_in_matches_naive() {
+        let words = [0xDEAD_BEEF_0123_4567u64, 0xFFFF_0000_FFFF_0000, 0x1];
+        for (lo, hi) in [(0, 0), (0, 64), (3, 61), (60, 70), (64, 192), (150, 200)] {
+            let naive: u64 = (lo..hi).map(|i| u64::from(bit_set(&words, i))).sum();
+            assert_eq!(count_bits_in(&words, lo, hi), naive, "[{lo}, {hi})");
+        }
+        // Bits past the slice count as clear.
+        assert_eq!(count_bits_in(&words, 191, 300), 0);
+    }
+
+    #[test]
+    fn block_agg_folds() {
+        let mut a = BlockAgg::new();
+        a.push(5);
+        a.push_repeated(-2, 3);
+        a.push_repeated(100, 0);
+        assert_eq!(a.count, 4);
+        assert_eq!(a.sum, -1);
+        assert_eq!(a.min, -2);
+        assert_eq!(a.max, 5);
+    }
+
+    #[test]
+    fn unpack_fixed_matches_bit_reference() {
+        // 200 fields of each width, packed LSB-first, then read back.
+        for width in [1u32, 3, 7, 8, 13, 31, 33, 64] {
+            let values: Vec<u64> = (0..200u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & low_ones(width))
+                .collect();
+            let mut bits = Vec::new();
+            for &v in &values {
+                for b in 0..width {
+                    bits.push(v >> b & 1 == 1);
+                }
+            }
+            let mut region = vec![0u8; bits.len().div_ceil(8)];
+            for (i, &b) in bits.iter().enumerate() {
+                if b {
+                    region[i / 8] |= 1 << (i % 8);
+                }
+            }
+            // Pad to whole words like the encoders do.
+            region.resize(region.len().div_ceil(8) * 8, 0);
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(unpack_fixed(&region, width, i), v, "width {width} i {i}");
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 
-use super::filter::MaskWriter;
+use super::filter::{unpack_fixed, BlockAgg, MaskWriter};
 use super::varint::{read_signed, read_varint, write_signed, write_varint};
 use crate::types::Value;
 
@@ -147,6 +147,103 @@ pub fn filter_range_masks(data: &[u8], lo: Value, hi: Value, out: &mut Vec<u64>)
     w.finish();
 }
 
+/// Parse the header, returning `(count, min, width, packed region)`.
+/// The region is *borrowed* — point reads and folds unpack straight
+/// from it ([`unpack_fixed`]), no `Vec<u64>` is materialized.
+fn parse_header(data: &[u8]) -> (usize, Value, u32, &[u8]) {
+    let mut pos = 0;
+    let count = read_varint(data, &mut pos) as usize;
+    if count == 0 {
+        return (0, 0, 0, &[]);
+    }
+    let min = read_signed(data, &mut pos);
+    let width = data[pos] as u32;
+    pos += 1;
+    (count, min, width, &data[pos..])
+}
+
+/// Value at row `i`: one direct fixed-width unpack — frame-of-reference
+/// is a random-access format, so point reads cost O(1) with no
+/// allocation.
+pub fn value_at(data: &[u8], i: usize) -> Value {
+    let (count, min, width, region) = parse_header(data);
+    assert!(
+        i < count,
+        "row {i} out of range for forpack block of {count} rows"
+    );
+    (min as i128 + unpack_fixed(region, width, i) as i128) as i64
+}
+
+/// Fused masked aggregate in *offset space*: the filter is rebased to
+/// `[lo − min, hi − min)` once, and the frame base is added back exactly
+/// once at the end — values are never reconstructed per row. Fixed-width
+/// packing is random-access, so the fold hoists each 64-row activity
+/// word and unpacks only the *active* rows (an all-forgotten word costs
+/// one load); offsets accumulate in a `u64` that spills to `u128` on the
+/// practically-never-taken overflow branch.
+pub fn fold_range_masked(
+    data: &[u8],
+    filter: Option<(Value, Value)>,
+    active: &[u64],
+    agg: &mut BlockAgg,
+) {
+    let (count, min, width, region) = parse_header(data);
+    if count == 0 {
+        return;
+    }
+    let (off_lo, span, filtered) = match filter {
+        Some((lo, hi)) => {
+            let off_lo = (lo as i128 - min as i128).clamp(0, 1 << 64) as u128;
+            let off_hi = (hi as i128 - min as i128).clamp(0, 1 << 64) as u128;
+            (off_lo, off_hi.saturating_sub(off_lo), true)
+        }
+        None => (0, 0, false),
+    };
+    let mut n = 0u64;
+    let mut off_sum = 0u64;
+    let mut off_spill = 0u128;
+    let mut off_min = u64::MAX;
+    let mut off_max = 0u64;
+    for (g, &aw) in active.iter().enumerate().take(count.div_ceil(64)) {
+        let base_row = g * 64;
+        let rows = (count - base_row).min(64);
+        let w = if rows == 64 {
+            aw
+        } else {
+            aw & ((1u64 << rows) - 1)
+        };
+        // Only the active rows are unpacked (fixed-width packing makes
+        // point unpacks one branchless two-word read), so an
+        // all-forgotten word costs one load and heavy forgetting keeps
+        // making the fold cheaper.
+        let mut w = w;
+        while w != 0 {
+            let bit = w.trailing_zeros() as usize;
+            w &= w - 1;
+            let off = unpack_fixed(region, width, base_row + bit);
+            if !filtered || (off as u128).wrapping_sub(off_lo) < span {
+                n += 1;
+                match off_sum.checked_add(off) {
+                    Some(s) => off_sum = s,
+                    None => {
+                        off_spill += off_sum as u128;
+                        off_sum = off;
+                    }
+                }
+                off_min = off_min.min(off);
+                off_max = off_max.max(off);
+            }
+        }
+    }
+    if n > 0 {
+        let base = min as i128;
+        agg.count += n;
+        agg.sum += base * n as i128 + (off_spill + off_sum as u128) as i128;
+        agg.min = agg.min.min((base + off_min as i128) as i64);
+        agg.max = agg.max.max((base + off_max as i128) as i64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,5 +310,45 @@ mod tests {
         let mut masks = Vec::new();
         filter_range_masks(&data, -1, 2, &mut masks);
         assert_eq!(masks, vec![0b01110]);
+    }
+
+    #[test]
+    fn value_at_direct_unpack() {
+        let values: Vec<i64> = (0..130).map(|i| -1000 + (i * 37) % 255).collect();
+        let data = encode(&values);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(value_at(&data, i), v, "row {i}");
+        }
+        let extremes = vec![i64::MIN, 0, i64::MAX];
+        let data = encode(&extremes);
+        for (i, &v) in extremes.iter().enumerate() {
+            assert_eq!(value_at(&data, i), v, "extreme row {i}");
+        }
+    }
+
+    #[test]
+    fn fold_range_masked_matches_reference() {
+        let values: Vec<i64> = (0..180).map(|i| 1_000_000 + (i * 13) % 97).collect();
+        let data = encode(&values);
+        let mut active = vec![0u64; values.len().div_ceil(64)];
+        for i in (0..values.len()).filter(|i| i % 5 != 2) {
+            active[i / 64] |= 1 << (i % 64);
+        }
+        for filter in [
+            None,
+            Some((1_000_010i64, 1_000_050i64)),
+            Some((i64::MIN, i64::MAX)),
+            Some((0, 10)),
+        ] {
+            let mut got = BlockAgg::new();
+            fold_range_masked(&data, filter, &active, &mut got);
+            let mut want = BlockAgg::new();
+            for (i, &v) in values.iter().enumerate() {
+                if i % 5 != 2 && filter.is_none_or(|(lo, hi)| (lo..hi).contains(&v)) {
+                    want.push(v);
+                }
+            }
+            assert_eq!(got, want, "filter {filter:?}");
+        }
     }
 }

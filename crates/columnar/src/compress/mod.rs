@@ -49,6 +49,9 @@ pub mod varint;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
+pub(crate) use filter::bit_set;
+pub use filter::BlockAgg;
+
 use crate::types::Value;
 
 /// Available encodings.
@@ -195,6 +198,52 @@ impl EncodedBlock {
         debug_assert_eq!(out.len(), self.len.div_ceil(64));
     }
 
+    /// Value at row `i` without decoding the block — the point-access
+    /// fast path behind `Table::value` on frozen rows. Dictionary and
+    /// frame-of-reference blocks are random-access (one fixed-width
+    /// unpack); RLE walks run headers and delta prefix-sums up to `i`;
+    /// none of them allocate. Panics if `i >= len`.
+    pub fn value_at(&self, i: usize) -> Value {
+        assert!(
+            i < self.len,
+            "row {i} out of range for block of {} rows",
+            self.len
+        );
+        match self.encoding {
+            Encoding::Plain => {
+                let bytes = &self.data[i * 8..i * 8 + 8];
+                i64::from_le_bytes(bytes.try_into().expect("chunk of 8"))
+            }
+            Encoding::Rle => rle::value_at(&self.data, i),
+            Encoding::Delta => delta::value_at(&self.data, i),
+            Encoding::ForPack => forpack::value_at(&self.data, i),
+            Encoding::Dict => dict::value_at(&self.data, i),
+        }
+    }
+
+    /// Fused masked aggregate: fold COUNT/SUM/MIN/MAX of the rows whose
+    /// bit is set in `active` (block-local selection words, LSB-first)
+    /// and whose value passes the optional `[lo, hi)` filter, into `agg`
+    /// — *without decoding the block*. Each codec folds in its own
+    /// domain: RLE per run (one compare + one popcount-range), dict via a
+    /// per-code histogram, FOR in rebased offset space, delta inside the
+    /// prefix-sum walk. This is what lets frozen blocks answer aggregate
+    /// queries at hot-path speed.
+    pub fn fold_range_masked(
+        &self,
+        filter: Option<(Value, Value)>,
+        active: &[u64],
+        agg: &mut BlockAgg,
+    ) {
+        match self.encoding {
+            Encoding::Plain => plain_fold_range_masked(&self.data, filter, active, agg),
+            Encoding::Rle => rle::fold_range_masked(&self.data, filter, active, agg),
+            Encoding::Delta => delta::fold_range_masked(&self.data, filter, active, agg),
+            Encoding::ForPack => forpack::fold_range_masked(&self.data, filter, active, agg),
+            Encoding::Dict => dict::fold_range_masked(&self.data, filter, active, agg),
+        }
+    }
+
     /// Number of encoded values.
     pub fn len(&self) -> usize {
         self.len
@@ -254,6 +303,27 @@ fn plain_decode(data: &[u8]) -> Vec<Value> {
     data.chunks_exact(8)
         .map(|c| i64::from_le_bytes(c.try_into().expect("chunk of 8")))
         .collect()
+}
+
+/// Fused masked aggregate over raw little-endian values (trivial codec).
+fn plain_fold_range_masked(
+    data: &[u8],
+    filter: Option<(Value, Value)>,
+    active: &[u64],
+    agg: &mut BlockAgg,
+) {
+    let (lo, width, filtered) = match filter {
+        Some((lo, hi)) => (lo, (hi as i128 - lo as i128).max(0) as u64, true),
+        None => (0, 0, false),
+    };
+    for (i, c) in data.chunks_exact(8).enumerate() {
+        if bit_set(active, i) {
+            let v = i64::from_le_bytes(c.try_into().expect("chunk of 8"));
+            if !filtered || (v as u64).wrapping_sub(lo as u64) < width {
+                agg.push(v);
+            }
+        }
+    }
 }
 
 /// Fused filter over raw little-endian values (the trivial codec case).
@@ -365,6 +435,49 @@ mod proptests {
             // Auto must never be bigger than plain.
             let plain = EncodedBlock::encode(&values, Encoding::Plain);
             prop_assert!(auto.compressed_bytes() <= plain.compressed_bytes());
+        }
+
+        #[test]
+        fn value_at_equals_decode_index(
+            values in proptest::collection::vec(any::<i64>(), 1..300),
+        ) {
+            for enc in Encoding::ALL {
+                let block = EncodedBlock::encode(&values, enc);
+                let decoded = block.decode();
+                for (i, &v) in decoded.iter().enumerate() {
+                    prop_assert_eq!(block.value_at(i), v, "{:?} row {}", enc, i);
+                }
+            }
+        }
+
+        #[test]
+        fn fold_masked_equals_decode_then_fold(
+            values in proptest::collection::vec(-1000i64..1000, 0..300),
+            lo in -1200i64..1200,
+            width in 0i64..2500,
+            active_seed in any::<u64>(),
+        ) {
+            let hi = lo.saturating_add(width);
+            let nwords = values.len().div_ceil(64);
+            // Deterministic pseudo-random activity words from the seed.
+            let active: Vec<u64> = (0..nwords)
+                .map(|i| active_seed.rotate_left(i as u32 * 7).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .collect();
+            let set = |i: usize| active[i / 64] >> (i % 64) & 1 == 1;
+            for filter in [None, Some((lo, hi))] {
+                let mut want = BlockAgg::new();
+                for (i, &v) in values.iter().enumerate() {
+                    if set(i) && filter.is_none_or(|(lo, hi)| v >= lo && v < hi) {
+                        want.push(v);
+                    }
+                }
+                for enc in Encoding::ALL {
+                    let block = EncodedBlock::encode(&values, enc);
+                    let mut got = BlockAgg::new();
+                    block.fold_range_masked(filter, &active, &mut got);
+                    prop_assert_eq!(got, want, "{:?} filter {:?}", enc, filter);
+                }
+            }
         }
 
         #[test]

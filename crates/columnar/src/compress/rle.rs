@@ -2,7 +2,7 @@
 
 use bytes::{Bytes, BytesMut};
 
-use super::filter::{in_range, range_width, MaskWriter};
+use super::filter::{count_bits_in, in_range, range_width, BlockAgg, MaskWriter};
 use super::varint::{read_signed, read_varint, write_signed, write_varint};
 use crate::types::Value;
 
@@ -51,6 +51,50 @@ pub fn filter_range_masks(data: &[u8], lo: Value, hi: Value, out: &mut Vec<u64>)
     w.finish();
 }
 
+/// Value at row `i` without decoding the block: walk the run headers
+/// (varints forbid random access) until the cumulative length covers `i`.
+/// O(runs before `i`) — for the long runs RLE wins on, that is far fewer
+/// steps than rows, and no `Vec` is ever allocated.
+pub fn value_at(data: &[u8], i: usize) -> Value {
+    let mut pos = 0;
+    let mut covered = 0usize;
+    while pos < data.len() {
+        let v = read_signed(data, &mut pos);
+        let run = read_varint(data, &mut pos) as usize;
+        covered += run;
+        if i < covered {
+            return v;
+        }
+    }
+    panic!("row {i} out of range for rle block of {covered} rows");
+}
+
+/// Fused masked aggregate: fold COUNT/SUM/MIN/MAX of the rows whose bit is
+/// set in `active` (block-local selection words) and whose value passes
+/// the optional `[lo, hi)` filter — one compare plus one popcount-range
+/// per *run*, never materializing values.
+pub fn fold_range_masked(
+    data: &[u8],
+    filter: Option<(Value, Value)>,
+    active: &[u64],
+    agg: &mut BlockAgg,
+) {
+    let mut pos = 0;
+    let mut row = 0usize;
+    while pos < data.len() {
+        let v = read_signed(data, &mut pos);
+        let run = read_varint(data, &mut pos) as usize;
+        let matches = match filter {
+            Some((lo, hi)) => in_range(v, lo, range_width(lo, hi)),
+            None => true,
+        };
+        if matches {
+            agg.push_repeated(v, count_bits_in(active, row, row + run));
+        }
+        row += run;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,6 +137,42 @@ mod tests {
         for (i, &v) in values.iter().enumerate() {
             let bit = masks[i / 64] >> (i % 64) & 1;
             assert_eq!(bit == 1, (2..5).contains(&v), "row {i}");
+        }
+    }
+
+    #[test]
+    fn value_at_walks_runs() {
+        let values: Vec<i64> = (0..50)
+            .flat_map(|i| std::iter::repeat_n(i * 3, (i as usize % 4) + 1))
+            .collect();
+        let data = encode(&values);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(value_at(&data, i), v, "row {i}");
+        }
+    }
+
+    #[test]
+    fn fold_range_masked_matches_reference() {
+        let values: Vec<i64> = (0..200)
+            .flat_map(|i| std::iter::repeat_n(i % 9 - 4, (i as usize % 3) + 1))
+            .collect();
+        let data = encode(&values);
+        // Every third row active.
+        let mut active = vec![0u64; values.len().div_ceil(64)];
+        for i in (0..values.len()).step_by(3) {
+            active[i / 64] |= 1 << (i % 64);
+        }
+        for filter in [None, Some((-2i64, 3i64)), Some((100, 200))] {
+            let mut got = BlockAgg::new();
+            fold_range_masked(&data, filter, &active, &mut got);
+            let mut want = BlockAgg::new();
+            for (i, &v) in values.iter().enumerate() {
+                let ok = i % 3 == 0 && filter.is_none_or(|(lo, hi)| (lo..hi).contains(&v));
+                if ok {
+                    want.push(v);
+                }
+            }
+            assert_eq!(got, want, "filter {filter:?}");
         }
     }
 }

@@ -93,12 +93,15 @@ impl SortedIndex {
         self.builds
     }
 
-    /// (Re)build from the active rows; clears staleness.
+    /// (Re)build from the active rows; clears staleness. Tier-aware:
+    /// frozen columns are materialized once for the build instead of
+    /// paying a codec point-read per row.
     pub fn rebuild(&mut self, table: &Table) {
         self.entries.clear();
         self.entries.reserve(table.active_rows());
+        let values = table.col_values_dense(self.col);
         for row in table.iter_active() {
-            self.entries.push((table.value(self.col, row), row));
+            self.entries.push((values[row.as_usize()], row));
         }
         self.entries.sort_unstable();
         self.state = IndexState::Built;

@@ -17,6 +17,10 @@
 //! * [`compress`] — RLE / delta / frame-of-reference / dictionary codecs
 //!   (§4.4 "data compression can be called upon to postpone the decisions
 //!   to forget data"),
+//! * [`tier`] — tiered column storage: cold full blocks live *compressed
+//!   in place* (hot → frozen → recompressed → dropped) with cached
+//!   per-block zone metadata, so compression is the table's resting
+//!   state rather than a side-car snapshot,
 //! * [`coldstore`] — where forgotten tuples can be moved instead of
 //!   deleted (§1, §5),
 //! * [`summary`] — aggregate summaries of forgotten data (§1 "keep a
@@ -40,6 +44,7 @@ pub mod schema;
 pub mod segment;
 pub mod summary;
 pub mod table;
+pub mod tier;
 pub mod types;
 pub mod vacuum;
 pub mod zonemap;
@@ -57,5 +62,6 @@ pub use schema::{ColumnDef, Schema};
 pub use segment::SegmentedColumn;
 pub use summary::{SummaryCell, SummaryStore};
 pub use table::Table;
+pub use tier::{BlockMeta, BlockState, FrozenBlock, TieredColumn};
 pub use types::{Epoch, RowId, Value, DEFAULT_BLOCK_ROWS};
 pub use zonemap::{WordZoneMap, Zone, ZoneMap};

@@ -67,6 +67,11 @@ impl<'a> Reader<'a> {
         Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8")))
     }
 
+    /// Little-endian i64.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.bytes(8)?.try_into().expect("8")))
+    }
+
     /// Little-endian f64.
     pub fn f64(&mut self) -> Result<f64> {
         Ok(f64::from_le_bytes(self.bytes(8)?.try_into().expect("8")))

@@ -4,13 +4,21 @@
 //!
 //! ```text
 //! magic   "AMNSNAP1"                         8 bytes
-//! u32     version (= 1)
+//! u32     version (= 2)
 //! u64     payload length
 //! payload:
 //!   u16   arity
 //!   per column: u16 name length, UTF-8 name bytes
 //!   u64   row count
-//!   per column: u8 encoding tag, u64 value count, u64 data length, data
+//!   u64   tier block rows
+//!   per column:
+//!     u8    pinned-encoding flag (0xFF = automatic, else encoding tag)
+//!     u64   frozen block count
+//!     per frozen block: u8 state, u8 encoding tag,
+//!                       i64 meta min, i64 meta max, u64 meta active,
+//!                       u64 data length, data
+//!     u8    tail encoding tag, u64 tail rows, u64 data length, data
+//!     u8    stats flag, [i64 min seen, i64 max seen]
 //!   u64   forgotten count
 //!   per forgotten row: varint row id, varint died-at epoch
 //!   per row: signed varint insert-epoch delta (vs previous row)
@@ -19,10 +27,15 @@
 //! u32     CRC-32 of the payload
 //! ```
 //!
-//! Columns go through [`EncodedBlock::encode_auto`], so a snapshot of a
-//! serial table is dramatically smaller than the heap it restores to.
-//! The trailing CRC makes corruption loud: a snapshot either loads
-//! exactly or errors — never silently half-loads.
+//! Version 2 persists the *tiered* representation verbatim: frozen
+//! blocks ship their compressed payloads, cached [`BlockMeta`] and
+//! lifecycle state byte-for-byte, the hot tail goes through
+//! [`EncodedBlock::encode_auto`], and a restore reproduces the exact
+//! tier layout — dropped blocks stay dropped, recompressed blocks keep
+//! their squashed payloads, and the resident footprint after a restore
+//! matches the footprint before the save. The trailing CRC makes
+//! corruption loud: a snapshot either loads exactly or errors — never
+//! silently half-loads.
 
 use std::path::Path;
 
@@ -33,14 +46,34 @@ use crate::compress::varint::{write_signed, write_varint};
 use crate::compress::{EncodedBlock, Encoding};
 use crate::schema::Schema;
 use crate::table::Table;
-use crate::types::{RowId, Value};
+use crate::tier::{BlockMeta, BlockState, FrozenBlock, TieredColumn};
+use crate::types::RowId;
 
 use super::reader::Reader;
 
 /// File magic.
 pub const MAGIC: &[u8; 8] = b"AMNSNAP1";
 /// Current format version.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
+
+/// Stable on-disk tag for a block's lifecycle state.
+fn state_tag(state: BlockState) -> u8 {
+    match state {
+        BlockState::Frozen => 0,
+        BlockState::Recompressed => 1,
+        BlockState::Dropped => 2,
+    }
+}
+
+/// Inverse of [`state_tag`].
+fn state_from_tag(tag: u8) -> Option<BlockState> {
+    Some(match tag {
+        0 => BlockState::Frozen,
+        1 => BlockState::Recompressed,
+        2 => BlockState::Dropped,
+        _ => return None,
+    })
+}
 
 /// Serialize `table` into snapshot bytes.
 pub fn encode(table: &Table) -> Vec<u8> {
@@ -54,16 +87,37 @@ pub fn encode(table: &Table) -> Vec<u8> {
         payload.put_slice(def.name.as_bytes());
     }
 
-    // Columns.
+    // Columns: the tiered representation, verbatim.
     let n = table.num_rows();
     payload.put_u64_le(n as u64);
+    payload.put_u64_le(table.block_rows() as u64);
     for c in 0..schema.arity() {
-        let values: Vec<Value> = (0..n).map(|r| table.value(c, RowId::from(r))).collect();
-        let block = EncodedBlock::encode_auto(&values);
-        payload.put_u8(block.encoding().tag());
-        payload.put_u64_le(block.len() as u64);
-        payload.put_u64_le(block.data().len() as u64);
-        payload.put_slice(block.data());
+        let tier = table.col_tier(c);
+        payload.put_u8(tier.pinned_encoding().map_or(0xFF, Encoding::tag));
+        payload.put_u64_le(tier.frozen_blocks() as u64);
+        for b in 0..tier.frozen_blocks() {
+            let f = tier.frozen(b).expect("block in range");
+            payload.put_u8(state_tag(f.state()));
+            payload.put_u8(f.encoded().encoding().tag());
+            payload.put_i64_le(f.meta().min);
+            payload.put_i64_le(f.meta().max);
+            payload.put_u64_le(f.meta().active as u64);
+            payload.put_u64_le(f.encoded().data().len() as u64);
+            payload.put_slice(f.encoded().data());
+        }
+        let tail = EncodedBlock::encode_auto(tier.hot_values());
+        payload.put_u8(tail.encoding().tag());
+        payload.put_u64_le(tail.len() as u64);
+        payload.put_u64_le(tail.data().len() as u64);
+        payload.put_slice(tail.data());
+        match (table.min_seen(c), table.max_seen(c)) {
+            (Some(min), Some(max)) => {
+                payload.put_u8(1);
+                payload.put_i64_le(min);
+                payload.put_i64_le(max);
+            }
+            _ => payload.put_u8(0),
+        }
     }
 
     // Forgotten rows with their death epochs.
@@ -150,27 +204,89 @@ pub fn decode(bytes: &[u8]) -> Result<Table> {
         );
     }
 
-    // Columns.
+    // Columns: tiered representation.
     let n = p.u64()? as usize;
-    let mut columns: Vec<Vec<Value>> = Vec::with_capacity(arity);
+    let block_rows = p.u64()? as usize;
+    if block_rows == 0 || !block_rows.is_multiple_of(64) {
+        return Err(storage_err!("invalid tier block size {block_rows}"));
+    }
+    struct ColParts {
+        tier: TieredColumn,
+        stats: Option<(i64, i64)>,
+    }
+    let mut columns: Vec<ColParts> = Vec::with_capacity(arity);
     for c in 0..arity {
-        let tag = p.u8()?;
-        let encoding =
-            Encoding::from_tag(tag).ok_or_else(|| storage_err!("unknown encoding tag {tag}"))?;
-        let count = p.u64()? as usize;
-        if count != n {
-            return Err(storage_err!("column {c} has {count} values, expected {n}"));
+        let pinned = p.u8()?;
+        let pinned = if pinned == 0xFF {
+            None
+        } else {
+            Some(
+                Encoding::from_tag(pinned)
+                    .ok_or_else(|| storage_err!("unknown pinned encoding tag {pinned}"))?,
+            )
+        };
+        let frozen_count = p.u64()? as usize;
+        if frozen_count
+            .checked_mul(block_rows)
+            .is_none_or(|rows| rows > n)
+        {
+            return Err(storage_err!(
+                "column {c} declares {frozen_count} frozen blocks for {n} rows"
+            ));
+        }
+        let mut frozen = Vec::with_capacity(frozen_count);
+        for b in 0..frozen_count {
+            let state = p.u8()?;
+            let state = state_from_tag(state)
+                .ok_or_else(|| storage_err!("unknown block state tag {state}"))?;
+            let tag = p.u8()?;
+            let encoding = Encoding::from_tag(tag)
+                .ok_or_else(|| storage_err!("unknown encoding tag {tag}"))?;
+            let min = p.i64()?;
+            let max = p.i64()?;
+            let active = p.u64()? as usize;
+            if active > block_rows {
+                return Err(storage_err!(
+                    "block {b} of column {c} claims {active} active rows"
+                ));
+            }
+            let data_len = p.u64()? as usize;
+            let data = Bytes::copy_from_slice(p.bytes(data_len)?);
+            let block = EncodedBlock::from_parts(encoding, block_rows, data);
+            frozen.push(FrozenBlock::from_parts(
+                block,
+                BlockMeta { min, max, active },
+                state,
+            ));
+        }
+        let tail_tag = p.u8()?;
+        let tail_encoding = Encoding::from_tag(tail_tag)
+            .ok_or_else(|| storage_err!("unknown tail encoding tag {tail_tag}"))?;
+        let tail_rows = p.u64()? as usize;
+        if frozen_count * block_rows + tail_rows != n {
+            return Err(storage_err!(
+                "column {c} covers {} rows, expected {n}",
+                frozen_count * block_rows + tail_rows
+            ));
         }
         let data_len = p.u64()? as usize;
         let data = Bytes::copy_from_slice(p.bytes(data_len)?);
-        let values = EncodedBlock::from_parts(encoding, count, data).decode();
-        if values.len() != n {
+        let tail = EncodedBlock::from_parts(tail_encoding, tail_rows, data).decode();
+        if tail.len() != tail_rows {
             return Err(storage_err!(
-                "column {c} decoded to {} values, expected {n}",
-                values.len()
+                "column {c} tail decoded to {} rows, expected {tail_rows}",
+                tail.len()
             ));
         }
-        columns.push(values);
+        let stats = match p.u8()? {
+            0 => None,
+            1 => Some((p.i64()?, p.i64()?)),
+            f => return Err(storage_err!("bad stats flag {f}")),
+        };
+        columns.push(ColParts {
+            tier: TieredColumn::from_parts(block_rows, pinned, frozen, tail),
+            stats,
+        });
     }
 
     // Forgotten rows.
@@ -210,20 +326,22 @@ pub fn decode(bytes: &[u8]) -> Result<Table> {
     }
     p.expect_end()?;
 
-    // Rebuild.
-    let mut table = Table::new(Schema::new(names));
-    let mut row_values = vec![0i64; arity];
-    for r in 0..n {
-        for (c, col) in columns.iter().enumerate() {
-            row_values[c] = col[r];
-        }
-        table.insert(&row_values, epochs[r])?;
-    }
-    for (row, epoch) in forgotten {
-        table.forget(row, epoch)?;
-    }
+    // Rebuild: the persisted tiers install as-is and the activity /
+    // epoch / access bookkeeping is reconstructed directly — the restore
+    // never materializes a dense copy of the table and allocates nothing
+    // beyond the tiers it keeps. Dropped blocks stay dropped, frozen
+    // payloads are not re-encoded, and block metadata arrives already
+    // reflecting the persisted forgets.
+    let (tiers, stats): (Vec<_>, Vec<_>) = columns.into_iter().map(|c| (c.tier, c.stats)).unzip();
+    let mut table =
+        Table::from_restored_parts(Schema::new(names), block_rows, tiers, epochs, &forgotten)?;
     for (row, freq, last) in touched {
         table.access_mut().restore(row, freq, last);
+    }
+    for (c, stats) in stats.into_iter().enumerate() {
+        if let Some((min, max)) = stats {
+            table.restore_col_stats(c, Some(min), Some(max));
+        }
     }
     table.check_invariants()?;
     Ok(table)
@@ -328,6 +446,45 @@ mod tests {
         // to ~1 byte/value (plus 1 byte/row of epoch deltas).
         assert!(snap.len() < 25_000, "snapshot is {} bytes", snap.len());
         assert_tables_equal(&t, &decode(&snap).unwrap());
+    }
+
+    #[test]
+    fn tiered_table_round_trips_layout_exactly() {
+        // Freeze, forget, drop a block, recompress another: the restored
+        // table must reproduce the tier layout and the resident bytes.
+        let values: Vec<i64> = (0..4096).map(|i| if i % 2 == 0 { 9 } else { i }).collect();
+        let mut t = Table::new(Schema::single("a"));
+        t.insert_batch(&values, 0).unwrap();
+        t.freeze_upto(4096);
+        for r in 0..1024u64 {
+            t.forget(RowId(r), 1).unwrap();
+        }
+        for r in (1025..2048u64).step_by(2) {
+            t.forget(RowId(r), 2).unwrap();
+        }
+        t.drop_forgotten_blocks();
+        t.recompress_frozen(0.6);
+        let restored = decode(&encode(&t)).unwrap();
+        assert_eq!(restored.frozen_blocks(), t.frozen_blocks());
+        assert_eq!(restored.bytes_frozen(), t.bytes_frozen());
+        for b in 0..t.frozen_blocks() {
+            let (a, r) = (
+                t.col_tier(0).frozen(b).unwrap(),
+                restored.col_tier(0).frozen(b).unwrap(),
+            );
+            assert_eq!(a.state(), r.state(), "block {b} state");
+            assert_eq!(a.meta(), r.meta(), "block {b} meta");
+            assert_eq!(a.encoded(), r.encoded(), "block {b} payload");
+        }
+        // Active rows answer identically; history bounds survive even
+        // though block 0's values are gone.
+        for row in t.iter_active() {
+            assert_eq!(t.value(0, row), restored.value(0, row));
+        }
+        assert_eq!(restored.max_seen(0), t.max_seen(0));
+        assert_eq!(restored.min_seen(0), t.min_seen(0));
+        assert_eq!(restored.active_rows(), t.active_rows());
+        restored.check_invariants().unwrap();
     }
 
     #[test]

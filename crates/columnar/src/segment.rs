@@ -112,12 +112,14 @@ impl SegmentedColumn {
         self.frozen.len()
     }
 
-    /// Value at a row (decodes the owning block; prefer
-    /// [`Self::block_values`] for scans).
+    /// Value at a row. Point access takes the owning codec's `value_at`
+    /// fast path (RLE run walk, delta prefix walk, direct dict/FOR
+    /// unpack) instead of decoding the whole block — a single frozen read
+    /// costs O(runs-or-1), not O(block rows) plus an allocation.
     pub fn get(&self, row: usize) -> Value {
         let block = row / self.block_rows;
         if block < self.frozen.len() {
-            self.frozen[block].decode()[row % self.block_rows]
+            self.frozen[block].value_at(row % self.block_rows)
         } else {
             self.tail[row - self.frozen.len() * self.block_rows]
         }

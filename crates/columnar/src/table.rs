@@ -1,13 +1,17 @@
 //! The amnesiac table: columns + activity + epochs + access stats.
 
+use std::borrow::Cow;
+
 use amnesia_util::{storage_err, Error, Result, SimRng};
 use serde::{Deserialize, Serialize};
 
 use crate::access::AccessStats;
 use crate::activity::ActivityMap;
 use crate::column::Column;
+use crate::compress::Encoding;
 use crate::schema::Schema;
-use crate::types::{Epoch, RowId, Value};
+use crate::tier::TieredColumn;
+use crate::types::{Epoch, RowId, Value, DEFAULT_BLOCK_ROWS};
 
 /// A columnar table whose tuples can be *forgotten*.
 ///
@@ -15,6 +19,13 @@ use crate::types::{Epoch, RowId, Value};
 /// notion, paper §2.1); what *physically* happens to forgotten tuples
 /// (deletion, cold storage, summaries, index eviction) is decided by the
 /// layers above, which this crate also provides.
+///
+/// Storage is *tiered* (see [`crate::tier`]): each column keeps its old
+/// full blocks compressed in place behind a hot uncompressed tail.
+/// Freshly built tables are fully hot; [`Table::freeze_upto`] moves the
+/// cold prefix into its compressed resting state, and
+/// [`Table::drop_forgotten_blocks`] / [`Table::recompress_frozen`] are
+/// the block-granular amnesia transitions layered on top.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table {
     schema: Schema,
@@ -23,19 +34,29 @@ pub struct Table {
     insert_epoch: Vec<Epoch>,
     access: AccessStats,
     current_epoch: Epoch,
+    block_rows: usize,
 }
 
 impl Table {
-    /// Empty table with the given schema.
+    /// Empty table with the given schema and the default tier block size.
     pub fn new(schema: Schema) -> Self {
+        Self::with_block_rows(schema, DEFAULT_BLOCK_ROWS)
+    }
+
+    /// Empty table with a custom tier block size (rows per frozen block;
+    /// must be a positive multiple of 64 so blocks tile activity words).
+    pub fn with_block_rows(schema: Schema, block_rows: usize) -> Self {
         let arity = schema.arity();
         Self {
             schema,
-            columns: (0..arity).map(|_| Column::new()).collect(),
+            columns: (0..arity)
+                .map(|_| Column::with_block_rows(block_rows))
+                .collect(),
             activity: ActivityMap::new(),
             insert_epoch: Vec::new(),
             access: AccessStats::new(),
             current_epoch: 0,
+            block_rows,
         }
     }
 
@@ -91,11 +112,19 @@ impl Table {
 
     /// Mark a row forgotten at `epoch`. Errors if the id is out of range;
     /// forgetting an already-forgotten row is a no-op returning `false`.
+    /// First-time forgets propagate to the tier layer so frozen-block
+    /// metadata (active counts) stays exact.
     pub fn forget(&mut self, row: RowId, epoch: Epoch) -> Result<bool> {
         if row.as_usize() >= self.num_rows() {
             return Err(storage_err!("row {row} out of range"));
         }
-        Ok(self.activity.forget(row, epoch))
+        let first = self.activity.forget(row, epoch);
+        if first {
+            for c in &mut self.columns {
+                c.tier_mut().note_forget(row.as_usize());
+            }
+        }
+        Ok(first)
     }
 
     /// Value of `col` at `row` (whether or not the row is active).
@@ -115,11 +144,165 @@ impl Table {
     }
 
     /// Contiguous values of `col` in physical row order, including rows
-    /// that have been forgotten. This is the batch-kernel entry point:
-    /// pair it with [`Table::activity_words`] to scan word-at-a-time.
+    /// that have been forgotten — the batch kernels' flat fast path,
+    /// paired with [`Table::activity_words`].
+    ///
+    /// Only available while the column is fully hot; once blocks are
+    /// frozen there is no contiguous slice, and this *panics* so an
+    /// unmigrated flat caller fails loudly. Tier-aware consumers use
+    /// [`Table::col_tier`]; whole-column materializers use
+    /// [`Table::col_values_dense`].
     #[inline]
     pub fn col_values(&self, col: usize) -> &[Value] {
         self.columns[col].values()
+    }
+
+    /// The tiered representation of `col`: frozen compressed blocks with
+    /// cached per-block metadata, then the hot tail. This is the entry
+    /// point for the engine's tier-aware kernels.
+    #[inline]
+    pub fn col_tier(&self, col: usize) -> &TieredColumn {
+        self.columns[col].tier()
+    }
+
+    /// The whole column in physical row order: borrowed while fully hot,
+    /// decoded into an owned buffer when blocks are frozen. For consumers
+    /// (joins, index builds, ground-truth scoring) that genuinely need
+    /// every value materialized.
+    pub fn col_values_dense(&self, col: usize) -> Cow<'_, [Value]> {
+        self.columns[col].dense_values()
+    }
+
+    /// True when any column holds frozen blocks (all columns freeze in
+    /// lockstep, so checking the first suffices).
+    pub fn has_frozen(&self) -> bool {
+        self.columns
+            .first()
+            .is_some_and(|c| !c.tier().is_fully_hot())
+    }
+
+    /// Rows per tier block.
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// Pin (or unpin) the freeze codec of one column — the codec-ablation
+    /// and equivalence-test hook; production tables use the automatic
+    /// per-block chooser.
+    pub fn pin_encoding(&mut self, col: usize, encoding: Option<Encoding>) {
+        self.columns[col].tier_mut().pin_encoding(encoding);
+    }
+
+    /// Freeze every column's full blocks below `row` (rounded down to a
+    /// block boundary): the cold prefix moves into its compressed resting
+    /// state with per-block min/max/active metadata cached from the
+    /// current activity map. Returns the number of blocks frozen (per
+    /// column — all columns freeze in lockstep).
+    pub fn freeze_upto(&mut self, row: usize) -> usize {
+        let words = self.activity.words().to_vec();
+        let mut frozen = 0;
+        for c in &mut self.columns {
+            frozen = c.tier_mut().freeze_upto(row, &words);
+        }
+        frozen
+    }
+
+    /// Thaw frozen blocks `b..` of every column back into hot storage
+    /// (suffix-granular — see
+    /// [`TieredColumn::thaw_block`](crate::tier::TieredColumn::thaw_block)).
+    /// Returns the rows thawed.
+    pub fn thaw_block(&mut self, b: usize) -> usize {
+        let mut thawed = 0;
+        for c in &mut self.columns {
+            thawed = c.tier_mut().thaw_block(b);
+        }
+        thawed
+    }
+
+    /// Drop the payload of every fully-forgotten frozen block — the most
+    /// radical tier transition: forgetting a whole block reclaims its
+    /// bytes while row ids stay stable. Returns `(blocks dropped, bytes
+    /// reclaimed)`.
+    pub fn drop_forgotten_blocks(&mut self) -> (usize, usize) {
+        let mut blocks = 0;
+        let mut bytes = 0;
+        let nb = self.frozen_blocks();
+        for b in 0..nb {
+            if self.columns[0].tier().meta(b).active != 0 {
+                continue;
+            }
+            let mut dropped_any = false;
+            for c in &mut self.columns {
+                let freed = c.tier_mut().drop_block(b);
+                if freed > 0 {
+                    dropped_any = true;
+                }
+                bytes += freed;
+            }
+            if dropped_any {
+                blocks += 1;
+            }
+        }
+        (blocks, bytes)
+    }
+
+    /// Recompress frozen blocks whose active fraction fell to
+    /// `max_active_fraction` or below: forgotten rows squash onto active
+    /// neighbours, codecs re-run, meta bounds tighten. Returns `(blocks
+    /// recompressed, bytes saved)`.
+    pub fn recompress_frozen(&mut self, max_active_fraction: f64) -> (usize, usize) {
+        let words = self.activity.words().to_vec();
+        let mut blocks = 0;
+        let mut bytes = 0;
+        let nb = self.frozen_blocks();
+        for b in 0..nb {
+            let meta = *self.columns[0].tier().meta(b);
+            if self.columns[0]
+                .tier()
+                .frozen(b)
+                .is_some_and(|f| f.is_dropped())
+            {
+                continue;
+            }
+            if meta.active as f64 > max_active_fraction * self.block_rows as f64 {
+                continue;
+            }
+            let mut saved_any = false;
+            for c in &mut self.columns {
+                let saved = c.tier_mut().recompress_block(b, &words);
+                if saved > 0 {
+                    saved_any = true;
+                }
+                bytes += saved;
+            }
+            if saved_any {
+                blocks += 1;
+            }
+        }
+        (blocks, bytes)
+    }
+
+    /// Number of frozen blocks (identical across columns).
+    pub fn frozen_blocks(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.tier().frozen_blocks())
+    }
+
+    /// Compressed bytes currently held by frozen blocks, summed over
+    /// columns.
+    pub fn bytes_frozen(&self) -> usize {
+        self.columns.iter().map(|c| c.tier().bytes_frozen()).sum()
+    }
+
+    /// Flat bytes / resident bytes over all columns (≥ 1 means tiering
+    /// is saving memory).
+    pub fn compression_ratio(&self) -> f64 {
+        let plain: usize = self.columns.iter().map(|c| c.tier().plain_bytes()).sum();
+        let resident: usize = self.columns.iter().map(|c| c.tier().memory_bytes()).sum();
+        if resident == 0 {
+            1.0
+        } else {
+            plain as f64 / resident as f64
+        }
     }
 
     /// The packed active-row words (see
@@ -132,7 +315,8 @@ impl Table {
     /// Values of `col` for one `block_rows`-sized block (the last block
     /// may be short). Block-granular access pairs with
     /// [`ZoneMap`](crate::zonemap::ZoneMap) pruning so scans touch only
-    /// surviving blocks.
+    /// surviving blocks. Flat-path only: panics once blocks are frozen
+    /// (use [`Table::col_tier`] then).
     #[inline]
     pub fn col_block_values(&self, col: usize, block: usize, block_rows: usize) -> &[Value] {
         let values = self.columns[col].values();
@@ -141,13 +325,89 @@ impl Table {
         &values[lo..hi]
     }
 
-    /// Freeze a compressed snapshot of `col`: full blocks are encoded
+    /// Freeze a compressed *snapshot* of `col`: full blocks are encoded
     /// with the best codec, the remainder stays as an uncompressed tail.
-    /// This is the cold representation the fused compressed-scan kernels
-    /// run on — compression postpones forgetting (paper §4.4) only
-    /// because those kernels keep it scannable at batch speed.
+    /// Unlike [`Table::freeze_upto`] — which changes the column's resting
+    /// state in place — this copy is owned by the caller (point-in-time
+    /// exports, the compressed-kernel benches).
     pub fn compress_column(&self, col: usize) -> crate::segment::SegmentedColumn {
-        crate::segment::SegmentedColumn::from_values(self.columns[col].values())
+        crate::segment::SegmentedColumn::from_values(&self.columns[col].dense_values())
+    }
+
+    /// Reassemble a table from restored parts (snapshot reader): the
+    /// tiers install as-is — no dense materialization, no throwaway hot
+    /// columns — and the activity map is built directly from the
+    /// persisted forget list rather than routed through [`Table::forget`]
+    /// (the tiers' block metadata already reflects those forgets, so
+    /// `note_forget` must not run again). Column stats restore separately
+    /// via [`Table::restore_col_stats`].
+    pub fn from_restored_parts(
+        schema: Schema,
+        block_rows: usize,
+        tiers: Vec<TieredColumn>,
+        insert_epoch: Vec<Epoch>,
+        forgotten: &[(RowId, Epoch)],
+    ) -> Result<Self> {
+        if tiers.len() != schema.arity() {
+            return Err(storage_err!(
+                "{} tiers for a schema of arity {}",
+                tiers.len(),
+                schema.arity()
+            ));
+        }
+        let n = insert_epoch.len();
+        let mut activity = ActivityMap::new();
+        activity.push_active(n);
+        for &(row, epoch) in forgotten {
+            if row.as_usize() >= n {
+                return Err(storage_err!("forgotten row {row} out of range"));
+            }
+            activity.forget(row, epoch);
+        }
+        let mut access = AccessStats::new();
+        access.push_rows(n);
+        let current_epoch = insert_epoch.iter().copied().max().unwrap_or(0);
+        let mut table = Self {
+            schema,
+            columns: Vec::with_capacity(tiers.len()),
+            activity,
+            insert_epoch,
+            access,
+            current_epoch,
+            block_rows,
+        };
+        for (c, tier) in tiers.into_iter().enumerate() {
+            if tier.len() != n {
+                return Err(storage_err!(
+                    "tier for column {c} holds {} rows, expected {n}",
+                    tier.len()
+                ));
+            }
+            let mut col = Column::with_block_rows(block_rows);
+            col.install_tier(tier);
+            table.columns.push(col);
+        }
+        Ok(table)
+    }
+
+    /// Install a restored tiered column (snapshot reader). The tier must
+    /// hold exactly as many rows as the table.
+    pub fn install_tier(&mut self, col: usize, tier: TieredColumn) -> Result<()> {
+        if tier.len() != self.num_rows() {
+            return Err(storage_err!(
+                "tier for column {col} holds {} rows, expected {}",
+                tier.len(),
+                self.num_rows()
+            ));
+        }
+        self.columns[col].install_tier(tier);
+        Ok(())
+    }
+
+    /// Restore one column's historical min/max (snapshot reader; dropped
+    /// blocks lose their values so stats cannot be recomputed).
+    pub fn restore_col_stats(&mut self, col: usize, min: Option<Value>, max: Option<Value>) {
+        self.columns[col].restore_stats(min, max);
     }
 
     /// Total physical rows (active + forgotten).
@@ -212,11 +472,6 @@ impl Table {
         self.activity.random_active(rng)
     }
 
-    /// Mark a row forgotten without epoch bookkeeping (tests/tools).
-    pub fn activity_mut(&mut self) -> &mut ActivityMap {
-        &mut self.activity
-    }
-
     /// Largest value seen in `col` since table creation (the paper's
     /// `RANGE` bound for query generation).
     pub fn max_seen(&self, col: usize) -> Option<Value> {
@@ -228,7 +483,11 @@ impl Table {
         self.columns[col].min_seen()
     }
 
-    /// Approximate heap footprint in bytes (columns + marking + stats).
+    /// True *resident* heap bytes: compressed frozen blocks + hot tails +
+    /// per-block metadata + marking + stats. Frozen columns report their
+    /// compressed size, not the flat size they replaced — this is the
+    /// number the budget- and cost-based layers must see for compression
+    /// to actually postpone forgetting (paper §4.4).
     pub fn memory_bytes(&self) -> usize {
         self.columns.iter().map(Column::memory_bytes).sum::<usize>()
             + self.activity.memory_bytes()
@@ -361,6 +620,93 @@ mod tests {
         assert_eq!(seg.frozen_segments(), 1);
         let got: Vec<Value> = seg.iter().collect();
         assert_eq!(got, values);
+    }
+
+    #[test]
+    fn freeze_reduces_resident_bytes_and_preserves_reads() {
+        let values: Vec<Value> = (0..10_000).collect();
+        let mut t = table_with(&values);
+        let flat_bytes = t.memory_bytes();
+        assert!(!t.has_frozen());
+        let frozen = t.freeze_upto(t.num_rows());
+        assert_eq!(frozen, 9, "9 full blocks of 1024");
+        assert!(t.has_frozen());
+        assert!(t.bytes_frozen() > 0);
+        // Table-level bytes include activity/epoch/access bookkeeping;
+        // the column payload itself shrinks by an order of magnitude.
+        assert!(
+            t.memory_bytes() < flat_bytes,
+            "tiered {} vs flat {flat_bytes}",
+            t.memory_bytes()
+        );
+        assert!(t.compression_ratio() > 2.0);
+        // Point reads go through the codec fast paths.
+        for r in [0usize, 63, 64, 1023, 1024, 5000, 9999] {
+            assert_eq!(t.value(0, RowId::from(r)), r as i64, "row {r}");
+        }
+        assert_eq!(t.col_values_dense(0).as_ref(), &values[..]);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn block_drop_and_recompress_lifecycle() {
+        // Block 1 alternates a hot constant with serial noise: forgetting
+        // the noisy rows lets recompression collapse it to one long run.
+        let values: Vec<Value> = (0..4096)
+            .map(|i| {
+                if (1024..2048).contains(&i) && i % 2 == 0 {
+                    7
+                } else {
+                    i
+                }
+            })
+            .collect();
+        let mut t = table_with(&values);
+        t.freeze_upto(4096);
+        assert_eq!(t.frozen_blocks(), 4);
+        // Fully forget block 0, forget the noisy half of block 1.
+        for r in 0..1024u64 {
+            t.forget(RowId(r), 1).unwrap();
+        }
+        for r in (1025..2048u64).step_by(2) {
+            t.forget(RowId(r), 1).unwrap();
+        }
+        let before = t.bytes_frozen();
+        let (dropped, freed) = t.drop_forgotten_blocks();
+        assert_eq!(dropped, 1);
+        assert!(freed > 0);
+        let (recompressed, saved) = t.recompress_frozen(0.5);
+        assert_eq!(recompressed, 1, "only the half-forgotten block");
+        assert!(saved > 0, "a constant run must shrink the payload");
+        assert!(t.bytes_frozen() < before);
+        // Active rows still answer exactly.
+        assert_eq!(t.value(0, RowId(1026)), 7);
+        assert_eq!(t.value(0, RowId(3000)), 3000);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn thaw_returns_rows_to_hot() {
+        let mut t = table_with(&(0..3000).collect::<Vec<Value>>());
+        t.freeze_upto(3000);
+        assert_eq!(t.frozen_blocks(), 2);
+        let thawed = t.thaw_block(1);
+        assert_eq!(thawed, 1024);
+        assert_eq!(t.frozen_blocks(), 1);
+        assert_eq!(t.col_values_dense(0).as_ref().len(), 3000);
+        assert_eq!(t.value(0, RowId(2999)), 2999);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn custom_block_rows_tables() {
+        let mut t = Table::with_block_rows(Schema::single("a"), 64);
+        t.insert_batch(&(0..200).collect::<Vec<Value>>(), 0)
+            .unwrap();
+        assert_eq!(t.block_rows(), 64);
+        t.freeze_upto(200);
+        assert_eq!(t.frozen_blocks(), 3);
+        assert_eq!(t.value(0, RowId(100)), 100);
     }
 
     #[test]

@@ -1,0 +1,658 @@
+//! Tiered column storage: a hot uncompressed tail behind a prefix of
+//! frozen compressed blocks — compression as the *resting state* of cold
+//! data, not a side-car snapshot.
+//!
+//! Paper §4.4 argues "data compression can be called upon to postpone the
+//! decisions to forget data": every byte a cold segment gives back
+//! stretches the storage budget before any tuple must rot. Until this
+//! module existed, `compress_column` produced a snapshot the caller
+//! owned, so compression never reduced the table's resident footprint and
+//! the fused compressed kernels ran against stale copies. A
+//! [`TieredColumn`] instead *is* the column: the oldest rows live as
+//! [`EncodedBlock`]s with cached per-block [`BlockMeta`] (min/max over
+//! active rows, active-row count), the newest rows stay mutable and
+//! uncompressed, and every scan/aggregate/vacuum/persist path reads the
+//! tiers in place.
+//!
+//! # The tier state machine
+//!
+//! Each block of `block_rows` rows moves monotonically through four
+//! states, driven by vacuum scheduling and the amnesia policies:
+//!
+//! ```text
+//!   hot ──freeze_upto──▶ frozen ──recompress_block──▶ recompressed
+//!    ▲                      │                              │
+//!    └─────thaw_block───────┴──────────drop_block──────────▶ dropped
+//! ```
+//!
+//! * **hot** — plain `Vec<Value>` tail; inserts append here, point reads
+//!   are array indexing, scans take the raw-slice batch kernels.
+//! * **frozen** — [`EncodedBlock::encode_auto`] (or a pinned codec)
+//!   compressed the block; scans run the codec's fused
+//!   `filter_range_masks` / `fold_range_masked`, point reads take the
+//!   codec's `value_at` fast path, and the cached [`BlockMeta`] prunes
+//!   blocks the predicate cannot hit before the payload is touched.
+//! * **recompressed** — heavy forgetting inside a frozen block squashes
+//!   the forgotten rows' values onto their active neighbours and
+//!   re-encodes; runs lengthen, dictionaries shrink, and the meta bounds
+//!   tighten to the surviving rows. Forgetting physically shrinks cold
+//!   data without moving a single row id.
+//! * **dropped** — a block whose every row was forgotten surrenders its
+//!   payload entirely: only the 2-byte placeholder and the meta survive.
+//!   Row ids stay stable (the block still occupies its row range);
+//!   reading a dropped row yields 0, which no active-only path ever does.
+//!
+//! Meta maintenance mirrors the zone-map contract: forgetting keeps
+//! bounds *safe* rather than tight (they only shrink on recompression),
+//! and `active` counts are exact because [`TieredColumn::note_forget`]
+//! observes every first-time forget.
+
+use serde::{Deserialize, Serialize};
+
+use amnesia_util::WORD_BITS;
+use bytes::BytesMut;
+
+use crate::compress::varint::{write_signed, write_varint};
+use crate::compress::{bit_set, EncodedBlock, Encoding};
+use crate::types::{Value, DEFAULT_BLOCK_ROWS};
+
+/// Cached per-block metadata: the tier layer's built-in zone map.
+///
+/// `min`/`max` cover the block's *active* rows at freeze (or last
+/// recompression) time and are stale-safe afterwards — never narrower
+/// than the truth. `active` is kept exact by
+/// [`TieredColumn::note_forget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockMeta {
+    /// Minimum active value (undefined when `active == 0`).
+    pub min: Value,
+    /// Maximum active value (undefined when `active == 0`).
+    pub max: Value,
+    /// Number of active rows in the block.
+    pub active: usize,
+}
+
+impl BlockMeta {
+    /// Can any active row of this block satisfy `lo <= v < hi`?
+    /// Stale bounds are only ever wide, so `false` is always safe to
+    /// skip on.
+    #[inline]
+    pub fn may_match(&self, lo: Value, hi: Value) -> bool {
+        self.active > 0 && self.min < hi && self.max >= lo
+    }
+}
+
+/// Lifecycle state of one frozen block (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockState {
+    /// Compressed at freeze time; payload intact.
+    Frozen,
+    /// Re-encoded after heavy forgetting; forgotten rows' values were
+    /// squashed onto active neighbours.
+    Recompressed,
+    /// Fully forgotten; payload surrendered (reads yield 0).
+    Dropped,
+}
+
+/// One compressed block plus its cached metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrozenBlock {
+    block: EncodedBlock,
+    meta: BlockMeta,
+    state: BlockState,
+}
+
+impl FrozenBlock {
+    /// The compressed payload.
+    pub fn encoded(&self) -> &EncodedBlock {
+        &self.block
+    }
+
+    /// The cached metadata.
+    pub fn meta(&self) -> &BlockMeta {
+        &self.meta
+    }
+
+    /// The lifecycle state.
+    pub fn state(&self) -> BlockState {
+        self.state
+    }
+
+    /// True once the payload has been surrendered.
+    pub fn is_dropped(&self) -> bool {
+        self.state == BlockState::Dropped
+    }
+
+    /// Reassemble from persisted parts (snapshot reader).
+    pub fn from_parts(block: EncodedBlock, meta: BlockMeta, state: BlockState) -> Self {
+        Self { block, meta, state }
+    }
+}
+
+/// A column whose cold prefix lives compressed in place: frozen
+/// [`EncodedBlock`]s with cached [`BlockMeta`], then a hot uncompressed
+/// tail. Replaces the raw `Vec<Value>` inside `Table`/`Column`.
+///
+/// The block size must be a whole number of 64-row activity words so
+/// frozen blocks tile activity words exactly — the alignment every fused
+/// compressed kernel relies on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TieredColumn {
+    block_rows: usize,
+    /// `None` = per-block automatic codec choice; `Some` pins one codec
+    /// (codec ablations and codec-targeted equivalence tests).
+    encoding: Option<Encoding>,
+    frozen: Vec<FrozenBlock>,
+    hot: Vec<Value>,
+}
+
+impl TieredColumn {
+    /// Empty column with the default block size.
+    pub fn new() -> Self {
+        Self::with_block_rows(DEFAULT_BLOCK_ROWS)
+    }
+
+    /// Empty column with a custom block size (rows per frozen block).
+    pub fn with_block_rows(block_rows: usize) -> Self {
+        assert!(
+            block_rows > 0 && block_rows.is_multiple_of(WORD_BITS),
+            "block size {block_rows} must be a positive multiple of {WORD_BITS}"
+        );
+        Self {
+            block_rows,
+            encoding: None,
+            frozen: Vec::new(),
+            hot: Vec::new(),
+        }
+    }
+
+    /// Empty column freezing every block with one pinned codec.
+    pub fn with_encoding(block_rows: usize, encoding: Encoding) -> Self {
+        let mut c = Self::with_block_rows(block_rows);
+        c.encoding = Some(encoding);
+        c
+    }
+
+    /// Pin (or unpin) the freeze codec.
+    pub fn pin_encoding(&mut self, encoding: Option<Encoding>) {
+        self.encoding = encoding;
+    }
+
+    /// The pinned freeze codec, if any (`None` = automatic per-block
+    /// choice).
+    pub fn pinned_encoding(&self) -> Option<Encoding> {
+        self.encoding
+    }
+
+    /// Rebuild from persisted parts (snapshot reader). Every frozen block
+    /// must hold exactly `block_rows` rows.
+    pub fn from_parts(
+        block_rows: usize,
+        encoding: Option<Encoding>,
+        frozen: Vec<FrozenBlock>,
+        hot: Vec<Value>,
+    ) -> Self {
+        let mut c = Self::with_block_rows(block_rows);
+        for (i, f) in frozen.iter().enumerate() {
+            assert_eq!(
+                f.block.len(),
+                block_rows,
+                "frozen block {i} holds {} rows, expected {block_rows}",
+                f.block.len()
+            );
+        }
+        c.encoding = encoding;
+        c.frozen = frozen;
+        c.hot = hot;
+        c
+    }
+
+    /// Rows per frozen block.
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// Total number of rows (frozen + hot).
+    pub fn len(&self) -> usize {
+        self.frozen.len() * self.block_rows + self.hot.len()
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of frozen blocks.
+    pub fn frozen_blocks(&self) -> usize {
+        self.frozen.len()
+    }
+
+    /// First physical row of the hot tail (multiple of the block size,
+    /// and therefore word-aligned).
+    pub fn hot_start(&self) -> usize {
+        self.frozen.len() * self.block_rows
+    }
+
+    /// The hot uncompressed tail (rows `hot_start()..len()`).
+    pub fn hot_values(&self) -> &[Value] {
+        &self.hot
+    }
+
+    /// True when nothing is frozen and the whole column is one flat
+    /// slice.
+    pub fn is_fully_hot(&self) -> bool {
+        self.frozen.is_empty()
+    }
+
+    /// The frozen block at `b` (payload + meta + state).
+    pub fn frozen(&self, b: usize) -> Option<&FrozenBlock> {
+        self.frozen.get(b)
+    }
+
+    /// Cached metadata of frozen block `b`. Panics if out of range.
+    pub fn meta(&self, b: usize) -> &BlockMeta {
+        &self.frozen[b].meta
+    }
+
+    /// Append one value to the hot tail. Freezing is *explicit*
+    /// ([`Self::freeze_upto`]) — appends never compress behind the
+    /// caller's back.
+    #[inline]
+    pub fn push(&mut self, v: Value) {
+        self.hot.push(v);
+    }
+
+    /// Append many values to the hot tail.
+    pub fn extend_from_slice(&mut self, vs: &[Value]) {
+        self.hot.extend_from_slice(vs);
+    }
+
+    /// Reserve hot-tail capacity.
+    pub fn reserve(&mut self, additional: usize) {
+        self.hot.reserve(additional);
+    }
+
+    /// Value at a physical row. Hot rows are array indexing; frozen rows
+    /// take the codec's `value_at` fast path (no block decode); dropped
+    /// rows yield 0.
+    #[inline]
+    pub fn value_at(&self, row: usize) -> Value {
+        let hot_start = self.hot_start();
+        if row >= hot_start {
+            return self.hot[row - hot_start];
+        }
+        let f = &self.frozen[row / self.block_rows];
+        if f.is_dropped() {
+            return 0;
+        }
+        f.block.value_at(row % self.block_rows)
+    }
+
+    /// Freeze full blocks so that every row below `row` (rounded *down*
+    /// to a block boundary) is compressed. `words` are the table's packed
+    /// activity words, consulted to cache each block's [`BlockMeta`].
+    /// Returns the number of blocks frozen.
+    pub fn freeze_upto(&mut self, row: usize, words: &[u64]) -> usize {
+        let target = row.min(self.len()) / self.block_rows;
+        if target <= self.frozen.len() {
+            return 0;
+        }
+        let k = target - self.frozen.len();
+        let first = self.frozen.len();
+        for i in 0..k {
+            let base = (first + i) * self.block_rows;
+            let chunk = &self.hot[i * self.block_rows..(i + 1) * self.block_rows];
+            let meta = meta_of(chunk, words, base);
+            let block = match self.encoding {
+                Some(e) => EncodedBlock::encode(chunk, e),
+                None => EncodedBlock::encode_auto(chunk),
+            };
+            self.frozen.push(FrozenBlock {
+                block,
+                meta,
+                state: BlockState::Frozen,
+            });
+        }
+        self.hot = self.hot.split_off(k * self.block_rows);
+        k
+    }
+
+    /// Thaw blocks `b..` back into the hot tail (the frozen prefix must
+    /// stay contiguous, so thawing is suffix-granular: to thaw one block,
+    /// pass its index and everything younger melts with it). Dropped
+    /// blocks thaw as zero-filled — their values are gone for good.
+    /// Returns the number of rows thawed.
+    pub fn thaw_block(&mut self, b: usize) -> usize {
+        if b >= self.frozen.len() {
+            return 0;
+        }
+        let melted: Vec<FrozenBlock> = self.frozen.split_off(b);
+        let mut values = Vec::with_capacity(melted.len() * self.block_rows + self.hot.len());
+        for f in &melted {
+            if f.is_dropped() {
+                values.resize(values.len() + self.block_rows, 0);
+            } else {
+                values.extend(f.block.decode());
+            }
+        }
+        let thawed = values.len();
+        values.append(&mut self.hot);
+        self.hot = values;
+        thawed
+    }
+
+    /// Record that `row` was forgotten: the owning frozen block's active
+    /// count drops so meta pruning sees it immediately. Hot rows have no
+    /// meta to maintain.
+    #[inline]
+    pub fn note_forget(&mut self, row: usize) {
+        let b = row / self.block_rows;
+        if let Some(f) = self.frozen.get_mut(b) {
+            f.meta.active = f.meta.active.saturating_sub(1);
+        }
+    }
+
+    /// Surrender the payload of fully-forgotten frozen block `b`
+    /// (`meta.active` must be 0; otherwise a no-op returning 0). The
+    /// block keeps its row range — only a 2-byte all-zero RLE placeholder
+    /// remains. Returns the compressed bytes reclaimed.
+    pub fn drop_block(&mut self, b: usize) -> usize {
+        let Some(f) = self.frozen.get_mut(b) else {
+            return 0;
+        };
+        if f.meta.active != 0 || f.is_dropped() {
+            return 0;
+        }
+        let old = f.block.compressed_bytes();
+        let mut buf = BytesMut::new();
+        write_signed(&mut buf, 0);
+        write_varint(&mut buf, self.block_rows as u64);
+        f.block = EncodedBlock::from_parts(Encoding::Rle, self.block_rows, buf.freeze());
+        f.state = BlockState::Dropped;
+        old.saturating_sub(f.block.compressed_bytes())
+    }
+
+    /// Re-encode frozen block `b` after forgetting: forgotten rows'
+    /// values are squashed onto their last active neighbour (lengthening
+    /// runs and shrinking dictionaries), meta bounds tighten to the
+    /// surviving rows, and the smaller encoding wins (the old payload is
+    /// kept if recompression does not help). Returns compressed bytes
+    /// saved.
+    ///
+    /// Safe because active-only scans AND every mask with the activity
+    /// words: a forgotten row's value can change freely without a single
+    /// query result moving. The complete-scan regime
+    /// (`ScanSeesForgotten`) must not drive recompression — the store
+    /// layer gates on visibility.
+    pub fn recompress_block(&mut self, b: usize, words: &[u64]) -> usize {
+        let block_rows = self.block_rows;
+        let Some(f) = self.frozen.get_mut(b) else {
+            return 0;
+        };
+        if f.is_dropped() {
+            return 0;
+        }
+        let base = b * block_rows;
+        let mut values = f.block.decode();
+        let mut meta = BlockMeta {
+            min: Value::MAX,
+            max: Value::MIN,
+            active: 0,
+        };
+        let mut last_active = 0i64;
+        for (i, v) in values.iter_mut().enumerate() {
+            if bit_set(words, base + i) {
+                meta.min = meta.min.min(*v);
+                meta.max = meta.max.max(*v);
+                meta.active += 1;
+                last_active = *v;
+            } else {
+                *v = last_active;
+            }
+        }
+        let reencoded = match self.encoding {
+            Some(e) => EncodedBlock::encode(&values, e),
+            None => EncodedBlock::encode_auto(&values),
+        };
+        f.meta = meta;
+        let old = f.block.compressed_bytes();
+        if reencoded.compressed_bytes() < old {
+            f.block = reencoded;
+            f.state = BlockState::Recompressed;
+            old - f.block.compressed_bytes()
+        } else {
+            0
+        }
+    }
+
+    /// Decode one frozen block (or borrow nothing for dropped: yields
+    /// zeros) — the slow path for consumers that need materialized
+    /// values.
+    pub fn block_dense(&self, b: usize) -> Vec<Value> {
+        let f = &self.frozen[b];
+        if f.is_dropped() {
+            vec![0; self.block_rows]
+        } else {
+            f.block.decode()
+        }
+    }
+
+    /// Materialize the whole column in physical row order (frozen blocks
+    /// decode; dropped blocks yield zeros).
+    pub fn dense_values(&self) -> Vec<Value> {
+        let mut out = Vec::with_capacity(self.len());
+        for b in 0..self.frozen.len() {
+            out.extend(self.block_dense(b));
+        }
+        out.extend_from_slice(&self.hot);
+        out
+    }
+
+    /// Compressed bytes currently held by frozen blocks.
+    pub fn bytes_frozen(&self) -> usize {
+        self.frozen.iter().map(|f| f.block.compressed_bytes()).sum()
+    }
+
+    /// Approximate resident heap bytes: frozen payloads + per-block
+    /// bookkeeping + hot-tail capacity.
+    pub fn memory_bytes(&self) -> usize {
+        self.bytes_frozen()
+            + self.frozen.capacity() * std::mem::size_of::<FrozenBlock>()
+            + self.hot.capacity() * std::mem::size_of::<Value>()
+            + std::mem::size_of::<Self>()
+    }
+
+    /// Bytes a flat `Vec<i64>` of the same length would use.
+    pub fn plain_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<Value>()
+    }
+
+    /// Plain bytes / resident bytes (≥ 1 means tiering is paying rent).
+    pub fn compression_ratio(&self) -> f64 {
+        let resident = self.memory_bytes();
+        if resident == 0 {
+            1.0
+        } else {
+            self.plain_bytes() as f64 / resident as f64
+        }
+    }
+}
+
+impl Default for TieredColumn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Meta over one block's values: min/max/count of the rows whose activity
+/// bit (at global row `base + i`) is set.
+fn meta_of(chunk: &[Value], words: &[u64], base: usize) -> BlockMeta {
+    let mut meta = BlockMeta {
+        min: Value::MAX,
+        max: Value::MIN,
+        active: 0,
+    };
+    for (i, &v) in chunk.iter().enumerate() {
+        if bit_set(words, base + i) {
+            meta.min = meta.min.min(v);
+            meta.max = meta.max.max(v);
+            meta.active += 1;
+        }
+    }
+    meta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_active(n: usize) -> Vec<u64> {
+        let mut words = vec![!0u64; n.div_ceil(WORD_BITS)];
+        if let Some(last) = words.last_mut() {
+            let used = n - (n / WORD_BITS) * WORD_BITS;
+            if used != 0 {
+                *last = (1u64 << used) - 1;
+            }
+        }
+        words
+    }
+
+    #[test]
+    fn freeze_upto_compresses_full_blocks_only() {
+        let mut c = TieredColumn::with_block_rows(64);
+        let values: Vec<i64> = (0..200).collect();
+        c.extend_from_slice(&values);
+        assert!(c.is_fully_hot());
+        let frozen = c.freeze_upto(200, &all_active(200));
+        assert_eq!(frozen, 3, "3 full blocks of 64; 8 rows stay hot");
+        assert_eq!(c.frozen_blocks(), 3);
+        assert_eq!(c.hot_start(), 192);
+        assert_eq!(c.hot_values(), &values[192..]);
+        assert_eq!(c.len(), 200);
+        // Values read back identically through the tiers.
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(c.value_at(i), v, "row {i}");
+        }
+        // Meta is cached per block.
+        assert_eq!(c.meta(1).min, 64);
+        assert_eq!(c.meta(1).max, 127);
+        assert_eq!(c.meta(1).active, 64);
+        // Freezing again below the boundary is a no-op.
+        assert_eq!(c.freeze_upto(100, &all_active(200)), 0);
+    }
+
+    #[test]
+    fn thaw_restores_hot_suffix() {
+        let mut c = TieredColumn::with_block_rows(64);
+        let values: Vec<i64> = (0..256).map(|i| i * 7 - 300).collect();
+        c.extend_from_slice(&values);
+        c.freeze_upto(256, &all_active(256));
+        assert_eq!(c.frozen_blocks(), 4);
+        let thawed = c.thaw_block(2);
+        assert_eq!(thawed, 128);
+        assert_eq!(c.frozen_blocks(), 2);
+        assert_eq!(c.hot_start(), 128);
+        let dense = c.dense_values();
+        assert_eq!(dense, values);
+        assert_eq!(c.thaw_block(5), 0, "out of range is a no-op");
+    }
+
+    #[test]
+    fn drop_block_requires_fully_forgotten() {
+        let mut c = TieredColumn::with_block_rows(64);
+        c.extend_from_slice(&(0..128).collect::<Vec<i64>>());
+        let mut words = all_active(128);
+        c.freeze_upto(128, &words);
+        // Block 0 still has active rows: refuse.
+        assert_eq!(c.drop_block(0), 0);
+        // Forget every row of block 0.
+        words[0] = 0;
+        for r in 0..64 {
+            c.note_forget(r);
+        }
+        assert_eq!(c.meta(0).active, 0);
+        let freed = c.drop_block(0);
+        assert!(freed > 0, "payload reclaimed");
+        assert!(c.frozen(0).unwrap().is_dropped());
+        assert_eq!(c.value_at(3), 0, "dropped rows read as 0");
+        assert_eq!(c.value_at(64), 64, "other blocks untouched");
+        assert_eq!(c.drop_block(0), 0, "double drop is a no-op");
+        assert_eq!(c.len(), 128, "row ids stay stable");
+    }
+
+    #[test]
+    fn recompress_squashes_forgotten_rows() {
+        // Alternating values defeat RLE; forgetting the odd rows and
+        // recompressing turns the block into one long run.
+        let values: Vec<i64> = (0..1024).map(|i| if i % 2 == 0 { 5 } else { i }).collect();
+        let mut c = TieredColumn::with_block_rows(1024);
+        c.extend_from_slice(&values);
+        let mut words = all_active(1024);
+        c.freeze_upto(1024, &words);
+        let before = c.bytes_frozen();
+        for r in (1..1024).step_by(2) {
+            words[r / 64] &= !(1u64 << (r % 64));
+            c.note_forget(r);
+        }
+        let saved = c.recompress_block(0, &words);
+        assert!(saved > 0, "recompression must shrink the payload");
+        assert_eq!(c.bytes_frozen(), before - saved);
+        assert_eq!(c.frozen(0).unwrap().state(), BlockState::Recompressed);
+        // Meta tightened to the active rows.
+        assert_eq!(c.meta(0).min, 5);
+        assert_eq!(c.meta(0).max, 5);
+        assert_eq!(c.meta(0).active, 512);
+        // Active rows still read their original values.
+        for r in (0..1024).step_by(2) {
+            assert_eq!(c.value_at(r), 5, "active row {r}");
+        }
+    }
+
+    #[test]
+    fn meta_prunes_and_tracks_forgets() {
+        let mut c = TieredColumn::with_block_rows(64);
+        c.extend_from_slice(&(0..128).collect::<Vec<i64>>());
+        c.freeze_upto(128, &all_active(128));
+        assert!(c.meta(0).may_match(10, 20));
+        assert!(!c.meta(0).may_match(64, 100), "bounds prune");
+        assert!(!c.meta(1).may_match(0, 64));
+        c.note_forget(0);
+        assert_eq!(c.meta(0).active, 63);
+    }
+
+    #[test]
+    fn resident_bytes_shrink_when_cold() {
+        let values: Vec<i64> = (0..100_000).collect();
+        let mut flat = TieredColumn::new();
+        flat.extend_from_slice(&values);
+        let mut tiered = flat.clone();
+        tiered.freeze_upto(values.len(), &all_active(values.len()));
+        assert!(
+            tiered.memory_bytes() * 4 < flat.memory_bytes(),
+            "frozen {} vs flat {}",
+            tiered.memory_bytes(),
+            flat.memory_bytes()
+        );
+        assert!(tiered.compression_ratio() > 4.0);
+        assert!(tiered.bytes_frozen() > 0);
+        assert_eq!(tiered.dense_values(), values);
+    }
+
+    #[test]
+    fn pinned_encoding_is_honoured() {
+        let mut c = TieredColumn::with_encoding(64, Encoding::Plain);
+        c.extend_from_slice(&vec![7i64; 128]);
+        c.freeze_upto(128, &all_active(128));
+        assert_eq!(c.frozen(0).unwrap().encoded().encoding(), Encoding::Plain);
+        c.pin_encoding(Some(Encoding::Rle));
+        c.extend_from_slice(&vec![7i64; 64]);
+        c.freeze_upto(192, &all_active(192));
+        assert_eq!(c.frozen(2).unwrap().encoded().encoding(), Encoding::Rle);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unaligned_block_size_rejected() {
+        let _ = TieredColumn::with_block_rows(100);
+    }
+}

@@ -239,8 +239,10 @@ impl WordZoneMap {
 
     /// Rebuild every word zone from the table (O(rows); word zones are
     /// cheap enough that partial-rebuild bookkeeping is not worth it).
+    /// Tier-aware: frozen columns are materialized once for the rebuild.
     pub fn sync(&mut self, table: &Table) {
-        let values = table.col_values(self.col);
+        let values = table.col_values_dense(self.col);
+        let values = values.as_ref();
         let words = table.activity_words();
         self.zones.clear();
         self.zones.reserve(values.len().div_ceil(WORD_BITS));

@@ -190,6 +190,33 @@ impl AmnesiaMap {
     }
 }
 
+/// Point-in-time tier metrics of an
+/// [`AmnesiacStore`](crate::store::AmnesiacStore): how much of the table
+/// rests compressed, what the block-level amnesia transitions reclaimed,
+/// and the overall compression ratio. Budget- and cost-based policies
+/// read `resident_bytes`/`compression_ratio` so the savings from frozen
+/// cold segments actually stretch the storage budget (paper §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Physical rows (active + marked).
+    pub total_rows: usize,
+    /// Active rows.
+    pub active_rows: usize,
+    /// True resident bytes of the table (compressed frozen blocks + hot
+    /// tail + metadata).
+    pub resident_bytes: usize,
+    /// Compressed bytes held by frozen blocks.
+    pub bytes_frozen: usize,
+    /// Frozen blocks currently resident.
+    pub frozen_blocks: usize,
+    /// Fully-forgotten blocks whose payloads were dropped (cumulative).
+    pub blocks_dropped: u64,
+    /// Heavily-forgotten blocks re-encoded smaller (cumulative).
+    pub blocks_recompressed: u64,
+    /// Flat bytes / resident bytes (≥ 1 means tiering is saving memory).
+    pub compression_ratio: f64,
+}
+
 /// Storage accounting at the end of a run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StorageReport {

@@ -68,8 +68,12 @@ pub struct StoreFootprint {
     pub hot_rows: usize,
     /// Active rows.
     pub active_rows: usize,
-    /// Approximate hot bytes (table + index + zone map).
+    /// Approximate resident bytes (table + index + zone map). Frozen
+    /// blocks count at their *compressed* size.
     pub hot_bytes: usize,
+    /// Compressed bytes held by frozen tier blocks (part of
+    /// `hot_bytes`).
+    pub bytes_frozen: usize,
     /// Tuples parked in cold storage.
     pub cold_rows: usize,
     /// Cold storage bytes.
@@ -78,6 +82,28 @@ pub struct StoreFootprint {
     pub summary_bytes: usize,
     /// Micro-model bytes.
     pub model_bytes: usize,
+}
+
+/// Tier scheduling configuration: how many of the newest rows stay hot
+/// (uncompressed) when the store freezes its cold prefix at batch
+/// boundaries, and when heavily-forgotten frozen blocks re-encode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierConfig {
+    /// Rows kept hot at the tail (rounded up to a block boundary by the
+    /// freeze).
+    pub hot_rows: usize,
+    /// Recompress frozen blocks whose active fraction drops to this or
+    /// below (0.5 = half forgotten).
+    pub recompress_below: f64,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        Self {
+            hot_rows: 4_096,
+            recompress_below: 0.5,
+        }
+    }
 }
 
 /// A table plus the machinery that executes its forget mode.
@@ -93,6 +119,9 @@ pub struct AmnesiacStore {
     models: Option<ModelStore>,
     batches_since_vacuum: u64,
     total_forgotten: u64,
+    tiering: Option<TierConfig>,
+    blocks_dropped: u64,
+    blocks_recompressed: u64,
 }
 
 impl AmnesiacStore {
@@ -120,12 +149,29 @@ impl AmnesiacStore {
             },
             batches_since_vacuum: 0,
             total_forgotten: 0,
+            tiering: None,
+            blocks_dropped: 0,
+            blocks_recompressed: 0,
         }
     }
 
     /// Attach a cold store (required for `Tier`).
     pub fn with_cold_store(mut self, cold: Box<dyn ColdStore>) -> Self {
         self.cold = Some(cold);
+        self
+    }
+
+    /// Enable tiered freeze scheduling: at every batch boundary the store
+    /// compresses all but the newest `cfg.hot_rows` rows in place
+    /// ([`Table::freeze_upto`]), drops the payloads of fully-forgotten
+    /// frozen blocks, and recompresses blocks whose active fraction fell
+    /// below `cfg.recompress_below`.
+    ///
+    /// Ignored under `Deindex` mode: its complete-scan regime must keep
+    /// reading forgotten tuples, which block drops and recompression
+    /// would rewrite.
+    pub fn with_tiering(mut self, cfg: TierConfig) -> Self {
+        self.tiering = Some(cfg);
         self
     }
 
@@ -166,11 +212,21 @@ impl AmnesiacStore {
     /// Insert a batch of values at `epoch`.
     pub fn insert_batch(&mut self, values: &[Value], epoch: Epoch) -> Result<()> {
         self.table.insert_batch(values, epoch)?;
+        // Both zone maps are dead weight once blocks are frozen: the
+        // executor switches to the tier's built-in block meta, and a
+        // rebuild would pay per-row point reads into compressed blocks.
         if let Some(zm) = &mut self.zonemap {
-            zm.sync(&self.table);
+            if !self.table.has_frozen() {
+                zm.sync(&self.table);
+            }
         }
+        // Word zones are dead weight once blocks are frozen (the executor
+        // switches to block-meta pruning) — skip the full-column decode
+        // their rebuild would cost.
         if let Some(wz) = &mut self.word_zones {
-            wz.sync(&self.table);
+            if !self.table.has_frozen() {
+                wz.sync(&self.table);
+            }
         }
         if let Some(idx) = &mut self.index {
             idx.rebuild(&self.table);
@@ -246,14 +302,20 @@ impl AmnesiacStore {
                 *zm = ZoneMap::build_with_block_rows(&self.table, 0, zm.block_rows());
             }
             if let Some(wz) = &mut self.word_zones {
-                wz.sync(&self.table);
+                if !self.table.has_frozen() {
+                    wz.sync(&self.table);
+                }
             }
         } else {
             if let Some(zm) = &mut self.zonemap {
-                zm.sync(&self.table);
+                if !self.table.has_frozen() {
+                    zm.sync(&self.table);
+                }
             }
             if let Some(wz) = &mut self.word_zones {
-                wz.sync(&self.table);
+                if !self.table.has_frozen() {
+                    wz.sync(&self.table);
+                }
             }
             if let Some(idx) = &mut self.index {
                 if idx.needs_rebuild(0.25) {
@@ -261,7 +323,44 @@ impl AmnesiacStore {
                 }
             }
         }
+        // Tier scheduling: freeze the cold prefix in place, drop dead
+        // blocks, recompress heavily-forgotten ones. Gated off the
+        // complete-scan regime (Deindex), whose scans must keep reading
+        // forgotten tuples.
+        if let Some(cfg) = self.tiering {
+            if self.executor.mode() == ForgetVisibility::ActiveOnly {
+                let n = self.table.num_rows();
+                self.table.freeze_upto(n.saturating_sub(cfg.hot_rows));
+                let (dropped, _) = self.table.drop_forgotten_blocks();
+                self.blocks_dropped += dropped as u64;
+                let (recompressed, _) = self.table.recompress_frozen(cfg.recompress_below);
+                self.blocks_recompressed += recompressed as u64;
+            }
+        }
         Ok(())
+    }
+
+    /// Forget every remaining active row of frozen block `b` (a
+    /// block-level amnesia decision — see
+    /// [`AmnesiaPolicy::select_victim_blocks`](crate::policy::AmnesiaPolicy::select_victim_blocks))
+    /// and immediately drop its payload. Returns the rows forgotten.
+    pub fn forget_block(&mut self, b: usize, epoch: Epoch) -> Result<usize> {
+        let block_rows = self.table.block_rows();
+        if b >= self.table.frozen_blocks() {
+            return Ok(0);
+        }
+        let lo = b * block_rows;
+        let hi = (lo + block_rows).min(self.table.num_rows());
+        let victims: Vec<RowId> = (lo..hi)
+            .map(RowId::from)
+            .filter(|&r| self.table.activity().is_active(r))
+            .collect();
+        for &r in &victims {
+            self.forget(r, epoch)?;
+        }
+        let (dropped, _) = self.table.drop_forgotten_blocks();
+        self.blocks_dropped += dropped as u64;
+        Ok(victims.len())
     }
 
     /// Execute a query with the mode's visibility and auxiliary
@@ -303,10 +402,28 @@ impl AmnesiacStore {
                     .word_zones
                     .as_ref()
                     .map_or(0, WordZoneMap::memory_bytes),
+            bytes_frozen: self.table.bytes_frozen(),
             cold_rows: self.cold.as_ref().map_or(0, |c| c.len()),
             cold_bytes: self.cold.as_ref().map_or(0, |c| c.bytes_used()),
             summary_bytes: self.summaries.memory_bytes(),
             model_bytes: self.models.as_ref().map_or(0, ModelStore::memory_bytes),
+        }
+    }
+
+    /// Tier-aware metrics snapshot: resident bytes, frozen-block
+    /// accounting and the overall compression ratio — what budget- and
+    /// cost-based policies watch to see compression actually postponing
+    /// forgetting.
+    pub fn metrics_snapshot(&self) -> crate::metrics::MetricsSnapshot {
+        crate::metrics::MetricsSnapshot {
+            total_rows: self.table.num_rows(),
+            active_rows: self.table.active_rows(),
+            resident_bytes: self.table.memory_bytes(),
+            bytes_frozen: self.table.bytes_frozen(),
+            frozen_blocks: self.table.frozen_blocks(),
+            blocks_dropped: self.blocks_dropped,
+            blocks_recompressed: self.blocks_recompressed,
+            compression_ratio: self.table.compression_ratio(),
         }
     }
 }
@@ -471,6 +588,127 @@ mod tests {
         // must return exactly the surviving values.
         let r = store.query(&Query::Range(RangePredicate::new(400, 600)));
         assert_eq!(r.output.cardinality(), 100, "values 500..600 survive");
+    }
+
+    #[test]
+    fn tiering_freezes_cold_prefix_and_shrinks_resident_bytes() {
+        let mut plain = AmnesiacStore::new(ForgetMode::MarkOnly);
+        let mut tiered = AmnesiacStore::new(ForgetMode::MarkOnly).with_tiering(TierConfig {
+            hot_rows: 2_048,
+            recompress_below: 0.5,
+        });
+        let values: Vec<i64> = (0..50_000).collect();
+        plain.insert_batch(&values, 0).unwrap();
+        tiered.insert_batch(&values, 0).unwrap();
+        plain.end_batch().unwrap();
+        tiered.end_batch().unwrap();
+        let snap = tiered.metrics_snapshot();
+        assert!(snap.frozen_blocks >= 46, "{}", snap.frozen_blocks);
+        assert!(snap.bytes_frozen > 0);
+        assert!(snap.compression_ratio > 2.0, "{}", snap.compression_ratio);
+        assert!(
+            tiered.footprint().hot_bytes < plain.footprint().hot_bytes,
+            "tiered {} vs plain {}",
+            tiered.footprint().hot_bytes,
+            plain.footprint().hot_bytes
+        );
+        assert_eq!(tiered.footprint().bytes_frozen, snap.bytes_frozen);
+        // Queries answer identically through the tiers.
+        let q = Query::Range(RangePredicate::new(10_000, 10_100));
+        assert_eq!(tiered.query(&q).output, plain.query(&q).output);
+        let agg = Query::Aggregate {
+            kind: AggKind::Sum,
+            predicate: Some(RangePredicate::new(0, 25_000)),
+        };
+        assert_eq!(tiered.query(&agg).output, plain.query(&agg).output);
+    }
+
+    #[test]
+    fn tiering_drops_dead_blocks_and_recompresses_rotten_ones() {
+        let mut store = AmnesiacStore::new(ForgetMode::MarkOnly).with_tiering(TierConfig {
+            hot_rows: 0,
+            recompress_below: 0.6,
+        });
+        // Block 1 interleaves a constant survivor value with serial
+        // noise, so forgetting the noise lets recompression collapse it.
+        let values: Vec<i64> = (0..4_096)
+            .map(|i| {
+                if (1_024..2_048).contains(&i) && i % 2 == 1 {
+                    100_000
+                } else {
+                    i
+                }
+            })
+            .collect();
+        store.insert_batch(&values, 0).unwrap();
+        store.end_batch().unwrap();
+        assert_eq!(store.metrics_snapshot().frozen_blocks, 4);
+        // Kill block 0 entirely, the noisy half of block 1.
+        store
+            .forget_batch(&(0..1_024).map(RowId).collect::<Vec<_>>(), 1)
+            .unwrap();
+        store
+            .forget_batch(
+                &(1_024..2_048)
+                    .filter(|r| r % 2 == 0)
+                    .map(RowId)
+                    .collect::<Vec<_>>(),
+                1,
+            )
+            .unwrap();
+        let before = store.metrics_snapshot().bytes_frozen;
+        store.end_batch().unwrap();
+        let snap = store.metrics_snapshot();
+        assert_eq!(snap.blocks_dropped, 1);
+        assert!(snap.blocks_recompressed >= 1);
+        assert!(snap.bytes_frozen < before);
+        // Survivors still answer.
+        let r = store.query(&Query::Range(RangePredicate::new(100_000, 100_001)));
+        assert_eq!(r.output.cardinality(), 512, "block 1 survivors");
+    }
+
+    #[test]
+    fn forget_block_drops_whole_blocks_via_policy_candidates() {
+        use crate::policy::{AmnesiaPolicy, PolicyContext, UniformPolicy};
+        let mut store = AmnesiacStore::new(ForgetMode::MarkOnly).with_tiering(TierConfig {
+            hot_rows: 0,
+            recompress_below: 0.0,
+        });
+        store
+            .insert_batch(&(0..3_072).collect::<Vec<i64>>(), 0)
+            .unwrap();
+        store.end_batch().unwrap();
+        // Make block 1 the cheapest to evict.
+        store
+            .forget_batch(
+                &(1_024..2_048)
+                    .filter(|r| r % 4 != 0)
+                    .map(RowId)
+                    .collect::<Vec<_>>(),
+                1,
+            )
+            .unwrap();
+        let mut rng = SimRng::new(5);
+        let mut policy = UniformPolicy;
+        let ctx = PolicyContext {
+            table: store.table(),
+            epoch: 2,
+        };
+        let blocks = policy.select_victim_blocks(&ctx, 1, &mut rng);
+        assert_eq!(blocks, vec![1], "fewest active rows first");
+        let forgotten = store.forget_block(1, 2).unwrap();
+        assert_eq!(forgotten, 256, "the surviving quarter");
+        assert_eq!(store.metrics_snapshot().blocks_dropped, 1);
+        let r = store.query(&Query::Range(RangePredicate::new(1_024, 2_048)));
+        assert_eq!(r.output.cardinality(), 0, "whole block forgotten");
+        assert_eq!(
+            store
+                .query(&Query::Range(RangePredicate::new(0, 1_024)))
+                .output
+                .cardinality(),
+            1_024,
+            "neighbours untouched"
+        );
     }
 
     #[test]

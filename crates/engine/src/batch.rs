@@ -79,7 +79,10 @@
 //! `scan_kernels`/`parallel_scan`/`compressed_scan` benches measure the
 //! gaps.
 
-use amnesia_columnar::{RowId, SegmentedColumn, Table, Value, Zone, DEFAULT_BLOCK_ROWS};
+use amnesia_columnar::compress::BlockAgg;
+use amnesia_columnar::{
+    RowId, SegmentedColumn, Table, TieredColumn, Value, Zone, DEFAULT_BLOCK_ROWS,
+};
 use amnesia_util::WORD_BITS;
 use amnesia_workload::query::{AggKind, RangePredicate};
 
@@ -865,6 +868,297 @@ pub fn count_compressed_active(
     count
 }
 
+// ---------------------------------------------------------------------
+// Tier-aware kernels: scans and aggregates straight over a TieredColumn
+// (frozen compressed blocks + hot tail) — the storage's resting state,
+// not a snapshot.
+// ---------------------------------------------------------------------
+
+/// Work accounting for the tier-aware kernels: how many frozen blocks the
+/// cached [`BlockMeta`](amnesia_columnar::BlockMeta) pruned before their
+/// payloads were touched, and how many active rows were examined.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Frozen blocks skipped because meta proved the predicate can't
+    /// match (fully-forgotten blocks included).
+    pub blocks_pruned: usize,
+    /// Active rows whose values (compressed or hot) were examined.
+    pub rows_scanned: usize,
+}
+
+impl TierStats {
+    /// Fold in another chunk's accounting (parallel partials).
+    pub fn merge(&mut self, other: TierStats) {
+        self.blocks_pruned += other.blocks_pruned;
+        self.rows_scanned += other.rows_scanned;
+    }
+}
+
+/// The activity words covering frozen block `b` of `tier` (block-local
+/// indexing: bit `i` of word `i/64` is row `b * block_rows + i`). Blocks
+/// are word-aligned by construction.
+#[inline]
+fn block_words<'a>(tier: &TieredColumn, words: &'a [u64], b: usize) -> &'a [u64] {
+    let base_word = b * tier.block_rows() / WORD_BITS;
+    let nwords = tier.block_rows() / WORD_BITS;
+    words
+        .get(base_word..(base_word + nwords).min(words.len()))
+        .unwrap_or(&[])
+}
+
+/// Scan frozen blocks `[first, last)` of a tiered column for active rows
+/// matching `pred` — the per-chunk primitive behind both the serial and
+/// the parallel tiered scans. Each block is pruned by its cached meta
+/// (min/max over active rows, active count) before the codec's fused
+/// `filter_range_masks` runs; surviving masks AND with the activity
+/// words and feed the shared emit loop.
+pub fn scan_tiered_blocks_into(
+    tier: &TieredColumn,
+    words: &[u64],
+    first: usize,
+    last: usize,
+    pred: RangePredicate,
+    out: &mut Vec<RowId>,
+) -> TierStats {
+    let mut stats = TierStats::default();
+    let br = tier.block_rows();
+    let mut mask_buf = Vec::new();
+    for b in first..last.min(tier.frozen_blocks()) {
+        let f = tier.frozen(b).expect("frozen block in range");
+        let meta = f.meta();
+        if !meta.may_match(pred.lo, pred.hi) {
+            stats.blocks_pruned += 1;
+            continue;
+        }
+        let bw = block_words(tier, words, b);
+        f.encoded()
+            .filter_range_masks(pred.lo, pred.hi, &mut mask_buf);
+        stats.rows_scanned += meta.active;
+        for (k, &m) in mask_buf.iter().enumerate() {
+            let sel = m & bw.get(k).copied().unwrap_or(0);
+            emit_selection(sel, b * br + k * WORD_BITS, out);
+        }
+    }
+    stats
+}
+
+/// Scan the hot tail of a tiered column with the raw-slice selection
+/// kernel (the tail start is word-aligned because frozen blocks tile
+/// whole activity words). Returns active rows examined.
+pub fn scan_tiered_tail_into(
+    tier: &TieredColumn,
+    words: &[u64],
+    pred: RangePredicate,
+    out: &mut Vec<RowId>,
+) -> usize {
+    let tail = tier.hot_values();
+    let tail_start = tier.hot_start();
+    let imp = mask_impl();
+    let mut scanned = 0usize;
+    for (j, chunk) in tail.chunks(WORD_BITS).enumerate() {
+        let wi = tail_start / WORD_BITS + j;
+        let active = tail_word(words, wi, chunk.len());
+        if active == 0 {
+            continue;
+        }
+        scanned += active.count_ones() as usize;
+        let base = tail_start + j * WORD_BITS;
+        emit_selection(selection_word(chunk, active, pred, imp), base, out);
+    }
+    scanned
+}
+
+/// Scan a tiered column for active rows matching `pred`: frozen blocks
+/// run meta-pruned fused decode+filter, the hot tail runs the raw-slice
+/// kernel. Results are identical to a flat scan of the same logical
+/// column.
+pub fn scan_tiered_active_into(
+    tier: &TieredColumn,
+    words: &[u64],
+    pred: RangePredicate,
+    out: &mut Vec<RowId>,
+) -> TierStats {
+    if pred.is_empty() || tier.is_empty() {
+        return TierStats::default();
+    }
+    let mut stats = scan_tiered_blocks_into(tier, words, 0, tier.frozen_blocks(), pred, out);
+    stats.rows_scanned += scan_tiered_tail_into(tier, words, pred, out);
+    stats
+}
+
+/// Count active matches in a tiered column without materializing row ids.
+pub fn count_tiered_active(
+    tier: &TieredColumn,
+    words: &[u64],
+    pred: RangePredicate,
+) -> (usize, TierStats) {
+    let mut stats = TierStats::default();
+    if pred.is_empty() || tier.is_empty() {
+        return (0, stats);
+    }
+    let mut count = 0usize;
+    let mut mask_buf = Vec::new();
+    for b in 0..tier.frozen_blocks() {
+        let f = tier.frozen(b).expect("frozen block in range");
+        let meta = f.meta();
+        if !meta.may_match(pred.lo, pred.hi) {
+            stats.blocks_pruned += 1;
+            continue;
+        }
+        let bw = block_words(tier, words, b);
+        f.encoded()
+            .filter_range_masks(pred.lo, pred.hi, &mut mask_buf);
+        stats.rows_scanned += meta.active;
+        for (k, &m) in mask_buf.iter().enumerate() {
+            count += (m & bw.get(k).copied().unwrap_or(0)).count_ones() as usize;
+        }
+    }
+    let tail = tier.hot_values();
+    let tail_start = tier.hot_start();
+    let imp = mask_impl();
+    for (j, chunk) in tail.chunks(WORD_BITS).enumerate() {
+        let wi = tail_start / WORD_BITS + j;
+        let active = tail_word(words, wi, chunk.len());
+        if active == 0 {
+            continue;
+        }
+        stats.rows_scanned += active.count_ones() as usize;
+        count += selection_word(chunk, active, pred, imp).count_ones() as usize;
+    }
+    (count, stats)
+}
+
+/// Fold frozen blocks `[first, last)` into an aggregate state via the
+/// codecs' fused `fold_range_masked` — SUM/COUNT/MIN/MAX accumulate in
+/// code/offset/run space and the block is never decoded (the
+/// `agg_compressed` path the compressed benches measure).
+pub fn agg_compressed_blocks(
+    tier: &TieredColumn,
+    words: &[u64],
+    first: usize,
+    last: usize,
+    pred: Option<RangePredicate>,
+) -> (AggState, TierStats) {
+    let mut state = AggState::new();
+    let mut stats = TierStats::default();
+    let filter = pred.map(|p| (p.lo, p.hi));
+    for b in first..last.min(tier.frozen_blocks()) {
+        let f = tier.frozen(b).expect("frozen block in range");
+        let meta = f.meta();
+        if meta.active == 0 {
+            stats.blocks_pruned += 1;
+            continue;
+        }
+        if let Some(p) = pred {
+            if !meta.may_match(p.lo, p.hi) {
+                stats.blocks_pruned += 1;
+                continue;
+            }
+        }
+        let mut agg = BlockAgg::new();
+        f.encoded()
+            .fold_range_masked(filter, block_words(tier, words, b), &mut agg);
+        stats.rows_scanned += meta.active;
+        if agg.count > 0 {
+            state.push_block(agg.count, agg.sum, agg.min, agg.max);
+        }
+    }
+    (state, stats)
+}
+
+/// Fold the hot tail of a tiered column (fused filter+aggregate over the
+/// raw slice). Returns the partial state and active rows examined.
+pub fn agg_tiered_tail(
+    tier: &TieredColumn,
+    words: &[u64],
+    pred: Option<RangePredicate>,
+) -> (AggState, usize) {
+    let tail = tier.hot_values();
+    let tail_start = tier.hot_start();
+    let imp = mask_impl();
+    let mut state = AggState::new();
+    let mut scanned = 0usize;
+    for (j, chunk) in tail.chunks(WORD_BITS).enumerate() {
+        let wi = tail_start / WORD_BITS + j;
+        let active = tail_word(words, wi, chunk.len());
+        scanned += active.count_ones() as usize;
+        if active == 0 {
+            continue;
+        }
+        let sel = match pred {
+            Some(p) => selection_word(chunk, active, p, imp),
+            None => active,
+        };
+        fold_selection(&mut state, chunk, sel);
+    }
+    (state, scanned)
+}
+
+/// Fused filter+aggregate over a tiered column: frozen blocks fold
+/// through [`agg_compressed_blocks`] (no decode), the hot tail through
+/// the raw-slice path. `rows_scanned` mirrors the flat kernels' contract
+/// (active rows examined; meta-pruned blocks are skipped, which is the
+/// work the metadata saved). An empty predicate still reports every
+/// active row as scanned, matching [`aggregate_active`].
+pub fn aggregate_tiered_active(
+    tier: &TieredColumn,
+    words: &[u64],
+    pred: Option<RangePredicate>,
+) -> (AggState, TierStats) {
+    let mut stats = TierStats::default();
+    if tier.is_empty() {
+        return (AggState::new(), stats);
+    }
+    if pred.is_some_and(|p| p.is_empty()) {
+        // Predicate selects nothing, but the scan still visits every
+        // active row (mirrors the flat kernel's accounting).
+        let n = tier.len();
+        let scanned: usize = (0..n.div_ceil(WORD_BITS))
+            .map(|wi| amnesia_util::bitmap::masked_word(words, wi, 0, n).count_ones() as usize)
+            .sum();
+        stats.rows_scanned = scanned;
+        return (AggState::new(), stats);
+    }
+    let (mut state, mut stats2) = agg_compressed_blocks(tier, words, 0, tier.frozen_blocks(), pred);
+    let (tail_state, tail_scanned) = agg_tiered_tail(tier, words, pred);
+    state.merge(&tail_state);
+    stats2.rows_scanned += tail_scanned;
+    stats.merge(stats2);
+    (state, stats)
+}
+
+/// Complete-scan variant over a tiered column: *all* physical rows
+/// matching `pred`, forgotten included (paper §1's "a complete scan will
+/// fetch all data"). Frozen blocks answer through `filter_range_masks`
+/// with no activity AND; dropped blocks contribute nothing — their
+/// values were surrendered, which is the one place the complete-scan
+/// regime observes tiering (the store layer never drops blocks under
+/// that regime).
+pub fn scan_tiered_all_into(tier: &TieredColumn, pred: RangePredicate, out: &mut Vec<RowId>) {
+    if pred.is_empty() || tier.is_empty() {
+        return;
+    }
+    let br = tier.block_rows();
+    let mut mask_buf = Vec::new();
+    for b in 0..tier.frozen_blocks() {
+        let f = tier.frozen(b).expect("frozen block in range");
+        if f.is_dropped() {
+            continue;
+        }
+        f.encoded()
+            .filter_range_masks(pred.lo, pred.hi, &mut mask_buf);
+        for (k, &m) in mask_buf.iter().enumerate() {
+            emit_selection(m, b * br + k * WORD_BITS, out);
+        }
+    }
+    let tail_start = tier.hot_start();
+    let imp = mask_impl();
+    for (j, chunk) in tier.hot_values().chunks(WORD_BITS).enumerate() {
+        let sel = predicate_mask(chunk, pred.lo, pred.hi, imp);
+        emit_selection(sel, tail_start + j * WORD_BITS, out);
+    }
+}
+
 pub mod scalar {
     //! Row-at-a-time reference kernels.
     //!
@@ -1254,6 +1548,100 @@ mod tests {
             count_compressed_active(&seg, t.activity_words(), pred),
             expect.len()
         );
+    }
+
+    #[test]
+    fn tiered_kernels_match_flat_kernels() {
+        let mut rng = amnesia_util::SimRng::new(13);
+        let values: Vec<i64> = (0..6_000).map(|_| rng.range_i64(0, 700)).collect();
+        let mut flat = Table::new(Schema::single("a"));
+        flat.insert_batch(&values, 0).unwrap();
+        let mut tiered = flat.clone();
+        for r in (0..6_000).step_by(3) {
+            flat.forget(RowId::from(r), 1).unwrap();
+            tiered.forget(RowId::from(r), 1).unwrap();
+        }
+        tiered.freeze_upto(5_000); // 4 frozen blocks + hot tail
+        assert_eq!(tiered.frozen_blocks(), 4);
+        let words = tiered.activity_words();
+        let tier = tiered.col_tier(0);
+        for pred in [
+            RangePredicate::new(100, 300),
+            RangePredicate::new(0, 700),
+            RangePredicate::new(650, 100),
+        ] {
+            let mut want = Vec::new();
+            scan_active_into(
+                flat.col_values(0),
+                flat.activity_words(),
+                0,
+                6_000,
+                pred,
+                &mut want,
+            );
+            let mut got = Vec::new();
+            scan_tiered_active_into(tier, words, pred, &mut got);
+            assert_eq!(got, want, "scan {pred:?}");
+            let (count, _) = count_tiered_active(tier, words, pred);
+            assert_eq!(count, want.len(), "count {pred:?}");
+            for predicate in [None, Some(pred)] {
+                let (want_state, want_scanned) = aggregate_active(
+                    flat.col_values(0),
+                    flat.activity_words(),
+                    0,
+                    6_000,
+                    predicate,
+                );
+                let (state, stats) = aggregate_tiered_active(tier, words, predicate);
+                assert_eq!(state.count(), want_state.count(), "agg count {predicate:?}");
+                assert_eq!(state.sum(), want_state.sum(), "agg sum {predicate:?}");
+                for kind in AggKind::ALL {
+                    assert_eq!(
+                        state.finalize(kind),
+                        want_state.finalize(kind),
+                        "agg {kind:?} {predicate:?}"
+                    );
+                }
+                assert!(
+                    stats.rows_scanned <= want_scanned,
+                    "meta may only shrink work"
+                );
+            }
+            // Complete scan sees forgotten rows too.
+            let mut want_all = Vec::new();
+            scan_all_into(flat.col_values(0), 0, 6_000, pred, &mut want_all);
+            let mut got_all = Vec::new();
+            scan_tiered_all_into(tier, pred, &mut got_all);
+            assert_eq!(got_all, want_all, "scan-all {pred:?}");
+        }
+    }
+
+    #[test]
+    fn tiered_meta_prunes_blocks() {
+        // Sorted column: block meta is tight; a narrow predicate prunes
+        // every frozen block but one.
+        let values: Vec<i64> = (0..8_192).collect();
+        let mut t = Table::new(Schema::single("a"));
+        t.insert_batch(&values, 0).unwrap();
+        t.freeze_upto(8_192);
+        assert_eq!(t.frozen_blocks(), 8);
+        let tier = t.col_tier(0);
+        let pred = RangePredicate::new(3_100, 3_200); // inside block 3
+        let mut out = Vec::new();
+        let stats = scan_tiered_active_into(tier, t.activity_words(), pred, &mut out);
+        assert_eq!(out.len(), 100);
+        assert_eq!(stats.blocks_pruned, 7, "only block 3 survives");
+        assert!(stats.rows_scanned <= 1024);
+        // Fully-forgotten blocks prune without the payload being touched.
+        let mut t2 = Table::new(Schema::single("a"));
+        t2.insert_batch(&values, 0).unwrap();
+        for r in 0..1_024u64 {
+            t2.forget(RowId(r), 1).unwrap();
+        }
+        t2.freeze_upto(8_192);
+        let (state, stats) = aggregate_tiered_active(t2.col_tier(0), t2.activity_words(), None);
+        assert_eq!(state.count(), 8_192 - 1_024);
+        assert_eq!(stats.blocks_pruned, 1, "the dead block");
     }
 
     #[test]

@@ -98,6 +98,10 @@ pub enum PlanTag {
     PrunedScan,
     /// Sorted-index probe.
     IndexProbe,
+    /// Tier-aware scan: frozen blocks run the fused compressed kernels
+    /// behind their cached block meta, the hot tail runs the flat
+    /// kernel. Chosen automatically once a table holds frozen blocks.
+    TieredScan,
 }
 
 /// A query result with its statistics.
@@ -164,16 +168,37 @@ impl Executor {
         // active data only (paper §1: "a complete scan will fetch all
         // data, but a fast index-based query evaluation will skip the
         // forgotten data"). Completeness costs a full physical scan.
+        //
+        // A frozen table drops the external zone map from planning: the
+        // tier's cached block meta prunes equivalently inside the scan
+        // kernel, and the flat blocked kernel no longer applies.
+        let zonemap = if table.has_frozen() {
+            None
+        } else {
+            aux.zonemap
+        };
         let (plan, cost) = match self.mode {
             ForgetVisibility::ScanSeesForgotten => (
                 Plan::FullScan,
                 self.planner.cost_model().full_scan(table.num_rows()),
             ),
             ForgetVisibility::ActiveOnly => {
-                self.planner.plan_range(table, pred, aux.zonemap, aux.index)
+                self.planner.plan_range(table, pred, zonemap, aux.index)
             }
         };
         let (rows, rows_scanned, blocks_pruned, words_pruned, tag) = match &plan {
+            Plan::FullScan if table.has_frozen() && self.mode == ForgetVisibility::ActiveOnly => {
+                // Tier-aware scan: block meta prunes frozen blocks, the
+                // codecs' fused filters run on the survivors.
+                let (rows, ts) = kernels::range_scan_tiered(table, col, pred);
+                (
+                    rows,
+                    ts.rows_scanned,
+                    ts.blocks_pruned,
+                    0,
+                    PlanTag::TieredScan,
+                )
+            }
             Plan::FullScan => {
                 // Word-granularity zones slot into the full-scan plan:
                 // same results, but the kernel skips words whose min/max
@@ -247,18 +272,26 @@ impl Executor {
         // combiners below might need (COUNT, SUM, MIN, MAX), so folding in
         // summaries or micro-models no longer rescans the table. A word-
         // granularity zone map slots straight into that pass when the
-        // aggregate is predicated.
-        let (active_state, scanned, words_pruned) = match aux
-            .word_zones
-            .filter(|wz| wz.column() == col && predicate.is_some())
-        {
-            Some(wz) => {
-                let (state, zs) = kernels::aggregate_state_active_zoned(table, col, wz, predicate);
-                (state, zs.rows_scanned, zs.words_pruned)
-            }
-            None => {
-                let (state, scanned) = kernels::aggregate_state_active(table, col, predicate);
-                (state, scanned, 0)
+        // aggregate is predicated; a frozen table instead folds its
+        // frozen blocks in code/offset space behind the cached block
+        // meta (no decode, no zone map needed).
+        let (active_state, scanned, blocks_pruned, words_pruned) = if table.has_frozen() {
+            let (state, ts) = kernels::aggregate_state_tiered(table, col, predicate);
+            (state, ts.rows_scanned, ts.blocks_pruned, 0)
+        } else {
+            match aux
+                .word_zones
+                .filter(|wz| wz.column() == col && predicate.is_some())
+            {
+                Some(wz) => {
+                    let (state, zs) =
+                        kernels::aggregate_state_active_zoned(table, col, wz, predicate);
+                    (state, zs.rows_scanned, 0, zs.words_pruned)
+                }
+                None => {
+                    let (state, scanned) = kernels::aggregate_state_active(table, col, predicate);
+                    (state, scanned, 0, 0)
+                }
             }
         };
 
@@ -294,11 +327,15 @@ impl Executor {
             output: QueryOutput::Agg(value),
             stats: ExecStats {
                 rows_scanned: scanned,
-                blocks_pruned: 0,
+                blocks_pruned,
                 words_pruned,
                 result_rows: 0,
                 cost,
-                plan: PlanTag::FullScan,
+                plan: if table.has_frozen() {
+                    PlanTag::TieredScan
+                } else {
+                    PlanTag::FullScan
+                },
             },
         }
     }
@@ -654,6 +691,60 @@ mod tests {
         let zoned_agg = ex.execute(&t, 0, &agg, &aux);
         assert_eq!(zoned_agg.output, plain_agg.output);
         assert!(zoned_agg.stats.words_pruned > 770);
+    }
+
+    #[test]
+    fn frozen_table_takes_tiered_plan_with_identical_results() {
+        let mut flat = Table::new(Schema::single("a"));
+        let values: Vec<i64> = (0..50_000).collect();
+        flat.insert_batch(&values, 0).unwrap();
+        for r in (0..50_000u64).step_by(7) {
+            flat.forget(RowId(r), 1).unwrap();
+        }
+        let mut frozen = flat.clone();
+        frozen.freeze_upto(48_000);
+        assert!(frozen.has_frozen());
+        let ex = Executor::default();
+        let queries = [
+            Q::Range(RangePredicate::new(100, 220)),
+            Q::Point(10_000),
+            Q::Aggregate {
+                kind: AggKind::Avg,
+                predicate: Some(RangePredicate::new(1_000, 40_000)),
+            },
+            Q::Aggregate {
+                kind: AggKind::Sum,
+                predicate: None,
+            },
+        ];
+        for q in &queries {
+            let want = ex.execute(&flat, 0, q, &Aux::default());
+            let got = ex.execute(&frozen, 0, q, &Aux::default());
+            assert_eq!(got.output, want.output, "{q:?}");
+            assert_eq!(got.stats.plan, PlanTag::TieredScan, "{q:?}");
+        }
+        // The narrow range prunes nearly every frozen block via meta.
+        let narrow = ex.execute(
+            &frozen,
+            0,
+            &Q::Range(RangePredicate::new(100, 220)),
+            &Aux::default(),
+        );
+        assert!(
+            narrow.stats.blocks_pruned > 40,
+            "{}",
+            narrow.stats.blocks_pruned
+        );
+        assert!(narrow.stats.rows_scanned < flat.active_rows());
+        // The complete-scan regime still sees forgotten rows.
+        let ex_all = Executor::new(ForgetVisibility::ScanSeesForgotten, CostModel::default());
+        let r = ex_all.execute(
+            &frozen,
+            0,
+            &Q::Range(RangePredicate::new(0, 100)),
+            &Aux::default(),
+        );
+        assert_eq!(r.output.cardinality(), 100);
     }
 
     #[test]

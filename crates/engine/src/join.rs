@@ -76,8 +76,12 @@ pub fn hash_join(
 ) -> JoinResult {
     let build_rows = side_rows(left, visibility);
     let probe_rows = side_rows(right, visibility);
-    let left_vals = left.col_values(left_col);
-    let right_vals = right.col_values(right_col);
+    // Dense access: borrowed while fully hot, one decode pass when the
+    // column holds frozen blocks (a hash join touches every row anyway).
+    let left_vals = left.col_values_dense(left_col);
+    let right_vals = right.col_values_dense(right_col);
+    let left_vals = left_vals.as_ref();
+    let right_vals = right_vals.as_ref();
 
     // Pre-size from the known build cardinality: one allocation instead
     // of O(log n) rehashes.
@@ -124,8 +128,10 @@ pub fn hash_join_count(
     visibility: ForgetVisibility,
 ) -> usize {
     // Count-only probe: hash build side key → multiplicity.
-    let left_vals = left.col_values(left_col);
-    let right_vals = right.col_values(right_col);
+    let left_vals = left.col_values_dense(left_col);
+    let right_vals = right.col_values_dense(right_col);
+    let left_vals = left_vals.as_ref();
+    let right_vals = right_vals.as_ref();
     let mut build: HashMap<Value, usize> = HashMap::with_capacity(side_rows(left, visibility));
     for_each_side_row(left, visibility, |r| {
         *build.entry(left_vals[r]).or_default() += 1;

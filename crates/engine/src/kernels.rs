@@ -13,10 +13,15 @@ use amnesia_workload::query::{AggKind, RangePredicate};
 
 use crate::batch;
 
-pub use crate::batch::{AggState, ZoneStats};
+pub use crate::batch::{AggState, TierStats, ZoneStats};
 
 /// Collect active rows of `col` matching `pred` (insertion order).
+/// Tier-aware: a column with frozen blocks takes the fused compressed
+/// path per block; fully-hot columns take the flat slice kernel.
 pub fn range_scan_active(table: &Table, col: usize, pred: RangePredicate) -> Vec<RowId> {
+    if table.has_frozen() {
+        return range_scan_tiered(table, col, pred).0;
+    }
     let mut out = Vec::new();
     batch::scan_active_into(
         table.col_values(col),
@@ -29,16 +34,38 @@ pub fn range_scan_active(table: &Table, col: usize, pred: RangePredicate) -> Vec
     out
 }
 
+/// Tier-aware scan with its pruning accounting: frozen blocks are
+/// skipped by their cached meta before the payload is touched, and the
+/// hot tail takes the raw-slice kernel. This is what the executor runs
+/// (and reports `blocks_pruned` from) once a table has frozen blocks.
+pub fn range_scan_tiered(
+    table: &Table,
+    col: usize,
+    pred: RangePredicate,
+) -> (Vec<RowId>, TierStats) {
+    let mut out = Vec::new();
+    let stats =
+        batch::scan_tiered_active_into(table.col_tier(col), table.activity_words(), pred, &mut out);
+    (out, stats)
+}
+
 /// Collect *all* physical rows matching `pred`, forgotten or not — the
 /// "complete scan will fetch all data" path of paper §1.
 pub fn range_scan_all(table: &Table, col: usize, pred: RangePredicate) -> Vec<RowId> {
     let mut out = Vec::new();
-    batch::scan_all_into(table.col_values(col), 0, table.num_rows(), pred, &mut out);
+    if table.has_frozen() {
+        batch::scan_tiered_all_into(table.col_tier(col), pred, &mut out);
+    } else {
+        batch::scan_all_into(table.col_values(col), 0, table.num_rows(), pred, &mut out);
+    }
     out
 }
 
 /// Count active matches without materializing row ids.
 pub fn count_active_matches(table: &Table, col: usize, pred: RangePredicate) -> usize {
+    if table.has_frozen() {
+        return batch::count_tiered_active(table.col_tier(col), table.activity_words(), pred).0;
+    }
     batch::count_active(
         table.col_values(col),
         table.activity_words(),
@@ -51,6 +78,13 @@ pub fn count_active_matches(table: &Table, col: usize, pred: RangePredicate) -> 
 /// Collect active matches restricted to the given physical blocks
 /// (`block_rows` rows per block) — the zone-map pruned path. Each block is
 /// scanned with the same word-masked batch kernel as full scans.
+///
+/// On a frozen table this delegates to the fused tiered scan (whose
+/// built-in block meta prunes equivalently) and restricts the result to
+/// the requested blocks — the external zone map's blocks need not align
+/// with tier blocks, and per-row point access into compressed blocks
+/// would be quadratic. The executor prefers the tiered scan outright
+/// once anything is frozen.
 pub fn range_scan_blocks(
     table: &Table,
     col: usize,
@@ -59,9 +93,18 @@ pub fn range_scan_blocks(
     block_rows: usize,
 ) -> Vec<RowId> {
     let mut out = Vec::new();
+    let n = table.num_rows();
+    if table.has_frozen() {
+        let mut wanted = blocks.to_vec();
+        wanted.sort_unstable();
+        let (rows, _) = range_scan_tiered(table, col, pred);
+        return rows
+            .into_iter()
+            .filter(|r| wanted.binary_search(&(r.as_usize() / block_rows)).is_ok())
+            .collect();
+    }
     let values = table.col_values(col);
     let words = table.activity_words();
-    let n = table.num_rows();
     for &b in blocks {
         let lo = b * block_rows;
         let hi = (lo + block_rows).min(n);
@@ -81,6 +124,19 @@ pub fn range_scan_active_zoned(
     pred: RangePredicate,
 ) -> (Vec<RowId>, ZoneStats) {
     debug_assert_eq!(zones.column(), col, "zone map covers a different column");
+    if table.has_frozen() {
+        // Frozen columns carry their own block meta; the word-zone slice
+        // no longer maps onto a flat value slice, so the tiered kernel
+        // (identical results, block-granular pruning) takes over.
+        let (rows, ts) = range_scan_tiered(table, col, pred);
+        return (
+            rows,
+            ZoneStats {
+                words_pruned: 0,
+                rows_scanned: ts.rows_scanned,
+            },
+        );
+    }
     let mut out = Vec::new();
     let stats = batch::scan_active_zoned_into(
         table.col_values(col),
@@ -102,6 +158,17 @@ pub fn count_active_matches_zoned(
     pred: RangePredicate,
 ) -> (usize, ZoneStats) {
     debug_assert_eq!(zones.column(), col, "zone map covers a different column");
+    if table.has_frozen() {
+        let (count, ts) =
+            batch::count_tiered_active(table.col_tier(col), table.activity_words(), pred);
+        return (
+            count,
+            ZoneStats {
+                words_pruned: 0,
+                rows_scanned: ts.rows_scanned,
+            },
+        );
+    }
     batch::count_active_zoned(
         table.col_values(col),
         table.activity_words(),
@@ -121,6 +188,16 @@ pub fn aggregate_state_active_zoned(
     pred: Option<RangePredicate>,
 ) -> (AggState, ZoneStats) {
     debug_assert_eq!(zones.column(), col, "zone map covers a different column");
+    if table.has_frozen() {
+        let (state, ts) = aggregate_state_tiered(table, col, pred);
+        return (
+            state,
+            ZoneStats {
+                words_pruned: 0,
+                rows_scanned: ts.rows_scanned,
+            },
+        );
+    }
     batch::aggregate_active_zoned(
         table.col_values(col),
         table.activity_words(),
@@ -163,12 +240,18 @@ pub fn aggregate_active(
 
 /// Fused filter + aggregate returning the full [`AggState`], so callers
 /// needing several aggregate kinds (COUNT and SUM and AVG…) pay for one
-/// scan instead of one per kind.
+/// scan instead of one per kind. Tier-aware: frozen blocks fold in
+/// code/offset/run space via the codecs' `fold_range_masked` — they are
+/// never decoded.
 pub fn aggregate_state_active(
     table: &Table,
     col: usize,
     pred: Option<RangePredicate>,
 ) -> (AggState, usize) {
+    if table.has_frozen() {
+        let (state, stats) = aggregate_state_tiered(table, col, pred);
+        return (state, stats.rows_scanned);
+    }
     batch::aggregate_active(
         table.col_values(col),
         table.activity_words(),
@@ -178,8 +261,26 @@ pub fn aggregate_state_active(
     )
 }
 
+/// Tier-aware fused filter+aggregate with block-pruning accounting (the
+/// executor's entry point once blocks are frozen).
+pub fn aggregate_state_tiered(
+    table: &Table,
+    col: usize,
+    pred: Option<RangePredicate>,
+) -> (AggState, TierStats) {
+    batch::aggregate_tiered_active(table.col_tier(col), table.activity_words(), pred)
+}
+
 /// Aggregate over an explicit row-id list.
 pub fn aggregate_rows(table: &Table, col: usize, rows: &[RowId], kind: AggKind) -> Option<f64> {
+    if table.has_frozen() {
+        let tier = table.col_tier(col);
+        let mut state = AggState::new();
+        for &r in rows {
+            state.push(tier.value_at(r.as_usize()));
+        }
+        return state.finalize(kind);
+    }
     let values: &[Value] = table.col_values(col);
     let mut state = AggState::new();
     for &r in rows {

@@ -71,6 +71,9 @@ pub fn par_range_scan_active(
     if n == 0 || pred.is_empty() {
         return Vec::new();
     }
+    if table.has_frozen() {
+        return par_range_scan_tiered(table, col, pred, threads);
+    }
     let bounds = chunk_bounds(n, threads);
     if bounds.len() == 1 {
         return crate::kernels::range_scan_active(table, col, pred);
@@ -120,6 +123,9 @@ pub fn par_aggregate_active(
     let n = table.num_rows();
     if n == 0 {
         return (AggState::new().finalize(kind), 0);
+    }
+    if table.has_frozen() {
+        return par_aggregate_tiered(table, col, pred, kind, threads);
     }
     let bounds = chunk_bounds(n, threads);
     if bounds.len() == 1 {
@@ -196,6 +202,115 @@ pub fn par_range_scan_compressed(
     }
     batch::scan_compressed_tail_into(col, words, pred, &mut out);
     out
+}
+
+/// Word-aligned frozen-block chunk bounds: at most `threads` contiguous
+/// runs of tier blocks, none below the [`MIN_CHUNK_ROWS`] floor.
+fn tier_block_chunks(
+    frozen_blocks: usize,
+    block_rows: usize,
+    threads: usize,
+) -> Vec<(usize, usize)> {
+    if frozen_blocks == 0 {
+        return Vec::new();
+    }
+    let min_blocks = MIN_CHUNK_ROWS.div_ceil(block_rows).max(1);
+    let chunks = threads.max(1).min((frozen_blocks / min_blocks).max(1));
+    let per = frozen_blocks.div_ceil(chunks);
+    (0..chunks)
+        .map(|i| (i * per, ((i + 1) * per).min(frozen_blocks)))
+        .filter(|&(b0, b1)| b0 < b1)
+        .collect()
+}
+
+/// Parallel tier-aware scan: chunks at *tier boundaries* — contiguous
+/// runs of frozen blocks per thread (each meta-pruned, then fused
+/// decode+filter), the hot tail scanned serially after the joins. Tier
+/// blocks are a whole number of activity words, so no word is ever
+/// shared between threads, and concatenating chunk outputs preserves
+/// insertion order.
+pub fn par_range_scan_tiered(
+    table: &Table,
+    col: usize,
+    pred: RangePredicate,
+    threads: usize,
+) -> Vec<RowId> {
+    let tier = table.col_tier(col);
+    if tier.is_empty() || pred.is_empty() {
+        return Vec::new();
+    }
+    let words = table.activity_words();
+    let chunks = tier_block_chunks(tier.frozen_blocks(), tier.block_rows(), threads);
+    if chunks.len() <= 1 {
+        let mut out = Vec::new();
+        batch::scan_tiered_active_into(tier, words, pred, &mut out);
+        return out;
+    }
+    let mut partials: Vec<Vec<RowId>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|&(b0, b1)| {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    batch::scan_tiered_blocks_into(tier, words, b0, b1, pred, &mut out);
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("tiered scan worker"));
+        }
+    });
+    let total = partials.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in partials {
+        out.extend(p);
+    }
+    batch::scan_tiered_tail_into(tier, words, pred, &mut out);
+    out
+}
+
+/// Parallel tier-aware aggregate: frozen-block chunks fold via the
+/// codecs' fused masked aggregation on worker threads, the hot tail
+/// folds serially, partial states merge.
+pub fn par_aggregate_tiered(
+    table: &Table,
+    col: usize,
+    pred: Option<RangePredicate>,
+    kind: AggKind,
+    threads: usize,
+) -> (Option<f64>, usize) {
+    let tier = table.col_tier(col);
+    let words = table.activity_words();
+    let chunks = tier_block_chunks(tier.frozen_blocks(), tier.block_rows(), threads);
+    if chunks.len() <= 1 {
+        let (state, stats) = batch::aggregate_tiered_active(tier, words, pred);
+        return (state.finalize(kind), stats.rows_scanned);
+    }
+    if pred.is_some_and(|p| p.is_empty()) {
+        let (state, stats) = batch::aggregate_tiered_active(tier, words, pred);
+        return (state.finalize(kind), stats.rows_scanned);
+    }
+    let mut state = AggState::new();
+    let mut scanned = 0usize;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|&(b0, b1)| {
+                s.spawn(move || batch::agg_compressed_blocks(tier, words, b0, b1, pred))
+            })
+            .collect();
+        for h in handles {
+            let (part, stats) = h.join().expect("tiered agg worker");
+            state.merge(&part);
+            scanned += stats.rows_scanned;
+        }
+    });
+    let (tail_state, tail_scanned) = batch::agg_tiered_tail(tier, words, pred);
+    state.merge(&tail_state);
+    scanned += tail_scanned;
+    (state.finalize(kind), scanned)
 }
 
 #[cfg(test)]
@@ -314,6 +429,44 @@ mod tests {
         for threads in [1, 2, 3, 8, 64] {
             let par = par_range_scan_compressed(&t, &seg, pred, threads);
             assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_tiered_scan_and_aggregate_equal_serial() {
+        let mut t = table(100_000);
+        let pred = RangePredicate::new(2_000, 7_000);
+        let serial_rows = crate::kernels::range_scan_active(&t, 0, pred);
+        let mut serial_aggs = Vec::new();
+        for kind in AggKind::ALL {
+            serial_aggs.push(crate::kernels::aggregate_active(&t, 0, Some(pred), kind));
+        }
+        t.freeze_upto(90_000); // mixed: 87 frozen blocks + hot tail
+        assert!(t.has_frozen());
+        // Tiering never changes answers.
+        assert_eq!(crate::kernels::range_scan_active(&t, 0, pred), serial_rows);
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(
+                par_range_scan_active(&t, 0, pred, threads),
+                serial_rows,
+                "threads={threads}"
+            );
+        }
+        for (i, kind) in AggKind::ALL.into_iter().enumerate() {
+            let (want, want_scanned) = serial_aggs[i];
+            for threads in [1, 4, 16] {
+                let (got, scanned) = par_aggregate_active(&t, 0, Some(pred), kind, threads);
+                match (want, got) {
+                    (Some(a), Some(b)) => {
+                        assert!((a - b).abs() < 1e-9, "{kind:?} threads={threads}")
+                    }
+                    (a, b) => assert_eq!(a, b, "{kind:?}"),
+                }
+                assert!(
+                    scanned <= want_scanned,
+                    "{kind:?}: block meta may only shrink scanned rows"
+                );
+            }
         }
     }
 

@@ -7,6 +7,7 @@
 //! 1024, 1025).
 
 use amnesia::columnar::compress::Encoding;
+use amnesia::columnar::vacuum::vacuum;
 use amnesia::columnar::{SegmentedColumn, WordZoneMap};
 use amnesia::engine::batch::{self, scalar};
 use amnesia::engine::kernels;
@@ -226,6 +227,186 @@ fn boundary_sizes_and_forget_patterns() {
             ] {
                 assert_all_kernels_agree(&t, pred, &format!("n={n} {pattern:?}"));
             }
+        }
+    }
+}
+
+/// Assert a tiered table and its never-frozen twin answer every kernel
+/// identically: scans (serial + parallel, all thread counts), counts,
+/// aggregates of every kind with and without predicates, and — while no
+/// lossy transition has run — the complete-scan regime. The twin's
+/// scalar kernels are the ground truth. Runs under whichever SIMD mode
+/// the process was started in — CI's matrix covers both native and
+/// `AMNESIA_PORTABLE_ONLY`.
+///
+/// `scan_all_comparable` must be false once a recompression actually
+/// re-encoded a block (or a block was dropped): both transitions destroy
+/// *forgotten* rows' values by design, so the ScanSeesForgotten regime
+/// legitimately diverges from the flat twin afterwards — active-only
+/// answers are the invariant that survives every transition.
+fn assert_tiered_equals_flat(
+    tiered: &Table,
+    flat: &Table,
+    pred: RangePredicate,
+    scan_all_comparable: bool,
+    ctx: &str,
+) {
+    let reference = scalar::range_scan_active(flat, 0, pred);
+    assert_eq!(
+        kernels::range_scan_active(tiered, 0, pred),
+        reference,
+        "tiered scan {ctx}"
+    );
+    let (rows, _) = kernels::range_scan_tiered(tiered, 0, pred);
+    assert_eq!(rows, reference, "tiered scan+stats {ctx}");
+    assert_eq!(
+        kernels::count_active_matches(tiered, 0, pred),
+        reference.len(),
+        "tiered count {ctx}"
+    );
+    for threads in THREAD_COUNTS {
+        assert_eq!(
+            par_range_scan_active(tiered, 0, pred, threads),
+            reference,
+            "par tiered scan threads={threads} {ctx}"
+        );
+    }
+    for predicate in [None, Some(pred)] {
+        for kind in AggKind::ALL {
+            let (want, want_scanned) = scalar::aggregate_active(flat, 0, predicate, kind);
+            let (got, got_scanned) = kernels::aggregate_active(tiered, 0, predicate, kind);
+            assert_eq!(got, want, "tiered agg {kind:?} pred={predicate:?} {ctx}");
+            assert!(
+                got_scanned <= want_scanned,
+                "tiered agg may only shrink work {ctx}"
+            );
+            for threads in THREAD_COUNTS {
+                let (par, _) = par_aggregate_active(tiered, 0, predicate, kind, threads);
+                match (want, par) {
+                    (Some(a), Some(b)) => assert!(
+                        (a - b).abs() < 1e-9,
+                        "par tiered agg {kind:?} threads={threads} {ctx}: {a} vs {b}"
+                    ),
+                    (a, b) => assert_eq!(a, b, "par tiered agg {kind:?} {ctx}"),
+                }
+            }
+        }
+    }
+    if scan_all_comparable {
+        assert_eq!(
+            kernels::range_scan_all(tiered, 0, pred),
+            scalar::range_scan_all(flat, 0, pred),
+            "tiered scan-all {ctx}"
+        );
+    }
+}
+
+/// Randomized freeze/forget/thaw/drop/recompress/vacuum/query
+/// interleavings: after every transition the tiered table must keep
+/// answering exactly like its never-frozen twin, across block sizes and
+/// every pinned codec plus the automatic chooser.
+#[test]
+fn tiered_interleavings_match_flat_storage() {
+    for (block_rows, encoding, seed) in [
+        (64usize, None, 1u64),
+        (64, Some(Encoding::Rle), 2),
+        // Seed 102 previously tripped the scan-all comparison after an
+        // RLE recompression — kept as a regression case for the lossy
+        // gating.
+        (64, Some(Encoding::Rle), 102),
+        (64, Some(Encoding::Dict), 3),
+        (128, Some(Encoding::Delta), 4),
+        (128, Some(Encoding::ForPack), 5),
+        (1024, Some(Encoding::Plain), 6),
+        (1024, None, 7),
+    ] {
+        let mut rng = SimRng::new(seed);
+        let mut flat = Table::new(Schema::single("a"));
+        let mut tiered = Table::with_block_rows(Schema::single("a"), block_rows);
+        tiered.pin_encoding(0, encoding);
+        let ctx = format!("block_rows={block_rows} enc={encoding:?} seed={seed}");
+        // Set once a transition destroys forgotten rows' values (a
+        // recompression that actually re-encoded): active-only answers
+        // stay exact forever, but the complete-scan regime legitimately
+        // diverges from the flat twin. Vacuum rebuilds both twins from
+        // survivors only, which makes them byte-identical again.
+        let mut lossy = false;
+        for step in 0..12 {
+            // Mutate: insert a batch, forget some rows, then a random
+            // tier transition.
+            let n = 100 + (rng.range_i64(0, 400) as usize);
+            let values: Vec<i64> = (0..n).map(|_| rng.range_i64(-500, 500)).collect();
+            flat.insert_batch(&values, step).unwrap();
+            tiered.insert_batch(&values, step).unwrap();
+            for _ in 0..n / 3 {
+                if let Some(r) = flat.random_active(&mut rng) {
+                    flat.forget(r, step).unwrap();
+                    tiered.forget(r, step).unwrap();
+                }
+            }
+            match rng.range_i64(0, 6) {
+                0 | 1 => {
+                    let upto = rng.range_i64(0, flat.num_rows() as i64 + 1) as usize;
+                    tiered.freeze_upto(upto);
+                }
+                2 => {
+                    tiered.freeze_upto(tiered.num_rows());
+                }
+                3 => {
+                    let nb = tiered.frozen_blocks();
+                    if nb > 0 {
+                        tiered.thaw_block(rng.range_i64(0, nb as i64) as usize);
+                    }
+                }
+                4 => {
+                    let (reencoded, _) = tiered.recompress_frozen(0.9);
+                    lossy |= reencoded > 0;
+                }
+                _ => {
+                    // Vacuum both twins identically; the compacted tiered
+                    // table comes back hot (survivor values only, so the
+                    // twins are byte-identical again) and refreezes later.
+                    let keep_flat = vacuum(&flat);
+                    let keep_tiered = vacuum(&tiered);
+                    assert_eq!(
+                        keep_flat.removed, keep_tiered.removed,
+                        "vacuum parity {ctx}"
+                    );
+                    flat = keep_flat.table;
+                    tiered = keep_tiered.table;
+                    lossy = false;
+                }
+            }
+            tiered.check_invariants().unwrap();
+            assert_eq!(tiered.num_rows(), flat.num_rows(), "{ctx} step {step}");
+            // Query: a selective, a covering, and an empty predicate.
+            for pred in [
+                RangePredicate::new(rng.range_i64(-500, 400), rng.range_i64(-400, 500)),
+                RangePredicate::new(-500, 500),
+                RangePredicate::new(400, -400),
+            ] {
+                assert_tiered_equals_flat(
+                    &tiered,
+                    &flat,
+                    pred,
+                    !lossy,
+                    &format!("{ctx} step {step}"),
+                );
+            }
+        }
+        // Dropping fully-forgotten blocks keeps active answers intact.
+        tiered.freeze_upto(tiered.num_rows());
+        let (_, _) = tiered.drop_forgotten_blocks();
+        for pred in [
+            RangePredicate::new(-500, 500),
+            RangePredicate::new(-100, 100),
+        ] {
+            let reference = scalar::range_scan_active(&flat, 0, pred);
+            assert_eq!(
+                kernels::range_scan_active(&tiered, 0, pred),
+                reference,
+                "{ctx} after drop"
+            );
         }
     }
 }
