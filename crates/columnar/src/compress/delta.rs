@@ -92,6 +92,32 @@ pub fn value_at(data: &[u8], i: usize) -> Value {
     panic!("row {i} out of range for delta block of {row} rows");
 }
 
+/// Visit `(row, value)` for every row whose bit is set in `active`
+/// (block-local selection words), in row order. Deltas force the full
+/// prefix-sum walk, but inactive rows are reconstructed and skipped
+/// without a callback, and nothing is materialized — the tiered join
+/// kernels' per-row path for delta blocks.
+pub fn for_each_active(data: &[u8], active: &[u64], mut f: impl FnMut(usize, Value)) {
+    let mut pos = 0;
+    let mut prev = 0i64;
+    let mut first = true;
+    let mut row = 0usize;
+    while pos < data.len() {
+        let d = read_signed(data, &mut pos);
+        let v = if first {
+            first = false;
+            d
+        } else {
+            prev.wrapping_add(d)
+        };
+        if bit_set(active, row) {
+            f(row, v);
+        }
+        prev = v;
+        row += 1;
+    }
+}
+
 /// Fused masked aggregate: the prefix-sum walk feeds each reconstructed
 /// value straight into the accumulator when its `active` bit is set and
 /// the optional `[lo, hi)` filter passes — no materialization.

@@ -199,6 +199,55 @@ fn parse_header(data: &[u8]) -> (usize, Vec<Value>, u32, &[u8]) {
     (count, dict, width, &data[pos..])
 }
 
+/// The sorted distinct values of a dictionary block. This is the join
+/// kernels' entry point: a hash build inserts each distinct value *once*
+/// and fans row ids out by code, and a hash probe translates the whole
+/// lookup into a per-code match table computed with `dict_len` probes
+/// instead of one per row.
+pub fn read_dictionary(data: &[u8]) -> Vec<Value> {
+    parse_header(data).1
+}
+
+/// Visit `(row, code)` for every row whose bit is set in `active`
+/// (block-local selection words), in row order. The header is parsed
+/// once; each visit is one branchless fixed-width unpack, and the walk
+/// hoists whole 64-row activity words so an all-forgotten word costs one
+/// load. Pairs with [`read_dictionary`] to keep join probes in code
+/// space.
+pub fn for_each_active_code(data: &[u8], active: &[u64], mut f: impl FnMut(usize, u64)) {
+    let (count, _, width, region) = parse_header(data);
+    for_each_active_fixed(count, active, |row| {
+        f(row, unpack_fixed(region, width, row))
+    });
+}
+
+/// Visit `(row, value)` for active rows in row order: one dictionary
+/// parse, then fixed-width unpacks of only the active rows.
+pub fn for_each_active(data: &[u8], active: &[u64], mut f: impl FnMut(usize, Value)) {
+    let (count, dict, width, region) = parse_header(data);
+    for_each_active_fixed(count, active, |row| {
+        f(row, dict[unpack_fixed(region, width, row) as usize]);
+    });
+}
+
+/// Shared word-hoisted walk over the active rows of a `count`-row block.
+pub(super) fn for_each_active_fixed(count: usize, active: &[u64], mut f: impl FnMut(usize)) {
+    for (g, &aw) in active.iter().enumerate().take(count.div_ceil(64)) {
+        let base_row = g * 64;
+        let rows = (count - base_row).min(64);
+        let mut w = if rows == 64 {
+            aw
+        } else {
+            aw & ((1u64 << rows) - 1)
+        };
+        while w != 0 {
+            let bit = w.trailing_zeros() as usize;
+            w &= w - 1;
+            f(base_row + bit);
+        }
+    }
+}
+
 /// Value at row `i`: one direct fixed-width code unpack plus a dictionary
 /// lookup — dictionary blocks are random-access, so point reads cost
 /// O(dict) parse + O(1) access, with no allocation beyond the (tiny)

@@ -109,32 +109,6 @@ pub(super) fn unpack_fixed(region: &[u8], width: u32, i: usize) -> u64 {
     ((pair >> shift) as u64) & low_ones(width)
 }
 
-/// Count set bits of `words` in bit positions `[lo, hi)` — the RLE fold's
-/// per-run activity count, O(words spanned) not O(bits).
-pub(super) fn count_bits_in(words: &[u64], lo: usize, hi: usize) -> u64 {
-    if lo >= hi {
-        return 0;
-    }
-    let first = lo / 64;
-    let last = (hi - 1) / 64;
-    let mut count = 0u64;
-    for wi in first..=last {
-        let Some(&w) = words.get(wi) else { break };
-        let mut w = w;
-        if wi == first {
-            w &= !0u64 << (lo % 64);
-        }
-        if wi == last {
-            let used = hi - wi * 64;
-            if used < 64 {
-                w &= (1u64 << used) - 1;
-            }
-        }
-        count += u64::from(w.count_ones());
-    }
-    count
-}
-
 /// `hi − lo` in the unsigned domain; 0 when the range is empty, so the
 /// wrapping compare in [`in_range`] rejects everything.
 #[inline]
@@ -266,17 +240,6 @@ mod tests {
         }
         w.finish();
         assert_eq!(fast, slow);
-    }
-
-    #[test]
-    fn count_bits_in_matches_naive() {
-        let words = [0xDEAD_BEEF_0123_4567u64, 0xFFFF_0000_FFFF_0000, 0x1];
-        for (lo, hi) in [(0, 0), (0, 64), (3, 61), (60, 70), (64, 192), (150, 200)] {
-            let naive: u64 = (lo..hi).map(|i| u64::from(bit_set(&words, i))).sum();
-            assert_eq!(count_bits_in(&words, lo, hi), naive, "[{lo}, {hi})");
-        }
-        // Bits past the slice count as clear.
-        assert_eq!(count_bits_in(&words, 191, 300), 0);
     }
 
     #[test]

@@ -174,6 +174,22 @@ pub fn value_at(data: &[u8], i: usize) -> Value {
     (min as i128 + unpack_fixed(region, width, i) as i128) as i64
 }
 
+/// Visit `(row, value)` for every row whose bit is set in `active`
+/// (block-local selection words), in row order: one header parse, then a
+/// word-hoisted walk unpacking only the *active* rows in offset space —
+/// an all-forgotten 64-row word costs one load, and no `Vec<Value>` is
+/// ever materialized. This is the tiered join kernels' per-row path for
+/// frame-of-reference blocks.
+pub fn for_each_active(data: &[u8], active: &[u64], mut f: impl FnMut(usize, Value)) {
+    let (count, min, width, region) = parse_header(data);
+    super::dict::for_each_active_fixed(count, active, |row| {
+        f(
+            row,
+            (min as i128 + unpack_fixed(region, width, row) as i128) as i64,
+        );
+    });
+}
+
 /// Fused masked aggregate in *offset space*: the filter is rebased to
 /// `[lo − min, hi − min)` once, and the frame base is added back exactly
 /// once at the end — values are never reconstructed per row. Fixed-width

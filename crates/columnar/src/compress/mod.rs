@@ -46,6 +46,8 @@ pub mod forpack;
 pub mod rle;
 pub mod varint;
 
+use std::cell::Cell;
+
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
@@ -53,6 +55,23 @@ pub(crate) use filter::bit_set;
 pub use filter::BlockAgg;
 
 use crate::types::Value;
+
+thread_local! {
+    /// Dense block decodes performed by this thread (see
+    /// [`block_decodes`]).
+    static BLOCK_DECODES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of dense [`EncodedBlock::decode`] calls this thread has made.
+///
+/// The fused kernels' whole bargain is that compressed blocks stay
+/// queryable *without* materializing a `Vec<Value>`; this counter lets
+/// tests and benches pin that bargain — snapshot it, run a tiered
+/// operator, and assert the delta is zero. Thread-local on purpose:
+/// concurrently running tests cannot pollute each other's deltas.
+pub fn block_decodes() -> u64 {
+    BLOCK_DECODES.with(Cell::get)
+}
 
 /// Available encodings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -168,7 +187,12 @@ impl EncodedBlock {
     }
 
     /// Decode back to the original values.
+    ///
+    /// This is the *dense materialization* path the fused kernels exist
+    /// to avoid; every call bumps the thread's [`block_decodes`] counter
+    /// so tests and benches can assert a tiered operator never took it.
     pub fn decode(&self) -> Vec<Value> {
+        BLOCK_DECODES.with(|c| c.set(c.get() + 1));
         match self.encoding {
             Encoding::Plain => plain_decode(&self.data),
             Encoding::Rle => rle::decode(&self.data),
@@ -218,6 +242,32 @@ impl EncodedBlock {
             Encoding::Delta => delta::value_at(&self.data, i),
             Encoding::ForPack => forpack::value_at(&self.data, i),
             Encoding::Dict => dict::value_at(&self.data, i),
+        }
+    }
+
+    /// Visit `(row, value)` for every block-local row whose bit is set in
+    /// `active` (block-local selection words, LSB-first), in ascending
+    /// row order, *without decoding the block*. Each codec walks in its
+    /// own domain: RLE decodes a run's value once and fans it over the
+    /// run's active bits, dict parses the dictionary once and unpacks
+    /// only active codes, FOR rebases offsets with a word-hoisted walk
+    /// (an all-forgotten 64-row word costs one load), delta reconstructs
+    /// inside the prefix-sum walk. This is the streaming primitive the
+    /// tiered hash-join build side feeds its hash table from.
+    pub fn for_each_active(&self, active: &[u64], mut f: impl FnMut(usize, Value)) {
+        match self.encoding {
+            Encoding::Plain => {
+                // Word-hoisted like the other fixed-width codecs: an
+                // all-forgotten 64-row word costs one load.
+                dict::for_each_active_fixed(self.len, active, |i| {
+                    let bytes = &self.data[i * 8..i * 8 + 8];
+                    f(i, i64::from_le_bytes(bytes.try_into().expect("chunk of 8")));
+                });
+            }
+            Encoding::Rle => rle::for_each_active(&self.data, active, f),
+            Encoding::Delta => delta::for_each_active(&self.data, active, f),
+            Encoding::ForPack => forpack::for_each_active(&self.data, active, f),
+            Encoding::Dict => dict::for_each_active(&self.data, active, f),
         }
     }
 
@@ -477,6 +527,32 @@ mod proptests {
                     block.fold_range_masked(filter, &active, &mut got);
                     prop_assert_eq!(got, want, "{:?} filter {:?}", enc, filter);
                 }
+            }
+        }
+
+        #[test]
+        fn for_each_active_equals_decode_then_filter(
+            values in proptest::collection::vec(any::<i64>(), 0..300),
+            active_seed in any::<u64>(),
+        ) {
+            let nwords = values.len().div_ceil(64);
+            let active: Vec<u64> = (0..nwords)
+                .map(|i| active_seed.rotate_left(i as u32 * 11).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .collect();
+            let set = |i: usize| active[i / 64] >> (i % 64) & 1 == 1;
+            let want: Vec<(usize, i64)> = values
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| set(i))
+                .map(|(i, &v)| (i, v))
+                .collect();
+            for enc in Encoding::ALL {
+                let block = EncodedBlock::encode(&values, enc);
+                let before = block_decodes();
+                let mut got = Vec::new();
+                block.for_each_active(&active, |row, v| got.push((row, v)));
+                prop_assert_eq!(&got, &want, "{:?}", enc);
+                prop_assert_eq!(block_decodes(), before, "{:?} must not decode", enc);
             }
         }
 

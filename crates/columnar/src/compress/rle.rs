@@ -2,7 +2,9 @@
 
 use bytes::{Bytes, BytesMut};
 
-use super::filter::{count_bits_in, in_range, range_width, BlockAgg, MaskWriter};
+use amnesia_util::bitmap::{count_set_bits_in, for_each_set_bit_in};
+
+use super::filter::{in_range, range_width, BlockAgg, MaskWriter};
 use super::varint::{read_signed, read_varint, write_signed, write_varint};
 use crate::types::Value;
 
@@ -69,6 +71,30 @@ pub fn value_at(data: &[u8], i: usize) -> Value {
     panic!("row {i} out of range for rle block of {covered} rows");
 }
 
+/// Visit every run as `(value, first_row, run_len)` in row order — the
+/// structural primitive behind the tiered join kernels: a hash probe or
+/// build touches the hash table once per *run*, then fans the verdict out
+/// over the run's active rows.
+pub fn for_each_run(data: &[u8], mut f: impl FnMut(Value, usize, usize)) {
+    let mut pos = 0;
+    let mut row = 0usize;
+    while pos < data.len() {
+        let v = read_signed(data, &mut pos);
+        let run = read_varint(data, &mut pos) as usize;
+        f(v, row, run);
+        row += run;
+    }
+}
+
+/// Visit `(row, value)` for every row whose bit is set in `active`
+/// (block-local selection words), in row order. The run value is decoded
+/// once per run; an all-forgotten run costs two varint reads.
+pub fn for_each_active(data: &[u8], active: &[u64], mut f: impl FnMut(usize, Value)) {
+    for_each_run(data, |v, start, len| {
+        for_each_set_bit_in(active, start, start + len, |row| f(row, v));
+    });
+}
+
 /// Fused masked aggregate: fold COUNT/SUM/MIN/MAX of the rows whose bit is
 /// set in `active` (block-local selection words) and whose value passes
 /// the optional `[lo, hi)` filter — one compare plus one popcount-range
@@ -89,7 +115,7 @@ pub fn fold_range_masked(
             None => true,
         };
         if matches {
-            agg.push_repeated(v, count_bits_in(active, row, row + run));
+            agg.push_repeated(v, count_set_bits_in(active, row, row + run) as u64);
         }
         row += run;
     }

@@ -171,9 +171,9 @@ pub fn decode(bytes: &[u8]) -> Result<Table> {
         return Err(storage_err!("not a snapshot: bad magic"));
     }
     let version = r.u32()?;
-    if version != VERSION {
+    if version != VERSION && version != 1 {
         return Err(storage_err!(
-            "unsupported snapshot version {version} (expected {VERSION})"
+            "unsupported snapshot version {version} (expected 1 or {VERSION})"
         ));
     }
     let payload_len = r.u64()? as usize;
@@ -184,6 +184,9 @@ pub fn decode(bytes: &[u8]) -> Result<Table> {
         return Err(storage_err!(
             "snapshot checksum mismatch: stored {stored_crc:#010x}, computed {actual:#010x}"
         ));
+    }
+    if version == 1 {
+        return decode_v1(&payload);
     }
 
     let mut p = Reader::new(&payload);
@@ -347,6 +350,124 @@ pub fn decode(bytes: &[u8]) -> Result<Table> {
     Ok(table)
 }
 
+/// Reconstruct a table from a *version 1* (pre-tier) payload.
+///
+/// v1 snapshots predate tiered storage: each column is one
+/// whole-column [`EncodedBlock`] (`u8 encoding tag, u64 value count,
+/// u64 data length, data`), with no block size, no per-block metadata
+/// and no lifecycle states. They restore into a **fully hot** table with
+/// the default tier block size — freezing is a policy decision the
+/// restored store makes at its next batch boundary, not something to
+/// invent while reading old bytes. Column min/max stats are recomputed
+/// from the decoded values, matching the v1 writer's behavior (every
+/// value it saved was still physically present).
+fn decode_v1(payload: &[u8]) -> Result<Table> {
+    let mut p = Reader::new(payload);
+
+    // Schema.
+    let arity = p.u16()? as usize;
+    if arity == 0 {
+        return Err(storage_err!("snapshot declares zero columns"));
+    }
+    let mut names = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let len = p.u16()? as usize;
+        let raw = p.bytes(len)?;
+        names.push(
+            std::str::from_utf8(raw)
+                .map_err(|_| storage_err!("column name is not UTF-8"))?
+                .to_string(),
+        );
+    }
+
+    // Columns: one whole-column encoded block each.
+    let n = p.u64()? as usize;
+    let mut columns: Vec<Vec<i64>> = Vec::with_capacity(arity);
+    for c in 0..arity {
+        let tag = p.u8()?;
+        let encoding =
+            Encoding::from_tag(tag).ok_or_else(|| storage_err!("unknown encoding tag {tag}"))?;
+        let count = p.u64()? as usize;
+        if count != n {
+            return Err(storage_err!("column {c} has {count} values, expected {n}"));
+        }
+        let data_len = p.u64()? as usize;
+        let data = Bytes::copy_from_slice(p.bytes(data_len)?);
+        let values = EncodedBlock::from_parts(encoding, count, data).decode();
+        if values.len() != n {
+            return Err(storage_err!(
+                "column {c} decoded to {} values, expected {n}",
+                values.len()
+            ));
+        }
+        columns.push(values);
+    }
+
+    // Forgotten rows.
+    let forgotten_count = p.u64()? as usize;
+    let mut forgotten = Vec::with_capacity(forgotten_count);
+    for _ in 0..forgotten_count {
+        let row = p.varint()?;
+        let epoch = p.varint()?;
+        if row as usize >= n {
+            return Err(storage_err!("forgotten row {row} out of range"));
+        }
+        forgotten.push((RowId(row), epoch));
+    }
+
+    // Insert epochs.
+    let mut epochs = Vec::with_capacity(n);
+    let mut prev = 0i64;
+    for _ in 0..n {
+        prev += p.signed_varint()?;
+        if prev < 0 {
+            return Err(storage_err!("negative insert epoch"));
+        }
+        epochs.push(prev as u64);
+    }
+
+    // Access stats.
+    let touched_count = p.u64()? as usize;
+    let mut touched = Vec::with_capacity(touched_count);
+    for _ in 0..touched_count {
+        let row = p.varint()?;
+        let freq = p.f64()?;
+        let last = p.varint()?;
+        if row as usize >= n {
+            return Err(storage_err!("touched row {row} out of range"));
+        }
+        touched.push((RowId(row), freq, last));
+    }
+    p.expect_end()?;
+
+    // Rebuild as a fully hot tiered table. Stats recompute from the
+    // decoded values (a v1 snapshot physically held every row), matching
+    // what the v1 reader's per-row insert path produced.
+    let mut tiers = Vec::with_capacity(arity);
+    let mut stats = Vec::with_capacity(arity);
+    for values in columns {
+        let mut tier = TieredColumn::new();
+        stats.push((values.iter().min().copied(), values.iter().max().copied()));
+        tier.extend_from_slice(&values);
+        tiers.push(tier);
+    }
+    let mut table = Table::from_restored_parts(
+        Schema::new(names),
+        crate::types::DEFAULT_BLOCK_ROWS,
+        tiers,
+        epochs,
+        &forgotten,
+    )?;
+    for (c, (min, max)) in stats.into_iter().enumerate() {
+        table.restore_col_stats(c, min, max);
+    }
+    for (row, freq, last) in touched {
+        table.access_mut().restore(row, freq, last);
+    }
+    table.check_invariants()?;
+    Ok(table)
+}
+
 /// Write a snapshot atomically: temp file in the same directory, fsync,
 /// rename over the target.
 pub fn save(table: &Table, path: &Path) -> Result<()> {
@@ -485,6 +606,91 @@ mod tests {
         assert_eq!(restored.min_seen(0), t.min_seen(0));
         assert_eq!(restored.active_rows(), t.active_rows());
         restored.check_invariants().unwrap();
+    }
+
+    /// The version-1 (pre-tier) snapshot writer, kept verbatim from the
+    /// PR-2 era as the backward-compat reference: `tests/fixtures/
+    /// v1_pre_tier.snap` was produced by this code, and [`decode`] must
+    /// keep loading both the fixture and anything this emits.
+    pub(super) fn encode_v1(table: &Table) -> Vec<u8> {
+        use crate::types::Value;
+        let mut payload = BytesMut::new();
+        let schema = table.schema();
+        payload.put_u16_le(schema.arity() as u16);
+        for def in schema.columns() {
+            payload.put_u16_le(def.name.len() as u16);
+            payload.put_slice(def.name.as_bytes());
+        }
+        let n = table.num_rows();
+        payload.put_u64_le(n as u64);
+        for c in 0..schema.arity() {
+            let values: Vec<Value> = (0..n).map(|r| table.value(c, RowId::from(r))).collect();
+            let block = EncodedBlock::encode_auto(&values);
+            payload.put_u8(block.encoding().tag());
+            payload.put_u64_le(block.len() as u64);
+            payload.put_u64_le(block.data().len() as u64);
+            payload.put_slice(block.data());
+        }
+        let forgotten: Vec<(u64, u64)> = (0..n)
+            .filter_map(|r| {
+                let id = RowId::from(r);
+                table.activity().died_at(id).map(|e| (r as u64, e))
+            })
+            .collect();
+        payload.put_u64_le(forgotten.len() as u64);
+        for (row, epoch) in forgotten {
+            write_varint(&mut payload, row);
+            write_varint(&mut payload, epoch);
+        }
+        let mut prev = 0i64;
+        for &e in table.insert_epochs() {
+            write_signed(&mut payload, e as i64 - prev);
+            prev = e as i64;
+        }
+        let touched: Vec<u64> = (0..n as u64)
+            .filter(|&r| table.access().frequency(RowId(r)) > 0.0)
+            .collect();
+        payload.put_u64_le(touched.len() as u64);
+        for r in touched {
+            write_varint(&mut payload, r);
+            payload.put_f64_le(table.access().frequency(RowId(r)));
+            write_varint(&mut payload, table.access().last_access(RowId(r)));
+        }
+        let payload = payload.freeze();
+        let mut out = Vec::with_capacity(payload.len() + 24);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out
+    }
+
+    use bytes::{BufMut, BytesMut};
+
+    #[test]
+    fn v1_snapshot_loads_into_fully_hot_table() {
+        let t = sample_table();
+        let restored = decode(&encode_v1(&t)).unwrap();
+        assert_tables_equal(&t, &restored);
+        // v1 predates tiering: the restore must come back fully hot with
+        // the default block size, ready for the store's own freeze
+        // scheduling.
+        assert!(!restored.has_frozen(), "v1 restores fully hot");
+        assert_eq!(restored.block_rows(), crate::types::DEFAULT_BLOCK_ROWS);
+        assert_eq!(restored.max_seen(0), t.max_seen(0));
+        assert_eq!(restored.min_seen(0), t.min_seen(0));
+        // Re-encoding writes the current version; the round trip holds.
+        let reencoded = decode(&encode(&restored)).unwrap();
+        assert_tables_equal(&restored, &reencoded);
+    }
+
+    #[test]
+    fn v1_corruption_is_still_detected() {
+        let mut bytes = encode_v1(&sample_table());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        assert!(decode(&bytes).is_err(), "v1 CRC must stay enforced");
     }
 
     #[test]

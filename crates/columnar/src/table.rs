@@ -293,15 +293,29 @@ impl Table {
         self.columns.iter().map(|c| c.tier().bytes_frozen()).sum()
     }
 
-    /// Flat bytes / resident bytes over all columns (≥ 1 means tiering
-    /// is saving memory).
+    /// Rows living in dropped blocks (identical across columns — blocks
+    /// drop in lockstep). These row ids still exist but their values were
+    /// surrendered; they are excluded from [`Table::compression_ratio`]
+    /// so amnesia savings never masquerade as codec savings.
+    pub fn dropped_rows(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.tier().dropped_rows())
+    }
+
+    /// Flat bytes of *surviving* rows / resident bytes over all columns
+    /// (≥ 1 means tiering is saving memory). Dropped blocks' rows are
+    /// excluded from the numerator — see
+    /// [`TieredColumn::compression_ratio`](crate::tier::TieredColumn::compression_ratio).
     pub fn compression_ratio(&self) -> f64 {
-        let plain: usize = self.columns.iter().map(|c| c.tier().plain_bytes()).sum();
+        let surviving: usize = self
+            .columns
+            .iter()
+            .map(|c| (c.tier().len() - c.tier().dropped_rows()) * std::mem::size_of::<Value>())
+            .sum();
         let resident: usize = self.columns.iter().map(|c| c.tier().memory_bytes()).sum();
-        if resident == 0 {
+        if resident == 0 || surviving == 0 {
             1.0
         } else {
-            plain as f64 / resident as f64
+            surviving as f64 / resident as f64
         }
     }
 

@@ -80,6 +80,16 @@ impl BlockMeta {
     pub fn may_match(&self, lo: Value, hi: Value) -> bool {
         self.active > 0 && self.min < hi && self.max >= lo
     }
+
+    /// Can any active row of this block satisfy `lo <= v <= hi`? The
+    /// *inclusive* variant of [`Self::may_match`], used by the join
+    /// kernels to prune probe blocks against a build side's `[min, max]`
+    /// key range — which the exclusive form cannot express when
+    /// `hi == i64::MAX`. Same stale-bounds safety argument.
+    #[inline]
+    pub fn may_match_inclusive(&self, lo: Value, hi: Value) -> bool {
+        self.active > 0 && self.min <= hi && self.max >= lo
+    }
 }
 
 /// Lifecycle state of one frozen block (see the module docs).
@@ -467,13 +477,30 @@ impl TieredColumn {
         self.len() * std::mem::size_of::<Value>()
     }
 
-    /// Plain bytes / resident bytes (≥ 1 means tiering is paying rent).
+    /// Rows living in dropped blocks — row ids that still exist but whose
+    /// values were surrendered. Reported separately from
+    /// [`Self::compression_ratio`]: dropped rows are *amnesia* savings,
+    /// not *compression* savings, and folding them into the ratio would
+    /// let a table that forgot everything claim an arbitrarily large
+    /// codec win.
+    pub fn dropped_rows(&self) -> usize {
+        self.frozen.iter().filter(|f| f.is_dropped()).count() * self.block_rows
+    }
+
+    /// Plain bytes of the *surviving* rows / resident bytes (≥ 1 means
+    /// tiering is paying rent). Rows whose blocks were dropped are
+    /// excluded from the numerator — after `drop_forgotten_blocks`
+    /// surrenders payloads, `len` stays fixed while resident bytes
+    /// approach zero, and the naive `plain_bytes / resident` quotient
+    /// would inflate without bound ([`Self::dropped_rows`] carries that
+    /// information instead). Returns 1.0 when nothing survives.
     pub fn compression_ratio(&self) -> f64 {
+        let surviving = (self.len() - self.dropped_rows()) * std::mem::size_of::<Value>();
         let resident = self.memory_bytes();
-        if resident == 0 {
+        if resident == 0 || surviving == 0 {
             1.0
         } else {
-            self.plain_bytes() as f64 / resident as f64
+            surviving as f64 / resident as f64
         }
     }
 }
@@ -636,6 +663,41 @@ mod tests {
         assert!(tiered.compression_ratio() > 4.0);
         assert!(tiered.bytes_frozen() > 0);
         assert_eq!(tiered.dense_values(), values);
+    }
+
+    #[test]
+    fn dropped_blocks_do_not_inflate_compression_ratio() {
+        // Incompressible-ish values: the honest ratio hovers near 1.
+        let values: Vec<i64> = (0..4096).map(|i| (i * 0x9E37_79B9) ^ (i << 17)).collect();
+        let mut c = TieredColumn::with_block_rows(1024);
+        c.extend_from_slice(&values);
+        let mut words = all_active(4096);
+        c.freeze_upto(4096, &words);
+        let honest = c.compression_ratio();
+        assert!(honest < 2.0, "incompressible data, got {honest}");
+        // Forget and drop 3 of the 4 blocks: resident bytes collapse but
+        // the ratio must not claim a codec win it never earned.
+        for r in 0..3072 {
+            words[r / 64] &= !(1u64 << (r % 64));
+            c.note_forget(r);
+        }
+        for b in 0..3 {
+            assert!(c.drop_block(b) > 0);
+        }
+        assert_eq!(c.dropped_rows(), 3072);
+        assert_eq!(c.len(), 4096, "row ids stay stable");
+        let after = c.compression_ratio();
+        assert!(
+            after < honest * 1.5,
+            "ratio inflated by drops: {after} vs honest {honest}"
+        );
+        // A fully dropped column reports a neutral ratio, not infinity.
+        for r in 3072..4096 {
+            c.note_forget(r);
+        }
+        c.drop_block(3);
+        assert_eq!(c.dropped_rows(), 4096);
+        assert_eq!(c.compression_ratio(), 1.0);
     }
 
     #[test]

@@ -213,7 +213,15 @@ pub struct MetricsSnapshot {
     pub blocks_dropped: u64,
     /// Heavily-forgotten blocks re-encoded smaller (cumulative).
     pub blocks_recompressed: u64,
-    /// Flat bytes / resident bytes (≥ 1 means tiering is saving memory).
+    /// Rows currently living in dropped blocks: row ids that persist but
+    /// whose values were surrendered. Reported separately so
+    /// `compression_ratio` can stay an honest codec metric — these
+    /// savings come from amnesia, not compression.
+    pub dropped_rows: usize,
+    /// Flat bytes of surviving rows / resident bytes (≥ 1 means tiering
+    /// is saving memory). Rows in dropped blocks are excluded from the
+    /// numerator, so the ratio stays meaningful even when
+    /// `drop_forgotten_blocks` has surrendered most payloads.
     pub compression_ratio: f64,
 }
 

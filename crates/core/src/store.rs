@@ -423,6 +423,7 @@ impl AmnesiacStore {
             frozen_blocks: self.table.frozen_blocks(),
             blocks_dropped: self.blocks_dropped,
             blocks_recompressed: self.blocks_recompressed,
+            dropped_rows: self.table.dropped_rows(),
             compression_ratio: self.table.compression_ratio(),
         }
     }
@@ -665,6 +666,33 @@ mod tests {
         // Survivors still answer.
         let r = store.query(&Query::Range(RangePredicate::new(100_000, 100_001)));
         assert_eq!(r.output.cardinality(), 512, "block 1 survivors");
+    }
+
+    #[test]
+    fn dropped_blocks_report_separately_instead_of_inflating_ratio() {
+        let mut store = AmnesiacStore::new(ForgetMode::MarkOnly).with_tiering(TierConfig {
+            hot_rows: 0,
+            recompress_below: 0.0,
+        });
+        // Incompressible values keep the honest codec ratio near 1.
+        let values: Vec<i64> = (0..4_096).map(|i| (i * 0x9E37_79B9) ^ (i << 19)).collect();
+        store.insert_batch(&values, 0).unwrap();
+        store.end_batch().unwrap();
+        let honest = store.metrics_snapshot().compression_ratio;
+        assert_eq!(store.metrics_snapshot().dropped_rows, 0);
+        // Forget and drop 3 of 4 blocks.
+        store
+            .forget_batch(&(0..3_072).map(RowId).collect::<Vec<_>>(), 1)
+            .unwrap();
+        store.end_batch().unwrap();
+        let snap = store.metrics_snapshot();
+        assert_eq!(snap.blocks_dropped, 3);
+        assert_eq!(snap.dropped_rows, 3_072, "amnesia savings report as rows");
+        assert!(
+            snap.compression_ratio < honest * 1.5,
+            "codec ratio must not absorb drop savings: {} vs {honest}",
+            snap.compression_ratio
+        );
     }
 
     #[test]

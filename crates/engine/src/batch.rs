@@ -79,7 +79,9 @@
 //! `scan_kernels`/`parallel_scan`/`compressed_scan` benches measure the
 //! gaps.
 
-use amnesia_columnar::compress::BlockAgg;
+use std::collections::HashMap;
+
+use amnesia_columnar::compress::{dict, rle, BlockAgg, Encoding};
 use amnesia_columnar::{
     RowId, SegmentedColumn, Table, TieredColumn, Value, Zone, DEFAULT_BLOCK_ROWS,
 };
@@ -339,6 +341,7 @@ mod simd {
 // Boundary clipping lives in `amnesia_util::bitmap::clip_word` — one
 // home for the algebra shared with `Bitmap::masked_word`.
 use amnesia_util::bitmap::clip_word;
+use amnesia_util::bitmap::for_each_set_bit_in;
 
 /// Append `RowId`s for every set bit of `sel`, offset by `base` rows.
 #[inline]
@@ -797,7 +800,7 @@ pub fn scan_compressed_tail_into(
 /// snapshot, in which case the word carries activity bits for rows the
 /// snapshot does not hold — scanning those would index past the chunk.
 #[inline]
-fn tail_word(words: &[u64], wi: usize, chunk_len: usize) -> u64 {
+pub(crate) fn tail_word(words: &[u64], wi: usize, chunk_len: usize) -> u64 {
     let word = words.get(wi).copied().unwrap_or(0);
     if chunk_len >= WORD_BITS {
         word
@@ -898,7 +901,7 @@ impl TierStats {
 /// indexing: bit `i` of word `i/64` is row `b * block_rows + i`). Blocks
 /// are word-aligned by construction.
 #[inline]
-fn block_words<'a>(tier: &TieredColumn, words: &'a [u64], b: usize) -> &'a [u64] {
+pub(crate) fn block_words<'a>(tier: &TieredColumn, words: &'a [u64], b: usize) -> &'a [u64] {
     let base_word = b * tier.block_rows() / WORD_BITS;
     let nwords = tier.block_rows() / WORD_BITS;
     words
@@ -1157,6 +1160,209 @@ pub fn scan_tiered_all_into(tier: &TieredColumn, pred: RangePredicate, out: &mut
         let sel = predicate_mask(chunk, pred.lo, pred.hi, imp);
         emit_selection(sel, tail_start + j * WORD_BITS, out);
     }
+}
+
+// ---------------------------------------------------------------------
+// Tier-aware join kernels: hash-probe frozen blocks in compressed space.
+//
+// The build side streams keys through `EncodedBlock::for_each_active`
+// (and its run/dictionary specializations) in `crate::join`; the probe
+// side lives here because it shares the tier plumbing (block words, meta
+// pruning, tail clipping) with the scan kernels above. The contract
+// mirrors the scans: results are identical to materializing the probe
+// column densely and walking it row-at-a-time, but frozen blocks are
+// probed in their compressed domain — RLE touches the hash table once
+// per run, dictionaries translate the whole lookup into a per-code match
+// table computed once per block, FOR/delta/plain stream active rows
+// through `for_each_active` without a `Vec<Value>` detour — and blocks
+// whose cached meta cannot intersect the build side's key range are
+// skipped before their payload is touched.
+// ---------------------------------------------------------------------
+
+/// Work accounting for the tiered join probe: frozen probe blocks pruned
+/// against the build side's key range, and the active probe rows those
+/// skips avoided streaming. The gap between the probe side's active count
+/// and `probe_rows_skipped` is the work actually done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Frozen probe blocks skipped (meta disjoint from the build keys,
+    /// fully-forgotten, or probed against an empty build side).
+    pub blocks_pruned: usize,
+    /// Active probe rows inside those skipped blocks.
+    pub probe_rows_skipped: usize,
+}
+
+impl ProbeStats {
+    /// Fold in another chunk's accounting (parallel partials).
+    pub fn merge(&mut self, other: ProbeStats) {
+        self.blocks_pruned += other.blocks_pruned;
+        self.probe_rows_skipped += other.probe_rows_skipped;
+    }
+}
+
+/// Probe frozen blocks `[first, last)` of a tiered column against a hash
+/// table *in compressed space* — the per-chunk primitive behind
+/// [`probe_tiered`] and the parallel join. `on_hit(payload, probe_row)`
+/// fires for every active probe row whose key is in `build`, in ascending
+/// probe-row order (the order a dense probe would emit). `key_range` is
+/// the inclusive `[min, max]` of the build keys; blocks whose cached meta
+/// cannot intersect it are skipped before their payload is touched
+/// (`None` means the build side is empty and every block skips).
+pub fn probe_tiered_blocks_with<T>(
+    tier: &TieredColumn,
+    words: &[u64],
+    first: usize,
+    last: usize,
+    build: &HashMap<Value, T>,
+    key_range: Option<(Value, Value)>,
+    mut on_hit: impl FnMut(&T, usize),
+) -> ProbeStats {
+    let mut stats = ProbeStats::default();
+    let br = tier.block_rows();
+    for b in first..last.min(tier.frozen_blocks()) {
+        let f = tier.frozen(b).expect("frozen block in range");
+        let meta = f.meta();
+        if meta.active == 0 {
+            stats.blocks_pruned += 1;
+            continue;
+        }
+        let in_range = match key_range {
+            Some((lo, hi)) => meta.may_match_inclusive(lo, hi),
+            None => false,
+        };
+        if !in_range {
+            stats.blocks_pruned += 1;
+            stats.probe_rows_skipped += meta.active;
+            continue;
+        }
+        let bw = block_words(tier, words, b);
+        let base = b * br;
+        let block = f.encoded();
+        match block.encoding() {
+            // One hash lookup per *run*, fanned over the run's active
+            // rows — a long matching run costs its emits, a long missing
+            // run costs one lookup.
+            Encoding::Rle => rle::for_each_run(block.data(), |v, start, len| {
+                if let Some(t) = build.get(&v) {
+                    for_each_set_bit_in(bw, start, start + len, |row| on_hit(t, base + row));
+                }
+            }),
+            // The whole hash lookup collapses to a code → match table
+            // computed once per block dictionary; the row walk then tests
+            // packed codes without reconstructing a single value.
+            Encoding::Dict => {
+                let dictionary = dict::read_dictionary(block.data());
+                let matches: Vec<Option<&T>> = dictionary.iter().map(|v| build.get(v)).collect();
+                dict::for_each_active_code(block.data(), bw, |row, code| {
+                    if let Some(t) = matches[code as usize] {
+                        on_hit(t, base + row);
+                    }
+                });
+            }
+            // FOR / delta / plain stream active rows in their own domain
+            // (offset rebase, prefix walk, raw reads) — parsed once, no
+            // dense materialization.
+            _ => block.for_each_active(bw, |row, v| {
+                if let Some(t) = build.get(&v) {
+                    on_hit(t, base + row);
+                }
+            }),
+        }
+    }
+    stats
+}
+
+/// Probe the hot tail of a tiered column: a direct slice walk over the
+/// uncompressed values, one hash lookup per active row, ascending.
+pub fn probe_tiered_tail_with<T>(
+    tier: &TieredColumn,
+    words: &[u64],
+    build: &HashMap<Value, T>,
+    mut on_hit: impl FnMut(&T, usize),
+) {
+    let tail = tier.hot_values();
+    let tail_start = tier.hot_start();
+    for (j, chunk) in tail.chunks(WORD_BITS).enumerate() {
+        let wi = tail_start / WORD_BITS + j;
+        let mut active = tail_word(words, wi, chunk.len());
+        let base = tail_start + j * WORD_BITS;
+        while active != 0 {
+            let bit = active.trailing_zeros() as usize;
+            active &= active - 1;
+            if let Some(t) = build.get(&chunk[bit]) {
+                on_hit(t, base + bit);
+            }
+        }
+    }
+}
+
+/// Probe rows `[lo, hi)` of a flat (fully hot) column slice: the
+/// word-masked equivalent of the tail probe, used by the parallel join to
+/// chunk a hot probe side. `values` and `words` span the whole column.
+pub fn probe_hot_with<T>(
+    values: &[Value],
+    words: &[u64],
+    lo: usize,
+    hi: usize,
+    build: &HashMap<Value, T>,
+    mut on_hit: impl FnMut(&T, usize),
+) {
+    let hi = hi.min(values.len());
+    if lo >= hi {
+        return;
+    }
+    let first = lo / WORD_BITS;
+    let last = (hi - 1) / WORD_BITS;
+    for (wi, &word) in words.iter().enumerate().take(last + 1).skip(first) {
+        let mut active = clip_word(word, wi, lo, hi);
+        let base = wi * WORD_BITS;
+        while active != 0 {
+            let bit = active.trailing_zeros() as usize;
+            active &= active - 1;
+            if let Some(t) = build.get(&values[base + bit]) {
+                on_hit(t, base + bit);
+            }
+        }
+    }
+}
+
+/// Probe a whole tiered column against a hash table: frozen blocks in
+/// compressed space behind key-range meta pruning, then the hot tail as a
+/// direct slice walk. `on_hit` fires in ascending probe-row order —
+/// identical to probing a dense materialization of the column.
+pub fn probe_tiered_with<T>(
+    tier: &TieredColumn,
+    words: &[u64],
+    build: &HashMap<Value, T>,
+    key_range: Option<(Value, Value)>,
+    mut on_hit: impl FnMut(&T, usize),
+) -> ProbeStats {
+    let stats = probe_tiered_blocks_with(
+        tier,
+        words,
+        0,
+        tier.frozen_blocks(),
+        build,
+        key_range,
+        &mut on_hit,
+    );
+    probe_tiered_tail_with(tier, words, build, on_hit);
+    stats
+}
+
+/// Pair-emitting [`probe_tiered_with`]: the hash-join probe. Appends
+/// `(build row, probe row)` pairs grouped by probe row (right-major), the
+/// exact order the dense hash join emits.
+pub fn probe_tiered(
+    tier: &TieredColumn,
+    words: &[u64],
+    build: &HashMap<Value, Vec<RowId>>,
+    key_range: Option<(Value, Value)>,
+    out: &mut Vec<(RowId, RowId)>,
+) -> ProbeStats {
+    probe_tiered_with(tier, words, build, key_range, |ls, row| {
+        out.extend(ls.iter().map(|&l| (l, RowId::from(row))));
+    })
 }
 
 pub mod scalar {

@@ -102,6 +102,12 @@ pub enum PlanTag {
     /// behind their cached block meta, the hot tail runs the flat
     /// kernel. Chosen automatically once a table holds frozen blocks.
     TieredScan,
+    /// Tier-aware hash join: the build side streams frozen blocks' keys
+    /// in compressed space, the probe side prunes frozen blocks against
+    /// the build key range and probes survivors in their codec's domain
+    /// (see [`crate::join`]). Chosen automatically once either side holds
+    /// frozen blocks.
+    TieredJoin,
 }
 
 /// A query result with its statistics.
@@ -148,6 +154,40 @@ impl Executor {
                 self.execute_aggregate(table, col, *kind, *predicate, aux)
             }
         }
+    }
+
+    /// Execute a hash equi-join `left.left_col = right.right_col` under
+    /// the executor's visibility mode, surfacing the join kernel's tier
+    /// accounting through [`ExecStats`]: `blocks_pruned` counts frozen
+    /// probe blocks skipped against the build side's key range, and
+    /// `rows_scanned` is the build rows plus the probe rows actually
+    /// streamed (pruned probe rows subtract out — the work the block
+    /// metadata saved). The plan reports [`PlanTag::TieredJoin`] once
+    /// either side holds frozen blocks under the amnesiac regime.
+    pub fn execute_join(
+        &self,
+        left: &Table,
+        left_col: usize,
+        right: &Table,
+        right_col: usize,
+    ) -> (crate::join::JoinResult, ExecStats) {
+        let r = crate::join::hash_join(left, left_col, right, right_col, self.mode);
+        let rows_scanned = r.stats.build_rows + r.stats.probe_rows - r.stats.probe_rows_skipped;
+        let tiered =
+            self.mode == ForgetVisibility::ActiveOnly && (left.has_frozen() || right.has_frozen());
+        let stats = ExecStats {
+            rows_scanned,
+            blocks_pruned: r.stats.blocks_pruned,
+            words_pruned: 0,
+            result_rows: r.stats.output_pairs,
+            cost: self.planner.cost_model().full_scan(rows_scanned),
+            plan: if tiered {
+                PlanTag::TieredJoin
+            } else {
+                PlanTag::FullScan
+            },
+        };
+        (r, stats)
     }
 
     fn execute_range(
@@ -745,6 +785,39 @@ mod tests {
             &Aux::default(),
         );
         assert_eq!(r.output.cardinality(), 100);
+    }
+
+    #[test]
+    fn execute_join_surfaces_tier_accounting() {
+        let mut left = Table::new(Schema::single("k"));
+        left.insert_batch(&(0..100).collect::<Vec<i64>>(), 0)
+            .unwrap();
+        let mut right = Table::new(Schema::single("k"));
+        // Second block disjoint from the build keys: prunes under meta.
+        let vals: Vec<i64> = (0..1024)
+            .map(|i| i % 100)
+            .chain((0..1024).map(|i| 50_000 + i))
+            .collect();
+        right.insert_batch(&vals, 0).unwrap();
+        let ex = Executor::default();
+        let (hot_r, hot_stats) = ex.execute_join(&left, 0, &right, 0);
+        assert_eq!(hot_stats.plan, PlanTag::FullScan);
+        assert_eq!(hot_stats.result_rows, hot_r.stats.output_pairs);
+        right.freeze_upto(2048);
+        let (r, stats) = ex.execute_join(&left, 0, &right, 0);
+        assert_eq!(r.pairs, hot_r.pairs, "freezing never changes the join");
+        assert_eq!(stats.plan, PlanTag::TieredJoin);
+        assert_eq!(stats.blocks_pruned, 1, "the 50k block");
+        assert_eq!(
+            stats.rows_scanned,
+            left.active_rows() + right.active_rows() - 1024,
+            "pruned probe rows subtract from the scanned accounting"
+        );
+        // The ground-truth executor reports a dense full-scan join.
+        let ex_all = Executor::new(ForgetVisibility::ScanSeesForgotten, CostModel::default());
+        let (truth, tstats) = ex_all.execute_join(&left, 0, &right, 0);
+        assert_eq!(tstats.plan, PlanTag::FullScan);
+        assert_eq!(truth.stats.output_pairs, 1024, "forgotten-inclusive");
     }
 
     #[test]

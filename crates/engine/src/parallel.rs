@@ -18,7 +18,9 @@ use amnesia_util::WORD_BITS;
 use amnesia_workload::query::{AggKind, RangePredicate};
 
 use crate::batch;
+use crate::join::{self, JoinResult, JoinStats};
 use crate::kernels::AggState;
+use crate::mode::ForgetVisibility;
 
 /// Smallest amount of work worth a thread: below this, spawn/join
 /// overhead dominates the scan itself.
@@ -313,6 +315,128 @@ pub fn par_aggregate_tiered(
     (state.finalize(kind), scanned)
 }
 
+/// Parallel hash join: the build side hashes serially (tier-aware,
+/// streaming frozen blocks in compressed space — see [`crate::join`]),
+/// then the *probe* side splits across threads at tier boundaries —
+/// contiguous runs of frozen probe blocks per thread, each meta-pruned
+/// against the build key range and probed in compressed space, with the
+/// hot tail probed serially after the joins. A fully hot probe side
+/// chunks the flat slice at word boundaries instead. Pairs concatenate in
+/// chunk order, so the output is exactly [`join::hash_join`]'s.
+///
+/// The [`ForgetVisibility::ScanSeesForgotten`] ground truth delegates to
+/// the serial dense join: it must read forgotten rows, which no tiered
+/// chunking covers, and it runs outside the measured hot path.
+pub fn par_hash_join(
+    left: &Table,
+    left_col: usize,
+    right: &Table,
+    right_col: usize,
+    visibility: ForgetVisibility,
+    threads: usize,
+) -> JoinResult {
+    if visibility == ForgetVisibility::ScanSeesForgotten {
+        return join::hash_join(left, left_col, right, right_col, visibility);
+    }
+    let build_rows = left.active_rows();
+    let probe_rows = right.active_rows();
+    let (build, key_range) = join::build_for_probe(left, left_col);
+    let build_distinct_keys = build.len();
+
+    let tier = right.col_tier(right_col);
+    let words = right.activity_words();
+    let mut pairs: Vec<(RowId, RowId)> = Vec::new();
+    let mut probe = batch::ProbeStats::default();
+    if tier.frozen_blocks() > 0 {
+        let chunks = tier_block_chunks(tier.frozen_blocks(), tier.block_rows(), threads);
+        if chunks.len() <= 1 {
+            probe = batch::probe_tiered(tier, words, &build, key_range, &mut pairs);
+        } else {
+            let mut partials: Vec<(Vec<(RowId, RowId)>, batch::ProbeStats)> =
+                Vec::with_capacity(chunks.len());
+            std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|&(b0, b1)| {
+                        let build = &build;
+                        s.spawn(move || {
+                            let mut out = Vec::new();
+                            let stats = batch::probe_tiered_blocks_with(
+                                tier,
+                                words,
+                                b0,
+                                b1,
+                                build,
+                                key_range,
+                                |ls, row| out.extend(ls.iter().map(|&l| (l, RowId::from(row)))),
+                            );
+                            (out, stats)
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    partials.push(h.join().expect("join probe worker"));
+                }
+            });
+            let total = partials.iter().map(|(p, _)| p.len()).sum();
+            pairs.reserve(total);
+            for (p, stats) in partials {
+                pairs.extend(p);
+                probe.merge(stats);
+            }
+            batch::probe_tiered_tail_with(tier, words, &build, |ls, row| {
+                pairs.extend(ls.iter().map(|&l| (l, RowId::from(row))));
+            });
+        }
+    } else {
+        // Fully hot probe side: chunk the flat slice at word boundaries.
+        let values = right.col_values(right_col);
+        let bounds = chunk_bounds(values.len(), threads);
+        if bounds.len() <= 1 {
+            batch::probe_hot_with(values, words, 0, values.len(), &build, |ls, row| {
+                pairs.extend(ls.iter().map(|&l| (l, RowId::from(row))));
+            });
+        } else {
+            let mut partials: Vec<Vec<(RowId, RowId)>> = Vec::with_capacity(bounds.len());
+            std::thread::scope(|s| {
+                let handles: Vec<_> = bounds
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        let build = &build;
+                        s.spawn(move || {
+                            let mut out = Vec::new();
+                            batch::probe_hot_with(values, words, lo, hi, build, |ls, row| {
+                                out.extend(ls.iter().map(|&l| (l, RowId::from(row))));
+                            });
+                            out
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    partials.push(h.join().expect("join probe worker"));
+                }
+            });
+            let total = partials.iter().map(Vec::len).sum();
+            pairs.reserve(total);
+            for p in partials {
+                pairs.extend(p);
+            }
+        }
+    }
+    let output_pairs = pairs.len();
+    JoinResult {
+        pairs,
+        stats: JoinStats {
+            build_rows,
+            build_distinct_keys,
+            probe_rows,
+            output_pairs,
+            blocks_pruned: probe.blocks_pruned,
+            probe_rows_skipped: probe.probe_rows_skipped,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,6 +591,56 @@ mod tests {
                     "{kind:?}: block meta may only shrink scanned rows"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn parallel_join_equals_serial_join() {
+        let mut rng = SimRng::new(31);
+        let mut left = Table::new(Schema::single("k"));
+        left.insert_batch(
+            &(0..40_000)
+                .map(|_| rng.range_i64(0, 2_000))
+                .collect::<Vec<_>>(),
+            0,
+        )
+        .unwrap();
+        let mut right = Table::new(Schema::single("k"));
+        right
+            .insert_batch(
+                &(0..60_000)
+                    .map(|_| rng.range_i64(0, 2_000))
+                    .collect::<Vec<_>>(),
+                0,
+            )
+            .unwrap();
+        for _ in 0..10_000 {
+            if let Some(r) = left.random_active(&mut rng) {
+                left.forget(r, 1).unwrap();
+            }
+            if let Some(r) = right.random_active(&mut rng) {
+                right.forget(r, 1).unwrap();
+            }
+        }
+        for vis in [
+            ForgetVisibility::ActiveOnly,
+            ForgetVisibility::ScanSeesForgotten,
+        ] {
+            let serial = join::hash_join(&left, 0, &right, 0, vis);
+            for threads in [1, 2, 8, 64] {
+                let par = par_hash_join(&left, 0, &right, 0, vis, threads);
+                assert_eq!(par.pairs, serial.pairs, "{vis:?} threads={threads}");
+                assert_eq!(par.stats.output_pairs, serial.stats.output_pairs);
+            }
+        }
+        // Frozen probe side: chunks at tier boundaries, same pairs.
+        let serial = join::hash_join(&left, 0, &right, 0, ForgetVisibility::ActiveOnly);
+        right.freeze_upto(50_000);
+        assert!(right.has_frozen());
+        left.freeze_upto(30_000);
+        for threads in [1, 3, 8, 64] {
+            let par = par_hash_join(&left, 0, &right, 0, ForgetVisibility::ActiveOnly, threads);
+            assert_eq!(par.pairs, serial.pairs, "frozen threads={threads}");
         }
     }
 

@@ -55,6 +55,51 @@ pub fn masked_word(words: &[u64], i: usize, lo: usize, hi: usize) -> u64 {
     clip_word(words.get(i).copied().unwrap_or(0), i, lo, hi)
 }
 
+/// Visit every set bit of `words` in absolute bit positions `[lo, hi)`,
+/// ascending. Bits past the slice count as clear. One home for the
+/// bit-range fan-out the RLE join kernels and codec visitors share.
+#[inline]
+pub fn for_each_set_bit_in(words: &[u64], lo: usize, hi: usize, mut f: impl FnMut(usize)) {
+    if lo >= hi {
+        return;
+    }
+    let first = lo / BLOCK_BITS;
+    let last = (hi - 1) / BLOCK_BITS;
+    for wi in first..=last {
+        let mut w = masked_word(words, wi, lo, hi);
+        while w != 0 {
+            let bit = w.trailing_zeros() as usize;
+            w &= w - 1;
+            f(wi * BLOCK_BITS + bit);
+        }
+    }
+}
+
+/// Does `[lo, hi)` contain any set bit of `words`?
+#[inline]
+pub fn any_set_bit_in(words: &[u64], lo: usize, hi: usize) -> bool {
+    if lo >= hi {
+        return false;
+    }
+    let first = lo / BLOCK_BITS;
+    let last = (hi - 1) / BLOCK_BITS;
+    (first..=last).any(|wi| masked_word(words, wi, lo, hi) != 0)
+}
+
+/// Count the set bits of `words` in `[lo, hi)` — one popcount per word
+/// spanned, O(words) not O(bits).
+#[inline]
+pub fn count_set_bits_in(words: &[u64], lo: usize, hi: usize) -> usize {
+    if lo >= hi {
+        return 0;
+    }
+    let first = lo / BLOCK_BITS;
+    let last = (hi - 1) / BLOCK_BITS;
+    (first..=last)
+        .map(|wi| masked_word(words, wi, lo, hi).count_ones() as usize)
+        .sum()
+}
+
 /// A growable packed bitset.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Bitmap {
@@ -403,6 +448,31 @@ impl Iterator for Ones<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bit_range_helpers_match_naive() {
+        let words = [0xDEAD_BEEF_0123_4567u64, 0xFFFF_0000_FFFF_0000, 0x1];
+        let set = |i: usize| words.get(i / 64).is_some_and(|w| w >> (i % 64) & 1 == 1);
+        for (lo, hi) in [(0, 0), (0, 64), (3, 61), (60, 70), (64, 192), (150, 200)] {
+            let mut got = Vec::new();
+            for_each_set_bit_in(&words, lo, hi, |i| got.push(i));
+            let want: Vec<usize> = (lo..hi).filter(|&i| set(i)).collect();
+            assert_eq!(got, want, "[{lo}, {hi})");
+            assert_eq!(
+                count_set_bits_in(&words, lo, hi),
+                want.len(),
+                "[{lo}, {hi})"
+            );
+            assert_eq!(
+                any_set_bit_in(&words, lo, hi),
+                !want.is_empty(),
+                "[{lo}, {hi})"
+            );
+        }
+        // Bits past the slice count as clear.
+        assert_eq!(count_set_bits_in(&words, 191, 300), 0);
+        assert!(!any_set_bit_in(&words, 193, 300));
+    }
 
     #[test]
     fn with_len_all_true_has_exact_ones() {

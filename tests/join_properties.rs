@@ -85,6 +85,49 @@ proptest! {
     }
 
     #[test]
+    fn tiered_hash_join_matches_nested_loop(
+        left_vals in proptest::collection::vec(0i64..30, 0..200),
+        right_vals in proptest::collection::vec(0i64..30, 0..200),
+        lf in proptest::collection::vec(0usize..300, 0..40),
+        rf in proptest::collection::vec(0usize..300, 0..40),
+        freeze_left in 0usize..4,
+        freeze_right in 0usize..4,
+    ) {
+        // Same logical tables, but with 64-row tier blocks and a random
+        // amount of each side frozen: answers must match the nested-loop
+        // model exactly, frozen or not.
+        let build_tiered = |values: &[i64], forget: &[usize], upto: usize| {
+            let mut t = Table::with_block_rows(Schema::single("k"), 64);
+            if !values.is_empty() {
+                t.insert_batch(values, 0).unwrap();
+            }
+            for &f in forget {
+                if !values.is_empty() {
+                    let _ = t.forget(RowId((f % values.len()) as u64), 1);
+                }
+            }
+            t.freeze_upto(upto * 64);
+            t
+        };
+        let left = build_tiered(&left_vals, &lf, freeze_left);
+        let right = build_tiered(&right_vals, &rf, freeze_right);
+        let mut expected = model_join(&left, &right, ForgetVisibility::ActiveOnly);
+        let result = hash_join(&left, 0, &right, 0, ForgetVisibility::ActiveOnly);
+        let mut got = result.pairs;
+        expected.sort();
+        got.sort();
+        prop_assert_eq!(&got, &expected);
+        prop_assert_eq!(
+            hash_join_count(&left, 0, &right, 0, ForgetVisibility::ActiveOnly),
+            expected.len()
+        );
+        prop_assert_eq!(
+            result.stats.probe_rows_skipped <= right.active_rows(),
+            true
+        );
+    }
+
+    #[test]
     fn join_stats_are_consistent(
         left_vals in proptest::collection::vec(0i64..15, 0..40),
         right_vals in proptest::collection::vec(0i64..15, 0..40),

@@ -6,14 +6,16 @@
 //! word-boundary sizes where masking bugs live (0, 1, 63, 64, 65, 1023,
 //! 1024, 1025).
 
-use amnesia::columnar::compress::Encoding;
+use amnesia::columnar::compress::{block_decodes, Encoding};
 use amnesia::columnar::vacuum::vacuum;
 use amnesia::columnar::{SegmentedColumn, WordZoneMap};
 use amnesia::engine::batch::{self, scalar};
+use amnesia::engine::join::{hash_join, hash_join_count};
 use amnesia::engine::kernels;
 use amnesia::engine::parallel::{
-    par_aggregate_active, par_range_scan_active, par_range_scan_compressed,
+    par_aggregate_active, par_hash_join, par_range_scan_active, par_range_scan_compressed,
 };
+use amnesia::engine::ForgetVisibility;
 use amnesia::prelude::*;
 use amnesia::workload::query::RangePredicate;
 use proptest::prelude::*;
@@ -301,6 +303,35 @@ fn assert_tiered_equals_flat(
     }
 }
 
+/// The tiered self-join must equal the dense twin's self-join *exactly* —
+/// same pairs in the same order (build rows ascend per key, probe rows
+/// right-major), same count, across serial and parallel probes. Active-only
+/// answers survive every tier transition, so this runs even after lossy
+/// recompressions.
+fn assert_tiered_join_equals_flat(tiered: &Table, flat: &Table, ctx: &str) {
+    let want = hash_join(flat, 0, flat, 0, ForgetVisibility::ActiveOnly);
+    let got = hash_join(tiered, 0, tiered, 0, ForgetVisibility::ActiveOnly);
+    assert_eq!(got.pairs, want.pairs, "tiered join pairs {ctx}");
+    assert_eq!(
+        got.stats.build_distinct_keys, want.stats.build_distinct_keys,
+        "tiered join distinct keys {ctx}"
+    );
+    assert_eq!(got.stats.build_rows, want.stats.build_rows, "{ctx}");
+    assert_eq!(got.stats.output_pairs, want.stats.output_pairs, "{ctx}");
+    assert_eq!(
+        hash_join_count(tiered, 0, tiered, 0, ForgetVisibility::ActiveOnly),
+        want.stats.output_pairs,
+        "tiered join count {ctx}"
+    );
+    for threads in THREAD_COUNTS {
+        let par = par_hash_join(tiered, 0, tiered, 0, ForgetVisibility::ActiveOnly, threads);
+        assert_eq!(
+            par.pairs, want.pairs,
+            "par tiered join threads={threads} {ctx}"
+        );
+    }
+}
+
 /// Randomized freeze/forget/thaw/drop/recompress/vacuum/query
 /// interleavings: after every transition the tiered table must keep
 /// answering exactly like its never-frozen twin, across block sizes and
@@ -393,6 +424,9 @@ fn tiered_interleavings_match_flat_storage() {
                     &format!("{ctx} step {step}"),
                 );
             }
+            // Joins ride the same interleavings: build and probe must
+            // read the exact tier layout this step produced.
+            assert_tiered_join_equals_flat(&tiered, &flat, &format!("{ctx} step {step}"));
         }
         // Dropping fully-forgotten blocks keeps active answers intact.
         tiered.freeze_upto(tiered.num_rows());
@@ -408,6 +442,180 @@ fn tiered_interleavings_match_flat_storage() {
                 "{ctx} after drop"
             );
         }
+    }
+}
+
+/// Tiered join == dense-materialized join across every codec × block
+/// size × freeze/forget/recompress/drop interleaving, on a two-table
+/// (parent/child) shape where the build and probe sides freeze
+/// *independently* — left frozen/right hot, left hot/right frozen, both
+/// frozen, recompressed, partially dropped. The flat twins are the
+/// ground truth; pair order must match bit-for-bit.
+#[test]
+fn tiered_join_equals_dense_join_across_codecs() {
+    for (block_rows, encoding, seed) in [
+        (64usize, None, 41u64),
+        (64, Some(Encoding::Rle), 42),
+        (64, Some(Encoding::Dict), 43),
+        (128, Some(Encoding::Delta), 44),
+        (128, Some(Encoding::ForPack), 45),
+        (1024, Some(Encoding::Plain), 46),
+        (1024, None, 47),
+    ] {
+        let ctx = format!("block_rows={block_rows} enc={encoding:?} seed={seed}");
+        let mut rng = SimRng::new(seed);
+        // Parent: distinct-ish keys; child: skewed fks — a handful of hot
+        // keys so dict/rle structure actually appears in frozen blocks.
+        let parent_vals: Vec<i64> = (0..700).map(|i| i % 400).collect();
+        let child_vals: Vec<i64> = (0..1_500)
+            .map(|_| {
+                let r = rng.f64();
+                (r * r * 400.0) as i64
+            })
+            .collect();
+        let mut flat_parent = Table::new(Schema::single("k"));
+        flat_parent.insert_batch(&parent_vals, 0).unwrap();
+        let mut flat_child = Table::new(Schema::single("fk"));
+        flat_child.insert_batch(&child_vals, 0).unwrap();
+        let mut parent = Table::with_block_rows(Schema::single("k"), block_rows);
+        parent.pin_encoding(0, encoding);
+        parent.insert_batch(&parent_vals, 0).unwrap();
+        let mut child = Table::with_block_rows(Schema::single("fk"), block_rows);
+        child.pin_encoding(0, encoding);
+        child.insert_batch(&child_vals, 0).unwrap();
+        for _ in 0..300 {
+            if let Some(r) = flat_parent.random_active(&mut rng) {
+                flat_parent.forget(r, 1).unwrap();
+                parent.forget(r, 1).unwrap();
+            }
+            if let Some(r) = flat_child.random_active(&mut rng) {
+                flat_child.forget(r, 1).unwrap();
+                child.forget(r, 1).unwrap();
+            }
+        }
+
+        let check = |flat_parent: &Table,
+                     flat_child: &Table,
+                     parent: &Table,
+                     child: &Table,
+                     stage: &str| {
+            let want = hash_join(flat_parent, 0, flat_child, 0, ForgetVisibility::ActiveOnly);
+            let got = hash_join(parent, 0, child, 0, ForgetVisibility::ActiveOnly);
+            assert_eq!(got.pairs, want.pairs, "{ctx} {stage}");
+            assert_eq!(
+                got.stats.build_distinct_keys,
+                want.stats.build_distinct_keys
+            );
+            assert_eq!(
+                hash_join_count(parent, 0, child, 0, ForgetVisibility::ActiveOnly),
+                want.stats.output_pairs,
+                "{ctx} {stage} count"
+            );
+            for threads in THREAD_COUNTS {
+                assert_eq!(
+                    par_hash_join(parent, 0, child, 0, ForgetVisibility::ActiveOnly, threads).pairs,
+                    want.pairs,
+                    "{ctx} {stage} par threads={threads}"
+                );
+            }
+        };
+
+        // Hot × hot (sanity), then every frozen combination.
+        check(&flat_parent, &flat_child, &parent, &child, "hot/hot");
+        parent.freeze_upto(parent.num_rows());
+        check(&flat_parent, &flat_child, &parent, &child, "frozen/hot");
+        child.freeze_upto(child.num_rows() / 2);
+        check(&flat_parent, &flat_child, &parent, &child, "frozen/mixed");
+        child.freeze_upto(child.num_rows());
+        check(&flat_parent, &flat_child, &parent, &child, "frozen/frozen");
+        // Ground truth (forgotten rows included) holds while no lossy
+        // transition has run.
+        let truth_want = hash_join(
+            &flat_parent,
+            0,
+            &flat_child,
+            0,
+            ForgetVisibility::ScanSeesForgotten,
+        );
+        let truth_got = hash_join(&parent, 0, &child, 0, ForgetVisibility::ScanSeesForgotten);
+        assert_eq!(truth_got.pairs, truth_want.pairs, "{ctx} ground truth");
+        // Recompress squashes forgotten values; active answers must hold.
+        parent.recompress_frozen(0.95);
+        child.recompress_frozen(0.95);
+        check(&flat_parent, &flat_child, &parent, &child, "recompressed");
+        // Forget a whole child block and drop it: its pairs vanish from
+        // both twins because the *flat* twin forgets the same rows.
+        let doomed: Vec<RowId> = (0..block_rows.min(child.num_rows()))
+            .map(RowId::from)
+            .collect();
+        for &r in &doomed {
+            if flat_child.activity().is_active(r) {
+                flat_child.forget(r, 2).unwrap();
+                child.forget(r, 2).unwrap();
+            }
+        }
+        child.drop_forgotten_blocks();
+        check(&flat_parent, &flat_child, &parent, &child, "dropped");
+    }
+}
+
+/// The acceptance gate for "zero dense materialization": a tiered join
+/// over fully frozen RLE/dict tables must not decode a single block —
+/// build streams runs/codes, probe stays in compressed space. The
+/// per-thread decode counter pins it.
+#[test]
+fn tiered_join_never_decodes_frozen_blocks() {
+    for encoding in [
+        Encoding::Rle,
+        Encoding::Dict,
+        Encoding::ForPack,
+        Encoding::Delta,
+    ] {
+        let mut left = Table::with_block_rows(Schema::single("k"), 256);
+        left.pin_encoding(0, Some(encoding));
+        left.insert_batch(&(0..2_048).map(|i| i / 8).collect::<Vec<i64>>(), 0)
+            .unwrap();
+        let mut right = Table::with_block_rows(Schema::single("fk"), 256);
+        right.pin_encoding(0, Some(encoding));
+        right
+            .insert_batch(&(0..2_048).map(|i| i % 300).collect::<Vec<i64>>(), 0)
+            .unwrap();
+        for r in (0..2_048u64).step_by(5) {
+            left.forget(RowId(r), 1).unwrap();
+            right.forget(RowId(r), 1).unwrap();
+        }
+        left.freeze_upto(2_048);
+        right.freeze_upto(2_048);
+        let dense_want = {
+            // Dense reference computed before the counter snapshot (it
+            // decodes on purpose).
+            let l: Vec<i64> = (0..2_048).map(|r| left.value(0, RowId::from(r))).collect();
+            let r: Vec<i64> = (0..2_048)
+                .map(|row| right.value(0, RowId::from(row)))
+                .collect();
+            let mut pairs = Vec::new();
+            for probe in right.iter_active() {
+                for build in left.iter_active() {
+                    if l[build.as_usize()] == r[probe.as_usize()] {
+                        pairs.push((build, probe));
+                    }
+                }
+            }
+            pairs.sort_by_key(|&(l, r)| (r, l));
+            pairs
+        };
+        let before = block_decodes();
+        let got = hash_join(&left, 0, &right, 0, ForgetVisibility::ActiveOnly);
+        let count = hash_join_count(&left, 0, &right, 0, ForgetVisibility::ActiveOnly);
+        assert_eq!(
+            block_decodes() - before,
+            0,
+            "{encoding:?}: tiered join must not decode any frozen block"
+        );
+        let mut sorted = got.pairs.clone();
+        sorted.sort_by_key(|&(l, r)| (r, l));
+        assert_eq!(sorted, dense_want, "{encoding:?}");
+        assert_eq!(count, got.pairs.len(), "{encoding:?}");
     }
 }
 

@@ -193,3 +193,43 @@ fn persistent_amnesia_loop_survives_restarts() {
     assert_eq!(pt.table().num_rows(), dbsize + 6 * 30);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Backward compat: a checked-in version-1 (pre-tier) snapshot must keep
+/// loading into a fully-hot table. The fixture was written by the PR-2
+/// era encoder (preserved as `encode_v1` in the snapshot unit tests):
+/// a 500-row two-column table, every 7th row forgotten at epoch 3, every
+/// 11th row touched twice.
+#[test]
+fn v1_pre_tier_snapshot_fixture_still_loads() {
+    let bytes = include_bytes!("fixtures/v1_pre_tier.snap");
+    let t = snapshot::decode(bytes).expect("v1 fixture must decode");
+    assert_eq!(t.num_rows(), 500);
+    assert_eq!(t.schema().arity(), 2);
+    assert_eq!(t.schema().index_of("k"), Some(0));
+    assert_eq!(t.schema().index_of("v"), Some(1));
+    assert!(!t.has_frozen(), "v1 predates tiering: restore is fully hot");
+    assert_eq!(t.forgotten_rows(), 500usize.div_ceil(7));
+    // Column k held 0..500 serially; spot-check values and marks.
+    assert_eq!(t.value(0, RowId(123)), 123);
+    assert!(!t.activity().is_active(RowId(0)), "row 0 was forgotten");
+    assert_eq!(t.activity().died_at(RowId(7)), Some(3));
+    assert!(t.activity().is_active(RowId(1)));
+    assert_eq!(t.access().frequency(RowId(11)), 2.0);
+    assert_eq!(t.max_seen(0), Some(499));
+    // The restored table round-trips through the *current* format and
+    // can immediately freeze — the tier machinery owns it from here.
+    let mut again = snapshot::decode(&snapshot::encode(&t)).unwrap();
+    assert_eq!(again.num_rows(), t.num_rows());
+    assert_eq!(again.active_rows(), t.active_rows());
+    for r in 0..t.num_rows() {
+        let id = RowId::from(r);
+        assert_eq!(again.value(0, id), t.value(0, id));
+        assert_eq!(again.value(1, id), t.value(1, id));
+    }
+    for i in 500..1100i64 {
+        again.insert(&[i, 0], 5).unwrap();
+    }
+    again.freeze_upto(1024);
+    assert!(again.has_frozen());
+    assert_eq!(again.value(0, RowId(123)), 123);
+}
