@@ -148,6 +148,16 @@ impl AggState {
         self.sum
     }
 
+    /// Minimum folded value (`None` when the selection was empty).
+    pub fn min_value(&self) -> Option<Value> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum folded value (`None` when the selection was empty).
+    pub fn max_value(&self) -> Option<Value> {
+        (self.count > 0).then_some(self.max)
+    }
+
     /// Fold another state in (parallel partial aggregation).
     pub fn merge(&mut self, other: &AggState) {
         self.count += other.count;
@@ -188,7 +198,7 @@ const DENSE_WORD_MIN_ACTIVE: u32 = 24;
 /// invocation (not per 64-row word) so the detection's atomic loads and
 /// branches stay out of the hot loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MaskImpl {
+pub(crate) enum MaskImpl {
     /// Byte-lane scalar loop; every architecture.
     Portable,
     /// AVX2 sign-bias compare + movmskpd (x86-64 only).
@@ -213,7 +223,7 @@ fn portable_forced() -> bool {
 
 /// Detect the best available mask kernel.
 #[inline]
-fn mask_impl() -> MaskImpl {
+pub(crate) fn mask_impl() -> MaskImpl {
     if portable_forced() {
         return MaskImpl::Portable;
     }
@@ -345,7 +355,7 @@ use amnesia_util::bitmap::for_each_set_bit_in;
 
 /// Append `RowId`s for every set bit of `sel`, offset by `base` rows.
 #[inline]
-fn emit_selection(mut sel: u64, base: usize, out: &mut Vec<RowId>) {
+pub(crate) fn emit_selection(mut sel: u64, base: usize, out: &mut Vec<RowId>) {
     while sel != 0 {
         let bit = sel.trailing_zeros() as usize;
         sel &= sel - 1;
@@ -372,6 +382,89 @@ fn selection_word(chunk: &[Value], active: u64, pred: RangePredicate, imp: MaskI
     }
 }
 
+/// Bit `i` set iff `values[i]` lies in the *inclusive* range `[lo, hi]`.
+/// Reuses the half-open SIMD kernels when `hi < i64::MAX`; the domain
+/// edge takes a portable `<=` compare (the half-open width would
+/// overflow there).
+#[inline]
+fn predicate_mask_incl(values: &[Value], lo: Value, hi: Value, imp: MaskImpl) -> u64 {
+    debug_assert!(lo <= hi);
+    if hi < Value::MAX {
+        return predicate_mask(values, lo, hi + 1, imp);
+    }
+    // v in [lo, MAX] ⇔ (v - lo) as u64 <= (MAX - lo) as u64.
+    let width = (Value::MAX as i128 - lo as i128) as u64;
+    let mut mask = 0u64;
+    for (i, &v) in values.iter().enumerate() {
+        mask |= ((((v as u64).wrapping_sub(lo as u64)) <= width) as u64) << i;
+    }
+    mask
+}
+
+/// Narrow one word's selection by a pushed-down [`ColPred`]: surviving
+/// bits of `sel` are those whose value passes the (possibly negated)
+/// inclusive range. Density-adaptive like [`selection_word`]; negation
+/// inverts the mask, and `& sel` clears any stray bits past the chunk.
+#[inline]
+pub(crate) fn conj_word(
+    chunk: &[Value],
+    sel: u64,
+    p: &crate::physical::ColPred,
+    imp: MaskImpl,
+) -> u64 {
+    if p.is_empty_range() {
+        return if p.negated { sel } else { 0 };
+    }
+    if sel.count_ones() >= DENSE_WORD_MIN_ACTIVE {
+        let m = predicate_mask_incl(chunk, p.lo, p.hi, imp);
+        (if p.negated { !m } else { m }) & sel
+    } else {
+        let mut out = 0u64;
+        let mut w = sel;
+        while w != 0 {
+            let bit = w.trailing_zeros() as usize;
+            w &= w - 1;
+            out |= (p.matches(chunk[bit]) as u64) << bit;
+        }
+        out
+    }
+}
+
+/// Selection-mask words for one frozen block under a [`ColPred`]: the
+/// codec's fused `filter_range_masks` evaluates the inclusive range in
+/// its own domain (run / code / offset space — the block is never
+/// decoded), with negation folded in by complementing the mask words.
+/// The `i64` domain edges route through the complement of the
+/// representable half (`[lo, MAX]` = NOT `[MIN, lo)`). Stray high bits
+/// in the last word are the caller's to clear via the activity AND.
+pub(crate) fn conj_block_masks(
+    block: &amnesia_columnar::compress::EncodedBlock,
+    p: &crate::physical::ColPred,
+    out: &mut Vec<u64>,
+) {
+    let nwords = block.len().div_ceil(WORD_BITS);
+    let mut invert = p.negated;
+    if p.is_empty_range() {
+        out.clear();
+        out.resize(nwords, 0);
+    } else if p.hi < Value::MAX {
+        block.filter_range_masks(p.lo, p.hi + 1, out);
+    } else if p.lo > Value::MIN {
+        // [lo, MAX] is the complement of [MIN, lo).
+        block.filter_range_masks(Value::MIN, p.lo, out);
+        invert = !invert;
+    } else {
+        // The whole domain.
+        out.clear();
+        out.resize(nwords, !0u64);
+    }
+    if invert {
+        for w in out.iter_mut() {
+            *w = !*w;
+        }
+    }
+}
+
 /// Fold the selected values of one word into `state`.
 ///
 /// The hot accumulation runs on a word-local `i64` sum — `checked_add`
@@ -379,7 +472,7 @@ fn selection_word(chunk: &[Value], active: u64, pred: RangePredicate, imp: MaskI
 /// branch — because an `i128` add per row measurably drags the loop. A
 /// fully-selected full word folds the slice with no bit tests at all.
 #[inline]
-fn fold_selection(state: &mut AggState, chunk: &[Value], sel: u64) {
+pub(crate) fn fold_selection(state: &mut AggState, chunk: &[Value], sel: u64) {
     if sel == 0 {
         return;
     }

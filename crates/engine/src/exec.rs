@@ -9,12 +9,16 @@ use amnesia_workload::query::{AggKind, Query, RangePredicate};
 use amnesia_workload::Query as Q;
 use serde::{Deserialize, Serialize};
 
+use crate::batch::AggState;
 use crate::cost::CostModel;
+use crate::group::GroupTable;
 use crate::kernels;
 use crate::mode::ForgetVisibility;
+use crate::physical::{finalize_scalar, ColPred, PhysItem, PhysicalPlan, Scalar, SortDir};
 use crate::plan::{Plan, Planner};
 
-use amnesia_columnar::RowId;
+use amnesia_columnar::{RowId, Value};
+use amnesia_util::WORD_BITS;
 
 /// Auxiliary structures available to the executor.
 #[derive(Default)]
@@ -71,17 +75,28 @@ impl QueryOutput {
     }
 }
 
-/// Per-query execution statistics.
+/// Per-query execution statistics — the one accounting struct every
+/// execution surface reports (it absorbed the SQL crate's old
+/// `QueryStats`, so SQL, the workload driver and the benches all speak
+/// the same numbers).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ExecStats {
     /// Rows examined.
     pub rows_scanned: usize,
-    /// Blocks skipped thanks to the zone map.
+    /// Blocks skipped thanks to zone-map / block-meta / join-key-range
+    /// pruning.
     pub blocks_pruned: usize,
     /// 64-row words skipped thanks to the word-granularity zone map.
     pub words_pruned: usize,
-    /// Result cardinality (rows) or 0 for aggregates.
+    /// Result cardinality: matching rows for scans and joins, output
+    /// rows (the group count) for executed plans with aggregation, 0
+    /// for the workload driver's scalar-aggregate path.
     pub result_rows: usize,
+    /// Join pairs produced (0 without a join).
+    pub join_pairs: usize,
+    /// Groups produced (0 without aggregation; 1 for a global
+    /// aggregate's implicit group).
+    pub groups: usize,
     /// Abstract cost charged by the cost model.
     pub cost: f64,
     /// Which plan ran ("full-scan", "pruned-scan", "index-probe").
@@ -140,11 +155,16 @@ impl Executor {
         self.mode
     }
 
-    /// Execute a query against column `col` of `table`.
+    /// Execute a query against column `col` of `table`. The workload
+    /// algebra is a trivial lowering onto the physical-plan operators:
+    /// `Range`/`Point` run the shared scan operator ([`Self::run_scan`],
+    /// the same code path SQL's lowered scans take), aggregates run the
+    /// fused filter+aggregate operator (the same [`AggState`] machinery
+    /// the plan's aggregation stages fold with).
     pub fn execute(&self, table: &Table, col: usize, query: &Query, aux: &Aux<'_>) -> ExecResult {
         match query {
-            Q::Range(pred) => self.execute_range(table, col, *pred, aux),
-            Q::Point(v) => self.execute_range(
+            Q::Range(pred) => self.execute_scan_query(table, col, *pred, aux),
+            Q::Point(v) => self.execute_scan_query(
                 table,
                 col,
                 RangePredicate::new(*v, v.saturating_add(1)),
@@ -153,6 +173,26 @@ impl Executor {
             Q::Aggregate { kind, predicate } => {
                 self.execute_aggregate(table, col, *kind, *predicate, aux)
             }
+        }
+    }
+
+    /// Lower a single range predicate onto the shared scan operator and
+    /// materialize the selection as row ids (index probes keep their
+    /// value order through [`Selection::Rows`]).
+    fn execute_scan_query(
+        &self,
+        table: &Table,
+        col: usize,
+        pred: RangePredicate,
+        aux: &Aux<'_>,
+    ) -> ExecResult {
+        let preds = [ColPred::from_range(col, pred)];
+        let (sel, mut stats) = self.run_scan(table, &preds, aux);
+        let rows = sel.into_rows();
+        stats.result_rows = rows.len();
+        ExecResult {
+            output: QueryOutput::Rows(rows),
+            stats,
         }
     }
 
@@ -180,6 +220,8 @@ impl Executor {
             blocks_pruned: r.stats.blocks_pruned,
             words_pruned: 0,
             result_rows: r.stats.output_pairs,
+            join_pairs: r.stats.output_pairs,
+            groups: 0,
             cost: self.planner.cost_model().full_scan(rows_scanned),
             plan: if tiered {
                 PlanTag::TieredJoin
@@ -188,6 +230,223 @@ impl Executor {
             },
         };
         (r, stats)
+    }
+
+    /// Run one physical scan — the shared operator underneath both the
+    /// workload driver's queries and the SQL surface's lowered plans.
+    ///
+    /// A single representable range predicate routes through the
+    /// cost-based planner exactly like [`Executor::execute`]'s range
+    /// queries (zone-map pruned scans and index probes included, when
+    /// the [`Aux`] structures exist); everything else — the empty
+    /// conjunction, multi-predicate conjunctions, negations, domain-edge
+    /// ranges — evaluates as fused 64-bit selection masks via
+    /// [`kernels::selection_scan`].
+    pub fn run_scan(
+        &self,
+        table: &Table,
+        preds: &[ColPred],
+        aux: &Aux<'_>,
+    ) -> (Selection, ExecStats) {
+        if preds.len() == 1 {
+            if let Some(range) = preds[0].as_range() {
+                let res = self.execute_range(table, preds[0].col, range, aux);
+                let rows = match res.output {
+                    QueryOutput::Rows(r) => r,
+                    QueryOutput::Agg(_) => unreachable!("range scans return rows"),
+                };
+                return (Selection::Rows(rows), res.stats);
+            }
+        }
+        let (sel, ts) = kernels::selection_scan(table, preds);
+        let stats = ExecStats {
+            rows_scanned: ts.rows_scanned,
+            blocks_pruned: ts.blocks_pruned,
+            cost: self.planner.cost_model().full_scan(ts.rows_scanned),
+            plan: if table.has_frozen() {
+                PlanTag::TieredScan
+            } else {
+                PlanTag::FullScan
+            },
+            ..Default::default()
+        };
+        (Selection::Words(sel), stats)
+    }
+
+    /// Execute a full [`PhysicalPlan`] — scans with pushed-down
+    /// predicate conjunctions, optional tiered hash join, fused or
+    /// grouped aggregation, projection gather, sort + limit — returning
+    /// the output rows and one unified [`ExecStats`].
+    ///
+    /// The plan always runs under the amnesiac (active-only) visibility:
+    /// a query surface lowered onto physical plans sees exactly the
+    /// active data, per the paper's §1 contract that forgotten tuples
+    /// "will never show up in query results". `auxes` supplies per-slot
+    /// zone maps / indexes (missing slots scan unassisted).
+    pub fn execute_plan(
+        &self,
+        tables: &[&Table],
+        auxes: &[Aux<'_>],
+        plan: &PhysicalPlan,
+    ) -> PhysResult {
+        assert_eq!(
+            tables.len(),
+            plan.scans.len(),
+            "one table per plan scan slot"
+        );
+        let default_aux = Aux::default();
+        let mut stats = ExecStats::default();
+
+        // 1. Scans: per-slot selection masks under the pushed-down
+        //    conjunction.
+        let mut sels: Vec<Vec<u64>> = Vec::with_capacity(tables.len());
+        for (slot, scan) in plan.scans.iter().enumerate() {
+            let aux = auxes.get(slot).unwrap_or(&default_aux);
+            let (sel, s) = self.run_scan(tables[slot], &scan.preds, aux);
+            stats.rows_scanned += s.rows_scanned;
+            stats.blocks_pruned += s.blocks_pruned;
+            stats.words_pruned += s.words_pruned;
+            stats.cost += s.cost;
+            if slot == 0 {
+                stats.plan = s.plan;
+            }
+            let nwords = tables[slot].num_rows().div_ceil(WORD_BITS);
+            sels.push(match sel {
+                Selection::Words(w) => w,
+                Selection::Rows(rows) => rows_to_words(&rows, nwords),
+            });
+        }
+
+        // 2. Join: build slot 0 in compressed space under its selection
+        //    words, probe slot 1 tier-aware with key-range block pruning.
+        let pairs: Option<Vec<(RowId, RowId)>> = plan.join.as_ref().map(|join| {
+            let (build, key_range) =
+                crate::join::build_rows_map_with(tables[0], join.left_col, &sels[0]);
+            let mut p = Vec::new();
+            let probe = crate::batch::probe_tiered(
+                tables[1].col_tier(join.right_col),
+                &sels[1],
+                &build,
+                key_range,
+                &mut p,
+            );
+            stats.blocks_pruned += probe.blocks_pruned;
+            // Mirror `execute_join`'s accounting: probe rows the key-range
+            // meta pruned were never streamed, so they subtract from
+            // `rows_scanned`. Only exact when the probe scan pushed no
+            // predicates down (then its selection is the activity map,
+            // which is what `probe_rows_skipped` counts); a filtered
+            // probe side keeps the scan-phase count.
+            if plan.scans[1].preds.is_empty() {
+                stats.rows_scanned = stats.rows_scanned.saturating_sub(probe.probe_rows_skipped);
+            }
+            stats.join_pairs = p.len();
+            if tables.iter().any(|t| t.has_frozen()) {
+                stats.plan = PlanTag::TieredJoin;
+            }
+            p
+        });
+
+        // 3. Projection or (grouped) aggregation.
+        let mut rows: Vec<Vec<Scalar>> = match (&pairs, plan.has_aggregates()) {
+            (None, false) => self.project_selection(tables[0], &sels[0], &plan.items),
+            (None, true) => self.aggregate_selection_rows(tables[0], &sels[0], plan, &mut stats),
+            (Some(pairs), false) => project_pairs(tables, pairs, &plan.items),
+            (Some(pairs), true) => aggregate_pairs(tables, pairs, plan, &mut stats),
+        };
+
+        // 4. Sort + limit over the materialized scalars (type-aware
+        //    total order: i64 keys never collapse through f64).
+        if let Some((idx, dir)) = plan.order_by {
+            rows.sort_by(|a, b| {
+                let ord = a[idx].total_cmp(&b[idx]);
+                match dir {
+                    SortDir::Asc => ord,
+                    SortDir::Desc => ord.reverse(),
+                }
+            });
+        }
+        if let Some(limit) = plan.limit {
+            rows.truncate(limit as usize);
+        }
+        stats.result_rows = rows.len();
+        PhysResult { rows, stats }
+    }
+
+    /// Projection gather over a single-table selection: each output
+    /// column streams through the tier-aware gather (compressed blocks
+    /// are never decoded), then rows zip positionally.
+    fn project_selection(
+        &self,
+        table: &Table,
+        sel: &[u64],
+        items: &[PhysItem],
+    ) -> Vec<Vec<Scalar>> {
+        let n_out = kernels::selection_count(sel);
+        let mut bufs: Vec<Vec<Value>> = Vec::with_capacity(items.len());
+        for item in items {
+            let PhysItem::Column { col, .. } = item else {
+                unreachable!("projection plans carry only column items");
+            };
+            let mut buf = Vec::with_capacity(n_out);
+            kernels::gather_column(table, sel, *col, &mut buf);
+            bufs.push(buf);
+        }
+        (0..n_out)
+            .map(|i| bufs.iter().map(|b| Scalar::Int(b[i])).collect())
+            .collect()
+    }
+
+    /// Global or grouped aggregation over a single-table selection.
+    fn aggregate_selection_rows(
+        &self,
+        table: &Table,
+        sel: &[u64],
+        plan: &PhysicalPlan,
+        stats: &mut ExecStats,
+    ) -> Vec<Vec<Scalar>> {
+        if let Some((_, gcol, _)) = &plan.group_by {
+            // The vectorized hash group-by: folds over compressed blocks.
+            let agg_cols: Vec<Option<usize>> = agg_specs(&plan.items)
+                .iter()
+                .map(|(_, arg)| arg.map(|(_, c)| c))
+                .collect();
+            let groups = crate::group::grouped_fold(table, sel, *gcol, &agg_cols);
+            stats.groups = groups.len();
+            return finalize_groups(&groups, &plan.items);
+        }
+        // Global aggregates: one fused fold per distinct input column,
+        // COUNT(*) is a popcount of the selection.
+        stats.groups = 1;
+        let mut cache: Vec<(usize, AggState)> = Vec::new();
+        let row = plan
+            .items
+            .iter()
+            .map(|item| match item {
+                PhysItem::Aggregate {
+                    kind,
+                    arg: Some((_, c)),
+                    ..
+                } => {
+                    let state = match cache.iter().find(|(col, _)| col == c) {
+                        Some((_, s)) => *s,
+                        None => {
+                            let s = kernels::aggregate_selection(table, sel, *c);
+                            cache.push((*c, s));
+                            s
+                        }
+                    };
+                    finalize_scalar(&state, *kind)
+                }
+                PhysItem::Aggregate { arg: None, .. } => {
+                    Scalar::Int(kernels::selection_count(sel) as i64)
+                }
+                PhysItem::Column { .. } => {
+                    unreachable!("plain columns require GROUP BY")
+                }
+            })
+            .collect();
+        vec![row]
     }
 
     fn execute_range(
@@ -294,6 +553,8 @@ impl Executor {
                 blocks_pruned,
                 words_pruned,
                 result_rows,
+                join_pairs: 0,
+                groups: 0,
                 cost,
                 plan: tag,
             },
@@ -370,6 +631,8 @@ impl Executor {
                 blocks_pruned,
                 words_pruned,
                 result_rows: 0,
+                join_pairs: 0,
+                groups: 0,
                 cost,
                 plan: if table.has_frozen() {
                     PlanTag::TieredScan
@@ -379,6 +642,171 @@ impl Executor {
             },
         }
     }
+}
+
+/// A scan operator's output: selection-mask words (one per 64 rows), or
+/// an explicit row list when the access path yields an order masks
+/// cannot express (index probes return value order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selection {
+    /// One 64-bit selection word per activity word, ascending row order.
+    Words(Vec<u64>),
+    /// Explicit rows in access-path order.
+    Rows(Vec<RowId>),
+}
+
+impl Selection {
+    /// Materialize as row ids (ascending for [`Selection::Words`]).
+    pub fn into_rows(self) -> Vec<RowId> {
+        match self {
+            Selection::Rows(rows) => rows,
+            Selection::Words(words) => kernels::selection_rows(&words),
+        }
+    }
+}
+
+/// The result of executing a [`PhysicalPlan`]: materialized output rows
+/// plus the unified [`ExecStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysResult {
+    /// Output rows, one [`Scalar`] per plan item.
+    pub rows: Vec<Vec<Scalar>>,
+    /// Execution statistics across every operator.
+    pub stats: ExecStats,
+}
+
+/// Pack explicit row ids into selection-mask words.
+fn rows_to_words(rows: &[RowId], nwords: usize) -> Vec<u64> {
+    let mut words = vec![0u64; nwords];
+    for r in rows {
+        let i = r.as_usize();
+        words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+    words
+}
+
+/// The aggregate items of a plan, in item order.
+fn agg_specs(
+    items: &[PhysItem],
+) -> Vec<(amnesia_workload::query::AggKind, Option<(usize, usize)>)> {
+    items
+        .iter()
+        .filter_map(|i| match i {
+            PhysItem::Aggregate { kind, arg, .. } => Some((*kind, *arg)),
+            PhysItem::Column { .. } => None,
+        })
+        .collect()
+}
+
+/// Materialize a [`GroupTable`] as output rows in first-seen group
+/// order: plain columns replay the group key, aggregates finalize with
+/// the checked (overflow-widening) conversion.
+fn finalize_groups(groups: &GroupTable, items: &[PhysItem]) -> Vec<Vec<Scalar>> {
+    (0..groups.len())
+        .map(|g| {
+            let states = groups.group_states(g);
+            let mut agg_i = 0usize;
+            items
+                .iter()
+                .map(|item| match item {
+                    PhysItem::Column { .. } => Scalar::Int(groups.keys()[g]),
+                    PhysItem::Aggregate { kind, .. } => {
+                        let s = finalize_scalar(&states[agg_i], *kind);
+                        agg_i += 1;
+                        s
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Row id of `slot` within a join pair.
+#[inline]
+fn pair_row(pair: &(RowId, RowId), slot: usize) -> RowId {
+    if slot == 0 {
+        pair.0
+    } else {
+        pair.1
+    }
+}
+
+/// Project join pairs: per-item tier-aware point reads (codec
+/// `value_at`, never a block decode).
+fn project_pairs(
+    tables: &[&Table],
+    pairs: &[(RowId, RowId)],
+    items: &[PhysItem],
+) -> Vec<Vec<Scalar>> {
+    pairs
+        .iter()
+        .map(|pair| {
+            items
+                .iter()
+                .map(|item| match item {
+                    PhysItem::Column { slot, col, .. } => {
+                        Scalar::Int(tables[*slot].value(*col, pair_row(pair, *slot)))
+                    }
+                    PhysItem::Aggregate { .. } => {
+                        unreachable!("projection plans carry only column items")
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Aggregate join pairs, grouped or global, via tier-aware point reads.
+fn aggregate_pairs(
+    tables: &[&Table],
+    pairs: &[(RowId, RowId)],
+    plan: &PhysicalPlan,
+    stats: &mut ExecStats,
+) -> Vec<Vec<Scalar>> {
+    let specs = agg_specs(&plan.items);
+    if let Some((gslot, gcol, _)) = &plan.group_by {
+        let mut groups = GroupTable::new(specs.len());
+        for pair in pairs {
+            let key = tables[*gslot].value(*gcol, pair_row(pair, *gslot));
+            let slot = groups.slot(key);
+            for (a, (_, arg)) in specs.iter().enumerate() {
+                match arg {
+                    Some((aslot, acol)) => groups
+                        .state_mut(slot, a)
+                        .push(tables[*aslot].value(*acol, pair_row(pair, *aslot))),
+                    None => groups.bump(slot, a),
+                }
+            }
+        }
+        stats.groups = groups.len();
+        return finalize_groups(&groups, &plan.items);
+    }
+    stats.groups = 1;
+    let mut states = vec![AggState::new(); specs.len()];
+    for pair in pairs {
+        for (state, (_, arg)) in states.iter_mut().zip(&specs) {
+            match arg {
+                Some((aslot, acol)) => {
+                    state.push(tables[*aslot].value(*acol, pair_row(pair, *aslot)))
+                }
+                None => state.push_block(1, 0, Value::MAX, Value::MIN),
+            }
+        }
+    }
+    let mut agg_i = 0usize;
+    let row = plan
+        .items
+        .iter()
+        .map(|item| match item {
+            PhysItem::Aggregate { kind, .. } => {
+                let s = finalize_scalar(&states[agg_i], *kind);
+                agg_i += 1;
+                s
+            }
+            PhysItem::Column { .. } => unreachable!("plain columns require GROUP BY"),
+        })
+        .collect();
+    vec![row]
 }
 
 /// Merge the aggregate state (active rows, plus any summary cell already

@@ -137,8 +137,17 @@ trait BuildSink {
 /// ascends, so per key the accumulated rows are byte-identical to a
 /// dense build's.
 fn stream_active_keys(table: &Table, col: usize, sink: &mut impl BuildSink) {
+    stream_selected_keys(table, col, table.activity_words(), sink)
+}
+
+/// [`stream_active_keys`] under an *external* selection-mask vector —
+/// the physical plan's filtered build side. `words` stands in for the
+/// activity words everywhere (the scan already ANDed activity in), so
+/// only rows surviving the pushed-down predicates reach the sink; blocks
+/// whose selection words are all zero skip before their payload is
+/// touched.
+fn stream_selected_keys(table: &Table, col: usize, words: &[u64], sink: &mut impl BuildSink) {
     let tier = table.col_tier(col);
-    let words = table.activity_words();
     let br = tier.block_rows();
     for b in 0..tier.frozen_blocks() {
         let f = tier.frozen(b).expect("frozen block in range");
@@ -146,6 +155,9 @@ fn stream_active_keys(table: &Table, col: usize, sink: &mut impl BuildSink) {
             continue; // dropped or fully-forgotten: payload never touched
         }
         let bw = batch::block_words(tier, words, b);
+        if bw.iter().all(|&w| w == 0) {
+            continue; // nothing selected in this block
+        }
         let base = b * br;
         let block = f.encoded();
         match block.encoding() {
@@ -257,6 +269,20 @@ fn build_rows_map(table: &Table, col: usize) -> BuildTable {
         range: None,
     };
     stream_active_keys(table, col, &mut sink);
+    (sink.map, sink.range)
+}
+
+/// Build the pair-join hash table from the rows *selected* by an
+/// external selection-mask vector (the physical plan's filtered build
+/// side), streaming frozen blocks in compressed space exactly like
+/// [`build_rows_map`]. Exposed for
+/// [`Executor::execute_plan`](crate::exec::Executor::execute_plan).
+pub(crate) fn build_rows_map_with(table: &Table, col: usize, words: &[u64]) -> BuildTable {
+    let mut sink = RowsSink {
+        map: HashMap::new(),
+        range: None,
+    };
+    stream_selected_keys(table, col, words, &mut sink);
     (sink.map, sink.range)
 }
 

@@ -8,10 +8,13 @@
 //! all-forgotten regions. The row-at-a-time originals survive as
 //! [`crate::batch::scalar`] for equivalence tests and benchmarks.
 
+use amnesia_columnar::compress::BlockAgg;
 use amnesia_columnar::{RowId, SegmentedColumn, Table, Value, WordZoneMap};
+use amnesia_util::WORD_BITS;
 use amnesia_workload::query::{AggKind, RangePredicate};
 
 use crate::batch;
+use crate::physical::ColPred;
 
 pub use crate::batch::{AggState, TierStats, ZoneStats};
 
@@ -287,6 +290,221 @@ pub fn aggregate_rows(table: &Table, col: usize, rows: &[RowId], kind: AggKind) 
         state.push(values[r.as_usize()]);
     }
     state.finalize(kind)
+}
+
+// ---------------------------------------------------------------------
+// Selection-vector operators: the physical plan's scan, gather and
+// aggregate stages. A *selection* is one 64-bit word per activity word
+// (`sel = activity & pred₀ & pred₁ & …`), the currency every operator
+// below exchanges — produced once by `selection_scan`, consumed by the
+// join build/probe, the projection gather, the fused aggregate and the
+// grouped hash aggregation of [`crate::group`].
+// ---------------------------------------------------------------------
+
+/// Evaluate a conjunction of pushed-down predicates over `table` into a
+/// selection-mask vector, tier-aware:
+///
+/// * hot words AND each predicate's [`batch`] mask into the activity
+///   word (early exit once a word empties),
+/// * frozen blocks are pruned when *any* predicate's cached
+///   [`BlockMeta`](amnesia_columnar::BlockMeta) proves it cannot match,
+///   survivors evaluate every predicate via the codecs' fused
+///   `filter_range_masks` — the block is never decoded.
+///
+/// `rows_scanned` counts the active rows the selection examined (all of
+/// them when `preds` is empty — the downstream operators will read every
+/// survivor); meta-pruned blocks' rows are excluded, which is the work
+/// the metadata saved.
+pub fn selection_scan(table: &Table, preds: &[ColPred]) -> (Vec<u64>, TierStats) {
+    let n = table.num_rows();
+    let nwords = n.div_ceil(WORD_BITS);
+    let words = table.activity_words();
+    let mut sel = vec![0u64; nwords];
+    let mut stats = TierStats::default();
+    if preds.is_empty() {
+        for (wi, s) in sel.iter_mut().enumerate() {
+            *s = words.get(wi).copied().unwrap_or(0);
+            stats.rows_scanned += s.count_ones() as usize;
+        }
+        return (sel, stats);
+    }
+    let imp = batch::mask_impl();
+    if !table.has_frozen() {
+        let cols: Vec<&[Value]> = preds.iter().map(|p| table.col_values(p.col)).collect();
+        for (wi, out) in sel.iter_mut().enumerate() {
+            let active = words.get(wi).copied().unwrap_or(0);
+            if active == 0 {
+                continue;
+            }
+            stats.rows_scanned += active.count_ones() as usize;
+            let base = wi * WORD_BITS;
+            let hi = (base + WORD_BITS).min(n);
+            let mut s = active;
+            for (p, col) in preds.iter().zip(&cols) {
+                s = batch::conj_word(&col[base..hi], s, p, imp);
+                if s == 0 {
+                    break;
+                }
+            }
+            *out = s;
+        }
+        return (sel, stats);
+    }
+
+    // Frozen prefix: per block, meta-prune across every predicate column,
+    // then AND the codec-fused masks of the survivors.
+    let br = table.block_rows();
+    let nb = table.frozen_blocks();
+    let block_nwords = br / WORD_BITS;
+    let mut mask_buf = Vec::new();
+    'blocks: for b in 0..nb {
+        let active_in_block = table.col_tier(0).meta(b).active;
+        if active_in_block == 0 {
+            stats.blocks_pruned += 1;
+            continue;
+        }
+        for p in preds {
+            if !p.block_may_match(table.col_tier(p.col).meta(b)) {
+                stats.blocks_pruned += 1;
+                continue 'blocks;
+            }
+        }
+        stats.rows_scanned += active_in_block;
+        let first_word = b * br / WORD_BITS;
+        for k in 0..block_nwords {
+            sel[first_word + k] = words.get(first_word + k).copied().unwrap_or(0);
+        }
+        for p in preds {
+            let f = table.col_tier(p.col).frozen(b).expect("frozen block");
+            batch::conj_block_masks(f.encoded(), p, &mut mask_buf);
+            for k in 0..block_nwords {
+                sel[first_word + k] &= mask_buf.get(k).copied().unwrap_or(0);
+            }
+        }
+    }
+    // Hot tail: the flat word loop over each predicate column's tail.
+    let tail_start = table.col_tier(0).hot_start();
+    let tails: Vec<&[Value]> = preds
+        .iter()
+        .map(|p| table.col_tier(p.col).hot_values())
+        .collect();
+    let tail_len = tails.first().map_or(0, |t| t.len());
+    for j in 0..tail_len.div_ceil(WORD_BITS) {
+        let wi = tail_start / WORD_BITS + j;
+        let base = j * WORD_BITS;
+        let chunk_len = (tail_len - base).min(WORD_BITS);
+        let active = batch::tail_word(words, wi, chunk_len);
+        if active == 0 {
+            continue;
+        }
+        stats.rows_scanned += active.count_ones() as usize;
+        let mut s = active;
+        for (p, tail) in preds.iter().zip(&tails) {
+            s = batch::conj_word(&tail[base..base + chunk_len], s, p, imp);
+            if s == 0 {
+                break;
+            }
+        }
+        sel[wi] = s;
+    }
+    (sel, stats)
+}
+
+/// Materialize a selection as ascending [`RowId`]s.
+pub fn selection_rows(sel: &[u64]) -> Vec<RowId> {
+    let mut out = Vec::new();
+    for (wi, &w) in sel.iter().enumerate() {
+        batch::emit_selection(w, wi * WORD_BITS, &mut out);
+    }
+    out
+}
+
+/// Selected-row count: one popcount per word.
+pub fn selection_count(sel: &[u64]) -> usize {
+    sel.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Gather the values of `col` at the selected rows, in ascending row
+/// order. Frozen blocks stream through the codecs'
+/// `for_each_active` under the block's selection words — no decode, no
+/// dense materialization; the hot tail reads the raw slice.
+pub fn gather_column(table: &Table, sel: &[u64], col: usize, out: &mut Vec<Value>) {
+    if !table.has_frozen() {
+        let values = table.col_values(col);
+        for (wi, &w) in sel.iter().enumerate() {
+            let mut w = w;
+            let base = wi * WORD_BITS;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                out.push(values[base + bit]);
+            }
+        }
+        return;
+    }
+    let tier = table.col_tier(col);
+    for b in 0..tier.frozen_blocks() {
+        let bw = batch::block_words(tier, sel, b);
+        if bw.iter().all(|&w| w == 0) {
+            continue;
+        }
+        let f = tier.frozen(b).expect("frozen block");
+        f.encoded().for_each_active(bw, |_, v| out.push(v));
+    }
+    let tail = tier.hot_values();
+    let tail_start = tier.hot_start();
+    for (j, chunk) in tail.chunks(WORD_BITS).enumerate() {
+        let wi = tail_start / WORD_BITS + j;
+        let mut w = batch::tail_word(sel, wi, chunk.len());
+        while w != 0 {
+            let bit = w.trailing_zeros() as usize;
+            w &= w - 1;
+            out.push(chunk[bit]);
+        }
+    }
+}
+
+/// Fused aggregate of `col` over an externally-computed selection:
+/// frozen blocks fold in run/code/offset space via the codecs'
+/// `fold_range_masked` with the selection words standing in for the
+/// activity words (no decode), the hot tail folds the raw slice.
+pub fn aggregate_selection(table: &Table, sel: &[u64], col: usize) -> AggState {
+    let mut state = AggState::new();
+    if !table.has_frozen() {
+        let values = table.col_values(col);
+        for (wi, &w) in sel.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            let base = wi * WORD_BITS;
+            let chunk = &values[base..(base + WORD_BITS).min(values.len())];
+            batch::fold_selection(&mut state, chunk, w);
+        }
+        return state;
+    }
+    let tier = table.col_tier(col);
+    for b in 0..tier.frozen_blocks() {
+        let bw = batch::block_words(tier, sel, b);
+        if bw.iter().all(|&w| w == 0) {
+            continue;
+        }
+        let f = tier.frozen(b).expect("frozen block");
+        let mut agg = BlockAgg::new();
+        f.encoded().fold_range_masked(None, bw, &mut agg);
+        if agg.count > 0 {
+            state.push_block(agg.count, agg.sum, agg.min, agg.max);
+        }
+    }
+    let tail = tier.hot_values();
+    let tail_start = tier.hot_start();
+    for (j, chunk) in tail.chunks(WORD_BITS).enumerate() {
+        let wi = tail_start / WORD_BITS + j;
+        let w = batch::tail_word(sel, wi, chunk.len());
+        if w != 0 {
+            batch::fold_selection(&mut state, chunk, w);
+        }
+    }
+    state
 }
 
 #[cfg(test)]

@@ -11,6 +11,13 @@
 //!   filter+aggregate, whole-word skips of forgotten regions,
 //! * [`kernels`] — the scan / filter / aggregate entry points, built on
 //!   [`batch`] (row-at-a-time references live in [`batch::scalar`]),
+//! * [`physical`] — the **physical plan**: the one execution API every
+//!   query surface lowers onto (tier-aware scans with pushed-down
+//!   predicate conjunctions as 64-bit selection masks, tiered hash
+//!   join, fused/grouped aggregation, projection gather, sort + limit);
+//!   SQL's `BoundQuery::lower()` and the workload driver both target it,
+//! * [`group`] — the vectorized hash group-by kernel, folding `GROUP BY`
+//!   aggregates straight over compressed blocks,
 //! * [`plan`] — a small cost-based planner choosing full scan, zone-map
 //!   pruned scan, or sorted-index probe,
 //! * [`cost`] — the abstract cost model (hot rows vs. cold fetches),
@@ -28,16 +35,20 @@
 pub mod batch;
 pub mod cost;
 pub mod exec;
+pub mod group;
 pub mod join;
 pub mod kernels;
 pub mod mode;
 pub mod parallel;
+pub mod physical;
 pub mod plan;
 
 pub use batch::{AggState, BATCH_ROWS};
 pub use cost::CostModel;
-pub use exec::{Aux, ExecResult, ExecStats, Executor, QueryOutput};
+pub use exec::{Aux, ExecResult, ExecStats, Executor, PhysResult, QueryOutput, Selection};
+pub use group::GroupTable;
 pub use join::{hash_join, hash_join_count, JoinResult, JoinStats};
 pub use mode::ForgetVisibility;
 pub use parallel::{par_aggregate_active, par_range_scan_active};
+pub use physical::{ColPred, PhysItem, PhysScan, PhysicalPlan, Scalar, SortDir};
 pub use plan::{Plan, Planner};

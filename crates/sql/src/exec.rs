@@ -1,82 +1,35 @@
-//! Execution of bound queries over amnesiac tables.
+//! SQL execution: a thin driver over the engine's physical-plan layer.
 //!
-//! The pipeline mirrors the EXPLAIN tree: per-slot active-only scans with
-//! pushed-down filters, an optional hash join, then either row projection
-//! or (grouped) aggregation, and finally sort + limit. Forgotten tuples
-//! never appear — the defining property of the amnesiac store (§1: "data
-//! is forgotten and will never show up in query results").
+//! Since the unified-execution redesign this module no longer owns an
+//! interpreter. [`execute`] resolves the bound tables, lowers the
+//! [`BoundQuery`] onto an [`amnesia_engine::PhysicalPlan`]
+//! ([`BoundQuery::lower`]), and hands it to
+//! [`Executor::execute_plan`] — the same tier-aware vectorized operator
+//! layer the workload driver and the benches run on. Scans evaluate the
+//! WHERE conjunction as 64-bit selection masks (fused over compressed
+//! blocks, meta-pruned), joins build and probe in compressed space,
+//! `GROUP BY` runs the vectorized hash group-by, and a multi-predicate
+//! grouped query over a fully-frozen table finishes with **zero block
+//! decodes**. What remains here is materialization: engine
+//! [`Scalar`](amnesia_engine::Scalar)s *are* the SQL [`Datum`]s, and the
+//! per-query accounting is the engine's unified
+//! [`ExecStats`] (rows scanned, words/blocks pruned, join pairs,
+//! groups). Forgotten tuples never appear — the defining property of the
+//! amnesiac store (§1: "data is forgotten and will never show up in
+//! query results").
 
-use std::collections::HashMap;
-use std::fmt;
+use amnesia_columnar::Table;
+use amnesia_engine::{Aux, ExecStats, Executor};
 
-use amnesia_columnar::{RowId, Table, Value};
-
-use crate::ast::{AggFunc, SortOrder, Statement};
+use crate::ast::Statement;
 use crate::error::{Span, SqlError, SqlResult};
 use crate::parser::parse;
-use crate::plan::{bind, BoundColumn, BoundFilter, BoundItem, BoundQuery, Catalog};
+use crate::plan::{bind, BoundQuery, Catalog};
 
-/// One output value.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Datum {
-    /// Integer (columns, COUNT/SUM/MIN/MAX).
-    Int(i64),
-    /// Floating point (AVG).
-    Float(f64),
-    /// Aggregate over an empty selection.
-    Null,
-}
-
-impl Datum {
-    /// Numeric view for sorting; NULL sorts first.
-    fn sort_key(&self) -> f64 {
-        match self {
-            Datum::Int(v) => *v as f64,
-            Datum::Float(v) => *v,
-            Datum::Null => f64::NEG_INFINITY,
-        }
-    }
-
-    /// The integer inside, if any.
-    pub fn as_int(&self) -> Option<i64> {
-        match self {
-            Datum::Int(v) => Some(*v),
-            _ => None,
-        }
-    }
-
-    /// Numeric value (ints widened), `None` for NULL.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Datum::Int(v) => Some(*v as f64),
-            Datum::Float(v) => Some(*v),
-            Datum::Null => None,
-        }
-    }
-}
-
-impl fmt::Display for Datum {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Datum::Int(v) => write!(f, "{v}"),
-            Datum::Float(v) => write!(f, "{v:.4}"),
-            Datum::Null => write!(f, "NULL"),
-        }
-    }
-}
-
-/// Cardinalities observed during execution.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct QueryStats {
-    /// Rows scanned per slot (post-activity, pre-filter).
-    pub rows_scanned: usize,
-    /// Rows surviving the filters, summed over slots.
-    pub rows_filtered: usize,
-    /// Join pairs produced (0 without a join).
-    pub join_pairs: usize,
-    /// Groups produced (0 without grouping).
-    pub groups: usize,
-}
+/// One output value — the engine's scalar, re-exported: integers stay
+/// integers end to end, `AVG` (and `SUM`s widened past the `i64`
+/// domain) are floats, `NULL` is an aggregate over an empty selection.
+pub type Datum = amnesia_engine::Scalar;
 
 /// A query answer: column names, rows, stats.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,8 +38,8 @@ pub struct ResultSet {
     pub columns: Vec<String>,
     /// Output rows.
     pub rows: Vec<Vec<Datum>>,
-    /// Execution cardinalities.
-    pub stats: QueryStats,
+    /// The engine's unified execution statistics.
+    pub stats: ExecStats,
 }
 
 impl ResultSet {
@@ -130,79 +83,14 @@ impl ResultSet {
 pub enum QueryOutcome {
     /// Rows from a SELECT.
     Rows(ResultSet),
-    /// Plan text from an EXPLAIN.
+    /// Physical plan text from an EXPLAIN.
     Plan(String),
 }
 
-/// Aggregate accumulator with integer-preserving finalization.
-#[derive(Debug, Clone, Copy)]
-struct AggAcc {
-    count: u64,
-    sum: i128,
-    min: Value,
-    max: Value,
-}
-
-impl AggAcc {
-    fn new() -> Self {
-        Self {
-            count: 0,
-            sum: 0,
-            min: Value::MAX,
-            max: Value::MIN,
-        }
-    }
-
-    fn push(&mut self, v: Value) {
-        self.count += 1;
-        self.sum += v as i128;
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
-    }
-
-    /// COUNT counts rows even with no input column.
-    fn bump(&mut self) {
-        self.count += 1;
-    }
-
-    fn finalize(&self, func: AggFunc) -> Datum {
-        match func {
-            AggFunc::Count => Datum::Int(self.count as i64),
-            AggFunc::Sum if self.count > 0 => Datum::Int(self.sum as i64),
-            AggFunc::Avg if self.count > 0 => Datum::Float(self.sum as f64 / self.count as f64),
-            AggFunc::Min if self.count > 0 => Datum::Int(self.min),
-            AggFunc::Max if self.count > 0 => Datum::Int(self.max),
-            _ => Datum::Null,
-        }
-    }
-}
-
-/// Parse, bind and execute one statement against the catalog.
-pub fn run(catalog: &dyn Catalog, sql: &str) -> SqlResult<QueryOutcome> {
-    let stmt = parse(sql)?;
-    match stmt {
-        Statement::Select(s) => {
-            let bound = bind(catalog, &s)?;
-            Ok(QueryOutcome::Rows(execute(catalog, &bound)?))
-        }
-        Statement::Explain(s) => {
-            let bound = bind(catalog, &s)?;
-            Ok(QueryOutcome::Plan(bound.explain()))
-        }
-    }
-}
-
-/// A joined row: one row id per slot (single-table rows leave slot 1
-/// unused).
-type JoinedRow = [RowId; 2];
-
-/// Execute a bound query.
-pub fn execute(catalog: &dyn Catalog, q: &BoundQuery) -> SqlResult<ResultSet> {
-    let mut stats = QueryStats::default();
-
-    // Resolve slot tables (bind already proved they exist).
-    let tables: Vec<&Table> = q
-        .tables
+/// Resolve every bound slot's table (bind already proved they exist;
+/// a vanished table is a catalog race, reported with a span-less error).
+fn resolve_tables<'a>(catalog: &'a dyn Catalog, q: &BoundQuery) -> SqlResult<Vec<&'a Table>> {
+    q.tables
         .iter()
         .map(|(name, _)| {
             catalog.resolve(name).ok_or_else(|| {
@@ -212,142 +100,46 @@ pub fn execute(catalog: &dyn Catalog, q: &BoundQuery) -> SqlResult<ResultSet> {
                 )
             })
         })
-        .collect::<SqlResult<_>>()?;
+        .collect()
+}
 
-    // Per-slot scan with pushed-down filters.
-    let scan = |slot: usize, stats: &mut QueryStats| -> Vec<RowId> {
-        let table = tables[slot];
-        let filters: Vec<&BoundFilter> = q
-            .filters
-            .iter()
-            .filter(|f| f.column().slot == slot)
-            .collect();
-        let mut out = Vec::new();
-        for r in table.iter_active() {
-            stats.rows_scanned += 1;
-            let pass = filters
-                .iter()
-                .all(|f| f.matches(table.value(f.column().col, r)));
-            if pass {
-                out.push(r);
-            }
+/// Parse, bind and execute one statement against the catalog. EXPLAIN
+/// returns the physical plan tree with its access-path tags resolved
+/// against the live storage tiers.
+pub fn run(catalog: &dyn Catalog, sql: &str) -> SqlResult<QueryOutcome> {
+    let stmt = parse(sql)?;
+    match stmt {
+        Statement::Select(s) => {
+            let bound = bind(catalog, &s)?;
+            Ok(QueryOutcome::Rows(execute(catalog, &bound)?))
         }
-        stats.rows_filtered += out.len();
-        out
-    };
-
-    // Join or single-table row stream.
-    let rows: Vec<JoinedRow> = match &q.join {
-        Some((l, r)) => {
-            let left_rows = scan(0, &mut stats);
-            let right_rows = scan(1, &mut stats);
-            let mut build: HashMap<Value, Vec<RowId>> = HashMap::new();
-            for &lr in &left_rows {
-                build
-                    .entry(tables[0].value(l.col, lr))
-                    .or_default()
-                    .push(lr);
-            }
-            let mut rows = Vec::new();
-            for &rr in &right_rows {
-                if let Some(ls) = build.get(&tables[1].value(r.col, rr)) {
-                    rows.extend(ls.iter().map(|&lr| [lr, rr]));
-                }
-            }
-            stats.join_pairs = rows.len();
-            rows
+        Statement::Explain(s) => {
+            let bound = bind(catalog, &s)?;
+            let tables = resolve_tables(catalog, &bound)?;
+            Ok(QueryOutcome::Plan(bound.lower().explain(Some(&tables))))
         }
-        None => scan(0, &mut stats)
-            .into_iter()
-            .map(|r| [r, RowId(0)])
-            .collect(),
-    };
-
-    let value_of = |c: &BoundColumn, row: &JoinedRow| tables[c.slot].value(c.col, row[c.slot]);
-
-    // Projection or aggregation.
-    let mut out_rows: Vec<Vec<Datum>> = if q.has_aggregates() || q.group_by.is_some() {
-        // Group rows (a single implicit group without GROUP BY).
-        let mut groups: Vec<(Option<Value>, Vec<AggAcc>)> = Vec::new();
-        let mut index: HashMap<Option<Value>, usize> = HashMap::new();
-        if q.group_by.is_none() {
-            index.insert(None, 0);
-            groups.push((None, vec![AggAcc::new(); q.items.len()]));
-        }
-        for row in &rows {
-            let key = q.group_by.as_ref().map(|g| value_of(g, row));
-            let slot = *index.entry(key).or_insert_with(|| {
-                groups.push((key, vec![AggAcc::new(); q.items.len()]));
-                groups.len() - 1
-            });
-            let accs = &mut groups[slot].1;
-            for (i, item) in q.items.iter().enumerate() {
-                match item {
-                    BoundItem::Aggregate { arg: Some(c), .. } => {
-                        accs[i].push(value_of(c, row));
-                    }
-                    BoundItem::Aggregate { arg: None, .. } => accs[i].bump(),
-                    BoundItem::Column(_) => {}
-                }
-            }
-        }
-        stats.groups = groups.len();
-        groups
-            .into_iter()
-            .map(|(key, accs)| {
-                q.items
-                    .iter()
-                    .zip(accs)
-                    .map(|(item, acc)| match item {
-                        BoundItem::Column(_) => {
-                            Datum::Int(key.expect("plain column implies a group key"))
-                        }
-                        BoundItem::Aggregate { func, .. } => acc.finalize(*func),
-                    })
-                    .collect()
-            })
-            .collect()
-    } else {
-        rows.iter()
-            .map(|row| {
-                q.items
-                    .iter()
-                    .map(|item| match item {
-                        BoundItem::Column(c) => Datum::Int(value_of(c, row)),
-                        BoundItem::Aggregate { .. } => unreachable!("checked above"),
-                    })
-                    .collect()
-            })
-            .collect()
-    };
-
-    // Sort + limit.
-    if let Some((idx, order)) = q.order_by {
-        out_rows.sort_by(|a, b| {
-            let ka = a[idx].sort_key();
-            let kb = b[idx].sort_key();
-            let cmp = ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal);
-            match order {
-                SortOrder::Asc => cmp,
-                SortOrder::Desc => cmp.reverse(),
-            }
-        });
     }
-    if let Some(limit) = q.limit {
-        out_rows.truncate(limit as usize);
-    }
+}
 
+/// Execute a bound query: lower to a physical plan, run it on the
+/// engine executor, attach the output schema.
+pub fn execute(catalog: &dyn Catalog, q: &BoundQuery) -> SqlResult<ResultSet> {
+    let tables = resolve_tables(catalog, q)?;
+    let plan = q.lower();
+    let auxes: Vec<Aux<'_>> = (0..tables.len()).map(|_| Aux::default()).collect();
+    let result = Executor::default().execute_plan(&tables, &auxes, &plan);
     Ok(ResultSet {
         columns: q.output_columns(),
-        rows: out_rows,
-        stats,
+        rows: result.rows,
+        stats: result.stats,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use amnesia_columnar::{Database, Schema};
+    use amnesia_columnar::{Database, RowId, Schema};
+    use amnesia_engine::exec::PlanTag;
 
     /// customers(id, region) and orders(customer_id, amount), with one
     /// customer and one order forgotten.
@@ -400,6 +192,17 @@ mod tests {
     }
 
     #[test]
+    fn multi_predicate_conjunction_combines_masks() {
+        let r = rows(
+            &shop(),
+            "SELECT amount FROM orders WHERE amount BETWEEN 10 AND 100 \
+             AND amount > 50 AND customer_id <> 1",
+        );
+        let vals: Vec<i64> = r.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(vals, vec![75], "only (2, 75) passes all three conjuncts");
+    }
+
+    #[test]
     fn aggregates_without_group() {
         let r = rows(
             &shop(),
@@ -413,6 +216,7 @@ mod tests {
         assert_eq!(row[2], Datum::Float(57.5));
         assert_eq!(row[3], Datum::Int(5));
         assert_eq!(row[4], Datum::Int(100));
+        assert_eq!(r.stats.groups, 1, "one implicit group");
     }
 
     #[test]
@@ -475,6 +279,47 @@ mod tests {
     }
 
     #[test]
+    fn order_by_compares_i64_keys_exactly() {
+        // Above 2^53 an f64 sort key cannot tell neighbours apart; the
+        // type-aware comparator must.
+        let mut db = Database::new();
+        let t = db.add_table("t", Schema::single("a"));
+        let base = (1i64 << 53) + 1;
+        for v in [base + 2, base, base + 1, -base, -base - 1] {
+            db.table_mut(t).insert(&[v], 0).unwrap();
+        }
+        let r = rows(&db, "SELECT a FROM t ORDER BY a");
+        let vals: Vec<i64> = r.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(vals, vec![-base - 1, -base, base, base + 1, base + 2]);
+        let r = rows(&db, "SELECT a FROM t ORDER BY a DESC LIMIT 2");
+        let vals: Vec<i64> = r.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(vals, vec![base + 2, base + 1]);
+    }
+
+    #[test]
+    fn sum_overflow_widens_to_float_instead_of_wrapping() {
+        let mut db = Database::new();
+        let t = db.add_table("t", Schema::single("a"));
+        db.table_mut(t).insert(&[i64::MAX], 0).unwrap();
+        db.table_mut(t).insert(&[i64::MAX], 0).unwrap();
+        let r = rows(&db, "SELECT SUM(a) FROM t");
+        match r.rows[0][0] {
+            Datum::Float(v) => {
+                assert!(v > 1.8e19, "widened, not wrapped: {v}");
+            }
+            other => panic!("expected widened float, got {other:?}"),
+        }
+        // Groups widen independently; an in-range group stays integer.
+        let t2 = db.add_table("t2", Schema::new(vec!["g", "a"]));
+        db.table_mut(t2).insert(&[1, i64::MAX], 0).unwrap();
+        db.table_mut(t2).insert(&[1, i64::MAX], 0).unwrap();
+        db.table_mut(t2).insert(&[2, 7], 0).unwrap();
+        let r = rows(&db, "SELECT g, SUM(a) FROM t2 GROUP BY g");
+        assert!(matches!(r.rows[0][1], Datum::Float(_)));
+        assert_eq!(r.rows[1][1], Datum::Int(7));
+    }
+
+    #[test]
     fn explain_returns_plan_text() {
         match run(
             &shop(),
@@ -486,6 +331,27 @@ mod tests {
                 assert!(p.contains("Aggregate"), "{p}");
                 assert!(p.contains("Scan orders"), "{p}");
                 assert!(p.contains("orders.amount > 10"), "{p}");
+                assert!(p.contains("selection masks"), "{p}");
+                assert!(p.contains("plan=full-scan"), "{p}");
+            }
+            QueryOutcome::Rows(_) => panic!("expected plan"),
+        }
+    }
+
+    #[test]
+    fn explain_surfaces_tiered_access_paths() {
+        let mut db = shop();
+        let orders = db.table_id("orders").unwrap();
+        db.table_mut(orders).freeze_upto(1024); // no-op: < 1 block
+        let mut big = Database::new();
+        let t = big.add_table("t", Schema::single("a"));
+        big.table_mut(t)
+            .insert_batch(&(0..2048).collect::<Vec<i64>>(), 0)
+            .unwrap();
+        big.table_mut(t).freeze_upto(2048);
+        match run(&big, "EXPLAIN SELECT COUNT(*) FROM t WHERE a > 10").unwrap() {
+            QueryOutcome::Plan(p) => {
+                assert!(p.contains("plan=tiered-scan"), "{p}");
             }
             QueryOutcome::Rows(_) => panic!("expected plan"),
         }
@@ -510,6 +376,37 @@ mod tests {
         db.table_mut(orders).forget(RowId(0), 2).unwrap();
         let after = rows(&db, "SELECT COUNT(*) FROM orders");
         assert_eq!(after.rows[0][0], Datum::Int(3), "the DBMS has amnesia");
+    }
+
+    #[test]
+    fn frozen_tables_execute_in_compressed_space() {
+        // A multi-predicate GROUP BY over a fully-frozen table must not
+        // decode a single block — the acceptance pin for the physical
+        // plan redesign.
+        let mut db = Database::new();
+        let t = db.add_table("t", Schema::new(vec!["g", "a", "b"]));
+        for i in 0..4096i64 {
+            db.table_mut(t)
+                .insert(&[i % 8, i % 100, i % 17], 0)
+                .unwrap();
+        }
+        for r in (0..4096u64).step_by(7) {
+            db.table_mut(t).forget(RowId(r), 1).unwrap();
+        }
+        let q = "SELECT g, COUNT(*) AS n, SUM(a) AS s FROM t \
+                 WHERE a BETWEEN 10 AND 80 AND b > 3 GROUP BY g ORDER BY s DESC";
+        let hot = rows(&db, q);
+        db.table_mut(t).freeze_upto(4096);
+        assert!(db.table(db.table_id("t").unwrap()).has_frozen());
+        let before = amnesia_columnar::compress::block_decodes();
+        let frozen = rows(&db, q);
+        assert_eq!(
+            amnesia_columnar::compress::block_decodes(),
+            before,
+            "zero block decodes for the frozen grouped query"
+        );
+        assert_eq!(frozen.rows, hot.rows, "freezing never changes answers");
+        assert_eq!(frozen.stats.plan, PlanTag::TieredScan);
     }
 
     #[test]

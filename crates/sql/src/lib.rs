@@ -2,11 +2,42 @@
 //!
 //! The paper frames its workload as a carved-out subspace of
 //! SELECT-PROJECT-JOIN queries (§2.2). This crate gives that subspace a
-//! concrete surface: a hand-written lexer and recursive-descent parser, a
-//! binder with position-tagged errors, and an executor that evaluates
-//! statements against [`amnesia_columnar::Database`] tables — seeing only
+//! concrete surface: a hand-written lexer and recursive-descent parser,
+//! a binder with position-tagged errors, and a thin driver that *lowers*
+//! every statement onto the engine's physical-plan layer — seeing only
 //! *active* tuples, because in an amnesiac store forgotten data "will
 //! never show up in query results" (§1).
+//!
+//! # One execution API
+//!
+//! SQL does not interpret queries; it lowers them:
+//!
+//! ```text
+//! SQL text ─parse─► Select ─bind─► BoundQuery ─lower─► PhysicalPlan
+//!                                                        │ Executor::execute_plan
+//!                                                        ▼
+//!                                            rows + unified ExecStats
+//! ```
+//!
+//! The [`amnesia_engine::PhysicalPlan`] runs the same tier-aware
+//! vectorized operators as the workload driver and the benches: WHERE
+//! conjunctions evaluate as 64-bit selection masks (fused over
+//! compressed blocks, pruned by cached block metadata), joins build and
+//! probe in compressed space, `GROUP BY` runs the vectorized hash
+//! group-by — so a multi-predicate grouped query over a fully-frozen
+//! table completes with zero block decodes. `EXPLAIN` prints that
+//! physical tree with its access-path tags:
+//!
+//! ```text
+//! Limit 3
+//! └─ Sort mean DESC
+//!    └─ GroupBy c.region [vectorized hash, compressed-block fold]
+//!       └─ Project c.region, mean
+//!          └─ HashJoin c.id = o.customer_id [hash build/probe]
+//!             ├─ Scan customers AS c [active-only] plan=full-scan
+//!             └─ Scan orders AS o [active-only] filter: o.amount > 100
+//!                [64-bit selection masks] plan=full-scan
+//! ```
 //!
 //! Supported grammar: `SELECT` projections (columns, `COUNT/SUM/AVG/MIN/
 //! MAX`, aliases, `*`), `FROM` with aliases, one `INNER JOIN … ON` equi-
@@ -43,8 +74,9 @@ pub mod parser;
 pub mod plan;
 pub mod token;
 
+pub use amnesia_engine::ExecStats;
 pub use ast::{Select, Statement};
 pub use error::{Span, SqlError, SqlResult};
-pub use exec::{execute, run, Datum, QueryOutcome, QueryStats, ResultSet};
+pub use exec::{execute, run, Datum, QueryOutcome, ResultSet};
 pub use parser::parse;
 pub use plan::{bind, BoundQuery, Catalog};

@@ -1,13 +1,30 @@
-//! Name resolution and logical planning.
+//! Name resolution, logical planning, and lowering onto the engine's
+//! physical plan.
 //!
 //! The binder resolves a parsed [`Select`] against a [`Catalog`] into a
 //! [`BoundQuery`]: table slots (0 = FROM, 1 = JOIN), column ordinals, and
 //! an output schema. Binding catches every name error with a span before
 //! execution starts, so the executor never sees an unresolved name.
+//!
+//! [`BoundQuery::lower`] then translates the bound query into an
+//! [`amnesia_engine::PhysicalPlan`] — WHERE conjuncts become pushed-down
+//! [`ColPred`]s evaluated as 64-bit selection masks, the join becomes a
+//! tiered hash join, projections and aggregates become plan items — so
+//! SQL executes on exactly the vectorized, compressed, tier-aware
+//! operator layer the engine benches measure:
+//!
+//! ```text
+//! SQL text ─parse─► Select ─bind─► BoundQuery ─lower─► PhysicalPlan
+//!                                                        │ execute_plan
+//!                                                        ▼
+//!                                              rows + unified ExecStats
+//! ```
 
 use crate::ast::{AggFunc, CmpOp, ColumnRef, Select, SelectItem, SortOrder};
 use crate::error::{SqlError, SqlResult};
 use amnesia_columnar::{Database, Table};
+use amnesia_engine::physical::{ColPred, JoinSpec, PhysItem, PhysScan, PhysicalPlan, SortDir};
+use amnesia_workload::query::AggKind;
 
 /// Read-only name resolution surface the planner binds against.
 pub trait Catalog {
@@ -95,6 +112,57 @@ impl BoundFilter {
             }
         }
     }
+
+    /// Lower to a physical pushed-down predicate: every comparison
+    /// becomes an *inclusive* value range (possibly negated for `<>`),
+    /// exact across the whole `i64` domain, carrying the EXPLAIN
+    /// rendering along.
+    pub fn lower(&self) -> ColPred {
+        let display = self.describe();
+        match self {
+            BoundFilter::Compare { col, op, value } => {
+                let (lo, hi, negated) = match op {
+                    CmpOp::Eq => (*value, *value, false),
+                    CmpOp::Neq => (*value, *value, true),
+                    CmpOp::Lt => match value.checked_sub(1) {
+                        Some(hi) => (i64::MIN, hi, false),
+                        None => (0, -1, false), // `< i64::MIN` is empty
+                    },
+                    CmpOp::Le => (i64::MIN, *value, false),
+                    CmpOp::Gt => match value.checked_add(1) {
+                        Some(lo) => (lo, i64::MAX, false),
+                        None => (0, -1, false), // `> i64::MAX` is empty
+                    },
+                    CmpOp::Ge => (*value, i64::MAX, false),
+                };
+                ColPred {
+                    col: col.col,
+                    lo,
+                    hi,
+                    negated,
+                    display,
+                }
+            }
+            BoundFilter::Between { col, lo, hi } => ColPred {
+                col: col.col,
+                lo: *lo,
+                hi: *hi,
+                negated: false,
+                display,
+            },
+        }
+    }
+}
+
+/// Map a SQL aggregate function onto the engine's aggregate kind.
+fn lower_func(func: AggFunc) -> AggKind {
+    match func {
+        AggFunc::Count => AggKind::Count,
+        AggFunc::Sum => AggKind::Sum,
+        AggFunc::Avg => AggKind::Avg,
+        AggFunc::Min => AggKind::Min,
+        AggFunc::Max => AggKind::Max,
+    }
 }
 
 /// A resolved projection item.
@@ -158,73 +226,75 @@ impl BoundQuery {
         self.items.iter().any(BoundItem::is_aggregate)
     }
 
-    /// Render the plan tree for EXPLAIN.
-    pub fn explain(&self) -> String {
-        let mut lines: Vec<String> = Vec::new();
-        if let Some(l) = self.limit {
-            lines.push(format!("Limit {l}"));
-        }
-        if let Some((idx, order)) = &self.order_by {
-            lines.push(format!(
-                "Sort {}{}",
-                self.items[*idx].name(),
-                if *order == SortOrder::Desc {
-                    " DESC"
+    /// Lower the bound query onto the engine's [`PhysicalPlan`]: WHERE
+    /// conjuncts become pushed-down inclusive-range predicates on their
+    /// slot's scan, the join becomes a tiered hash-join spec, items /
+    /// group key / sort / limit translate one-to-one. The physical plan
+    /// is the *only* execution path — `amnesia-sql` no longer owns an
+    /// interpreter.
+    pub fn lower(&self) -> PhysicalPlan {
+        let mut scans: Vec<PhysScan> = self
+            .tables
+            .iter()
+            .map(|(name, binding)| PhysScan {
+                preds: Vec::new(),
+                label: if name == binding {
+                    format!("Scan {name} [active-only]")
                 } else {
-                    ""
-                }
-            ));
+                    format!("Scan {name} AS {binding} [active-only]")
+                },
+            })
+            .collect();
+        for f in &self.filters {
+            scans[f.column().slot].preds.push(f.lower());
         }
-        if let Some(g) = &self.group_by {
-            lines.push(format!("GroupBy {}", g.display));
-        } else if self.has_aggregates() {
-            lines.push("Aggregate".to_string());
+        let join = self.join.as_ref().map(|(l, r)| JoinSpec {
+            left_col: l.col,
+            right_col: r.col,
+            display: format!("{} = {}", l.display, r.display),
+        });
+        let items = self
+            .items
+            .iter()
+            .map(|item| match item {
+                BoundItem::Column(c) => PhysItem::Column {
+                    slot: c.slot,
+                    col: c.col,
+                    display: c.display.clone(),
+                },
+                BoundItem::Aggregate { func, arg, name } => PhysItem::Aggregate {
+                    kind: lower_func(*func),
+                    arg: arg.as_ref().map(|c| (c.slot, c.col)),
+                    display: name.clone(),
+                },
+            })
+            .collect();
+        PhysicalPlan {
+            scans,
+            join,
+            items,
+            group_by: self
+                .group_by
+                .as_ref()
+                .map(|g| (g.slot, g.col, g.display.clone())),
+            order_by: self.order_by.map(|(idx, order)| {
+                (
+                    idx,
+                    match order {
+                        SortOrder::Asc => SortDir::Asc,
+                        SortOrder::Desc => SortDir::Desc,
+                    },
+                )
+            }),
+            limit: self.limit,
         }
-        let proj: Vec<&str> = self.items.iter().map(BoundItem::name).collect();
-        lines.push(format!("Project {}", proj.join(", ")));
+    }
 
-        let scan_line = |slot: usize| -> String {
-            let (name, binding) = &self.tables[slot];
-            let filters: Vec<String> = self
-                .filters
-                .iter()
-                .filter(|f| f.column().slot == slot)
-                .map(BoundFilter::describe)
-                .collect();
-            let mut s = if name == binding {
-                format!("Scan {name} [active-only]")
-            } else {
-                format!("Scan {name} AS {binding} [active-only]")
-            };
-            if !filters.is_empty() {
-                s.push_str(&format!(" filter: {}", filters.join(" AND ")));
-            }
-            s
-        };
-
-        let mut out = String::new();
-        let mut depth = 0usize;
-        for line in &lines {
-            if depth == 0 {
-                out.push_str(line);
-            } else {
-                out.push_str(&format!("\n{}└─ {line}", "   ".repeat(depth - 1)));
-            }
-            depth += 1;
-        }
-        if let Some((l, r)) = &self.join {
-            out.push_str(&format!(
-                "\n{}└─ HashJoin {} = {}",
-                "   ".repeat(depth - 1),
-                l.display,
-                r.display
-            ));
-            out.push_str(&format!("\n{}├─ {}", "   ".repeat(depth), scan_line(0)));
-            out.push_str(&format!("\n{}└─ {}", "   ".repeat(depth), scan_line(1)));
-        } else {
-            out.push_str(&format!("\n{}└─ {}", "   ".repeat(depth - 1), scan_line(0)));
-        }
-        out
+    /// Render the physical plan tree for EXPLAIN (access-path tags are
+    /// resolved against live tables by [`crate::exec::run`], which can
+    /// see the catalog).
+    pub fn explain(&self) -> String {
+        self.lower().explain(None)
     }
 }
 

@@ -22,11 +22,18 @@ fn show(db: &Database, sql: &str) {
     match run(db, sql) {
         Ok(QueryOutcome::Rows(rs)) => {
             println!("{}", rs.render());
+            // The unified ExecStats: the same accounting the engine's
+            // executor and the benches report.
+            let s = &rs.stats;
             println!(
-                "({} rows; scanned {} tuples, {} survived filters)",
+                "({} rows; scanned {} tuples, {} blocks pruned, \
+                 {} join pairs, {} groups; plan {:?})",
                 rs.rows.len(),
-                rs.stats.rows_scanned,
-                rs.stats.rows_filtered
+                s.rows_scanned,
+                s.blocks_pruned,
+                s.join_pairs,
+                s.groups,
+                s.plan
             );
         }
         Ok(QueryOutcome::Plan(plan)) => println!("{plan}"),

@@ -1,10 +1,21 @@
 //! Cross-crate checks: the SQL surface must agree exactly with the
 //! engine kernels on the amnesiac visibility semantics.
+//!
+//! The second half is the physical-plan equivalence suite: every SQL
+//! query shape, executed over a half-frozen (and recompressed) table
+//! through the lowered `PhysicalPlan`, must return exactly what (a) the
+//! same query over a never-frozen flat twin returns and (b) a
+//! row-at-a-time reference interpreter computes — across codecs × block
+//! sizes — and frozen-only queries must finish with **zero** block
+//! decodes.
 
+use amnesia::columnar::compress::{block_decodes, Encoding};
 use amnesia::engine::kernels;
 use amnesia::prelude::*;
-use amnesia::sql::{run, Datum, QueryOutcome};
+use amnesia::sql::plan::{BoundFilter, BoundItem, Catalog as SqlCatalog};
+use amnesia::sql::{bind, parse, run, Datum, QueryOutcome, Statement};
 use proptest::prelude::*;
+use std::collections::HashMap;
 
 /// One-table database plus a model vector of `(value, active)`.
 fn build(values: &[i64], forget: &[usize]) -> (Database, Vec<(i64, bool)>) {
@@ -116,6 +127,357 @@ fn sql_sees_the_simulator_store() {
     }
     let n = sql_scalar(&db, "SELECT COUNT(*) FROM t");
     assert_eq!(n, Datum::Int(200), "SQL sees exactly the active budget");
+}
+
+// ---------------------------------------------------------------------
+// Physical-plan equivalence: tiered == flat == row-at-a-time reference.
+// ---------------------------------------------------------------------
+
+/// A catalog over explicitly-built tables (block sizes and codecs the
+/// `Database` constructor doesn't expose).
+struct TestCatalog {
+    tables: Vec<(String, Table)>,
+}
+
+impl SqlCatalog for TestCatalog {
+    fn resolve(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        self.tables.iter().map(|(n, _)| n.clone()).collect()
+    }
+}
+
+/// Row-at-a-time reference interpreter for a bound query: `iter_active`
+/// with per-row `Table::value` reads and a scalar `HashMap` — exactly
+/// the execution shape the physical plan replaced, kept here as the
+/// behavioral oracle.
+fn reference_execute(catalog: &TestCatalog, sql: &str) -> Vec<Vec<Datum>> {
+    let stmt = parse(sql).unwrap();
+    let select = match stmt {
+        Statement::Select(s) | Statement::Explain(s) => s,
+    };
+    let q = bind(catalog, &select).unwrap();
+    let tables: Vec<&Table> = q
+        .tables
+        .iter()
+        .map(|(n, _)| catalog.resolve(n).unwrap())
+        .collect();
+
+    let scan = |slot: usize| -> Vec<RowId> {
+        let filters: Vec<&BoundFilter> = q
+            .filters
+            .iter()
+            .filter(|f| f.column().slot == slot)
+            .collect();
+        tables[slot]
+            .iter_active()
+            .filter(|&r| {
+                filters
+                    .iter()
+                    .all(|f| f.matches(tables[slot].value(f.column().col, r)))
+            })
+            .collect()
+    };
+
+    // Joined (or single-table) row stream: [left row, right row].
+    let rows: Vec<[RowId; 2]> = match &q.join {
+        Some((l, r)) => {
+            let mut build: HashMap<i64, Vec<RowId>> = HashMap::new();
+            for &lr in &scan(0) {
+                build
+                    .entry(tables[0].value(l.col, lr))
+                    .or_default()
+                    .push(lr);
+            }
+            let mut out = Vec::new();
+            for &rr in &scan(1) {
+                if let Some(ls) = build.get(&tables[1].value(r.col, rr)) {
+                    out.extend(ls.iter().map(|&lr| [lr, rr]));
+                }
+            }
+            out
+        }
+        None => scan(0).into_iter().map(|r| [r, RowId(0)]).collect(),
+    };
+
+    let value_of = |slot: usize, col: usize, row: &[RowId; 2]| tables[slot].value(col, row[slot]);
+
+    let mut out: Vec<Vec<Datum>> = if q.has_aggregates() || q.group_by.is_some() {
+        // (key, per-item (count, sum, min, max)) in first-seen order.
+        type Acc = (u64, i128, i64, i64);
+        let mut groups: Vec<(Option<i64>, Vec<Acc>)> = Vec::new();
+        if q.group_by.is_none() {
+            groups.push((None, vec![(0, 0, i64::MAX, i64::MIN); q.items.len()]));
+        }
+        for row in &rows {
+            let key = q.group_by.as_ref().map(|g| value_of(g.slot, g.col, row));
+            let slot = match groups.iter().position(|(k, _)| *k == key) {
+                Some(s) => s,
+                None => {
+                    groups.push((key, vec![(0, 0, i64::MAX, i64::MIN); q.items.len()]));
+                    groups.len() - 1
+                }
+            };
+            for (i, item) in q.items.iter().enumerate() {
+                let acc = &mut groups[slot].1[i];
+                match item {
+                    BoundItem::Aggregate { arg: Some(c), .. } => {
+                        let v = value_of(c.slot, c.col, row);
+                        acc.0 += 1;
+                        acc.1 += v as i128;
+                        acc.2 = acc.2.min(v);
+                        acc.3 = acc.3.max(v);
+                    }
+                    BoundItem::Aggregate { arg: None, .. } => acc.0 += 1,
+                    BoundItem::Column(_) => {}
+                }
+            }
+        }
+        groups
+            .into_iter()
+            .map(|(key, accs)| {
+                q.items
+                    .iter()
+                    .zip(accs)
+                    .map(|(item, (count, sum, min, max))| match item {
+                        BoundItem::Column(_) => Datum::Int(key.expect("group key")),
+                        BoundItem::Aggregate { func, .. } => {
+                            use amnesia::sql::ast::AggFunc;
+                            if count == 0 {
+                                return match func {
+                                    AggFunc::Count => Datum::Int(0),
+                                    _ => Datum::Null,
+                                };
+                            }
+                            match func {
+                                AggFunc::Count => Datum::Int(count as i64),
+                                AggFunc::Sum => match i64::try_from(sum) {
+                                    Ok(v) => Datum::Int(v),
+                                    Err(_) => Datum::Float(sum as f64),
+                                },
+                                AggFunc::Avg => Datum::Float(sum as f64 / count as f64),
+                                AggFunc::Min => Datum::Int(min),
+                                AggFunc::Max => Datum::Int(max),
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    } else {
+        rows.iter()
+            .map(|row| {
+                q.items
+                    .iter()
+                    .map(|item| match item {
+                        BoundItem::Column(c) => Datum::Int(value_of(c.slot, c.col, row)),
+                        BoundItem::Aggregate { .. } => unreachable!(),
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+
+    if let Some((idx, order)) = q.order_by {
+        out.sort_by(|a, b| {
+            let ord = a[idx].total_cmp(&b[idx]);
+            match order {
+                amnesia::sql::ast::SortOrder::Asc => ord,
+                amnesia::sql::ast::SortOrder::Desc => ord.reverse(),
+            }
+        });
+    }
+    if let Some(limit) = q.limit {
+        out.truncate(limit as usize);
+    }
+    out
+}
+
+fn run_rows(catalog: &TestCatalog, sql: &str) -> Vec<Vec<Datum>> {
+    match run(catalog, sql).unwrap() {
+        QueryOutcome::Rows(rs) => rs.rows,
+        QueryOutcome::Plan(p) => panic!("unexpected plan {p}"),
+    }
+}
+
+/// The query shapes the suite sweeps: projections, conjunctions,
+/// negation, grouped and global aggregates, join, order, limit.
+fn query_shapes(lo: i64, hi: i64, ne: i64) -> Vec<String> {
+    vec![
+        "SELECT g, a, b FROM t".to_string(),
+        format!("SELECT a FROM t WHERE a BETWEEN {lo} AND {hi} AND b > 40 AND g <> {ne}"),
+        format!(
+            "SELECT g, COUNT(*) AS n, SUM(a) AS s, MIN(b) AS lo, MAX(a) AS hi, AVG(a) AS m \
+             FROM t WHERE a >= {lo} AND b <> 13 GROUP BY g ORDER BY g"
+        ),
+        format!("SELECT COUNT(*), SUM(b), AVG(b) FROM t WHERE a BETWEEN {lo} AND {hi}"),
+        format!("SELECT a, b FROM t WHERE g = {ne} ORDER BY a DESC LIMIT 7"),
+        format!(
+            "SELECT t.g, SUM(u.w) AS tw FROM t JOIN u ON t.a = u.k \
+             WHERE u.w BETWEEN 5 AND 90 AND t.b <= 50 GROUP BY t.g ORDER BY tw DESC LIMIT 9"
+        ),
+        "SELECT t.a, u.w FROM t JOIN u ON t.a = u.k WHERE u.w > 50".to_string(),
+    ]
+}
+
+/// Build the tiered table + flat twin pair for one codec/block-size
+/// configuration, with forgets on both sides of the freeze boundary and
+/// an optional recompression pass.
+fn tiered_and_flat(
+    rows: &[(i64, i64, i64)],
+    forget: &[usize],
+    block_rows: usize,
+    encoding: Option<Encoding>,
+    freeze_frac: f64,
+    recompress: bool,
+) -> (Table, Table) {
+    let schema = Schema::new(vec!["g", "a", "b"]);
+    let mut tiered = Table::with_block_rows(schema.clone(), block_rows);
+    let mut flat = Table::new(schema);
+    for &(g, a, b) in rows {
+        tiered.insert(&[g, a, b], 0).unwrap();
+        flat.insert(&[g, a, b], 0).unwrap();
+    }
+    if let Some(enc) = encoding {
+        for c in 0..3 {
+            tiered.pin_encoding(c, Some(enc));
+        }
+    }
+    for &f in forget {
+        let r = RowId((f % rows.len().max(1)) as u64);
+        tiered.forget(r, 1).unwrap();
+        flat.forget(r, 1).unwrap();
+    }
+    tiered.freeze_upto((rows.len() as f64 * freeze_frac) as usize);
+    if recompress {
+        tiered.recompress_frozen(1.0);
+    }
+    (tiered, flat)
+}
+
+/// `u(k, w)` join partner table (kept hot in the flat twin, frozen in
+/// the tiered one).
+fn partner(n: usize, freeze: bool) -> Table {
+    let mut t = Table::new(Schema::new(vec!["k", "w"]));
+    for i in 0..n as i64 {
+        t.insert(&[i % 97, (i * 31) % 100], 0).unwrap();
+    }
+    for r in (0..n as u64).step_by(6) {
+        t.forget(RowId(r), 1).unwrap();
+    }
+    if freeze {
+        t.freeze_upto(n);
+    }
+    t
+}
+
+#[test]
+fn sql_over_tiered_tables_matches_flat_twin_and_reference() {
+    let mut rng = SimRng::new(0x5EED);
+    let rows: Vec<(i64, i64, i64)> = (0..3_000)
+        .map(|i| ((i / 100) % 7, rng.range_i64(0, 120), rng.range_i64(0, 100)))
+        .collect();
+    let forget: Vec<usize> = (0..400).map(|_| rng.range_i64(0, 3_000) as usize).collect();
+    for encoding in [
+        None,
+        Some(Encoding::Rle),
+        Some(Encoding::Dict),
+        Some(Encoding::ForPack),
+        Some(Encoding::Delta),
+    ] {
+        for block_rows in [128usize, 1024] {
+            for recompress in [false, true] {
+                let (tiered, flat) =
+                    tiered_and_flat(&rows, &forget, block_rows, encoding, 0.7, recompress);
+                assert!(tiered.has_frozen(), "suite must cover frozen blocks");
+                let tiered_cat = TestCatalog {
+                    tables: vec![("t".into(), tiered), ("u".into(), partner(1_500, true))],
+                };
+                let flat_cat = TestCatalog {
+                    tables: vec![("t".into(), flat), ("u".into(), partner(1_500, false))],
+                };
+                for q in query_shapes(20, 90, 3) {
+                    let got = run_rows(&tiered_cat, &q);
+                    let flat_rows = run_rows(&flat_cat, &q);
+                    let want = reference_execute(&flat_cat, &q);
+                    let ctx = format!(
+                        "{encoding:?} block_rows={block_rows} recompress={recompress} q={q}"
+                    );
+                    assert_eq!(got, flat_rows, "tiered == flat: {ctx}");
+                    assert_eq!(got, want, "tiered == reference: {ctx}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn frozen_only_queries_decode_zero_blocks() {
+    let mut rng = SimRng::new(7);
+    let rows: Vec<(i64, i64, i64)> = (0..4_096)
+        .map(|i| ((i / 512) % 8, rng.range_i64(0, 200), rng.range_i64(0, 50)))
+        .collect();
+    for encoding in [None, Some(Encoding::Rle), Some(Encoding::Dict)] {
+        let (tiered, flat) =
+            tiered_and_flat(&rows, &[1, 65, 1030, 2049], 1024, encoding, 1.0, false);
+        assert_eq!(tiered.col_tier(0).hot_values().len(), 0, "fully frozen");
+        let cat = TestCatalog {
+            tables: vec![("t".into(), tiered)],
+        };
+        let flat_cat = TestCatalog {
+            tables: vec![("t".into(), flat)],
+        };
+        let queries = [
+            "SELECT g, COUNT(*) AS n, SUM(a) AS s FROM t \
+             WHERE a BETWEEN 20 AND 150 AND b > 5 GROUP BY g ORDER BY s DESC",
+            "SELECT COUNT(*), SUM(a), MIN(a), MAX(b), AVG(b) FROM t WHERE a >= 10 AND b <> 7",
+            "SELECT a FROM t WHERE a BETWEEN 40 AND 45 AND b <= 20",
+        ];
+        for q in queries {
+            let before = block_decodes();
+            let got = run_rows(&cat, q);
+            assert_eq!(
+                block_decodes(),
+                before,
+                "{encoding:?} {q}: frozen SQL must not decode blocks"
+            );
+            assert_eq!(got, run_rows(&flat_cat, q), "{encoding:?} {q}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Randomized freeze/forget/recompress interleavings: SQL answers
+    // over the mutating tiered table always equal the flat twin's and
+    // the row-at-a-time reference's.
+    #[test]
+    fn sql_equivalence_under_random_tiering(
+        seed in 0u64..1_000,
+        n in 300usize..1_200,
+        freeze_frac in 0.0f64..1.0,
+        forget in proptest::collection::vec(0usize..4_096, 0..120),
+        lo in 0i64..60,
+        width in 1i64..80,
+    ) {
+        let recompress = seed % 2 == 0;
+        let mut rng = SimRng::new(seed);
+        let rows: Vec<(i64, i64, i64)> = (0..n)
+            .map(|i| ((i as i64 / 50) % 5, rng.range_i64(0, 120), rng.range_i64(0, 100)))
+            .collect();
+        let (tiered, flat) =
+            tiered_and_flat(&rows, &forget, 128, None, freeze_frac, recompress);
+        let tiered_cat = TestCatalog { tables: vec![("t".into(), tiered), ("u".into(), partner(400, true))] };
+        let flat_cat = TestCatalog { tables: vec![("t".into(), flat), ("u".into(), partner(400, false))] };
+        for q in query_shapes(lo, lo + width, 2) {
+            let got = run_rows(&tiered_cat, &q);
+            prop_assert_eq!(&got, &run_rows(&flat_cat, &q), "tiered == flat: {}", &q);
+            prop_assert_eq!(&got, &reference_execute(&flat_cat, &q), "tiered == reference: {}", &q);
+        }
+    }
 }
 
 proptest! {
