@@ -1,11 +1,15 @@
 //! Durability microbenchmarks: snapshot encode/decode throughput across
-//! data distributions (compression choice dominates) and WAL append /
-//! replay rates.
+//! data distributions (compression choice dominates), WAL append /
+//! replay rates for both the legacy monolithic log and the segmented
+//! CRC-framed log, and end-to-end recovery time for a tiered store.
 
 use std::hint::black_box;
 use std::time::Duration;
 
-use amnesia_columnar::persist::{replay, snapshot, Wal, WalRecord};
+use amnesia_columnar::persist::{
+    recover_segments, replay, snapshot, PersistentTable, SegmentedWal, StdVfs, SyncPolicy, Wal,
+    WalRecord,
+};
 use amnesia_columnar::{RowId, Schema, Table};
 use amnesia_distrib::DistributionKind;
 use amnesia_util::SimRng;
@@ -107,6 +111,97 @@ fn persist(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    // Segmented WAL: append rate through the VFS seam with CRC framing,
+    // rotation, and codec-compressed columnar inserts (no fsync).
+    let mut group = c.benchmark_group("persist/segmented_wal");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("append_insert", |b| {
+        let seg_dir = dir.join("seg-append");
+        let _ = std::fs::remove_dir_all(&seg_dir);
+        let mut wal = SegmentedWal::create(StdVfs::shared(), &seg_dir, 0).unwrap();
+        let rec = WalRecord::Insert {
+            epoch: 3,
+            rows: vec![vec![42, -7]],
+        };
+        b.iter(|| wal.append(black_box(&rec), 3).unwrap())
+    });
+    group.bench_function("append_columnar_64", |b| {
+        let seg_dir = dir.join("seg-append-col");
+        let _ = std::fs::remove_dir_all(&seg_dir);
+        let mut wal = SegmentedWal::create(StdVfs::shared(), &seg_dir, 0).unwrap();
+        let rows: Vec<Vec<i64>> = (0..64).map(|i| vec![i, i * 3]).collect();
+        let rec = WalRecord::Insert { epoch: 3, rows };
+        b.iter(|| wal.append(black_box(&rec), 3).unwrap())
+    });
+    group.finish();
+
+    // Segment recovery: scan + CRC-validate + decode a 10k-record
+    // multi-segment log back into records.
+    let seg_dir = dir.join("seg-replay");
+    let _ = std::fs::remove_dir_all(&seg_dir);
+    let mut wal = SegmentedWal::create(StdVfs::shared(), &seg_dir, 0).unwrap();
+    for i in 0..10_000u64 {
+        let rec = if i % 4 == 3 {
+            WalRecord::Forget {
+                epoch: i,
+                row: RowId(i),
+            }
+        } else {
+            WalRecord::Insert {
+                epoch: i,
+                rows: vec![vec![i as i64]],
+            }
+        };
+        wal.append(&rec, i).unwrap();
+    }
+    wal.sync().unwrap();
+    drop(wal);
+    let mut group = c.benchmark_group("persist/segment_recovery");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("10k_records", |b| {
+        b.iter(|| {
+            let rec = recover_segments(StdVfs::shared(), black_box(&seg_dir), 0).unwrap();
+            assert!(rec.clean);
+            black_box(rec.records.len())
+        })
+    });
+    group.finish();
+
+    // End-to-end recovery time: `PersistentTable::open` over a store
+    // with a snapshot, tier transitions, and a live WAL tail.
+    let pt_dir = dir.join("pt-recover");
+    let _ = std::fs::remove_dir_all(&pt_dir);
+    {
+        let mut pt = PersistentTable::create_with(
+            StdVfs::shared(),
+            &pt_dir,
+            Schema::single("a"),
+            SyncPolicy::PerBatch,
+        )
+        .unwrap();
+        let values: Vec<i64> = (0..20_000).collect();
+        pt.insert_batch(&values, 0).unwrap();
+        for r in 0..4_000u64 {
+            pt.forget(RowId(r), 1).unwrap();
+        }
+        pt.freeze_upto(16_384).unwrap();
+        pt.drop_forgotten_blocks().unwrap();
+        pt.checkpoint().unwrap();
+        let tail: Vec<i64> = (0..2_000).collect();
+        pt.insert_batch(&tail, 2).unwrap();
+        pt.sync().unwrap();
+    }
+    let mut group = c.benchmark_group("persist/recovery");
+    group.throughput(Throughput::Elements(22_000));
+    group.bench_function("open_20k_tiered", |b| {
+        b.iter(|| {
+            let pt = PersistentTable::open(black_box(&pt_dir)).unwrap();
+            black_box(pt.table().num_rows())
+        })
+    });
+    group.finish();
+
     std::fs::remove_dir_all(&dir).ok();
 }
 

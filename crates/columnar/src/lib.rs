@@ -57,7 +57,10 @@ pub use database::{Database, ForeignKey, ReferentialAction};
 pub use imprints::Imprints;
 pub use index::SortedIndex;
 pub use micromodel::{Estimate, MicroModel, ModelStore, ValueRange};
-pub use persist::{PersistentTable, Wal, WalRecord};
+pub use persist::{
+    DurabilityHook, DurableLog, FaultVfs, PersistentTable, SharedVfs, StdVfs, SyncPolicy, Vfs, Wal,
+    WalRecord, WalStats,
+};
 pub use schema::{ColumnDef, Schema};
 pub use segment::SegmentedColumn;
 pub use summary::{SummaryCell, SummaryStore};

@@ -1,19 +1,72 @@
-//! Durability for amnesiac tables: snapshots, write-ahead logging, and
-//! crash recovery.
+//! Crash-consistent durability for amnesiac tables: segmented compressed
+//! WAL, snapshots, tier-transition logging, and physical shredding.
 //!
 //! The paper keeps forgetting reversible only through operator action:
 //! "data is forgotten and will never show up in query results, unless the
 //! user takes the action and recover a backup version of the database
-//! from cold storage explicitly" (§5). This module is that backup path —
-//! a [`snapshot`] is the recoverable "backup version", the [`wal`] keeps
-//! the tail of history since the last snapshot, and [`PersistentTable`]
-//! glues them into an open/insert/forget/checkpoint/recover lifecycle.
+//! from cold storage explicitly" (§5). That contract has two durable
+//! halves. A [`snapshot`] is the recoverable "backup version" and the
+//! [`segment`]ed log keeps the tail of history since the last snapshot —
+//! including the tier transitions, so recovery lands on the *exact*
+//! pre-crash layout. And once a drop is checkpointed, the shredder
+//! destroys the segments that still held the forgotten values' bytes:
+//! amnesia is physical, not just logical.
 //!
-//! Recovery is prefix-consistent: a torn or bit-flipped WAL tail loses
-//! only the unacknowledged suffix, never the checkpointed state.
+//! # Segment lifecycle
+//!
+//! ```text
+//!           append                    rotate (size threshold)
+//!   record ────────▶ active segment ─────────────▶ sealed segment
+//!                        │                              │
+//!                        │ checkpoint                   │ checkpoint:
+//!                        │ (snapshot commit)            │   covered? ──▶ unlink
+//!                        ▼                              │ drop+shred:
+//!                   keeps appending                     │   covered? ──▶ zero,
+//!                   (covered prefix is                  │       fsync, unlink
+//!                    skipped at replay)                 ▼
+//! ```
+//!
+//! # Recovery
+//!
+//! [`PersistentTable::open`] walks this state machine:
+//!
+//! ```text
+//!        ┌────────────────┐  version < 3 + table.wal   ┌───────────────┐
+//!        │ load snapshot   │ ─────────────────────────▶ │ legacy replay │
+//!        │ (+RecoveryMeta) │                            │ + checkpoint  │
+//!        └───────┬────────┘                            │ + unlink .wal │
+//!                │ v3: snapshot covers seqno ≤ S        └───────────────┘
+//!                ▼
+//!        ┌────────────────┐  per segment, index order
+//!        │ scan segments   │──▶ dead header ─▶ unlink (shred/create died)
+//!        │                 │──▶ torn tail ──▶ truncate in place at the
+//!        │                 │                  last valid frame
+//!        │                 │──▶ seqno gap ──▶ stop; unlink the rest
+//!        └───────┬────────┘
+//!                ▼
+//!        ┌────────────────┐
+//!        │ apply records   │  skip seqno ≤ S; inserts/forgets mutate rows,
+//!        │ with seqno > S  │  Freeze/DropBlocks/Recompress replay the
+//!        └────────────────┘  tier transitions parameter-for-parameter
+//! ```
+//!
+//! Recovery is prefix-consistent: a torn or bit-flipped tail loses only
+//! the unacknowledged suffix, never checkpointed state, and a record is
+//! never applied unless every record before it was.
+//!
+//! # Durability policies
+//!
+//! "Acknowledged" means different things under different [`SyncPolicy`]s:
+//! per-record (every append fsyncs before returning), per-batch (a
+//! [`DurabilityHook::commit`] / [`PersistentTable::sync`] fsyncs the
+//! batch), or manual. Crash tests in `tests/persistence.rs` enforce each
+//! policy's contract under scripted fault injection ([`fault::FaultVfs`]).
 
+pub mod fault;
 pub mod reader;
+pub mod segment;
 pub mod snapshot;
+pub mod vfs;
 pub mod wal;
 
 use std::path::{Path, PathBuf};
@@ -24,85 +77,417 @@ use crate::schema::Schema;
 use crate::table::Table;
 use crate::types::{Epoch, RowId, Value};
 
+pub use fault::{Fault, FaultKind, FaultVfs};
+pub use segment::{recover_segments, SegmentedWal, WalStats, DEFAULT_SEGMENT_BYTES};
+pub use snapshot::RecoveryMeta;
+pub use vfs::{SharedVfs, StdVfs, Vfs, VfsFile};
 pub use wal::{replay, ReplayOutcome, Wal, WalRecord};
+
+use snapshot as snap;
 
 /// Snapshot file name inside a table directory.
 pub const SNAPSHOT_FILE: &str = "table.snap";
-/// WAL file name inside a table directory.
-pub const WAL_FILE: &str = "table.wal";
+/// Pre-segment (monolithic) WAL file name; found only in directories
+/// written before the segmented log, and migrated away on first open.
+pub const LEGACY_WAL_FILE: &str = "table.wal";
+
+/// When appended records become durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// fsync inside every logging call: once `insert`/`forget` returns,
+    /// the record survives any crash. The strongest and slowest option.
+    #[default]
+    PerRecord,
+    /// fsync at batch boundaries ([`DurabilityHook::commit`] /
+    /// [`PersistentTable::sync`]): a crash mid-batch may lose the whole
+    /// unsynced batch, never a synced one.
+    PerBatch,
+    /// The caller owns [`PersistentTable::sync`]; nothing is implied.
+    Manual,
+}
+
+/// The seam through which a table owner (the core store, or
+/// [`PersistentTable`] itself) reaches the durability layer.
+///
+/// Logging calls append to the WAL *before* the in-memory mutation is
+/// applied (write-ahead); `checkpoint` and `shred` take the table by
+/// reference because the hook does not own it.
+pub trait DurabilityHook: std::fmt::Debug + Send {
+    /// Log a batch of row inserts.
+    fn log_insert_rows(&mut self, rows: &[Vec<Value>], epoch: Epoch) -> Result<()>;
+    /// Log one forget.
+    fn log_forget(&mut self, row: RowId, epoch: Epoch) -> Result<()>;
+    /// Log a `freeze_upto(upto)` tier transition.
+    fn log_freeze(&mut self, upto: usize) -> Result<()>;
+    /// Log a `drop_forgotten_blocks()` tier transition.
+    fn log_drop_blocks(&mut self) -> Result<()>;
+    /// Log a `recompress_frozen(max_active_fraction)` tier transition.
+    fn log_recompress(&mut self, max_active_fraction: f64) -> Result<()>;
+    /// Report how many blocks the just-applied transitions dropped and
+    /// recompressed (keeps cumulative counters recovery-accurate).
+    fn note_transition_results(&mut self, blocks_dropped: u64, blocks_recompressed: u64);
+    /// Batch boundary: under [`SyncPolicy::PerBatch`] this is the fsync.
+    fn commit(&mut self) -> Result<()>;
+    /// Snapshot `table` and prune covered segments (unlink only).
+    fn checkpoint(&mut self, table: &Table) -> Result<()>;
+    /// Snapshot `table`, then physically destroy (zero + fsync + unlink)
+    /// every covered segment. Call after a drop so forgotten values'
+    /// encoded bytes do not survive in the log.
+    fn shred(&mut self, table: &Table) -> Result<()>;
+    /// Make everything appended so far durable regardless of policy.
+    fn sync(&mut self) -> Result<()>;
+    /// Durability counters.
+    fn stats(&self) -> WalStats;
+}
+
+/// The durability half of a [`PersistentTable`]: segmented WAL, snapshot
+/// bookkeeping, sync policy, and cumulative tier counters. Owns no table
+/// — the core store attaches one of these to its own table via
+/// [`DurabilityHook`].
+#[derive(Debug)]
+pub struct DurableLog {
+    vfs: SharedVfs,
+    dir: PathBuf,
+    wal: SegmentedWal,
+    policy: SyncPolicy,
+    /// Seqno covered by the snapshot on disk.
+    snap_seqno: u64,
+    /// Cumulative tier counters (live; persisted in the snapshot meta).
+    blocks_dropped: u64,
+    blocks_recompressed: u64,
+    last_epoch: u64,
+    records_since_checkpoint: u64,
+}
+
+impl DurableLog {
+    fn append(&mut self, rec: &WalRecord) -> Result<()> {
+        self.wal.append(rec, self.last_epoch)?;
+        self.records_since_checkpoint += 1;
+        if self.policy == SyncPolicy::PerRecord {
+            self.wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current sync policy.
+    pub fn policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
+    /// Change the sync policy (affects subsequent appends).
+    pub fn set_policy(&mut self, policy: SyncPolicy) {
+        self.policy = policy;
+    }
+
+    /// Cumulative frozen blocks dropped (survives checkpoints/restarts).
+    pub fn blocks_dropped(&self) -> u64 {
+        self.blocks_dropped
+    }
+
+    /// Cumulative frozen blocks recompressed.
+    pub fn blocks_recompressed(&self) -> u64 {
+        self.blocks_recompressed
+    }
+
+    /// Records logged since the last checkpoint.
+    pub fn records_since_checkpoint(&self) -> u64 {
+        self.records_since_checkpoint
+    }
+
+    fn meta(&self, through_seqno: u64) -> RecoveryMeta {
+        RecoveryMeta {
+            last_seqno: through_seqno,
+            blocks_dropped: self.blocks_dropped,
+            blocks_recompressed: self.blocks_recompressed,
+        }
+    }
+
+    fn snapshot_path(&self) -> PathBuf {
+        self.dir.join(SNAPSHOT_FILE)
+    }
+}
+
+impl DurabilityHook for DurableLog {
+    fn log_insert_rows(&mut self, rows: &[Vec<Value>], epoch: Epoch) -> Result<()> {
+        self.last_epoch = epoch;
+        self.append(&WalRecord::Insert {
+            epoch,
+            rows: rows.to_vec(),
+        })
+    }
+
+    fn log_forget(&mut self, row: RowId, epoch: Epoch) -> Result<()> {
+        self.last_epoch = epoch;
+        self.append(&WalRecord::Forget { epoch, row })
+    }
+
+    fn log_freeze(&mut self, upto: usize) -> Result<()> {
+        self.append(&WalRecord::Freeze { upto })
+    }
+
+    fn log_drop_blocks(&mut self) -> Result<()> {
+        // The drop must be durable before anything is destroyed: if the
+        // shred's snapshot never commits, replay has to redo the drop.
+        self.append(&WalRecord::DropBlocks)?;
+        if self.policy != SyncPolicy::PerRecord {
+            self.wal.sync()?;
+        }
+        Ok(())
+    }
+
+    fn log_recompress(&mut self, max_active_fraction: f64) -> Result<()> {
+        self.append(&WalRecord::Recompress {
+            max_active_fraction,
+        })
+    }
+
+    fn note_transition_results(&mut self, blocks_dropped: u64, blocks_recompressed: u64) {
+        self.blocks_dropped += blocks_dropped;
+        self.blocks_recompressed += blocks_recompressed;
+    }
+
+    fn commit(&mut self) -> Result<()> {
+        if self.policy == SyncPolicy::PerBatch {
+            self.wal.sync()?;
+        }
+        Ok(())
+    }
+
+    fn checkpoint(&mut self, table: &Table) -> Result<()> {
+        let through = self.wal.next_seqno() - 1;
+        snap::save_with(&*self.vfs, table, self.meta(through), &self.snapshot_path())?;
+        // The rename above is the commit point: from here on, replay
+        // starts at `through + 1` and the covered segments are redundant.
+        self.snap_seqno = through;
+        self.wal.note_checkpoint();
+        self.wal.prune_covered(through)?;
+        self.append(&WalRecord::Checkpoint {
+            through_seqno: through,
+        })?;
+        self.records_since_checkpoint = 0;
+        Ok(())
+    }
+
+    fn shred(&mut self, table: &Table) -> Result<()> {
+        let through = self.wal.next_seqno() - 1;
+        snap::save_with(&*self.vfs, table, self.meta(through), &self.snapshot_path())?;
+        self.snap_seqno = through;
+        self.wal.note_checkpoint();
+        // Everything (including the active segment) is covered: destroy
+        // the bytes, not just the directory entries.
+        self.wal.shred_covered(through)?;
+        self.records_since_checkpoint = 0;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.wal.sync()
+    }
+
+    fn stats(&self) -> WalStats {
+        self.wal.stats()
+    }
+}
+
+/// Apply one replayed record to a table. Returns `(blocks_dropped,
+/// blocks_recompressed)` increments so recovery can keep the cumulative
+/// counters exact.
+fn apply_record(table: &mut Table, rec: &WalRecord) -> Result<(u64, u64)> {
+    match rec {
+        WalRecord::Insert { epoch, rows } => {
+            for row in rows {
+                table.insert(row, *epoch)?;
+            }
+        }
+        WalRecord::Forget { epoch, row } => {
+            table.forget(*row, *epoch)?;
+        }
+        WalRecord::Freeze { upto } => {
+            table.freeze_upto(*upto);
+        }
+        WalRecord::DropBlocks => {
+            let (blocks, _rows) = table.drop_forgotten_blocks();
+            return Ok((blocks as u64, 0));
+        }
+        WalRecord::Recompress {
+            max_active_fraction,
+        } => {
+            let (blocks, _bytes) = table.recompress_frozen(*max_active_fraction);
+            return Ok((0, blocks as u64));
+        }
+        WalRecord::Checkpoint { .. } => {}
+    }
+    Ok((0, 0))
+}
 
 /// A [`Table`] with a durable home directory.
 ///
-/// Writes go to the in-memory table and the WAL; [`checkpoint`]
-/// (snapshot + WAL truncation) bounds replay time. [`PersistentTable::open`]
-/// recovers snapshot + WAL tail after a crash.
+/// Writes go to the segmented WAL first, then the in-memory table;
+/// [`checkpoint`] (snapshot + segment pruning) bounds replay time, and
+/// tier transitions are both logged and — for drops — followed by a
+/// physical shred of the covered segments. [`PersistentTable::open`]
+/// recovers snapshot + segment tail after a crash (see the module docs
+/// for the full state machine).
 ///
 /// [`checkpoint`]: PersistentTable::checkpoint
 #[derive(Debug)]
 pub struct PersistentTable {
     table: Table,
-    wal: Wal,
-    dir: PathBuf,
+    log: DurableLog,
     recovered_clean: bool,
-    records_since_checkpoint: u64,
 }
 
 impl PersistentTable {
-    /// Create a fresh durable table in `dir` (created if missing). An
-    /// initial empty snapshot is written immediately so that `open` on a
+    /// Create a fresh durable table in `dir` (created if missing) with
+    /// the default backend and [`SyncPolicy::PerRecord`]. An initial
+    /// empty snapshot is written immediately so that `open` on a
     /// crashed-before-first-checkpoint directory still finds the schema.
     pub fn create(dir: impl Into<PathBuf>, schema: Schema) -> Result<Self> {
+        Self::create_with(StdVfs::shared(), dir, schema, SyncPolicy::PerRecord)
+    }
+
+    /// [`create`](PersistentTable::create) with an explicit storage
+    /// backend and sync policy.
+    pub fn create_with(
+        vfs: SharedVfs,
+        dir: impl Into<PathBuf>,
+        schema: Schema,
+        policy: SyncPolicy,
+    ) -> Result<Self> {
+        Self::create_with_table(vfs, dir, Table::new(schema), policy)
+    }
+
+    /// [`create`](PersistentTable::create) around a caller-built table —
+    /// e.g. one with a non-default tier block size, or already holding
+    /// rows (the initial snapshot covers them; the log starts empty).
+    pub fn create_with_table(
+        vfs: SharedVfs,
+        dir: impl Into<PathBuf>,
+        table: Table,
+        policy: SyncPolicy,
+    ) -> Result<Self> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
-        let table = Table::new(schema);
-        snapshot::save(&table, &dir.join(SNAPSHOT_FILE))?;
-        // A fresh table starts with an empty log.
-        let wal_path = dir.join(WAL_FILE);
-        let _ = std::fs::remove_file(&wal_path);
-        let wal = Wal::open(&wal_path)?;
+        vfs.create_dir_all(&dir)?;
+        // Clear any stale log files from a previous incarnation.
+        for path in vfs.list_dir(&dir)? {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == LEGACY_WAL_FILE
+                || (name.starts_with(segment::SEGMENT_PREFIX)
+                    && name.ends_with(segment::SEGMENT_SUFFIX))
+            {
+                vfs.remove_file(&path)?;
+            }
+        }
+        snap::save_with(
+            &*vfs,
+            &table,
+            RecoveryMeta::default(),
+            &dir.join(SNAPSHOT_FILE),
+        )?;
+        let wal = SegmentedWal::create(vfs.clone(), &dir, 1)?;
         Ok(Self {
             table,
-            wal,
-            dir,
+            log: DurableLog {
+                vfs,
+                dir,
+                wal,
+                policy,
+                snap_seqno: 0,
+                blocks_dropped: 0,
+                blocks_recompressed: 0,
+                last_epoch: 0,
+                records_since_checkpoint: 0,
+            },
             recovered_clean: true,
-            records_since_checkpoint: 0,
         })
     }
 
-    /// Open an existing durable table: load the snapshot, replay the WAL
-    /// tail. A damaged tail is trimmed (prefix recovery), after which the
-    /// log is reopened at the trimmed length.
+    /// Open an existing durable table with the default backend.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        Self::open_with(StdVfs::shared(), dir)
+    }
+
+    /// Open an existing durable table: load the snapshot, repair and
+    /// replay the segment tail (or migrate a pre-segment directory).
+    pub fn open_with(vfs: SharedVfs, dir: impl Into<PathBuf>) -> Result<Self> {
         let dir = dir.into();
-        let mut table = snapshot::load(&dir.join(SNAPSHOT_FILE))?;
-        let wal_path = dir.join(WAL_FILE);
-        let outcome = replay(&wal_path)?;
-        for rec in &outcome.records {
-            match rec {
-                WalRecord::Insert { epoch, rows } => {
-                    for row in rows {
-                        table.insert(row, *epoch)?;
-                    }
-                }
-                WalRecord::Forget { epoch, row } => {
-                    table.forget(*row, *epoch)?;
-                }
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        let snap_bytes = vfs.read(&snap_path)?;
+        let version = snap::peek_version(&snap_bytes)?;
+        let (mut table, meta) = snap::decode_with_meta(&snap_bytes)?;
+        let legacy_path = dir.join(LEGACY_WAL_FILE);
+
+        if version < 3 && vfs.exists(&legacy_path) {
+            // Pre-segment directory: replay the monolithic log, then
+            // checkpoint into the new layout and drop the old file. A v3
+            // snapshot is the "migrated" marker — its rename commits the
+            // migration, so a crash before the unlink merely re-runs the
+            // (now no-op) cleanup, never re-applies the legacy records.
+            let outcome = replay(&legacy_path)?;
+            let mut dropped = 0;
+            let mut recompressed = 0;
+            for rec in &outcome.records {
+                let (d, r) = apply_record(&mut table, rec)?;
+                dropped += d;
+                recompressed += r;
+            }
+            let wal = SegmentedWal::create(vfs.clone(), &dir, 1)?;
+            let log = DurableLog {
+                vfs,
+                dir,
+                wal,
+                policy: SyncPolicy::PerRecord,
+                snap_seqno: 0,
+                blocks_dropped: meta.blocks_dropped + dropped,
+                blocks_recompressed: meta.blocks_recompressed + recompressed,
+                last_epoch: 0,
+                records_since_checkpoint: 0,
+            };
+            snap::save_with(&*log.vfs, &table, log.meta(0), &log.snapshot_path())?;
+            log.vfs.remove_file(&legacy_path)?;
+            return Ok(Self {
+                table,
+                log,
+                recovered_clean: outcome.clean,
+            });
+        }
+        if vfs.exists(&legacy_path) {
+            // Migration already committed (v3 snapshot) but the cleanup
+            // unlink crashed: finish it now.
+            vfs.remove_file(&legacy_path)?;
+        }
+
+        let recovery = recover_segments(vfs.clone(), &dir, meta.last_seqno)?;
+        let mut dropped = meta.blocks_dropped;
+        let mut recompressed = meta.blocks_recompressed;
+        let mut applied = 0u64;
+        for rec in &recovery.records {
+            let (d, r) = apply_record(&mut table, rec)?;
+            dropped += d;
+            recompressed += r;
+            if !matches!(rec, WalRecord::Checkpoint { .. }) {
+                applied += 1;
             }
         }
-        if !outcome.clean {
-            // Drop the damaged suffix so future appends extend the valid
-            // prefix instead of interleaving with garbage.
-            let bytes = std::fs::read(&wal_path).unwrap_or_default();
-            std::fs::write(&wal_path, &bytes[..outcome.valid_bytes as usize])?;
-        }
-        let records = outcome.records.len() as u64;
-        let wal = Wal::open(&wal_path)?;
         Ok(Self {
             table,
-            wal,
-            dir,
-            recovered_clean: outcome.clean,
-            records_since_checkpoint: records,
+            log: DurableLog {
+                vfs,
+                dir,
+                wal: recovery.wal,
+                policy: SyncPolicy::PerRecord,
+                snap_seqno: meta.last_seqno,
+                blocks_dropped: dropped,
+                blocks_recompressed: recompressed,
+                last_epoch: 0,
+                records_since_checkpoint: applied,
+            },
+            recovered_clean: recovery.clean,
         })
     }
 
@@ -113,7 +498,7 @@ impl PersistentTable {
 
     /// The durable directory.
     pub fn dir(&self) -> &Path {
-        &self.dir
+        self.log.dir()
     }
 
     /// Did the last `open` find an undamaged log?
@@ -123,54 +508,105 @@ impl PersistentTable {
 
     /// WAL records applied since the last checkpoint.
     pub fn records_since_checkpoint(&self) -> u64 {
-        self.records_since_checkpoint
+        self.log.records_since_checkpoint()
+    }
+
+    /// Current sync policy.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.log.policy()
+    }
+
+    /// Change the sync policy for subsequent writes.
+    pub fn set_sync_policy(&mut self, policy: SyncPolicy) {
+        self.log.set_policy(policy);
+    }
+
+    /// Durability counters (appends, rotations, shreds, fsyncs).
+    pub fn stats(&self) -> WalStats {
+        self.log.stats()
+    }
+
+    /// Cumulative frozen blocks dropped across the table's history.
+    pub fn blocks_dropped(&self) -> u64 {
+        self.log.blocks_dropped()
+    }
+
+    /// Cumulative frozen blocks recompressed across the table's history.
+    pub fn blocks_recompressed(&self) -> u64 {
+        self.log.blocks_recompressed()
+    }
+
+    /// Split into the table and its durability hook (the core store
+    /// wires the hook into its own write paths).
+    pub fn into_parts(self) -> (Table, DurableLog) {
+        (self.table, self.log)
     }
 
     /// Insert one row durably (logged, then applied).
     pub fn insert(&mut self, values: &[Value], epoch: Epoch) -> Result<RowId> {
-        self.wal.append(&WalRecord::Insert {
-            epoch,
-            rows: vec![values.to_vec()],
-        })?;
-        self.records_since_checkpoint += 1;
+        self.log.log_insert_rows(&[values.to_vec()], epoch)?;
         self.table.insert(values, epoch)
     }
 
     /// Insert a batch of single-column values durably.
     pub fn insert_batch(&mut self, values: &[Value], epoch: Epoch) -> Result<RowId> {
-        self.wal.append(&WalRecord::Insert {
-            epoch,
-            rows: values.iter().map(|&v| vec![v]).collect(),
-        })?;
-        self.records_since_checkpoint += 1;
+        let rows: Vec<Vec<Value>> = values.iter().map(|&v| vec![v]).collect();
+        self.log.log_insert_rows(&rows, epoch)?;
         self.table.insert_batch(values, epoch)
     }
 
     /// Forget one row durably.
     pub fn forget(&mut self, row: RowId, epoch: Epoch) -> Result<bool> {
-        self.wal.append(&WalRecord::Forget { epoch, row })?;
-        self.records_since_checkpoint += 1;
+        self.log.log_forget(row, epoch)?;
         self.table.forget(row, epoch)
     }
 
-    /// Make everything appended so far durable.
-    pub fn sync(&self) -> Result<()> {
-        self.wal.sync()
+    /// Freeze full blocks at or below `upto` rows, durably. Returns the
+    /// number of blocks frozen.
+    pub fn freeze_upto(&mut self, upto: usize) -> Result<usize> {
+        self.log.log_freeze(upto)?;
+        Ok(self.table.freeze_upto(upto))
     }
 
-    /// Write a snapshot and truncate the WAL. Replay after a crash now
-    /// starts from this state.
+    /// Drop fully-forgotten frozen blocks, durably and *physically*: the
+    /// drop is logged, applied, checkpointed, and the log segments that
+    /// still carried the dropped values are zero-overwritten and
+    /// unlinked. Returns `(blocks dropped, bytes freed)`.
+    pub fn drop_forgotten_blocks(&mut self) -> Result<(usize, usize)> {
+        self.log.log_drop_blocks()?;
+        let (blocks, bytes) = self.table.drop_forgotten_blocks();
+        self.log.note_transition_results(blocks as u64, 0);
+        if blocks > 0 {
+            self.log.shred(&self.table)?;
+        }
+        Ok((blocks, bytes))
+    }
+
+    /// Recompress frozen blocks whose active fraction fell below the
+    /// threshold, durably. Returns `(blocks, bytes saved)`.
+    pub fn recompress_frozen(&mut self, max_active_fraction: f64) -> Result<(usize, usize)> {
+        self.log.log_recompress(max_active_fraction)?;
+        let (blocks, bytes) = self.table.recompress_frozen(max_active_fraction);
+        self.log.note_transition_results(0, blocks as u64);
+        Ok((blocks, bytes))
+    }
+
+    /// Make everything appended so far durable.
+    pub fn sync(&mut self) -> Result<()> {
+        self.log.sync()
+    }
+
+    /// Write a snapshot and prune covered segments. Replay after a crash
+    /// now starts from this state.
     pub fn checkpoint(&mut self) -> Result<()> {
-        snapshot::save(&self.table, &self.dir.join(SNAPSHOT_FILE))?;
-        self.wal.truncate()?;
-        self.records_since_checkpoint = 0;
-        Ok(())
+        self.log.checkpoint(&self.table)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     fn tmp_dir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("amn-persist-{}-{name}", std::process::id()));
@@ -186,6 +622,19 @@ mod tests {
         pt.insert_batch(&(100..150).collect::<Vec<i64>>(), 2)
             .unwrap();
         pt.sync().unwrap();
+    }
+
+    fn segment_files(dir: &Path) -> Vec<PathBuf> {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| {
+                let p = e.unwrap().path();
+                let name = p.file_name()?.to_str()?;
+                (name.starts_with(segment::SEGMENT_PREFIX)
+                    && name.ends_with(segment::SEGMENT_SUFFIX))
+                .then_some(p)
+            })
+            .collect()
     }
 
     #[test]
@@ -214,8 +663,7 @@ mod tests {
         assert!(pt.records_since_checkpoint() > 0);
         pt.checkpoint().unwrap();
         assert_eq!(pt.records_since_checkpoint(), 0);
-        assert_eq!(pt.wal.len_bytes().unwrap(), 0);
-        // Post-checkpoint writes land in the fresh log and recover.
+        // Post-checkpoint writes land in the log and recover.
         pt.insert(&[999], 3).unwrap();
         pt.sync().unwrap();
         drop(pt);
@@ -234,10 +682,12 @@ mod tests {
         pt.forget(RowId(3), 1).unwrap();
         pt.sync().unwrap();
         drop(pt);
-        // Simulate a crash mid-append: chop bytes off the log tail.
-        let wal_path = dir.join(WAL_FILE);
-        let bytes = std::fs::read(&wal_path).unwrap();
-        std::fs::write(&wal_path, &bytes[..bytes.len() - 3]).unwrap();
+        // Simulate a crash mid-append: chop bytes off the newest segment.
+        let seg = segment_files(&dir).pop().unwrap();
+        let len = std::fs::metadata(&seg).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
 
         let reopened = PersistentTable::open(&dir).unwrap();
         assert!(!reopened.recovered_clean());
@@ -276,5 +726,141 @@ mod tests {
     #[test]
     fn open_without_directory_errors() {
         assert!(PersistentTable::open(tmp_dir("missing")).is_err());
+    }
+
+    #[test]
+    fn tier_transitions_replay_to_the_exact_layout() {
+        let dir = tmp_dir("tiers");
+        let mut pt = PersistentTable::create(&dir, Schema::single("a")).unwrap();
+        let values: Vec<i64> = (0..4096).collect();
+        pt.insert_batch(&values, 0).unwrap();
+        pt.freeze_upto(4096).unwrap();
+        for r in 0..1024u64 {
+            pt.forget(RowId(r), 1).unwrap();
+        }
+        for r in (1024..2048u64).step_by(2) {
+            pt.forget(RowId(r), 2).unwrap();
+        }
+        pt.recompress_frozen(0.6).unwrap();
+        pt.sync().unwrap();
+        let live_frozen = pt.table().frozen_blocks();
+        let live_bytes = pt.table().bytes_frozen();
+        let live_recompressed = pt.blocks_recompressed();
+        drop(pt);
+        // No checkpoint happened since the transitions: recovery must
+        // replay Freeze + Recompress records to the identical layout.
+        let rec = PersistentTable::open(&dir).unwrap();
+        assert!(rec.recovered_clean());
+        assert_eq!(rec.table().frozen_blocks(), live_frozen);
+        assert_eq!(rec.table().bytes_frozen(), live_bytes);
+        assert_eq!(rec.blocks_recompressed(), live_recompressed);
+        rec.table().check_invariants().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drop_shreds_the_covered_segments() {
+        let dir = tmp_dir("dropshred");
+        let mut pt = PersistentTable::create(&dir, Schema::single("a")).unwrap();
+        let values: Vec<i64> = (0..2048).collect();
+        pt.insert_batch(&values, 0).unwrap();
+        pt.freeze_upto(2048).unwrap();
+        for r in 0..1024u64 {
+            pt.forget(RowId(r), 1).unwrap();
+        }
+        let (blocks, bytes) = pt.drop_forgotten_blocks().unwrap();
+        assert!(blocks > 0 && bytes > 0);
+        assert!(pt.stats().segments_shredded > 0);
+        assert!(pt.stats().bytes_shredded > 0);
+        assert_eq!(pt.blocks_dropped(), blocks as u64);
+        let live_dropped_rows = pt.table().dropped_rows();
+        // Recovery agrees with the live layout and counters.
+        pt.sync().unwrap();
+        drop(pt);
+        let rec = PersistentTable::open(&dir).unwrap();
+        assert_eq!(rec.blocks_dropped(), blocks as u64);
+        assert_eq!(rec.table().dropped_rows(), live_dropped_rows);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Re-frame current snapshot bytes as version 2 (strip the meta
+    /// prefix) to fabricate a pre-segment directory.
+    fn to_v2_snapshot(bytes: &[u8]) -> Vec<u8> {
+        use amnesia_util::crc32;
+        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+        let body = &bytes[20 + 24..20 + payload_len]; // skip 24-byte meta
+        let mut out = Vec::with_capacity(body.len() + 24);
+        out.extend_from_slice(snapshot::MAGIC);
+        out.extend_from_slice(&2u32.to_le_bytes());
+        out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        out.extend_from_slice(body);
+        out.extend_from_slice(&crc32(body).to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn legacy_monolithic_directory_migrates_on_open() {
+        let dir = tmp_dir("legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Fabricate the old layout: v2 snapshot + monolithic table.wal.
+        let mut base = Table::new(Schema::single("a"));
+        base.insert_batch(&(0..50).collect::<Vec<i64>>(), 0)
+            .unwrap();
+        std::fs::write(
+            dir.join(SNAPSHOT_FILE),
+            to_v2_snapshot(&snap::encode(&base)),
+        )
+        .unwrap();
+        let mut old_wal = Wal::open(dir.join(LEGACY_WAL_FILE)).unwrap();
+        old_wal
+            .append(&WalRecord::Insert {
+                epoch: 1,
+                rows: vec![vec![500], vec![501]],
+            })
+            .unwrap();
+        old_wal
+            .append(&WalRecord::Forget {
+                epoch: 2,
+                row: RowId(3),
+            })
+            .unwrap();
+        old_wal.sync().unwrap();
+        drop(old_wal);
+
+        let pt = PersistentTable::open(&dir).unwrap();
+        assert!(pt.recovered_clean());
+        assert_eq!(pt.table().num_rows(), 52);
+        assert!(!pt.table().activity().is_active(RowId(3)));
+        assert!(
+            !dir.join(LEGACY_WAL_FILE).exists(),
+            "legacy log removed after migration"
+        );
+        // The migrated directory reopens through the segment path.
+        drop(pt);
+        let again = PersistentTable::open(&dir).unwrap();
+        assert!(again.recovered_clean());
+        assert_eq!(again.table().num_rows(), 52);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_policies_gate_fsyncs() {
+        let dir = tmp_dir("policy");
+        let vfs = Arc::new(StdVfs);
+        let mut pt =
+            PersistentTable::create_with(vfs, &dir, Schema::single("a"), SyncPolicy::Manual)
+                .unwrap();
+        pt.insert(&[1], 0).unwrap();
+        pt.insert(&[2], 0).unwrap();
+        assert_eq!(pt.stats().fsyncs, 0, "manual policy never syncs");
+        pt.set_sync_policy(SyncPolicy::PerRecord);
+        pt.insert(&[3], 0).unwrap();
+        assert_eq!(pt.stats().fsyncs, 1, "per-record syncs each append");
+        pt.set_sync_policy(SyncPolicy::PerBatch);
+        pt.insert(&[4], 0).unwrap();
+        assert_eq!(pt.stats().fsyncs, 1, "per-batch defers to commit");
+        pt.log.commit().unwrap();
+        assert_eq!(pt.stats().fsyncs, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

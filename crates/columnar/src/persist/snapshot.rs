@@ -4,9 +4,12 @@
 //!
 //! ```text
 //! magic   "AMNSNAP1"                         8 bytes
-//! u32     version (= 2)
+//! u32     version (= 3)
 //! u64     payload length
 //! payload:
+//!   u64   last WAL seqno this snapshot covers     (v3+)
+//!   u64   cumulative blocks dropped               (v3+)
+//!   u64   cumulative blocks recompressed          (v3+)
 //!   u16   arity
 //!   per column: u16 name length, UTF-8 name bytes
 //!   u64   row count
@@ -26,6 +29,13 @@
 //!   per touched row: varint row id, f64 frequency, varint last access
 //! u32     CRC-32 of the payload
 //! ```
+//!
+//! Version 3 adds the [`RecoveryMeta`] prefix: the WAL sequence number
+//! the snapshot covers (so segmented-log replay knows exactly where to
+//! resume) and the cumulative tier-transition counters (so a recovered
+//! store's metrics snapshot matches the pre-crash one even though the
+//! dropped blocks' history spans many checkpoints). Wrappers keep the
+//! plain `encode`/`decode` signatures working with zero meta.
 //!
 //! Version 2 persists the *tiered* representation verbatim: frozen
 //! blocks ship their compressed payloads, cached [`BlockMeta`] and
@@ -54,7 +64,19 @@ use super::reader::Reader;
 /// File magic.
 pub const MAGIC: &[u8; 8] = b"AMNSNAP1";
 /// Current format version.
-pub const VERSION: u32 = 2;
+pub const VERSION: u32 = 3;
+
+/// Recovery bookkeeping carried at the head of a v3 payload.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryMeta {
+    /// Last WAL sequence number whose effects are inside the snapshot.
+    /// Segment replay resumes at `last_seqno + 1`.
+    pub last_seqno: u64,
+    /// Cumulative frozen blocks dropped over the table's whole history.
+    pub blocks_dropped: u64,
+    /// Cumulative frozen blocks recompressed over the table's history.
+    pub blocks_recompressed: u64,
+}
 
 /// Stable on-disk tag for a block's lifecycle state.
 fn state_tag(state: BlockState) -> u8 {
@@ -75,9 +97,18 @@ fn state_from_tag(tag: u8) -> Option<BlockState> {
     })
 }
 
-/// Serialize `table` into snapshot bytes.
+/// Serialize `table` into snapshot bytes with zero recovery meta (for
+/// callers outside the segmented-log lifecycle).
 pub fn encode(table: &Table) -> Vec<u8> {
+    encode_with_meta(table, RecoveryMeta::default())
+}
+
+/// Serialize `table` into snapshot bytes, embedding `meta`.
+pub fn encode_with_meta(table: &Table, meta: RecoveryMeta) -> Vec<u8> {
     let mut payload = BytesMut::new();
+    payload.put_u64_le(meta.last_seqno);
+    payload.put_u64_le(meta.blocks_dropped);
+    payload.put_u64_le(meta.blocks_recompressed);
 
     // Schema.
     let schema = table.schema();
@@ -163,17 +194,33 @@ pub fn encode(table: &Table) -> Vec<u8> {
     out
 }
 
-/// Reconstruct a table from snapshot bytes.
+/// Reconstruct a table from snapshot bytes, discarding recovery meta.
 pub fn decode(bytes: &[u8]) -> Result<Table> {
+    Ok(decode_with_meta(bytes)?.0)
+}
+
+/// Read the format version out of snapshot bytes without decoding the
+/// payload (used to detect pre-segment directories needing migration).
+pub fn peek_version(bytes: &[u8]) -> Result<u32> {
+    let mut r = Reader::new(bytes);
+    if r.bytes(8)? != MAGIC {
+        return Err(storage_err!("not a snapshot: bad magic"));
+    }
+    r.u32()
+}
+
+/// Reconstruct a table and its recovery meta from snapshot bytes.
+/// Versions 1 and 2 predate the meta and return zeros.
+pub fn decode_with_meta(bytes: &[u8]) -> Result<(Table, RecoveryMeta)> {
     let mut r = Reader::new(bytes);
     let magic = r.bytes(8)?;
     if magic != MAGIC {
         return Err(storage_err!("not a snapshot: bad magic"));
     }
     let version = r.u32()?;
-    if version != VERSION && version != 1 {
+    if !(1..=VERSION).contains(&version) {
         return Err(storage_err!(
-            "unsupported snapshot version {version} (expected 1 or {VERSION})"
+            "unsupported snapshot version {version} (expected 1..={VERSION})"
         ));
     }
     let payload_len = r.u64()? as usize;
@@ -186,10 +233,24 @@ pub fn decode(bytes: &[u8]) -> Result<Table> {
         ));
     }
     if version == 1 {
-        return decode_v1(&payload);
+        return Ok((decode_v1(&payload)?, RecoveryMeta::default()));
     }
+    let mut meta = RecoveryMeta::default();
+    let body = if version >= 3 {
+        let mut m = Reader::new(&payload);
+        meta.last_seqno = m.u64()?;
+        meta.blocks_dropped = m.u64()?;
+        meta.blocks_recompressed = m.u64()?;
+        &payload[m.position()..]
+    } else {
+        &payload[..]
+    };
+    Ok((decode_v2_body(body)?, meta))
+}
 
-    let mut p = Reader::new(&payload);
+/// Decode the column/activity/access body shared by versions 2 and 3.
+fn decode_v2_body(payload: &[u8]) -> Result<Table> {
+    let mut p = Reader::new(payload);
 
     // Schema.
     let arity = p.u16()? as usize;
@@ -469,15 +530,29 @@ fn decode_v1(payload: &[u8]) -> Result<Table> {
 }
 
 /// Write a snapshot atomically: temp file in the same directory, fsync,
-/// rename over the target.
+/// rename over the target. The rename is the commit point — a crash
+/// before it leaves the old snapshot untouched.
 pub fn save(table: &Table, path: &Path) -> Result<()> {
-    let bytes = encode(table);
+    save_with(
+        &crate::persist::vfs::StdVfs,
+        table,
+        RecoveryMeta::default(),
+        path,
+    )
+}
+
+/// [`save`], parameterized over the storage backend and recovery meta.
+pub fn save_with(
+    vfs: &dyn crate::persist::vfs::Vfs,
+    table: &Table,
+    meta: RecoveryMeta,
+    path: &Path,
+) -> Result<()> {
+    let bytes = encode_with_meta(table, meta);
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, &bytes)?;
-    let f = std::fs::File::open(&tmp)?;
-    f.sync_all()?;
-    drop(f);
-    std::fs::rename(&tmp, path)?;
+    vfs.write_file(&tmp, &bytes)?;
+    vfs.sync_file(&tmp)?;
+    vfs.rename(&tmp, path)?;
     Ok(())
 }
 
@@ -485,6 +560,14 @@ pub fn save(table: &Table, path: &Path) -> Result<()> {
 pub fn load(path: &Path) -> Result<Table> {
     let bytes = std::fs::read(path)?;
     decode(&bytes)
+}
+
+/// Load a snapshot and its recovery meta through a [`Vfs`].
+///
+/// [`Vfs`]: crate::persist::vfs::Vfs
+pub fn load_with(vfs: &dyn crate::persist::vfs::Vfs, path: &Path) -> Result<(Table, RecoveryMeta)> {
+    let bytes = vfs.read(path)?;
+    decode_with_meta(&bytes)
 }
 
 #[cfg(test)]
@@ -547,6 +630,24 @@ mod tests {
         let t = sample_table();
         let restored = decode(&encode(&t)).unwrap();
         assert_tables_equal(&t, &restored);
+    }
+
+    #[test]
+    fn recovery_meta_round_trips_and_defaults_to_zero() {
+        let t = sample_table();
+        let meta = RecoveryMeta {
+            last_seqno: 12345,
+            blocks_dropped: 6,
+            blocks_recompressed: 2,
+        };
+        let (restored, back) = decode_with_meta(&encode_with_meta(&t, meta)).unwrap();
+        assert_eq!(back, meta);
+        assert_tables_equal(&t, &restored);
+        // Plain encode carries zero meta; v1 payloads decode to zero too.
+        let (_, zero) = decode_with_meta(&encode(&t)).unwrap();
+        assert_eq!(zero, RecoveryMeta::default());
+        let (_, v1_meta) = decode_with_meta(&encode_v1(&t)).unwrap();
+        assert_eq!(v1_meta, RecoveryMeta::default());
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Virtual file system seam for the durability layer.
+//!
+//! Every byte the persistence machinery puts on (or takes off) disk goes
+//! through a [`Vfs`]: the WAL segments, snapshots, shredding and the
+//! cold-store all speak this narrow interface instead of `std::fs`
+//! directly. Production uses the passthrough [`StdVfs`]; tests swap in
+//! [`FaultVfs`](super::fault::FaultVfs) to script torn writes, I/O errors
+//! and crash points at exact operation boundaries — which is the only
+//! honest way to prove recovery: a crash you cannot place is a crash you
+//! cannot test.
+//!
+//! The trait is deliberately whole-file / append-only shaped (no random
+//! writes): the durability layer never updates bytes in place except to
+//! *destroy* them ([`Vfs::overwrite`], used by the shredder) or to *cut*
+//! a torn tail ([`Vfs::truncate`]). Keeping the interface this small is
+//! what lets the out-of-core cold tier reuse it for spill files later.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use amnesia_util::Result;
+
+/// Shared handle to a VFS implementation.
+pub type SharedVfs = Arc<dyn Vfs>;
+
+/// An open append-only file handle.
+pub trait VfsFile: Send {
+    /// Append bytes at the end of the file.
+    fn append(&mut self, bytes: &[u8]) -> Result<()>;
+
+    /// Flush OS buffers to stable storage (fsync).
+    fn sync(&mut self) -> Result<()>;
+}
+
+/// File operations the durability layer is allowed to perform.
+pub trait Vfs: Send + Sync + std::fmt::Debug {
+    /// Create a directory and its parents.
+    fn create_dir_all(&self, path: &Path) -> Result<()>;
+
+    /// Read a whole file.
+    fn read(&self, path: &Path) -> Result<Vec<u8>>;
+
+    /// Create (truncating) a file with the given contents.
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> Result<()>;
+
+    /// Open (creating if missing) a file for appending.
+    fn open_append(&self, path: &Path) -> Result<Box<dyn VfsFile>>;
+
+    /// fsync an existing file by path (used after rename-based commits).
+    fn sync_file(&self, path: &Path) -> Result<()>;
+
+    /// Atomically rename `from` over `to`.
+    fn rename(&self, from: &Path, to: &Path) -> Result<()>;
+
+    /// Remove a file.
+    fn remove_file(&self, path: &Path) -> Result<()>;
+
+    /// Truncate a file to `len` bytes in place (torn-tail repair).
+    fn truncate(&self, path: &Path, len: u64) -> Result<()>;
+
+    /// Overwrite the first `bytes.len()` bytes of an existing file *in
+    /// place* (the shredder's zero-fill; never extends the file).
+    fn overwrite(&self, path: &Path, bytes: &[u8]) -> Result<()>;
+
+    /// Length of a file in bytes.
+    fn file_len(&self, path: &Path) -> Result<u64>;
+
+    /// Does the path exist?
+    fn exists(&self, path: &Path) -> bool;
+
+    /// List the files in a directory (files only, unsorted).
+    fn list_dir(&self, path: &Path) -> Result<Vec<PathBuf>>;
+}
+
+/// Passthrough [`Vfs`] over `std::fs` — the production backend.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdVfs;
+
+impl StdVfs {
+    /// A shareable handle to the passthrough VFS.
+    pub fn shared() -> SharedVfs {
+        Arc::new(StdVfs)
+    }
+}
+
+/// Append handle over a real [`File`].
+struct StdFile(File);
+
+impl VfsFile for StdFile {
+    fn append(&mut self, bytes: &[u8]) -> Result<()> {
+        self.0.write_all(bytes)?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.0.sync_data()?;
+        Ok(())
+    }
+}
+
+impl Vfs for StdVfs {
+    fn create_dir_all(&self, path: &Path) -> Result<()> {
+        std::fs::create_dir_all(path)?;
+        Ok(())
+    }
+
+    fn read(&self, path: &Path) -> Result<Vec<u8>> {
+        Ok(std::fs::read(path)?)
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> Result<()> {
+        std::fs::write(path, bytes)?;
+        Ok(())
+    }
+
+    fn open_append(&self, path: &Path) -> Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Box::new(StdFile(file)))
+    }
+
+    fn sync_file(&self, path: &Path) -> Result<()> {
+        File::open(path)?.sync_all()?;
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<()> {
+        std::fs::rename(from, to)?;
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> Result<()> {
+        std::fs::remove_file(path)?;
+        Ok(())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> Result<()> {
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)?;
+        f.sync_data()?;
+        Ok(())
+    }
+
+    fn overwrite(&self, path: &Path, bytes: &[u8]) -> Result<()> {
+        let mut f = OpenOptions::new().write(true).open(path)?;
+        f.seek(SeekFrom::Start(0))?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+        Ok(())
+    }
+
+    fn file_len(&self, path: &Path) -> Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn list_dir(&self, path: &Path) -> Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(path)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Read a file, returning `None` when it does not exist (other errors
+/// still propagate) — the common "maybe there is a log here" pattern.
+pub fn read_if_exists(vfs: &dyn Vfs, path: &Path) -> Result<Option<Vec<u8>>> {
+    if !vfs.exists(path) {
+        return Ok(None);
+    }
+    match vfs.read(path) {
+        Ok(bytes) => Ok(Some(bytes)),
+        Err(amnesia_util::Error::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("amn-vfs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn append_read_truncate_round_trip() {
+        let vfs = StdVfs;
+        let path = tmp("a.bin");
+        let _ = std::fs::remove_file(&path);
+        let mut f = vfs.open_append(&path).unwrap();
+        f.append(b"hello ").unwrap();
+        f.append(b"world").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        assert_eq!(vfs.read(&path).unwrap(), b"hello world");
+        assert_eq!(vfs.file_len(&path).unwrap(), 11);
+        vfs.truncate(&path, 5).unwrap();
+        assert_eq!(vfs.read(&path).unwrap(), b"hello");
+        // Reopening for append extends the truncated prefix.
+        let mut f = vfs.open_append(&path).unwrap();
+        f.append(b"!").unwrap();
+        drop(f);
+        assert_eq!(vfs.read(&path).unwrap(), b"hello!");
+    }
+
+    #[test]
+    fn overwrite_destroys_bytes_in_place() {
+        let vfs = StdVfs;
+        let path = tmp("shred.bin");
+        vfs.write_file(&path, b"secret-payload").unwrap();
+        vfs.overwrite(&path, &[0u8; 14]).unwrap();
+        assert_eq!(vfs.read(&path).unwrap(), vec![0u8; 14]);
+        assert_eq!(vfs.file_len(&path).unwrap(), 14, "never extends");
+    }
+
+    #[test]
+    fn rename_and_listing() {
+        let vfs = StdVfs;
+        let a = tmp("ren-a.bin");
+        let b = tmp("ren-b.bin");
+        vfs.write_file(&a, b"x").unwrap();
+        let _ = std::fs::remove_file(&b);
+        vfs.rename(&a, &b).unwrap();
+        assert!(!vfs.exists(&a));
+        assert!(vfs.exists(&b));
+        let dir = b.parent().unwrap();
+        assert!(vfs.list_dir(dir).unwrap().contains(&b));
+    }
+
+    #[test]
+    fn read_if_exists_distinguishes_missing() {
+        let vfs = StdVfs;
+        assert_eq!(read_if_exists(&vfs, &tmp("nope.bin")).unwrap(), None);
+        let p = tmp("yes.bin");
+        vfs.write_file(&p, b"y").unwrap();
+        assert_eq!(read_if_exists(&vfs, &p).unwrap(), Some(b"y".to_vec()));
+    }
+}

@@ -1,6 +1,7 @@
-//! Append-only write-ahead log.
+//! WAL record encoding and the legacy single-file write-ahead log.
 //!
-//! Record framing:
+//! Record framing (legacy `table.wal` and inside
+//! [segments](super::segment) alike):
 //!
 //! ```text
 //! u32  body length
@@ -8,29 +9,59 @@
 //! u32  CRC-32 of the body
 //! ```
 //!
-//! Kinds: 1 = insert batch (`varint epoch, varint rows, varint arity,
-//! signed varint values row-major`), 2 = forget (`varint epoch, varint
-//! row`). Replay walks records until the file ends cleanly or a torn /
-//! corrupt record appears — everything before the damage is recovered,
-//! everything after is discarded (it was never acknowledged durable).
+//! Kinds:
+//!
+//! | kind | record | payload |
+//! |------|--------|---------|
+//! | 1 | insert (row-major) | `varint epoch, varint rows, varint arity, signed varint values` |
+//! | 2 | forget | `varint epoch, varint row` |
+//! | 3 | insert (column-major) | `varint epoch, varint rows, varint arity`, per column: `u8 codec tag, varint data length, codec bytes` |
+//! | 4 | freeze | `varint upto` |
+//! | 5 | drop blocks | — |
+//! | 6 | recompress | `f64 max active fraction` |
+//! | 7 | checkpoint | `varint through-seqno` |
+//!
+//! Kind 3 is the compressed batch path: each column runs through
+//! [`EncodedBlock::encode_auto`], so a WAL full of serial or repetitive
+//! inserts costs about what the frozen tier costs, not eight bytes a
+//! value. Small batches stay row-major (kind 1) — the codec header would
+//! outweigh them. Kinds 4–6 are the tier transitions: they log the
+//! *parameters* of `freeze_upto` / `drop_forgotten_blocks` /
+//! `recompress_frozen`, which are deterministic given table state, so
+//! replay reproduces the exact pre-crash tier layout.
+//!
+//! Replay walks records until the file ends cleanly or a torn / corrupt
+//! record appears — everything before the damage is recovered, everything
+//! after is discarded (it was never acknowledged durable).
 
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use amnesia_util::{crc32, storage_err, Result};
-use bytes::{BufMut, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::compress::varint::{write_signed, write_varint};
+use crate::compress::{EncodedBlock, Encoding};
 use crate::types::{Epoch, RowId, Value};
 
 use super::reader::Reader;
 
 const KIND_INSERT: u8 = 1;
 const KIND_FORGET: u8 = 2;
+const KIND_INSERT_COLS: u8 = 3;
+const KIND_FREEZE: u8 = 4;
+const KIND_DROP_BLOCKS: u8 = 5;
+const KIND_RECOMPRESS: u8 = 6;
+const KIND_CHECKPOINT: u8 = 7;
+
+/// Insert batches at or above this many rows take the column-major
+/// codec-compressed encoding (kind 3); below it, the per-column codec
+/// headers would outweigh the values.
+const COLUMNAR_THRESHOLD: usize = 8;
 
 /// One logical WAL record.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WalRecord {
     /// A batch of inserted rows (row-major values).
     Insert {
@@ -46,22 +77,61 @@ pub enum WalRecord {
         /// Victim.
         row: RowId,
     },
+    /// Tier transition: `Table::freeze_upto(upto)`.
+    Freeze {
+        /// Row bound passed to `freeze_upto`.
+        upto: usize,
+    },
+    /// Tier transition: `Table::drop_forgotten_blocks()`.
+    DropBlocks,
+    /// Tier transition: `Table::recompress_frozen(max_active_fraction)`.
+    Recompress {
+        /// Active-fraction threshold below which blocks recompress.
+        max_active_fraction: f64,
+    },
+    /// Marker: everything at or below `through_seqno` is captured by the
+    /// snapshot on disk. Replay treats it as a no-op; it exists so the
+    /// log itself records where checkpoints happened.
+    Checkpoint {
+        /// Last sequence number the snapshot covers.
+        through_seqno: u64,
+    },
 }
 
 impl WalRecord {
-    fn encode(&self) -> Vec<u8> {
+    /// Encode the record body (kind byte + payload), without framing.
+    pub fn encode_body(&self) -> Vec<u8> {
         let mut body = BytesMut::new();
         match self {
             WalRecord::Insert { epoch, rows } => {
-                body.put_u8(KIND_INSERT);
-                write_varint(&mut body, *epoch);
-                write_varint(&mut body, rows.len() as u64);
                 let arity = rows.first().map_or(0, Vec::len);
-                write_varint(&mut body, arity as u64);
-                for row in rows {
-                    debug_assert_eq!(row.len(), arity, "ragged insert batch");
-                    for &v in row {
-                        write_signed(&mut body, v);
+                if rows.len() >= COLUMNAR_THRESHOLD && arity > 0 {
+                    body.put_u8(KIND_INSERT_COLS);
+                    write_varint(&mut body, *epoch);
+                    write_varint(&mut body, rows.len() as u64);
+                    write_varint(&mut body, arity as u64);
+                    let mut col = Vec::with_capacity(rows.len());
+                    for c in 0..arity {
+                        col.clear();
+                        for row in rows {
+                            debug_assert_eq!(row.len(), arity, "ragged insert batch");
+                            col.push(row[c]);
+                        }
+                        let block = EncodedBlock::encode_auto(&col);
+                        body.put_u8(block.encoding().tag());
+                        write_varint(&mut body, block.data().len() as u64);
+                        body.put_slice(block.data());
+                    }
+                } else {
+                    body.put_u8(KIND_INSERT);
+                    write_varint(&mut body, *epoch);
+                    write_varint(&mut body, rows.len() as u64);
+                    write_varint(&mut body, arity as u64);
+                    for row in rows {
+                        debug_assert_eq!(row.len(), arity, "ragged insert batch");
+                        for &v in row {
+                            write_signed(&mut body, v);
+                        }
                     }
                 }
             }
@@ -70,7 +140,31 @@ impl WalRecord {
                 write_varint(&mut body, *epoch);
                 write_varint(&mut body, row.0);
             }
+            WalRecord::Freeze { upto } => {
+                body.put_u8(KIND_FREEZE);
+                write_varint(&mut body, *upto as u64);
+            }
+            WalRecord::DropBlocks => {
+                body.put_u8(KIND_DROP_BLOCKS);
+            }
+            WalRecord::Recompress {
+                max_active_fraction,
+            } => {
+                body.put_u8(KIND_RECOMPRESS);
+                body.put_f64_le(*max_active_fraction);
+            }
+            WalRecord::Checkpoint { through_seqno } => {
+                body.put_u8(KIND_CHECKPOINT);
+                write_varint(&mut body, *through_seqno);
+            }
         }
+        body.to_vec()
+    }
+
+    /// Frame the record for the legacy single-file log:
+    /// `u32 len | body | u32 crc`.
+    fn encode(&self) -> Vec<u8> {
+        let body = self.encode_body();
         let mut out = Vec::with_capacity(body.len() + 8);
         out.extend_from_slice(&(body.len() as u32).to_le_bytes());
         out.extend_from_slice(&body);
@@ -78,7 +172,8 @@ impl WalRecord {
         out
     }
 
-    fn decode(body: &[u8]) -> Result<WalRecord> {
+    /// Decode a record body (inverse of [`WalRecord::encode_body`]).
+    pub fn decode_body(body: &[u8]) -> Result<WalRecord> {
         let mut r = Reader::new(body);
         let kind = r.u8()?;
         let rec = match kind {
@@ -103,14 +198,63 @@ impl WalRecord {
                 }
                 WalRecord::Insert { epoch, rows }
             }
+            KIND_INSERT_COLS => {
+                let epoch = r.varint()?;
+                let n = r.varint()? as usize;
+                let arity = r.varint()? as usize;
+                if arity == 0 || n == 0 {
+                    return Err(storage_err!("columnar insert record with empty shape"));
+                }
+                if n.saturating_mul(arity) > (1 << 32) {
+                    return Err(storage_err!("insert record claims impossible size"));
+                }
+                let mut rows = vec![Vec::with_capacity(arity); n];
+                for c in 0..arity {
+                    let tag = r.u8()?;
+                    let encoding = Encoding::from_tag(tag)
+                        .ok_or_else(|| storage_err!("unknown codec tag {tag} in WAL insert"))?;
+                    let data_len = r.varint()? as usize;
+                    let data = Bytes::copy_from_slice(r.bytes(data_len)?);
+                    let values = EncodedBlock::from_parts(encoding, n, data).decode();
+                    if values.len() != n {
+                        return Err(storage_err!(
+                            "WAL insert column {c} decoded to {} values, expected {n}",
+                            values.len()
+                        ));
+                    }
+                    for (row, v) in rows.iter_mut().zip(values) {
+                        row.push(v);
+                    }
+                }
+                WalRecord::Insert { epoch, rows }
+            }
             KIND_FORGET => WalRecord::Forget {
                 epoch: r.varint()?,
                 row: RowId(r.varint()?),
+            },
+            KIND_FREEZE => WalRecord::Freeze {
+                upto: r.varint()? as usize,
+            },
+            KIND_DROP_BLOCKS => WalRecord::DropBlocks,
+            KIND_RECOMPRESS => WalRecord::Recompress {
+                max_active_fraction: r.f64()?,
+            },
+            KIND_CHECKPOINT => WalRecord::Checkpoint {
+                through_seqno: r.varint()?,
             },
             other => return Err(storage_err!("unknown WAL record kind {other}")),
         };
         r.expect_end()?;
         Ok(rec)
+    }
+
+    /// Is this a tier-transition record (as opposed to row data or a
+    /// checkpoint marker)?
+    pub fn is_tier_transition(&self) -> bool {
+        matches!(
+            self,
+            WalRecord::Freeze { .. } | WalRecord::DropBlocks | WalRecord::Recompress { .. }
+        )
     }
 }
 
@@ -125,7 +269,11 @@ pub struct ReplayOutcome {
     pub valid_bytes: u64,
 }
 
-/// An open write-ahead log.
+/// The legacy single-file write-ahead log (`table.wal`).
+///
+/// Superseded by [`segment::SegmentedWal`](super::segment::SegmentedWal);
+/// kept so that pre-segment directories can be read and migrated, and as
+/// the baseline in the WAL benchmarks.
 #[derive(Debug)]
 pub struct Wal {
     file: File,
@@ -171,8 +319,9 @@ impl Wal {
     }
 }
 
-/// Replay a log file. Missing file = empty clean log. Corruption (torn
-/// frame, bad CRC, undecodable body) ends replay at the last good record.
+/// Replay a legacy log file. Missing file = empty clean log. Corruption
+/// (torn frame, bad CRC, undecodable body) ends replay at the last good
+/// record.
 pub fn replay(path: &Path) -> Result<ReplayOutcome> {
     let bytes = match std::fs::read(path) {
         Ok(b) => b,
@@ -191,34 +340,41 @@ pub fn replay(path: &Path) -> Result<ReplayOutcome> {
         if pos == bytes.len() {
             break true; // exact boundary
         }
-        if bytes.len() - pos < 4 {
-            break false; // torn length prefix
-        }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-        let body_start = pos + 4;
-        let Some(crc_start) = body_start.checked_add(len) else {
+        let Some((body, next)) = next_frame(&bytes, pos) else {
             break false;
         };
-        if crc_start + 4 > bytes.len() {
-            break false; // torn body or checksum
-        }
-        let body = &bytes[body_start..crc_start];
-        let stored =
-            u32::from_le_bytes(bytes[crc_start..crc_start + 4].try_into().expect("4 bytes"));
-        if crc32(body) != stored {
-            break false; // bit rot or partial overwrite
-        }
-        match WalRecord::decode(body) {
+        match WalRecord::decode_body(body) {
             Ok(rec) => records.push(rec),
             Err(_) => break false,
         }
-        pos = crc_start + 4;
+        pos = next;
     };
     Ok(ReplayOutcome {
         records,
         clean,
         valid_bytes: pos as u64,
     })
+}
+
+/// Parse one `u32 len | body | u32 crc` frame at `pos`. Returns the body
+/// slice and the offset just past the frame, or `None` when the frame is
+/// torn or its CRC does not match.
+pub(super) fn next_frame(bytes: &[u8], pos: usize) -> Option<(&[u8], usize)> {
+    if bytes.len() - pos < 4 {
+        return None; // torn length prefix
+    }
+    let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+    let body_start = pos + 4;
+    let crc_start = body_start.checked_add(len)?;
+    if crc_start.checked_add(4)? > bytes.len() {
+        return None; // torn body or checksum
+    }
+    let body = &bytes[body_start..crc_start];
+    let stored = u32::from_le_bytes(bytes[crc_start..crc_start + 4].try_into().expect("4 bytes"));
+    if crc32(body) != stored {
+        return None; // bit rot or partial overwrite
+    }
+    Some((body, crc_start + 4))
 }
 
 #[cfg(test)]
@@ -245,11 +401,51 @@ mod tests {
                 epoch: 1,
                 rows: vec![vec![-4, 40]],
             },
+            WalRecord::Freeze { upto: 2048 },
+            WalRecord::Recompress {
+                max_active_fraction: 0.5,
+            },
+            WalRecord::DropBlocks,
             WalRecord::Forget {
                 epoch: 2,
                 row: RowId(0),
             },
+            WalRecord::Checkpoint { through_seqno: 7 },
         ]
+    }
+
+    #[test]
+    fn every_kind_round_trips_through_body_encoding() {
+        let mut all = sample_records();
+        // A batch big enough for the column-major path.
+        all.push(WalRecord::Insert {
+            epoch: 9,
+            rows: (0..100).map(|i| vec![i, i * 2, -i]).collect(),
+        });
+        for rec in &all {
+            let body = rec.encode_body();
+            assert_eq!(&WalRecord::decode_body(&body).unwrap(), rec, "{rec:?}");
+        }
+    }
+
+    #[test]
+    fn large_batches_take_the_columnar_compressed_path() {
+        let serial = WalRecord::Insert {
+            epoch: 0,
+            rows: (0..1000i64).map(|i| vec![i]).collect(),
+        };
+        let body = serial.encode_body();
+        assert_eq!(body[0], KIND_INSERT_COLS, "big batch is column-major");
+        // 1000 serial values compress to ~1 byte/value, below the ~2
+        // bytes/value the row-major zigzag varints would need.
+        assert!(body.len() < 1100, "compressed body is {} bytes", body.len());
+        assert_eq!(WalRecord::decode_body(&body).unwrap(), serial);
+        // Small batches stay row-major.
+        let small = WalRecord::Insert {
+            epoch: 0,
+            rows: vec![vec![1], vec![2]],
+        };
+        assert_eq!(small.encode_body()[0], KIND_INSERT);
     }
 
     #[test]
@@ -360,7 +556,7 @@ mod tests {
         write_varint(&mut body, 0); // epoch
         write_varint(&mut body, 1 << 40); // rows
         write_varint(&mut body, 1 << 20); // arity
-        let err = WalRecord::decode(&body).unwrap_err();
+        let err = WalRecord::decode_body(&body).unwrap_err();
         assert!(err.to_string().contains("impossible"), "{err}");
     }
 }

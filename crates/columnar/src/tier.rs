@@ -379,6 +379,11 @@ impl TieredColumn {
         write_varint(&mut buf, self.block_rows as u64);
         f.block = EncodedBlock::from_parts(Encoding::Rle, self.block_rows, buf.freeze());
         f.state = BlockState::Dropped;
+        // Scrub the zone bounds too: they are value-derived (undefined
+        // while `active == 0`), and leaving them would let forgotten
+        // extremes outlive the drop in snapshots.
+        f.meta.min = 0;
+        f.meta.max = 0;
         old.saturating_sub(f.block.compressed_bytes())
     }
 

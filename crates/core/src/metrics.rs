@@ -225,6 +225,62 @@ pub struct MetricsSnapshot {
     pub compression_ratio: f64,
 }
 
+impl MetricsSnapshot {
+    /// Snapshot a bare [`Table`] plus externally-tracked cumulative tier
+    /// counters. This is how crash-recovery tests compare a replayed
+    /// [`PersistentTable`](amnesia_columnar::PersistentTable) against the
+    /// layout an [`AmnesiacStore`](crate::store::AmnesiacStore) reported
+    /// before the crash: same struct, field for field.
+    pub fn from_table(table: &Table, blocks_dropped: u64, blocks_recompressed: u64) -> Self {
+        Self {
+            total_rows: table.num_rows(),
+            active_rows: table.active_rows(),
+            resident_bytes: table.memory_bytes(),
+            bytes_frozen: table.bytes_frozen(),
+            frozen_blocks: table.frozen_blocks(),
+            blocks_dropped,
+            blocks_recompressed,
+            dropped_rows: table.dropped_rows(),
+            compression_ratio: table.compression_ratio(),
+        }
+    }
+}
+
+/// Durability-side counters of a run: what the segmented WAL did while
+/// the store was executing batches. A serializable mirror of
+/// [`WalStats`](amnesia_columnar::WalStats) for reports and bench JSON.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DurabilityCounters {
+    /// WAL records appended.
+    pub records_appended: u64,
+    /// Framed bytes appended across all segments.
+    pub bytes_appended: u64,
+    /// Segment rotations (a new `wal-*.seg` was started).
+    pub segments_rotated: u64,
+    /// Segments physically shredded (zero-overwritten and unlinked).
+    pub segments_shredded: u64,
+    /// Bytes destroyed by shredding.
+    pub bytes_shredded: u64,
+    /// fsync calls issued by the log.
+    pub fsyncs: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+}
+
+impl From<amnesia_columnar::WalStats> for DurabilityCounters {
+    fn from(s: amnesia_columnar::WalStats) -> Self {
+        Self {
+            records_appended: s.records_appended,
+            bytes_appended: s.bytes_appended,
+            segments_rotated: s.segments_rotated,
+            segments_shredded: s.segments_shredded,
+            bytes_shredded: s.bytes_shredded,
+            fsyncs: s.fsyncs,
+            checkpoints: s.checkpoints,
+        }
+    }
+}
+
 /// Storage accounting at the end of a run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StorageReport {

@@ -8,8 +8,11 @@
 //! database from cold storage explicitly" — needs an actual backup
 //! mechanism. This example runs the fixed-budget amnesia loop on a
 //! [`PersistentTable`], checkpoints mid-run, simulates a crash by
-//! tearing bytes off the WAL tail, and shows recovery keeping every
-//! acknowledged batch while dropping only the torn suffix.
+//! tearing bytes off the newest WAL segment, and shows recovery keeping
+//! every acknowledged batch while dropping only the torn suffix. It
+//! then freezes and physically drops fully-forgotten blocks, shredding
+//! the WAL segments that still carried their values — durable amnesia,
+//! not just logical amnesia.
 
 use amnesia::columnar::persist::PersistentTable;
 use amnesia::prelude::*;
@@ -63,11 +66,27 @@ fn main() -> Result<()> {
     let active_before = pt.table().active_rows();
     drop(pt);
 
-    // Crash: tear 5 bytes off the log tail (a half-written record).
-    let wal_path = dir.join("table.wal");
-    let bytes = std::fs::read(&wal_path)?;
-    std::fs::write(&wal_path, &bytes[..bytes.len().saturating_sub(5)])?;
-    println!("\nsimulated crash: tore 5 bytes off {}", wal_path.display());
+    // Crash: tear 5 bytes off the newest WAL segment (a half-written
+    // record). The log is a sequence of `wal-<index>.seg` files; only
+    // the highest-numbered one is being appended to.
+    let newest_seg = {
+        let mut segs: Vec<_> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".seg"))
+            })
+            .collect();
+        segs.sort();
+        segs.pop().expect("a live store always has a WAL segment")
+    };
+    let bytes = std::fs::read(&newest_seg)?;
+    std::fs::write(&newest_seg, &bytes[..bytes.len().saturating_sub(5)])?;
+    println!(
+        "\nsimulated crash: tore 5 bytes off {}",
+        newest_seg.display()
+    );
 
     // Recovery: snapshot + valid WAL prefix.
     let recovered = PersistentTable::open(&dir)?;
@@ -102,6 +121,33 @@ fn main() -> Result<()> {
     println!(
         "final state: {} active rows, checkpointed — ready for the next session",
         recovered.table().active_rows()
+    );
+
+    // Physical amnesia: retire the oldest block outright. Forget every
+    // surviving row in block 0, freeze it, and drop it — the drop
+    // rewrites and shreds the WAL segments that still carried those
+    // values, so the forgotten readings cannot be read back off disk.
+    let block_rows = 1024u64;
+    for r in 0..block_rows {
+        recovered.forget(RowId(r), 7)?;
+    }
+    let frozen = recovered.freeze_upto(block_rows as usize)?;
+    let (dropped, bytes_freed) = recovered.drop_forgotten_blocks()?;
+    let stats = recovered.stats();
+    println!(
+        "physical amnesia: froze {frozen} block(s), dropped {dropped} ({bytes_freed} bytes \
+         freed), shredded {} WAL segment(s) ({} bytes overwritten before unlink)",
+        stats.segments_shredded, stats.bytes_shredded,
+    );
+    assert!(dropped >= 1, "block 0 was fully forgotten and frozen");
+
+    // The shredded store still recovers — to the post-drop layout.
+    let reopened = PersistentTable::open(&dir)?;
+    println!(
+        "reopened after shred: clean={}, {} active rows, {} block(s) dropped on disk too",
+        reopened.recovered_clean(),
+        reopened.table().active_rows(),
+        reopened.blocks_dropped(),
     );
     std::fs::remove_dir_all(&dir).ok();
     Ok(())

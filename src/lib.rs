@@ -52,7 +52,8 @@ pub use amnesia_workload as workload;
 /// Most-used types in one import.
 pub mod prelude {
     pub use amnesia_columnar::{
-        Database, ForeignKey, ReferentialAction, RowId, Schema, Table, Value,
+        Database, ForeignKey, PersistentTable, ReferentialAction, RowId, Schema, SyncPolicy, Table,
+        Value,
     };
     pub use amnesia_core::budget::BudgetMode;
     pub use amnesia_core::config::SimConfig;
