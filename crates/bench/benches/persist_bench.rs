@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use amnesia_columnar::persist::{
     recover_segments, replay, snapshot, PersistentTable, SegmentedWal, StdVfs, SyncPolicy, Wal,
-    WalRecord,
+    WalRecord, DEFAULT_SEGMENT_BYTES,
 };
 use amnesia_columnar::{RowId, Schema, Table};
 use amnesia_distrib::DistributionKind;
@@ -161,7 +161,13 @@ fn persist(c: &mut Criterion) {
     group.throughput(Throughput::Elements(10_000));
     group.bench_function("10k_records", |b| {
         b.iter(|| {
-            let rec = recover_segments(StdVfs::shared(), black_box(&seg_dir), 0).unwrap();
+            let rec = recover_segments(
+                StdVfs::shared(),
+                black_box(&seg_dir),
+                0,
+                DEFAULT_SEGMENT_BYTES,
+            )
+            .unwrap();
             assert!(rec.clean);
             black_box(rec.records.len())
         })

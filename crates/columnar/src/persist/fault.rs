@@ -247,6 +247,13 @@ impl Vfs for FaultVfs {
         }
     }
 
+    fn sync_dir(&self, path: &Path) -> Result<()> {
+        match self.admit(format!("sync_dir {}", path.display()))? {
+            None => self.inner.sync_dir(path),
+            Some(_) => Err(storage_err!("fault-vfs: injected sync_dir failure")),
+        }
+    }
+
     fn rename(&self, from: &Path, to: &Path) -> Result<()> {
         match self.admit(format!("rename {} {}", from.display(), to.display()))? {
             None => self.inner.rename(from, to),

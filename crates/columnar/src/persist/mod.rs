@@ -110,8 +110,13 @@ pub enum SyncPolicy {
 /// [`PersistentTable`] itself) reaches the durability layer.
 ///
 /// Logging calls append to the WAL *before* the in-memory mutation is
-/// applied (write-ahead); `checkpoint` and `shred` take the table by
-/// reference because the hook does not own it.
+/// applied (write-ahead) — so the owner must validate the operation
+/// against the table first (`Table::validate_insert` /
+/// `validate_insert_batch` / `validate_forget`): a record that reaches
+/// the log must always apply, both now and at replay, or a single
+/// rejected call would leave a durable record that bricks every future
+/// recovery. `checkpoint` and `shred` take the table by reference
+/// because the hook does not own it.
 pub trait DurabilityHook: std::fmt::Debug + Send {
     /// Log a batch of row inserts.
     fn log_insert_rows(&mut self, rows: &[Vec<Value>], epoch: Epoch) -> Result<()>;
@@ -462,7 +467,7 @@ impl PersistentTable {
             vfs.remove_file(&legacy_path)?;
         }
 
-        let recovery = recover_segments(vfs.clone(), &dir, meta.last_seqno)?;
+        let recovery = recover_segments(vfs.clone(), &dir, meta.last_seqno, DEFAULT_SEGMENT_BYTES)?;
         let mut dropped = meta.blocks_dropped;
         let mut recompressed = meta.blocks_recompressed;
         let mut applied = 0u64;
@@ -542,14 +547,18 @@ impl PersistentTable {
         (self.table, self.log)
     }
 
-    /// Insert one row durably (logged, then applied).
+    /// Insert one row durably (validated, logged, then applied — a call
+    /// the table would reject never reaches the log, so replay can never
+    /// hit a record that fails to apply).
     pub fn insert(&mut self, values: &[Value], epoch: Epoch) -> Result<RowId> {
+        self.table.validate_insert(values)?;
         self.log.log_insert_rows(&[values.to_vec()], epoch)?;
         self.table.insert(values, epoch)
     }
 
     /// Insert a batch of single-column values durably.
     pub fn insert_batch(&mut self, values: &[Value], epoch: Epoch) -> Result<RowId> {
+        self.table.validate_insert_batch()?;
         let rows: Vec<Vec<Value>> = values.iter().map(|&v| vec![v]).collect();
         self.log.log_insert_rows(&rows, epoch)?;
         self.table.insert_batch(values, epoch)
@@ -557,6 +566,7 @@ impl PersistentTable {
 
     /// Forget one row durably.
     pub fn forget(&mut self, row: RowId, epoch: Epoch) -> Result<bool> {
+        self.table.validate_forget(row)?;
         self.log.log_forget(row, epoch)?;
         self.table.forget(row, epoch)
     }
@@ -726,6 +736,67 @@ mod tests {
     #[test]
     fn open_without_directory_errors() {
         assert!(PersistentTable::open(tmp_dir("missing")).is_err());
+    }
+
+    #[test]
+    fn rejected_calls_leave_no_poison_in_the_log() {
+        // Write-ahead means a record hits the log before the table; a
+        // call the table rejects must therefore be caught *before*
+        // logging, or the durable record would fail to apply at every
+        // replay and brick recovery forever.
+        let dir = tmp_dir("poison");
+        let mut pt = PersistentTable::create(&dir, Schema::single("a")).unwrap();
+        pt.insert(&[1], 0).unwrap();
+        assert!(pt.insert(&[1, 2], 0).is_err(), "arity mismatch rejected");
+        assert!(pt.forget(RowId(99), 0).is_err(), "out-of-range rejected");
+        pt.insert(&[2], 1).unwrap();
+        pt.sync().unwrap();
+        drop(pt);
+        let rec = PersistentTable::open(&dir).expect("rejected calls must not poison recovery");
+        assert!(rec.recovered_clean());
+        assert_eq!(rec.table().num_rows(), 2);
+        assert_eq!(rec.table().active_rows(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_ahead_of_lost_wal_tail_keeps_later_writes_recoverable() {
+        // Manual sync: records are acknowledged into the OS buffer, a
+        // checkpoint durably commits a snapshot covering them, then the
+        // crash loses the unflushed WAL tail. Recovery must not reopen
+        // the stale tail segment for appending — new writes would create
+        // an in-segment seqno gap that the *next* open mistakes for
+        // corruption and discards.
+        let dir = tmp_dir("horizon");
+        let mut pt = PersistentTable::create_with(
+            StdVfs::shared(),
+            &dir,
+            Schema::single("a"),
+            SyncPolicy::Manual,
+        )
+        .unwrap();
+        for i in 0..10 {
+            pt.insert(&[i], 0).unwrap();
+        }
+        pt.checkpoint().unwrap(); // snapshot covers seqnos 1..=10
+        drop(pt);
+        // Simulate the lost tail: every logged record vanishes, only the
+        // segment header (and the durable snapshot) survive.
+        for seg in segment_files(&dir) {
+            let f = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
+            f.set_len(segment::SEGMENT_HEADER_LEN as u64).unwrap();
+        }
+        let mut pt = PersistentTable::open(&dir).unwrap();
+        assert_eq!(pt.table().num_rows(), 10, "snapshot carries the rows");
+        pt.insert(&[99], 1).unwrap();
+        pt.sync().unwrap();
+        drop(pt);
+        // The acknowledged post-crash insert must survive the next open.
+        let rec = PersistentTable::open(&dir).unwrap();
+        assert!(rec.recovered_clean(), "no fake corruption");
+        assert_eq!(rec.table().num_rows(), 11);
+        assert_eq!(rec.table().value(0, RowId(10)), 99);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -86,8 +86,11 @@ pub struct WalStats {
     pub segments_shredded: u64,
     /// Bytes zero-overwritten by the shredder.
     pub bytes_shredded: u64,
-    /// fsync calls issued by the log.
+    /// fsync calls issued by the log against segment *data*.
     pub fsyncs: u64,
+    /// fsync calls issued against the log *directory* (after segment
+    /// creates and prune/shred unlinks, so the entries are durable).
+    pub dir_fsyncs: u64,
     /// Checkpoints taken.
     pub checkpoints: u64,
 }
@@ -255,6 +258,10 @@ impl SegmentedWal {
         let mut file = self.vfs.open_append(&path)?;
         let header = encode_header(self.next_seqno, base_epoch);
         file.append(&header)?;
+        // The new entry must be durable: a data fsync alone does not
+        // guarantee the file is findable after power loss.
+        self.vfs.sync_dir(&self.dir)?;
+        self.stats.dir_fsyncs += 1;
         self.active = Some(ActiveSegment {
             index,
             first_seqno: self.next_seqno,
@@ -309,6 +316,7 @@ impl SegmentedWal {
         // Sealed segment i is fully covered iff its successor's first
         // seqno (sealed i+1, or the active segment) is <= through + 1.
         let mut keep = Vec::with_capacity(self.sealed.len());
+        let mut removed = false;
         for i in 0..self.sealed.len() {
             let next_first = self
                 .sealed
@@ -319,11 +327,19 @@ impl SegmentedWal {
             if next_first <= through_seqno.saturating_add(1) {
                 self.vfs
                     .remove_file(&segment_path(&self.dir, self.sealed[i].index))?;
+                removed = true;
             } else {
                 keep.push(self.sealed[i].clone());
             }
         }
         self.sealed = keep;
+        if removed {
+            // Make the unlinks durable: a pruned segment that reappears
+            // after power loss would replay records the snapshot already
+            // covers at best, and resurrect shredded bytes at worst.
+            self.vfs.sync_dir(&self.dir)?;
+            self.stats.dir_fsyncs += 1;
+        }
         Ok(())
     }
 
@@ -359,6 +375,7 @@ impl SegmentedWal {
             let active = self.active.take().expect("checked above");
             doomed.push(active.index);
         }
+        let shredded = !doomed.is_empty();
         for index in doomed {
             let path = segment_path(&self.dir, index);
             let len = self.vfs.file_len(&path)? as usize;
@@ -366,6 +383,13 @@ impl SegmentedWal {
             self.vfs.remove_file(&path)?;
             self.stats.segments_shredded += 1;
             self.stats.bytes_shredded += len as u64;
+        }
+        if shredded {
+            // The unlinks are part of the destruction: fsync the
+            // directory so no shredded entry can reappear after power
+            // loss.
+            self.vfs.sync_dir(&self.dir)?;
+            self.stats.dir_fsyncs += 1;
         }
         Ok(())
     }
@@ -417,10 +441,19 @@ fn parse_segment(bytes: &[u8], header: SegmentHeader) -> (Vec<WalRecord>, u64) {
 }
 
 /// Recover the segmented log in `dir` on top of a snapshot that covers
-/// everything at or below `snap_seqno`. Performs physical repair as a
-/// side effect (see the module docs for the crash modes) and returns the
-/// reopened log plus the record tail to replay.
-pub fn recover_segments(vfs: SharedVfs, dir: &Path, snap_seqno: u64) -> Result<SegmentRecovery> {
+/// everything at or below `snap_seqno`. The reopened log rotates at
+/// `segment_bytes` (pass [`DEFAULT_SEGMENT_BYTES`] when unconfigured —
+/// a custom [`SegmentedWal::set_segment_bytes`] threshold must be passed
+/// back in or it would silently revert on every open). Performs physical
+/// repair as a side effect (see the module docs for the crash modes) and
+/// returns the reopened log plus the record tail to replay.
+pub fn recover_segments(
+    vfs: SharedVfs,
+    dir: &Path,
+    snap_seqno: u64,
+    segment_bytes: u64,
+) -> Result<SegmentRecovery> {
+    let segment_bytes = segment_bytes.max(SEGMENT_HEADER_LEN as u64 + 1);
     // Collect and order segment files by index.
     let mut found: Vec<(u64, PathBuf)> = vfs
         .list_dir(dir)?
@@ -430,6 +463,7 @@ pub fn recover_segments(vfs: SharedVfs, dir: &Path, snap_seqno: u64) -> Result<S
     found.sort_by_key(|(i, _)| *i);
 
     let mut clean = true;
+    let mut unlinked = false; // any entry removed: fsync the dir before returning
     let mut next_index = 0u64;
     let mut parsed: Vec<ParsedSegment> = Vec::new();
     let mut dead_after = false; // damage seen: unlink everything later
@@ -438,6 +472,7 @@ pub fn recover_segments(vfs: SharedVfs, dir: &Path, snap_seqno: u64) -> Result<S
         if dead_after {
             clean = false;
             vfs.remove_file(&path)?;
+            unlinked = true;
             continue;
         }
         let bytes = vfs.read(&path)?;
@@ -445,6 +480,7 @@ pub fn recover_segments(vfs: SharedVfs, dir: &Path, snap_seqno: u64) -> Result<S
             // Headerless / zeroed file: a shred or create died mid-way.
             clean = false;
             vfs.remove_file(&path)?;
+            unlinked = true;
             continue;
         };
         let (records, valid_bytes) = parse_segment(&bytes, header);
@@ -472,6 +508,7 @@ pub fn recover_segments(vfs: SharedVfs, dir: &Path, snap_seqno: u64) -> Result<S
         if gap {
             clean = false;
             vfs.remove_file(&seg.path)?;
+            unlinked = true;
             continue;
         }
         let lo = seg.first_seqno;
@@ -490,6 +527,7 @@ pub fn recover_segments(vfs: SharedVfs, dir: &Path, snap_seqno: u64) -> Result<S
             gap = true;
             clean = false;
             vfs.remove_file(&seg.path)?;
+            unlinked = true;
             continue;
         }
         let skip = (expected - lo) as usize;
@@ -518,6 +556,7 @@ pub fn recover_segments(vfs: SharedVfs, dir: &Path, snap_seqno: u64) -> Result<S
         };
         if covered {
             vfs.remove_file(&seg.path)?;
+            unlinked = true;
         } else if i < keep_tail {
             sealed.push(SealedSegment {
                 index: seg.index,
@@ -526,11 +565,19 @@ pub fn recover_segments(vfs: SharedVfs, dir: &Path, snap_seqno: u64) -> Result<S
         }
     }
 
-    // Reopen the newest segment for appending if it is still small;
-    // otherwise seal it and let the next append rotate.
+    // Reopen the newest segment for appending if it is still small —
+    // but only when the next seqno (`expected`) extends its record run
+    // contiguously. A snapshot horizon past the segment's last record
+    // (durable snapshot, unflushed WAL tail at crash under
+    // per-batch/manual sync) would otherwise put seqno `expected`
+    // straight after a lower seqno, an in-segment gap the next open
+    // reads as corruption — silently discarding acknowledged records.
+    // Sealing instead makes the next append rotate into a fresh segment
+    // whose header starts at `expected`.
     let mut active = None;
     if let Some(seg) = kept.last() {
-        if seg.valid_bytes.min(seg.file_len) < DEFAULT_SEGMENT_BYTES {
+        let contiguous = seg.first_seqno + seg.records.len() as u64 == expected;
+        if contiguous && seg.valid_bytes < segment_bytes {
             let file = vfs.open_append(&seg.path)?;
             active = Some(ActiveSegment {
                 index: seg.index,
@@ -546,6 +593,10 @@ pub fn recover_segments(vfs: SharedVfs, dir: &Path, snap_seqno: u64) -> Result<S
         }
     }
 
+    if unlinked {
+        vfs.sync_dir(dir)?;
+    }
+
     let last_seqno = expected - 1;
     let wal = SegmentedWal {
         vfs,
@@ -554,7 +605,7 @@ pub fn recover_segments(vfs: SharedVfs, dir: &Path, snap_seqno: u64) -> Result<S
         active,
         next_index,
         next_seqno: expected,
-        segment_bytes: DEFAULT_SEGMENT_BYTES,
+        segment_bytes,
         stats: WalStats::default(),
     };
     Ok(SegmentRecovery {
@@ -596,7 +647,7 @@ mod tests {
         assert!(wal.segment_count() > 1, "tiny threshold must rotate");
         assert!(wal.stats().segments_rotated > 0);
         drop(wal);
-        let rec = recover_segments(StdVfs::shared(), &dir, 0).unwrap();
+        let rec = recover_segments(StdVfs::shared(), &dir, 0, DEFAULT_SEGMENT_BYTES).unwrap();
         assert!(rec.clean);
         assert_eq!(rec.records, records);
         assert_eq!(rec.last_seqno, 40);
@@ -616,7 +667,7 @@ mod tests {
         wal.sync().unwrap();
         drop(wal);
         // Snapshot covers the first 12 records.
-        let rec = recover_segments(StdVfs::shared(), &dir, 12).unwrap();
+        let rec = recover_segments(StdVfs::shared(), &dir, 12, DEFAULT_SEGMENT_BYTES).unwrap();
         assert!(rec.clean);
         assert_eq!(rec.records, records[12..]);
         assert_eq!(rec.last_seqno, 30);
@@ -638,7 +689,7 @@ mod tests {
         let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
         f.set_len(full.len() as u64 - 3).unwrap();
         drop(f);
-        let outcome = recover_segments(StdVfs::shared(), &dir, 0).unwrap();
+        let outcome = recover_segments(StdVfs::shared(), &dir, 0, DEFAULT_SEGMENT_BYTES).unwrap();
         assert!(!outcome.clean);
         assert_eq!(outcome.records, (0..4).map(rec).collect::<Vec<_>>());
         // Repair happened in place: the file now ends at the valid prefix.
@@ -650,7 +701,7 @@ mod tests {
         wal.append(&rec(99), 0).unwrap();
         wal.sync().unwrap();
         drop(wal);
-        let again = recover_segments(StdVfs::shared(), &dir, 0).unwrap();
+        let again = recover_segments(StdVfs::shared(), &dir, 0, DEFAULT_SEGMENT_BYTES).unwrap();
         assert!(again.clean);
         let mut expected: Vec<WalRecord> = (0..4).map(rec).collect();
         expected.push(rec(99));
@@ -672,7 +723,8 @@ mod tests {
         let full = std::fs::read(&path).unwrap();
         for cut in 0..full.len() {
             std::fs::write(&path, &full[..cut]).unwrap();
-            let outcome = recover_segments(StdVfs::shared(), &dir, 0).unwrap();
+            let outcome =
+                recover_segments(StdVfs::shared(), &dir, 0, DEFAULT_SEGMENT_BYTES).unwrap();
             assert_eq!(
                 outcome.records,
                 records[..outcome.records.len()],
@@ -702,10 +754,10 @@ mod tests {
         let victim = segment_path(&dir, 1);
         let len = std::fs::metadata(&victim).unwrap().len() as usize;
         std::fs::write(&victim, vec![0u8; len]).unwrap();
-        let outcome = recover_segments(StdVfs::shared(), &dir, 0).unwrap();
+        let outcome = recover_segments(StdVfs::shared(), &dir, 0, DEFAULT_SEGMENT_BYTES).unwrap();
         assert!(!outcome.clean);
         // Only segment 0's records survive: the gap stops replay.
-        let seg0 = recover_segments(StdVfs::shared(), &dir, 0).unwrap();
+        let seg0 = recover_segments(StdVfs::shared(), &dir, 0, DEFAULT_SEGMENT_BYTES).unwrap();
         assert_eq!(outcome.records, seg0.records, "replay is stable");
         assert!(outcome.records.len() < records.len());
         assert_eq!(outcome.records, records[..outcome.records.len()]);
@@ -734,7 +786,8 @@ mod tests {
         let victim = segment_path(&dir, 0);
         let len = std::fs::metadata(&victim).unwrap().len() as usize;
         std::fs::write(&victim, vec![0u8; len]).unwrap();
-        let outcome = recover_segments(StdVfs::shared(), &dir, covered).unwrap();
+        let outcome =
+            recover_segments(StdVfs::shared(), &dir, covered, DEFAULT_SEGMENT_BYTES).unwrap();
         assert_eq!(outcome.records, records[covered as usize..], "no loss");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -758,7 +811,7 @@ mod tests {
         assert_eq!(wal.segment_count(), 1);
         // The survivors still replay (their covered prefix is skipped).
         drop(wal);
-        let outcome = recover_segments(StdVfs::shared(), &dir, 29).unwrap();
+        let outcome = recover_segments(StdVfs::shared(), &dir, 29, DEFAULT_SEGMENT_BYTES).unwrap();
         assert_eq!(outcome.records, vec![rec(29)]);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -787,9 +840,71 @@ mod tests {
         wal.append(&rec(77), 5).unwrap();
         wal.sync().unwrap();
         drop(wal);
-        let outcome = recover_segments(StdVfs::shared(), &dir, n).unwrap();
+        let outcome = recover_segments(StdVfs::shared(), &dir, n, DEFAULT_SEGMENT_BYTES).unwrap();
         assert!(outcome.clean);
         assert_eq!(outcome.records, vec![rec(77)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_horizon_past_the_tail_seals_instead_of_reopening() {
+        // PerBatch/Manual crash shape: the snapshot (covering through
+        // seqno 8) was durably committed, but the WAL tail after seqno 5
+        // never hit the disk. Reopening the tail segment as the append
+        // target would put seqno 9 right after seqno 5 — an in-segment
+        // gap the *next* recovery reads as corruption, silently
+        // discarding acknowledged records. The tail must be sealed and
+        // appends rotate into a fresh segment starting at 9.
+        let dir = tmp_dir("horizon");
+        let mut wal = SegmentedWal::create(StdVfs::shared(), &dir, 1).unwrap();
+        for i in 0..5 {
+            wal.append(&rec(i), 0).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let outcome = recover_segments(StdVfs::shared(), &dir, 8, DEFAULT_SEGMENT_BYTES).unwrap();
+        assert!(outcome.records.is_empty(), "everything is covered");
+        assert_eq!(outcome.wal.next_seqno(), 9);
+        let mut wal = outcome.wal;
+        wal.append(&rec(42), 0).unwrap();
+        wal.sync().unwrap();
+        assert_eq!(
+            wal.segment_count(),
+            2,
+            "append must rotate into a fresh segment, not extend the stale tail"
+        );
+        drop(wal);
+        let again = recover_segments(StdVfs::shared(), &dir, 8, DEFAULT_SEGMENT_BYTES).unwrap();
+        assert!(again.clean, "the new tail is not corruption");
+        assert_eq!(again.records, vec![rec(42)], "the acked record survives");
+        assert_eq!(again.last_seqno, 9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_honors_a_custom_segment_threshold() {
+        let dir = tmp_dir("threshold");
+        let mut wal = SegmentedWal::create(StdVfs::shared(), &dir, 1).unwrap();
+        wal.set_segment_bytes(96);
+        for i in 0..6 {
+            wal.append(&rec(i), 0).unwrap();
+        }
+        wal.sync().unwrap();
+        let live_segments = wal.segment_count();
+        assert!(live_segments > 1, "96-byte threshold must rotate");
+        drop(wal);
+        // Recovering with the same threshold keeps rotating at it; the
+        // default would have coalesced everything into one segment.
+        let mut wal = recover_segments(StdVfs::shared(), &dir, 0, 96).unwrap().wal;
+        for i in 6..12 {
+            wal.append(&rec(i), 0).unwrap();
+        }
+        wal.sync().unwrap();
+        assert!(
+            wal.segment_count() > live_segments,
+            "custom threshold survives recovery: {} segments",
+            wal.segment_count()
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -530,8 +530,11 @@ fn decode_v1(payload: &[u8]) -> Result<Table> {
 }
 
 /// Write a snapshot atomically: temp file in the same directory, fsync,
-/// rename over the target. The rename is the commit point — a crash
-/// before it leaves the old snapshot untouched.
+/// rename over the target, fsync the directory. The rename is the commit
+/// point — a crash before it leaves the old snapshot untouched — and the
+/// directory fsync pins the commit: without it, power loss could bring
+/// the *old* snapshot back after checkpoint/shred already pruned or
+/// zeroed the segments it needs.
 pub fn save(table: &Table, path: &Path) -> Result<()> {
     save_with(
         &crate::persist::vfs::StdVfs,
@@ -553,6 +556,9 @@ pub fn save_with(
     vfs.write_file(&tmp, &bytes)?;
     vfs.sync_file(&tmp)?;
     vfs.rename(&tmp, path)?;
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        vfs.sync_dir(parent)?;
+    }
     Ok(())
 }
 

@@ -12,8 +12,12 @@
 //! The trait is deliberately whole-file / append-only shaped (no random
 //! writes): the durability layer never updates bytes in place except to
 //! *destroy* them ([`Vfs::overwrite`], used by the shredder) or to *cut*
-//! a torn tail ([`Vfs::truncate`]). Keeping the interface this small is
-//! what lets the out-of-core cold tier reuse it for spill files later.
+//! a torn tail ([`Vfs::truncate`]). Directory *entries* are made durable
+//! explicitly ([`Vfs::sync_dir`]) after every rename-commit, segment
+//! create and segment unlink — file data fsyncs alone do not stop a
+//! pruned or shredded entry from reappearing after power loss. Keeping
+//! the interface this small is what lets the out-of-core cold tier reuse
+//! it for spill files later.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
@@ -50,6 +54,12 @@ pub trait Vfs: Send + Sync + std::fmt::Debug {
 
     /// fsync an existing file by path (used after rename-based commits).
     fn sync_file(&self, path: &Path) -> Result<()>;
+
+    /// fsync a directory, making entry creates, renames and unlinks
+    /// inside it durable. Without this, a rename-committed snapshot or
+    /// an unlinked (pruned/shredded) segment can reappear after power
+    /// loss even though the data inside each file was fsynced.
+    fn sync_dir(&self, path: &Path) -> Result<()>;
 
     /// Atomically rename `from` over `to`.
     fn rename(&self, from: &Path, to: &Path) -> Result<()>;
@@ -121,6 +131,12 @@ impl Vfs for StdVfs {
     }
 
     fn sync_file(&self, path: &Path) -> Result<()> {
+        File::open(path)?.sync_all()?;
+        Ok(())
+    }
+
+    fn sync_dir(&self, path: &Path) -> Result<()> {
+        // On POSIX a directory opens read-only and fsyncs like a file.
         File::open(path)?.sync_all()?;
         Ok(())
     }

@@ -70,9 +70,11 @@ impl Table {
         &self.schema
     }
 
-    /// Insert one row (`values` must match the schema arity). Returns the
-    /// new row id.
-    pub fn insert(&mut self, values: &[Value], epoch: Epoch) -> Result<RowId> {
+    /// Check that one row could be inserted (schema arity match) without
+    /// mutating anything. Write-ahead callers validate with this *before*
+    /// logging, so a rejected call never leaves a durable record whose
+    /// replay would fail.
+    pub fn validate_insert(&self, values: &[Value]) -> Result<()> {
         if values.len() != self.schema.arity() {
             return Err(storage_err!(
                 "row arity {} does not match schema arity {}",
@@ -80,6 +82,34 @@ impl Table {
                 self.schema.arity()
             ));
         }
+        Ok(())
+    }
+
+    /// Check that a single-column batch insert is legal (arity 1) without
+    /// mutating anything — the write-ahead twin of [`Table::insert_batch`].
+    pub fn validate_insert_batch(&self) -> Result<()> {
+        if self.schema.arity() != 1 {
+            return Err(storage_err!(
+                "insert_batch requires a single-column table (arity {})",
+                self.schema.arity()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Check that `row` is forgettable (in range) without mutating
+    /// anything — the write-ahead twin of [`Table::forget`].
+    pub fn validate_forget(&self, row: RowId) -> Result<()> {
+        if row.as_usize() >= self.num_rows() {
+            return Err(storage_err!("row {row} out of range"));
+        }
+        Ok(())
+    }
+
+    /// Insert one row (`values` must match the schema arity). Returns the
+    /// new row id.
+    pub fn insert(&mut self, values: &[Value], epoch: Epoch) -> Result<RowId> {
+        self.validate_insert(values)?;
         let id = RowId::from(self.num_rows());
         for (col, &v) in self.columns.iter_mut().zip(values) {
             col.push(v);
@@ -94,12 +124,7 @@ impl Table {
     /// Insert a batch of single-column values (convenience for the
     /// simulator's one-attribute tables). Returns the id of the first row.
     pub fn insert_batch(&mut self, values: &[Value], epoch: Epoch) -> Result<RowId> {
-        if self.schema.arity() != 1 {
-            return Err(storage_err!(
-                "insert_batch requires a single-column table (arity {})",
-                self.schema.arity()
-            ));
-        }
+        self.validate_insert_batch()?;
         let first = RowId::from(self.num_rows());
         self.columns[0].extend_from_slice(values);
         self.activity.push_active(values.len());
@@ -115,9 +140,7 @@ impl Table {
     /// First-time forgets propagate to the tier layer so frozen-block
     /// metadata (active counts) stays exact.
     pub fn forget(&mut self, row: RowId, epoch: Epoch) -> Result<bool> {
-        if row.as_usize() >= self.num_rows() {
-            return Err(storage_err!("row {row} out of range"));
-        }
+        self.validate_forget(row)?;
         let first = self.activity.forget(row, epoch);
         if first {
             for c in &mut self.columns {

@@ -261,8 +261,12 @@ pub struct DurabilityCounters {
     pub segments_shredded: u64,
     /// Bytes destroyed by shredding.
     pub bytes_shredded: u64,
-    /// fsync calls issued by the log.
+    /// fsync calls issued by the log against segment data.
     pub fsyncs: u64,
+    /// fsync calls issued against the log directory (entry durability
+    /// after segment creates and prune/shred unlinks).
+    #[serde(default)]
+    pub dir_fsyncs: u64,
     /// Checkpoints taken.
     pub checkpoints: u64,
 }
@@ -276,6 +280,7 @@ impl From<amnesia_columnar::WalStats> for DurabilityCounters {
             segments_shredded: s.segments_shredded,
             bytes_shredded: s.bytes_shredded,
             fsyncs: s.fsyncs,
+            dir_fsyncs: s.dir_fsyncs,
             checkpoints: s.checkpoints,
         }
     }

@@ -254,6 +254,10 @@ impl AmnesiacStore {
     /// Insert a batch of values at `epoch`.
     pub fn insert_batch(&mut self, values: &[Value], epoch: Epoch) -> Result<()> {
         if let Some(d) = &mut self.durability {
+            // Validate before logging: a record the table would reject
+            // must never reach the WAL, or replay would fail on it and
+            // brick every future recovery.
+            self.table.validate_insert_batch()?;
             let rows: Vec<Vec<Value>> = values.iter().map(|&v| vec![v]).collect();
             d.log_insert_rows(&rows, epoch)?;
         }
@@ -283,6 +287,7 @@ impl AmnesiacStore {
     /// Forget one tuple at `epoch`, applying the mode's physical action.
     pub fn forget(&mut self, row: RowId, epoch: Epoch) -> Result<()> {
         if let Some(d) = &mut self.durability {
+            self.table.validate_forget(row)?;
             d.log_forget(row, epoch)?;
         }
         match self.mode {

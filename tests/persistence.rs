@@ -297,7 +297,7 @@ proptest! {
         let bytes = std::fs::read(last).unwrap();
         let keep = (bytes.len() as f64 * cut_frac) as usize;
         std::fs::write(last, &bytes[..keep]).unwrap();
-        let rec = recover_segments(vfs, &dir, 0).unwrap();
+        let rec = recover_segments(vfs, &dir, 0, seg_bytes).unwrap();
         prop_assert!(rec.records.len() <= records.len());
         prop_assert_eq!(&records[..rec.records.len()], &rec.records[..]);
         std::fs::remove_dir_all(&dir).ok();
