@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Compare two criterion-shim JSON-lines bench artifacts.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json
+
+Each file is the JSON-lines stream the in-tree criterion shim emits when
+``AMNESIA_BENCH_JSON`` is set: one object per completed bench, with at
+least ``name`` and ``median_ns_per_iter``. If a name repeats (a bench
+re-run within one process), the last record wins.
+
+Prints a per-bench delta table to stdout, appends the same markdown to
+``$GITHUB_STEP_SUMMARY`` when that variable is set, and exits non-zero
+if any *gated* bench regressed by more than the threshold (25 % on the
+median by default, ``AMNESIA_BENCH_REGRESSION_PCT`` to tune).
+
+A missing or empty baseline is not an error: the run establishes the
+baseline and exits 0.
+"""
+
+import json
+import os
+import sys
+
+# Benches whose medians gate the job. Everything else is report-only:
+# small legs are noisy on shared runners, and parallel legs depend on
+# runner core counts.
+GATED = (
+    "sql/grouped_agg/hot",
+    "sql/grouped_agg/frozen",
+    "sql/global_agg/frozen",
+)
+
+DEFAULT_THRESHOLD_PCT = 25.0
+
+
+def load(path):
+    """Parse a JSON-lines bench artifact into {name: median_ns}."""
+    out = {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                name = rec.get("name")
+                median = rec.get("median_ns_per_iter")
+                if isinstance(name, str) and isinstance(median, (int, float)):
+                    out[name] = float(median)
+    except OSError:
+        return None
+    return out
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.3f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.3f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.3f} us"
+    return f"{ns:.0f} ns"
+
+
+def emit(markdown):
+    print(markdown)
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a", encoding="utf-8") as fh:
+            fh.write(markdown + "\n")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(f"usage: {argv[0]} BASELINE.json CURRENT.json", file=sys.stderr)
+        return 2
+
+    baseline_path, current_path = argv[1], argv[2]
+    current = load(current_path)
+    if not current:
+        print(f"error: no bench records in {current_path}", file=sys.stderr)
+        return 2
+
+    baseline = load(baseline_path)
+    if not baseline:
+        emit(
+            "## Bench deltas\n\n"
+            f"No baseline artifact at `{baseline_path}` — "
+            f"establishing baseline from {len(current)} benches."
+        )
+        return 0
+
+    threshold = float(
+        os.environ.get("AMNESIA_BENCH_REGRESSION_PCT", DEFAULT_THRESHOLD_PCT)
+    )
+
+    lines = [
+        "## Bench deltas\n",
+        f"Gate: >{threshold:.0f}% median regression on gated benches fails the job.\n",
+        "| bench | baseline | current | delta | gated |",
+        "|---|---:|---:|---:|:---:|",
+    ]
+    failures = []
+    for name in sorted(current):
+        cur = current[name]
+        base = baseline.get(name)
+        gated = name in GATED
+        if base is None or base <= 0.0:
+            delta = "new"
+        else:
+            pct = (cur - base) / base * 100.0
+            delta = f"{pct:+.1f}%"
+            if gated and pct > threshold:
+                failures.append((name, base, cur, pct))
+        lines.append(
+            f"| {name} | {fmt_ns(base) if base else '—'} | {fmt_ns(cur)} "
+            f"| {delta} | {'yes' if gated else ''} |"
+        )
+    for name in sorted(baseline):
+        if name not in current:
+            lines.append(f"| {name} | {fmt_ns(baseline[name])} | — | removed | |")
+
+    if failures:
+        lines.append("")
+        for name, base, cur, pct in failures:
+            lines.append(
+                f"**REGRESSION** `{name}`: {fmt_ns(base)} -> {fmt_ns(cur)} "
+                f"({pct:+.1f}% > +{threshold:.0f}%)"
+            )
+    emit("\n".join(lines))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -20,7 +20,8 @@ use std::time::{Duration, Instant};
 
 use amnesia_columnar::compress::block_decodes;
 use amnesia_columnar::{Schema, Table, Value};
-use amnesia_sql::{run, Catalog, Datum, QueryOutcome};
+use amnesia_engine::{ExecMode, Executor};
+use amnesia_sql::{run, run_with, Catalog, Datum, QueryOutcome};
 use amnesia_util::SimRng;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
@@ -77,6 +78,39 @@ fn sql_rows(cat: &BenchCatalog, sql: &str) -> Vec<Vec<Datum>> {
     match run(cat, sql).unwrap() {
         QueryOutcome::Rows(rs) => rs.rows,
         QueryOutcome::Plan(p) => panic!("unexpected plan {p}"),
+    }
+}
+
+/// [`sql_rows`] on an explicit worker count (`1` = the serial oracle).
+fn sql_rows_at(cat: &BenchCatalog, sql: &str, threads: usize) -> Vec<Vec<Datum>> {
+    let ex = Executor::default().with_exec_mode(if threads > 1 {
+        ExecMode::Parallel(threads)
+    } else {
+        ExecMode::Serial
+    });
+    match run_with(cat, sql, &ex).unwrap() {
+        QueryOutcome::Rows(rs) => rs.rows,
+        QueryOutcome::Plan(p) => panic!("unexpected plan {p}"),
+    }
+}
+
+/// The morsel-scheduler scaling gate (CI: the `scaling-gate` job).
+///
+/// `AMNESIA_SCALE_GATE` semantics: a number (e.g. `3.5`) enforces that
+/// 8-thread speedup over serial; `0` disables; unset auto-detects —
+/// enforce 3.5x only when the host actually has ≥ 8 cores, otherwise
+/// print the sweep and skip (laptops and 1-core CI runners can't
+/// demonstrate 8-way scaling).
+fn required_scale_gate() -> Option<f64> {
+    match std::env::var("AMNESIA_SCALE_GATE") {
+        Ok(v) => {
+            let x: f64 = v.trim().parse().unwrap_or(0.0);
+            (x > 0.0).then_some(x)
+        }
+        Err(_) => {
+            let cores = std::thread::available_parallelism().map_or(1, usize::from);
+            (cores >= 8).then_some(3.5)
+        }
     }
 }
 
@@ -174,6 +208,45 @@ fn sql(c: &mut Criterion) {
         "physical-plan SQL must beat the row-at-a-time reference 5x, got {speedup:.1}x"
     );
 
+    // Morsel-parallel execution is byte-identical to serial at every
+    // worker count, and still decodes zero frozen blocks.
+    for threads in [2, 4, 8] {
+        let before = block_decodes();
+        let par = sql_rows_at(&frozen, GROUPED_SQL, threads);
+        assert_eq!(
+            block_decodes() - before,
+            0,
+            "parallel ({threads} threads) must not add a single block decode"
+        );
+        assert_eq!(par, want, "parallel ({threads} threads) == serial oracle");
+    }
+
+    // Thread-scaling sweep + the scaling gate (see `required_scale_gate`).
+    let serial = time_it(7, || sql_rows_at(&frozen, GROUPED_SQL, 1));
+    let mut at8 = serial;
+    for threads in [2usize, 4, 8] {
+        let t = time_it(7, || sql_rows_at(&frozen, GROUPED_SQL, threads));
+        let scale = serial.as_secs_f64() / t.as_secs_f64().max(1e-9);
+        println!("sql/grouped_agg 1M frozen x{threads} threads: {t:?} ({scale:.2}x vs serial)");
+        if threads == 8 {
+            at8 = t;
+        }
+    }
+    let scale8 = serial.as_secs_f64() / at8.as_secs_f64().max(1e-9);
+    match required_scale_gate() {
+        Some(required) => {
+            assert!(
+                scale8 >= required,
+                "8-thread frozen grouped query must scale >= {required:.1}x over serial, \
+                 got {scale8:.2}x (tune with AMNESIA_SCALE_GATE)"
+            );
+            println!("scaling gate: {scale8:.2}x >= {required:.1}x — pass");
+        }
+        None => {
+            println!("scaling gate: skipped (got {scale8:.2}x; <8 cores or AMNESIA_SCALE_GATE=0)")
+        }
+    }
+
     let mut group = c.benchmark_group("sql/grouped_agg");
     group.throughput(Throughput::Elements(N as u64));
     group.bench_function("hot", |b| b.iter(|| black_box(sql_rows(&hot, GROUPED_SQL))));
@@ -187,6 +260,17 @@ fn sql(c: &mut Criterion) {
         b.iter(|| black_box(reference_grouped(&frozen.table)))
     });
     group.finish();
+
+    // The same frozen grouped query through the morsel scheduler, per
+    // worker count — the scaling trajectory the CI gate guards.
+    let mut par = c.benchmark_group("sql/grouped_agg_parallel");
+    par.throughput(Throughput::Elements(N as u64));
+    for threads in [2usize, 4, 8] {
+        par.bench_function(threads.to_string(), |b| {
+            b.iter(|| black_box(sql_rows_at(&frozen, GROUPED_SQL, threads)))
+        });
+    }
+    par.finish();
 
     let mut global = c.benchmark_group("sql/global_agg");
     global.throughput(Throughput::Elements(N as u64));

@@ -14,6 +14,7 @@ use crate::cost::CostModel;
 use crate::group::GroupTable;
 use crate::kernels;
 use crate::mode::ForgetVisibility;
+use crate::morsel::{self, ExecMode, SchedStats};
 use crate::physical::{finalize_scalar, ColPred, PhysItem, PhysicalPlan, Scalar, SortDir};
 use crate::plan::{Plan, Planner};
 
@@ -101,6 +102,14 @@ pub struct ExecStats {
     pub cost: f64,
     /// Which plan ran ("full-scan", "pruned-scan", "index-probe").
     pub plan: PlanTag,
+    /// Morsels the scheduler executed across all plan stages (0 when
+    /// every stage ran serially).
+    pub morsels: usize,
+    /// Morsels a worker claimed from another worker's range.
+    pub morsel_steals: usize,
+    /// Nanoseconds spent merging per-worker partial state at pipeline
+    /// breakers.
+    pub merge_ns: u64,
 }
 
 /// Compact plan identifier for stats.
@@ -135,24 +144,63 @@ pub struct ExecResult {
 }
 
 /// Query executor.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Executor {
     mode: ForgetVisibility,
     planner: Planner,
+    exec_mode: ExecMode,
+    morsel_rows: usize,
+}
+
+impl Default for Executor {
+    /// Serial unless `AMNESIA_TEST_THREADS` selects a parallel pool
+    /// (morsel size likewise overridable via `AMNESIA_MORSEL_ROWS`) — so
+    /// CI's thread matrix drives every default-constructed executor
+    /// through the morsel scheduler without touching call sites.
+    fn default() -> Self {
+        Self {
+            mode: ForgetVisibility::default(),
+            planner: Planner::default(),
+            exec_mode: ExecMode::from_env(),
+            morsel_rows: morsel::morsel_rows_from_env(),
+        }
+    }
 }
 
 impl Executor {
-    /// Executor with explicit mode and cost model.
+    /// Executor with explicit mode and cost model (execution mode still
+    /// comes from the environment, as in [`Executor::default`]).
     pub fn new(mode: ForgetVisibility, cost: CostModel) -> Self {
         Self {
             mode,
             planner: Planner::new(cost),
+            ..Self::default()
         }
     }
 
     /// The forget-visibility mode.
     pub fn mode(&self) -> ForgetVisibility {
         self.mode
+    }
+
+    /// Select how [`Self::execute_plan`] runs: serial, or morsel-driven
+    /// across a fixed worker pool.
+    pub fn with_exec_mode(mut self, exec_mode: ExecMode) -> Self {
+        self.exec_mode = exec_mode;
+        self
+    }
+
+    /// Override the target rows per morsel (floored at one 64-row
+    /// activity word) — tests shrink it to force multi-morsel schedules
+    /// on small tables.
+    pub fn with_morsel_rows(mut self, rows: usize) -> Self {
+        self.morsel_rows = rows.max(WORD_BITS);
+        self
+    }
+
+    /// The configured execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
     }
 
     /// Execute a query against column `col` of `table`. The workload
@@ -228,6 +276,7 @@ impl Executor {
             } else {
                 PlanTag::FullScan
             },
+            ..Default::default()
         };
         (r, stats)
     }
@@ -283,6 +332,15 @@ impl Executor {
     /// active data, per the paper's §1 contract that forgotten tuples
     /// "will never show up in query results". `auxes` supplies per-slot
     /// zone maps / indexes (missing slots scan unassisted).
+    ///
+    /// Under [`ExecMode::Parallel`] every stage dispatches through the
+    /// [`morsel`] scheduler — tier-aligned morsels, a work-stealing
+    /// worker pool, deterministic merges — and returns rows
+    /// byte-identical to the serial path (aux access paths are bypassed:
+    /// the fused selection kernels compute the same selection the
+    /// planner's assisted scans would). Scheduler accounting lands in
+    /// [`ExecStats::morsels`], [`ExecStats::morsel_steals`] and
+    /// [`ExecStats::merge_ns`].
     pub fn execute_plan(
         &self,
         tables: &[&Table],
@@ -296,11 +354,35 @@ impl Executor {
         );
         let default_aux = Aux::default();
         let mut stats = ExecStats::default();
+        let mut sched = SchedStats::default();
+        let threads = self.exec_mode.threads();
 
         // 1. Scans: per-slot selection masks under the pushed-down
         //    conjunction.
         let mut sels: Vec<Vec<u64>> = Vec::with_capacity(tables.len());
         for (slot, scan) in plan.scans.iter().enumerate() {
+            let nwords = tables[slot].num_rows().div_ceil(WORD_BITS);
+            if threads > 1 {
+                let (sel, ts, s) = morsel::par_selection_scan(
+                    tables[slot],
+                    &scan.preds,
+                    threads,
+                    self.morsel_rows,
+                );
+                sched.absorb(&s);
+                stats.rows_scanned += ts.rows_scanned;
+                stats.blocks_pruned += ts.blocks_pruned;
+                stats.cost += self.planner.cost_model().full_scan(ts.rows_scanned);
+                if slot == 0 {
+                    stats.plan = if tables[slot].has_frozen() {
+                        PlanTag::TieredScan
+                    } else {
+                        PlanTag::FullScan
+                    };
+                }
+                sels.push(sel);
+                continue;
+            }
             let aux = auxes.get(slot).unwrap_or(&default_aux);
             let (sel, s) = self.run_scan(tables[slot], &scan.preds, aux);
             stats.rows_scanned += s.rows_scanned;
@@ -310,7 +392,6 @@ impl Executor {
             if slot == 0 {
                 stats.plan = s.plan;
             }
-            let nwords = tables[slot].num_rows().div_ceil(WORD_BITS);
             sels.push(match sel {
                 Selection::Words(w) => w,
                 Selection::Rows(rows) => rows_to_words(&rows, nwords),
@@ -320,16 +401,39 @@ impl Executor {
         // 2. Join: build slot 0 in compressed space under its selection
         //    words, probe slot 1 tier-aware with key-range block pruning.
         let pairs: Option<Vec<(RowId, RowId)>> = plan.join.as_ref().map(|join| {
-            let (build, key_range) =
-                crate::join::build_rows_map_with(tables[0], join.left_col, &sels[0]);
-            let mut p = Vec::new();
-            let probe = crate::batch::probe_tiered(
-                tables[1].col_tier(join.right_col),
-                &sels[1],
-                &build,
-                key_range,
-                &mut p,
-            );
+            let (p, probe) = if threads > 1 {
+                let ((build, key_range), s) = morsel::par_build_rows_map(
+                    tables[0],
+                    join.left_col,
+                    &sels[0],
+                    threads,
+                    self.morsel_rows,
+                );
+                sched.absorb(&s);
+                let (p, probe, s) = morsel::par_probe(
+                    tables[1],
+                    join.right_col,
+                    &sels[1],
+                    &build,
+                    key_range,
+                    threads,
+                    self.morsel_rows,
+                );
+                sched.absorb(&s);
+                (p, probe)
+            } else {
+                let (build, key_range) =
+                    crate::join::build_rows_map_with(tables[0], join.left_col, &sels[0]);
+                let mut p = Vec::new();
+                let probe = crate::batch::probe_tiered(
+                    tables[1].col_tier(join.right_col),
+                    &sels[1],
+                    &build,
+                    key_range,
+                    &mut p,
+                );
+                (p, probe)
+            };
             stats.blocks_pruned += probe.blocks_pruned;
             // Mirror `execute_join`'s accounting: probe rows the key-range
             // meta pruned were never streamed, so they subtract from
@@ -349,38 +453,71 @@ impl Executor {
 
         // 3. Projection or (grouped) aggregation.
         let mut rows: Vec<Vec<Scalar>> = match (&pairs, plan.has_aggregates()) {
-            (None, false) => self.project_selection(tables[0], &sels[0], &plan.items),
-            (None, true) => self.aggregate_selection_rows(tables[0], &sels[0], plan, &mut stats),
-            (Some(pairs), false) => project_pairs(tables, pairs, &plan.items),
-            (Some(pairs), true) => aggregate_pairs(tables, pairs, plan, &mut stats),
+            (None, false) => {
+                self.project_selection(tables[0], &sels[0], &plan.items, threads, &mut sched)
+            }
+            (None, true) => self.aggregate_selection_rows(
+                tables[0], &sels[0], plan, threads, &mut stats, &mut sched,
+            ),
+            (Some(pairs), false) => project_pairs(
+                tables,
+                pairs,
+                &plan.items,
+                threads,
+                self.morsel_rows,
+                &mut sched,
+            ),
+            (Some(pairs), true) => aggregate_pairs(
+                tables,
+                pairs,
+                plan,
+                threads,
+                self.morsel_rows,
+                &mut stats,
+                &mut sched,
+            ),
         };
 
         // 4. Sort + limit over the materialized scalars (type-aware
-        //    total order: i64 keys never collapse through f64).
+        //    total order: i64 keys never collapse through f64). The
+        //    parallel path chunk-sorts and k-way merges with leftmost
+        //    tie preference — exactly the serial stable sort's order.
         if let Some((idx, dir)) = plan.order_by {
-            rows.sort_by(|a, b| {
+            let cmp = |a: &Vec<Scalar>, b: &Vec<Scalar>| {
                 let ord = a[idx].total_cmp(&b[idx]);
                 match dir {
                     SortDir::Asc => ord,
                     SortDir::Desc => ord.reverse(),
                 }
-            });
+            };
+            if threads > 1 && rows.len() > self.morsel_rows {
+                sched.merge_ns += morsel::par_sort_by(&mut rows, threads, cmp);
+            } else {
+                rows.sort_by(cmp);
+            }
         }
         if let Some(limit) = plan.limit {
             rows.truncate(limit as usize);
         }
         stats.result_rows = rows.len();
+        stats.morsels = sched.morsels;
+        stats.morsel_steals = sched.steals;
+        stats.merge_ns = sched.merge_ns;
         PhysResult { rows, stats }
     }
 
     /// Projection gather over a single-table selection: each output
     /// column streams through the tier-aware gather (compressed blocks
-    /// are never decoded), then rows zip positionally.
+    /// are never decoded), then rows zip positionally. With a parallel
+    /// pool each column's gather fans out over morsels and concatenates
+    /// in ascending row order.
     fn project_selection(
         &self,
         table: &Table,
         sel: &[u64],
         items: &[PhysItem],
+        threads: usize,
+        sched: &mut SchedStats,
     ) -> Vec<Vec<Scalar>> {
         let n_out = kernels::selection_count(sel);
         let mut bufs: Vec<Vec<Value>> = Vec::with_capacity(items.len());
@@ -388,9 +525,16 @@ impl Executor {
             let PhysItem::Column { col, .. } = item else {
                 unreachable!("projection plans carry only column items");
             };
-            let mut buf = Vec::with_capacity(n_out);
-            kernels::gather_column(table, sel, *col, &mut buf);
-            bufs.push(buf);
+            if threads > 1 {
+                let (buf, s) =
+                    morsel::par_gather_column(table, sel, *col, threads, self.morsel_rows);
+                sched.absorb(&s);
+                bufs.push(buf);
+            } else {
+                let mut buf = Vec::with_capacity(n_out);
+                kernels::gather_column(table, sel, *col, &mut buf);
+                bufs.push(buf);
+            }
         }
         (0..n_out)
             .map(|i| bufs.iter().map(|b| Scalar::Int(b[i])).collect())
@@ -403,15 +547,32 @@ impl Executor {
         table: &Table,
         sel: &[u64],
         plan: &PhysicalPlan,
+        threads: usize,
         stats: &mut ExecStats,
+        sched: &mut SchedStats,
     ) -> Vec<Vec<Scalar>> {
         if let Some((_, gcol, _)) = &plan.group_by {
-            // The vectorized hash group-by: folds over compressed blocks.
+            // The vectorized hash group-by: folds over compressed blocks,
+            // morsel-parallel with a deterministic first-seen-order merge
+            // under a worker pool.
             let agg_cols: Vec<Option<usize>> = agg_specs(&plan.items)
                 .iter()
                 .map(|(_, arg)| arg.map(|(_, c)| c))
                 .collect();
-            let groups = crate::group::grouped_fold(table, sel, *gcol, &agg_cols);
+            let groups = if threads > 1 {
+                let (groups, s) = morsel::par_grouped_fold(
+                    table,
+                    sel,
+                    *gcol,
+                    &agg_cols,
+                    threads,
+                    self.morsel_rows,
+                );
+                sched.absorb(&s);
+                groups
+            } else {
+                crate::group::grouped_fold(table, sel, *gcol, &agg_cols)
+            };
             stats.groups = groups.len();
             return finalize_groups(&groups, &plan.items);
         }
@@ -431,7 +592,19 @@ impl Executor {
                     let state = match cache.iter().find(|(col, _)| col == c) {
                         Some((_, s)) => *s,
                         None => {
-                            let s = kernels::aggregate_selection(table, sel, *c);
+                            let s = if threads > 1 {
+                                let (s, sc) = morsel::par_aggregate_selection(
+                                    table,
+                                    sel,
+                                    *c,
+                                    threads,
+                                    self.morsel_rows,
+                                );
+                                sched.absorb(&sc);
+                                s
+                            } else {
+                                kernels::aggregate_selection(table, sel, *c)
+                            };
                             cache.push((*c, s));
                             s
                         }
@@ -553,10 +726,9 @@ impl Executor {
                 blocks_pruned,
                 words_pruned,
                 result_rows,
-                join_pairs: 0,
-                groups: 0,
                 cost,
                 plan: tag,
+                ..Default::default()
             },
         }
     }
@@ -630,15 +802,13 @@ impl Executor {
                 rows_scanned: scanned,
                 blocks_pruned,
                 words_pruned,
-                result_rows: 0,
-                join_pairs: 0,
-                groups: 0,
                 cost,
                 plan: if table.has_frozen() {
                     PlanTag::TieredScan
                 } else {
                     PlanTag::FullScan
                 },
+                ..Default::default()
             },
         }
     }
@@ -732,67 +902,132 @@ fn pair_row(pair: &(RowId, RowId), slot: usize) -> RowId {
 }
 
 /// Project join pairs: per-item tier-aware point reads (codec
-/// `value_at`, never a block decode).
+/// `value_at`, never a block decode). Under a parallel pool the pair
+/// vector splits into index-range morsels whose projected rows
+/// concatenate back in pair order.
 fn project_pairs(
     tables: &[&Table],
     pairs: &[(RowId, RowId)],
     items: &[PhysItem],
+    threads: usize,
+    morsel_rows: usize,
+    sched: &mut SchedStats,
 ) -> Vec<Vec<Scalar>> {
-    pairs
-        .iter()
-        .map(|pair| {
-            items
-                .iter()
-                .map(|item| match item {
-                    PhysItem::Column { slot, col, .. } => {
-                        Scalar::Int(tables[*slot].value(*col, pair_row(pair, *slot)))
-                    }
-                    PhysItem::Aggregate { .. } => {
-                        unreachable!("projection plans carry only column items")
-                    }
-                })
-                .collect()
-        })
-        .collect()
+    let project_range = |range: &std::ops::Range<usize>| -> Vec<Vec<Scalar>> {
+        pairs[range.clone()]
+            .iter()
+            .map(|pair| {
+                items
+                    .iter()
+                    .map(|item| match item {
+                        PhysItem::Column { slot, col, .. } => {
+                            Scalar::Int(tables[*slot].value(*col, pair_row(pair, *slot)))
+                        }
+                        PhysItem::Aggregate { .. } => {
+                            unreachable!("projection plans carry only column items")
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let chunks = morsel::index_chunks(pairs.len(), morsel_rows);
+    if threads <= 1 || chunks.len() <= 1 {
+        return project_range(&(0..pairs.len()));
+    }
+    let (parts, s) = morsel::run_morsels(chunks.len(), threads, |i| {
+        project_range(&(chunks[i].0..chunks[i].1))
+    });
+    sched.absorb(&s);
+    let mut out = Vec::with_capacity(pairs.len());
+    for p in parts {
+        out.extend(p);
+    }
+    out
 }
 
 /// Aggregate join pairs, grouped or global, via tier-aware point reads.
+/// Under a parallel pool each index-range morsel folds a local
+/// [`GroupTable`] keyed with the *pair index* as its first-seen marker;
+/// the merged table re-sorts by that marker, reproducing the serial
+/// first-seen group order (global aggregates merge integer-exact
+/// states in morsel order).
 fn aggregate_pairs(
     tables: &[&Table],
     pairs: &[(RowId, RowId)],
     plan: &PhysicalPlan,
+    threads: usize,
+    morsel_rows: usize,
     stats: &mut ExecStats,
+    sched: &mut SchedStats,
 ) -> Vec<Vec<Scalar>> {
     let specs = agg_specs(&plan.items);
+    let chunks = morsel::index_chunks(pairs.len(), morsel_rows);
+    let parallel = threads > 1 && chunks.len() > 1;
     if let Some((gslot, gcol, _)) = &plan.group_by {
-        let mut groups = GroupTable::new(specs.len());
-        for pair in pairs {
-            let key = tables[*gslot].value(*gcol, pair_row(pair, *gslot));
-            let slot = groups.slot(key);
-            for (a, (_, arg)) in specs.iter().enumerate() {
-                match arg {
-                    Some((aslot, acol)) => groups
-                        .state_mut(slot, a)
-                        .push(tables[*aslot].value(*acol, pair_row(pair, *aslot))),
-                    None => groups.bump(slot, a),
+        let fold_range = |lo: usize, hi: usize| -> GroupTable {
+            let mut groups = GroupTable::new(specs.len());
+            for (i, pair) in pairs[lo..hi].iter().enumerate() {
+                let key = tables[*gslot].value(*gcol, pair_row(pair, *gslot));
+                let slot = groups.slot_at(key, lo + i);
+                for (a, (_, arg)) in specs.iter().enumerate() {
+                    match arg {
+                        Some((aslot, acol)) => groups
+                            .state_mut(slot, a)
+                            .push(tables[*aslot].value(*acol, pair_row(pair, *aslot))),
+                        None => groups.bump(slot, a),
+                    }
                 }
             }
-        }
+            groups
+        };
+        let groups = if parallel {
+            let (parts, s) = morsel::run_morsels(chunks.len(), threads, |i| {
+                fold_range(chunks[i].0, chunks[i].1)
+            });
+            sched.absorb(&s);
+            let mut merged = GroupTable::new(specs.len());
+            for part in &parts {
+                merged.absorb(part);
+            }
+            merged.sort_by_first_row();
+            merged
+        } else {
+            fold_range(0, pairs.len())
+        };
         stats.groups = groups.len();
         return finalize_groups(&groups, &plan.items);
     }
     stats.groups = 1;
-    let mut states = vec![AggState::new(); specs.len()];
-    for pair in pairs {
-        for (state, (_, arg)) in states.iter_mut().zip(&specs) {
-            match arg {
-                Some((aslot, acol)) => {
-                    state.push(tables[*aslot].value(*acol, pair_row(pair, *aslot)))
+    let fold_range = |lo: usize, hi: usize| -> Vec<AggState> {
+        let mut states = vec![AggState::new(); specs.len()];
+        for pair in &pairs[lo..hi] {
+            for (state, (_, arg)) in states.iter_mut().zip(&specs) {
+                match arg {
+                    Some((aslot, acol)) => {
+                        state.push(tables[*aslot].value(*acol, pair_row(pair, *aslot)))
+                    }
+                    None => state.push_block(1, 0, Value::MAX, Value::MIN),
                 }
-                None => state.push_block(1, 0, Value::MAX, Value::MIN),
             }
         }
-    }
+        states
+    };
+    let states = if parallel {
+        let (parts, s) = morsel::run_morsels(chunks.len(), threads, |i| {
+            fold_range(chunks[i].0, chunks[i].1)
+        });
+        sched.absorb(&s);
+        let mut states = vec![AggState::new(); specs.len()];
+        for part in &parts {
+            for (state, p) in states.iter_mut().zip(part) {
+                state.merge(p);
+            }
+        }
+        states
+    } else {
+        fold_range(0, pairs.len())
+    };
     let mut agg_i = 0usize;
     let row = plan
         .items

@@ -28,6 +28,10 @@ use crate::batch::AggState;
 pub struct GroupTable {
     index: HashMap<Value, u32>,
     keys: Vec<Value>,
+    /// The smallest row (or insertion ordinal, for [`Self::slot`]) that
+    /// produced each group — what "first-seen order" means once morsels
+    /// fold out of row order.
+    first_rows: Vec<usize>,
     states: Vec<AggState>,
     n_aggs: usize,
 }
@@ -38,6 +42,7 @@ impl GroupTable {
         Self {
             index: HashMap::new(),
             keys: Vec::new(),
+            first_rows: Vec::new(),
             states: Vec::new(),
             n_aggs,
         }
@@ -49,11 +54,63 @@ impl GroupTable {
         let next = self.keys.len() as u32;
         let g = *self.index.entry(key).or_insert(next);
         if g == next {
+            self.first_rows.push(self.keys.len());
             self.keys.push(key);
             self.states
                 .extend(std::iter::repeat_n(AggState::new(), self.n_aggs));
         }
         g as usize * self.n_aggs
+    }
+
+    /// [`Self::slot`] that also records the *global* row feeding the
+    /// group, keeping the smallest across revisits — the morsel folds
+    /// use this so a later [`Self::sort_by_first_row`] can reproduce the
+    /// serial first-seen group order.
+    #[inline]
+    pub(crate) fn slot_at(&mut self, key: Value, row: usize) -> usize {
+        let next = self.keys.len() as u32;
+        let g = *self.index.entry(key).or_insert(next);
+        if g == next {
+            self.first_rows.push(row);
+            self.keys.push(key);
+            self.states
+                .extend(std::iter::repeat_n(AggState::new(), self.n_aggs));
+        } else if row < self.first_rows[g as usize] {
+            self.first_rows[g as usize] = row;
+        }
+        g as usize * self.n_aggs
+    }
+
+    /// Merge another table's groups into this one: states merge per key
+    /// (integer-exact), first rows keep the minimum.
+    pub(crate) fn absorb(&mut self, other: &GroupTable) {
+        debug_assert_eq!(self.n_aggs, other.n_aggs);
+        for g in 0..other.len() {
+            let slot = self.slot_at(other.keys[g], other.first_rows[g]);
+            for a in 0..self.n_aggs {
+                self.states[slot + a].merge(&other.states[g * other.n_aggs + a]);
+            }
+        }
+    }
+
+    /// Reorder groups by ascending first row. After absorbing per-morsel
+    /// tables (whose spans tile the row space), this is exactly the
+    /// order a serial fold would have discovered the keys in.
+    pub(crate) fn sort_by_first_row(&mut self) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by_key(|&g| self.first_rows[g]);
+        let mut keys = Vec::with_capacity(self.len());
+        let mut first_rows = Vec::with_capacity(self.len());
+        let mut states = Vec::with_capacity(self.states.len());
+        for (new_g, &g) in order.iter().enumerate() {
+            keys.push(self.keys[g]);
+            first_rows.push(self.first_rows[g]);
+            states.extend_from_slice(&self.states[g * self.n_aggs..(g + 1) * self.n_aggs]);
+            self.index.insert(self.keys[g], new_g as u32);
+        }
+        self.keys = keys;
+        self.first_rows = first_rows;
+        self.states = states;
     }
 
     /// Group keys in first-seen order.
@@ -215,6 +272,127 @@ pub fn grouped_fold(table: &Table, sel: &[u64], key_col: usize, aggs: &[AggInput
                 match tail {
                     Some(values) => groups.state_mut(slot, a).push(values[base + bit]),
                     None => bump(groups.state_mut(slot, a)),
+                }
+            }
+        }
+    }
+    groups
+}
+
+/// [`grouped_fold`] restricted to one morsel of the table, recording each
+/// group's smallest global row so per-morsel tables can be
+/// [absorbed](GroupTable::absorb) and
+/// [re-sorted](GroupTable::sort_by_first_row) into the serial first-seen
+/// order. Same fused streams, same scratch discipline, zero decodes.
+pub(crate) fn grouped_fold_span(
+    table: &Table,
+    sel: &[u64],
+    key_col: usize,
+    aggs: &[AggInput],
+    span: &crate::morsel::Span,
+) -> GroupTable {
+    let mut groups = GroupTable::new(aggs.len());
+    match *span {
+        crate::morsel::Span::Blocks { first, last } => {
+            let key_tier = table.col_tier(key_col);
+            let br = table.block_rows();
+            let mut distinct: Vec<usize> = Vec::new();
+            for a in aggs.iter().flatten() {
+                if *a != key_col && !distinct.contains(a) {
+                    distinct.push(*a);
+                }
+            }
+            enum Src {
+                Count,
+                Key,
+                Buf(usize),
+            }
+            let srcs: Vec<Src> = aggs
+                .iter()
+                .map(|a| match a {
+                    None => Src::Count,
+                    Some(c) if *c == key_col => Src::Key,
+                    Some(c) => Src::Buf(distinct.iter().position(|d| d == c).expect("gathered")),
+                })
+                .collect();
+            let mut key_buf: Vec<Value> = Vec::new();
+            let mut row_buf: Vec<usize> = Vec::new();
+            let mut bufs: Vec<Vec<Value>> = vec![Vec::new(); distinct.len()];
+            for b in first..last {
+                let bw = crate::batch::block_words(key_tier, sel, b);
+                if bw.iter().all(|&w| w == 0) {
+                    continue;
+                }
+                key_buf.clear();
+                row_buf.clear();
+                let block_base = b * br;
+                key_tier
+                    .frozen(b)
+                    .expect("frozen block")
+                    .encoded()
+                    .for_each_active(bw, |r, v| {
+                        key_buf.push(v);
+                        row_buf.push(block_base + r);
+                    });
+                for (i, &col) in distinct.iter().enumerate() {
+                    bufs[i].clear();
+                    table
+                        .col_tier(col)
+                        .frozen(b)
+                        .expect("columns freeze in lockstep")
+                        .encoded()
+                        .for_each_active(bw, |_, v| bufs[i].push(v));
+                }
+                for (i, &key) in key_buf.iter().enumerate() {
+                    let slot = groups.slot_at(key, row_buf[i]);
+                    for (a, src) in srcs.iter().enumerate() {
+                        match src {
+                            Src::Key => groups.state_mut(slot, a).push(key),
+                            Src::Buf(j) => {
+                                let v = bufs[*j][i];
+                                groups.state_mut(slot, a).push(v)
+                            }
+                            Src::Count => bump(groups.state_mut(slot, a)),
+                        }
+                    }
+                }
+            }
+        }
+        crate::morsel::Span::Rows { lo, hi } => {
+            // Hot rows: the raw key/aggregate slices, offset by where the
+            // hot tier starts (zero for a fully hot table).
+            let (keys, start) = if table.has_frozen() {
+                let tier = table.col_tier(key_col);
+                (tier.hot_values(), tier.hot_start())
+            } else {
+                (table.col_values(key_col), 0)
+            };
+            let cols: Vec<Option<&[Value]>> = aggs
+                .iter()
+                .map(|a| {
+                    a.map(|c| {
+                        if table.has_frozen() {
+                            table.col_tier(c).hot_values()
+                        } else {
+                            table.col_values(c)
+                        }
+                    })
+                })
+                .collect();
+            for wi in lo / WORD_BITS..hi.div_ceil(WORD_BITS) {
+                let base = wi * WORD_BITS;
+                let mut w = crate::batch::tail_word(sel, wi, (hi - base).min(WORD_BITS));
+                while w != 0 {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let row = base + bit;
+                    let slot = groups.slot_at(keys[row - start], row);
+                    for (a, col) in cols.iter().enumerate() {
+                        match col {
+                            Some(values) => groups.state_mut(slot, a).push(values[row - start]),
+                            None => bump(groups.state_mut(slot, a)),
+                        }
+                    }
                 }
             }
         }

@@ -148,8 +148,23 @@ fn stream_active_keys(table: &Table, col: usize, sink: &mut impl BuildSink) {
 /// touched.
 fn stream_selected_keys(table: &Table, col: usize, words: &[u64], sink: &mut impl BuildSink) {
     let tier = table.col_tier(col);
+    stream_selected_keys_blocks(table, col, words, 0, tier.frozen_blocks(), sink);
+    stream_selected_keys_rows(table, col, words, tier.hot_start(), table.num_rows(), sink);
+}
+
+/// The frozen-block half of [`stream_selected_keys`], restricted to
+/// blocks `[first, last)` — the morsel scheduler's build unit.
+fn stream_selected_keys_blocks(
+    table: &Table,
+    col: usize,
+    words: &[u64],
+    first: usize,
+    last: usize,
+    sink: &mut impl BuildSink,
+) {
+    let tier = table.col_tier(col);
     let br = tier.block_rows();
-    for b in 0..tier.frozen_blocks() {
+    for b in first..last {
         let f = tier.frozen(b).expect("frozen block in range");
         if f.meta().active == 0 {
             continue; // dropped or fully-forgotten: payload never touched
@@ -179,19 +194,29 @@ fn stream_selected_keys(table: &Table, col: usize, words: &[u64], sink: &mut imp
             _ => block.for_each_active(bw, |row, v| sink.row(v, base + row)),
         }
     }
-    let tail_start = tier.hot_start();
-    for (j, chunk) in tier
-        .hot_values()
-        .chunks(amnesia_util::WORD_BITS)
-        .enumerate()
-    {
-        let wi = tail_start / amnesia_util::WORD_BITS + j;
-        let base = tail_start + j * amnesia_util::WORD_BITS;
-        let mut active = batch::tail_word(words, wi, chunk.len());
+}
+
+/// The hot half of [`stream_selected_keys`], restricted to absolute rows
+/// `[lo, hi)` (word-aligned `lo`, rows at or past the column's
+/// `hot_start`).
+fn stream_selected_keys_rows(
+    table: &Table,
+    col: usize,
+    words: &[u64],
+    lo: usize,
+    hi: usize,
+    sink: &mut impl BuildSink,
+) {
+    let tier = table.col_tier(col);
+    let hot = tier.hot_values();
+    let start = tier.hot_start();
+    for wi in lo / amnesia_util::WORD_BITS..hi.div_ceil(amnesia_util::WORD_BITS) {
+        let base = wi * amnesia_util::WORD_BITS;
+        let mut active = batch::tail_word(words, wi, (hi - base).min(amnesia_util::WORD_BITS));
         while active != 0 {
             let bit = active.trailing_zeros() as usize;
             active &= active - 1;
-            sink.row(chunk[bit], base + bit);
+            sink.row(hot[base - start + bit], base + bit);
         }
     }
 }
@@ -283,6 +308,31 @@ pub(crate) fn build_rows_map_with(table: &Table, col: usize, words: &[u64]) -> B
         range: None,
     };
     stream_selected_keys(table, col, words, &mut sink);
+    (sink.map, sink.range)
+}
+
+/// [`build_rows_map_with`] restricted to one morsel of the build side.
+/// Each per-morsel map holds ascending rows per key; the scheduler
+/// concatenates the maps in span order, so a key's final row list is
+/// byte-identical to the serial build's.
+pub(crate) fn build_rows_map_span(
+    table: &Table,
+    col: usize,
+    words: &[u64],
+    span: &crate::morsel::Span,
+) -> BuildTable {
+    let mut sink = RowsSink {
+        map: HashMap::new(),
+        range: None,
+    };
+    match *span {
+        crate::morsel::Span::Blocks { first, last } => {
+            stream_selected_keys_blocks(table, col, words, first, last, &mut sink)
+        }
+        crate::morsel::Span::Rows { lo, hi } => {
+            stream_selected_keys_rows(table, col, words, lo, hi, &mut sink)
+        }
+    }
     (sink.map, sink.range)
 }
 

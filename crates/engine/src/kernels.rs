@@ -507,6 +507,177 @@ pub fn aggregate_selection(table: &Table, sel: &[u64], col: usize) -> AggState {
     state
 }
 
+// ---------------------------------------------------------------------
+// Span variants: the same fused kernels, restricted to one morsel of the
+// table (a run of frozen blocks or a word-aligned hot row range). The
+// morsel scheduler (`crate::morsel`) stitches their results back in span
+// order, reproducing the full-table kernels bit for bit.
+// ---------------------------------------------------------------------
+
+/// Hot-side value slice and its first absolute row: the hot tail of a
+/// frozen column, or the whole column of a fully hot table.
+fn hot_slice(table: &Table, col: usize) -> (&[Value], usize) {
+    if table.has_frozen() {
+        let tier = table.col_tier(col);
+        (tier.hot_values(), tier.hot_start())
+    } else {
+        (table.col_values(col), 0)
+    }
+}
+
+/// [`selection_scan`] restricted to `span`. Returns the span's selection
+/// words (local, starting at the span's first word) and its share of the
+/// tier accounting. Callers guarantee `preds` is non-empty — the empty
+/// conjunction short-circuits to the serial kernel before spans exist.
+pub(crate) fn selection_scan_span(
+    table: &Table,
+    preds: &[ColPred],
+    span: &crate::morsel::Span,
+) -> (Vec<u64>, TierStats) {
+    debug_assert!(!preds.is_empty());
+    let words = table.activity_words();
+    let imp = batch::mask_impl();
+    let mut stats = TierStats::default();
+    match *span {
+        crate::morsel::Span::Blocks { first, last } => {
+            let br = table.block_rows();
+            let block_nwords = br / WORD_BITS;
+            let mut sel = vec![0u64; (last - first) * block_nwords];
+            let mut mask_buf = Vec::new();
+            'blocks: for b in first..last {
+                let active_in_block = table.col_tier(0).meta(b).active;
+                if active_in_block == 0 {
+                    stats.blocks_pruned += 1;
+                    continue;
+                }
+                for p in preds {
+                    if !p.block_may_match(table.col_tier(p.col).meta(b)) {
+                        stats.blocks_pruned += 1;
+                        continue 'blocks;
+                    }
+                }
+                stats.rows_scanned += active_in_block;
+                let global_word = b * br / WORD_BITS;
+                let local_word = (b - first) * block_nwords;
+                for k in 0..block_nwords {
+                    sel[local_word + k] = words.get(global_word + k).copied().unwrap_or(0);
+                }
+                for p in preds {
+                    let f = table.col_tier(p.col).frozen(b).expect("frozen block");
+                    batch::conj_block_masks(f.encoded(), p, &mut mask_buf);
+                    for k in 0..block_nwords {
+                        sel[local_word + k] &= mask_buf.get(k).copied().unwrap_or(0);
+                    }
+                }
+            }
+            (sel, stats)
+        }
+        crate::morsel::Span::Rows { lo, hi } => {
+            let slices: Vec<(&[Value], usize)> =
+                preds.iter().map(|p| hot_slice(table, p.col)).collect();
+            let first_word = lo / WORD_BITS;
+            let mut sel = vec![0u64; hi.div_ceil(WORD_BITS) - first_word];
+            for wi in first_word..hi.div_ceil(WORD_BITS) {
+                let base = wi * WORD_BITS;
+                let chunk_len = (hi - base).min(WORD_BITS);
+                let active = batch::tail_word(words, wi, chunk_len);
+                if active == 0 {
+                    continue;
+                }
+                stats.rows_scanned += active.count_ones() as usize;
+                let mut s = active;
+                for (p, &(slice, start)) in preds.iter().zip(&slices) {
+                    let off = base - start;
+                    s = batch::conj_word(&slice[off..off + chunk_len], s, p, imp);
+                    if s == 0 {
+                        break;
+                    }
+                }
+                sel[wi - first_word] = s;
+            }
+            (sel, stats)
+        }
+    }
+}
+
+/// [`gather_column`] restricted to `span`, appending to `out` in
+/// ascending row order. `sel` is the full-table selection.
+pub(crate) fn gather_column_span(
+    table: &Table,
+    sel: &[u64],
+    col: usize,
+    span: &crate::morsel::Span,
+    out: &mut Vec<Value>,
+) {
+    match *span {
+        crate::morsel::Span::Blocks { first, last } => {
+            let tier = table.col_tier(col);
+            for b in first..last {
+                let bw = batch::block_words(tier, sel, b);
+                if bw.iter().all(|&w| w == 0) {
+                    continue;
+                }
+                let f = tier.frozen(b).expect("frozen block");
+                f.encoded().for_each_active(bw, |_, v| out.push(v));
+            }
+        }
+        crate::morsel::Span::Rows { lo, hi } => {
+            let (slice, start) = hot_slice(table, col);
+            for wi in lo / WORD_BITS..hi.div_ceil(WORD_BITS) {
+                let base = wi * WORD_BITS;
+                let mut w = batch::tail_word(sel, wi, (hi - base).min(WORD_BITS));
+                while w != 0 {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    out.push(slice[base - start + bit]);
+                }
+            }
+        }
+    }
+}
+
+/// [`aggregate_selection`] restricted to `span`. The returned partial
+/// states merge exactly (integer count/sum, min/max), so folding the
+/// spans' results in any order reproduces the full-table fold.
+pub(crate) fn aggregate_selection_span(
+    table: &Table,
+    sel: &[u64],
+    col: usize,
+    span: &crate::morsel::Span,
+) -> AggState {
+    let mut state = AggState::new();
+    match *span {
+        crate::morsel::Span::Blocks { first, last } => {
+            let tier = table.col_tier(col);
+            for b in first..last {
+                let bw = batch::block_words(tier, sel, b);
+                if bw.iter().all(|&w| w == 0) {
+                    continue;
+                }
+                let f = tier.frozen(b).expect("frozen block");
+                let mut agg = BlockAgg::new();
+                f.encoded().fold_range_masked(None, bw, &mut agg);
+                if agg.count > 0 {
+                    state.push_block(agg.count, agg.sum, agg.min, agg.max);
+                }
+            }
+        }
+        crate::morsel::Span::Rows { lo, hi } => {
+            let (slice, start) = hot_slice(table, col);
+            for wi in lo / WORD_BITS..hi.div_ceil(WORD_BITS) {
+                let base = wi * WORD_BITS;
+                let chunk_len = (hi - base).min(WORD_BITS);
+                let w = batch::tail_word(sel, wi, chunk_len);
+                if w != 0 {
+                    let off = base - start;
+                    batch::fold_selection(&mut state, &slice[off..off + chunk_len], w);
+                }
+            }
+        }
+    }
+    state
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

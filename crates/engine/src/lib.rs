@@ -4,7 +4,40 @@
 //! delete it, stop indexing it ("a complete scan will fetch all data, but a
 //! fast index-based query evaluation will skip the forgotten data"), or
 //! tier/summarize it. This crate provides the executor that realizes those
-//! regimes over [`amnesia_columnar::Table`]:
+//! regimes over [`amnesia_columnar::Table`] — and, since the morsel
+//! rewrite, runs every plan stage either serially or morsel-parallel with
+//! byte-identical results.
+//!
+//! # The morsel pipeline
+//!
+//! Every [`physical::PhysicalPlan`] stage — selection scan, join
+//! build/probe, grouped fold, projection gather, sort — executes as a
+//! sequence of *morsels*: work units aligned to the storage tiers, so a
+//! frozen block or a 64-row activity word never straddles two workers.
+//!
+//! ```text
+//!   plan stage                 morsel scheduler              pipeline breaker
+//!   ──────────                 ────────────────              ────────────────
+//!   TieredColumn               ┌─ worker 0 ─┐ partial 0 ┐
+//!   [B0|B1|B2|B3|hot tail] ──► ├─ worker 1 ─┤ partial 1 ├──► deterministic
+//!    └──┬───┘└┬─┘ └──┬──┘      ├─   ...    ─┤    ...    │    merge in morsel
+//!   block-run  │  word-aligned └─ worker n ─┘ partial n ┘    order ==
+//!   morsels  morsel  row morsels   atomic cursors +          serial output
+//!                                  work stealing
+//! ```
+//!
+//! Workers pull morsels from per-worker atomic cursors (stealing from the
+//! most-loaded peer when their range drains) and fold each morsel with
+//! the *same* fused compressed-space kernel the serial path uses — so
+//! parallelism adds zero block decodes. Per-worker partial state
+//! (selection words, [`group::GroupTable`]s, pair buffers) merges at the
+//! pipeline breakers in morsel order: selections stitch at word offsets,
+//! gathers and join pairs concatenate by ascending row, group tables
+//! merge by key then re-sort by global first-seen row, and the sort
+//! breaker k-way-merges stably. [`morsel::ExecMode::Serial`] survives as
+//! the equivalence oracle the tests hold the parallel path to.
+//!
+//! # Modules
 //!
 //! * [`batch`] — the word-at-a-time vectorized batch layer: selection
 //!   masks over raw column slices and packed activity words, fused
@@ -16,17 +49,22 @@
 //!   predicate conjunctions as 64-bit selection masks, tiered hash
 //!   join, fused/grouped aggregation, projection gather, sort + limit);
 //!   SQL's `BoundQuery::lower()` and the workload driver both target it,
+//! * [`morsel`] — the morsel-driven scheduler described above: span
+//!   enumeration, the work-stealing worker pool, and the parallel
+//!   operators with their deterministic merges,
 //! * [`group`] — the vectorized hash group-by kernel, folding `GROUP BY`
 //!   aggregates straight over compressed blocks,
 //! * [`plan`] — a small cost-based planner choosing full scan, zone-map
 //!   pruned scan, or sorted-index probe,
 //! * [`cost`] — the abstract cost model (hot rows vs. cold fetches),
-//! * [`exec`] — the [`exec::Executor`] tying it together and reporting
-//!   [`exec::ExecStats`] for every query,
+//! * [`exec`] — the [`exec::Executor`] tying it together (serial or
+//!   [`morsel::ExecMode::Parallel`]) and reporting [`exec::ExecStats`]
+//!   for every query,
 //! * [`join`] — hash equi-joins with per-visibility answers (the §2.2
 //!   SELECT-PROJECT-JOIN subspace, and §5's referential precision),
 //! * [`parallel`] — std-scoped parallel scan/aggregate kernels over
-//!   word-aligned chunks,
+//!   word-aligned chunks (free-standing counterparts predating the
+//!   scheduler; their chunking now derives from the same morsel size),
 //! * [`mode`] — forget-visibility modes.
 
 #![warn(missing_docs)]
@@ -39,6 +77,7 @@ pub mod group;
 pub mod join;
 pub mod kernels;
 pub mod mode;
+pub mod morsel;
 pub mod parallel;
 pub mod physical;
 pub mod plan;
@@ -49,6 +88,7 @@ pub use exec::{Aux, ExecResult, ExecStats, Executor, PhysResult, QueryOutput, Se
 pub use group::GroupTable;
 pub use join::{hash_join, hash_join_count, JoinResult, JoinStats};
 pub use mode::ForgetVisibility;
+pub use morsel::{ExecMode, SchedStats};
 pub use parallel::{par_aggregate_active, par_range_scan_active};
 pub use physical::{ColPred, PhysItem, PhysScan, PhysicalPlan, Scalar, SortDir};
 pub use plan::{Plan, Planner};

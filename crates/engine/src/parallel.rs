@@ -213,16 +213,10 @@ fn tier_block_chunks(
     block_rows: usize,
     threads: usize,
 ) -> Vec<(usize, usize)> {
-    if frozen_blocks == 0 {
-        return Vec::new();
-    }
-    let min_blocks = MIN_CHUNK_ROWS.div_ceil(block_rows).max(1);
-    let chunks = threads.max(1).min((frozen_blocks / min_blocks).max(1));
-    let per = frozen_blocks.div_ceil(chunks);
-    (0..chunks)
-        .map(|i| (i * per, ((i + 1) * per).min(frozen_blocks)))
-        .filter(|&(b0, b1)| b0 < b1)
-        .collect()
+    // Delegates to the morsel scheduler's block chunking so both paths
+    // size chunks from *rows* — a table of many tiny blocks gets the
+    // same bounded chunk count as one with few large blocks.
+    crate::morsel::block_chunks(frozen_blocks, block_rows, threads, MIN_CHUNK_ROWS)
 }
 
 /// Parallel tier-aware scan: chunks at *tier boundaries* — contiguous

@@ -106,12 +106,24 @@ fn resolve_tables<'a>(catalog: &'a dyn Catalog, q: &BoundQuery) -> SqlResult<Vec
 /// Parse, bind and execute one statement against the catalog. EXPLAIN
 /// returns the physical plan tree with its access-path tags resolved
 /// against the live storage tiers.
+///
+/// Runs on a default-constructed [`Executor`] (serial, unless the
+/// `AMNESIA_TEST_THREADS` environment selects a parallel pool); use
+/// [`run_with`] to pin an explicit executor.
 pub fn run(catalog: &dyn Catalog, sql: &str) -> SqlResult<QueryOutcome> {
+    run_with(catalog, sql, &Executor::default())
+}
+
+/// [`run`] on an explicit executor — the SQL entry point for callers
+/// that select the execution mode themselves (the benches sweep
+/// [`ExecMode::Parallel`](amnesia_engine::ExecMode) thread counts; the
+/// equivalence suites hold parallel output byte-identical to serial).
+pub fn run_with(catalog: &dyn Catalog, sql: &str, executor: &Executor) -> SqlResult<QueryOutcome> {
     let stmt = parse(sql)?;
     match stmt {
         Statement::Select(s) => {
             let bound = bind(catalog, &s)?;
-            Ok(QueryOutcome::Rows(execute(catalog, &bound)?))
+            Ok(QueryOutcome::Rows(execute_with(catalog, &bound, executor)?))
         }
         Statement::Explain(s) => {
             let bound = bind(catalog, &s)?;
@@ -124,10 +136,19 @@ pub fn run(catalog: &dyn Catalog, sql: &str) -> SqlResult<QueryOutcome> {
 /// Execute a bound query: lower to a physical plan, run it on the
 /// engine executor, attach the output schema.
 pub fn execute(catalog: &dyn Catalog, q: &BoundQuery) -> SqlResult<ResultSet> {
+    execute_with(catalog, q, &Executor::default())
+}
+
+/// [`execute`] on an explicit executor (see [`run_with`]).
+pub fn execute_with(
+    catalog: &dyn Catalog,
+    q: &BoundQuery,
+    executor: &Executor,
+) -> SqlResult<ResultSet> {
     let tables = resolve_tables(catalog, q)?;
     let plan = q.lower();
     let auxes: Vec<Aux<'_>> = (0..tables.len()).map(|_| Aux::default()).collect();
-    let result = Executor::default().execute_plan(&tables, &auxes, &plan);
+    let result = executor.execute_plan(&tables, &auxes, &plan);
     Ok(ResultSet {
         columns: q.output_columns(),
         rows: result.rows,

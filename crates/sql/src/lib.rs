@@ -77,6 +77,6 @@ pub mod token;
 pub use amnesia_engine::ExecStats;
 pub use ast::{Select, Statement};
 pub use error::{Span, SqlError, SqlResult};
-pub use exec::{execute, run, Datum, QueryOutcome, ResultSet};
+pub use exec::{execute, execute_with, run, run_with, Datum, QueryOutcome, ResultSet};
 pub use parser::parse;
 pub use plan::{bind, BoundQuery, Catalog};

@@ -717,3 +717,336 @@ fn join_kernels_agree_with_row_at_a_time_reference() {
         );
     }
 }
+
+// ===================================================================
+// Morsel scheduler: PhysicalPlan execution, parallel == serial
+// ===================================================================
+
+use amnesia::engine::physical::JoinSpec;
+use amnesia::engine::{ColPred, ExecMode, Executor, PhysItem, PhysScan, PhysicalPlan, SortDir};
+
+/// Non-power-of-two worker counts included on purpose: uneven morsel
+/// partitions are where merge-order bugs live.
+const PLAN_THREADS: [usize; 3] = [2, 7, 8];
+
+/// Small morsels so even the few-thousand-row test tables split into
+/// many morsels per stage (the default 16K-row morsel would collapse
+/// them all into the serial fallback).
+const SMALL_MORSEL: usize = 128;
+
+fn executor(threads: usize) -> Executor {
+    let mode = if threads <= 1 {
+        ExecMode::Serial
+    } else {
+        ExecMode::Parallel(threads)
+    };
+    Executor::default()
+        .with_exec_mode(mode)
+        .with_morsel_rows(SMALL_MORSEL)
+}
+
+/// Run `plan` serially and at every parallel width; the rows must be
+/// byte-identical, and parallel execution must not add block decodes
+/// beyond what the serial run performs.
+fn assert_plan_parallel_equals_serial(tables: &[&Table], plan: &PhysicalPlan, ctx: &str) {
+    let serial = executor(1).execute_plan(tables, &[], plan);
+    for threads in PLAN_THREADS {
+        let before = block_decodes();
+        let par = executor(threads).execute_plan(tables, &[], plan);
+        let decoded = block_decodes() - before;
+        assert_eq!(
+            par.rows, serial.rows,
+            "plan output diverged at {threads} threads: {ctx}"
+        );
+        assert_eq!(
+            par.stats.rows_scanned, serial.stats.rows_scanned,
+            "scan accounting diverged at {threads} threads: {ctx}"
+        );
+        let fully_frozen = tables
+            .iter()
+            .all(|t| t.frozen_blocks() * t.block_rows() >= t.num_rows());
+        if fully_frozen {
+            assert_eq!(
+                decoded, 0,
+                "parallel plan over fully-frozen tables decoded {decoded} blocks \
+                 at {threads} threads: {ctx}"
+            );
+        }
+    }
+}
+
+/// The grouped-aggregate plan shape (scan → group → sort → limit).
+fn grouped_plan() -> PhysicalPlan {
+    PhysicalPlan {
+        scans: vec![PhysScan {
+            preds: vec![ColPred::range(1, 100, 700), ColPred::range(2, 10, 80)],
+            label: "Scan t [active-only]".into(),
+        }],
+        join: None,
+        items: vec![
+            PhysItem::Column {
+                slot: 0,
+                col: 0,
+                display: "g".into(),
+            },
+            PhysItem::Aggregate {
+                kind: AggKind::Count,
+                arg: None,
+                display: "n".into(),
+            },
+            PhysItem::Aggregate {
+                kind: AggKind::Sum,
+                arg: Some((0, 1)),
+                display: "s".into(),
+            },
+            PhysItem::Aggregate {
+                kind: AggKind::Avg,
+                arg: Some((0, 2)),
+                display: "m".into(),
+            },
+            PhysItem::Aggregate {
+                kind: AggKind::Min,
+                arg: Some((0, 1)),
+                display: "lo".into(),
+            },
+            PhysItem::Aggregate {
+                kind: AggKind::Max,
+                arg: Some((0, 1)),
+                display: "hi".into(),
+            },
+        ],
+        group_by: Some((0, 0, "g".into())),
+        order_by: Some((2, SortDir::Desc)),
+        limit: Some(16),
+    }
+}
+
+/// Selective projection with an ORDER BY (exercises the parallel sort
+/// merge) and no LIMIT (every surviving row must come back, in order).
+fn projection_plan() -> PhysicalPlan {
+    PhysicalPlan {
+        scans: vec![PhysScan {
+            preds: vec![ColPred::range(1, 0, 500)],
+            label: "Scan t [active-only]".into(),
+        }],
+        join: None,
+        items: vec![
+            PhysItem::Column {
+                slot: 0,
+                col: 0,
+                display: "g".into(),
+            },
+            PhysItem::Column {
+                slot: 0,
+                col: 2,
+                display: "b".into(),
+            },
+        ],
+        group_by: None,
+        order_by: Some((1, SortDir::Asc)),
+        limit: None,
+    }
+}
+
+/// Global (ungrouped) aggregate — the per-chunk AggState merge path.
+fn global_agg_plan() -> PhysicalPlan {
+    PhysicalPlan {
+        scans: vec![PhysScan {
+            preds: vec![ColPred::range(1, 50, 900)],
+            label: "Scan t [active-only]".into(),
+        }],
+        join: None,
+        items: vec![
+            PhysItem::Aggregate {
+                kind: AggKind::Count,
+                arg: None,
+                display: "n".into(),
+            },
+            PhysItem::Aggregate {
+                kind: AggKind::Sum,
+                arg: Some((0, 2)),
+                display: "s".into(),
+            },
+            PhysItem::Aggregate {
+                kind: AggKind::Avg,
+                arg: Some((0, 1)),
+                display: "m".into(),
+            },
+        ],
+        group_by: None,
+        order_by: None,
+        limit: None,
+    }
+}
+
+/// A three-column table (`g`, `a`, `b`) under a pinned codec.
+fn plan_table(block_rows: usize, encoding: Option<Encoding>, n: usize, seed: u64) -> Table {
+    let mut rng = SimRng::new(seed);
+    let mut t = Table::with_block_rows(Schema::new(vec!["g", "a", "b"]), block_rows);
+    for c in 0..3 {
+        t.pin_encoding(c, encoding);
+    }
+    for i in 0..n {
+        // `g` cycles (dict/rle-friendly), `a` trends (delta-friendly),
+        // `b` is noise (forpack-friendly).
+        t.insert(
+            &[
+                (i % 23) as i64,
+                (i as i64 / 4) % 1_000,
+                rng.range_i64(0, 100),
+            ],
+            0,
+        )
+        .unwrap();
+    }
+    t
+}
+
+/// `execute_plan` under `ExecMode::Parallel` must match the serial path
+/// byte-for-byte across codecs × block sizes × thread counts ×
+/// freeze/forget/recompress interleavings, without extra block decodes
+/// once the table is fully frozen.
+#[test]
+fn physical_plans_parallel_equals_serial_across_tiers() {
+    for (block_rows, encoding, seed) in [
+        (64usize, None, 11u64),
+        (64, Some(Encoding::Rle), 12),
+        (64, Some(Encoding::Dict), 13),
+        (128, Some(Encoding::Delta), 14),
+        (128, Some(Encoding::ForPack), 15),
+        (256, Some(Encoding::Plain), 16),
+        (1024, None, 17),
+    ] {
+        let ctx = format!("block_rows={block_rows} enc={encoding:?}");
+        let mut rng = SimRng::new(seed);
+        let mut t = plan_table(block_rows, encoding, 3_000, seed);
+        let plans = [grouped_plan(), projection_plan(), global_agg_plan()];
+        let check = |t: &Table, stage: &str| {
+            for (i, plan) in plans.iter().enumerate() {
+                assert_plan_parallel_equals_serial(&[t], plan, &format!("{ctx} plan#{i} {stage}"));
+            }
+        };
+        check(&t, "hot");
+        for _ in 0..700 {
+            if let Some(r) = t.random_active(&mut rng) {
+                t.forget(r, 1).unwrap();
+            }
+        }
+        check(&t, "hot+forgets");
+        t.freeze_upto(t.num_rows() / 2);
+        check(&t, "half-frozen");
+        t.freeze_upto(t.num_rows());
+        check(&t, "frozen");
+        for _ in 0..400 {
+            if let Some(r) = t.random_active(&mut rng) {
+                t.forget(r, 2).unwrap();
+            }
+        }
+        check(&t, "frozen+forgets");
+        t.recompress_frozen(0.9);
+        check(&t, "recompressed");
+        for i in 0..900 {
+            t.insert(&[i % 23, 400 + (i % 300), rng.range_i64(0, 100)], 3)
+                .unwrap();
+        }
+        check(&t, "regrown-tail");
+    }
+}
+
+/// The two-table join plan: parallel build/probe/gather must reproduce
+/// the serial pair stream exactly, across independent freeze states of
+/// the two sides.
+#[test]
+fn join_plans_parallel_equals_serial_across_tiers() {
+    let join_plan = PhysicalPlan {
+        scans: vec![
+            PhysScan {
+                preds: vec![],
+                label: "Scan parent [active-only]".into(),
+            },
+            PhysScan {
+                preds: vec![ColPred::range(1, 0, 600)],
+                label: "Scan child [active-only]".into(),
+            },
+        ],
+        join: Some(JoinSpec {
+            left_col: 0,
+            right_col: 0,
+            display: "parent.k = child.fk".into(),
+        }),
+        items: vec![
+            PhysItem::Column {
+                slot: 0,
+                col: 1,
+                display: "pa".into(),
+            },
+            PhysItem::Column {
+                slot: 1,
+                col: 2,
+                display: "cb".into(),
+            },
+        ],
+        group_by: None,
+        order_by: None,
+        limit: None,
+    };
+    let grouped_join_plan = PhysicalPlan {
+        items: vec![
+            PhysItem::Column {
+                slot: 0,
+                col: 0,
+                display: "k".into(),
+            },
+            PhysItem::Aggregate {
+                kind: AggKind::Count,
+                arg: None,
+                display: "n".into(),
+            },
+            PhysItem::Aggregate {
+                kind: AggKind::Sum,
+                arg: Some((1, 2)),
+                display: "s".into(),
+            },
+        ],
+        group_by: Some((0, 0, "k".into())),
+        order_by: Some((2, SortDir::Desc)),
+        limit: Some(8),
+        ..join_plan.clone()
+    };
+    for (block_rows, encoding) in [
+        (64usize, Some(Encoding::Dict)),
+        (64, Some(Encoding::Rle)),
+        (128, None),
+    ] {
+        let ctx = format!("block_rows={block_rows} enc={encoding:?}");
+        let mut rng = SimRng::new(31);
+        let mut parent = plan_table(block_rows, encoding, 1_200, 32);
+        let mut child = plan_table(block_rows, encoding, 2_400, 33);
+        for _ in 0..500 {
+            if let Some(r) = parent.random_active(&mut rng) {
+                parent.forget(r, 1).unwrap();
+            }
+            if let Some(r) = child.random_active(&mut rng) {
+                child.forget(r, 1).unwrap();
+            }
+        }
+        let check = |p: &Table, c: &Table, stage: &str| {
+            assert_plan_parallel_equals_serial(&[p, c], &join_plan, &format!("{ctx} {stage}"));
+            assert_plan_parallel_equals_serial(
+                &[p, c],
+                &grouped_join_plan,
+                &format!("{ctx} grouped {stage}"),
+            );
+        };
+        check(&parent, &child, "hot/hot");
+        parent.freeze_upto(parent.num_rows());
+        check(&parent, &child, "frozen/hot");
+        child.freeze_upto(child.num_rows() / 2);
+        check(&parent, &child, "frozen/mixed");
+        child.freeze_upto(child.num_rows());
+        check(&parent, &child, "frozen/frozen");
+        parent.recompress_frozen(0.95);
+        child.recompress_frozen(0.95);
+        check(&parent, &child, "recompressed");
+    }
+}

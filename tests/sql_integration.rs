@@ -476,6 +476,10 @@ proptest! {
             let got = run_rows(&tiered_cat, &q);
             prop_assert_eq!(&got, &run_rows(&flat_cat, &q), "tiered == flat: {}", &q);
             prop_assert_eq!(&got, &reference_execute(&flat_cat, &q), "tiered == reference: {}", &q);
+            // Morsel-parallel dispatch rides the same random freeze/
+            // forget/recompress interleavings (7 workers: deliberately
+            // non-power-of-two).
+            prop_assert_eq!(&got, &run_rows_at(&tiered_cat, &q, 7), "parallel == serial: {}", &q);
         }
     }
 }
@@ -512,6 +516,118 @@ proptest! {
             Datum::Int(v) => prop_assert_eq!(v, expected),
             Datum::Null => prop_assert_eq!(active, 0),
             other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Morsel scheduler: SQL through ExecMode::Parallel == serial.
+// ---------------------------------------------------------------------
+
+use amnesia::engine::{ExecMode, Executor};
+use amnesia::sql::run_with;
+
+/// Run `sql` through an executor pinned to `threads` workers with small
+/// morsels, so the few-thousand-row suite tables split into many
+/// morsels per stage.
+fn run_rows_at(catalog: &TestCatalog, sql: &str, threads: usize) -> Vec<Vec<Datum>> {
+    let mode = if threads <= 1 {
+        ExecMode::Serial
+    } else {
+        ExecMode::Parallel(threads)
+    };
+    let executor = Executor::default()
+        .with_exec_mode(mode)
+        .with_morsel_rows(128);
+    match run_with(catalog, sql, &executor).unwrap() {
+        QueryOutcome::Rows(rs) => rs.rows,
+        QueryOutcome::Plan(p) => panic!("unexpected plan {p}"),
+    }
+}
+
+/// Every SQL query shape, over every codec × block size × recompress
+/// configuration, at 1/2/7/8 worker threads (non-power-of-two on
+/// purpose: uneven morsel partitions are where merge-order bugs live):
+/// the parallel rows must be byte-identical to the serial rows and to
+/// the row-at-a-time reference.
+#[test]
+fn sql_parallel_equals_serial_across_tiers() {
+    let mut rng = SimRng::new(0xC0FFEE);
+    let rows: Vec<(i64, i64, i64)> = (0..3_000)
+        .map(|i| ((i / 100) % 7, rng.range_i64(0, 120), rng.range_i64(0, 100)))
+        .collect();
+    let forget: Vec<usize> = (0..400).map(|_| rng.range_i64(0, 3_000) as usize).collect();
+    for encoding in [
+        None,
+        Some(Encoding::Rle),
+        Some(Encoding::Dict),
+        Some(Encoding::ForPack),
+        Some(Encoding::Delta),
+    ] {
+        for block_rows in [128usize, 1024] {
+            for recompress in [false, true] {
+                let (tiered, _) =
+                    tiered_and_flat(&rows, &forget, block_rows, encoding, 0.7, recompress);
+                let cat = TestCatalog {
+                    tables: vec![("t".into(), tiered), ("u".into(), partner(1_500, true))],
+                };
+                for q in query_shapes(20, 90, 3) {
+                    let serial = run_rows_at(&cat, &q, 1);
+                    let ctx = format!(
+                        "{encoding:?} block_rows={block_rows} recompress={recompress} q={q}"
+                    );
+                    assert_eq!(
+                        serial,
+                        run_rows(&cat, &q),
+                        "pinned serial == default: {ctx}"
+                    );
+                    for threads in [2usize, 7, 8] {
+                        assert_eq!(
+                            run_rows_at(&cat, &q, threads),
+                            serial,
+                            "parallel ({threads} threads) == serial: {ctx}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The zero-decode invariant survives parallel dispatch: a frozen-only
+/// query fanned out over morsel workers must not decode a single block
+/// more than the serial path (which decodes none).
+#[test]
+fn parallel_frozen_queries_decode_zero_blocks() {
+    let mut rng = SimRng::new(7);
+    let rows: Vec<(i64, i64, i64)> = (0..4_096)
+        .map(|i| ((i / 512) % 8, rng.range_i64(0, 200), rng.range_i64(0, 50)))
+        .collect();
+    for encoding in [None, Some(Encoding::Rle), Some(Encoding::Dict)] {
+        let (tiered, _) = tiered_and_flat(&rows, &[1, 65, 1030, 2049], 1024, encoding, 1.0, false);
+        assert_eq!(tiered.col_tier(0).hot_values().len(), 0, "fully frozen");
+        let cat = TestCatalog {
+            tables: vec![("t".into(), tiered)],
+        };
+        let queries = [
+            "SELECT g, COUNT(*) AS n, SUM(a) AS s FROM t \
+             WHERE a BETWEEN 20 AND 150 AND b > 5 GROUP BY g ORDER BY s DESC",
+            "SELECT COUNT(*), SUM(a), MIN(a), MAX(b), AVG(b) FROM t WHERE a >= 10 AND b <> 7",
+            "SELECT a FROM t WHERE a BETWEEN 40 AND 45 AND b <= 20",
+        ];
+        for q in queries {
+            let serial = run_rows_at(&cat, q, 1);
+            for threads in [2usize, 8] {
+                let before = block_decodes();
+                let got = run_rows_at(&cat, q, threads);
+                assert_eq!(
+                    block_decodes(),
+                    before,
+                    "{encoding:?} {q}: parallel ({threads} threads) frozen SQL must not \
+                     decode blocks"
+                );
+                assert_eq!(got, serial, "{encoding:?} {q} at {threads} threads");
+            }
         }
     }
 }
