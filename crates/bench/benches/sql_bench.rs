@@ -20,9 +20,13 @@ use std::time::{Duration, Instant};
 
 use amnesia_columnar::compress::block_decodes;
 use amnesia_columnar::{Schema, Table, Value};
-use amnesia_engine::{ExecMode, Executor};
+use amnesia_engine::{
+    q_error, ColPred, ColumnStats, CostModel, ExecMode, Executor, PhysItem, PhysScan, PhysicalPlan,
+    PlanHint,
+};
 use amnesia_sql::{run, run_with, Catalog, Datum, QueryOutcome};
 use amnesia_util::SimRng;
+use amnesia_workload::AggKind;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 const N: usize = 1_000_000;
@@ -111,6 +115,86 @@ fn required_scale_gate() -> Option<f64> {
             let cores = std::thread::available_parallelism().map_or(1, usize::from);
             (cores >= 8).then_some(3.5)
         }
+    }
+}
+
+/// The predicate-ordering gate (CI: part of the `scaling-gate` job).
+///
+/// `AMNESIA_ORDER_GATE` semantics: a number (e.g. `2.0`) enforces that
+/// cost-driven speedup over the syntactic order on the worst-order
+/// query; `0` disables; unset defaults to the 2x acceptance bar.
+fn required_order_gate() -> Option<f64> {
+    match std::env::var("AMNESIA_ORDER_GATE") {
+        Ok(v) => {
+            let x: f64 = v.trim().parse().unwrap_or(0.0);
+            (x > 0.0).then_some(x)
+        }
+        Err(_) => Some(2.0),
+    }
+}
+
+/// The estimation-quality gate: max q-error allowed on the uniform and
+/// zipf columns. `AMNESIA_QERROR_GATE` overrides (0 disables); unset
+/// defaults to 8.0.
+fn required_qerror_gate() -> Option<f64> {
+    match std::env::var("AMNESIA_QERROR_GATE") {
+        Ok(v) => {
+            let x: f64 = v.trim().parse().unwrap_or(0.0);
+            (x > 0.0).then_some(x)
+        }
+        Err(_) => Some(8.0),
+    }
+}
+
+/// Worst-order table: three wide noise columns (`w1..w3`, uniform over
+/// `[0, 1000)`, so every frozen block's meta spans the domain and prunes
+/// nothing) plus one selective column `s` whose 1 % predicate also can't
+/// prune blocks — the speedup must come purely from *evaluation order*.
+fn worst_order_table() -> Table {
+    let mut rng = SimRng::new(0xBEEF);
+    let mut t = Table::new(Schema::new(vec!["w1", "w2", "w3", "s"]));
+    for i in 0..N {
+        t.insert(
+            &[
+                rng.range_i64(0, 1000),
+                rng.range_i64(0, 1000),
+                rng.range_i64(0, 1000),
+                (i as i64).wrapping_mul(7919) % 1000,
+            ],
+            0,
+        )
+        .unwrap();
+    }
+    t.freeze_upto(N);
+    t
+}
+
+/// COUNT(*) under the conjunction written worst-first: three ~90 % noise
+/// predicates lead, the ~1 % selective predicate trails. Syntactic order
+/// pays three dense passes per block before the selective one;
+/// cost-based order runs the selective predicate first and refines the
+/// noise predicates over its sparse survivors.
+fn worst_order_plan(hint: PlanHint) -> PhysicalPlan {
+    PhysicalPlan {
+        scans: vec![PhysScan {
+            preds: vec![
+                ColPred::range(0, 0, 899),
+                ColPred::range(1, 0, 899),
+                ColPred::range(2, 0, 899),
+                ColPred::range(3, 0, 9),
+            ],
+            label: "Scan w [active-only]".into(),
+        }],
+        join: None,
+        items: vec![PhysItem::Aggregate {
+            kind: AggKind::Count,
+            arg: None,
+            display: "count(*)".into(),
+        }],
+        group_by: None,
+        order_by: None,
+        limit: None,
+        hint,
     }
 }
 
@@ -247,6 +331,103 @@ fn sql(c: &mut Criterion) {
         }
     }
 
+    // Worst-order leg: the cost-driven predicate order must beat the
+    // syntactic (worst-written) order on a frozen table where block
+    // pruning can't help — identical rows, zero extra decodes, and at
+    // least the gated speedup.
+    let wt = worst_order_table();
+    let wtables = [&wt];
+    let ex = Executor::default().with_exec_mode(ExecMode::Serial);
+    let before = block_decodes();
+    let syn = ex.execute_plan(&wtables, &[], &worst_order_plan(PlanHint::SyntacticOrder));
+    let syn_decodes = block_decodes() - before;
+    let before = block_decodes();
+    let cost = ex.execute_plan(&wtables, &[], &worst_order_plan(PlanHint::CostBased));
+    let cost_decodes = block_decodes() - before;
+    assert_eq!(cost.rows, syn.rows, "cost-driven order changed the answer");
+    assert_eq!(
+        cost_decodes, 0,
+        "cost-ordered worst-order scan must not decode a block"
+    );
+    assert!(
+        cost_decodes <= syn_decodes,
+        "cost order added decodes: {cost_decodes} > {syn_decodes}"
+    );
+    let t_syn = time_it(7, || {
+        ex.execute_plan(&wtables, &[], &worst_order_plan(PlanHint::SyntacticOrder))
+    });
+    let t_cost = time_it(7, || {
+        ex.execute_plan(&wtables, &[], &worst_order_plan(PlanHint::CostBased))
+    });
+    let order_speedup = t_syn.as_secs_f64() / t_cost.as_secs_f64().max(1e-9);
+    println!(
+        "sql/worst_order 1M frozen: syntactic {t_syn:?}, cost-driven {t_cost:?} \
+         ({order_speedup:.1}x)"
+    );
+    match required_order_gate() {
+        Some(required) => {
+            assert!(
+                order_speedup >= required,
+                "cost-driven predicate order must beat the syntactic worst order \
+                 >= {required:.1}x, got {order_speedup:.1}x (tune with AMNESIA_ORDER_GATE)"
+            );
+            println!("order gate: {order_speedup:.1}x >= {required:.1}x — pass");
+        }
+        None => println!("order gate: skipped (got {order_speedup:.1}x; AMNESIA_ORDER_GATE=0)"),
+    }
+
+    // Estimation-quality gate: max q-error of the block-stats estimator
+    // on uniform and zipf-skewed frozen columns, over a sweep of range
+    // predicates.
+    let model = CostModel::default();
+    let mut qmax = 1.0f64;
+    for (dist, values) in [
+        (
+            "uniform",
+            (0..65_536)
+                .map(|i| (i as i64).wrapping_mul(2654435761) % 10_000)
+                .map(|v| v.rem_euclid(10_000))
+                .collect::<Vec<i64>>(),
+        ),
+        (
+            "zipf",
+            (0..65_536)
+                .map(|i| {
+                    let u = ((i as i64).wrapping_mul(40_503).rem_euclid(65_536)) as f64 / 65_536.0;
+                    (10_000.0 * u * u * u) as i64
+                })
+                .collect::<Vec<i64>>(),
+        ),
+    ] {
+        let mut qt = Table::new(Schema::single("v"));
+        qt.insert_batch(&values, 0).unwrap();
+        qt.freeze_upto((values.len() / qt.block_rows()) * qt.block_rows());
+        let stats = ColumnStats::from_tier(qt.col_tier(0), &model);
+        for (lo, hi) in [(0i64, 999), (0, 4_999), (2_500, 7_499), (5_000, 9_999)] {
+            let p = ColPred::range(0, lo, hi);
+            let actual = values.iter().filter(|&&v| lo <= v && v <= hi).count() as f64;
+            let q = q_error(stats.estimate_pred(&p), actual);
+            if q > qmax {
+                qmax = q;
+            }
+            println!(
+                "qerror/{dist} [{lo},{hi}]: est {:.0} actual {actual:.0} (q {q:.2})",
+                stats.estimate_pred(&p)
+            );
+        }
+    }
+    match required_qerror_gate() {
+        Some(bound) => {
+            assert!(
+                qmax <= bound,
+                "max q-error {qmax:.2} exceeds the {bound:.1} gate \
+                 (tune with AMNESIA_QERROR_GATE)"
+            );
+            println!("q-error gate: {qmax:.2} <= {bound:.1} — pass");
+        }
+        None => println!("q-error gate: skipped (got {qmax:.2}; AMNESIA_QERROR_GATE=0)"),
+    }
+
     let mut group = c.benchmark_group("sql/grouped_agg");
     group.throughput(Throughput::Elements(N as u64));
     group.bench_function("hot", |b| b.iter(|| black_box(sql_rows(&hot, GROUPED_SQL))));
@@ -291,6 +472,19 @@ fn sql(c: &mut Criterion) {
         b.iter(|| black_box(sql_rows(&frozen, PROJ_SQL)))
     });
     proj.finish();
+
+    // The worst-order legs as tracked benchmarks.
+    let mut wo = c.benchmark_group("sql/worst_order");
+    wo.throughput(Throughput::Elements(N as u64));
+    wo.bench_function("syntactic", |b| {
+        b.iter(|| {
+            black_box(ex.execute_plan(&wtables, &[], &worst_order_plan(PlanHint::SyntacticOrder)))
+        })
+    });
+    wo.bench_function("cost_driven", |b| {
+        b.iter(|| black_box(ex.execute_plan(&wtables, &[], &worst_order_plan(PlanHint::CostBased))))
+    });
+    wo.finish();
 }
 
 criterion_group! {

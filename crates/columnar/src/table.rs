@@ -342,6 +342,18 @@ impl Table {
         }
     }
 
+    /// Total frozen-block accesses (blocks that survived pruning and were
+    /// actually scanned or probed) summed over every column — the
+    /// feedback signal for recency-driven freezing and estimator
+    /// calibration. See
+    /// [`TieredColumn::note_block_access`](crate::tier::TieredColumn::note_block_access).
+    pub fn block_accesses(&self) -> u64 {
+        self.columns
+            .iter()
+            .map(|c| c.tier().total_block_accesses())
+            .sum()
+    }
+
     /// The packed active-row words (see
     /// [`ActivityMap::words`](crate::activity::ActivityMap::words)).
     #[inline]

@@ -47,6 +47,8 @@
 //! and `active` counts are exact because [`TieredColumn::note_forget`]
 //! observes every first-time forget.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use serde::{Deserialize, Serialize};
 
 use amnesia_util::WORD_BITS;
@@ -139,6 +141,52 @@ impl FrozenBlock {
     }
 }
 
+/// Per-block access counters: how many times each frozen block survived
+/// pruning and was actually scanned or probed. This is *observability*,
+/// not state — the feedback signal recency-driven freezing and the
+/// cost-based planner's estimator calibration read — so it is
+/// deliberately excluded from equality (`PartialEq` always holds): a
+/// recovered or cloned-for-comparison column with fresh counters still
+/// compares layout-equal. Counters bump through `&self` (relaxed
+/// atomics), so the read-only scan kernels can account without taking a
+/// write path.
+#[derive(Default, Serialize, Deserialize)]
+pub struct AccessCounters(Vec<AtomicU64>);
+
+impl AccessCounters {
+    fn resize(&mut self, blocks: usize) {
+        while self.0.len() < blocks {
+            self.0.push(AtomicU64::new(0));
+        }
+        self.0.truncate(blocks);
+    }
+}
+
+impl Clone for AccessCounters {
+    fn clone(&self) -> Self {
+        Self(
+            self.0
+                .iter()
+                .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
+                .collect(),
+        )
+    }
+}
+
+impl PartialEq for AccessCounters {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl std::fmt::Debug for AccessCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list()
+            .entries(self.0.iter().map(|c| c.load(Ordering::Relaxed)))
+            .finish()
+    }
+}
+
 /// A column whose cold prefix lives compressed in place: frozen
 /// [`EncodedBlock`]s with cached [`BlockMeta`], then a hot uncompressed
 /// tail. Replaces the raw `Vec<Value>` inside `Table`/`Column`.
@@ -154,6 +202,7 @@ pub struct TieredColumn {
     encoding: Option<Encoding>,
     frozen: Vec<FrozenBlock>,
     hot: Vec<Value>,
+    accesses: AccessCounters,
 }
 
 impl TieredColumn {
@@ -173,6 +222,7 @@ impl TieredColumn {
             encoding: None,
             frozen: Vec::new(),
             hot: Vec::new(),
+            accesses: AccessCounters::default(),
         }
     }
 
@@ -214,6 +264,7 @@ impl TieredColumn {
         c.encoding = encoding;
         c.frozen = frozen;
         c.hot = hot;
+        c.accesses.resize(c.frozen.len());
         c
     }
 
@@ -262,6 +313,60 @@ impl TieredColumn {
     /// Cached metadata of frozen block `b`. Panics if out of range.
     pub fn meta(&self, b: usize) -> &BlockMeta {
         &self.frozen[b].meta
+    }
+
+    /// Record that frozen block `b` survived pruning and was actually
+    /// scanned or probed. Relaxed atomic bump through `&self`, so the
+    /// read-only kernels (and their parallel morsel variants) can account
+    /// without a write path. Out-of-range indices are ignored.
+    #[inline]
+    pub fn note_block_access(&self, b: usize) {
+        if let Some(c) = self.accesses.0.get(b) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Times frozen block `b` survived pruning and was scanned/probed
+    /// (0 for out-of-range).
+    pub fn block_accesses(&self, b: usize) -> u64 {
+        self.accesses
+            .0
+            .get(b)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Total block accesses across all frozen blocks of this column.
+    pub fn total_block_accesses(&self) -> u64 {
+        self.accesses
+            .0
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Cheap, conservative test that this column's physical row order is
+    /// nondecreasing in *value* over its active rows: frozen block metas
+    /// must chain nondecreasingly (blocks with no active rows contribute
+    /// nothing and are skipped) and the hot tail must be sorted and sit
+    /// at or above the frozen maximum. Costs O(frozen blocks + hot rows)
+    /// and never touches a compressed payload.
+    ///
+    /// A `true` is a *hint*: block meta cannot see within-block order, so
+    /// callers relying on global order (the sort-merge join path) must
+    /// verify on the materialized keys before trusting it. `false` is
+    /// always safe — it only forfeits an optimization.
+    pub fn sorted_hint(&self) -> bool {
+        let mut prev = Value::MIN;
+        for f in &self.frozen {
+            if f.meta.active == 0 {
+                continue;
+            }
+            if f.meta.min < prev {
+                return false;
+            }
+            prev = f.meta.max;
+        }
+        self.hot.first().is_none_or(|&h0| h0 >= prev) && self.hot.windows(2).all(|w| w[0] <= w[1])
     }
 
     /// Append one value to the hot tail. Freezing is *explicit*
@@ -324,6 +429,7 @@ impl TieredColumn {
             });
         }
         self.hot = self.hot.split_off(k * self.block_rows);
+        self.accesses.resize(self.frozen.len());
         k
     }
 
@@ -348,6 +454,7 @@ impl TieredColumn {
         let thawed = values.len();
         values.append(&mut self.hot);
         self.hot = values;
+        self.accesses.resize(self.frozen.len());
         thawed
     }
 
@@ -721,5 +828,63 @@ mod tests {
     #[should_panic]
     fn unaligned_block_size_rejected() {
         let _ = TieredColumn::with_block_rows(100);
+    }
+
+    #[test]
+    fn access_counters_track_blocks_and_stay_out_of_equality() {
+        let mut c = TieredColumn::with_block_rows(64);
+        c.extend_from_slice(&(0..192).collect::<Vec<i64>>());
+        c.freeze_upto(192, &all_active(192));
+        assert_eq!(c.total_block_accesses(), 0);
+        c.note_block_access(0);
+        c.note_block_access(0);
+        c.note_block_access(2);
+        c.note_block_access(99); // out of range: ignored
+        assert_eq!(c.block_accesses(0), 2);
+        assert_eq!(c.block_accesses(1), 0);
+        assert_eq!(c.block_accesses(2), 1);
+        assert_eq!(c.total_block_accesses(), 3);
+        // Counters survive clone…
+        let twin = c.clone();
+        assert_eq!(twin.block_accesses(0), 2);
+        // …but never participate in layout equality.
+        let mut fresh = TieredColumn::with_block_rows(64);
+        fresh.extend_from_slice(&(0..192).collect::<Vec<i64>>());
+        fresh.freeze_upto(192, &all_active(192));
+        assert_eq!(c, fresh, "access counts are observability, not state");
+        // Thawing a suffix truncates its counters.
+        c.thaw_block(1);
+        assert_eq!(c.total_block_accesses(), 2);
+    }
+
+    #[test]
+    fn sorted_hint_is_conservative() {
+        let mut c = TieredColumn::with_block_rows(64);
+        c.extend_from_slice(&(0..200).collect::<Vec<i64>>());
+        assert!(c.sorted_hint(), "sorted hot tail");
+        c.freeze_upto(200, &all_active(200));
+        assert!(c.sorted_hint(), "sorted across tiers");
+        // A hot value below the frozen max breaks the chain.
+        c.push(-1);
+        assert!(!c.sorted_hint());
+        // Unsorted hot tail.
+        let mut u = TieredColumn::with_block_rows(64);
+        u.extend_from_slice(&[3, 1, 2]);
+        assert!(!u.sorted_hint());
+        // Out-of-order block metas.
+        let mut o = TieredColumn::with_block_rows(64);
+        o.extend_from_slice(&(0..64).rev().collect::<Vec<i64>>());
+        o.extend_from_slice(&(100..164).collect::<Vec<i64>>());
+        o.freeze_upto(128, &all_active(128));
+        // Block 0 meta is [0,63], block 1 meta [100,163]: the chain holds
+        // even though block 0 is internally reversed — which is exactly
+        // why the hint must be verified on materialized keys.
+        assert!(o.sorted_hint());
+        let mut bad = TieredColumn::with_block_rows(64);
+        bad.extend_from_slice(&(100..164).collect::<Vec<i64>>());
+        bad.extend_from_slice(&(0..64).collect::<Vec<i64>>());
+        bad.freeze_upto(128, &all_active(128));
+        assert!(!bad.sorted_hint());
+        assert!(TieredColumn::new().sorted_hint(), "empty column is sorted");
     }
 }

@@ -196,7 +196,7 @@ impl AmnesiaMap {
 /// and the overall compression ratio. Budget- and cost-based policies
 /// read `resident_bytes`/`compression_ratio` so the savings from frozen
 /// cold segments actually stretch the storage budget (paper §4.4).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Physical rows (active + marked).
     pub total_rows: usize,
@@ -223,6 +223,31 @@ pub struct MetricsSnapshot {
     /// numerator, so the ratio stays meaningful even when
     /// `drop_forgotten_blocks` has surrendered most payloads.
     pub compression_ratio: f64,
+    /// Cumulative frozen-block accesses across every column: scans and
+    /// probes bump a block's counter each time it survives zone-map
+    /// pruning and is actually touched. Hot traffic — a block that keeps
+    /// getting read is a bad candidate for recompression or dropping.
+    /// Excluded from `PartialEq`: a replayed table starts with fresh
+    /// counters, and crash-recovery compares snapshots field for field.
+    #[serde(default)]
+    pub block_accesses: u64,
+}
+
+/// Equality ignores `block_accesses`: access counters are runtime
+/// telemetry, not logical state, and must not fail crash-recovery
+/// layout comparisons.
+impl PartialEq for MetricsSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_rows == other.total_rows
+            && self.active_rows == other.active_rows
+            && self.resident_bytes == other.resident_bytes
+            && self.bytes_frozen == other.bytes_frozen
+            && self.frozen_blocks == other.frozen_blocks
+            && self.blocks_dropped == other.blocks_dropped
+            && self.blocks_recompressed == other.blocks_recompressed
+            && self.dropped_rows == other.dropped_rows
+            && self.compression_ratio == other.compression_ratio
+    }
 }
 
 impl MetricsSnapshot {
@@ -242,6 +267,7 @@ impl MetricsSnapshot {
             blocks_recompressed,
             dropped_rows: table.dropped_rows(),
             compression_ratio: table.compression_ratio(),
+            block_accesses: table.block_accesses(),
         }
     }
 }

@@ -515,6 +515,7 @@ impl AmnesiacStore {
             blocks_recompressed: self.blocks_recompressed,
             dropped_rows: self.table.dropped_rows(),
             compression_ratio: self.table.compression_ratio(),
+            block_accesses: self.table.block_accesses(),
         }
     }
 }

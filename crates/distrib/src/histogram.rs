@@ -46,6 +46,81 @@ impl Histogram {
         self.total += 1;
     }
 
+    /// The inclusive value range `[lo, hi]` this histogram covers.
+    pub fn range(&self) -> (i64, i64) {
+        (self.lo, self.hi)
+    }
+
+    /// Width of one bin in value space.
+    fn bin_width(&self) -> f64 {
+        (self.hi - self.lo + 1) as f64 / self.counts.len() as f64
+    }
+
+    /// Spread `mass` observations uniformly over the inclusive value
+    /// range `[lo, hi]`, split across the overlapped bins proportionally
+    /// to overlap width (largest-remainder rounding, so the histogram
+    /// total grows by exactly `mass`). This is the pseudo-histogram
+    /// primitive for block-level statistics: a frozen block's cached
+    /// `BlockMeta` gives min/max and an active count but no per-value
+    /// detail, so its mass is modelled as uniform over `[min, max]`.
+    /// Ranges outside the histogram domain clamp to the edge bins.
+    pub fn add_mass(&mut self, lo: i64, hi: i64, mass: u64) {
+        if mass == 0 || lo > hi {
+            return;
+        }
+        let lo_c = lo.clamp(self.lo, self.hi);
+        let hi_c = hi.clamp(self.lo, self.hi);
+        let (b0, b1) = (self.bin_of(lo_c), self.bin_of(hi_c));
+        self.total += mass;
+        if b0 == b1 {
+            self.counts[b0] += mass;
+            return;
+        }
+        let span = (hi_c - lo_c) as f64 + 1.0;
+        let width = self.bin_width();
+        let mut shares: Vec<(usize, f64)> = Vec::with_capacity(b1 - b0 + 1);
+        let mut assigned = 0u64;
+        for (b, share) in (b0..=b1).map(|b| {
+            let bin_lo = self.lo as f64 + b as f64 * width;
+            let ov = ((bin_lo + width).min(hi_c as f64 + 1.0) - bin_lo.max(lo_c as f64)).max(0.0);
+            (b, mass as f64 * ov / span)
+        }) {
+            let whole = share.floor() as u64;
+            self.counts[b] += whole;
+            assigned += whole;
+            shares.push((b, share - share.floor()));
+        }
+        // Largest remainders soak up the rounding shortfall.
+        shares.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        for &(b, _) in shares.iter().take((mass.saturating_sub(assigned)) as usize) {
+            self.counts[b] += 1;
+        }
+    }
+
+    /// Estimated number of observations falling in the inclusive value
+    /// range `[lo, hi]`, assuming mass is uniform *within* each bin
+    /// (partial bins contribute their overlap fraction). The selectivity
+    /// estimator reads predicates through this.
+    pub fn estimate_range(&self, lo: i64, hi: i64) -> f64 {
+        if lo > hi || self.total == 0 {
+            return 0.0;
+        }
+        let lo_c = lo.max(self.lo);
+        let hi_c = hi.min(self.hi);
+        if lo_c > hi_c {
+            return 0.0;
+        }
+        let width = self.bin_width();
+        let (b0, b1) = (self.bin_of(lo_c), self.bin_of(hi_c));
+        let mut est = 0.0;
+        for b in b0..=b1 {
+            let bin_lo = self.lo as f64 + b as f64 * width;
+            let ov = ((bin_lo + width).min(hi_c as f64 + 1.0) - bin_lo.max(lo_c as f64)).max(0.0);
+            est += self.counts[b] as f64 * ov / width;
+        }
+        est
+    }
+
     /// Remove one observation previously added (saturating at zero).
     pub fn remove(&mut self, v: i64) {
         let b = self.bin_of(v);
@@ -223,6 +298,47 @@ mod tests {
         assert_eq!(a.total_variation(&b), 0.0);
         assert_eq!(a.chi_squared(&b), 0.0);
         assert_eq!(a.probabilities(), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn add_mass_conserves_total_and_spreads() {
+        let mut h = Histogram::new(0, 99, 10);
+        h.add_mass(0, 99, 1000);
+        assert_eq!(h.total(), 1000);
+        assert_eq!(h.counts().iter().sum::<u64>(), 1000);
+        // Uniform over the whole domain: every bin gets 100.
+        assert!(h.counts().iter().all(|&c| c == 100), "{:?}", h.counts());
+        // A single-point range lands in one bin.
+        let mut p = Histogram::new(0, 99, 10);
+        p.add_mass(42, 42, 7);
+        assert_eq!(p.count_in_bin(4), 7);
+        // Partial overlap splits proportionally: [5, 14] covers half of
+        // bin 0 and half of bin 1.
+        let mut q = Histogram::new(0, 99, 10);
+        q.add_mass(5, 14, 10);
+        assert_eq!(q.count_in_bin(0), 5);
+        assert_eq!(q.count_in_bin(1), 5);
+        // Out-of-domain ranges clamp to the edge bins.
+        let mut e = Histogram::new(0, 99, 10);
+        e.add_mass(-50, -10, 3);
+        assert_eq!(e.count_in_bin(0), 3);
+        e.add_mass(0, -1, 9); // empty range is a no-op
+        assert_eq!(e.total(), 3);
+    }
+
+    #[test]
+    fn estimate_range_interpolates_within_bins() {
+        let mut h = Histogram::new(0, 99, 10);
+        h.add_mass(0, 99, 1000);
+        // Whole domain: everything.
+        assert!((h.estimate_range(0, 99) - 1000.0).abs() < 1e-6);
+        // Half of one bin.
+        let est = h.estimate_range(0, 4);
+        assert!((est - 50.0).abs() < 1.0, "got {est}");
+        // Outside the domain: nothing.
+        assert_eq!(h.estimate_range(200, 300), 0.0);
+        assert_eq!(h.estimate_range(10, 5), 0.0);
+        assert_eq!(Histogram::new(0, 9, 2).estimate_range(0, 9), 0.0);
     }
 
     #[test]

@@ -465,6 +465,50 @@ pub(crate) fn conj_block_masks(
     }
 }
 
+/// Sparse residual refinement: narrow an existing selection (`sel`) by a
+/// further [`ColPred`](crate::physical::ColPred) without re-filtering the
+/// whole block. When earlier conjuncts left only a few survivors and the
+/// codec supports O(1) random access ([`EncodedBlock::value_at`] for
+/// plain / FOR / dict), each surviving bit is tested individually in
+/// codec space; otherwise the block-wide fused filter runs once and ANDs
+/// in. Both paths compute the same conjunction (AND commutes), so the
+/// selection is byte-identical to evaluating the predicate densely —
+/// only the work differs. The block is never decoded either way.
+///
+/// [`EncodedBlock::value_at`]: amnesia_columnar::compress::EncodedBlock::value_at
+pub(crate) fn refine_block_masks(
+    block: &amnesia_columnar::compress::EncodedBlock,
+    p: &crate::physical::ColPred,
+    sel: &mut [u64],
+    scratch: &mut Vec<u64>,
+) {
+    let surviving: usize = sel.iter().map(|w| w.count_ones() as usize).sum();
+    if surviving == 0 {
+        return;
+    }
+    let random_access = matches!(
+        block.encoding(),
+        Encoding::Plain | Encoding::ForPack | Encoding::Dict
+    );
+    if random_access && surviving * 8 <= block.len() {
+        for (k, w) in sel.iter_mut().enumerate() {
+            let mut m = *w;
+            while m != 0 {
+                let bit = m.trailing_zeros() as usize;
+                m &= m - 1;
+                if !p.matches(block.value_at(k * WORD_BITS + bit)) {
+                    *w &= !(1u64 << bit);
+                }
+            }
+        }
+    } else {
+        conj_block_masks(block, p, scratch);
+        for (w, &m) in sel.iter_mut().zip(scratch.iter()) {
+            *w &= m;
+        }
+    }
+}
+
 /// Fold the selected values of one word into `state`.
 ///
 /// The hot accumulation runs on a word-local `i64` sum — `checked_add`
@@ -1026,6 +1070,7 @@ pub fn scan_tiered_blocks_into(
             stats.blocks_pruned += 1;
             continue;
         }
+        tier.note_block_access(b);
         let bw = block_words(tier, words, b);
         f.encoded()
             .filter_range_masks(pred.lo, pred.hi, &mut mask_buf);
@@ -1101,6 +1146,7 @@ pub fn count_tiered_active(
             stats.blocks_pruned += 1;
             continue;
         }
+        tier.note_block_access(b);
         let bw = block_words(tier, words, b);
         f.encoded()
             .filter_range_masks(pred.lo, pred.hi, &mut mask_buf);
@@ -1151,6 +1197,7 @@ pub fn agg_compressed_blocks(
                 continue;
             }
         }
+        tier.note_block_access(b);
         let mut agg = BlockAgg::new();
         f.encoded()
             .fold_range_masked(filter, block_words(tier, words, b), &mut agg);
@@ -1328,6 +1375,7 @@ pub fn probe_tiered_blocks_with<T>(
             stats.probe_rows_skipped += meta.active;
             continue;
         }
+        tier.note_block_access(b);
         let bw = block_words(tier, words, b);
         let base = b * br;
         let block = f.encoded();

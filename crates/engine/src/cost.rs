@@ -1,12 +1,48 @@
-//! Abstract cost model.
+//! Abstract cost model: the pricing side of the cost-based planner.
 //!
 //! The simulator is "mostly interested in trends rather than speed"
 //! (paper §2.1), so costs are abstract units rather than microseconds:
 //! what matters is the *relative* price of touching a hot row, probing an
-//! index, or dragging a tuple back from cold storage (the paper's Glacier
-//! anecdote: retrieval is orders of magnitude more expensive than keeping
-//! bytes parked).
+//! index, dragging a tuple back from cold storage (the paper's Glacier
+//! anecdote), or — new with the tier-aware planner — evaluating one
+//! predicate against one row *in a codec's own domain*.
+//!
+//! The planner runs an estimate → order → execute → feedback loop with
+//! this module pricing the middle step:
+//!
+//! ```text
+//!            BlockMeta (min/max/active per frozen block)
+//!                          │
+//!        ┌─────────────────▼──────────────────┐
+//!        │ engine::stats — pseudo-histograms  │  estimate
+//!        │ selectivity(pred), per-codec cost  │
+//!        └─────────────────┬──────────────────┘
+//!                          │ rank = selectivity × pred_eval_cost
+//!        ┌─────────────────▼──────────────────┐
+//!        │ Executor::execute_plan — conjuncts │  order + execute
+//!        │ run cheapest-most-selective first, │
+//!        │ residuals refine sparsely over the │
+//!        │ surviving selection words          │
+//!        └─────────────────┬──────────────────┘
+//!                          │ est vs actual rows, per-pred prunes
+//!        ┌─────────────────▼──────────────────┐
+//!        │ ExecStats / EXPLAIN — estimation   │  feedback
+//!        │ quality is a testable artifact     │
+//!        └────────────────────────────────────┘
+//! ```
+//!
+//! Per-codec predicate costs encode how each encoding evaluates a range
+//! predicate without decoding ([`EncodedBlock::filter_range_masks`]):
+//! RLE compares once per *run* and fans the verdict out word-at-a-time,
+//! so its per-row price is almost free; plain and FOR compare every row
+//! (FOR pays a rebase into offset space); dict binary-searches the
+//! dictionary once but then translates every row through the code table;
+//! delta must prefix-sum the whole block to reconstruct values, making it
+//! the most expensive residual to re-touch.
+//!
+//! [`EncodedBlock::filter_range_masks`]: amnesia_columnar::compress::EncodedBlock::filter_range_masks
 
+use amnesia_columnar::compress::Encoding;
 use serde::{Deserialize, Serialize};
 
 /// Cost coefficients in abstract units.
@@ -56,6 +92,24 @@ impl CostModel {
     pub fn cold_recovery(&self, n: usize) -> f64 {
         n as f64 * self.cold_fetch
     }
+
+    /// Relative cost of evaluating one range predicate against one row
+    /// of a block in codec space (`None` = the uncompressed hot tail).
+    /// Abstract units on the [`row_scan`](CostModel::row_scan) scale:
+    /// an RLE block amortizes one comparison over a whole run, FOR pays
+    /// a predicate rebase but compares packed words, dict translates
+    /// every row through its code table, and delta reconstructs values
+    /// by prefix-summing the block.
+    pub fn pred_eval_cost(&self, encoding: Option<Encoding>) -> f64 {
+        let relative = match encoding {
+            Some(Encoding::Rle) => 0.05,
+            Some(Encoding::Plain) | None => 1.0,
+            Some(Encoding::ForPack) => 1.1,
+            Some(Encoding::Dict) => 1.4,
+            Some(Encoding::Delta) => 1.8,
+        };
+        relative * self.row_scan
+    }
 }
 
 #[cfg(test)]
@@ -79,5 +133,17 @@ mod tests {
         let full = m.full_scan(1024 * 100);
         let pruned = m.pruned_scan(3, 1024);
         assert!(pruned < full / 10.0);
+    }
+
+    #[test]
+    fn codec_eval_costs_rank_rle_cheapest_delta_dearest() {
+        let m = CostModel::default();
+        let rle = m.pred_eval_cost(Some(Encoding::Rle));
+        let plain = m.pred_eval_cost(Some(Encoding::Plain));
+        let forp = m.pred_eval_cost(Some(Encoding::ForPack));
+        let dict = m.pred_eval_cost(Some(Encoding::Dict));
+        let delta = m.pred_eval_cost(Some(Encoding::Delta));
+        assert!(rle < plain && plain <= forp && forp < dict && dict < delta);
+        assert_eq!(m.pred_eval_cost(None), plain, "hot tail prices as plain");
     }
 }

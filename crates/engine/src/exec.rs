@@ -15,7 +15,9 @@ use crate::group::GroupTable;
 use crate::kernels;
 use crate::mode::ForgetVisibility;
 use crate::morsel::{self, ExecMode, SchedStats};
-use crate::physical::{finalize_scalar, ColPred, PhysItem, PhysicalPlan, Scalar, SortDir};
+use crate::physical::{
+    finalize_scalar, ColPred, PhysItem, PhysicalPlan, PlanHint, Scalar, SortDir,
+};
 use crate::plan::{Plan, Planner};
 
 use amnesia_columnar::{RowId, Value};
@@ -80,7 +82,7 @@ impl QueryOutput {
 /// execution surface reports (it absorbed the SQL crate's old
 /// `QueryStats`, so SQL, the workload driver and the benches all speak
 /// the same numbers).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ExecStats {
     /// Rows examined.
     pub rows_scanned: usize,
@@ -110,6 +112,55 @@ pub struct ExecStats {
     /// Nanoseconds spent merging per-worker partial state at pipeline
     /// breakers.
     pub merge_ns: u64,
+    /// Per-predicate execution breakdown for cost-ordered conjunctive
+    /// scans: one entry per pushed-down predicate across all scan slots,
+    /// in the order the executor actually evaluated them. Empty when the
+    /// plan ran under [`crate::physical::PlanHint::SyntacticOrder`] or
+    /// carried no multi-predicate conjunction.
+    pub pred_stats: Vec<PredStat>,
+    /// Estimated vs. actual output cardinality per plan stage (one entry
+    /// per scan slot, plus one for the join when present), in stage
+    /// order. Empty under the syntactic escape hatch.
+    pub stage_estimates: Vec<StageEstimate>,
+    /// Which scan slot the hash join built its table from (`Some(1)`
+    /// means the cost model swapped the syntactic build side). `None`
+    /// without a join or under the syntactic hint.
+    pub build_side: Option<usize>,
+}
+
+/// Execution accounting for one pushed-down predicate of a cost-ordered
+/// conjunctive scan (see [`crate::stats::order_predicates`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PredStat {
+    /// Scan slot the predicate belongs to.
+    pub slot: usize,
+    /// Human-readable predicate, as the plan would display it.
+    pub display: String,
+    /// Position in the plan's syntactic (as-written) conjunction.
+    pub syntactic_pos: usize,
+    /// Position the cost model ran it at (0 = evaluated first).
+    pub exec_rank: usize,
+    /// Estimated surviving rows for this predicate alone.
+    pub est_rows: f64,
+    /// Frozen blocks this predicate's block meta pruned outright
+    /// (attributed to the first predicate in execution order whose meta
+    /// check failed).
+    pub blocks_pruned: usize,
+    /// Frozen blocks where this predicate ran as a sparse residual
+    /// refinement over the prior predicates' survivors instead of a
+    /// dense block kernel.
+    pub blocks_refined: usize,
+}
+
+/// Estimated vs. actual cardinality for one executed plan stage.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageEstimate {
+    /// Stage label: the scan's table label, or `"join"`.
+    pub label: String,
+    /// Rows the statistics layer predicted the stage would output.
+    pub est_rows: f64,
+    /// Rows the stage actually output.
+    pub actual_rows: usize,
 }
 
 /// Compact plan identifier for stats.
@@ -132,6 +183,13 @@ pub enum PlanTag {
     /// (see [`crate::join`]). Chosen automatically once either side holds
     /// frozen blocks.
     TieredJoin,
+    /// Sort-merge join over frozen-sorted key columns: both sides'
+    /// cached block metadata proves the key columns nondecreasing, so
+    /// the selected keys gather in order and merge without building a
+    /// hash table. Chosen by the cost-based planner when both sides
+    /// carry the sorted hint (and verified against the gathered keys,
+    /// falling back to the hash join otherwise).
+    MergeJoin,
 }
 
 /// A query result with its statistics.
@@ -356,12 +414,81 @@ impl Executor {
         let mut stats = ExecStats::default();
         let mut sched = SchedStats::default();
         let threads = self.exec_mode.threads();
+        let cost_based = plan.hint == PlanHint::CostBased;
+        let model = self.planner.cost_model();
 
         // 1. Scans: per-slot selection masks under the pushed-down
-        //    conjunction.
+        //    conjunction. Under the cost hint, multi-predicate
+        //    conjunctions run in estimated `selectivity × eval_cost`
+        //    order with sparse residual refinement (AND commutes, so the
+        //    selection is byte-identical to the syntactic order).
         let mut sels: Vec<Vec<u64>> = Vec::with_capacity(tables.len());
+        let mut scan_estimates: Vec<f64> = Vec::with_capacity(tables.len());
         for (slot, scan) in plan.scans.iter().enumerate() {
             let nwords = tables[slot].num_rows().div_ceil(WORD_BITS);
+            if cost_based && scan.preds.len() >= 2 {
+                let po = crate::stats::order_predicates(tables[slot], &scan.preds, model);
+                let (sel, ts, per_pred) = if threads > 1 {
+                    let (sel, ts, per_pred, s) = morsel::par_selection_scan_ordered(
+                        tables[slot],
+                        &scan.preds,
+                        &po.order,
+                        threads,
+                        self.morsel_rows,
+                    );
+                    sched.absorb(&s);
+                    (sel, ts, per_pred)
+                } else {
+                    let mut per_pred = vec![kernels::PredScanStats::default(); scan.preds.len()];
+                    let (sel, ts) = kernels::selection_scan_ordered(
+                        tables[slot],
+                        &scan.preds,
+                        &po.order,
+                        &mut per_pred,
+                    );
+                    (sel, ts, per_pred)
+                };
+                stats.rows_scanned += ts.rows_scanned;
+                stats.blocks_pruned += ts.blocks_pruned;
+                stats.cost += model.full_scan(ts.rows_scanned);
+                if slot == 0 {
+                    stats.plan = if tables[slot].has_frozen() {
+                        PlanTag::TieredScan
+                    } else {
+                        PlanTag::FullScan
+                    };
+                }
+                for (rank, &i) in po.order.iter().enumerate() {
+                    stats.pred_stats.push(PredStat {
+                        slot,
+                        display: scan.preds[i].display.clone(),
+                        syntactic_pos: i,
+                        exec_rank: rank,
+                        est_rows: po.est_rows[i],
+                        blocks_pruned: per_pred[i].blocks_pruned,
+                        blocks_refined: per_pred[i].blocks_refined,
+                    });
+                }
+                stats.stage_estimates.push(StageEstimate {
+                    label: scan.label.clone(),
+                    est_rows: po.est_out_rows,
+                    actual_rows: kernels::selection_count(&sel),
+                });
+                scan_estimates.push(po.est_out_rows);
+                sels.push(sel);
+                continue;
+            }
+            // 0- or 1-predicate scans keep the legacy execution paths
+            // (including the planner's zone-map / index access paths on
+            // the serial route) — the cost hint still records their
+            // estimate for join-side choice and EXPLAIN.
+            let est = if cost_based {
+                let e = crate::stats::estimate_scan_rows(tables[slot], &scan.preds, model);
+                scan_estimates.push(e);
+                Some(e)
+            } else {
+                None
+            };
             if threads > 1 {
                 let (sel, ts, s) = morsel::par_selection_scan(
                     tables[slot],
@@ -372,13 +499,20 @@ impl Executor {
                 sched.absorb(&s);
                 stats.rows_scanned += ts.rows_scanned;
                 stats.blocks_pruned += ts.blocks_pruned;
-                stats.cost += self.planner.cost_model().full_scan(ts.rows_scanned);
+                stats.cost += model.full_scan(ts.rows_scanned);
                 if slot == 0 {
                     stats.plan = if tables[slot].has_frozen() {
                         PlanTag::TieredScan
                     } else {
                         PlanTag::FullScan
                     };
+                }
+                if let Some(e) = est {
+                    stats.stage_estimates.push(StageEstimate {
+                        label: scan.label.clone(),
+                        est_rows: e,
+                        actual_rows: kernels::selection_count(&sel),
+                    });
                 }
                 sels.push(sel);
                 continue;
@@ -392,28 +526,75 @@ impl Executor {
             if slot == 0 {
                 stats.plan = s.plan;
             }
+            if let Some(e) = est {
+                let actual = match &sel {
+                    Selection::Words(w) => kernels::selection_count(w),
+                    Selection::Rows(rows) => rows.len(),
+                };
+                stats.stage_estimates.push(StageEstimate {
+                    label: scan.label.clone(),
+                    est_rows: e,
+                    actual_rows: actual,
+                });
+            }
             sels.push(match sel {
                 Selection::Words(w) => w,
                 Selection::Rows(rows) => rows_to_words(&rows, nwords),
             });
         }
 
-        // 2. Join: build slot 0 in compressed space under its selection
-        //    words, probe slot 1 tier-aware with key-range block pruning.
+        // 2. Join. The physical choice is cost-driven and
+        //    mode-independent (the same strategy runs serial and
+        //    parallel, so rows *and* accounting agree across modes):
+        //    a merge join when both key columns are provably
+        //    frozen-sorted, otherwise a hash join building on the side
+        //    with the smaller estimated post-filter cardinality.
         let pairs: Option<Vec<(RowId, RowId)>> = plan.join.as_ref().map(|join| {
-            let (p, probe) = if threads > 1 {
-                let ((build, key_range), s) = morsel::par_build_rows_map(
+            let est_l = scan_estimates.first().copied().unwrap_or(0.0);
+            let est_r = scan_estimates.get(1).copied().unwrap_or(0.0);
+            if cost_based
+                && tables[0].col_tier(join.left_col).sorted_hint()
+                && tables[1].col_tier(join.right_col).sorted_hint()
+            {
+                if let Some(p) = merge_join_sorted(
                     tables[0],
                     join.left_col,
                     &sels[0],
+                    tables[1],
+                    join.right_col,
+                    &sels[1],
+                ) {
+                    stats.join_pairs = p.len();
+                    stats.plan = PlanTag::MergeJoin;
+                    stats.stage_estimates.push(StageEstimate {
+                        label: "join".into(),
+                        est_rows: est_l.max(est_r),
+                        actual_rows: p.len(),
+                    });
+                    return p;
+                }
+            }
+            // Hash join: under the cost hint, build on the smaller
+            // estimated side (syntactically the build side is slot 0).
+            let swap = cost_based && est_r < est_l;
+            let (bslot, pslot, bcol, pcol) = if swap {
+                (1usize, 0usize, join.right_col, join.left_col)
+            } else {
+                (0usize, 1usize, join.left_col, join.right_col)
+            };
+            let (mut p, probe) = if threads > 1 {
+                let ((build, key_range), s) = morsel::par_build_rows_map(
+                    tables[bslot],
+                    bcol,
+                    &sels[bslot],
                     threads,
                     self.morsel_rows,
                 );
                 sched.absorb(&s);
                 let (p, probe, s) = morsel::par_probe(
-                    tables[1],
-                    join.right_col,
-                    &sels[1],
+                    tables[pslot],
+                    pcol,
+                    &sels[pslot],
                     &build,
                     key_range,
                     threads,
@@ -423,17 +604,26 @@ impl Executor {
                 (p, probe)
             } else {
                 let (build, key_range) =
-                    crate::join::build_rows_map_with(tables[0], join.left_col, &sels[0]);
+                    crate::join::build_rows_map_with(tables[bslot], bcol, &sels[bslot]);
                 let mut p = Vec::new();
                 let probe = crate::batch::probe_tiered(
-                    tables[1].col_tier(join.right_col),
-                    &sels[1],
+                    tables[pslot].col_tier(pcol),
+                    &sels[pslot],
                     &build,
                     key_range,
                     &mut p,
                 );
                 (p, probe)
             };
+            if swap {
+                // The kernel emitted (build=right, probe=left) pairs in
+                // probe-major order; restore the canonical
+                // (left, right) pairs sorted by (right, left).
+                for pr in p.iter_mut() {
+                    *pr = (pr.1, pr.0);
+                }
+                p.sort_unstable_by_key(|&(l, r)| (r.as_usize(), l.as_usize()));
+            }
             stats.blocks_pruned += probe.blocks_pruned;
             // Mirror `execute_join`'s accounting: probe rows the key-range
             // meta pruned were never streamed, so they subtract from
@@ -441,12 +631,20 @@ impl Executor {
             // predicates down (then its selection is the activity map,
             // which is what `probe_rows_skipped` counts); a filtered
             // probe side keeps the scan-phase count.
-            if plan.scans[1].preds.is_empty() {
+            if plan.scans[pslot].preds.is_empty() {
                 stats.rows_scanned = stats.rows_scanned.saturating_sub(probe.probe_rows_skipped);
             }
             stats.join_pairs = p.len();
             if tables.iter().any(|t| t.has_frozen()) {
                 stats.plan = PlanTag::TieredJoin;
+            }
+            if cost_based {
+                stats.build_side = Some(bslot);
+                stats.stage_estimates.push(StageEstimate {
+                    label: "join".into(),
+                    est_rows: est_l.max(est_r),
+                    actual_rows: p.len(),
+                });
             }
             p
         });
@@ -843,6 +1041,59 @@ pub struct PhysResult {
     pub rows: Vec<Vec<Scalar>>,
     /// Execution statistics across every operator.
     pub stats: ExecStats,
+}
+
+/// Sort-merge join over two selections whose key columns the cached
+/// block metadata proved frozen-sorted
+/// ([`sorted_hint`](amnesia_columnar::TieredColumn::sorted_hint)):
+/// gather each side's selected rows and keys in row order (which *is*
+/// key order for a sorted column), verify the gathered keys really are
+/// nondecreasing (returning `None` — hash-join fallback — otherwise),
+/// then two-pointer merge the equal-key groups. Pairs emit in the hash
+/// join's canonical probe-major order, so the physical choice never
+/// changes results.
+fn merge_join_sorted(
+    left: &Table,
+    left_col: usize,
+    lsel: &[u64],
+    right: &Table,
+    right_col: usize,
+    rsel: &[u64],
+) -> Option<Vec<(RowId, RowId)>> {
+    let lrows = kernels::selection_rows(lsel);
+    let rrows = kernels::selection_rows(rsel);
+    let mut lkeys = Vec::with_capacity(lrows.len());
+    kernels::gather_column(left, lsel, left_col, &mut lkeys);
+    let mut rkeys = Vec::with_capacity(rrows.len());
+    kernels::gather_column(right, rsel, right_col, &mut rkeys);
+    if lkeys.windows(2).any(|w| w[0] > w[1]) || rkeys.windows(2).any(|w| w[0] > w[1]) {
+        return None;
+    }
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lkeys.len() && j < rkeys.len() {
+        match lkeys[i].cmp(&rkeys[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let k = lkeys[i];
+                let i0 = i;
+                while i < lkeys.len() && lkeys[i] == k {
+                    i += 1;
+                }
+                let j0 = j;
+                while j < rkeys.len() && rkeys[j] == k {
+                    j += 1;
+                }
+                for &rr in &rrows[j0..j] {
+                    for &lr in &lrows[i0..i] {
+                        out.push((lr, rr));
+                    }
+                }
+            }
+        }
+    }
+    Some(out)
 }
 
 /// Pack explicit row ids into selection-mask words.

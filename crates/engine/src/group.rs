@@ -225,6 +225,7 @@ pub fn grouped_fold(table: &Table, sel: &[u64], key_col: usize, aggs: &[AggInput
             continue;
         }
         key_buf.clear();
+        key_tier.note_block_access(b);
         key_tier
             .frozen(b)
             .expect("frozen block")
@@ -232,9 +233,9 @@ pub fn grouped_fold(table: &Table, sel: &[u64], key_col: usize, aggs: &[AggInput
             .for_each_active(bw, |_, v| key_buf.push(v));
         for (i, &col) in distinct.iter().enumerate() {
             bufs[i].clear();
-            table
-                .col_tier(col)
-                .frozen(b)
+            let tier = table.col_tier(col);
+            tier.note_block_access(b);
+            tier.frozen(b)
                 .expect("columns freeze in lockstep")
                 .encoded()
                 .for_each_active(bw, |_, v| bufs[i].push(v));
@@ -326,6 +327,7 @@ pub(crate) fn grouped_fold_span(
                 key_buf.clear();
                 row_buf.clear();
                 let block_base = b * br;
+                key_tier.note_block_access(b);
                 key_tier
                     .frozen(b)
                     .expect("frozen block")
@@ -336,9 +338,9 @@ pub(crate) fn grouped_fold_span(
                     });
                 for (i, &col) in distinct.iter().enumerate() {
                     bufs[i].clear();
-                    table
-                        .col_tier(col)
-                        .frozen(b)
+                    let tier = table.col_tier(col);
+                    tier.note_block_access(b);
+                    tier.frozen(b)
                         .expect("columns freeze in lockstep")
                         .encoded()
                         .for_each_active(bw, |_, v| bufs[i].push(v));

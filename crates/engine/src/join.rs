@@ -173,6 +173,7 @@ fn stream_selected_keys_blocks(
         if bw.iter().all(|&w| w == 0) {
             continue; // nothing selected in this block
         }
+        tier.note_block_access(b);
         let base = b * br;
         let block = f.encoded();
         match block.encoding() {

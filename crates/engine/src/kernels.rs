@@ -375,7 +375,9 @@ pub fn selection_scan(table: &Table, preds: &[ColPred]) -> (Vec<u64>, TierStats)
             sel[first_word + k] = words.get(first_word + k).copied().unwrap_or(0);
         }
         for p in preds {
-            let f = table.col_tier(p.col).frozen(b).expect("frozen block");
+            let tier = table.col_tier(p.col);
+            tier.note_block_access(b);
+            let f = tier.frozen(b).expect("frozen block");
             batch::conj_block_masks(f.encoded(), p, &mut mask_buf);
             for k in 0..block_nwords {
                 sel[first_word + k] &= mask_buf.get(k).copied().unwrap_or(0);
@@ -408,6 +410,186 @@ pub fn selection_scan(table: &Table, preds: &[ColPred]) -> (Vec<u64>, TierStats)
         sel[wi] = s;
     }
     (sel, stats)
+}
+
+/// Per-predicate accounting of the cost-ordered selection scan: how the
+/// work split across the conjunction. Indexed *syntactically* (parallel
+/// to the plan's predicate list), whatever execution order the cost
+/// model chose.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredScanStats {
+    /// Frozen blocks whose cached meta this predicate killed. Pruning is
+    /// attributed to the *first* predicate (in execution order) whose
+    /// meta check failed, so the sum across predicates equals the scan's
+    /// total `blocks_pruned`.
+    pub blocks_pruned: usize,
+    /// Frozen blocks where this predicate ran as a *residual* — refining
+    /// the survivors of earlier conjuncts via
+    /// `batch::refine_block_masks` instead of filtering the whole
+    /// block.
+    pub blocks_refined: usize,
+}
+
+impl PredScanStats {
+    /// Fold in another span's accounting (parallel partials).
+    pub fn merge(&mut self, other: PredScanStats) {
+        self.blocks_pruned += other.blocks_pruned;
+        self.blocks_refined += other.blocks_refined;
+    }
+}
+
+/// Cost-ordered [`selection_scan`]: evaluates the same conjunction in an
+/// explicit execution `order` (indices into `preds`, as produced by
+/// [`crate::stats::order_predicates`]), short-circuiting later
+/// predicates to the surviving selection:
+///
+/// * frozen blocks meta-check every predicate in execution order (prune
+///   attributed to the first failure), the first surviving predicate
+///   filters densely, and each *residual* predicate refines only the
+///   surviving selection words — sparse survivors test individual rows
+///   in codec space (`batch::refine_block_masks`), and a block whose
+///   selection empties skips its remaining predicates outright,
+/// * hot words AND predicate masks in execution order with the same
+///   early exit the syntactic kernel uses.
+///
+/// AND commutes, so the returned selection is byte-identical to
+/// [`selection_scan`]'s for any `order`; only the work (and its
+/// per-predicate attribution in `per_pred`) differs. `per_pred` must be
+/// `preds.len()` long.
+pub fn selection_scan_ordered(
+    table: &Table,
+    preds: &[ColPred],
+    order: &[usize],
+    per_pred: &mut [PredScanStats],
+) -> (Vec<u64>, TierStats) {
+    debug_assert_eq!(order.len(), preds.len());
+    debug_assert_eq!(per_pred.len(), preds.len());
+    let n = table.num_rows();
+    let nwords = n.div_ceil(WORD_BITS);
+    let words = table.activity_words();
+    let mut sel = vec![0u64; nwords];
+    let mut stats = TierStats::default();
+    if preds.is_empty() {
+        return selection_scan(table, preds);
+    }
+    let imp = batch::mask_impl();
+    if !table.has_frozen() {
+        let cols: Vec<&[Value]> = preds.iter().map(|p| table.col_values(p.col)).collect();
+        for (wi, out) in sel.iter_mut().enumerate() {
+            let active = words.get(wi).copied().unwrap_or(0);
+            if active == 0 {
+                continue;
+            }
+            stats.rows_scanned += active.count_ones() as usize;
+            let base = wi * WORD_BITS;
+            let hi = (base + WORD_BITS).min(n);
+            let mut s = active;
+            for &i in order {
+                s = batch::conj_word(&cols[i][base..hi], s, &preds[i], imp);
+                if s == 0 {
+                    break;
+                }
+            }
+            *out = s;
+        }
+        return (sel, stats);
+    }
+
+    let br = table.block_rows();
+    let nb = table.frozen_blocks();
+    let block_nwords = br / WORD_BITS;
+    let mut mask_buf = Vec::new();
+    'blocks: for b in 0..nb {
+        let active_in_block = table.col_tier(0).meta(b).active;
+        if active_in_block == 0 {
+            stats.blocks_pruned += 1;
+            continue;
+        }
+        for &i in order {
+            if !preds[i].block_may_match(table.col_tier(preds[i].col).meta(b)) {
+                stats.blocks_pruned += 1;
+                per_pred[i].blocks_pruned += 1;
+                continue 'blocks;
+            }
+        }
+        stats.rows_scanned += active_in_block;
+        let first_word = b * br / WORD_BITS;
+        scan_block_ordered(
+            table,
+            preds,
+            order,
+            per_pred,
+            b,
+            &mut sel[first_word..first_word + block_nwords],
+            &words[first_word..(first_word + block_nwords).min(words.len())],
+            &mut mask_buf,
+        );
+    }
+    // Hot tail: identical to the syntactic kernel, in execution order.
+    let tail_start = table.col_tier(0).hot_start();
+    let tails: Vec<&[Value]> = preds
+        .iter()
+        .map(|p| table.col_tier(p.col).hot_values())
+        .collect();
+    let tail_len = tails.first().map_or(0, |t| t.len());
+    for j in 0..tail_len.div_ceil(WORD_BITS) {
+        let wi = tail_start / WORD_BITS + j;
+        let base = j * WORD_BITS;
+        let chunk_len = (tail_len - base).min(WORD_BITS);
+        let active = batch::tail_word(words, wi, chunk_len);
+        if active == 0 {
+            continue;
+        }
+        stats.rows_scanned += active.count_ones() as usize;
+        let mut s = active;
+        for &i in order {
+            s = batch::conj_word(&tails[i][base..base + chunk_len], s, &preds[i], imp);
+            if s == 0 {
+                break;
+            }
+        }
+        sel[wi] = s;
+    }
+    (sel, stats)
+}
+
+/// One surviving frozen block of the cost-ordered scan: seed the block's
+/// selection words from activity, filter densely with the first
+/// predicate in execution order, then refine residuals sparsely —
+/// bailing out of the block as soon as the selection empties. `sel` and
+/// `act` are the block's word slices.
+#[allow(clippy::too_many_arguments)]
+fn scan_block_ordered(
+    table: &Table,
+    preds: &[ColPred],
+    order: &[usize],
+    per_pred: &mut [PredScanStats],
+    b: usize,
+    sel: &mut [u64],
+    act: &[u64],
+    mask_buf: &mut Vec<u64>,
+) {
+    for (k, s) in sel.iter_mut().enumerate() {
+        *s = act.get(k).copied().unwrap_or(0);
+    }
+    for (rank, &i) in order.iter().enumerate() {
+        let p = &preds[i];
+        let tier = table.col_tier(p.col);
+        if sel.iter().all(|&w| w == 0) {
+            return; // earlier conjuncts emptied the block
+        }
+        tier.note_block_access(b);
+        let f = tier.frozen(b).expect("frozen block");
+        if rank == 0 {
+            batch::conj_block_masks(f.encoded(), p, mask_buf);
+            for (k, s) in sel.iter_mut().enumerate() {
+                *s &= mask_buf.get(k).copied().unwrap_or(0);
+            }
+        } else {
+            per_pred[i].blocks_refined += 1;
+            batch::refine_block_masks(f.encoded(), p, sel, mask_buf);
+        }
+    }
 }
 
 /// Materialize a selection as ascending [`RowId`]s.
@@ -563,7 +745,9 @@ pub(crate) fn selection_scan_span(
                     sel[local_word + k] = words.get(global_word + k).copied().unwrap_or(0);
                 }
                 for p in preds {
-                    let f = table.col_tier(p.col).frozen(b).expect("frozen block");
+                    let tier = table.col_tier(p.col);
+                    tier.note_block_access(b);
+                    let f = tier.frozen(b).expect("frozen block");
                     batch::conj_block_masks(f.encoded(), p, &mut mask_buf);
                     for k in 0..block_nwords {
                         sel[local_word + k] &= mask_buf.get(k).copied().unwrap_or(0);
@@ -596,6 +780,88 @@ pub(crate) fn selection_scan_span(
                 sel[wi - first_word] = s;
             }
             (sel, stats)
+        }
+    }
+}
+
+/// [`selection_scan_ordered`] restricted to `span`: the morsel unit of
+/// the cost-ordered scan. Returns the span's local selection words, its
+/// tier accounting, and its per-predicate attribution (merged across
+/// spans by the parallel wrapper). Callers guarantee `preds` is
+/// non-empty.
+pub(crate) fn selection_scan_ordered_span(
+    table: &Table,
+    preds: &[ColPred],
+    order: &[usize],
+    span: &crate::morsel::Span,
+) -> (Vec<u64>, TierStats, Vec<PredScanStats>) {
+    debug_assert!(!preds.is_empty());
+    let words = table.activity_words();
+    let imp = batch::mask_impl();
+    let mut stats = TierStats::default();
+    let mut per_pred = vec![PredScanStats::default(); preds.len()];
+    match *span {
+        crate::morsel::Span::Blocks { first, last } => {
+            let br = table.block_rows();
+            let block_nwords = br / WORD_BITS;
+            let mut sel = vec![0u64; (last - first) * block_nwords];
+            let mut mask_buf = Vec::new();
+            'blocks: for b in first..last {
+                let active_in_block = table.col_tier(0).meta(b).active;
+                if active_in_block == 0 {
+                    stats.blocks_pruned += 1;
+                    continue;
+                }
+                for &i in order {
+                    if !preds[i].block_may_match(table.col_tier(preds[i].col).meta(b)) {
+                        stats.blocks_pruned += 1;
+                        per_pred[i].blocks_pruned += 1;
+                        continue 'blocks;
+                    }
+                }
+                stats.rows_scanned += active_in_block;
+                let global_word = b * br / WORD_BITS;
+                let local_word = (b - first) * block_nwords;
+                scan_block_ordered(
+                    table,
+                    preds,
+                    order,
+                    &mut per_pred,
+                    b,
+                    &mut sel[local_word..local_word + block_nwords],
+                    words
+                        .get(global_word..(global_word + block_nwords).min(words.len()))
+                        .unwrap_or(&[]),
+                    &mut mask_buf,
+                );
+            }
+            (sel, stats, per_pred)
+        }
+        crate::morsel::Span::Rows { lo, hi } => {
+            let slices: Vec<(&[Value], usize)> =
+                preds.iter().map(|p| hot_slice(table, p.col)).collect();
+            let first_word = lo / WORD_BITS;
+            let mut sel = vec![0u64; hi.div_ceil(WORD_BITS) - first_word];
+            for wi in first_word..hi.div_ceil(WORD_BITS) {
+                let base = wi * WORD_BITS;
+                let chunk_len = (hi - base).min(WORD_BITS);
+                let active = batch::tail_word(words, wi, chunk_len);
+                if active == 0 {
+                    continue;
+                }
+                stats.rows_scanned += active.count_ones() as usize;
+                let mut s = active;
+                for &i in order {
+                    let (slice, start) = slices[i];
+                    let off = base - start;
+                    s = batch::conj_word(&slice[off..off + chunk_len], s, &preds[i], imp);
+                    if s == 0 {
+                        break;
+                    }
+                }
+                sel[wi - first_word] = s;
+            }
+            (sel, stats, per_pred)
         }
     }
 }

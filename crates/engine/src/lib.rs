@@ -56,7 +56,12 @@
 //!   aggregates straight over compressed blocks,
 //! * [`plan`] — a small cost-based planner choosing full scan, zone-map
 //!   pruned scan, or sorted-index probe,
-//! * [`cost`] — the abstract cost model (hot rows vs. cold fetches),
+//! * [`stats`] — block-statistics cardinality estimation: per-column
+//!   pseudo-histograms from cached `BlockMeta`, predicate selectivity,
+//!   codec-aware evaluation costs, and the conjunct ordering the
+//!   executor runs (`selectivity × eval_cost`, ascending),
+//! * [`cost`] — the abstract cost model (hot rows vs. cold fetches,
+//!   per-codec predicate evaluation),
 //! * [`exec`] — the [`exec::Executor`] tying it together (serial or
 //!   [`morsel::ExecMode::Parallel`]) and reporting [`exec::ExecStats`]
 //!   for every query,
@@ -81,14 +86,19 @@ pub mod morsel;
 pub mod parallel;
 pub mod physical;
 pub mod plan;
+pub mod stats;
 
 pub use batch::{AggState, BATCH_ROWS};
 pub use cost::CostModel;
-pub use exec::{Aux, ExecResult, ExecStats, Executor, PhysResult, QueryOutput, Selection};
+pub use exec::{
+    Aux, ExecResult, ExecStats, Executor, PhysResult, PredStat, QueryOutput, Selection,
+    StageEstimate,
+};
 pub use group::GroupTable;
 pub use join::{hash_join, hash_join_count, JoinResult, JoinStats};
 pub use mode::ForgetVisibility;
 pub use morsel::{ExecMode, SchedStats};
 pub use parallel::{par_aggregate_active, par_range_scan_active};
-pub use physical::{ColPred, PhysItem, PhysScan, PhysicalPlan, Scalar, SortDir};
+pub use physical::{ColPred, PhysItem, PhysScan, PhysicalPlan, PlanHint, Scalar, SortDir};
 pub use plan::{Plan, Planner};
+pub use stats::{estimate_scan_rows, order_predicates, q_error, ColumnStats, PredOrder};

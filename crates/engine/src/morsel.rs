@@ -355,6 +355,45 @@ pub(crate) fn par_selection_scan(
     (sel, stats, sched)
 }
 
+/// Parallel [`kernels::selection_scan_ordered`]: the cost-ordered scan
+/// fanned over morsels, per-span selection words stitched at their word
+/// offsets and per-predicate attribution merged across spans. Falls back
+/// to the serial ordered kernel for empty conjunctions, one thread, or
+/// single-morsel tables.
+pub(crate) fn par_selection_scan_ordered(
+    table: &Table,
+    preds: &[ColPred],
+    order: &[usize],
+    threads: usize,
+    morsel_rows: usize,
+) -> (Vec<u64>, TierStats, Vec<kernels::PredScanStats>, SchedStats) {
+    let spans = table_morsels(table, morsel_rows);
+    if preds.is_empty() || threads <= 1 || spans.len() <= 1 {
+        let mut per_pred = vec![kernels::PredScanStats::default(); preds.len()];
+        let (sel, ts) = kernels::selection_scan_ordered(table, preds, order, &mut per_pred);
+        return (sel, ts, per_pred, single_morsel(&spans));
+    }
+    let (parts, mut sched) = run_morsels(spans.len(), threads, |i| {
+        kernels::selection_scan_ordered_span(table, preds, order, &spans[i])
+    });
+    let t0 = Instant::now();
+    let nwords = table.num_rows().div_ceil(WORD_BITS);
+    let mut sel = vec![0u64; nwords];
+    let mut stats = TierStats::default();
+    let mut per_pred = vec![kernels::PredScanStats::default(); preds.len()];
+    let br = table.block_rows();
+    for (span, (words, ts, pp)) in spans.iter().zip(parts) {
+        let w0 = span_first_word(span, br);
+        sel[w0..w0 + words.len()].copy_from_slice(&words);
+        stats.merge(ts);
+        for (agg, part) in per_pred.iter_mut().zip(pp) {
+            agg.merge(part);
+        }
+    }
+    sched.merge_ns = t0.elapsed().as_nanos() as u64;
+    (sel, stats, per_pred, sched)
+}
+
 /// Parallel [`group::grouped_fold`]: per-morsel [`GroupTable`]s (each
 /// tracking the global first row of every key) merged by key and
 /// re-sorted by first-seen row, reproducing the serial first-seen group

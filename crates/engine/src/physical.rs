@@ -41,7 +41,7 @@ use amnesia_columnar::{BlockMeta, Table, Value};
 use amnesia_workload::query::{AggKind, RangePredicate};
 
 use crate::batch::AggState;
-use crate::exec::PlanTag;
+use crate::exec::{ExecStats, PlanTag};
 
 /// One output value of a physical plan: the engine-level datum that SQL
 /// re-exports as `Datum`. Integers stay integers end to end; `Float`
@@ -324,6 +324,30 @@ impl PhysItem {
 /// A full physical query plan, ready for
 /// [`Executor::execute_plan`](crate::exec::Executor::execute_plan).
 ///
+/// How the executor should drive a plan's physical choices.
+///
+/// [`CostBased`](PlanHint::CostBased) — the default — lets the executor
+/// consult the block-statistics layer ([`crate::stats`]): conjunctive
+/// predicates run in estimated `selectivity × eval_cost` order with
+/// sparse residual refinement, the hash join builds on the side with the
+/// smaller estimated post-filter cardinality, and a merge join replaces
+/// the hash join when both key columns are provably frozen-sorted.
+///
+/// [`SyntacticOrder`](PlanHint::SyntacticOrder) is the escape hatch and
+/// equivalence oracle: predicates evaluate exactly as written, the join
+/// always builds on slot 0, and no estimates are recorded. Both hints
+/// must produce byte-identical rows — the test suite holds them to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanHint {
+    /// Statistics-driven predicate ordering, join-side choice, and
+    /// merge-join selection (the default).
+    #[default]
+    CostBased,
+    /// Evaluate everything in the plan's written order — the
+    /// cost-model-free oracle path.
+    SyntacticOrder,
+}
+
 /// The shape mirrors the operator pipeline bottom-up: per-slot scans
 /// (selection masks), optional hash join, projection or (grouped)
 /// aggregation over the surviving selection, then sort + limit.
@@ -341,6 +365,8 @@ pub struct PhysicalPlan {
     pub order_by: Option<(usize, SortDir)>,
     /// Row cap.
     pub limit: Option<u64>,
+    /// Cost-based execution, or the syntactic escape hatch.
+    pub hint: PlanHint,
 }
 
 impl PhysicalPlan {
@@ -364,6 +390,20 @@ impl PhysicalPlan {
     /// (slot-ordered) the access-path tags are resolved against the live
     /// storage tiers; without, the tags describe the plan shape only.
     pub fn explain(&self, tables: Option<&[&Table]>) -> String {
+        self.render(tables, None)
+    }
+
+    /// Render the *executed* plan tree: the EXPLAIN shape annotated with
+    /// the run's [`ExecStats`] — estimated vs. actual rows per stage
+    /// (`est≈… act=…`), the predicate order the cost model actually ran
+    /// (with each predicate's pruned/refined frozen-block counts), the
+    /// hash-join build side, and the merge-join operator when the
+    /// statistics chose it.
+    pub fn explain_executed(&self, tables: Option<&[&Table]>, stats: &ExecStats) -> String {
+        self.render(tables, Some(stats))
+    }
+
+    fn render(&self, tables: Option<&[&Table]>, stats: Option<&ExecStats>) -> String {
         let tag = |slot: usize| -> String {
             match tables.and_then(|ts| ts.get(slot)) {
                 Some(t) => format!(" plan={}", plan_tag_name(self.scan_tag(t))),
@@ -400,6 +440,25 @@ impl PhysicalPlan {
                 s.push_str(" [64-bit selection masks]");
             }
             s.push_str(&tag(slot));
+            if let Some(st) = stats {
+                let mut ps: Vec<_> = st.pred_stats.iter().filter(|p| p.slot == slot).collect();
+                if ps.len() > 1 {
+                    ps.sort_by_key(|p| p.exec_rank);
+                    let order: Vec<String> = ps
+                        .iter()
+                        .map(|p| {
+                            format!(
+                                "{} (est≈{:.0}, pruned {}, refined {})",
+                                p.display, p.est_rows, p.blocks_pruned, p.blocks_refined
+                            )
+                        })
+                        .collect();
+                    s.push_str(&format!(" cost-order: {}", order.join(" → ")));
+                }
+                if let Some(e) = st.stage_estimates.get(slot) {
+                    s.push_str(&format!(" est≈{:.0} act={}", e.est_rows, e.actual_rows));
+                }
+            }
             s
         };
 
@@ -415,16 +474,29 @@ impl PhysicalPlan {
         }
         if let Some(join) = &self.join {
             let tiered = tables.is_some_and(|ts| ts.iter().any(|t| t.has_frozen()));
-            out.push_str(&format!(
-                "\n{}└─ HashJoin {} [{}]",
+            let merge = stats.is_some_and(|st| st.plan == PlanTag::MergeJoin);
+            let mut jline = format!(
+                "\n{}└─ {} {} [{}]",
                 "   ".repeat(depth.saturating_sub(1)),
+                if merge { "MergeJoin" } else { "HashJoin" },
                 join.display,
-                if tiered {
+                if merge {
+                    "sorted frozen runs, no hash table"
+                } else if tiered {
                     "tiered: compressed build/probe"
                 } else {
                     "hash build/probe"
                 }
-            ));
+            );
+            if let Some(st) = stats {
+                if let Some(b) = st.build_side {
+                    jline.push_str(&format!(" build=slot{b}"));
+                }
+                if let Some(e) = st.stage_estimates.get(self.scans.len()) {
+                    jline.push_str(&format!(" est≈{:.0} act={}", e.est_rows, e.actual_rows));
+                }
+            }
+            out.push_str(&jline);
             out.push_str(&format!("\n{}├─ {}", "   ".repeat(depth), scan_line(0)));
             out.push_str(&format!("\n{}└─ {}", "   ".repeat(depth), scan_line(1)));
         } else {
@@ -446,6 +518,7 @@ pub fn plan_tag_name(tag: PlanTag) -> &'static str {
         PlanTag::IndexProbe => "index-probe",
         PlanTag::TieredScan => "tiered-scan",
         PlanTag::TieredJoin => "tiered-join",
+        PlanTag::MergeJoin => "merge-join",
     }
 }
 
@@ -571,6 +644,7 @@ mod tests {
             group_by: None,
             order_by: None,
             limit: None,
+            hint: PlanHint::CostBased,
         };
         let text = plan.explain(None);
         assert!(text.contains("Aggregate"), "{text}");

@@ -1,0 +1,350 @@
+//! Block-statistics cardinality estimation: the *estimate* step of the
+//! cost-based planner's estimate → order → execute → feedback loop (the
+//! diagram lives in [`crate::cost`]).
+//!
+//! The storage layer already pays for per-block statistics — every
+//! [`FrozenBlock`](amnesia_columnar::FrozenBlock) caches a
+//! [`BlockMeta`](amnesia_columnar::BlockMeta) (min/max over active rows
+//! plus the active count) to drive zone-map pruning. This module reuses
+//! those metas as a *pseudo-histogram*: each block contributes its
+//! active mass spread across `[min, max]` of a shared
+//! [`Histogram`] (the same bucket machinery
+//! the workload generators are validated with), and the hot tail adds
+//! its values directly (stride-sampled past a cap, mass-weighted so the
+//! total still adds up). No extra per-row pass, no decode: the estimate
+//! is free precisely because the tiering already summarized the data.
+//!
+//! On top of the histogram sit the two numbers the executor orders
+//! conjuncts by:
+//!
+//! * **selectivity** — estimated fraction of active rows a
+//!   [`ColPred`] keeps ([`ColumnStats::selectivity`]), and
+//! * **evaluation cost** — the active-row-weighted blend of each
+//!   block codec's [`CostModel::pred_eval_cost`]
+//!   ([`ColumnStats::eval_cost`]): an RLE column is nearly free to
+//!   filter, a delta column is not.
+//!
+//! [`order_predicates`] ranks a conjunction by `selectivity ×
+//! eval_cost`, ascending (stable, so ties keep the query's syntactic
+//! order), and [`q_error`] scores the estimates against actual
+//! cardinalities after execution — the feedback half of the loop, which
+//! the bench suite gates via `AMNESIA_QERROR_GATE`.
+
+use amnesia_columnar::{Table, TieredColumn, Value};
+use amnesia_distrib::Histogram;
+
+use crate::cost::CostModel;
+use crate::physical::ColPred;
+
+/// Histogram resolution: enough buckets to separate selective from wide
+/// predicates, few enough that building one is a handful of `add_mass`
+/// calls per frozen block.
+const HIST_BINS: usize = 64;
+
+/// Hot-tail sampling cap: past this many hot values the builder strides,
+/// weighting each sampled value by the stride so total mass is conserved.
+const HOT_SAMPLE_CAP: usize = 65_536;
+
+/// Per-column statistics assembled from cached block metadata: a
+/// pseudo-histogram of the active value distribution plus the
+/// codec-aware cost of evaluating one predicate against one row.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    hist: Option<Histogram>,
+    total: f64,
+    eval_cost: f64,
+}
+
+impl ColumnStats {
+    /// Build statistics for one tiered column. Frozen blocks contribute
+    /// `meta.active` mass spread over `[meta.min, meta.max]`; hot values
+    /// are added individually (stride-sampled past `HOT_SAMPLE_CAP`).
+    /// The per-row evaluation cost is the active-mass-weighted blend of
+    /// [`CostModel::pred_eval_cost`] across the column's block codecs
+    /// and its plain hot tail.
+    pub fn from_tier(tier: &TieredColumn, model: &CostModel) -> Self {
+        let hot = tier.hot_values();
+        let mut lo = Value::MAX;
+        let mut hi = Value::MIN;
+        let mut frozen_active = 0usize;
+        let mut cost_mass = 0.0f64;
+        for b in 0..tier.frozen_blocks() {
+            let meta = tier.meta(b);
+            if meta.active == 0 {
+                continue;
+            }
+            lo = lo.min(meta.min);
+            hi = hi.max(meta.max);
+            frozen_active += meta.active;
+            let enc = tier.frozen(b).map(|f| f.encoded().encoding());
+            cost_mass += meta.active as f64 * model.pred_eval_cost(enc);
+        }
+        for &v in hot {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        cost_mass += hot.len() as f64 * model.pred_eval_cost(None);
+        let total = frozen_active as f64 + hot.len() as f64;
+        if total == 0.0 {
+            return Self {
+                hist: None,
+                total: 0.0,
+                eval_cost: model.pred_eval_cost(None),
+            };
+        }
+        let width = (hi - lo).unsigned_abs().saturating_add(1);
+        let bins = HIST_BINS.min(width.min(HIST_BINS as u64) as usize).max(1);
+        let mut hist = Histogram::new(lo, hi, bins);
+        for b in 0..tier.frozen_blocks() {
+            let meta = tier.meta(b);
+            if meta.active > 0 {
+                hist.add_mass(meta.min, meta.max, meta.active as u64);
+            }
+        }
+        let stride = hot.len().div_ceil(HOT_SAMPLE_CAP).max(1);
+        if stride == 1 {
+            for &v in hot {
+                hist.add(v);
+            }
+        } else {
+            // Stride-sample, but conserve total mass: each sampled value
+            // stands in for `stride` hot rows (the last sample may cover
+            // a short remainder).
+            let mut covered = 0usize;
+            for v in hot.iter().step_by(stride) {
+                let mass = stride.min(hot.len() - covered) as u64;
+                hist.add_mass(*v, *v, mass);
+                covered += mass as usize;
+            }
+        }
+        Self {
+            hist: Some(hist),
+            total,
+            eval_cost: cost_mass / total,
+        }
+    }
+
+    /// Estimated active rows in the column (frozen active + hot tail).
+    pub fn total_rows(&self) -> f64 {
+        self.total
+    }
+
+    /// Blended per-row predicate evaluation cost in
+    /// [`CostModel::row_scan`] units.
+    pub fn eval_cost(&self) -> f64 {
+        self.eval_cost
+    }
+
+    /// Estimated number of rows matching `p`, clamped to `[0, total]`.
+    pub fn estimate_pred(&self, p: &ColPred) -> f64 {
+        let Some(hist) = &self.hist else {
+            return 0.0;
+        };
+        let mass = if p.is_empty_range() {
+            0.0
+        } else {
+            hist.estimate_range(p.lo, p.hi)
+        };
+        let est = if p.negated { self.total - mass } else { mass };
+        est.clamp(0.0, self.total)
+    }
+
+    /// Estimated fraction of active rows `p` keeps, in `[0, 1]`.
+    pub fn selectivity(&self, p: &ColPred) -> f64 {
+        if self.total == 0.0 {
+            return 0.0;
+        }
+        self.estimate_pred(p) / self.total
+    }
+
+    /// The ordering key for conjunct ranking: estimated selectivity ×
+    /// per-row evaluation cost. Low rank = run first (cheap predicates
+    /// that kill many rows), high rank = run last over the sparse
+    /// residual.
+    pub fn rank(&self, p: &ColPred) -> f64 {
+        self.selectivity(p) * self.eval_cost
+    }
+}
+
+/// The costed ordering of one scan's predicate conjunction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PredOrder {
+    /// Execution order: indices into the syntactic predicate slice,
+    /// cheapest-most-selective first. Stable — equal ranks keep the
+    /// query's written order.
+    pub order: Vec<usize>,
+    /// Per-predicate estimated matching rows, indexed *syntactically*
+    /// (parallel to the input slice, not to `order`).
+    pub est_rows: Vec<f64>,
+    /// Estimated rows surviving the whole conjunction, under the
+    /// independence assumption (product of selectivities × active rows).
+    pub est_out_rows: f64,
+}
+
+/// Rank a scan's predicate conjunction by estimated `selectivity ×
+/// eval_cost` using per-column statistics built from cached block
+/// metadata. Column statistics are built once per referenced column and
+/// shared across that column's predicates.
+pub fn order_predicates(table: &Table, preds: &[ColPred], model: &CostModel) -> PredOrder {
+    if preds.is_empty() {
+        return PredOrder::default();
+    }
+    let mut cols: Vec<(usize, ColumnStats)> = Vec::new();
+    let stats_for = |col: usize, cols: &mut Vec<(usize, ColumnStats)>| -> usize {
+        if let Some(i) = cols.iter().position(|(c, _)| *c == col) {
+            return i;
+        }
+        cols.push((col, ColumnStats::from_tier(table.col_tier(col), model)));
+        cols.len() - 1
+    };
+    let mut ranked: Vec<(usize, f64)> = Vec::with_capacity(preds.len());
+    let mut est_rows = Vec::with_capacity(preds.len());
+    let mut total = 0.0f64;
+    let mut sel_product = 1.0f64;
+    for (i, p) in preds.iter().enumerate() {
+        let s = stats_for(p.col, &mut cols);
+        let stats = &cols[s].1;
+        total = total.max(stats.total_rows());
+        ranked.push((i, stats.rank(p)));
+        est_rows.push(stats.estimate_pred(p));
+        sel_product *= stats.selectivity(p);
+    }
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    PredOrder {
+        order: ranked.into_iter().map(|(i, _)| i).collect(),
+        est_rows,
+        est_out_rows: total * sel_product,
+    }
+}
+
+/// Estimated rows a filtered scan of `table` produces: active rows ×
+/// the product of per-predicate selectivities (independence assumption).
+/// No predicates estimates the full active count. This is what the join
+/// planner compares to pick the build side.
+pub fn estimate_scan_rows(table: &Table, preds: &[ColPred], model: &CostModel) -> f64 {
+    if preds.is_empty() {
+        return table.active_rows() as f64;
+    }
+    order_predicates(table, preds, model).est_out_rows
+}
+
+/// The symmetric q-error of an estimate: `max(est, act) / min(est, act)`
+/// with both sides floored at one row, so a perfect estimate scores 1.0
+/// and over- and under-estimation are penalized alike. The standard
+/// cardinality-estimation quality metric, and the number
+/// `AMNESIA_QERROR_GATE` bounds in the bench suite.
+pub fn q_error(est: f64, actual: f64) -> f64 {
+    let e = est.max(1.0);
+    let a = actual.max(1.0);
+    (e / a).max(a / e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesia_columnar::compress::Encoding;
+    use amnesia_columnar::Schema;
+
+    fn frozen_table(values: &[Value], block_rows: usize, enc: Option<Encoding>) -> Table {
+        let mut t = Table::with_block_rows(Schema::single("a"), block_rows);
+        if enc.is_some() {
+            t.pin_encoding(0, enc);
+        }
+        t.insert_batch(values, 0).unwrap();
+        let frozen_rows = (values.len() / block_rows) * block_rows;
+        t.freeze_upto(frozen_rows);
+        t
+    }
+
+    #[test]
+    fn uniform_column_estimates_are_tight() {
+        // 0..8192 shuffled-ish uniform: every block spans most of the
+        // domain, so the histogram sees overlapping wide blocks.
+        let values: Vec<Value> = (0..8192)
+            .map(|i| (i * 2654435761u64 % 8192) as Value)
+            .collect();
+        let t = frozen_table(&values, 1024, None);
+        let stats = ColumnStats::from_tier(t.col_tier(0), &CostModel::default());
+        assert_eq!(stats.total_rows(), 8192.0);
+        // A ~25% range predicate.
+        let p = ColPred::range(0, 0, 2047);
+        let actual = values.iter().filter(|&&v| v <= 2047).count() as f64;
+        assert!(
+            q_error(stats.estimate_pred(&p), actual) < 2.0,
+            "est {} vs actual {actual}",
+            stats.estimate_pred(&p)
+        );
+    }
+
+    #[test]
+    fn sorted_column_estimates_are_nearly_exact() {
+        let values: Vec<Value> = (0..4096).collect();
+        let t = frozen_table(&values, 1024, None);
+        let stats = ColumnStats::from_tier(t.col_tier(0), &CostModel::default());
+        let p = ColPred::range(0, 100, 299);
+        let est = stats.estimate_pred(&p);
+        assert!(q_error(est, 200.0) < 1.5, "est {est} vs actual 200");
+    }
+
+    #[test]
+    fn negated_predicate_complements_the_estimate() {
+        let values: Vec<Value> = (0..4096).collect();
+        let t = frozen_table(&values, 1024, None);
+        let stats = ColumnStats::from_tier(t.col_tier(0), &CostModel::default());
+        let inside = ColPred::range(0, 0, 1023);
+        let mut outside = inside.clone();
+        outside.negated = true;
+        let sum = stats.estimate_pred(&inside) + stats.estimate_pred(&outside);
+        assert!(
+            (sum - 4096.0).abs() < 1.0,
+            "complement masses sum to total, got {sum}"
+        );
+    }
+
+    #[test]
+    fn rle_column_ranks_cheaper_than_plain() {
+        let runs: Vec<Value> = (0..4096).map(|i| i / 512).collect();
+        let rle = frozen_table(&runs, 1024, Some(Encoding::Rle));
+        let plain = frozen_table(&runs, 1024, Some(Encoding::Plain));
+        let m = CostModel::default();
+        let s_rle = ColumnStats::from_tier(rle.col_tier(0), &m);
+        let s_plain = ColumnStats::from_tier(plain.col_tier(0), &m);
+        assert!(s_rle.eval_cost() < s_plain.eval_cost());
+        let p = ColPred::range(0, 0, 3);
+        assert!(s_rle.rank(&p) < s_plain.rank(&p));
+    }
+
+    #[test]
+    fn order_puts_selective_cheap_predicates_first() {
+        // col 0: wide match (everything), col 1: selective match.
+        let mut t = Table::with_block_rows(Schema::new(vec!["w", "s"]), 1024);
+        for i in 0..4096i64 {
+            t.insert(&[i % 100, i], 0).unwrap();
+        }
+        t.freeze_upto(4096);
+        let preds = vec![ColPred::range(0, 0, 99), ColPred::range(1, 0, 40)];
+        let po = order_predicates(&t, &preds, &CostModel::default());
+        assert_eq!(po.order, vec![1, 0], "selective predicate runs first");
+        assert!(po.est_rows[0] > po.est_rows[1]);
+        assert!(po.est_out_rows <= po.est_rows[1] * 1.05);
+    }
+
+    #[test]
+    fn empty_column_and_empty_preds_are_safe() {
+        let t = Table::with_block_rows(Schema::single("a"), 1024);
+        let stats = ColumnStats::from_tier(t.col_tier(0), &CostModel::default());
+        assert_eq!(stats.total_rows(), 0.0);
+        assert_eq!(stats.estimate_pred(&ColPred::range(0, 0, 10)), 0.0);
+        let po = order_predicates(&t, &[], &CostModel::default());
+        assert!(po.order.is_empty());
+        assert_eq!(estimate_scan_rows(&t, &[], &CostModel::default()), 0.0);
+    }
+
+    #[test]
+    fn q_error_is_symmetric_and_floored() {
+        assert_eq!(q_error(100.0, 100.0), 1.0);
+        assert_eq!(q_error(200.0, 100.0), q_error(100.0, 200.0));
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+        assert!(q_error(0.0, 50.0) >= 50.0);
+    }
+}

@@ -128,7 +128,17 @@ pub fn run_with(catalog: &dyn Catalog, sql: &str, executor: &Executor) -> SqlRes
         Statement::Explain(s) => {
             let bound = bind(catalog, &s)?;
             let tables = resolve_tables(catalog, &bound)?;
-            Ok(QueryOutcome::Plan(bound.lower().explain(Some(&tables))))
+            // EXPLAIN runs the plan (an EXPLAIN ANALYZE, in effect): the
+            // tree renders with the executed statistics — estimated vs.
+            // actual rows per stage, the cost model's predicate order
+            // with per-predicate pruned/refined block counts, and the
+            // join strategy it actually chose.
+            let plan = bound.lower();
+            let auxes: Vec<Aux<'_>> = (0..tables.len()).map(|_| Aux::default()).collect();
+            let result = executor.execute_plan(&tables, &auxes, &plan);
+            Ok(QueryOutcome::Plan(
+                plan.explain_executed(Some(&tables), &result.stats),
+            ))
         }
     }
 }

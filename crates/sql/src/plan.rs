@@ -23,7 +23,9 @@
 use crate::ast::{AggFunc, CmpOp, ColumnRef, Select, SelectItem, SortOrder};
 use crate::error::{SqlError, SqlResult};
 use amnesia_columnar::{Database, Table};
-use amnesia_engine::physical::{ColPred, JoinSpec, PhysItem, PhysScan, PhysicalPlan, SortDir};
+use amnesia_engine::physical::{
+    ColPred, JoinSpec, PhysItem, PhysScan, PhysicalPlan, PlanHint, SortDir,
+};
 use amnesia_workload::query::AggKind;
 
 /// Read-only name resolution surface the planner binds against.
@@ -231,8 +233,18 @@ impl BoundQuery {
     /// slot's scan, the join becomes a tiered hash-join spec, items /
     /// group key / sort / limit translate one-to-one. The physical plan
     /// is the *only* execution path — `amnesia-sql` no longer owns an
-    /// interpreter.
+    /// interpreter. The plan runs cost-based by default
+    /// ([`PlanHint::CostBased`]); [`Self::lower_with_hint`] is the
+    /// syntactic escape hatch.
     pub fn lower(&self) -> PhysicalPlan {
+        self.lower_with_hint(PlanHint::CostBased)
+    }
+
+    /// [`Self::lower`] with an explicit [`PlanHint`]:
+    /// [`PlanHint::SyntacticOrder`] pins predicate evaluation and the
+    /// join build side to the query's written order — the equivalence
+    /// oracle the cost-based path is tested against.
+    pub fn lower_with_hint(&self, hint: PlanHint) -> PhysicalPlan {
         let mut scans: Vec<PhysScan> = self
             .tables
             .iter()
@@ -287,6 +299,7 @@ impl BoundQuery {
                 )
             }),
             limit: self.limit,
+            hint,
         }
     }
 

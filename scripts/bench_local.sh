@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Local mirror of CI's bench-smoke job: run the criterion-shim bench
+# suite with JSON capture and drop BENCH_smoke.json at the repo root —
+# the same artifact CI uploads as BENCH_smoke-<sha> and feeds to
+# .github/bench_compare.py.
+#
+# Usage:
+#   scripts/bench_local.sh                 # full 7-bench suite
+#   scripts/bench_local.sh sql_bench       # just one bench
+#   BASELINE=old.json scripts/bench_local.sh   # also diff vs a baseline
+#
+# Gates that run inside sql_bench (tune or disable via env):
+#   AMNESIA_SCALE_GATE   8-thread speedup over serial (default: auto)
+#   AMNESIA_ORDER_GATE   cost-driven vs syntactic worst-order (default 2.0)
+#   AMNESIA_QERROR_GATE  max estimator q-error, uniform+zipf (default 8.0)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_smoke.json"
+# Absolute path: cargo runs bench binaries with cwd = the package dir
+# (crates/bench), so a relative path would land the file there.
+export AMNESIA_BENCH_JSON="$(pwd)/$OUT"
+rm -f "$OUT"
+
+BENCHES=(scan_kernels parallel_scan compressed_scan tiered_scan join_bench sql_bench persist_bench)
+if [[ $# -gt 0 ]]; then
+    BENCHES=("$@")
+fi
+
+for bench in "${BENCHES[@]}"; do
+    echo "=== cargo bench -p amnesia-bench --bench $bench ==="
+    cargo bench -p amnesia-bench --bench "$bench"
+done
+
+echo "wrote $(wc -l <"$OUT") bench records to $OUT"
+
+if [[ -n "${BASELINE:-}" ]]; then
+    python3 .github/bench_compare.py "$BASELINE" "$OUT"
+fi

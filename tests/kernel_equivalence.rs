@@ -723,7 +723,9 @@ fn join_kernels_agree_with_row_at_a_time_reference() {
 // ===================================================================
 
 use amnesia::engine::physical::JoinSpec;
-use amnesia::engine::{ColPred, ExecMode, Executor, PhysItem, PhysScan, PhysicalPlan, SortDir};
+use amnesia::engine::{
+    ColPred, ExecMode, Executor, PhysItem, PhysScan, PhysicalPlan, PlanHint, SortDir,
+};
 
 /// Non-power-of-two worker counts included on purpose: uneven morsel
 /// partitions are where merge-order bugs live.
@@ -818,6 +820,7 @@ fn grouped_plan() -> PhysicalPlan {
         group_by: Some((0, 0, "g".into())),
         order_by: Some((2, SortDir::Desc)),
         limit: Some(16),
+        hint: PlanHint::CostBased,
     }
 }
 
@@ -845,6 +848,7 @@ fn projection_plan() -> PhysicalPlan {
         group_by: None,
         order_by: Some((1, SortDir::Asc)),
         limit: None,
+        hint: PlanHint::CostBased,
     }
 }
 
@@ -876,6 +880,7 @@ fn global_agg_plan() -> PhysicalPlan {
         group_by: None,
         order_by: None,
         limit: None,
+        hint: PlanHint::CostBased,
     }
 }
 
@@ -989,6 +994,7 @@ fn join_plans_parallel_equals_serial_across_tiers() {
         group_by: None,
         order_by: None,
         limit: None,
+        hint: PlanHint::CostBased,
     };
     let grouped_join_plan = PhysicalPlan {
         items: vec![
