@@ -11,6 +11,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
+use amnesia_util::fixed::{le_i64, le_u32, le_u64};
 use amnesia_util::{crc32, storage_err, Result};
 
 use crate::types::{RowId, Value};
@@ -145,26 +146,27 @@ impl FileColdStore {
         };
         let mut offsets = HashMap::new();
         let mut pos = 0u64;
+        // Every read below is checked (`le_*` returns `None` on a short
+        // slice) and every mismatch breaks out as a torn tail — reopening
+        // a damaged archive truncates, it never panics.
         loop {
             let rest = &bytes[pos as usize..];
-            if rest.len() < 4 {
-                break;
-            }
-            let frame_len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as u64;
+            let Some(frame_len) = le_u32(rest).map(u64::from) else {
+                break; // torn length prefix
+            };
             if frame_len < 12 || (rest.len() as u64) < FRAME_OVERHEAD + frame_len {
                 break; // torn or nonsense tail
             }
             let frame = &rest[4..4 + frame_len as usize];
-            let stored = u32::from_le_bytes(
-                rest[4 + frame_len as usize..8 + frame_len as usize]
-                    .try_into()
-                    .expect("4 bytes"),
-            );
+            let Some(stored) = le_u32(&rest[4 + frame_len as usize..]) else {
+                break; // torn checksum
+            };
             if crc32(frame) != stored {
                 break; // torn tail: partial flush of the frame body
             }
-            let row = u64::from_le_bytes(frame[..8].try_into().expect("8 bytes"));
-            let arity = u32::from_le_bytes(frame[8..12].try_into().expect("4 bytes"));
+            let (Some(row), Some(arity)) = (le_u64(frame), le_u32(&frame[8..])) else {
+                break; // unreachable given frame_len >= 12, but never panic
+            };
             if frame_len != 12 + arity as u64 * 8 {
                 break; // arity disagrees with the frame length: treat as torn
             }
@@ -218,21 +220,18 @@ impl ColdStore for FileColdStore {
         let mut record = vec![0u8; 4 + frame_len + 4];
         self.reader.read_exact(&mut record)?;
         let frame = &record[4..4 + frame_len];
-        let stored = u32::from_le_bytes(record[4 + frame_len..].try_into().expect("4 bytes"));
+        let corrupt = || storage_err!("cold store record for row {} is corrupt", row.0);
+        let stored = le_u32(&record[4 + frame_len..]).ok_or_else(corrupt)?;
         if crc32(frame) != stored {
             return Err(storage_err!(
                 "cold store record for row {} failed CRC validation",
                 row.0
             ));
         }
-        let stored_row = u64::from_le_bytes(frame[..8].try_into().expect("8 bytes"));
+        let stored_row = le_u64(frame).ok_or_else(corrupt)?;
         debug_assert_eq!(stored_row, row.0, "offset map corruption");
-        Ok(Some(
-            frame[12..]
-                .chunks_exact(8)
-                .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
-                .collect(),
-        ))
+        let values: Option<Vec<Value>> = frame[12..].chunks_exact(8).map(le_i64).collect();
+        Ok(Some(values.ok_or_else(corrupt)?))
     }
 
     fn contains(&self, row: RowId) -> bool {
@@ -388,6 +387,106 @@ mod tests {
         assert!(store.contains(RowId(5)));
         std::fs::write(&path, &bytes).unwrap();
         assert!(store.fetch(RowId(5)).is_err(), "bit rot must not be served");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Append a hand-framed record with an arbitrary `arity` field and a
+    /// *valid* CRC, so corruption tests can target exactly one check.
+    fn append_raw(path: &std::path::Path, frame_len: u32, row: u64, arity: u32, vals: &[i64]) {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&row.to_le_bytes());
+        frame.extend_from_slice(&arity.to_le_bytes());
+        for v in vals {
+            frame.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut rec = frame_len.to_le_bytes().to_vec();
+        rec.extend_from_slice(&frame);
+        rec.extend_from_slice(&crc32(&frame).to_le_bytes());
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(path).unwrap();
+        f.write_all(&rec).unwrap();
+    }
+
+    #[test]
+    fn open_survives_nonsense_frame_len() {
+        // Rule-2 regression for the `frame_len` read in `open`: a frame
+        // length below the 12-byte header minimum is torn-tail, not a
+        // panic, and the valid prefix stays readable.
+        let path = tmp_path("badlen.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = FileColdStore::create(&path).unwrap();
+            store.archive(RowId(1), &[7]).unwrap();
+            store.writer.flush().unwrap();
+        }
+        append_raw(&path, 3, 2, 0, &[]);
+        let mut store = FileColdStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.fetch(RowId(1)).unwrap(), Some(vec![7]));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_survives_arity_frame_len_mismatch() {
+        // Rule-2 regression for the `row`/`arity` reads in `open`: a
+        // record whose arity disagrees with its frame length (CRC valid,
+        // so only the structural check can catch it) is cut, not served.
+        let path = tmp_path("badarity.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = FileColdStore::create(&path).unwrap();
+            store.archive(RowId(1), &[7]).unwrap();
+            store.writer.flush().unwrap();
+        }
+        append_raw(&path, 12 + 8, 2, 5, &[42]); // claims 5 values, holds 1
+        let store = FileColdStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1);
+        assert!(!store.contains(RowId(2)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_survives_torn_checksum() {
+        // Rule-2 regression for the frame/CRC slicing in `open`: a frame
+        // whose length field promises more than the file holds (the CRC
+        // trailer would sit past EOF) is cut at the length guard before
+        // any slice is taken.
+        let path = tmp_path("tornsum.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = FileColdStore::create(&path).unwrap();
+            store.archive(RowId(1), &[7]).unwrap();
+            store.writer.flush().unwrap();
+        }
+        // frame_len says 20 bytes of frame follow, but only 12 + a 1-byte
+        // stump do: the CRC read runs off the end of the file.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&20u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 13]);
+        std::fs::write(&path, &bytes).unwrap();
+        let store = FileColdStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fetch_errors_on_truncated_file() {
+        // Rule-2 regression for `fetch`'s framed reads: a file truncated
+        // under a live offset map surfaces as `Err`, never a panic.
+        let path = tmp_path("shrunk.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = FileColdStore::create(&path).unwrap();
+            store.archive(RowId(5), &[1, 2, 3]).unwrap();
+            store.writer.flush().unwrap();
+        }
+        let mut store = FileColdStore::open(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 10]).unwrap();
+        assert!(
+            store.fetch(RowId(5)).is_err(),
+            "truncated record must be an Err, not a panic"
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -69,6 +69,10 @@ thread_local! {
 /// tests and benches pin that bargain — snapshot it, run a tiered
 /// operator, and assert the delta is zero. Thread-local on purpose:
 /// concurrently running tests cannot pollute each other's deltas.
+///
+/// `amnesia-lint`'s `dense` rule is this counter's static twin: decode
+/// calls are banned outside whitelisted seams over every line of
+/// source, not just executed paths (see `CONTRIBUTING.md`).
 pub fn block_decodes() -> u64 {
     BLOCK_DECODES.with(Cell::get)
 }

@@ -61,6 +61,12 @@
 //! [`DurabilityHook::commit`] / [`PersistentTable::sync`] fsyncs the
 //! batch), or manual. Crash tests in `tests/persistence.rs` enforce each
 //! policy's contract under scripted fault injection ([`fault::FaultVfs`]).
+//!
+//! The crash matrix has a static twin: `amnesia-lint` bans `unwrap`/
+//! `expect`/`panic!` throughout this module tree, so corrupt on-disk
+//! bytes surface as `Err` on every path, not just the ones a fault
+//! schedule happens to hit (rules and waiver syntax: `CONTRIBUTING.md`
+//! at the repo root).
 
 pub mod fault;
 pub mod reader;

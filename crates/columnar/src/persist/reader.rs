@@ -4,7 +4,7 @@
 //! their buffers), everything here returns `Err` on truncation — disk
 //! bytes are untrusted input.
 
-use amnesia_util::{storage_err, Result};
+use amnesia_util::{storage_err, take_arr, Result};
 
 /// Cursor over untrusted bytes.
 pub struct Reader<'a> {
@@ -47,34 +47,42 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    /// Exactly `N` bytes as a fixed array. `bytes` already bounds-checks,
+    /// so the second check cannot fire — but it returns `Err`, keeping
+    /// this cursor statically panic-free (lint rule `panic`).
+    fn arr<const N: usize>(&mut self) -> Result<[u8; N]> {
+        take_arr::<N>(self.bytes(N)?)
+            .ok_or_else(|| storage_err!("truncated {N}-byte field at offset {}", self.pos))
+    }
+
     /// One byte.
     pub fn u8(&mut self) -> Result<u8> {
-        Ok(self.bytes(1)?[0])
+        Ok(self.arr::<1>()?[0])
     }
 
     /// Little-endian u16.
     pub fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().expect("2")))
+        Ok(u16::from_le_bytes(self.arr()?))
     }
 
     /// Little-endian u32.
     pub fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4")))
+        Ok(u32::from_le_bytes(self.arr()?))
     }
 
     /// Little-endian u64.
     pub fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8")))
+        Ok(u64::from_le_bytes(self.arr()?))
     }
 
     /// Little-endian i64.
     pub fn i64(&mut self) -> Result<i64> {
-        Ok(i64::from_le_bytes(self.bytes(8)?.try_into().expect("8")))
+        Ok(i64::from_le_bytes(self.arr()?))
     }
 
     /// Little-endian f64.
     pub fn f64(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(self.bytes(8)?.try_into().expect("8")))
+        Ok(f64::from_le_bytes(self.arr()?))
     }
 
     /// LEB128 varint, checked.

@@ -50,7 +50,8 @@
 
 use std::path::{Path, PathBuf};
 
-use amnesia_util::{crc32, Result};
+use amnesia_util::fixed::{le_u32, le_u64};
+use amnesia_util::{crc32, storage_err, Result};
 use bytes::BufMut;
 
 use super::reader::Reader;
@@ -137,17 +138,19 @@ pub fn decode_header(bytes: &[u8]) -> Option<SegmentHeader> {
     if bytes.len() < SEGMENT_HEADER_LEN || &bytes[..8] != SEGMENT_MAGIC {
         return None;
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    // Checked reads (the length test above makes them infallible, but a
+    // short slice must yield `None`, never a panic — lint rule `panic`).
+    let version = le_u32(&bytes[8..])?;
     if version != SEGMENT_VERSION {
         return None;
     }
-    let stored = u32::from_le_bytes(bytes[32..36].try_into().expect("4 bytes"));
+    let stored = le_u32(&bytes[32..])?;
     if crc32(&bytes[..32]) != stored {
         return None;
     }
     Some(SegmentHeader {
-        first_seqno: u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")),
-        base_epoch: u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes")),
+        first_seqno: le_u64(&bytes[16..])?,
+        base_epoch: le_u64(&bytes[24..])?,
     })
 }
 
@@ -290,7 +293,11 @@ impl SegmentedWal {
         framed.extend_from_slice(&(frame.len() as u32).to_le_bytes());
         framed.extend_from_slice(&frame);
         framed.extend_from_slice(&crc32(&frame).to_le_bytes());
-        let active = self.active.as_mut().expect("rotated above");
+        let Some(active) = self.active.as_mut() else {
+            // rotate() always installs an active segment; if it somehow
+            // did not, fail the append rather than crash mid-durability.
+            return Err(storage_err!("wal append with no active segment"));
+        };
         active.file.append(&framed)?;
         active.bytes += framed.len() as u64;
         self.next_seqno += 1;
@@ -369,11 +376,12 @@ impl SegmentedWal {
             }
         }
         self.sealed = keep;
-        if self.active.is_some() && self.next_seqno <= through_seqno + 1 {
+        if self.next_seqno <= through_seqno + 1 {
             // Every record in the active segment is covered: drop the
             // handle and shred the file too.
-            let active = self.active.take().expect("checked above");
-            doomed.push(active.index);
+            if let Some(active) = self.active.take() {
+                doomed.push(active.index);
+            }
         }
         let shredded = !doomed.is_empty();
         for index in doomed {

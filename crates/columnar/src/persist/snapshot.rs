@@ -127,6 +127,7 @@ pub fn encode_with_meta(table: &Table, meta: RecoveryMeta) -> Vec<u8> {
         payload.put_u8(tier.pinned_encoding().map_or(0xFF, Encoding::tag));
         payload.put_u64_le(tier.frozen_blocks() as u64);
         for b in 0..tier.frozen_blocks() {
+            // lint: allow(panic) encode path, not recovery: the loop walks 0..frozen_blocks(), so the index is in range by construction
             let f = tier.frozen(b).expect("block in range");
             payload.put_u8(state_tag(f.state()));
             payload.put_u8(f.encoded().encoding().tag());

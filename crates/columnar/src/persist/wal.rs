@@ -38,6 +38,7 @@ use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+use amnesia_util::fixed::le_u32;
 use amnesia_util::{crc32, storage_err, Result};
 use bytes::{BufMut, Bytes, BytesMut};
 
@@ -360,17 +361,16 @@ pub fn replay(path: &Path) -> Result<ReplayOutcome> {
 /// slice and the offset just past the frame, or `None` when the frame is
 /// torn or its CRC does not match.
 pub(super) fn next_frame(bytes: &[u8], pos: usize) -> Option<(&[u8], usize)> {
-    if bytes.len() - pos < 4 {
-        return None; // torn length prefix
-    }
-    let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+    // Checked reads throughout (`le_u32` is `None` on a short slice):
+    // torn frames surface as `None`, never as a panic (lint rule `panic`).
+    let len = le_u32(bytes.get(pos..)?)? as usize;
     let body_start = pos + 4;
     let crc_start = body_start.checked_add(len)?;
     if crc_start.checked_add(4)? > bytes.len() {
         return None; // torn body or checksum
     }
     let body = &bytes[body_start..crc_start];
-    let stored = u32::from_le_bytes(bytes[crc_start..crc_start + 4].try_into().expect("4 bytes"));
+    let stored = le_u32(&bytes[crc_start..])?;
     if crc32(body) != stored {
         return None; // bit rot or partial overwrite
     }

@@ -167,6 +167,9 @@ impl Clone for AccessCounters {
         Self(
             self.0
                 .iter()
+                // Relaxed: counters are advisory scan statistics; a clone
+                // concurrent with bumps may be slightly stale, which is
+                // fine — no other memory is ordered against them.
                 .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
                 .collect(),
         )
@@ -182,6 +185,8 @@ impl PartialEq for AccessCounters {
 impl std::fmt::Debug for AccessCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_list()
+            // Relaxed: debug rendering of advisory counters; staleness
+            // is acceptable and nothing is ordered against the reads.
             .entries(self.0.iter().map(|c| c.load(Ordering::Relaxed)))
             .finish()
     }
@@ -322,6 +327,8 @@ impl TieredColumn {
     #[inline]
     pub fn note_block_access(&self, b: usize) {
         if let Some(c) = self.accesses.0.get(b) {
+            // Relaxed: a pure event count; bumps from parallel morsel
+            // workers may interleave in any order, only the total matters.
             c.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -332,6 +339,7 @@ impl TieredColumn {
         self.accesses
             .0
             .get(b)
+            // Relaxed: advisory statistic, staleness is acceptable.
             .map_or(0, |c| c.load(Ordering::Relaxed))
     }
 
@@ -340,6 +348,7 @@ impl TieredColumn {
         self.accesses
             .0
             .iter()
+            // Relaxed: advisory statistic, staleness is acceptable.
             .map(|c| c.load(Ordering::Relaxed))
             .sum()
     }

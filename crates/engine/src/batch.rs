@@ -309,6 +309,9 @@ mod simd {
     /// # Safety
     /// Caller must verify `avx2` is available and pass exactly 64 values.
     #[target_feature(enable = "avx2")]
+    // SAFETY: sound iff `avx2` is present (callers dispatch through
+    // `mask_impl()`, which feature-detects) and `values.len() == 64`, so
+    // the 16 × 4-lane unaligned loads below never read past the slice.
     pub(super) unsafe fn mask_avx2(values: &[Value], lo: Value, hi: Value) -> u64 {
         use std::arch::x86_64::*;
         debug_assert_eq!(values.len(), WORD_BITS);
@@ -332,6 +335,9 @@ mod simd {
     /// Caller must verify `avx512f` is available and pass exactly 64
     /// values.
     #[target_feature(enable = "avx512f")]
+    // SAFETY: sound iff `avx512f` is present (callers dispatch through
+    // `mask_impl()`, which feature-detects) and `values.len() == 64`, so
+    // the 8 × 8-lane unaligned loads below never read past the slice.
     pub(super) unsafe fn mask_avx512(values: &[Value], lo: Value, hi: Value) -> u64 {
         use std::arch::x86_64::*;
         debug_assert_eq!(values.len(), WORD_BITS);

@@ -558,6 +558,9 @@ pub fn selection_scan_ordered(
 /// predicate in execution order, then refine residuals sparsely —
 /// bailing out of the block as soon as the selection empties. `sel` and
 /// `act` are the block's word slices.
+// The arguments are the per-block slices of the caller's scan state;
+// bundling them into a struct would rebuild it for every frozen block
+// on the hot path without making any call site clearer.
 #[allow(clippy::too_many_arguments)]
 fn scan_block_ordered(
     table: &Table,

@@ -284,9 +284,15 @@ where
                             ends[v].saturating_sub(cursors[v].load(Ordering::Relaxed))
                         });
                         let Some(v) = victim else { break };
+                        // Relaxed re-check: the fetch_add below is the
+                        // claim; a stale read here only costs one wasted
+                        // steal attempt, never a double-claimed morsel.
                         if ends[v].saturating_sub(cursors[v].load(Ordering::Relaxed)) == 0 {
                             break;
                         }
+                        // Relaxed claim: cursors are the sole shared words
+                        // and fetch_add is atomic per cursor; results are
+                        // published by the scope join, not by this write.
                         let i = cursors[v].fetch_add(1, Ordering::Relaxed);
                         if i < ends[v] {
                             steals += 1;

@@ -1,0 +1,263 @@
+//! A small comment/string-aware line splitter for Rust sources.
+//!
+//! The checker does not need a parser: every rule keys off tokens that
+//! are unambiguous at the lexical level (`.decode()`, `.unwrap()`,
+//! `unsafe`, `Ordering::Relaxed`, `#[allow(...)]`) *provided* occurrences
+//! inside string literals and comments are not mistaken for code. This
+//! module splits each source line into its code text (string-literal
+//! contents blanked out) and its comment text (everything inside `//`,
+//! `///`, `/* .. */`, including nested block comments), which is all the
+//! rules in [`crate::rules`] need.
+
+/// Per-line code/comment split of one source file.
+#[derive(Debug, Default)]
+pub struct SplitSource {
+    /// Code text per line; string-literal contents replaced by spaces,
+    /// comments removed entirely.
+    pub code: Vec<String>,
+    /// Comment text per line (without the `//` / `/*` introducers'
+    /// surrounding code), empty when the line holds no comment.
+    pub comment: Vec<String>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth of `/* */` (Rust block comments nest).
+    BlockComment(u32),
+    /// Ordinary `"…"` string (escapes honoured).
+    Str,
+    /// Raw string; payload is the number of `#`s in the delimiter.
+    RawStr(u32),
+}
+
+/// True when `c` can continue an identifier (used to tell a raw-string
+/// introducer `r"` from the tail of an identifier like `for"`).
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Split `src` into per-line code and comment text.
+pub fn split(src: &str) -> SplitSource {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = SplitSource::default();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut prev_code_char = ' ';
+    let mut i = 0usize;
+
+    macro_rules! flush_line {
+        () => {
+            out.code.push(std::mem::take(&mut code));
+            out.comment.push(std::mem::take(&mut comment));
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            flush_line!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                // Raw (byte) string introducers: r"…", r#"…"#, br##"…"##.
+                if (c == 'r' || c == 'b') && !is_ident(prev_code_char) {
+                    if let Some(skip) = raw_string_intro(&chars[i..]) {
+                        let hashes = skip.1;
+                        code.push_str(&"_".repeat(skip.0));
+                        i += skip.0;
+                        state = State::RawStr(hashes);
+                        prev_code_char = '"';
+                        continue;
+                    }
+                }
+                if c == '"' {
+                    code.push('"');
+                    prev_code_char = '"';
+                    state = State::Str;
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime: a char literal closes with
+                    // a quote after one (possibly escaped) character; a
+                    // lifetime never does.
+                    if next == Some('\\') {
+                        // Escaped char literal: skip to the closing quote.
+                        let mut j = i + 2;
+                        while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                            j += 1;
+                        }
+                        code.push_str(&"_".repeat(j.saturating_sub(i) + 1));
+                        i = (j + 1).min(chars.len());
+                        prev_code_char = '\'';
+                        continue;
+                    }
+                    if chars.get(i + 2).copied() == Some('\'') && next != Some('\'') {
+                        code.push_str("___");
+                        i += 3;
+                        prev_code_char = '\'';
+                        continue;
+                    }
+                    // Lifetime (or stray quote): plain code.
+                }
+                code.push(c);
+                prev_code_char = c;
+                i += 1;
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push_str("__");
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Code;
+                    prev_code_char = '"';
+                    i += 1;
+                } else {
+                    code.push('_');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars[i..], hashes) {
+                    code.push_str(&"_".repeat(hashes as usize + 1));
+                    i += hashes as usize + 1;
+                    state = State::Code;
+                    prev_code_char = '"';
+                } else {
+                    code.push('_');
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Final line of a file without a trailing newline.
+    if !code.is_empty() || !comment.is_empty() {
+        flush_line!();
+    }
+    out
+}
+
+/// If `rest` starts a raw-string literal (`r`/`br` + `#`* + `"`), return
+/// `(chars_to_consume_through_quote, n_hashes)`.
+fn raw_string_intro(rest: &[char]) -> Option<(usize, u32)> {
+    let mut j = 0usize;
+    if rest.first() == Some(&'b') {
+        j += 1;
+    }
+    if rest.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while rest.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if rest.get(j) == Some(&'"') {
+        Some((j + 1, hashes))
+    } else {
+        None
+    }
+}
+
+/// True when `rest` (starting at a `"`) closes a raw string with `hashes`
+/// trailing `#`s.
+fn closes_raw(rest: &[char], hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| rest.get(k) == Some(&'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_split_from_code() {
+        let s = split("let x = 1; // trailing note\n// full line\nlet y = 2;\n");
+        assert_eq!(s.code[0], "let x = 1; ");
+        assert_eq!(s.comment[0], " trailing note");
+        assert_eq!(s.code[1], "");
+        assert_eq!(s.comment[1], " full line");
+        assert_eq!(s.code[2], "let y = 2;");
+    }
+
+    #[test]
+    fn strings_are_blanked() {
+        let s = split("call(\".unwrap()\"); other();\n");
+        assert!(!s.code[0].contains(".unwrap()"));
+        assert!(s.code[0].contains("other();"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = split("let p = r#\"panic!(\"x\")\"#; go();\n");
+        assert!(!s.code[0].contains("panic!"));
+        assert!(s.code[0].contains("go();"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let s = split("a(); /* outer /* inner */ still */ b();\n/* open\nunsafe { }\n*/ c();\n");
+        assert!(s.code[0].contains("a();"));
+        assert!(s.code[0].contains("b();"));
+        assert!(s.comment[0].contains("outer"));
+        assert!(!s.code[2].contains("unsafe"));
+        assert!(s.comment[2].contains("unsafe"));
+        assert!(s.code[3].contains("c();"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = split("let q = '\"'; fn f<'a>(x: &'a str) {}\nlet e = '\\n';\n");
+        // The quote char literal must not open a string state.
+        assert!(s.code[0].contains("fn f<'a>"));
+        assert!(s.code[1].contains("let e"));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_strings() {
+        let s = split("let x = \"a\\\"b.unwrap()\"; tail();\n");
+        assert!(!s.code[0].contains(".unwrap()"));
+        assert!(s.code[0].contains("tail();"));
+    }
+}

@@ -1,0 +1,150 @@
+//! `amnesia-lint`: the workspace's repo-specific invariant checker.
+//!
+//! The amnesia engine's core guarantees are behavioural: frozen blocks
+//! are never densely materialized on the query path (`block_decodes ==
+//! 0` in tests and benches), recovery surfaces corrupt on-disk bytes as
+//! `Err` instead of panicking (the `FaultVfs` crash matrix), forgetting
+//! is physical. Those dynamic checks catch violations only on the paths
+//! a test happens to execute; this crate makes the same rules *static
+//! properties* of the source tree, enforced at CI time over every line.
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run -p amnesia-lint -- check
+//! ```
+//!
+//! See [`rules`] for the five rules, the inline waiver syntax, and
+//! `CONTRIBUTING.md` for the policy around them; [`ratchet`] holds the
+//! burn-down baseline machinery.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod lexer;
+pub mod ratchet;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use rules::{check_source, Config, Violation};
+
+/// Result of checking a whole workspace tree.
+#[derive(Debug)]
+pub struct WorkspaceReport {
+    /// Number of `.rs` files scanned.
+    pub files_checked: usize,
+    /// Every violation found, ordered by file then line.
+    pub violations: Vec<Violation>,
+}
+
+/// Walk `root` (`crates/` and `src/` subtrees) and check every `.rs`
+/// file against `cfg`. Paths in the returned violations are relative to
+/// `root`, `/`-separated.
+pub fn check_workspace(root: &Path, cfg: &Config) -> std::io::Result<WorkspaceReport> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut violations = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = std::fs::read_to_string(path)?;
+        violations.extend(rules::check_source(&rel, &src, cfg));
+    }
+    violations.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(WorkspaceReport {
+        files_checked: files.len(),
+        violations,
+    })
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            // `target/` holds build products; dot-dirs are tooling state.
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Render `violations` as a machine-readable JSON report (an object with
+/// `files_checked` and a `violations` array of `{rule, file, line,
+/// message}` records).
+pub fn json_report(report: &WorkspaceReport) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"files_checked\": {},\n  \"violations\": [",
+        report.files_checked
+    ));
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            esc(v.rule),
+            esc(&v.file),
+            v.line,
+            esc(&v.message)
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_escapes() {
+        let report = WorkspaceReport {
+            files_checked: 1,
+            violations: vec![Violation {
+                rule: "panic",
+                file: "a\"b.rs".into(),
+                line: 3,
+                message: "uses `x.unwrap()`\nbadly".into(),
+            }],
+        };
+        let json = json_report(&report);
+        assert!(json.contains("a\\\"b.rs"));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\"files_checked\": 1"));
+    }
+}

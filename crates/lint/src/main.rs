@@ -1,0 +1,119 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p amnesia-lint -- check [--root DIR] [--baseline FILE]
+//!                                    [--json FILE] [--update-baseline]
+//! ```
+//!
+//! Exit codes: 0 clean (every finding waived or within the ratchet
+//! baseline), 1 violations, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use amnesia_lint::{check_workspace, json_report, ratchet, Config};
+
+const USAGE: &str = "\
+amnesia-lint: repo-specific invariant checker (dense, panic, unsafe, atomics, allow)
+
+USAGE:
+    amnesia-lint check [--root DIR] [--baseline FILE] [--json FILE] [--update-baseline]
+
+OPTIONS:
+    --root DIR           workspace root to scan (default: .)
+    --baseline FILE      ratchet baseline (default: <root>/lint-baseline.txt)
+    --json FILE          also write a machine-readable JSON report
+    --update-baseline    rewrite the baseline from current findings and exit 0
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("amnesia-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("check") => {}
+        _ => {
+            eprint!("{USAGE}");
+            return Ok(ExitCode::from(2));
+        }
+    }
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut update_baseline = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => root = next_value(&mut it, "--root")?.into(),
+            "--baseline" => baseline_path = Some(next_value(&mut it, "--baseline")?.into()),
+            "--json" => json_path = Some(next_value(&mut it, "--json")?.into()),
+            "--update-baseline" => update_baseline = true,
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.txt"));
+
+    let report = check_workspace(&root, &Config::default())
+        .map_err(|e| format!("scanning {}: {e}", root.display()))?;
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, json_report(&report))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+
+    if update_baseline {
+        let baseline = ratchet::from_violations(&report.violations);
+        std::fs::write(&baseline_path, ratchet::render(&baseline))
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        println!(
+            "amnesia-lint: baseline rewritten with {} entr{} ({} violation{})",
+            baseline.len(),
+            if baseline.len() == 1 { "y" } else { "ies" },
+            report.violations.len(),
+            if report.violations.len() == 1 {
+                ""
+            } else {
+                "s"
+            },
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline = ratchet::load(&baseline_path)?;
+    let cmp = ratchet::compare(&report.violations, &baseline);
+
+    for v in &cmp.over {
+        println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+    }
+    for (rule, file, tolerated, actual) in &cmp.slack {
+        println!(
+            "ratchet: {file} [{rule}] improved to {actual} (baseline tolerates \
+             {tolerated}) — tighten with --update-baseline"
+        );
+    }
+    let baselined = report.violations.len() - cmp.over.len();
+    println!(
+        "amnesia-lint: {} files, {} violation{} ({} within baseline)",
+        report.files_checked,
+        cmp.over.len(),
+        if cmp.over.len() == 1 { "" } else { "s" },
+        baselined,
+    );
+    Ok(if cmp.over.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn next_value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}

@@ -1,0 +1,157 @@
+//! Ratchet baseline: burn existing debt down without blocking on it.
+//!
+//! The baseline file (`lint-baseline.txt` at the workspace root) lists
+//! per-`(rule, file)` violation counts that are tolerated *for now*.
+//! `check` fails when any count rises above its baseline entry (or a new
+//! one appears), and reports when a count falls so the entry can be
+//! tightened — the ratchet only ever turns one way. An empty or absent
+//! baseline means zero tolerated violations, the steady state this repo
+//! ships in.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::rules::Violation;
+
+/// `(rule, file) -> tolerated count`, ordered for stable serialization.
+pub type Baseline = BTreeMap<(String, String), usize>;
+
+/// Parse a baseline file. Blank lines and `#` comments are ignored;
+/// entries are `<rule> <file> <count>` separated by whitespace.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut out = Baseline::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(rule), Some(file), Some(count)) = (it.next(), it.next(), it.next()) else {
+            return Err(format!(
+                "baseline line {}: expected `<rule> <file> <count>`",
+                i + 1
+            ));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count `{count}`", i + 1))?;
+        out.insert((rule.to_string(), file.to_string()), count);
+    }
+    Ok(out)
+}
+
+/// Load the baseline at `path`; a missing file is an empty baseline.
+pub fn load(path: &Path) -> Result<Baseline, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::new()),
+        Err(e) => Err(format!("reading {}: {e}", path.display())),
+    }
+}
+
+/// Serialize `baseline` in the format [`parse`] reads.
+pub fn render(baseline: &Baseline) -> String {
+    let mut out = String::from(
+        "# amnesia-lint ratchet baseline: tolerated `<rule> <file> <count>` entries.\n\
+         # Counts may only shrink; `amnesia-lint check --update-baseline` rewrites\n\
+         # this file from the current findings.\n",
+    );
+    for ((rule, file), count) in baseline {
+        out.push_str(&format!("{rule} {file} {count}\n"));
+    }
+    out
+}
+
+/// Outcome of comparing current findings against the baseline.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// Violations beyond what the baseline tolerates (these fail the run).
+    pub over: Vec<Violation>,
+    /// `(rule, file, tolerated, actual)` entries where debt shrank or
+    /// vanished: the baseline can be tightened.
+    pub slack: Vec<(String, String, usize, usize)>,
+}
+
+/// Compare `violations` against `baseline`. Within one `(rule, file)`
+/// group the first `tolerated` findings are absorbed (the group is
+/// line-sorted, so absorption is deterministic) and the rest spill into
+/// [`Comparison::over`].
+pub fn compare(violations: &[Violation], baseline: &Baseline) -> Comparison {
+    let mut groups: BTreeMap<(String, String), Vec<&Violation>> = BTreeMap::new();
+    for v in violations {
+        groups
+            .entry((v.rule.to_string(), v.file.clone()))
+            .or_default()
+            .push(v);
+    }
+    let mut cmp = Comparison::default();
+    for (key, group) in &groups {
+        let tolerated = baseline.get(key).copied().unwrap_or(0);
+        if group.len() > tolerated {
+            cmp.over
+                .extend(group[tolerated..].iter().map(|v| (*v).clone()));
+        } else if group.len() < tolerated {
+            cmp.slack
+                .push((key.0.clone(), key.1.clone(), tolerated, group.len()));
+        }
+    }
+    for (key, &tolerated) in baseline {
+        if !groups.contains_key(key) {
+            cmp.slack.push((key.0.clone(), key.1.clone(), tolerated, 0));
+        }
+    }
+    cmp
+}
+
+/// Build a fresh baseline that exactly covers `violations`.
+pub fn from_violations(violations: &[Violation]) -> Baseline {
+    let mut out = Baseline::new();
+    for v in violations {
+        *out.entry((v.rule.to_string(), v.file.clone())).or_insert(0) += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, file: &str, line: usize) -> Violation {
+        Violation {
+            rule,
+            file: file.to_string(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut b = Baseline::new();
+        b.insert(("panic".into(), "a/b.rs".into()), 3);
+        let parsed = parse(&render(&b)).unwrap();
+        assert_eq!(parsed, b);
+        assert!(parse("# only comments\n\n").unwrap().is_empty());
+        assert!(parse("panic a.rs notanumber").is_err());
+    }
+
+    #[test]
+    fn over_and_slack() {
+        let mut b = Baseline::new();
+        b.insert(("panic".into(), "a.rs".into()), 1);
+        b.insert(("dense".into(), "gone.rs".into()), 2);
+        let vs = vec![
+            v("panic", "a.rs", 1),
+            v("panic", "a.rs", 9),
+            v("allow", "c.rs", 2),
+        ];
+        let cmp = compare(&vs, &b);
+        // One panic absorbed, one over; the new `allow` is over; the
+        // fully-paid-down dense entry is slack.
+        assert_eq!(cmp.over.len(), 2);
+        assert!(cmp.over.iter().any(|x| x.rule == "panic" && x.line == 9));
+        assert!(cmp.over.iter().any(|x| x.rule == "allow"));
+        assert_eq!(cmp.slack.len(), 1);
+        assert_eq!(cmp.slack[0].3, 0);
+    }
+}

@@ -1,0 +1,8 @@
+// Failing snippet for rule `allow`: suppression with no stated reason.
+
+fn other() {}
+
+fn unjustified() {}
+
+#[allow(dead_code)]
+fn helper() {}

@@ -1,0 +1,5 @@
+// Passing snippet for rule `allow`.
+
+// Only referenced when building against real serde, not the shim.
+#[allow(dead_code)]
+fn helper() {}

@@ -1,0 +1,7 @@
+// Failing snippet for rule `atomics`: no rationale for the ordering.
+
+fn other() {}
+
+fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}

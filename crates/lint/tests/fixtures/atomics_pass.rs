@@ -1,0 +1,5 @@
+// Passing snippet for rule `atomics`.
+fn bump(counter: &AtomicU64) {
+    // Relaxed: advisory statistic, nothing is ordered against it.
+    counter.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,6 @@
+// Failing snippet for rule `dense`: whole-column materialization on the
+// query path, outside every whitelisted seam.
+fn scan_sum(table: &Table) -> i64 {
+    let vals = table.col_values_dense(0);
+    vals.iter().sum()
+}

@@ -1,0 +1,7 @@
+// Passing snippet for rule `dense`: tier-aware streaming over the codec
+// visitor; no dense materialization.
+fn scan_sum(table: &Table) -> i64 {
+    let mut sum = 0;
+    table.col_tier(0).for_each_active(|v| sum += v);
+    sum
+}

@@ -1,0 +1,5 @@
+// Failing snippet for rule `panic`: corrupt on-disk bytes would crash
+// recovery instead of surfacing as `Err`.
+fn parse_record(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"))
+}

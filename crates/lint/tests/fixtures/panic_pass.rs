@@ -1,0 +1,4 @@
+// Passing snippet for rule `panic`: checked read, truncation becomes Err.
+fn parse_record(bytes: &[u8]) -> Result<u32> {
+    le_u32(bytes).ok_or_else(|| storage_err!("truncated record header"))
+}

@@ -1,0 +1,10 @@
+// Failing snippet for rule `unsafe`: the block below carries no
+// adjacent safety comment stating the upheld invariant.
+
+fn align_check(values: &[i64]) -> bool {
+    values.len() % 8 == 0
+}
+
+fn fast_sum(values: &[i64]) -> i64 {
+    unsafe { simd_sum(values) }
+}

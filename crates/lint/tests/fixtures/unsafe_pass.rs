@@ -1,0 +1,6 @@
+// Passing snippet for rule `unsafe`.
+fn fast_sum(values: &[i64]) -> i64 {
+    // SAFETY: simd_sum requires 64-byte alignment, guaranteed by the
+    // block allocator for every frozen block buffer.
+    unsafe { simd_sum(values) }
+}

@@ -1,0 +1,5 @@
+// A waiver without a reason is rejected and suppresses nothing.
+fn parse(bytes: &[u8]) -> u32 {
+    // lint: allow(panic)
+    u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"))
+}

@@ -1,0 +1,5 @@
+// A well-formed waiver suppresses the violation on the next line.
+fn parse(bytes: &[u8]) -> u32 {
+    // lint: allow(panic) length validated by the caller's CRC framing
+    u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"))
+}

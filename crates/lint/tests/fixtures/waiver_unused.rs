@@ -1,0 +1,5 @@
+// An unused waiver is itself a violation: it cannot rot in place.
+fn parse() -> u32 {
+    // lint: allow(panic) nothing on the next line actually panics
+    0
+}

@@ -307,6 +307,8 @@ macro_rules! tuple_strategy {
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
             type Value = ($($name::Value,)+);
 
+            // The macro metavars double as local binding names, and they
+            // are single capital letters (A, B, …) by construction.
             #[allow(non_snake_case)]
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 let ($($name,)+) = self;

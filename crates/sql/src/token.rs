@@ -44,6 +44,8 @@ pub enum Tok {
 
 /// Recognized keywords.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// Variant names *are* the keywords they tokenize; per-variant docs
+// would only repeat them.
 #[allow(missing_docs)]
 pub enum Keyword {
     Select,

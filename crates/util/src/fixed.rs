@@ -1,0 +1,50 @@
+//! Checked fixed-width reads from untrusted byte slices.
+//!
+//! The persist and cold-store layers parse on-disk bytes whose lengths
+//! are validated by framing (length prefixes, CRC trailers) before any
+//! field is read — but the *static* panic-free-recovery invariant
+//! (`amnesia-lint`'s `panic` rule) wants those reads to carry no panic
+//! path at all, not merely a dynamically-unreachable one. [`take_arr`]
+//! is the shared seam: a prefix copy that reports a short slice as
+//! `None` instead of panicking, so recovery code turns it into an `Err`
+//! or a torn-tail truncation as the situation demands.
+
+/// The first `N` bytes of `s` as a fixed array, or `None` when `s` is
+/// shorter than `N`.
+#[inline]
+pub fn take_arr<const N: usize>(s: &[u8]) -> Option<[u8; N]> {
+    s.get(..N)?.try_into().ok()
+}
+
+/// Little-endian `u32` from the front of `s`, if present.
+#[inline]
+pub fn le_u32(s: &[u8]) -> Option<u32> {
+    take_arr::<4>(s).map(u32::from_le_bytes)
+}
+
+/// Little-endian `u64` from the front of `s`, if present.
+#[inline]
+pub fn le_u64(s: &[u8]) -> Option<u64> {
+    take_arr::<8>(s).map(u64::from_le_bytes)
+}
+
+/// Little-endian `i64` from the front of `s`, if present.
+#[inline]
+pub fn le_i64(s: &[u8]) -> Option<i64> {
+    take_arr::<8>(s).map(i64::from_le_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_prefix_and_rejects_short() {
+        let b = [1u8, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0];
+        assert_eq!(le_u32(&b), Some(1));
+        assert_eq!(le_u64(&b[4..]), Some(2));
+        assert_eq!(le_i64(&b[..7]), None);
+        assert_eq!(take_arr::<4>(&b[..3]), None);
+        assert_eq!(take_arr::<0>(&[]), Some([]));
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`ascii`] — line charts, heatmaps and text tables for terminal-friendly
 //!   reproduction of the paper's figures.
 //! * [`crc`] — CRC-32/IEEE for snapshot and WAL integrity checking.
+//! * [`fixed`] — checked fixed-width reads from untrusted bytes, the
+//!   panic-free parsing seam the recovery paths share.
 //! * [`error`] — the shared error type.
 
 #![warn(missing_docs)]
@@ -24,11 +26,13 @@ pub mod ascii;
 pub mod bitmap;
 pub mod crc;
 pub mod error;
+pub mod fixed;
 pub mod rng;
 pub mod stats;
 
 pub use bitmap::{Bitmap, WORD_BITS};
 pub use crc::{crc32, Crc32};
 pub use error::{Error, Result};
+pub use fixed::take_arr;
 pub use rng::SimRng;
 pub use stats::{KahanSum, MinMax, RunningStats};

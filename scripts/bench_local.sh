@@ -17,6 +17,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Preflight: a bench run on a tree that will fail CI's invariant gate
+# is wasted time — fail fast here (rules: CONTRIBUTING.md).
+echo "=== amnesia-lint preflight ==="
+cargo run -q -p amnesia-lint -- check
+
 OUT="BENCH_smoke.json"
 # Absolute path: cargo runs bench binaries with cwd = the package dir
 # (crates/bench), so a relative path would land the file there.
