@@ -244,8 +244,9 @@ fn main() {
     };
 
     // Run experiments in parallel: each is an independent, deterministic
-    // simulation (std scoped threads keep the borrows simple).
-    let results: Vec<(usize, Vec<(String, Output)>)> = std::thread::scope(|s| {
+    // simulation (scoped threads via the amnesia-sync shim keep the
+    // borrows simple and the spawns model-checkable).
+    let results: Vec<(usize, Vec<(String, Output)>)> = amnesia_sync::thread::scope(|s| {
         let handles: Vec<_> = names
             .iter()
             .enumerate()

@@ -47,7 +47,7 @@
 //! and `active` counts are exact because [`TieredColumn::note_forget`]
 //! observes every first-time forget.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use amnesia_sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
@@ -150,7 +150,7 @@ impl FrozenBlock {
 /// compares layout-equal. Counters bump through `&self` (relaxed
 /// atomics), so the read-only scan kernels can account without taking a
 /// write path.
-#[derive(Default, Serialize, Deserialize)]
+#[derive(Default)]
 pub struct AccessCounters(Vec<AtomicU64>);
 
 impl AccessCounters {

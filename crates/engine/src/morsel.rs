@@ -40,8 +40,10 @@
 //!   once, and never decodes it.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+use amnesia_sync::atomic::{AtomicUsize, Ordering};
+use amnesia_sync::thread;
 
 use amnesia_columnar::{RowId, Table, Value};
 use amnesia_util::WORD_BITS;
@@ -236,7 +238,7 @@ pub(crate) fn index_chunks(n: usize, target: usize) -> Vec<(usize, usize)> {
 /// time from the peer with the most work left. Results are collected
 /// per-worker and scattered back by morsel index, so downstream merges
 /// see a deterministic order no matter which worker ran what.
-pub(crate) fn run_morsels<R, F>(n: usize, threads: usize, run: F) -> (Vec<R>, SchedStats)
+pub fn run_morsels<R, F>(n: usize, threads: usize, run: F) -> (Vec<R>, SchedStats)
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
@@ -260,7 +262,7 @@ where
     let ends: Vec<usize> = (0..workers).map(|w| ((w + 1) * per).min(n)).collect();
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let mut steal_total = 0usize;
-    std::thread::scope(|s| {
+    thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let cursors = &cursors;
@@ -269,7 +271,13 @@ where
                 s.spawn(move || {
                     let mut out: Vec<(usize, R)> = Vec::new();
                     let mut steals = 0usize;
-                    // Own range first.
+                    // Own range first. Relaxed claim: each cursor word
+                    // is independently atomic, and results travel to
+                    // the collector through the scope-join edge, not
+                    // through cursor ordering — the model suite
+                    // (tests/model.rs, morsel exactly-once) verifies
+                    // this happens-before shape on every explored
+                    // schedule.
                     loop {
                         let i = cursors[w].fetch_add(1, Ordering::Relaxed);
                         if i >= ends[w] {
@@ -287,12 +295,17 @@ where
                         // Relaxed re-check: the fetch_add below is the
                         // claim; a stale read here only costs one wasted
                         // steal attempt, never a double-claimed morsel.
+                        // The model checker explores stale-read
+                        // interleavings explicitly and proves no morsel
+                        // double-executes or drops.
                         if ends[v].saturating_sub(cursors[v].load(Ordering::Relaxed)) == 0 {
                             break;
                         }
                         // Relaxed claim: cursors are the sole shared words
                         // and fetch_add is atomic per cursor; results are
-                        // published by the scope join, not by this write.
+                        // published by the scope join, not by this write —
+                        // the join edge is the model-verified
+                        // happens-before that makes Relaxed sufficient.
                         let i = cursors[v].fetch_add(1, Ordering::Relaxed);
                         if i < ends[v] {
                             steals += 1;
@@ -614,7 +627,7 @@ where
         return 0;
     }
     let chunk = n.div_ceil(workers);
-    std::thread::scope(|s| {
+    thread::scope(|s| {
         for c in items.chunks_mut(chunk) {
             let cmp = &cmp;
             s.spawn(move || c.sort_by(cmp));

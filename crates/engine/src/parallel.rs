@@ -4,7 +4,7 @@
 //! parallel processing" (§6); a credible host engine therefore needs
 //! intra-query parallelism. These kernels split the physical row space
 //! into contiguous chunks aligned to 64-row activity words, run the
-//! [`crate::batch`] kernels on each chunk on a std scoped thread, and
+//! [`crate::batch`] kernels on each chunk on a scoped thread (via the `amnesia-sync` shim), and
 //! stitch results back in row order — so they return *exactly* what their
 //! serial counterparts in [`kernels`](crate::kernels) return.
 //!
@@ -14,6 +14,7 @@
 //! [`WORD_BITS`] so no activity word is shared between threads.
 
 use amnesia_columnar::{RowId, SegmentedColumn, Table};
+use amnesia_sync::thread;
 use amnesia_util::WORD_BITS;
 use amnesia_workload::query::{AggKind, RangePredicate};
 
@@ -84,7 +85,7 @@ pub fn par_range_scan_active(
     let words = table.activity_words();
 
     let mut partials: Vec<Vec<RowId>> = Vec::with_capacity(bounds.len());
-    std::thread::scope(|s| {
+    thread::scope(|s| {
         let handles: Vec<_> = bounds
             .iter()
             .map(|&(lo, hi)| {
@@ -138,7 +139,7 @@ pub fn par_aggregate_active(
 
     let mut state = AggState::new();
     let mut scanned = 0usize;
-    std::thread::scope(|s| {
+    thread::scope(|s| {
         let handles: Vec<_> = bounds
             .iter()
             .map(|&(lo, hi)| s.spawn(move || batch::aggregate_active(values, words, lo, hi, pred)))
@@ -179,7 +180,7 @@ pub fn par_range_scan_compressed(
     }
     let per = nf.div_ceil(chunks);
     let mut partials: Vec<Vec<RowId>> = Vec::with_capacity(chunks);
-    std::thread::scope(|s| {
+    thread::scope(|s| {
         let handles: Vec<_> = (0..chunks)
             .map(|i| {
                 let b0 = i * per;
@@ -243,7 +244,7 @@ pub fn par_range_scan_tiered(
         return out;
     }
     let mut partials: Vec<Vec<RowId>> = Vec::with_capacity(chunks.len());
-    std::thread::scope(|s| {
+    thread::scope(|s| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|&(b0, b1)| {
@@ -290,7 +291,7 @@ pub fn par_aggregate_tiered(
     }
     let mut state = AggState::new();
     let mut scanned = 0usize;
-    std::thread::scope(|s| {
+    thread::scope(|s| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|&(b0, b1)| {
@@ -348,7 +349,7 @@ pub fn par_hash_join(
         } else {
             let mut partials: Vec<(Vec<(RowId, RowId)>, batch::ProbeStats)> =
                 Vec::with_capacity(chunks.len());
-            std::thread::scope(|s| {
+            thread::scope(|s| {
                 let handles: Vec<_> = chunks
                     .iter()
                     .map(|&(b0, b1)| {
@@ -392,7 +393,7 @@ pub fn par_hash_join(
             });
         } else {
             let mut partials: Vec<Vec<(RowId, RowId)>> = Vec::with_capacity(bounds.len());
-            std::thread::scope(|s| {
+            thread::scope(|s| {
                 let handles: Vec<_> = bounds
                     .iter()
                     .map(|&(lo, hi)| {

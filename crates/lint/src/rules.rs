@@ -1,4 +1,4 @@
-//! The five workspace invariants, as line-level checks.
+//! The six workspace invariants, as line-level checks.
 //!
 //! Each rule is the static twin of a dynamic enforcement mechanism that
 //! already exists in the workspace (see `CONTRIBUTING.md`):
@@ -10,6 +10,7 @@
 //! | `unsafe`  | every `unsafe` carries a `// SAFETY:`   | (review only)                |
 //! | `atomics` | every `Ordering::…` carries a rationale | parallel==serial equivalence |
 //! | `allow`   | every `#[allow]` carries a reason       | (review only)                |
+//! | `sync`    | no raw `std` atomics/threads off-shim   | `amnesia-sync` model checker |
 //!
 //! Violations can be waived inline with
 //! `// lint: allow(<rule>) <reason>` on the offending line or the line
@@ -19,7 +20,7 @@
 use crate::lexer::{self, SplitSource};
 
 /// Names of all rules, in reporting order.
-pub const RULE_NAMES: [&str; 5] = ["dense", "panic", "unsafe", "atomics", "allow"];
+pub const RULE_NAMES: [&str; 6] = ["dense", "panic", "unsafe", "atomics", "allow", "sync"];
 
 /// How many lines above an occurrence a `SAFETY:` / rationale /
 /// justification comment may sit and still count as adjacent (attributes
@@ -53,6 +54,11 @@ pub struct Config {
     /// Exceptions inside `panic_paths` (prefix match): test harnesses
     /// that live in `src/` for bench visibility.
     pub panic_exempt: Vec<String>,
+    /// Paths (prefix match) allowed to touch `std::sync::atomic` /
+    /// `std::thread` directly: the shim crate itself and the vendored
+    /// dependency stubs. Everything else must go through `amnesia-sync`
+    /// so the model checker sees every sync op.
+    pub sync_whitelist: Vec<String>,
     /// Paths skipped entirely (prefix match): lint self-test fixtures.
     pub skip: Vec<String>,
 }
@@ -90,6 +96,13 @@ impl Default for Config {
             // FaultVfs is the fault-injection *harness*, not a recovery
             // path; its mutex-poisoning expects are test-infrastructure.
             panic_exempt: v(&["crates/columnar/src/persist/fault.rs"]),
+            sync_whitelist: v(&[
+                // The shim itself: the one place raw std sync is legal,
+                // because this is where it becomes model-checkable.
+                "crates/sync/",
+                // Vendored dependency stubs mirror external crates.
+                "crates/shims/",
+            ]),
             skip: v(&["crates/lint/tests/fixtures/"]),
         }
     }
@@ -120,6 +133,7 @@ pub fn check_source(path: &str, src: &str, cfg: &Config) -> Vec<Violation> {
     let dense_applies = !has_prefix(path, &cfg.dense_whitelist) && !file_is_test;
     let panic_applies =
         has_prefix(path, &cfg.panic_paths) && !has_prefix(path, &cfg.panic_exempt) && !file_is_test;
+    let sync_applies = !has_prefix(path, &cfg.sync_whitelist) && !file_is_test;
 
     for (idx, code) in split.code.iter().enumerate() {
         let line = idx + 1;
@@ -185,6 +199,24 @@ pub fn check_source(path: &str, src: &str, cfg: &Config) -> Vec<Violation> {
                         message: format!(
                             "`Ordering::{ord}` without an adjacent comment explaining \
                              why this ordering is sufficient"
+                        ),
+                    },
+                );
+            }
+        }
+        if sync_applies && !in_test {
+            if let Some(tok) = sync_token(code) {
+                push_unless_waived(
+                    &mut out,
+                    &mut waivers,
+                    Violation {
+                        rule: "sync",
+                        file: path.to_string(),
+                        line,
+                        message: format!(
+                            "`{tok}` bypasses the `amnesia-sync` shim: sync ops the \
+                             model checker cannot see are unverifiable — use \
+                             `amnesia_sync::atomic` / `amnesia_sync::thread`"
                         ),
                     },
                 );
@@ -309,6 +341,24 @@ fn atomics_token(code: &str) -> Option<&'static str> {
         let needle = format!("Ordering::{ord}");
         if code.contains(&needle) {
             return Some(ord);
+        }
+    }
+    None
+}
+
+/// Raw-`std` concurrency tokens banned outside the shim crates. Matching
+/// the module path (not individual type names) keeps `Ordering`
+/// re-exports and the shim's own wrappers legal while catching every
+/// direct import or fully-qualified use.
+fn sync_token(code: &str) -> Option<&'static str> {
+    for tok in ["std::sync::atomic", "core::sync::atomic", "std::thread"] {
+        let mut from = 0;
+        while let Some(rel) = code[from..].find(tok) {
+            let pos = from + rel;
+            if bounded(code, pos, tok.len()) {
+                return Some(tok);
+            }
+            from = pos + tok.len();
         }
     }
     None
@@ -542,6 +592,40 @@ fn f(x: Option<u8>) { x.unwrap(); }
     fn cmp_ordering_never_matches() {
         let src = "fn f() { let _ = std::cmp::Ordering::Less; }\n";
         assert!(check("crates/engine/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sync_flagged_outside_shim_only() {
+        let src = "use std::sync::atomic::AtomicU64;\n";
+        let v = check("crates/engine/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "sync");
+        assert!(check("crates/sync/src/atomic.rs", src).is_empty());
+        assert!(check("crates/shims/serde/src/lib.rs", src).is_empty());
+        assert!(check("crates/engine/tests/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sync_catches_thread_and_core_paths() {
+        let v = check(
+            "crates/engine/src/x.rs",
+            "fn f() { std::thread::scope(|_| ()); }\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        let v = check(
+            "crates/engine/src/x.rs",
+            "use core::sync::atomic::AtomicBool;\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn sync_ignores_thread_local_and_shim_paths() {
+        // `std::thread_local` shares the prefix at a non-boundary.
+        let src = "std::thread_local! { static X: u8 = 0; }\n";
+        assert!(check("crates/engine/src/x.rs", src).is_empty());
+        let shim = "use amnesia_sync::atomic::{AtomicU64, Ordering};\n";
+        assert!(check("crates/engine/src/x.rs", shim).is_empty());
     }
 
     #[test]

@@ -92,6 +92,26 @@ fn allow_fail_and_pass() {
 }
 
 #[test]
+fn sync_fail_and_pass() {
+    let v = check_at(ENGINE, include_str!("fixtures/sync_fail.rs"));
+    // Both the atomic import and the raw scope call fire.
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert!(v.iter().all(|v| v.rule == "sync"));
+    assert!(v[0].message.contains("amnesia-sync"));
+    assert!(check_at(ENGINE, include_str!("fixtures/sync_pass.rs")).is_empty());
+}
+
+#[test]
+fn sync_rule_exempts_shim_and_tests() {
+    let src = include_str!("fixtures/sync_fail.rs");
+    // The shim crate and the vendored stubs are the legal seams…
+    assert!(check_at("crates/sync/src/thread.rs", src).is_empty());
+    assert!(check_at("crates/shims/proptest/src/lib.rs", src).is_empty());
+    // …and test/bench targets stay free to probe std directly.
+    assert!(check_at("crates/bench/benches/sql_bench.rs", src).is_empty());
+}
+
+#[test]
 fn waiver_suppresses_a_real_violation() {
     assert!(check_at(RECOVERY, include_str!("fixtures/waiver_ok.rs")).is_empty());
 }

@@ -1,0 +1,14 @@
+// Failing snippet for rule `sync`: raw std concurrency outside the
+// shim — the model checker cannot see these ops.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn race(counter: &AtomicUsize) {
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            // Relaxed: advisory count (keeps rule `atomics` quiet so
+            // this fixture isolates rule `sync`).
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+}

@@ -1,0 +1,15 @@
+// Passing snippet for rule `sync`: the same code through the shim is
+// model-checkable.
+
+use amnesia_sync::atomic::{AtomicUsize, Ordering};
+use amnesia_sync::thread;
+
+fn counted(counter: &AtomicUsize) {
+    thread::scope(|s| {
+        s.spawn(|| {
+            // Relaxed: reconciled after the scope join; the join edge
+            // is the model-verified happens-before.
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+}

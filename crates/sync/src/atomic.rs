@@ -1,0 +1,133 @@
+//! Atomics: `std` re-exports normally, scheduler-visible wrappers under
+//! the `model` feature.
+//!
+//! The wrappers expose the subset of the `std` atomic API the workspace
+//! uses (`new`/`load`/`store`/`swap`/`fetch_add`/`fetch_max`/
+//! `compare_exchange`). Under an active exploration every call declares
+//! itself to the scheduler before executing, which makes it a decision
+//! point and feeds the vector clocks; outside an exploration (or in a
+//! non-`model` build) the call is exactly the `std` operation.
+//!
+//! Model semantics note: the host execution is serialized, so loads
+//! observe the latest store (sequential consistency). `compare_exchange`
+//! is modelled with its success ordering; the failure ordering is never
+//! weaker-checked separately.
+
+#[cfg(not(feature = "model"))]
+pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(feature = "model")]
+pub use std::sync::atomic::Ordering;
+
+#[cfg(feature = "model")]
+pub use modeled::{AtomicBool, AtomicU64, AtomicUsize};
+
+#[cfg(feature = "model")]
+mod modeled {
+    use super::Ordering;
+    use crate::ctx;
+    use crate::model::sched::{AtomKind, Op};
+
+    macro_rules! model_atomic {
+        ($name:ident, $std:ty, $val:ty) => {
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                pub const fn new(v: $val) -> Self {
+                    Self {
+                        inner: <$std>::new(v),
+                    }
+                }
+
+                fn hook(&self, kind: AtomKind, ord: Ordering) {
+                    if let Some(c) = ctx::current() {
+                        c.sched.op(
+                            c.tid,
+                            Op::Atomic {
+                                addr: self as *const Self as usize,
+                                kind,
+                                ord,
+                            },
+                        );
+                    }
+                }
+
+                pub fn load(&self, ord: Ordering) -> $val {
+                    self.hook(AtomKind::Load, ord);
+                    self.inner.load(ord)
+                }
+
+                pub fn store(&self, v: $val, ord: Ordering) {
+                    self.hook(AtomKind::Store, ord);
+                    self.inner.store(v, ord)
+                }
+
+                pub fn swap(&self, v: $val, ord: Ordering) -> $val {
+                    self.hook(AtomKind::Rmw, ord);
+                    self.inner.swap(v, ord)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $val,
+                    new: $val,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$val, $val> {
+                    // Modelled with the success ordering (see module docs).
+                    self.hook(AtomKind::Rmw, success);
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(Default::default())
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    // Relaxed, and deliberately not a model op: debug
+                    // printing must not perturb the schedule or clocks.
+                    self.inner.load(Ordering::Relaxed).fmt(f)
+                }
+            }
+
+            impl Drop for $name {
+                fn drop(&mut self) {
+                    // Retire the location so reuse of this address by a
+                    // later allocation starts with fresh clocks.
+                    if let Some(c) = ctx::current() {
+                        c.sched.forget_atomic(self as *const Self as usize);
+                    }
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+    macro_rules! model_atomic_int {
+        ($name:ident, $val:ty) => {
+            impl $name {
+                pub fn fetch_add(&self, v: $val, ord: Ordering) -> $val {
+                    self.hook(AtomKind::Rmw, ord);
+                    self.inner.fetch_add(v, ord)
+                }
+
+                pub fn fetch_max(&self, v: $val, ord: Ordering) -> $val {
+                    self.hook(AtomKind::Rmw, ord);
+                    self.inner.fetch_max(v, ord)
+                }
+            }
+        };
+    }
+
+    model_atomic_int!(AtomicUsize, usize);
+    model_atomic_int!(AtomicU64, u64);
+}

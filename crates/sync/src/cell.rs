@@ -1,0 +1,69 @@
+//! [`PlainCell`]: deliberately non-atomic shared state, the probe the
+//! race detector checks.
+//!
+//! A `PlainCell<T>` is an `UnsafeCell` with `get`/`set` on `&self` and
+//! a `Sync` impl — exactly the shape of a field that concurrent code
+//! shares *believing* some protocol orders every access. In a `model`
+//! run every access is clock-checked: an unordered conflicting pair is
+//! reported as a data race with a schedule trace. Model tests use it
+//! two ways: as the payload whose safety a protocol (epoch reclamation,
+//! morsel ownership) is supposed to guarantee — the detector must stay
+//! silent on every schedule — and as a deliberately racy fixture the
+//! detector must flag (the true-positive gate).
+
+use std::cell::UnsafeCell;
+
+#[derive(Default)]
+pub struct PlainCell<T> {
+    inner: UnsafeCell<T>,
+}
+
+// PlainCell models non-atomic shared memory. Concurrent unordered
+// access is a bug by construction; the `model` feature's vector-clock
+// detector exists to prove such access cannot happen on any explored
+// schedule. Code using PlainCell outside a model test must order every
+// access through amnesia-sync primitives, which is exactly the property
+// the model suite verifies.
+// SAFETY: upheld by the model-verified ordering argument above.
+unsafe impl<T: Send> Sync for PlainCell<T> {}
+
+impl<T: Copy> PlainCell<T> {
+    pub const fn new(v: T) -> Self {
+        Self {
+            inner: UnsafeCell::new(v),
+        }
+    }
+
+    pub fn get(&self) -> T {
+        #[cfg(feature = "model")]
+        if let Some(c) = crate::ctx::current() {
+            c.sched.cell_read(c.tid, self as *const Self as usize);
+        }
+        // SAFETY: reads are ordered relative to all writes either by
+        // the serialized model scheduler (which race-checks first) or
+        // by externally verified synchronization (see type docs).
+        unsafe { *self.inner.get() }
+    }
+
+    pub fn set(&self, v: T) {
+        #[cfg(feature = "model")]
+        if let Some(c) = crate::ctx::current() {
+            c.sched.cell_write(c.tid, self as *const Self as usize);
+        }
+        // SAFETY: as in `get`: the access is race-checked under the
+        // model, and externally synchronized on verified paths.
+        unsafe {
+            *self.inner.get() = v;
+        }
+    }
+}
+
+#[cfg(feature = "model")]
+impl<T> Drop for PlainCell<T> {
+    fn drop(&mut self) {
+        // Retire the location so address reuse starts with fresh clocks.
+        if let Some(c) = crate::ctx::current() {
+            c.sched.forget_cell(self as *const Self as usize);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Thread-local link from a wrapper call site to the active scheduler.
+//!
+//! Every wrapper operation asks [`current`] whether the calling OS
+//! thread is a model thread of an active exploration. Outside
+//! `model::explore` the answer is `None` and the wrapper forwards
+//! straight to `std`, which is what lets `--features model` builds run
+//! the ordinary test suite unchanged.
+
+use crate::model::sched::Sched;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) sched: Arc<Sched>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}

@@ -1,0 +1,323 @@
+//! Deterministic schedule exploration: public API.
+//!
+//! See the crate-level docs for the scheduler design, the race
+//! detector, and the replay workflow. The entry point is [`explore`]
+//! (or [`explore_default`] for env-driven configuration); both return a
+//! [`Report`] whose [`Report::assert_clean`] / [`Report::expect_failure`]
+//! are the assertions model tests are built from.
+
+pub(crate) mod sched;
+pub(crate) mod vclock;
+
+use sched::{ChoicePoint, Sched};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Once};
+
+/// Exploration parameters. Every field has an environment override so
+/// CI can reseed and a failing run can be replayed without recompiling;
+/// see [`ModelConfig::from_env`].
+#[derive(Clone, Debug)]
+pub struct ModelConfig {
+    /// Maximum preemptive context switches per schedule
+    /// (`AMNESIA_MODEL_PREEMPTIONS`, default 3). Backtrack choices that
+    /// would exceed the bound are pruned.
+    pub preemption_bound: usize,
+    /// Cap on explored schedules (`AMNESIA_MODEL_ITERS`, default 4000).
+    pub max_schedules: u64,
+    /// Shuffles the order backtrack candidates are tried
+    /// (`AMNESIA_MODEL_SEED`, default 0). CI passes the run number.
+    pub seed: u64,
+    /// Pin one exact schedule instead of exploring
+    /// (`AMNESIA_MODEL_REPLAY`, a comma-separated thread-id list as
+    /// printed in a failure report).
+    pub replay: Option<Vec<usize>>,
+    /// Per-schedule step budget: exceeding it is reported as a
+    /// livelock-style failure instead of hanging the suite.
+    pub max_steps: usize,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            preemption_bound: 3,
+            max_schedules: 4000,
+            seed: 0,
+            replay: None,
+            max_steps: 100_000,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// Defaults overridden by `AMNESIA_MODEL_{PREEMPTIONS,ITERS,SEED,REPLAY}`.
+    pub fn from_env() -> Self {
+        let mut cfg = ModelConfig::default();
+        if let Some(v) = env_u64("AMNESIA_MODEL_PREEMPTIONS") {
+            cfg.preemption_bound = v as usize;
+        }
+        if let Some(v) = env_u64("AMNESIA_MODEL_ITERS") {
+            cfg.max_schedules = v.max(1);
+        }
+        if let Some(v) = env_u64("AMNESIA_MODEL_SEED") {
+            cfg.seed = v;
+        }
+        if let Ok(s) = std::env::var("AMNESIA_MODEL_REPLAY") {
+            let ids: Vec<usize> = s.split(',').filter_map(|t| t.trim().parse().ok()).collect();
+            if !ids.is_empty() {
+                cfg.replay = Some(ids);
+            }
+        }
+        cfg
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    pub fn with_max_schedules(mut self, max: u64) -> Self {
+        self.max_schedules = max;
+        self
+    }
+
+    pub fn with_replay(mut self, schedule: Vec<usize>) -> Self {
+        self.replay = Some(schedule);
+        self
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+/// What went wrong under some schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Unordered conflicting accesses to a [`crate::cell::PlainCell`].
+    Race,
+    /// No enabled thread (or a runaway schedule hit the step budget).
+    Deadlock,
+    /// User code panicked (assertion failure inside the body counts).
+    Panic,
+}
+
+/// A failing schedule: what happened, the full step trace, and the
+/// decision sequence to replay it (`AMNESIA_MODEL_REPLAY`).
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub kind: FailureKind,
+    pub desc: String,
+    /// Chosen thread id per decision point — the replayable schedule.
+    pub schedule: Vec<usize>,
+    /// One line per step: `step / thread / operation`.
+    pub trace: Vec<String>,
+    /// Weak-edge (relaxed observation) hints involving the failing
+    /// threads — the signature of a missing Acquire/Release pair.
+    pub hints: Vec<String>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.kind {
+            FailureKind::Race => "data race",
+            FailureKind::Deadlock => "deadlock",
+            FailureKind::Panic => "panic",
+        };
+        writeln!(f, "model failure [{kind}]: {}", self.desc)?;
+        for h in &self.hints {
+            writeln!(f, "  {h}")?;
+        }
+        writeln!(f, "  schedule trace:")?;
+        for t in &self.trace {
+            writeln!(f, "    {t}")?;
+        }
+        let sched: Vec<String> = self.schedule.iter().map(|t| t.to_string()).collect();
+        writeln!(f, "  replay with: AMNESIA_MODEL_REPLAY={}", sched.join(","))
+    }
+}
+
+/// Outcome of an exploration.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Distinct schedules executed (distinct by DFS construction).
+    pub schedules: u64,
+    /// True if the DFS exhausted the bounded schedule space; false if
+    /// it stopped at `max_schedules` or on a failure.
+    pub complete: bool,
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Panic with the full failure report if any schedule failed.
+    #[track_caller]
+    pub fn assert_clean(&self) -> &Self {
+        if let Some(f) = &self.failure {
+            panic!("{f}");
+        }
+        self
+    }
+
+    /// Panic if *no* schedule failed (true-positive gates), returning
+    /// the failure otherwise.
+    #[track_caller]
+    pub fn expect_failure(&self) -> &Failure {
+        match &self.failure {
+            Some(f) => f,
+            None => panic!(
+                "expected the model checker to flag a failure, but {} schedules ran clean",
+                self.schedules
+            ),
+        }
+    }
+}
+
+/// SplitMix64: the crate is dependency-free, so the seed mixer is
+/// inlined here (same constants as the reference implementation).
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+static HOOK: Once = Once::new();
+
+/// Install (once, process-wide) a panic hook that keeps the scheduler's
+/// own teardown panics out of test output; real panics still print via
+/// the previous hook.
+fn install_silent_hook() {
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<sched::AbortToken>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Explore interleavings of `body` with env-driven configuration.
+pub fn explore_default<F: Fn() + Sync>(body: F) -> Report {
+    explore(ModelConfig::from_env(), body)
+}
+
+/// Run `body` under every schedule the bounded DFS generates (or the
+/// one pinned schedule in replay mode) and report the outcome. The body
+/// must be deterministic apart from scheduling: it is re-executed once
+/// per schedule, and prefix replay relies on the enabled sets matching.
+pub fn explore<F: Fn() + Sync>(cfg: ModelConfig, body: F) -> Report {
+    install_silent_hook();
+    let mut stack: Vec<ChoicePoint> = Vec::new();
+    let mut forced_len = 0usize;
+    let mut schedules = 0u64;
+    loop {
+        let sched = Arc::new(Sched::new(
+            cfg.clone(),
+            std::mem::take(&mut stack),
+            forced_len,
+        ));
+        run_one(&sched, &body);
+        schedules += 1;
+        let (stack_back, failure) = sched.take_results();
+        stack = stack_back;
+        if let Some(f) = failure {
+            return Report {
+                schedules,
+                complete: false,
+                failure: Some(f),
+            };
+        }
+        if cfg.replay.is_some() {
+            // Replay pins a single schedule; nothing to backtrack.
+            return Report {
+                schedules,
+                complete: true,
+                failure: None,
+            };
+        }
+        if schedules >= cfg.max_schedules {
+            return Report {
+                schedules,
+                complete: false,
+                failure: None,
+            };
+        }
+        match next_point(&mut stack, &cfg) {
+            Some(k) => {
+                stack.truncate(k + 1);
+                forced_len = k + 1;
+            }
+            None => {
+                return Report {
+                    schedules,
+                    complete: true,
+                    failure: None,
+                };
+            }
+        }
+    }
+}
+
+/// One run: the body becomes model thread 0 on its own OS thread while
+/// the controller drives grants from this thread.
+fn run_one<F: Fn() + Sync>(sched: &Arc<Sched>, body: &F) {
+    sched.register_root();
+    std::thread::scope(|s| {
+        let sc = Arc::clone(sched);
+        s.spawn(move || {
+            crate::ctx::set(Some(crate::ctx::Ctx {
+                sched: Arc::clone(&sc),
+                tid: 0,
+            }));
+            sc.thread_start(0);
+            let r = catch_unwind(AssertUnwindSafe(body));
+            crate::ctx::set(None);
+            sc.thread_exit(0, r.err());
+        });
+        sched.controller();
+    });
+}
+
+/// Deepest decision point with an untried, preemption-feasible
+/// backtrack candidate; updates its `chosen`/`done` in place.
+fn next_point(stack: &mut Vec<ChoicePoint>, cfg: &ModelConfig) -> Option<usize> {
+    loop {
+        let k = stack.len().checked_sub(1)?;
+        let cp = stack.last_mut().expect("non-empty stack");
+        let mut cands: Vec<usize> = Vec::new();
+        for &c in cp.backtrack.difference(&cp.done) {
+            let preempt = cp.prev.is_some_and(|p| p != c && cp.enabled.contains(&p));
+            if preempt && cp.preemptions_before >= cfg.preemption_bound {
+                continue;
+            }
+            cands.push(c);
+        }
+        // Everything untried is either picked now or permanently
+        // infeasible under the bound; mark it done either way so the
+        // DFS can't revisit it.
+        let untried: Vec<usize> = cp.backtrack.difference(&cp.done).copied().collect();
+        for c in untried {
+            if !cands.contains(&c) {
+                cp.done.insert(c);
+            }
+        }
+        if cands.is_empty() {
+            stack.pop();
+            continue;
+        }
+        cands.sort_unstable();
+        let idx = (splitmix64(cfg.seed ^ (k as u64).wrapping_mul(0xd6e8_feb8_6659_fd93)) as usize)
+            % cands.len();
+        let c = cands[idx];
+        cp.done.insert(c);
+        cp.chosen = c;
+        return Some(k);
+    }
+}

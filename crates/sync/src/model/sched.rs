@@ -1,0 +1,832 @@
+//! The deterministic cooperative scheduler.
+//!
+//! All model threads are real OS threads, but at most one executes at a
+//! time: a thread parks at every synchronization operation and waits
+//! until the controller grants it the step. The controller (running on
+//! the `explore` caller's thread) waits for quiescence — every live
+//! thread parked with a declared pending operation — computes the
+//! enabled set, and picks the next thread per the DFS plan. Granted
+//! operations apply their logical effects (vector-clock joins, race
+//! checks, conflict analysis for backtrack seeding) under the state
+//! lock before the real `std` operation runs.
+
+use super::vclock::VClock;
+use super::{Failure, FailureKind, ModelConfig};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::Ordering;
+use std::sync::{Condvar, Mutex};
+
+/// Panic payload used to tear a run down after a failure or during
+/// backtracking; the global panic hook keeps it silent.
+pub(crate) struct AbortToken;
+
+// The detector's acquire/release classification: these match arms list
+// which orderings move vector clocks (the clock model itself, not an
+// atomic access — no ordering is being chosen here).
+fn is_acquire(ord: Ordering) -> bool {
+    // Acquire-class orderings join the location clock into the thread.
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    // Release-class orderings join the thread clock into the location.
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn ord_name(ord: Ordering) -> &'static str {
+    match ord {
+        Ordering::Relaxed => "Relaxed", // trace rendering, not an access
+        Ordering::Acquire => "Acquire", // trace rendering, not an access
+        Ordering::Release => "Release", // trace rendering, not an access
+        Ordering::AcqRel => "AcqRel",   // trace rendering, not an access
+        Ordering::SeqCst => "SeqCst",   // trace rendering, not an access
+        // `Ordering` is non-exhaustive; nothing else reaches the shim.
+        _ => "?",
+    }
+}
+
+/// Kinds of atomic access, for clock edges and conflict analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum AtomKind {
+    Load,
+    Store,
+    Rmw,
+}
+
+/// A synchronization operation a thread declares before crossing it.
+/// Only *decision* operations (the ones below) cost a scheduling grant;
+/// unlock and plain-cell accesses are applied inline while the thread
+/// already holds the step.
+#[derive(Clone, Debug)]
+pub(crate) enum Op {
+    /// First visible action of a thread (consumes its spawn grant).
+    Start,
+    Atomic {
+        addr: usize,
+        kind: AtomKind,
+        ord: Ordering,
+    },
+    Lock {
+        addr: usize,
+    },
+    Join {
+        child: usize,
+    },
+}
+
+/// A shared resource, for conflict analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Res {
+    Atom(usize),
+    Lock(usize),
+}
+
+struct ExecRec {
+    tid: usize,
+    res: Res,
+    write: bool,
+    decision: usize,
+}
+
+/// Per-atomic-location state.
+#[derive(Default)]
+struct AtomLoc {
+    /// Joined by release-class stores/RMWs, acquired by acquire-class
+    /// loads/RMWs.
+    release: VClock,
+    /// Most recent store, for weak-edge (relaxed observation) hints.
+    last_store: Option<(usize, usize, Ordering)>, // tid, step, ord
+}
+
+/// Per-plain-cell state (FastTrack-style last write + read set).
+#[derive(Default)]
+struct CellLoc {
+    write: Option<(usize, u64, usize)>, // tid, clock component, step
+    reads: Vec<(usize, u64, usize)>,
+}
+
+struct LockLoc {
+    held_by: Option<usize>,
+    release: VClock,
+}
+
+struct Th {
+    pending: Option<Op>,
+    finished: bool,
+    clock: VClock,
+}
+
+/// One decision point of the DFS, persisted across runs.
+#[derive(Clone, Debug)]
+pub(crate) struct ChoicePoint {
+    pub(crate) enabled: Vec<usize>,
+    pub(crate) prev: Option<usize>,
+    pub(crate) preemptions_before: usize,
+    pub(crate) done: BTreeSet<usize>,
+    pub(crate) backtrack: BTreeSet<usize>,
+    pub(crate) chosen: usize,
+}
+
+struct WeakEdge {
+    loc: usize,
+    writer: usize,
+    wstep: usize,
+    word: Ordering,
+    reader: usize,
+    rstep: usize,
+    rord: Ordering,
+}
+
+pub(crate) struct St {
+    threads: Vec<Th>,
+    running: Option<usize>,
+    abort: bool,
+    atom_ids: HashMap<usize, usize>,
+    atoms: Vec<AtomLoc>,
+    cell_ids: HashMap<usize, usize>,
+    cells: Vec<CellLoc>,
+    lock_ids: HashMap<usize, usize>,
+    locks: Vec<LockLoc>,
+    step: usize,
+    trace: Vec<String>,
+    exec: Vec<ExecRec>,
+    decisions: Vec<usize>,
+    cur_decision: usize,
+    stack: Vec<ChoicePoint>,
+    forced_len: usize,
+    preemptions: usize,
+    failure: Option<Failure>,
+    weak: Vec<WeakEdge>,
+}
+
+pub(crate) struct Sched {
+    mx: Mutex<St>,
+    cv: Condvar,
+    cfg: ModelConfig,
+}
+
+enum ExitOutcome {
+    Normal,
+    Aborted,
+    UserPanic(String),
+}
+
+impl Sched {
+    /// Lock the shared state, shrugging off poison: teardown panics can
+    /// technically poison the mutex while a guard unwinds, and the
+    /// state is still perfectly usable for the remaining cleanup.
+    fn lock_st(&self) -> std::sync::MutexGuard<'_, St> {
+        self.mx.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Fresh per-run scheduler. `stack[..forced_len]` replays the DFS
+    /// prefix; decisions beyond it follow the default policy and push
+    /// new choice points.
+    pub(crate) fn new(cfg: ModelConfig, stack: Vec<ChoicePoint>, forced_len: usize) -> Self {
+        Sched {
+            mx: Mutex::new(St {
+                threads: Vec::new(),
+                running: None,
+                abort: false,
+                atom_ids: HashMap::new(),
+                atoms: Vec::new(),
+                cell_ids: HashMap::new(),
+                cells: Vec::new(),
+                lock_ids: HashMap::new(),
+                locks: Vec::new(),
+                step: 0,
+                trace: Vec::new(),
+                exec: Vec::new(),
+                decisions: Vec::new(),
+                cur_decision: 0,
+                stack,
+                forced_len,
+                preemptions: 0,
+                failure: None,
+                weak: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            cfg,
+        }
+    }
+
+    /// Register the root thread (tid 0) before its OS thread starts.
+    pub(crate) fn register_root(&self) {
+        let mut st = self.lock_st();
+        st.threads.push(Th {
+            pending: Some(Op::Start),
+            finished: false,
+            clock: VClock::default(),
+        });
+    }
+
+    /// Register a child of `parent`. Called inline while the parent
+    /// holds the step, before the OS thread exists: the spawn edge
+    /// (parent clock -> child clock) is applied here, and the child is
+    /// immediately grantable — it picks the grant up whenever its OS
+    /// thread parks.
+    pub(crate) fn register_child(&self, parent: usize) -> usize {
+        let mut st = self.lock_st();
+        st.threads[parent].clock.bump(parent);
+        let mut clock = st.threads[parent].clock.clone();
+        let tid = st.threads.len();
+        clock.bump(tid);
+        let step = st.step;
+        st.step += 1;
+        st.trace
+            .push(format!("step {step:>4}  t{parent}  spawn t{tid}"));
+        st.threads.push(Th {
+            pending: Some(Op::Start),
+            finished: false,
+            clock,
+        });
+        tid
+    }
+
+    /// Declare a decision operation, park until granted, then apply its
+    /// effect. Panics with [`AbortToken`] if the run is being torn down.
+    pub(crate) fn op(&self, tid: usize, op: Op) {
+        let mut st = self.lock_st();
+        if st.abort {
+            drop(st);
+            if std::thread::panicking() {
+                // Unwinding already (e.g. a Drop running during abort):
+                // let the real operation pass through instead of
+                // panicking inside a panic.
+                return;
+            }
+            std::panic::panic_any(AbortToken);
+        }
+        st.threads[tid].pending = Some(op.clone());
+        st.running = None;
+        self.cv.notify_all();
+        loop {
+            if st.abort {
+                drop(st);
+                if std::thread::panicking() {
+                    return;
+                }
+                std::panic::panic_any(AbortToken);
+            }
+            if st.running == Some(tid) {
+                break;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+        st.threads[tid].pending = None;
+        self.effect(&mut st, tid, &op);
+        if st.failure.is_some() {
+            st.abort = true;
+            self.cv.notify_all();
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+    }
+
+    /// First park of a freshly spawned thread (its `Start` grant was
+    /// registered by `register_root`/`register_child`).
+    pub(crate) fn thread_start(&self, tid: usize) {
+        let mut st = self.lock_st();
+        loop {
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(AbortToken);
+            }
+            if st.running == Some(tid) {
+                break;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+        st.threads[tid].pending = None;
+        let step = st.step;
+        st.step += 1;
+        st.trace.push(format!("step {step:>4}  t{tid}  start"));
+        st.threads[tid].clock.bump(tid);
+    }
+
+    /// Mark a thread finished. Never panics: this is teardown, and runs
+    /// whether the thread completed, aborted, or panicked in user code.
+    pub(crate) fn thread_exit(&self, tid: usize, payload: Option<Box<dyn std::any::Any + Send>>) {
+        let outcome = match payload {
+            None => ExitOutcome::Normal,
+            Some(p) if p.is::<AbortToken>() => ExitOutcome::Aborted,
+            Some(p) => ExitOutcome::UserPanic(panic_msg(&p)),
+        };
+        let mut st = self.lock_st();
+        st.threads[tid].finished = true;
+        let step = st.step;
+        st.step += 1;
+        st.trace.push(format!("step {step:>4}  t{tid}  exit"));
+        if st.running == Some(tid) {
+            st.running = None;
+        }
+        if let ExitOutcome::UserPanic(msg) = outcome {
+            if !st.abort && st.failure.is_none() {
+                let f = fail(
+                    &st,
+                    FailureKind::Panic,
+                    format!("thread t{tid} panicked: {msg}"),
+                    Vec::new(),
+                );
+                st.failure = Some(f);
+                st.abort = true;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    // -- inline (non-decision) operations --------------------------------
+
+    /// Mutex release: applied inline (always enabled, and other threads
+    /// only observe it at the next decision point anyway).
+    pub(crate) fn unlock(&self, tid: usize, addr: usize) {
+        let mut st = self.lock_st();
+        if st.abort {
+            let pass = std::thread::panicking();
+            drop(st);
+            if pass {
+                return;
+            }
+            std::panic::panic_any(AbortToken);
+        }
+        st.threads[tid].clock.bump(tid);
+        let lid = lock_id(&mut st, addr);
+        let clock = st.threads[tid].clock.clone();
+        let lk = &mut st.locks[lid];
+        lk.held_by = None;
+        // Release edge: the next acquirer joins everything this thread
+        // did while holding the lock.
+        lk.release.join(&clock);
+        let step = st.step;
+        st.step += 1;
+        st.trace
+            .push(format!("step {step:>4}  t{tid}  unlock lock#{lid}"));
+        self.cv.notify_all();
+    }
+
+    /// Plain-cell read: race-checked against the last write.
+    pub(crate) fn cell_read(&self, tid: usize, addr: usize) {
+        let mut st = self.lock_st();
+        if st.abort {
+            let pass = std::thread::panicking();
+            drop(st);
+            if pass {
+                return;
+            }
+            std::panic::panic_any(AbortToken);
+        }
+        st.threads[tid].clock.bump(tid);
+        let cid = cell_id(&mut st, addr);
+        let step = st.step;
+        st.step += 1;
+        st.trace
+            .push(format!("step {step:>4}  t{tid}  read  cell#{cid}"));
+        let my = st.threads[tid].clock.get(tid);
+        let racy = match st.cells[cid].write {
+            Some((wt, wc, wstep)) if wt != tid && st.threads[tid].clock.get(wt) < wc => {
+                Some((wt, wstep))
+            }
+            _ => None,
+        };
+        if let Some((wt, wstep)) = racy {
+            let desc = format!(
+                "data race on cell#{cid}: t{wt} wrote at step {wstep}, t{tid} read at step {step} \
+                 with no happens-before edge between them"
+            );
+            let hints = weak_hints(&st, wt, tid);
+            let f = fail(&st, FailureKind::Race, desc, hints);
+            st.failure = Some(f);
+            st.abort = true;
+            self.cv.notify_all();
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+        let cell = &mut st.cells[cid];
+        cell.reads.retain(|&(rt, _, _)| rt != tid);
+        cell.reads.push((tid, my, step));
+    }
+
+    /// Plain-cell write: race-checked against the last write and every
+    /// concurrent read.
+    pub(crate) fn cell_write(&self, tid: usize, addr: usize) {
+        let mut st = self.lock_st();
+        if st.abort {
+            let pass = std::thread::panicking();
+            drop(st);
+            if pass {
+                return;
+            }
+            std::panic::panic_any(AbortToken);
+        }
+        st.threads[tid].clock.bump(tid);
+        let cid = cell_id(&mut st, addr);
+        let step = st.step;
+        st.step += 1;
+        st.trace
+            .push(format!("step {step:>4}  t{tid}  write cell#{cid}"));
+        let my = st.threads[tid].clock.get(tid);
+        let mut racy: Option<(usize, usize, &'static str)> = None;
+        if let Some((wt, wc, wstep)) = st.cells[cid].write {
+            if wt != tid && st.threads[tid].clock.get(wt) < wc {
+                racy = Some((wt, wstep, "wrote"));
+            }
+        }
+        if racy.is_none() {
+            for &(rt, rc, rstep) in &st.cells[cid].reads {
+                if rt != tid && st.threads[tid].clock.get(rt) < rc {
+                    racy = Some((rt, rstep, "read"));
+                    break;
+                }
+            }
+        }
+        if let Some((ot, ostep, what)) = racy {
+            let desc = format!(
+                "data race on cell#{cid}: t{ot} {what} at step {ostep}, t{tid} wrote at step \
+                 {step} with no happens-before edge between them"
+            );
+            let hints = weak_hints(&st, ot, tid);
+            let f = fail(&st, FailureKind::Race, desc, hints);
+            st.failure = Some(f);
+            st.abort = true;
+            self.cv.notify_all();
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+        let cell = &mut st.cells[cid];
+        cell.write = Some((tid, my, step));
+        cell.reads.clear();
+    }
+
+    /// Drop of a wrapper: retire the location so a later allocation at
+    /// the same address starts with fresh state.
+    pub(crate) fn forget_atomic(&self, addr: usize) {
+        let mut st = self.lock_st();
+        if let Some(id) = st.atom_ids.remove(&addr) {
+            st.atoms[id] = AtomLoc::default();
+        }
+    }
+
+    pub(crate) fn forget_cell(&self, addr: usize) {
+        let mut st = self.lock_st();
+        if let Some(id) = st.cell_ids.remove(&addr) {
+            st.cells[id] = CellLoc::default();
+        }
+    }
+
+    pub(crate) fn forget_lock(&self, addr: usize) {
+        let mut st = self.lock_st();
+        if let Some(id) = st.lock_ids.remove(&addr) {
+            st.locks[id].held_by = None;
+            st.locks[id].release = VClock::default();
+        }
+    }
+
+    // -- effects of granted decision ops ---------------------------------
+
+    fn effect(&self, st: &mut St, tid: usize, op: &Op) {
+        st.threads[tid].clock.bump(tid);
+        let step = st.step;
+        st.step += 1;
+        match *op {
+            Op::Start => {
+                st.trace.push(format!("step {step:>4}  t{tid}  start"));
+            }
+            Op::Atomic { addr, kind, ord } => {
+                let lid = atom_id(st, addr);
+                let kname = match kind {
+                    AtomKind::Load => "load ",
+                    AtomKind::Store => "store",
+                    AtomKind::Rmw => "rmw  ",
+                };
+                st.trace.push(format!(
+                    "step {step:>4}  t{tid}  {kname} atomic#{lid} {}",
+                    ord_name(ord)
+                ));
+                self.dpor_update(st, tid, Res::Atom(lid), kind != AtomKind::Load);
+                st.exec.push(ExecRec {
+                    tid,
+                    res: Res::Atom(lid),
+                    write: kind != AtomKind::Load,
+                    decision: st.cur_decision,
+                });
+                if matches!(kind, AtomKind::Load | AtomKind::Rmw) {
+                    if let Some((wtid, wstep, word)) = st.atoms[lid].last_store {
+                        // The host execution is serialized, so this
+                        // access observes the latest store; if the pair
+                        // carries no release->acquire edge, remember it
+                        // as a hint for race reports. RMWs always read
+                        // the latest value in real hardware too, so only
+                        // their ordering (not their visibility) is weak.
+                        let edge = is_release(word) && is_acquire(ord);
+                        if !edge && wtid != tid {
+                            st.weak.push(WeakEdge {
+                                loc: lid,
+                                writer: wtid,
+                                wstep,
+                                word,
+                                reader: tid,
+                                rstep: step,
+                                rord: ord,
+                            });
+                        }
+                    }
+                    if is_acquire(ord) {
+                        let rel = st.atoms[lid].release.clone();
+                        st.threads[tid].clock.join(&rel);
+                    }
+                }
+                if matches!(kind, AtomKind::Store | AtomKind::Rmw) {
+                    if is_release(ord) {
+                        let clock = st.threads[tid].clock.clone();
+                        st.atoms[lid].release.join(&clock);
+                    }
+                    st.atoms[lid].last_store = Some((tid, step, ord));
+                }
+            }
+            Op::Lock { addr } => {
+                let lid = lock_id(st, addr);
+                st.trace
+                    .push(format!("step {step:>4}  t{tid}  lock  lock#{lid}"));
+                self.dpor_update(st, tid, Res::Lock(lid), true);
+                st.exec.push(ExecRec {
+                    tid,
+                    res: Res::Lock(lid),
+                    write: true,
+                    decision: st.cur_decision,
+                });
+                debug_assert!(st.locks[lid].held_by.is_none(), "granted a held lock");
+                st.locks[lid].held_by = Some(tid);
+                // Acquire edge: join everything earlier holders released.
+                let rel = st.locks[lid].release.clone();
+                st.threads[tid].clock.join(&rel);
+            }
+            Op::Join { child } => {
+                st.trace
+                    .push(format!("step {step:>4}  t{tid}  join  t{child}"));
+                debug_assert!(st.threads[child].finished, "granted join on live thread");
+                // Join edge: everything the child ever did happens
+                // before the joiner continues.
+                let child_clock = st.threads[child].clock.clone();
+                st.threads[tid].clock.join(&child_clock);
+            }
+        }
+    }
+
+    /// DPOR backtrack seeding: the other thread of the most recent
+    /// conflicting operation gets a turn at the decision point just
+    /// before that operation.
+    fn dpor_update(&self, st: &mut St, tid: usize, res: Res, write: bool) {
+        let hit = st
+            .exec
+            .iter()
+            .rev()
+            .find(|r| r.tid != tid && r.res == res && (r.write || write))
+            .map(|r| r.decision);
+        if let Some(j) = hit {
+            if let Some(cp) = st.stack.get_mut(j) {
+                if cp.enabled.contains(&tid) {
+                    cp.backtrack.insert(tid);
+                } else {
+                    for &e in &cp.enabled {
+                        cp.backtrack.insert(e);
+                    }
+                }
+            }
+        }
+    }
+
+    // -- the controller ---------------------------------------------------
+
+    fn enabled(&self, st: &St) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (tid, th) in st.threads.iter().enumerate() {
+            if th.finished {
+                continue;
+            }
+            let ok = match th.pending {
+                Some(Op::Lock { addr }) => match st.lock_ids.get(&addr) {
+                    Some(&lid) => st.locks[lid].held_by.is_none(),
+                    None => true,
+                },
+                Some(Op::Join { child }) => st.threads[child].finished,
+                Some(_) => true,
+                None => false,
+            };
+            if ok {
+                out.push(tid);
+            }
+        }
+        out
+    }
+
+    /// Drive one run to completion. Returns when every thread finished.
+    pub(crate) fn controller(&self) {
+        let mut st = self.lock_st();
+        loop {
+            // Wait for quiescence: nobody running, everyone parked with
+            // a pending op (or finished).
+            loop {
+                let quiet = st.running.is_none()
+                    && st.threads.iter().all(|t| t.finished || t.pending.is_some());
+                if quiet {
+                    break;
+                }
+                st = self.cv.wait(st).unwrap();
+            }
+            if st.threads.iter().all(|t| t.finished) {
+                return;
+            }
+            if st.abort {
+                // Failure teardown: parked threads unwind on wake.
+                self.cv.notify_all();
+                st = self.cv.wait(st).unwrap();
+                continue;
+            }
+            if st.step > self.cfg.max_steps {
+                let f = fail(
+                    &st,
+                    FailureKind::Deadlock,
+                    format!(
+                        "step limit {} exceeded: livelock or runaway loop under this schedule",
+                        self.cfg.max_steps
+                    ),
+                    Vec::new(),
+                );
+                st.failure = Some(f);
+                st.abort = true;
+                self.cv.notify_all();
+                continue;
+            }
+            let enabled = self.enabled(&st);
+            if enabled.is_empty() {
+                let pending: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| !t.finished)
+                    .map(|(tid, t)| format!("t{tid} blocked on {:?}", t.pending))
+                    .collect();
+                let f = fail(
+                    &st,
+                    FailureKind::Deadlock,
+                    format!("deadlock: no enabled thread ({})", pending.join("; ")),
+                    Vec::new(),
+                );
+                st.failure = Some(f);
+                st.abort = true;
+                self.cv.notify_all();
+                continue;
+            }
+            let d = st.decisions.len();
+            let choice = if let Some(replay) = &self.cfg.replay {
+                if d < replay.len() {
+                    let c = replay[d];
+                    if !enabled.contains(&c) {
+                        let f = fail(
+                            &st,
+                            FailureKind::Deadlock,
+                            format!(
+                                "replay diverged at decision {d}: t{c} not enabled \
+                                 (enabled: {enabled:?})"
+                            ),
+                            Vec::new(),
+                        );
+                        st.failure = Some(f);
+                        st.abort = true;
+                        self.cv.notify_all();
+                        continue;
+                    }
+                    c
+                } else {
+                    default_choice(&self.cfg, d, &st, &enabled)
+                }
+            } else if d < st.forced_len {
+                let c = st.stack[d].chosen;
+                debug_assert_eq!(
+                    st.stack[d].enabled, enabled,
+                    "nondeterministic body: enabled set diverged on prefix replay"
+                );
+                c
+            } else {
+                let c = default_choice(&self.cfg, d, &st, &enabled);
+                let prev = st.decisions.last().copied();
+                let cp = ChoicePoint {
+                    enabled: enabled.clone(),
+                    prev,
+                    preemptions_before: st.preemptions,
+                    done: BTreeSet::from([c]),
+                    backtrack: BTreeSet::from([c]),
+                    chosen: c,
+                };
+                st.stack.push(cp);
+                c
+            };
+            if let Some(&p) = st.decisions.last() {
+                if p != choice && enabled.contains(&p) {
+                    st.preemptions += 1;
+                }
+            }
+            st.decisions.push(choice);
+            st.cur_decision = d;
+            st.running = Some(choice);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Extract the DFS stack and any failure after the controller
+    /// returns (shared `Arc`s may still be draining, so take by ref).
+    pub(crate) fn take_results(&self) -> (Vec<ChoicePoint>, Option<Failure>) {
+        let mut st = self.lock_st();
+        (std::mem::take(&mut st.stack), st.failure.take())
+    }
+}
+
+fn default_choice(cfg: &ModelConfig, d: usize, st: &St, enabled: &[usize]) -> usize {
+    if let Some(&p) = st.decisions.last() {
+        if enabled.contains(&p) {
+            // Keep running the current thread: the zero-preemption
+            // schedule is the cheapest representative of its class.
+            return p;
+        }
+    }
+    let idx = (super::splitmix64(cfg.seed ^ (d as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        % enabled.len() as u64) as usize;
+    enabled[idx]
+}
+
+fn atom_id(st: &mut St, addr: usize) -> usize {
+    if let Some(&id) = st.atom_ids.get(&addr) {
+        return id;
+    }
+    let id = st.atoms.len();
+    st.atoms.push(AtomLoc::default());
+    st.atom_ids.insert(addr, id);
+    id
+}
+
+fn cell_id(st: &mut St, addr: usize) -> usize {
+    if let Some(&id) = st.cell_ids.get(&addr) {
+        return id;
+    }
+    let id = st.cells.len();
+    st.cells.push(CellLoc::default());
+    st.cell_ids.insert(addr, id);
+    id
+}
+
+fn lock_id(st: &mut St, addr: usize) -> usize {
+    if let Some(&id) = st.lock_ids.get(&addr) {
+        return id;
+    }
+    let id = st.locks.len();
+    st.locks.push(LockLoc {
+        held_by: None,
+        release: VClock::default(),
+    });
+    st.lock_ids.insert(addr, id);
+    id
+}
+
+/// Weak-edge hints involving either racing thread, newest first.
+fn weak_hints(st: &St, a: usize, b: usize) -> Vec<String> {
+    st.weak
+        .iter()
+        .rev()
+        .filter(|w| (w.writer == a || w.writer == b) && (w.reader == a || w.reader == b))
+        .take(8)
+        .map(|w| {
+            format!(
+                "hint: t{}'s {} store to atomic#{} (step {}) was observed by t{}'s {} load \
+                 (step {}) — this pair creates no happens-before edge; a Release store with an \
+                 Acquire load would",
+                w.writer,
+                ord_name(w.word),
+                w.loc,
+                w.wstep,
+                w.reader,
+                ord_name(w.rord),
+                w.rstep
+            )
+        })
+        .collect()
+}
+
+fn fail(st: &St, kind: FailureKind, desc: String, hints: Vec<String>) -> Failure {
+    Failure {
+        kind,
+        desc,
+        schedule: st.decisions.clone(),
+        trace: st.trace.clone(),
+        hints,
+    }
+}
+
+fn panic_msg(p: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string payload>".to_string()
+    }
+}

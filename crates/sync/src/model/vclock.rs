@@ -1,0 +1,31 @@
+//! Vector clocks: the happens-before lattice the race detector walks.
+
+/// A grow-on-demand vector clock indexed by thread id. Missing entries
+/// read as zero, so clocks created before a thread existed compare
+/// correctly against clocks that know about it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    pub(crate) fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advance this thread's own component (one tick per operation).
+    pub(crate) fn bump(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Pointwise max: afterwards `self` dominates both inputs.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (s, o) in self.0.iter_mut().zip(other.0.iter()) {
+            *s = (*s).max(*o);
+        }
+    }
+}

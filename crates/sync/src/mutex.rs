@@ -1,0 +1,104 @@
+//! Mutex: `std` re-export normally, a scheduler-visible wrapper under
+//! the `model` feature.
+//!
+//! Under an active exploration, `lock` is a blocking decision operation
+//! (the scheduler only grants it while the lock is free, and lock
+//! acquisition joins the previous holders' release clock); the guard's
+//! drop applies the release edge inline. The wrapped `std` mutex is
+//! therefore never contended during a model run — it exists to hold the
+//! data and to keep passthrough behavior identical to `std`.
+
+#[cfg(not(feature = "model"))]
+pub use std::sync::{Mutex, MutexGuard};
+
+#[cfg(feature = "model")]
+pub use modeled::{Mutex, MutexGuard};
+
+#[cfg(feature = "model")]
+mod modeled {
+    use crate::ctx;
+    use crate::model::sched::Op;
+    use std::ops::{Deref, DerefMut};
+    use std::sync::{LockResult, PoisonError};
+
+    pub struct Mutex<T> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        pub const fn new(t: T) -> Self {
+            Self {
+                inner: std::sync::Mutex::new(t),
+            }
+        }
+
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            let addr = self as *const Self as usize;
+            if let Some(c) = ctx::current() {
+                c.sched.op(c.tid, Op::Lock { addr });
+            }
+            match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard { inner: g, addr }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    inner: p.into_inner(),
+                    addr,
+                })),
+            }
+        }
+
+        pub fn get_mut(&mut self) -> LockResult<&mut T> {
+            let r = self.inner.get_mut();
+            r.map_err(|p| PoisonError::new(p.into_inner()))
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Self::new(T::default())
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    impl<T> Drop for Mutex<T> {
+        fn drop(&mut self) {
+            // Retire the lock's model state so address reuse starts fresh.
+            if let Some(c) = ctx::current() {
+                c.sched.forget_lock(self as *const Self as usize);
+            }
+        }
+    }
+
+    pub struct MutexGuard<'a, T> {
+        inner: std::sync::MutexGuard<'a, T>,
+        addr: usize,
+    }
+
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // Release edge applied inline; the std guard (field drop,
+            // right after this body) releases before any other model
+            // thread can be granted a step.
+            if let Some(c) = ctx::current() {
+                c.sched.unlock(c.tid, self.addr);
+            }
+        }
+    }
+}

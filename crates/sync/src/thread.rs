@@ -1,0 +1,243 @@
+//! Scoped threads: `std` re-exports normally, a scheduler-visible scope
+//! under the `model` feature.
+//!
+//! The model scope cannot wrap `std::thread::scope` directly: its
+//! implicit join would park the process on children that are still
+//! waiting for scheduler grants. Instead it follows the classic
+//! crossbeam design — plain spawns with the closure's lifetime erased,
+//! made sound by joining every child before `scope` returns on every
+//! path (normal return, user panic, and model teardown). Spawn and join
+//! are scheduler operations: spawn publishes the parent's clock to the
+//! child, join merges the child's final clock back, and a dropped
+//! handle (the `par_sort_by` pattern) is model-joined by the scope
+//! epilogue, mirroring `std`'s implicit join.
+//!
+//! One deliberate narrowing versus `std`: closures must borrow from
+//! outside the `scope` call (`'env`), not from locals created inside
+//! the scope body. Every call site in this workspace already does so.
+
+#[cfg(not(feature = "model"))]
+pub use std::thread::{available_parallelism, scope, Scope, ScopedJoinHandle};
+
+#[cfg(feature = "model")]
+pub use std::thread::available_parallelism;
+
+#[cfg(feature = "model")]
+pub use modeled::{scope, Scope, ScopedJoinHandle};
+
+#[cfg(feature = "model")]
+mod modeled {
+    use crate::ctx::{self, Ctx};
+    use crate::model::sched::{AbortToken, Op};
+    use std::marker::PhantomData;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex};
+
+    type Payload = Box<dyn std::any::Any + Send + 'static>;
+    type Slot<T> = Arc<Mutex<Option<T>>>;
+
+    /// Lifetime-free part of the scope: the registry of children not
+    /// yet joined. Handles reference this, not the `'env`-carrying
+    /// [`Scope`], so `ScopedJoinHandle` keeps `std`'s two generics.
+    #[derive(Default)]
+    pub struct ScopeInner {
+        children: Mutex<Vec<Option<Child>>>,
+    }
+
+    struct Child {
+        tid: Option<usize>,
+        os: std::thread::JoinHandle<()>,
+        panic_slot: Slot<Payload>,
+    }
+
+    pub struct Scope<'env> {
+        inner: ScopeInner,
+        // Invariant in 'env (like std's Scope) without affecting
+        // Send/Sync.
+        _env: PhantomData<fn(&'env ()) -> &'env ()>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        reg: &'scope ScopeInner,
+        idx: usize,
+        tid: Option<usize>,
+        result: Slot<T>,
+        panic_slot: Slot<Payload>,
+    }
+
+    /// Model replacement for [`std::thread::scope`]. See module docs.
+    pub fn scope<'env, F, T>(f: F) -> T
+    where
+        F: FnOnce(&Scope<'env>) -> T,
+    {
+        let scope = Scope {
+            inner: ScopeInner::default(),
+            _env: PhantomData,
+        };
+        let body = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        let (aborted, mut stashed) = scope.inner.finish();
+        match body {
+            // A panic out of the scope body (user assertion or model
+            // teardown) propagates, but only after every child joined.
+            Err(p) => resume_unwind(p),
+            Ok(v) => {
+                if aborted {
+                    // Model teardown reached during the join epilogue.
+                    std::panic::panic_any(AbortToken);
+                }
+                if let Some(p) = stashed.pop() {
+                    // Passthrough parity with std: a panicked child
+                    // whose handle was dropped panics the scope.
+                    resume_unwind(p);
+                }
+                v
+            }
+        }
+    }
+
+    impl ScopeInner {
+        /// Join every remaining child. Model-joins are attempted first
+        /// (and may flip into teardown); OS joins happen regardless so
+        /// no thread survives the scope. Returns whether teardown was
+        /// observed plus panics stashed by passthrough children.
+        fn finish(&self) -> (bool, Vec<Payload>) {
+            let mut aborted = false;
+            let mut stashed = Vec::new();
+            let children: Vec<Child> = {
+                let mut reg = self.children.lock().unwrap_or_else(|e| e.into_inner());
+                reg.drain(..).flatten().collect()
+            };
+            for child in children {
+                if !aborted {
+                    if let (Some(tid), Some(c)) = (child.tid, ctx::current()) {
+                        let r = catch_unwind(AssertUnwindSafe(|| {
+                            c.sched.op(c.tid, Op::Join { child: tid })
+                        }));
+                        aborted |= r.is_err();
+                    }
+                }
+                // The child always terminates: normally, or by
+                // unwinding on the teardown wake-up.
+                let _ = child.os.join();
+                let p = child
+                    .panic_slot
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take();
+                if let Some(p) = p {
+                    stashed.push(p);
+                }
+            }
+            (aborted, stashed)
+        }
+    }
+
+    impl<'env> Scope<'env> {
+        pub fn spawn<'scope, F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'env,
+            T: Send + 'env,
+        {
+            let result: Slot<T> = Arc::new(Mutex::new(None));
+            let panic_slot: Slot<Payload> = Arc::new(Mutex::new(None));
+            let model = ctx::current().map(|c| {
+                let child = c.sched.register_child(c.tid);
+                (c.sched, child)
+            });
+            let tid = model.as_ref().map(|(_, t)| *t);
+            let closure = {
+                let result = Arc::clone(&result);
+                let panic_slot = Arc::clone(&panic_slot);
+                move || {
+                    if let Some((sched, tid)) = &model {
+                        ctx::set(Some(Ctx {
+                            sched: Arc::clone(sched),
+                            tid: *tid,
+                        }));
+                        sched.thread_start(*tid);
+                    }
+                    let r = catch_unwind(AssertUnwindSafe(f));
+                    ctx::set(None);
+                    match r {
+                        Ok(v) => {
+                            *result.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                            if let Some((sched, tid)) = &model {
+                                sched.thread_exit(*tid, None);
+                            }
+                        }
+                        Err(p) => {
+                            if let Some((sched, tid)) = &model {
+                                // Exploration: classified by the
+                                // scheduler (user panic => failure).
+                                sched.thread_exit(*tid, Some(p));
+                            } else {
+                                // Passthrough: surface via join / the
+                                // scope epilogue, like std.
+                                *panic_slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(p);
+                            }
+                        }
+                    }
+                }
+            };
+            let erased: Box<dyn FnOnce() + Send + 'env> = Box::new(closure);
+            // The spawned thread is joined before `scope` returns on
+            // every path — explicit `join` takes the handle from the
+            // registry and joins it, and `ScopeInner::finish` joins
+            // everything left in the registry even when the body or a
+            // model join panics (handles are never removed from the
+            // registry without being joined, so `mem::forget` on a
+            // ScopedJoinHandle leaks nothing unjoined).
+            // SAFETY: join-before-return (above) means no captured
+            // borrow outlives its referent; erasure to 'static is sound.
+            let erased: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(erased) };
+            let os = std::thread::spawn(erased);
+            let mut reg = self
+                .inner
+                .children
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let idx = reg.len();
+            reg.push(Some(Child {
+                tid,
+                os,
+                panic_slot: Arc::clone(&panic_slot),
+            }));
+            drop(reg);
+            ScopedJoinHandle {
+                reg: &self.inner,
+                idx,
+                tid,
+                result,
+                panic_slot,
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            // Model join first, while the child is still registered: if
+            // this unwinds on teardown, the scope epilogue still joins
+            // the OS thread.
+            if let (Some(tid), Some(c)) = (self.tid, ctx::current()) {
+                c.sched.op(c.tid, Op::Join { child: tid });
+            }
+            let child = {
+                let mut reg = self.reg.children.lock().unwrap_or_else(|e| e.into_inner());
+                reg[self.idx].take()
+            };
+            if let Some(child) = child {
+                let _ = child.os.join();
+            }
+            if let Some(p) = self
+                .panic_slot
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+            {
+                return Err(p);
+            }
+            let v = self.result.lock().unwrap_or_else(|e| e.into_inner()).take();
+            Ok(v.expect("model child finished without result or panic"))
+        }
+    }
+}

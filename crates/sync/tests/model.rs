@@ -1,0 +1,337 @@
+//! Model-checked verification of the amnesia-sync primitives.
+//!
+//! Three families:
+//! - true-positive gates: deliberately broken fixtures (an unprotected
+//!   `PlainCell`, a Relaxed publication, a Relaxed epoch unpin, an ABBA
+//!   lock cycle) that the explorer MUST flag — these keep the detector
+//!   honest;
+//! - correctness proofs: protocols (mutex counter, release/acquire
+//!   publication, epoch retire-while-pinned) that must stay silent on
+//!   every explored schedule;
+//! - harness properties: replay determinism and schedule-space volume.
+//!
+//! Run with `cargo test -p amnesia-sync --features model`. Override the
+//! exploration via `AMNESIA_MODEL_{ITERS,PREEMPTIONS,SEED,REPLAY}`.
+
+use amnesia_sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use amnesia_sync::cell::PlainCell;
+use amnesia_sync::epoch::EpochGc;
+use amnesia_sync::model::{explore, FailureKind, ModelConfig};
+use amnesia_sync::mutex::Mutex;
+use amnesia_sync::thread;
+
+fn cfg() -> ModelConfig {
+    ModelConfig::from_env()
+}
+
+/// The canonical racy fixture: two threads read-modify-write a plain
+/// cell with no synchronization at all. The detector must flag it, and
+/// the failure must carry a non-empty replayable schedule.
+#[test]
+fn racy_cell_is_flagged() {
+    let report = explore(cfg(), || {
+        let cell = PlainCell::new(0u32);
+        thread::scope(|s| {
+            s.spawn(|| {
+                let v = cell.get();
+                cell.set(v + 1);
+            });
+            let v = cell.get();
+            cell.set(v + 1);
+        });
+    });
+    let failure = report.expect_failure();
+    assert_eq!(failure.kind, FailureKind::Race);
+    assert!(!failure.schedule.is_empty(), "race must be replayable");
+    assert!(!failure.trace.is_empty(), "race must carry a step trace");
+}
+
+/// Publication through a Relaxed flag: the reader can observe the flag
+/// without inheriting the writer's clock, so the payload access is a
+/// race — and the report's hints must point at the Relaxed observation.
+#[test]
+fn relaxed_publication_is_flagged_with_weak_edge_hint() {
+    let report = explore(cfg(), || {
+        let data = PlainCell::new(0u32);
+        let ready = AtomicBool::new(false);
+        thread::scope(|s| {
+            s.spawn(|| {
+                data.set(42);
+                // Bug under test: Relaxed publish drops the release edge.
+                ready.store(true, Ordering::Relaxed);
+            });
+            // Bug under test: Relaxed observation acquires nothing.
+            if ready.load(Ordering::Relaxed) {
+                let _ = data.get();
+            }
+        });
+    });
+    let failure = report.expect_failure();
+    assert_eq!(failure.kind, FailureKind::Race);
+    assert!(
+        !failure.hints.is_empty(),
+        "a Relaxed publication race should surface weak-edge hints"
+    );
+}
+
+/// The same shape with a proper Release/Acquire pair must be silent on
+/// every schedule.
+#[test]
+fn release_acquire_publication_is_clean() {
+    let report = explore(cfg(), || {
+        let data = PlainCell::new(0u32);
+        let ready = AtomicBool::new(false);
+        thread::scope(|s| {
+            s.spawn(|| {
+                data.set(42);
+                // Release: publishes the data write to acquiring readers.
+                ready.store(true, Ordering::Release);
+            });
+            // Acquire: pairs with the Release store above.
+            if ready.load(Ordering::Acquire) {
+                assert_eq!(data.get(), 42);
+            }
+        });
+    });
+    report.assert_clean();
+    assert!(report.schedules > 1, "publication must have real choice");
+}
+
+/// Mutex-protected read-modify-write is race-free and, because the lock
+/// serializes both increments, always sums to 2.
+#[test]
+fn mutex_counter_is_clean_and_exact() {
+    let report = explore(cfg(), || {
+        let counter = Mutex::new(0u32);
+        thread::scope(|s| {
+            s.spawn(|| {
+                let mut g = counter.lock().expect("model mutex");
+                *g += 1;
+            });
+            {
+                let mut g = counter.lock().expect("model mutex");
+                *g += 1;
+            }
+        });
+        assert_eq!(*counter.lock().expect("model mutex"), 2);
+    });
+    report.assert_clean();
+    assert!(report.schedules > 1, "lock order must have real choice");
+}
+
+/// Atomic RMW counters never race even at Relaxed: the accesses are
+/// atomic, so only the *ordering* of other memory is at stake — and the
+/// final value is read after both children are joined (join edge).
+#[test]
+fn relaxed_atomic_counter_is_clean_and_exact() {
+    let report = explore(cfg(), || {
+        let counter = AtomicUsize::new(0);
+        thread::scope(|s| {
+            let a = s.spawn(|| {
+                // Relaxed is enough: the count is reconciled after join,
+                // and the join edge orders the read below.
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+            let b = s.spawn(|| {
+                // Relaxed: same rationale as the sibling increment.
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+            a.join().expect("model child");
+            b.join().expect("model child");
+            // Relaxed read: ordered by the two join edges above.
+            assert_eq!(counter.load(Ordering::Relaxed), 2);
+        });
+    });
+    report.assert_clean();
+}
+
+/// ABBA lock cycle: some schedule must deadlock, and the explorer must
+/// report it (rather than hang) with a replayable schedule.
+#[test]
+fn abba_lock_cycle_is_reported_as_deadlock() {
+    let report = explore(cfg(), || {
+        let a = Mutex::new(0u32);
+        let b = Mutex::new(0u32);
+        thread::scope(|s| {
+            s.spawn(|| {
+                let _ga = a.lock().expect("model mutex");
+                let _gb = b.lock().expect("model mutex");
+            });
+            let _gb = b.lock().expect("model mutex");
+            let _ga = a.lock().expect("model mutex");
+        });
+    });
+    let failure = report.expect_failure();
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(!failure.schedule.is_empty());
+}
+
+/// A panic inside a child thread surfaces as a model failure carrying
+/// the panic message, not as a hung or aborted process.
+#[test]
+fn child_panic_is_reported() {
+    let report = explore(cfg(), || {
+        thread::scope(|s| {
+            s.spawn(|| {
+                panic!("deliberate child panic");
+            });
+        });
+    });
+    let failure = report.expect_failure();
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(
+        failure.desc.contains("deliberate child panic"),
+        "panic message should be preserved, got: {}",
+        failure.desc
+    );
+}
+
+/// The flagship epoch proof: a reader pins, loads the live index with
+/// Acquire, dereferences the cell, and unpins; the writer swaps the
+/// live index, retires the old cell, advances the epoch, reclaims, and
+/// poison-writes everything reclaimed. If retire-while-pinned could
+/// ever reclaim, the poison write would race the reader's dereference
+/// and the detector would flag it. Acceptance requires the proof to
+/// cover at least 1000 distinct schedules.
+#[test]
+fn epoch_retire_while_pinned_never_reclaims() {
+    // Widen the schedule cap for the flagship proof; an explicit
+    // AMNESIA_MODEL_ITERS (CI, replay) still wins.
+    let mut base = cfg();
+    if std::env::var("AMNESIA_MODEL_ITERS").is_err() {
+        base = base.with_max_schedules(40_000);
+    }
+    let report = explore(base, || {
+        let cells = [
+            PlainCell::new(0u32),
+            PlainCell::new(1u32),
+            PlainCell::new(2u32),
+        ];
+        let live = AtomicUsize::new(0);
+        let gc: EpochGc<usize> = EpochGc::new(2);
+        let (cells, live, gc) = (&cells, &live, &gc);
+        thread::scope(|s| {
+            for slot in 0..2 {
+                s.spawn(move || {
+                    let guard = gc.pin(slot);
+                    // Acquire: pairs with the writer's Release
+                    // publication of the new live index.
+                    let i = live.load(Ordering::Acquire);
+                    let _ = cells[i].get();
+                    drop(guard);
+                });
+            }
+            // Two generations: unlink (Release-publish the new live
+            // cell), retire the old one, advance, reclaim, and
+            // poison-write whatever came back.
+            for new in 1..=2usize {
+                live.store(new, Ordering::Release);
+                gc.retire(new - 1);
+                gc.advance();
+                for i in gc.reclaim() {
+                    // Poison write: only sound if no pinned reader can
+                    // still dereference the reclaimed cell.
+                    cells[i].set(0xdead);
+                }
+            }
+        });
+    });
+    report.assert_clean();
+    assert!(
+        report.schedules >= 1000,
+        "epoch proof must cover >=1000 schedules, got {}",
+        report.schedules
+    );
+}
+
+/// The epoch protocol with the unpin edge deliberately weakened to
+/// Relaxed: the reader's dereference is no longer ordered before the
+/// writer's reuse of the slot, so the poison write must be flagged.
+/// This is the true-positive gate for the epoch proof above.
+#[test]
+fn epoch_relaxed_unpin_is_flagged() {
+    const IDLE: u64 = u64::MAX;
+    let report = explore(cfg(), || {
+        let data = PlainCell::new(0u32);
+        let global = AtomicU64::new(0);
+        let slot = AtomicU64::new(IDLE);
+        thread::scope(|s| {
+            s.spawn(|| {
+                // Hand-rolled pin: epoch read + slot publication.
+                let e = global.load(Ordering::SeqCst);
+                slot.store(e, Ordering::SeqCst);
+                if global.load(Ordering::SeqCst) == e {
+                    let _ = data.get();
+                }
+                // Bug under test: Relaxed unpin drops the release edge
+                // that orders the read above before reclamation.
+                slot.store(IDLE, Ordering::Relaxed);
+            });
+            global.fetch_add(1, Ordering::SeqCst);
+            // Writer-side reclaim: slot idle means the reader is done —
+            // but only if the unpin released.
+            if slot.load(Ordering::SeqCst) == IDLE {
+                data.set(0xdead);
+            }
+        });
+    });
+    let failure = report.expect_failure();
+    assert_eq!(failure.kind, FailureKind::Race);
+}
+
+/// Replaying the schedule printed in a failure report reproduces the
+/// same failure kind in exactly one run: the determinism contract that
+/// makes `AMNESIA_MODEL_REPLAY` useful.
+#[test]
+fn replay_reproduces_failure_deterministically() {
+    let body = || {
+        let cell = PlainCell::new(0u32);
+        thread::scope(|s| {
+            s.spawn(|| {
+                let v = cell.get();
+                cell.set(v + 1);
+            });
+            let v = cell.get();
+            cell.set(v + 1);
+        });
+    };
+    let first = explore(cfg(), body);
+    let schedule = first.expect_failure().schedule.clone();
+    let replayed = explore(cfg().with_replay(schedule.clone()), body);
+    assert_eq!(replayed.schedules, 1, "replay pins exactly one schedule");
+    let failure = replayed.expect_failure();
+    assert_eq!(failure.kind, FailureKind::Race);
+    assert_eq!(
+        failure.schedule, schedule,
+        "replayed failure must report the same schedule"
+    );
+}
+
+/// Two explorations with the same seed walk the same schedules and
+/// reach the same verdict and count.
+#[test]
+fn same_seed_is_deterministic() {
+    let body = || {
+        let ready = AtomicBool::new(false);
+        let data = PlainCell::new(0u32);
+        thread::scope(|s| {
+            s.spawn(|| {
+                data.set(7);
+                // Release: publish data before the flag.
+                ready.store(true, Ordering::Release);
+            });
+            // Acquire: pairs with the Release store above.
+            if ready.load(Ordering::Acquire) {
+                assert_eq!(data.get(), 7);
+            }
+        });
+    };
+    let cfg_a = ModelConfig::default().with_seed(1234);
+    let cfg_b = ModelConfig::default().with_seed(1234);
+    let a = explore(cfg_a, body);
+    let b = explore(cfg_b, body);
+    a.assert_clean();
+    b.assert_clean();
+    assert_eq!(a.schedules, b.schedules);
+    assert_eq!(a.complete, b.complete);
+}

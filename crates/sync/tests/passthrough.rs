@@ -1,0 +1,92 @@
+//! Passthrough parity: outside an active exploration the shim must
+//! behave exactly like `std` — in normal builds because it *is* `std`
+//! re-exported, and under `--features model` because every wrapper
+//! checks for an ambient scheduler context and finds none. This file
+//! has no `required-features`, so the same assertions run in both
+//! build modes.
+
+use amnesia_sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use amnesia_sync::mutex::Mutex;
+use amnesia_sync::thread;
+
+#[test]
+fn atomics_behave_like_std() {
+    // Orderings below are arbitrary: this test is single-threaded, so
+    // no ordering is at stake — it only checks value semantics and that
+    // each (op, ordering) pair forwards to the std equivalent.
+    let u = AtomicUsize::new(3);
+    assert_eq!(u.fetch_add(2, Ordering::Relaxed), 3); // single-threaded
+    assert_eq!(u.load(Ordering::Relaxed), 5); // single-threaded
+    assert_eq!(u.swap(9, Ordering::Relaxed), 5); // single-threaded
+    assert_eq!(u.fetch_max(7, Ordering::Relaxed), 9); // single-threaded
+    assert_eq!(
+        // Orderings exercise the success/failure pair; single-threaded.
+        u.compare_exchange(9, 1, Ordering::SeqCst, Ordering::Relaxed),
+        Ok(9)
+    );
+    assert_eq!(
+        // Same pair on the failure path; single-threaded.
+        u.compare_exchange(9, 2, Ordering::SeqCst, Ordering::Relaxed),
+        Err(1)
+    );
+    let b = AtomicBool::new(false);
+    b.store(true, Ordering::Release); // single-threaded
+    assert!(b.load(Ordering::Acquire)); // single-threaded
+    let x = AtomicU64::new(u64::MAX);
+    assert_eq!(x.load(Ordering::SeqCst), u64::MAX); // single-threaded
+}
+
+#[test]
+fn mutex_behaves_like_std() {
+    let m = Mutex::new(vec![1, 2]);
+    m.lock().expect("unpoisoned").push(3);
+    assert_eq!(*m.lock().expect("unpoisoned"), vec![1, 2, 3]);
+    let mut m = m;
+    m.get_mut().expect("unpoisoned").push(4);
+    assert_eq!(m.lock().expect("unpoisoned").len(), 4);
+}
+
+#[test]
+fn scope_joins_and_returns_values() {
+    let data = [1u64, 2, 3, 4];
+    let total: u64 = thread::scope(|s| {
+        let a = s.spawn(|| data[..2].iter().sum::<u64>());
+        let b = s.spawn(|| data[2..].iter().sum::<u64>());
+        a.join().expect("child a") + b.join().expect("child b")
+    });
+    assert_eq!(total, 10);
+}
+
+#[test]
+fn scope_implicitly_joins_dropped_handles() {
+    let hits = AtomicUsize::new(0);
+    thread::scope(|s| {
+        for _ in 0..4 {
+            // Handles dropped: the scope epilogue must still join.
+            s.spawn(|| {
+                // Relaxed: reconciled after the scope's implicit join.
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    // Relaxed: the scope join above ordered all increments.
+    assert_eq!(hits.load(Ordering::Relaxed), 4);
+}
+
+#[test]
+fn joined_child_panic_surfaces_as_err() {
+    thread::scope(|s| {
+        let h = s.spawn(|| -> usize { panic!("child says no") });
+        let e = h.join().expect_err("panic must surface via join");
+        let msg = e
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or_else(|| e.downcast_ref::<String>().expect("panic payload"));
+        assert!(msg.contains("child says no"));
+    });
+}
+
+#[test]
+fn available_parallelism_is_forwarded() {
+    assert!(thread::available_parallelism().map_or(1, usize::from) >= 1);
+}

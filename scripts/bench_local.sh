@@ -22,6 +22,16 @@ cd "$(dirname "$0")/.."
 echo "=== amnesia-lint preflight ==="
 cargo run -q -p amnesia-lint -- check
 
+# Preflight: the model suites are CI's model-check job; a bench run on
+# a tree with a schedulable race or a broken morsel protocol is equally
+# wasted. Fast (< 5 s): bounded DPOR exploration, not wall-clock fuzzing.
+# Skip with AMNESIA_SKIP_MODEL=1 when iterating on bench-only changes.
+if [[ "${AMNESIA_SKIP_MODEL:-0}" != "1" ]]; then
+  echo "=== amnesia-sync model preflight ==="
+  cargo test -q -p amnesia-sync --features model
+  cargo test -q -p amnesia-engine --features model --test model
+fi
+
 OUT="BENCH_smoke.json"
 # Absolute path: cargo runs bench binaries with cwd = the package dir
 # (crates/bench), so a relative path would land the file there.
